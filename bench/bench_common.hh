@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harnesses: per-matrix kernel
+ * dispatch with BBC reuse, and the standard baseline comparisons.
+ */
+
+#ifndef UNISTC_BENCH_BENCH_COMMON_HH
+#define UNISTC_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bbc/bbc_matrix.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "runner/report.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmm_runner.hh"
+#include "runner/spmspv_runner.hh"
+#include "runner/spmv_runner.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace bench
+{
+
+/** A matrix prepared once and reused across models and kernels. */
+struct Prepared
+{
+    std::string name;
+    CsrMatrix csr;
+    BbcMatrix bbc;
+    SparseVector x50; ///< 50%-sparse x for SpMSpV (§VI-A).
+
+    Prepared(std::string n, CsrMatrix m, std::uint64_t seed = 99)
+        : name(std::move(n)), csr(std::move(m)),
+          bbc(BbcMatrix::fromCsr(csr)), x50(csr.cols())
+    {
+        Rng rng(seed);
+        for (int i = 0; i < csr.cols(); ++i) {
+            if (rng.nextBool(0.5))
+                x50.push(i, rng.nextDouble(0.1, 1.0));
+        }
+    }
+};
+
+/** Run one of the four kernels on a prepared matrix. */
+inline RunResult
+runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
+          const EnergyModel &energy = EnergyModel())
+{
+    switch (kernel) {
+      case Kernel::SpMV:
+        return runSpmv(model, p.bbc, energy);
+      case Kernel::SpMSpV:
+        return runSpmspv(model, p.bbc, p.x50, energy);
+      case Kernel::SpMM:
+        return runSpmm(model, p.bbc, 64, energy);
+      case Kernel::SpGEMM:
+        return runSpgemm(model, p.bbc, p.bbc, energy);
+    }
+    return RunResult{};
+}
+
+/** True when the bench should shrink workloads (--quick / env). */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quick")
+            return true;
+    }
+    return std::getenv("UNISTC_BENCH_QUICK") != nullptr;
+}
+
+} // namespace bench
+} // namespace unistc
+
+#endif // UNISTC_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension study: end-to-end DNN inference latency projection. The
+ * full ResNet-50 convolution stack and a Transformer-base encoder
+ * are lowered to SpMM UWMMA streams and scheduled on an A100-scale
+ * device (108 SMs x 4 Uni-STC units) at several weight sparsities —
+ * the application-level view behind the paper's per-layer Fig. 17
+ * results.
+ */
+
+#include <cstdio>
+
+#include "apps/dnn/dnn_driver.hh"
+#include "bench_common.hh"
+
+using namespace unistc;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = bench::quickMode(argc, argv);
+    const MachineConfig cfg = MachineConfig::fp32();
+    const int num_sms = 108;
+    const int stc_per_sm = 4;
+    const int warps = 8;
+
+    struct Network
+    {
+        std::string name;
+        std::vector<DnnLayerRep> stack;
+    };
+    std::vector<Network> nets;
+    if (quick) {
+        nets.push_back({"Transformer-base (2 enc. layers)",
+                        transformerFullStack(2, 2)});
+    } else {
+        nets.push_back({"ResNet-50 (53 convs, 224x224)",
+                        resnet50FullStack()});
+        nets.push_back({"Transformer-base (6 enc. layers)",
+                        transformerFullStack(6, 2)});
+    }
+
+    TextTable t("Extension: end-to-end inference on 108 SMs x 4 "
+                "Uni-STC (128 MAC@FP32)");
+    t.setHeader({"network", "weight sparsity", "T1 bundles",
+                 "latency", "STC utilisation"});
+    for (const auto &net : nets) {
+        std::uint64_t seed = 4040;
+        double dense_latency = 0.0;
+        for (double sparsity : {0.0, 0.7, 0.98}) {
+            const InferenceLatency lat = estimateInferenceLatency(
+                net.stack, sparsity, cfg, num_sms, stc_per_sm,
+                warps, seed);
+            seed += 1000;
+            if (sparsity == 0.0)
+                dense_latency = lat.latencyUs;
+            char label[32];
+            std::snprintf(label, sizeof(label), "%.0f%% (%.2fx)",
+                          sparsity * 100.0,
+                          dense_latency / lat.latencyUs);
+            t.addRow({net.name, label, fmtCount(lat.bundles),
+                      fmtDouble(lat.latencyUs, 1) + " us",
+                      fmtPercent(lat.unitUtilisation)});
+        }
+        t.addSeparator();
+    }
+    t.print();
+    std::printf("\nReading: pruning translates into end-to-end "
+                "latency nearly linearly on Uni-STC because block "
+                "tasks shrink with the actual nonzero count.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension study: structured vs unstructured sparsity. The paper's
+ * framing — production tensor cores only accelerate 2:4 structured
+ * sparsity, while dual-side STCs handle general patterns — made
+ * quantitative: SpMM on DLMC-style weights, comparing NV-DTC,
+ * NV-STC-2:4, RM-STC and Uni-STC on (a) 2:4-structured weights, (b)
+ * unstructured weights at the same 50% sparsity, and (c)
+ * unstructured 70%/98% weights where the structured path has no
+ * answer at all.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "corpus/dlmc.hh"
+#include "runner/spmm_runner.hh"
+
+using namespace unistc;
+
+int
+main()
+{
+    const MachineConfig cfg = MachineConfig::fp32();
+    const int rows = 256;
+    const int cols = 512;
+
+    struct Workload
+    {
+        std::string name;
+        CsrMatrix weights;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back({"2:4 structured (50%)",
+                         genStructured24(rows, cols, 81)});
+    workloads.push_back({"unstructured 50%",
+                         genPrunedWeights(rows, cols, 0.5, 82)});
+    workloads.push_back({"unstructured 70%",
+                         genPrunedWeights(rows, cols, 0.7, 83)});
+    workloads.push_back({"unstructured 98%",
+                         genPrunedWeights(rows, cols, 0.98, 84)});
+
+    TextTable t("Extension: SpMM (B width 64) on pruned weights, "
+                "128 MAC@FP32");
+    t.setHeader({"weights", "STC", "cycles", "MAC util",
+                 "speedup vs NV-DTC"});
+    for (const auto &w : workloads) {
+        const BbcMatrix bbc = BbcMatrix::fromCsr(w.weights);
+        const auto nv = makeStcModel("NV-DTC", cfg);
+        const std::uint64_t base = runSpmm(*nv, bbc, 64).cycles;
+        for (const auto &name :
+             {"NV-DTC", "NV-STC-2:4", "RM-STC", "Uni-STC"}) {
+            const auto model = makeStcModel(name, cfg);
+            const RunResult r = runSpmm(*model, bbc, 64);
+            t.addRow({w.name, name, fmtCount(r.cycles),
+                      fmtPercent(r.utilisation()),
+                      fmtRatio(static_cast<double>(base) /
+                               r.cycles)});
+        }
+        t.addSeparator();
+    }
+    t.print();
+    std::printf("\nReading: the 2:4 core doubles throughput only on "
+                "its blessed pattern and degenerates to dense "
+                "everywhere else; Uni-STC tracks the actual "
+                "sparsity on every workload.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 10 — comparison of the TMS batch-ordering strategies
+ * (dot-product, outer-product, row-row) on random 16x16 block pairs
+ * swept over the nonzero count: data reuse rates for A and B,
+ * average parallel tasks per cycle, average K-aligned tasks per
+ * cycle, and the write-conflict rate. The outer-product order must
+ * dominate, motivating Uni-STC's default (§IV-A-1 ②).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "unistc/tms.hh"
+
+using namespace unistc;
+
+int
+main()
+{
+    const int mac = 64;
+    const int dpgs = 8;
+    const int trials = 200;
+    const std::vector<TaskOrdering> orders = {
+        TaskOrdering::DotProduct, TaskOrdering::OuterProduct,
+        TaskOrdering::RowRow};
+
+    TextTable t("Fig. 10: TMS ordering study (random blocks, "
+                "64 MACs, 8 DPGs)");
+    t.setHeader({"#Nonzeros/blk", "Ordering", "reuse A", "reuse B",
+                 "par. tasks", "aligned tasks", "conflict rate"});
+
+    for (int nnz : {16, 32, 64, 96, 128, 192}) {
+        const double density = nnz / 256.0;
+        for (const TaskOrdering order : orders) {
+            Rng rng(1234); // same blocks for every ordering
+            double ra = 0, rb = 0, par = 0, aligned = 0, conf = 0;
+            int valid = 0;
+            for (int i = 0; i < trials; ++i) {
+                const BlockPattern a =
+                    BlockPattern::random(rng, density);
+                const BlockPattern b =
+                    BlockPattern::random(rng, density);
+                const OrderingStats s =
+                    analyzeOrdering(a, b, 4, order, dpgs, mac);
+                if (s.cycles == 0)
+                    continue;
+                ++valid;
+                ra += s.reuseRateA;
+                rb += s.reuseRateB;
+                par += s.avgParallelTasks;
+                aligned += s.avgAlignedTasks;
+                conf += s.writeConflictRate;
+            }
+            if (!valid)
+                continue;
+            const double n = valid;
+            t.addRow({std::to_string(nnz), toString(order),
+                      fmtPercent(ra / n), fmtPercent(rb / n),
+                      fmtDouble(par / n), fmtDouble(aligned / n),
+                      fmtPercent(conf / n)});
+        }
+        t.addSeparator();
+    }
+    t.print();
+    std::printf("\nPaper reference: outer-product order reaches "
+                "4.54 avg parallel tasks, 47.38%% peak reuse and a "
+                "6.2%% peak write-conflict rate.\n");
+    return 0;
+}

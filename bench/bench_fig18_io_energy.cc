@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 18 — I/O energy breakdown (reading A, reading B, writing C)
+ * of SpGEMM C = A^2 on the eight representative matrices for DS-STC,
+ * RM-STC and Uni-STC. The paper's claims: Uni-STC has the lowest
+ * total, cuts the write-C energy by ~6.5x vs DS-STC, and its three
+ * internal operations end up balanced.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "corpus/representative.hh"
+
+using namespace unistc;
+using unistc::bench::Prepared;
+
+int
+main()
+{
+    const MachineConfig cfg = MachineConfig::fp64();
+
+    TextTable t("Fig. 18: SpGEMM (C = A^2) I/O energy breakdown");
+    t.setHeader({"Matrix", "STC", "read A", "read B", "write C",
+                 "sched", "compute", "total"});
+
+    double ds_writec = 0.0, uni_writec = 0.0;
+    double ds_total = 0.0, rm_total = 0.0, uni_total = 0.0;
+    for (const auto &nm : representativeMatrices()) {
+        const Prepared p(nm.name, nm.matrix);
+        for (const auto &name : {"DS-STC", "RM-STC", "Uni-STC"}) {
+            const auto model = makeStcModel(name, cfg);
+            const RunResult r =
+                bench::runKernel(Kernel::SpGEMM, *model, p);
+            const EnergyBreakdown &e = r.energy;
+            t.addRow({nm.name, name, fmtEnergyPj(e.fetchA),
+                      fmtEnergyPj(e.fetchB), fmtEnergyPj(e.writeC),
+                      fmtEnergyPj(e.schedule),
+                      fmtEnergyPj(e.compute),
+                      fmtEnergyPj(e.total())});
+            if (model->name() == "DS-STC") {
+                ds_writec += e.writeC;
+                ds_total += e.total();
+            } else if (model->name() == "RM-STC") {
+                rm_total += e.total();
+            } else {
+                uni_writec += e.writeC;
+                uni_total += e.total();
+            }
+        }
+        t.addSeparator();
+    }
+    t.print();
+
+    std::printf("\nAggregate over the eight matrices:\n");
+    std::printf("  write-C energy reduction, Uni-STC vs DS-STC: "
+                "%.2fx (paper: ~6.5x)\n",
+                ds_writec / uni_writec);
+    std::printf("  total energy: DS %.3g  RM %.3g  Uni %.3g pJ "
+                "(Uni-STC lowest: %s)\n",
+                ds_total, rm_total, uni_total,
+                (uni_total < ds_total && uni_total < rm_total)
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

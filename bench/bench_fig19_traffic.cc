@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 19 — data traffic and average network scale when writing
+ * matrix C during SpGEMM (C = A^2) on the eight representative
+ * matrices. The paper attributes Uni-STC's ~6.5x write-C energy
+ * saving to 2.75x less SDPU traffic (pre-merged partials) times a
+ * 2.36x smaller dynamic network scale.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "corpus/representative.hh"
+
+using namespace unistc;
+using unistc::bench::Prepared;
+
+int
+main()
+{
+    const MachineConfig cfg = MachineConfig::fp64();
+
+    TextTable t("Fig. 19: C-write traffic and average active "
+                "network scale (16x16-network units)");
+    t.setHeader({"Matrix", "STC", "C writes", "C bytes",
+                 "avg net scale"});
+
+    double ds_traffic = 0.0, uni_traffic = 0.0;
+    for (const auto &nm : representativeMatrices()) {
+        const Prepared p(nm.name, nm.matrix);
+        for (const auto &name : {"DS-STC", "RM-STC", "Uni-STC"}) {
+            const auto model = makeStcModel(name, cfg);
+            const RunResult r =
+                bench::runKernel(Kernel::SpGEMM, *model, p);
+            const NetworkConfig net = model->network();
+            const double scale = net.dynamicGating
+                ? r.avgCNetScale()
+                : static_cast<double>(net.cNetUnits);
+            t.addRow({nm.name, name, fmtCount(r.traffic.writesC),
+                      fmtBytes(r.traffic.writesC *
+                               cfg.bytesPerValue()),
+                      fmtDouble(scale, 2)});
+            if (model->name() == "DS-STC")
+                ds_traffic += static_cast<double>(r.traffic.writesC);
+            else if (model->name() == "Uni-STC")
+                uni_traffic +=
+                    static_cast<double>(r.traffic.writesC);
+        }
+        t.addSeparator();
+    }
+    t.print();
+    std::printf("\nC-write traffic reduction, Uni-STC vs DS-STC: "
+                "%.2fx (paper: 2.75x from SDPU pre-merging).\n",
+                ds_traffic / uni_traffic);
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot simulator components:
+ * BBC construction, structural block products, DPG expansion, SDPU
+ * packing, the reference SpGEMM and a full kernel simulation. These
+ * quantify the cost of the simulation infrastructure itself (not a
+ * paper artefact).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bbc/bbc_matrix.hh"
+#include "common/rng.hh"
+#include "corpus/generators.hh"
+#include "kernels/reference.hh"
+#include "runner/spgemm_runner.hh"
+#include "stc/registry.hh"
+#include "unistc/dpg.hh"
+#include "unistc/sdpu.hh"
+#include "unistc/tms.hh"
+
+namespace
+{
+
+using namespace unistc;
+
+void
+BM_BbcFromCsr(benchmark::State &state)
+{
+    const CsrMatrix m = genRandomUniform(512, 512, 0.02, 71);
+    for (auto _ : state) {
+        BbcMatrix bbc = BbcMatrix::fromCsr(m);
+        benchmark::DoNotOptimize(bbc.nnz());
+    }
+}
+BENCHMARK(BM_BbcFromCsr);
+
+void
+BM_BlockProductCount(benchmark::State &state)
+{
+    Rng rng(72);
+    const BlockPattern a = BlockPattern::random(rng, 0.2);
+    const BlockPattern b = BlockPattern::random(rng, 0.2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(blockProductCount(a, b));
+}
+BENCHMARK(BM_BlockProductCount);
+
+void
+BM_TmsGenerate(benchmark::State &state)
+{
+    Rng rng(73);
+    const BlockPattern a = BlockPattern::random(rng, 0.3);
+    const BlockPattern b = BlockPattern::random(rng, 0.3);
+    for (auto _ : state) {
+        auto tasks = generateTileTasks(a, b, 4,
+                                       TaskOrdering::OuterProduct);
+        benchmark::DoNotOptimize(tasks.size());
+    }
+}
+BENCHMARK(BM_TmsGenerate);
+
+void
+BM_DpgExpand(benchmark::State &state)
+{
+    Rng rng(74);
+    const BlockPattern a = BlockPattern::random(rng, 0.4);
+    const std::uint16_t at = a.tilePattern(0, 0);
+    const std::uint16_t bt = a.tilePattern(1, 1);
+    for (auto _ : state) {
+        auto t4 = expandTileTask(at | 1u, bt | 1u, 4);
+        benchmark::DoNotOptimize(t4.size());
+    }
+}
+BENCHMARK(BM_DpgExpand);
+
+void
+BM_SdpuSchedule(benchmark::State &state)
+{
+    Rng rng(75);
+    const BlockPattern a = BlockPattern::random(rng, 0.3);
+    const BlockPattern b = BlockPattern::random(rng, 0.3);
+    const auto tasks = generateTileTasks(a, b, 4,
+                                         TaskOrdering::OuterProduct);
+    for (auto _ : state) {
+        auto cycles = scheduleSdpu(tasks, 8, 64);
+        benchmark::DoNotOptimize(cycles.size());
+    }
+}
+BENCHMARK(BM_SdpuSchedule);
+
+void
+BM_SpgemmRef(benchmark::State &state)
+{
+    const CsrMatrix a = genRandomUniform(256, 256, 0.02, 76);
+    for (auto _ : state) {
+        CsrMatrix c = spgemmRef(a, a);
+        benchmark::DoNotOptimize(c.nnz());
+    }
+}
+BENCHMARK(BM_SpgemmRef);
+
+void
+BM_SimulateSpgemm(benchmark::State &state)
+{
+    const CsrMatrix a = genRandomUniform(256, 256, 0.02, 77);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    const auto model =
+        makeStcModel("Uni-STC", MachineConfig::fp64());
+    for (auto _ : state) {
+        RunResult r = runSpgemm(*model, bbc, bbc);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_SimulateSpgemm);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Command-line simulator front-end: run any kernel on any matrix on
+ * any modelled architecture.
+ *
+ *   simulate_cli --kernel spgemm --model all --gen banded:2048,24,0.4
+ *   simulate_cli --kernel spmv --model Uni-STC --matrix my.mtx \
+ *                --precision fp32 --dpgs 16
+ *
+ * Options:
+ *   --matrix PATH          Matrix Market input
+ *   --gen SPEC             synthetic input, SPEC one of
+ *                          banded:n,hb,fill | random:n,density |
+ *                          powerlaw:n,deg,alpha | stencil:grid
+ *   --kernel NAME          spmv | spmspv | spmm | spgemm (default spmv)
+ *   --model NAME           an architecture name or "all"
+ *   --precision fp64|fp32  MAC configuration (default fp64)
+ *   --dpgs N               Uni-STC DPG count (default 8)
+ *   --bcols N              SpMM dense-B width (default 64)
+ *   --save-bbc PATH        write the encoded BBC file
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bbc/bbc_io.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/rng.hh"
+#include "corpus/generators.hh"
+#include "runner/report.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmm_runner.hh"
+#include "runner/spmspv_runner.hh"
+#include "runner/spmv_runner.hh"
+#include "sparse/io.hh"
+#include "stc/registry.hh"
+
+using namespace unistc;
+
+namespace
+{
+
+CsrMatrix
+generateFromSpec(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    const std::string family = spec.substr(0, colon);
+    std::vector<double> args;
+    if (colon != std::string::npos) {
+        std::string rest = spec.substr(colon + 1);
+        std::size_t pos = 0;
+        while (pos < rest.size()) {
+            args.push_back(std::stod(rest.substr(pos)));
+            const auto comma = rest.find(',', pos);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+    auto arg = [&](std::size_t i, double dflt) {
+        return i < args.size() ? args[i] : dflt;
+    };
+    if (family == "banded") {
+        return genBanded(static_cast<int>(arg(0, 1024)),
+                         static_cast<int>(arg(1, 16)), arg(2, 0.5),
+                         1);
+    }
+    if (family == "random") {
+        const int n = static_cast<int>(arg(0, 1024));
+        return genRandomUniform(n, n, arg(1, 0.01), 1);
+    }
+    if (family == "powerlaw") {
+        return genPowerLaw(static_cast<int>(arg(0, 1024)),
+                           arg(1, 8.0), arg(2, 2.3), 1);
+    }
+    if (family == "stencil")
+        return genStencil2d(static_cast<int>(arg(0, 32)));
+    UNISTC_FATAL("unknown generator family '", family, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::map<std::string, std::string> opts;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            UNISTC_FATAL("expected an option, got '", argv[i], "'");
+        opts[argv[i] + 2] = argv[i + 1];
+    }
+
+    CsrMatrix a;
+    if (opts.count("matrix"))
+        a = readMatrixMarketFile(opts["matrix"]);
+    else if (opts.count("gen"))
+        a = generateFromSpec(opts["gen"]);
+    else
+        a = genBanded(1024, 16, 0.4, 1);
+
+    const std::string kernel_name =
+        opts.count("kernel") ? opts["kernel"] : "spmv";
+    const std::string model_name =
+        opts.count("model") ? opts["model"] : "all";
+    MachineConfig cfg = opts["precision"] == "fp32"
+        ? MachineConfig::fp32()
+        : MachineConfig::fp64();
+    if (opts.count("dpgs"))
+        cfg.numDpgs = std::stoi(opts["dpgs"]);
+    const int b_cols =
+        opts.count("bcols") ? std::stoi(opts["bcols"]) : 64;
+
+    std::printf("Matrix: %d x %d, %lld nonzeros\n", a.rows(),
+                a.cols(), static_cast<long long>(a.nnz()));
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    std::printf("BBC: %lld blocks, NnzPB %.2f, %s\n\n",
+                static_cast<long long>(bbc.numBlocks()),
+                bbc.nnzPerBlock(),
+                fmtBytes(bbc.storageBytes()).c_str());
+    if (opts.count("save-bbc")) {
+        saveBbcFile(opts["save-bbc"], bbc);
+        std::printf("Saved BBC image to %s\n\n",
+                    opts["save-bbc"].c_str());
+    }
+
+    SparseVector x50(a.cols());
+    {
+        Rng rng(7);
+        for (int i = 0; i < a.cols(); ++i) {
+            if (rng.nextBool(0.5))
+                x50.push(i, 1.0);
+        }
+    }
+
+    auto run = [&](const StcModel &model) {
+        if (kernel_name == "spmv")
+            return runSpmv(model, bbc);
+        if (kernel_name == "spmspv")
+            return runSpmspv(model, bbc, x50);
+        if (kernel_name == "spmm")
+            return runSpmm(model, bbc, b_cols);
+        if (kernel_name == "spgemm") {
+            if (a.rows() != a.cols())
+                UNISTC_FATAL("spgemm (C = A^2) needs a square matrix");
+            return runSpgemm(model, bbc, bbc);
+        }
+        UNISTC_FATAL("unknown kernel '", kernel_name, "'");
+    };
+
+    std::vector<std::string> names;
+    if (model_name == "all")
+        names = allModelNames();
+    else
+        names.push_back(model_name);
+
+    TextTable t("Kernel '" + kernel_name + "' @ " +
+                toString(cfg.precision) + ", " +
+                std::to_string(cfg.macCount) + " MACs");
+    t.setHeader({"STC", "cycles", "MAC util", "energy", "A reads",
+                 "C writes"});
+    for (const auto &name : names) {
+        const auto model = makeStcModel(name, cfg);
+        const RunResult r = run(*model);
+        t.addRow({name, fmtCount(r.cycles),
+                  fmtPercent(r.utilisation()),
+                  fmtEnergyPj(r.energy.total()),
+                  fmtCount(r.traffic.totalA()),
+                  fmtCount(r.traffic.writesC)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Algebraic multigrid solver (§VI-D case study substrate). A complete
+ * aggregation-based AMG: strength-of-connection filtering, greedy
+ * aggregation, piecewise-constant prolongation, Galerkin coarse
+ * operators (R * A * P via SpGEMM), weighted-Jacobi smoothing and a
+ * V-cycle driver. Its kernel mix — SpGEMM in setup, SpMV in every
+ * cycle — is exactly the combination Table II attributes to AMG.
+ */
+
+#ifndef UNISTC_APPS_AMG_AMG_HH
+#define UNISTC_APPS_AMG_AMG_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+/** One multigrid level. */
+struct AmgLevel
+{
+    CsrMatrix a; ///< Operator on this level.
+    CsrMatrix p; ///< Prolongation to this level (empty on finest).
+    CsrMatrix r; ///< Restriction from this level (empty on finest).
+};
+
+/** AMG setup parameters. */
+struct AmgOptions
+{
+    int maxLevels = 10;        ///< Hierarchy depth cap.
+    int minCoarseSize = 32;    ///< Stop coarsening below this size.
+    double strengthTheta = 0.25; ///< Strength-of-connection threshold.
+    double jacobiWeight = 0.66;  ///< Weighted-Jacobi damping.
+    /**
+     * Smooth the tentative prolongation with one damped-Jacobi step,
+     * P = (I - w D^-1 A) P_hat (smoothed aggregation). Markedly
+     * better convergence than plain aggregation on elliptic problems.
+     */
+    bool smoothProlongation = true;
+    int preSmooth = 1;         ///< Pre-smoothing sweeps.
+    int postSmooth = 1;        ///< Post-smoothing sweeps.
+    int coarseSweeps = 30;     ///< Jacobi sweeps on the coarsest grid.
+};
+
+/** Outcome of an AMG solve. */
+struct AmgSolveStats
+{
+    int iterations = 0;
+    double finalResidual = 0.0;
+    bool converged = false;
+    std::vector<double> residualHistory;
+};
+
+/** Aggregation-based AMG hierarchy. */
+class AmgHierarchy
+{
+  public:
+    /** Build the hierarchy for @p a (square, diagonally dominant). */
+    AmgHierarchy(const CsrMatrix &a, AmgOptions opts = {});
+
+    int numLevels() const { return static_cast<int>(levels_.size()); }
+    const AmgLevel &level(int l) const { return levels_.at(l); }
+    const AmgOptions &options() const { return opts_; }
+
+    /** One V-cycle applied to the current error: x <- Vcycle(x, b). */
+    void vCycle(std::vector<double> &x,
+                const std::vector<double> &b) const;
+
+    /** Solve A x = b to @p tol relative residual. */
+    AmgSolveStats solve(std::vector<double> &x,
+                        const std::vector<double> &b, double tol,
+                        int max_iters) const;
+
+  private:
+    void cycleLevel(int l, std::vector<double> &x,
+                    const std::vector<double> &b) const;
+
+    void smooth(const CsrMatrix &a, std::vector<double> &x,
+                const std::vector<double> &b, int sweeps) const;
+
+    AmgOptions opts_;
+    std::vector<AmgLevel> levels_;
+};
+
+/**
+ * Greedy aggregation over the strength graph. Exposed for testing:
+ * returns per-row aggregate ids (0..numAggregates-1).
+ */
+std::vector<int> aggregate(const CsrMatrix &a, double theta,
+                           int &num_aggregates);
+
+/** Piecewise-constant prolongation from an aggregation map. */
+CsrMatrix prolongationFromAggregates(const std::vector<int> &agg,
+                                     int num_aggregates);
+
+} // namespace unistc
+
+#endif // UNISTC_APPS_AMG_AMG_HH

@@ -1,0 +1,66 @@
+#include "apps/amg/amg_driver.hh"
+
+#include "kernels/reference.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmv_runner.hh"
+
+namespace unistc
+{
+
+AmgWorkload
+simulateAmg(const StcModel &model, const AmgHierarchy &hierarchy,
+            int num_vcycles, const EnergyModel &energy)
+{
+    AmgWorkload out;
+    const AmgOptions &opts = hierarchy.options();
+    const int levels = hierarchy.numLevels();
+
+    // Solve phase: per V-cycle SpMV invocations of each operator.
+    for (int l = 0; l < levels; ++l) {
+        const AmgLevel &lev = hierarchy.level(l);
+        const bool coarsest = l == levels - 1;
+
+        // Smoother sweeps + residual computation on this level.
+        std::uint64_t a_spmvs;
+        if (coarsest) {
+            a_spmvs = static_cast<std::uint64_t>(opts.coarseSweeps);
+        } else {
+            a_spmvs = static_cast<std::uint64_t>(opts.preSmooth +
+                                                 opts.postSmooth + 2);
+        }
+        const BbcMatrix a_bbc = BbcMatrix::fromCsr(lev.a);
+        RunResult a_run = runSpmv(model, a_bbc, energy);
+        a_run.scale(a_spmvs * num_vcycles);
+        out.spmv.merge(a_run);
+
+        // Grid-transfer SpMVs (R on the residual, P on the coarse
+        // correction), once per V-cycle each.
+        if (l > 0) {
+            for (const CsrMatrix *t : {&lev.r, &lev.p}) {
+                const BbcMatrix t_bbc = BbcMatrix::fromCsr(*t);
+                RunResult t_run = runSpmv(model, t_bbc, energy);
+                t_run.scale(num_vcycles);
+                out.spmv.merge(t_run);
+            }
+        }
+    }
+
+    // Setup phase: the Galerkin triple product on every coarse level
+    // (Ac = R * (A * P), two SpGEMMs).
+    for (int l = 1; l < levels; ++l) {
+        const AmgLevel &fine = hierarchy.level(l - 1);
+        const AmgLevel &coarse = hierarchy.level(l);
+        const BbcMatrix a_bbc = BbcMatrix::fromCsr(fine.a);
+        const BbcMatrix p_bbc = BbcMatrix::fromCsr(coarse.p);
+        const BbcMatrix r_bbc = BbcMatrix::fromCsr(coarse.r);
+
+        out.spgemm.merge(runSpgemm(model, a_bbc, p_bbc, energy));
+
+        const CsrMatrix ap = spgemmRef(fine.a, coarse.p);
+        const BbcMatrix ap_bbc = BbcMatrix::fromCsr(ap);
+        out.spgemm.merge(runSpgemm(model, r_bbc, ap_bbc, energy));
+    }
+    return out;
+}
+
+} // namespace unistc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Maps the AMG solver's kernel mix onto STC models (§VI-D, Fig. 21):
+ * the setup phase's Galerkin SpGEMMs and the solve phase's per-cycle
+ * SpMV stream are simulated per level on each architecture, producing
+ * the SpMV/SpGEMM speedups the figure reports.
+ */
+
+#ifndef UNISTC_APPS_AMG_AMG_DRIVER_HH
+#define UNISTC_APPS_AMG_AMG_DRIVER_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/amg/amg.hh"
+#include "sim/energy.hh"
+#include "sim/result.hh"
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Per-architecture AMG workload accounting. */
+struct AmgWorkload
+{
+    RunResult spmv;   ///< All V-cycle SpMV invocations, weighted.
+    RunResult spgemm; ///< All setup-phase Galerkin SpGEMMs.
+};
+
+/**
+ * Simulate the AMG kernel stream on one architecture.
+ *
+ * @param model architecture under test.
+ * @param hierarchy a built AMG hierarchy.
+ * @param num_vcycles V-cycles to account for (solve length).
+ */
+AmgWorkload simulateAmg(const StcModel &model,
+                        const AmgHierarchy &hierarchy, int num_vcycles,
+                        const EnergyModel &energy = EnergyModel());
+
+} // namespace unistc
+
+#endif // UNISTC_APPS_AMG_AMG_DRIVER_HH

@@ -1,0 +1,47 @@
+#include "apps/bfs/bfs.hh"
+
+#include "common/logging.hh"
+#include "kernels/reference.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+
+BfsResult
+bfsSpmspv(const CsrMatrix &adj, int source)
+{
+    UNISTC_ASSERT(adj.rows() == adj.cols(), "adjacency must be square");
+    UNISTC_ASSERT(source >= 0 && source < adj.rows(),
+                  "BFS source out of range");
+    const int n = adj.rows();
+
+    // y = A^T * frontier reaches the out-neighbours of the frontier.
+    const CsrMatrix adj_t = transposeCsr(adj);
+
+    BfsResult out;
+    out.level.assign(n, -1);
+    out.level[source] = 0;
+
+    SparseVector frontier(n);
+    frontier.push(source, 1.0);
+
+    int depth = 0;
+    while (frontier.nnz() > 0) {
+        out.frontiers.push_back(frontier);
+        ++depth;
+        const SparseVector reached = spmspvRef(adj_t, frontier);
+        SparseVector next(n);
+        for (std::size_t i = 0; i < reached.idx().size(); ++i) {
+            const int v = reached.idx()[i];
+            if (out.level[v] == -1) {
+                out.level[v] = depth;
+                next.push(v, 1.0);
+            }
+        }
+        frontier = std::move(next);
+    }
+    out.iterations = depth;
+    return out;
+}
+
+} // namespace unistc

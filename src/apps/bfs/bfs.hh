@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Breadth-first search via iterated SpMSpV over the boolean semiring
+ * — the Table II workload that motivates SpMV + SpMSpV support. The
+ * frontier is a sparse vector; each iteration multiplies it by the
+ * transposed adjacency structure and masks out visited vertices.
+ */
+
+#ifndef UNISTC_APPS_BFS_BFS_HH
+#define UNISTC_APPS_BFS_BFS_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+#include "sparse/sparse_vector.hh"
+
+namespace unistc
+{
+
+/** Result of a BFS run. */
+struct BfsResult
+{
+    std::vector<int> level;              ///< -1 when unreachable.
+    std::vector<SparseVector> frontiers; ///< Frontier per iteration.
+    int iterations = 0;
+};
+
+/**
+ * BFS from @p source over the directed graph whose adjacency matrix
+ * is @p adj (edge u->v means adj(u, v) != 0). Frontier expansion is
+ * expressed as SpMSpV with the transposed adjacency so the recorded
+ * frontiers can be replayed on an STC model.
+ */
+BfsResult bfsSpmspv(const CsrMatrix &adj, int source);
+
+} // namespace unistc
+
+#endif // UNISTC_APPS_BFS_BFS_HH

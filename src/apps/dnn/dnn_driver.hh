@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DNN inference driver: runs a layer's weight GEMM on an STC model.
+ * Dense-activation inference maps to SpMM (sparse weights x dense
+ * activations); sparse-activation inference (post-ReLU / pruned
+ * attention, "convolution treated as SpGEMM" in §VI-C-2) maps to
+ * SpGEMM with a sparse activation matrix.
+ */
+
+#ifndef UNISTC_APPS_DNN_DNN_DRIVER_HH
+#define UNISTC_APPS_DNN_DNN_DRIVER_HH
+
+#include <cstdint>
+
+#include "apps/dnn/layers.hh"
+#include "sim/energy.hh"
+#include "sim/result.hh"
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Activation regime of a layer execution. */
+enum class ActivationMode
+{
+    Dense,  ///< SpMM: sparse weights x dense activations.
+    Sparse, ///< SpGEMM: sparse weights x sparse activations.
+};
+
+/**
+ * Simulate one layer on @p model.
+ *
+ * @param layer GEMM shape.
+ * @param weight_sparsity fraction of pruned weights (0.7 / 0.98).
+ * @param mode dense- or sparse-activation inference.
+ * @param activation_sparsity activation zero fraction (Sparse mode).
+ * @param seed weight/activation pattern seed.
+ */
+RunResult runDnnLayer(const StcModel &model, const DnnLayer &layer,
+                      double weight_sparsity, ActivationMode mode,
+                      double activation_sparsity, std::uint64_t seed,
+                      const EnergyModel &energy = EnergyModel());
+
+/** End-to-end inference latency projection on a full device. */
+struct InferenceLatency
+{
+    std::uint64_t makespanCycles = 0; ///< Slowest SM's cycles.
+    double latencyUs = 0.0;           ///< At the configured clock.
+    double unitUtilisation = 0.0;     ///< Device-wide STC busy share.
+    std::uint64_t bundles = 0;        ///< T1 bundles executed.
+};
+
+/**
+ * Project the dense-activation inference latency of a full layer
+ * stack (e.g. resnet50FullStack()) on Uni-STC units across the
+ * device: per layer, the SpMM UWMMA stream is generated once per
+ * activation tile and scheduled via the SM model.
+ *
+ * @param num_sms SMs on the device (A100: 108).
+ * @param stc_per_sm Uni-STC units per SM (paper: 4).
+ * @param warps concurrent warps per SM.
+ */
+InferenceLatency estimateInferenceLatency(
+    const std::vector<DnnLayerRep> &stack, double weight_sparsity,
+    const MachineConfig &cfg, int num_sms, int stc_per_sm, int warps,
+    std::uint64_t seed);
+
+} // namespace unistc
+
+#endif // UNISTC_APPS_DNN_DNN_DRIVER_HH

@@ -1,0 +1,115 @@
+#include "apps/dnn/layers.hh"
+
+#include <algorithm>
+
+namespace unistc
+{
+
+std::vector<DnnLayer>
+resnet50Layers()
+{
+    // Lowered convolution shapes (M = out channels, K = in channels x
+    // kernel area), one representative layer per residual stage; the
+    // activation tile N is fixed at 64 columns, the paper's SpMM B
+    // width.
+    return {
+        {"res50_conv1", 64, 147, 64},     // 7x7x3 stem
+        {"res50_l10", 64, 576, 64},       // layer 10: 3x3x64
+        {"res50_l22", 128, 1152, 64},     // layer 22: 3x3x128
+        {"res50_l40", 256, 2304, 64},     // layer 40: 3x3x256
+        {"res50_l49", 512, 4608, 64},     // layer 49: 3x3x512
+    };
+}
+
+std::vector<DnnLayer>
+transformerLayers()
+{
+    // Transformer-base (d_model 512, FFN 2048), 64-token tile.
+    return {
+        {"xfmr_qkv", 512, 512, 64},   // fused per-head projection
+        {"xfmr_attn_out", 512, 512, 64},
+        {"xfmr_ffn1", 2048, 512, 64},
+        {"xfmr_ffn2", 512, 2048, 64},
+    };
+}
+
+namespace
+{
+
+/** Spatial sites of each ResNet-50 stage on a 224x224 input. */
+int
+tilesFor(int spatial)
+{
+    // Sites = spatial^2; activation tiles of 64 columns each.
+    return std::max(1, spatial * spatial / 64);
+}
+
+} // namespace
+
+std::vector<DnnLayerRep>
+resnet50FullStack()
+{
+    std::vector<DnnLayerRep> stack;
+    // Stem: 7x7x3 -> 64 at 112x112.
+    stack.push_back({{"conv1", 64, 147, 64}, tilesFor(112)});
+
+    struct Stage
+    {
+        const char *name;
+        int blocks;
+        int width;   // bottleneck width (1x1 reduce / 3x3)
+        int out;     // block output channels (4x width)
+        int spatial; // output spatial resolution
+    };
+    const Stage stages[] = {
+        {"res2", 3, 64, 256, 56},
+        {"res3", 4, 128, 512, 28},
+        {"res4", 6, 256, 1024, 14},
+        {"res5", 3, 512, 2048, 7},
+    };
+
+    int in_ch = 64;
+    for (const Stage &s : stages) {
+        const int tiles = tilesFor(s.spatial);
+        for (int b = 0; b < s.blocks; ++b) {
+            const std::string base =
+                std::string(s.name) + "_" + std::to_string(b);
+            const int block_in = b == 0 ? in_ch : s.out;
+            // 1x1 reduce.
+            stack.push_back({{base + "_a", s.width, block_in, 64},
+                             tiles});
+            // 3x3.
+            stack.push_back({{base + "_b", s.width, s.width * 9, 64},
+                             tiles});
+            // 1x1 expand.
+            stack.push_back({{base + "_c", s.out, s.width, 64},
+                             tiles});
+            if (b == 0) {
+                // Projection shortcut.
+                stack.push_back({{base + "_proj", s.out, block_in,
+                                  64},
+                                 tiles});
+            }
+        }
+        in_ch = s.out;
+    }
+    return stack;
+}
+
+std::vector<DnnLayerRep>
+transformerFullStack(int num_layers, int seq_tiles)
+{
+    std::vector<DnnLayerRep> stack;
+    for (int l = 0; l < num_layers; ++l) {
+        const std::string base = "enc" + std::to_string(l);
+        stack.push_back({{base + "_qkv", 1536, 512, 64}, seq_tiles});
+        stack.push_back({{base + "_out", 512, 512, 64}, seq_tiles});
+        stack.push_back({{base + "_ffn1", 2048, 512, 64},
+                         seq_tiles});
+        stack.push_back({{base + "_ffn2", 512, 2048, 64},
+                         seq_tiles});
+    }
+    return stack;
+}
+
+} // namespace unistc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DNN inference substrate: layer descriptors for ResNet-50-shaped
+ * (convolutions lowered to GEMM via im2col) and Transformer-shaped
+ * stacks, matching the models the paper evaluates on DLMC weights
+ * (§VI-A: 70% / 98% sparsity, Fig. 17 right).
+ */
+
+#ifndef UNISTC_APPS_DNN_LAYERS_HH
+#define UNISTC_APPS_DNN_LAYERS_HH
+
+#include <string>
+#include <vector>
+
+namespace unistc
+{
+
+/** One GEMM-lowered layer: weights (M x K) x activations (K x N). */
+struct DnnLayer
+{
+    std::string name;
+    int m = 0; ///< Output channels / features.
+    int k = 0; ///< Input channels x kernel window (im2col K).
+    int n = 0; ///< Spatial sites / tokens in the activation tile.
+};
+
+/**
+ * Representative ResNet-50 layers (lowered convolutions, one per
+ * stage) at an evaluation-friendly activation tile.
+ */
+std::vector<DnnLayer> resnet50Layers();
+
+/** Representative Transformer-base layers (proj + FFN). */
+std::vector<DnnLayer> transformerLayers();
+
+/**
+ * The full ResNet-50 convolution stack lowered to GEMMs: all 53
+ * convolutions (stem + 16 bottleneck blocks of 1x1/3x3/1x1 plus the
+ * four projection shortcuts), each tagged with how many 64-column
+ * activation tiles one 224x224 inference pushes through it.
+ */
+struct DnnLayerRep
+{
+    DnnLayer layer;
+    int repeats = 1; ///< Activation tiles per inference.
+};
+std::vector<DnnLayerRep> resnet50FullStack();
+
+/** Transformer-base encoder: 6 layers x (QKV, out, FFN1, FFN2). */
+std::vector<DnnLayerRep> transformerFullStack(int num_layers = 6,
+                                              int seq_tiles = 2);
+
+} // namespace unistc
+
+#endif // UNISTC_APPS_DNN_LAYERS_HH

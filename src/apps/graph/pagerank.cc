@@ -1,0 +1,73 @@
+#include "apps/graph/pagerank.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernels/reference.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+
+CsrMatrix
+transitionTranspose(const CsrMatrix &adj)
+{
+    UNISTC_ASSERT(adj.rows() == adj.cols(),
+                  "PageRank needs a square adjacency");
+    CooMatrix coo(adj.rows(), adj.cols());
+    for (int u = 0; u < adj.rows(); ++u) {
+        const std::int64_t deg = adj.rowNnz(u);
+        if (deg == 0)
+            continue; // dangling: handled analytically
+        const double w = 1.0 / static_cast<double>(deg);
+        for (std::int64_t i = adj.rowPtr()[u]; i < adj.rowPtr()[u + 1];
+             ++i) {
+            coo.add(adj.colIdx()[i], u, w);
+        }
+    }
+    return cooToCsr(std::move(coo));
+}
+
+PageRankResult
+pageRank(const CsrMatrix &adj, double damping, double tol,
+         int max_iters)
+{
+    UNISTC_ASSERT(damping > 0.0 && damping < 1.0,
+                  "damping must lie in (0, 1)");
+    const int n = adj.rows();
+    const CsrMatrix pt = transitionTranspose(adj);
+
+    std::vector<bool> dangling(n, false);
+    for (int u = 0; u < n; ++u)
+        dangling[u] = adj.rowNnz(u) == 0;
+
+    PageRankResult out;
+    out.rank.assign(n, 1.0 / n);
+
+    for (int it = 0; it < max_iters; ++it) {
+        // Dangling mass redistributes uniformly.
+        double dangling_mass = 0.0;
+        for (int u = 0; u < n; ++u) {
+            if (dangling[u])
+                dangling_mass += out.rank[u];
+        }
+        std::vector<double> next = spmvRef(pt, out.rank);
+        const double base =
+            (1.0 - damping) / n + damping * dangling_mass / n;
+        double delta = 0.0;
+        for (int v = 0; v < n; ++v) {
+            next[v] = base + damping * next[v];
+            delta += std::fabs(next[v] - out.rank[v]);
+        }
+        out.rank = std::move(next);
+        out.iterations = it + 1;
+        out.finalDelta = delta;
+        if (delta < tol) {
+            out.converged = true;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace unistc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * PageRank by damped power iteration — the classic SpMV-iterative
+ * graph workload, rounding out the graph-application suite (BFS,
+ * SSSP, triangles). Each iteration is one SpMV with the transposed,
+ * column-stochastic adjacency, directly replayable on the STCs.
+ */
+
+#ifndef UNISTC_APPS_GRAPH_PAGERANK_HH
+#define UNISTC_APPS_GRAPH_PAGERANK_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+/** PageRank outcome. */
+struct PageRankResult
+{
+    std::vector<double> rank; ///< Sums to 1.
+    int iterations = 0;
+    double finalDelta = 0.0; ///< L1 change of the last iteration.
+    bool converged = false;
+};
+
+/**
+ * PageRank of the directed graph whose adjacency is @p adj (edge
+ * u->v means adj(u, v) != 0; weights are ignored). Dangling-node
+ * mass is redistributed uniformly.
+ *
+ * @param damping the damping factor (0.85 classically).
+ * @param tol L1 convergence tolerance.
+ */
+PageRankResult pageRank(const CsrMatrix &adj, double damping = 0.85,
+                        double tol = 1e-10, int max_iters = 200);
+
+/**
+ * The column-stochastic transition structure P^T used by the power
+ * iteration (row r of the result lists the in-neighbours of r with
+ * weight 1/outdeg). Exposed so callers can replay the per-iteration
+ * SpMV on an STC model.
+ */
+CsrMatrix transitionTranspose(const CsrMatrix &adj);
+
+} // namespace unistc
+
+#endif // UNISTC_APPS_GRAPH_PAGERANK_HH

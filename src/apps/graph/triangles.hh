@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Triangle counting via masked SpGEMM — the canonical GraphBLAS
+ * SpGEMM workload (and a GNN/graph-analytics companion to the BFS
+ * and SSSP substrates): with L the lower-triangular part of the
+ * symmetric adjacency, the triangle count is sum(L .* (L x L)).
+ */
+
+#ifndef UNISTC_APPS_GRAPH_TRIANGLES_HH
+#define UNISTC_APPS_GRAPH_TRIANGLES_HH
+
+#include <cstdint>
+
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+/** Result of a triangle count. */
+struct TriangleCount
+{
+    std::int64_t triangles = 0;
+    std::int64_t spgemmFlops = 0; ///< Intermediate products of LxL.
+};
+
+/**
+ * Count triangles of an undirected graph. @p adj is symmetrised
+ * internally (structure only; weights are ignored) and self-loops
+ * are dropped.
+ */
+TriangleCount countTriangles(const CsrMatrix &adj);
+
+} // namespace unistc
+
+#endif // UNISTC_APPS_GRAPH_TRIANGLES_HH

@@ -1,0 +1,80 @@
+#include "apps/solvers/cg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernels/reference.hh"
+#include "sparse/dense.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+} // namespace
+
+CgStats
+conjugateGradient(const CsrMatrix &a, std::vector<double> &x,
+                  const std::vector<double> &b, double tol,
+                  int max_iters, const Preconditioner &precond)
+{
+    UNISTC_ASSERT(a.rows() == a.cols(), "CG needs a square matrix");
+    UNISTC_ASSERT(x.size() == b.size() &&
+                  static_cast<int>(b.size()) == a.rows(),
+                  "CG vector size mismatch");
+
+    CgStats stats;
+    const double b_norm = std::max(norm2(b), 1e-300);
+
+    // r = b - A x.
+    std::vector<double> r = spmvRef(a, x);
+    ++stats.spmvCount;
+    for (std::size_t i = 0; i < r.size(); ++i)
+        r[i] = b[i] - r[i];
+
+    std::vector<double> z = precond ? precond(r) : r;
+    std::vector<double> p = z;
+    double rz = dot(r, z);
+
+    for (int it = 0; it < max_iters; ++it) {
+        const std::vector<double> ap = spmvRef(a, p);
+        ++stats.spmvCount;
+        const double p_ap = dot(p, ap);
+        if (p_ap == 0.0)
+            break; // breakdown: p is A-null
+        const double alpha = rz / p_ap;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+
+        const double rel = norm2(r) / b_norm;
+        stats.residualHistory.push_back(rel);
+        stats.iterations = it + 1;
+        stats.finalResidual = rel;
+        if (rel < tol) {
+            stats.converged = true;
+            break;
+        }
+
+        z = precond ? precond(r) : r;
+        const double rz_next = dot(r, z);
+        const double beta = rz_next / rz;
+        rz = rz_next;
+        for (std::size_t i = 0; i < p.size(); ++i)
+            p[i] = z[i] + beta * p[i];
+    }
+    return stats;
+}
+
+} // namespace unistc

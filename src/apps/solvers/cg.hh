@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Conjugate-gradient solver with optional preconditioning — a second
+ * SpMV-dominated solver substrate beside AMG. Composed with one AMG
+ * V-cycle as the preconditioner it forms AMG-PCG, the configuration
+ * production solvers (and the paper's AmgT/AmgR lineage) actually
+ * deploy; its kernel stream is SpMV-only and maps directly onto the
+ * STC models.
+ */
+
+#ifndef UNISTC_APPS_SOLVERS_CG_HH
+#define UNISTC_APPS_SOLVERS_CG_HH
+
+#include <functional>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+/** Outcome of a CG solve. */
+struct CgStats
+{
+    int iterations = 0;
+    double finalResidual = 0.0; ///< Relative residual norm.
+    bool converged = false;
+    std::vector<double> residualHistory;
+    std::int64_t spmvCount = 0; ///< SpMV invocations performed.
+};
+
+/**
+ * Preconditioner: z = M^-1 r. The identity (no preconditioning) is
+ * the default; AMG-PCG passes one V-cycle.
+ */
+using Preconditioner =
+    std::function<std::vector<double>(const std::vector<double> &)>;
+
+/**
+ * Solve A x = b with (preconditioned) conjugate gradients. A must be
+ * symmetric positive definite.
+ *
+ * @param x initial guess on entry, solution on exit.
+ * @param tol relative residual tolerance.
+ * @param max_iters iteration cap.
+ * @param precond optional preconditioner (identity when empty).
+ */
+CgStats conjugateGradient(const CsrMatrix &a, std::vector<double> &x,
+                          const std::vector<double> &b, double tol,
+                          int max_iters,
+                          const Preconditioner &precond = {});
+
+} // namespace unistc
+
+#endif // UNISTC_APPS_SOLVERS_CG_HH

@@ -1,0 +1,104 @@
+#include "bbc/bbc_io.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x4242432D53544331ull; // "BBC-STC1"
+
+template <typename T>
+void
+writeVec(std::ostream &out, const std::vector<T> &v)
+{
+    const std::uint64_t n = v.size();
+    out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char *>(v.data()),
+              static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::istream &in)
+{
+    std::uint64_t n = 0;
+    in.read(reinterpret_cast<char *>(&n), sizeof(n));
+    std::vector<T> v(n);
+    in.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    return v;
+}
+
+} // namespace
+
+void
+saveBbcFile(const std::string &path, const BbcMatrix &m)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        UNISTC_FATAL("cannot open '", path, "' for writing");
+
+    out.write(reinterpret_cast<const char *>(&kMagic), sizeof(kMagic));
+    const std::int32_t shape[2] = {m.rows(), m.cols()};
+    out.write(reinterpret_cast<const char *>(shape), sizeof(shape));
+
+    writeVec(out, m.rowPtr());
+    writeVec(out, m.colIdx());
+    writeVec(out, m.lv1());
+    writeVec(out, m.lv2());
+    writeVec(out, m.valPtrLv1());
+    writeVec(out, m.valPtrLv2());
+    writeVec(out, m.vals());
+    if (!out)
+        UNISTC_FATAL("write failure on '", path, "'");
+}
+
+BbcMatrix
+loadBbcFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        UNISTC_FATAL("cannot open '", path, "' for reading");
+
+    std::uint64_t magic = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    if (magic != kMagic)
+        UNISTC_FATAL("'", path, "' is not a BBC file");
+    std::int32_t shape[2] = {0, 0};
+    in.read(reinterpret_cast<char *>(shape), sizeof(shape));
+
+    BbcMatrix m;
+    m.rows_ = shape[0];
+    m.cols_ = shape[1];
+    m.blockRows_ = (shape[0] + kBlockSize - 1) / kBlockSize;
+    m.blockCols_ = (shape[1] + kBlockSize - 1) / kBlockSize;
+    m.rowPtr_ = readVec<std::int64_t>(in);
+    m.colIdx_ = readVec<int>(in);
+    m.lv1_ = readVec<std::uint16_t>(in);
+    m.lv2_ = readVec<std::uint16_t>(in);
+    m.valPtrLv1_ = readVec<std::int64_t>(in);
+    m.valPtrLv2_ = readVec<std::uint8_t>(in);
+    m.vals_ = readVec<double>(in);
+    if (!in)
+        UNISTC_FATAL("read failure on '", path, "'");
+
+    // Rebuild the derived tile-base prefix sums.
+    m.tileBase_.clear();
+    m.tileBase_.reserve(m.colIdx_.size());
+    std::int64_t tiles = 0;
+    for (std::size_t blk = 0; blk < m.colIdx_.size(); ++blk) {
+        m.tileBase_.push_back(tiles);
+        tiles += popcount16(m.lv1_[blk]);
+    }
+    m.validate();
+    return m;
+}
+
+} // namespace unistc

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Binary save/load of BBC matrices. §IV-D notes the one-time encoding
+ * cost "can be entirely eliminated for frequently used matrices by
+ * saving and reloading them via implemented file I/O function" — this
+ * is that function.
+ */
+
+#ifndef UNISTC_BBC_BBC_IO_HH
+#define UNISTC_BBC_BBC_IO_HH
+
+#include <string>
+
+#include "bbc/bbc_matrix.hh"
+
+namespace unistc
+{
+
+/** Serialise a BBC matrix to a binary file. Aborts on I/O failure. */
+void saveBbcFile(const std::string &path, const BbcMatrix &m);
+
+/** Load a BBC matrix previously written by saveBbcFile. */
+BbcMatrix loadBbcFile(const std::string &path);
+
+} // namespace unistc
+
+#endif // UNISTC_BBC_BBC_IO_HH

@@ -1,0 +1,234 @@
+#include "bbc/bbc_matrix.hh"
+
+#include <map>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+
+BbcMatrix
+BbcMatrix::fromCsr(const CsrMatrix &csr)
+{
+    BbcMatrix out;
+    out.rows_ = csr.rows();
+    out.cols_ = csr.cols();
+    out.blockRows_ =
+        static_cast<int>(ceilDiv(csr.rows(), kBlockSize));
+    out.blockCols_ =
+        static_cast<int>(ceilDiv(csr.cols(), kBlockSize));
+
+    // Pass 1: collect per-block patterns and per-element values keyed
+    // by block coordinates. A map keeps block columns sorted per row.
+    struct BlockBuild
+    {
+        BlockPattern pattern;
+        std::array<double, kBlockSize * kBlockSize> dense{};
+    };
+    std::vector<std::map<int, BlockBuild>> brow(out.blockRows_);
+    for (int r = 0; r < csr.rows(); ++r) {
+        const int br = r / kBlockSize;
+        const int lr = r % kBlockSize;
+        for (std::int64_t i = csr.rowPtr()[r]; i < csr.rowPtr()[r + 1];
+             ++i) {
+            const int c = csr.colIdx()[i];
+            const int bc = c / kBlockSize;
+            const int lc = c % kBlockSize;
+            auto &blk = brow[br][bc];
+            blk.pattern.set(lr, lc);
+            blk.dense[lr * kBlockSize + lc] = csr.vals()[i];
+        }
+    }
+
+    // Pass 2: emit the BBC arrays. Values go tile-by-tile (row-major
+    // tile order) and row-major inside each tile, matching ValPtr_Lv2.
+    out.rowPtr_.assign(out.blockRows_ + 1, 0);
+    for (int br = 0; br < out.blockRows_; ++br) {
+        out.rowPtr_[br + 1] = out.rowPtr_[br] +
+            static_cast<std::int64_t>(brow[br].size());
+        for (auto &[bc, blk] : brow[br]) {
+            out.colIdx_.push_back(bc);
+            const std::uint16_t lv1 = blk.pattern.tileBitmap();
+            out.lv1_.push_back(lv1);
+            out.tileBase_.push_back(
+                static_cast<std::int64_t>(out.lv2_.size()));
+            out.valPtrLv1_.push_back(
+                static_cast<std::int64_t>(out.vals_.size()));
+
+            int block_offset = 0;
+            forEachSetBit(lv1, [&](int tile_bit) {
+                const int ti = tile_bit / kTilesPerEdge;
+                const int tj = tile_bit % kTilesPerEdge;
+                const std::uint16_t lv2 = blk.pattern.tilePattern(ti, tj);
+                out.lv2_.push_back(lv2);
+                out.valPtrLv2_.push_back(
+                    static_cast<std::uint8_t>(block_offset));
+                forEachSetBit(lv2, [&](int elem_bit) {
+                    const int lr = ti * kTileSize +
+                        elem_bit / kTileSize;
+                    const int lc = tj * kTileSize +
+                        elem_bit % kTileSize;
+                    out.vals_.push_back(blk.dense[lr * kBlockSize + lc]);
+                });
+                block_offset += popcount16(lv2);
+            });
+        }
+    }
+    out.validate();
+    return out;
+}
+
+CsrMatrix
+BbcMatrix::toCsr() const
+{
+    CooMatrix coo(rows_, cols_);
+    for (std::int64_t blk = 0; blk < numBlocks(); ++blk) {
+        const BbcBlockView view = blockView(blk);
+        const auto dense = blockDense(blk);
+        for (int lr = 0; lr < kBlockSize; ++lr) {
+            for (int lc = 0; lc < kBlockSize; ++lc) {
+                if (view.pattern.test(lr, lc)) {
+                    coo.add(view.blockRow * kBlockSize + lr,
+                            view.blockCol * kBlockSize + lc,
+                            dense[lr * kBlockSize + lc]);
+                }
+            }
+        }
+    }
+    return cooToCsr(std::move(coo));
+}
+
+int
+BbcMatrix::blockTileCount(std::int64_t blk) const
+{
+    return popcount16(lv1_[blk]);
+}
+
+BlockPattern
+BbcMatrix::blockPattern(std::int64_t blk) const
+{
+    BlockPattern p;
+    const std::int64_t base = tileBase_[blk];
+    int tile_i = 0;
+    forEachSetBit(lv1_[blk], [&](int tile_bit) {
+        const int ti = tile_bit / kTilesPerEdge;
+        const int tj = tile_bit % kTilesPerEdge;
+        const std::uint16_t lv2 = lv2_[base + tile_i];
+        forEachSetBit(lv2, [&](int elem_bit) {
+            p.set(ti * kTileSize + elem_bit / kTileSize,
+                  tj * kTileSize + elem_bit % kTileSize);
+        });
+        ++tile_i;
+    });
+    return p;
+}
+
+BbcBlockView
+BbcMatrix::blockView(std::int64_t blk) const
+{
+    BbcBlockView view;
+    // Find the block row by scanning rowPtr (blocks are dense enough
+    // that callers iterate rows anyway; this is for random access).
+    int br = 0;
+    while (rowPtr_[br + 1] <= blk)
+        ++br;
+    view.blockRow = br;
+    view.blockCol = colIdx_[blk];
+    view.lv1 = lv1_[blk];
+    view.pattern = blockPattern(blk);
+    view.valBase = valPtrLv1_[blk];
+    return view;
+}
+
+std::array<double, kBlockSize * kBlockSize>
+BbcMatrix::blockDense(std::int64_t blk) const
+{
+    std::array<double, kBlockSize * kBlockSize> dense{};
+    const std::int64_t tbase = tileBase_[blk];
+    const std::int64_t vbase = valPtrLv1_[blk];
+    int tile_i = 0;
+    forEachSetBit(lv1_[blk], [&](int tile_bit) {
+        const int ti = tile_bit / kTilesPerEdge;
+        const int tj = tile_bit % kTilesPerEdge;
+        const std::uint16_t lv2 = lv2_[tbase + tile_i];
+        std::int64_t v = vbase + valPtrLv2_[tbase + tile_i];
+        forEachSetBit(lv2, [&](int elem_bit) {
+            const int lr = ti * kTileSize + elem_bit / kTileSize;
+            const int lc = tj * kTileSize + elem_bit % kTileSize;
+            dense[lr * kBlockSize + lc] = vals_[v++];
+        });
+        ++tile_i;
+    });
+    return dense;
+}
+
+double
+BbcMatrix::nnzPerBlock() const
+{
+    if (numBlocks() == 0)
+        return 0.0;
+    return static_cast<double>(nnz()) /
+        static_cast<double>(numBlocks());
+}
+
+std::uint64_t
+BbcMatrix::storageBytes() const
+{
+    return metadataBytes() +
+        static_cast<std::uint64_t>(vals_.size()) * 8;
+}
+
+std::uint64_t
+BbcMatrix::metadataBytes() const
+{
+    return static_cast<std::uint64_t>(rowPtr_.size()) * 8 +
+        static_cast<std::uint64_t>(colIdx_.size()) * 4 +
+        static_cast<std::uint64_t>(lv1_.size()) * 2 +
+        static_cast<std::uint64_t>(lv2_.size()) * 2 +
+        static_cast<std::uint64_t>(valPtrLv1_.size()) * 4 +
+        static_cast<std::uint64_t>(valPtrLv2_.size()) * 1;
+}
+
+void
+BbcMatrix::validate() const
+{
+    UNISTC_ASSERT(static_cast<int>(rowPtr_.size()) == blockRows_ + 1,
+                  "BBC rowPtr size mismatch");
+    UNISTC_ASSERT(rowPtr_.back() ==
+                  static_cast<std::int64_t>(colIdx_.size()),
+                  "BBC rowPtr back != block count");
+    UNISTC_ASSERT(lv1_.size() == colIdx_.size(),
+                  "BBC lv1 size != block count");
+    UNISTC_ASSERT(valPtrLv1_.size() == colIdx_.size(),
+                  "BBC valPtrLv1 size != block count");
+    UNISTC_ASSERT(tileBase_.size() == colIdx_.size(),
+                  "BBC tileBase size != block count");
+    UNISTC_ASSERT(lv2_.size() == valPtrLv2_.size(),
+                  "BBC lv2/valPtrLv2 size mismatch");
+
+    std::int64_t tiles = 0;
+    std::int64_t values = 0;
+    for (std::size_t blk = 0; blk < colIdx_.size(); ++blk) {
+        UNISTC_ASSERT(lv1_[blk] != 0, "BBC stored an empty block");
+        UNISTC_ASSERT(tileBase_[blk] == tiles,
+                      "BBC tileBase prefix mismatch at block ", blk);
+        UNISTC_ASSERT(valPtrLv1_[blk] == values,
+                      "BBC valPtrLv1 prefix mismatch at block ", blk);
+        int block_vals = 0;
+        forEachSetBit(lv1_[blk], [&](int) {
+            const std::uint16_t lv2 = lv2_[tiles];
+            UNISTC_ASSERT(lv2 != 0, "BBC stored an empty tile");
+            UNISTC_ASSERT(valPtrLv2_[tiles] == block_vals,
+                          "BBC valPtrLv2 offset mismatch");
+            block_vals += popcount16(lv2);
+            ++tiles;
+        });
+        values += block_vals;
+    }
+    UNISTC_ASSERT(values == static_cast<std::int64_t>(vals_.size()),
+                  "BBC value count mismatch");
+}
+
+} // namespace unistc

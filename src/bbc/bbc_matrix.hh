@@ -1,0 +1,134 @@
+/**
+ * @file
+ * BBC (Bitmap-Bitmap-CSR) — the paper's unified sparse format (§IV-D).
+ *
+ * Outer level: CSR over nonzero 16x16 blocks (RowPtr / ColIdx).
+ * Inner level, per block:
+ *   - BitMap_Lv1 (16 bits): which of the 16 4x4 tiles hold nonzeros;
+ *   - BitMap_Lv2 (16 bits per nonzero tile): element positions inside
+ *     the tile, row-major;
+ *   - ValPtr_Lv1 (per block): base offset into the value array;
+ *   - ValPtr_Lv2 (per nonzero tile): offset of the tile's first value
+ *     relative to the block base (fits in one byte: <= 255).
+ * Values are stored tile-by-tile (tiles in row-major order), row-major
+ * within each tile.
+ */
+
+#ifndef UNISTC_BBC_BBC_MATRIX_HH
+#define UNISTC_BBC_BBC_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bbc/block_pattern.hh"
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+/** Per-block view handed to the simulator and the numeric executor. */
+struct BbcBlockView
+{
+    int blockRow = 0;          ///< Block-row coordinate.
+    int blockCol = 0;          ///< Block-column coordinate.
+    std::uint16_t lv1 = 0;     ///< Tile bitmap.
+    BlockPattern pattern;      ///< Full 16x16 structural pattern.
+    std::int64_t valBase = 0;  ///< Offset of first value in value array.
+};
+
+/** Sparse matrix in BBC format. */
+class BbcMatrix
+{
+  public:
+    BbcMatrix() = default;
+
+    /** Convert from CSR (the one-time software encoding of §IV-D). */
+    static BbcMatrix fromCsr(const CsrMatrix &csr);
+
+    /** Exact back-conversion (round-trip tested). */
+    CsrMatrix toCsr() const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int blockRows() const { return blockRows_; }
+    int blockCols() const { return blockCols_; }
+    std::int64_t nnz() const
+    {
+        return static_cast<std::int64_t>(vals_.size());
+    }
+    std::int64_t numBlocks() const
+    {
+        return static_cast<std::int64_t>(colIdx_.size());
+    }
+
+    const std::vector<std::int64_t> &rowPtr() const { return rowPtr_; }
+    const std::vector<int> &colIdx() const { return colIdx_; }
+    const std::vector<std::uint16_t> &lv1() const { return lv1_; }
+    const std::vector<std::uint16_t> &lv2() const { return lv2_; }
+    const std::vector<std::int64_t> &valPtrLv1() const
+    {
+        return valPtrLv1_;
+    }
+    const std::vector<std::uint8_t> &valPtrLv2() const
+    {
+        return valPtrLv2_;
+    }
+    const std::vector<double> &vals() const { return vals_; }
+
+    /** Number of nonzero tiles in block @p blk. */
+    int blockTileCount(std::int64_t blk) const;
+
+    /** Offset of block @p blk's first Lv2 word / ValPtr_Lv2 entry. */
+    std::int64_t tileBase(std::int64_t blk) const
+    {
+        return tileBase_[blk];
+    }
+
+    /** Reconstruct the full structural pattern of block @p blk. */
+    BlockPattern blockPattern(std::int64_t blk) const;
+
+    /** Structured view of block @p blk (pattern + coordinates). */
+    BbcBlockView blockView(std::int64_t blk) const;
+
+    /** Dense 16x16 values of block @p blk, row-major. */
+    std::array<double, kBlockSize * kBlockSize>
+    blockDense(std::int64_t blk) const;
+
+    /** Average nonzeros per stored block (Fig. 15 x-axis "NnzPB"). */
+    double nnzPerBlock() const;
+
+    /**
+     * Storage footprint in bytes: 8B block-row pointers, 4B block
+     * column indices, 2B Lv1 bitmaps, 2B Lv2 bitmaps, 4B ValPtr_Lv1,
+     * 1B ValPtr_Lv2, 8B values — the Fig. 15 accounting.
+     */
+    std::uint64_t storageBytes() const;
+
+    /** Index-structure bytes only (everything except values). */
+    std::uint64_t metadataBytes() const;
+
+    /** Abort when any invariant is violated. */
+    void validate() const;
+
+  private:
+    friend BbcMatrix loadBbcFile(const std::string &path);
+
+    int rows_ = 0;
+    int cols_ = 0;
+    int blockRows_ = 0;
+    int blockCols_ = 0;
+
+    std::vector<std::int64_t> rowPtr_{0}; ///< CSR over block rows.
+    std::vector<int> colIdx_;             ///< Block columns.
+    std::vector<std::uint16_t> lv1_;      ///< Tile bitmap per block.
+    std::vector<std::int64_t> tileBase_;  ///< Prefix sums of tile counts.
+    std::vector<std::uint16_t> lv2_;      ///< Element bitmap per tile.
+    std::vector<std::int64_t> valPtrLv1_; ///< Value base per block.
+    std::vector<std::uint8_t> valPtrLv2_; ///< Value offset per tile.
+    std::vector<double> vals_;            ///< Nonzero values.
+};
+
+} // namespace unistc
+
+#endif // UNISTC_BBC_BBC_MATRIX_HH

@@ -1,0 +1,178 @@
+#include "bbc/block_pattern.hh"
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace unistc
+{
+
+BlockPattern
+BlockPattern::dense()
+{
+    BlockPattern p;
+    for (int r = 0; r < kBlockSize; ++r)
+        p.rows_[r] = 0xFFFFu;
+    return p;
+}
+
+BlockPattern
+BlockPattern::random(Rng &rng, double density)
+{
+    BlockPattern p;
+    for (int r = 0; r < kBlockSize; ++r) {
+        for (int c = 0; c < kBlockSize; ++c) {
+            if (rng.nextBool(density))
+                p.set(r, c);
+        }
+    }
+    return p;
+}
+
+std::uint16_t
+BlockPattern::colBits(int c) const
+{
+    std::uint16_t out = 0;
+    for (int r = 0; r < kBlockSize; ++r) {
+        if (test(r, c))
+            out = setBit(out, r);
+    }
+    return out;
+}
+
+int
+BlockPattern::nnz() const
+{
+    int n = 0;
+    for (int r = 0; r < kBlockSize; ++r)
+        n += popcount16(rows_[r]);
+    return n;
+}
+
+bool
+BlockPattern::empty() const
+{
+    for (int r = 0; r < kBlockSize; ++r) {
+        if (rows_[r])
+            return false;
+    }
+    return true;
+}
+
+std::uint16_t
+BlockPattern::tileBitmap() const
+{
+    std::uint16_t out = 0;
+    for (int ti = 0; ti < kTilesPerEdge; ++ti) {
+        for (int tj = 0; tj < kTilesPerEdge; ++tj) {
+            if (tilePattern(ti, tj))
+                out = setBit(out, bit4x4(ti, tj));
+        }
+    }
+    return out;
+}
+
+std::uint16_t
+BlockPattern::tilePattern(int ti, int tj) const
+{
+    std::uint16_t out = 0;
+    for (int lr = 0; lr < kTileSize; ++lr) {
+        const std::uint16_t row = rows_[ti * kTileSize + lr];
+        const std::uint16_t nib =
+            static_cast<std::uint16_t>((row >> (tj * kTileSize)) & 0xFu);
+        out = static_cast<std::uint16_t>(out | (nib << (lr * 4)));
+    }
+    return out;
+}
+
+int
+BlockPattern::tileNnz(int ti, int tj) const
+{
+    return popcount16(tilePattern(ti, tj));
+}
+
+BlockPattern
+BlockPattern::transposed() const
+{
+    BlockPattern out;
+    for (int r = 0; r < kBlockSize; ++r) {
+        for (int c = 0; c < kBlockSize; ++c) {
+            if (test(r, c))
+                out.set(c, r);
+        }
+    }
+    return out;
+}
+
+BlockPattern
+BlockPattern::unionWith(const BlockPattern &other) const
+{
+    BlockPattern out;
+    for (int r = 0; r < kBlockSize; ++r) {
+        out.rows_[r] =
+            static_cast<std::uint16_t>(rows_[r] | other.rows_[r]);
+    }
+    return out;
+}
+
+BlockPattern
+blockProductPattern(const BlockPattern &a, const BlockPattern &b)
+{
+    BlockPattern c;
+    for (int r = 0; r < kBlockSize; ++r) {
+        std::uint16_t out_row = 0;
+        const std::uint16_t a_row = a.rowBits(r);
+        for (int k = 0; k < kBlockSize; ++k) {
+            if ((a_row >> k) & 1u)
+                out_row = static_cast<std::uint16_t>(out_row |
+                                                     b.rowBits(k));
+        }
+        for (int c2 = 0; c2 < kBlockSize; ++c2) {
+            if ((out_row >> c2) & 1u)
+                c.set(r, c2);
+        }
+    }
+    return c;
+}
+
+int
+blockProductCount(const BlockPattern &a, const BlockPattern &b)
+{
+    int total = 0;
+    for (int k = 0; k < kBlockSize; ++k)
+        total += popcount16(a.colBits(k)) * popcount16(b.rowBits(k));
+    return total;
+}
+
+std::uint16_t
+blockMvPattern(const BlockPattern &a, std::uint16_t x_mask)
+{
+    std::uint16_t y = 0;
+    for (int r = 0; r < kBlockSize; ++r) {
+        if (a.rowBits(r) & x_mask)
+            y = setBit(y, r);
+    }
+    return y;
+}
+
+int
+blockMvProductCount(const BlockPattern &a, std::uint16_t x_mask)
+{
+    int total = 0;
+    for (int r = 0; r < kBlockSize; ++r)
+        total += popcount16(static_cast<std::uint16_t>(a.rowBits(r) &
+                                                       x_mask));
+    return total;
+}
+
+BlockPattern
+vectorAsBlock(std::uint16_t x_mask)
+{
+    BlockPattern b;
+    for (int k = 0; k < kBlockSize; ++k) {
+        if ((x_mask >> k) & 1u)
+            b.set(k, 0);
+    }
+    return b;
+}
+
+} // namespace unistc

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Bit-manipulation helpers mirroring the simple hardware primitives the
+ * paper's functional units rely on (popcounts, prefix sums over bitmap
+ * words, per-bit iteration). All operate on 16-bit words because every
+ * bitmap in Uni-STC (tile-level and element-level) is a 4x4 = 16-bit map.
+ */
+
+#ifndef UNISTC_COMMON_BITOPS_HH
+#define UNISTC_COMMON_BITOPS_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace unistc
+{
+
+/** Number of set bits in a 16-bit bitmap word. */
+inline int
+popcount16(std::uint16_t v)
+{
+    return std::popcount(v);
+}
+
+/** Number of set bits in a 64-bit word. */
+inline int
+popcount64(std::uint64_t v)
+{
+    return std::popcount(v);
+}
+
+/** True when bit @p idx (0 = LSB) is set. */
+inline bool
+testBit(std::uint16_t v, int idx)
+{
+    return (v >> idx) & 1u;
+}
+
+/** Return @p v with bit @p idx set. */
+inline std::uint16_t
+setBit(std::uint16_t v, int idx)
+{
+    return static_cast<std::uint16_t>(v | (1u << idx));
+}
+
+/**
+ * Rank of a set bit: number of set bits strictly below position @p idx.
+ * This is the hardware prefix-sum primitive the DPG uses to map a
+ * bitmap position to a compacted value-array offset.
+ */
+inline int
+bitRank(std::uint16_t v, int idx)
+{
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((1u << idx) - 1u);
+    return std::popcount(static_cast<std::uint16_t>(v & mask));
+}
+
+/** Index (0 = LSB) of the n-th (0-based) set bit; -1 when absent. */
+inline int
+selectBit(std::uint16_t v, int n)
+{
+    for (int i = 0; i < 16; ++i) {
+        if (testBit(v, i)) {
+            if (n == 0)
+                return i;
+            --n;
+        }
+    }
+    return -1;
+}
+
+/**
+ * Exclusive prefix-sum of set bits across a 16-entry bitmap, i.e. the
+ * compacted offset of every position. Models the prefix-sum units that
+ * the paper says drive task dispatch and vector concatenation.
+ */
+inline std::array<int, 16>
+exclusivePrefixRanks(std::uint16_t v)
+{
+    std::array<int, 16> out{};
+    int running = 0;
+    for (int i = 0; i < 16; ++i) {
+        out[i] = running;
+        if (testBit(v, i))
+            ++running;
+    }
+    return out;
+}
+
+/** Call @p fn(bitIndex) for every set bit, LSB first. */
+template <typename Fn>
+inline void
+forEachSetBit(std::uint16_t v, Fn &&fn)
+{
+    while (v) {
+        const int idx = std::countr_zero(v);
+        fn(idx);
+        v = static_cast<std::uint16_t>(v & (v - 1u));
+    }
+}
+
+/**
+ * Interpret a 16-bit word as a 4x4 map in row-major order
+ * (bit = r*4 + c) and extract row @p r as a 4-bit value.
+ */
+inline std::uint16_t
+row4(std::uint16_t v, int r)
+{
+    return static_cast<std::uint16_t>((v >> (4 * r)) & 0xFu);
+}
+
+/** Extract column @p c of a row-major 4x4 bitmap as a 4-bit value. */
+inline std::uint16_t
+col4(std::uint16_t v, int c)
+{
+    std::uint16_t out = 0;
+    for (int r = 0; r < 4; ++r) {
+        if (testBit(v, r * 4 + c))
+            out = setBit(out, r);
+    }
+    return out;
+}
+
+/** Bit index of (r, c) inside a row-major 4x4 bitmap. */
+inline int
+bit4x4(int r, int c)
+{
+    return r * 4 + c;
+}
+
+/** Transpose a row-major 4x4 bitmap. */
+inline std::uint16_t
+transpose4x4(std::uint16_t v)
+{
+    std::uint16_t out = 0;
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            if (testBit(v, bit4x4(r, c)))
+                out = setBit(out, bit4x4(c, r));
+        }
+    }
+    return out;
+}
+
+/** Ceiling division for non-negative integers. */
+inline std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace unistc
+
+#endif // UNISTC_COMMON_BITOPS_HH

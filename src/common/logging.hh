@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * fatal() is for user-caused conditions the simulator cannot recover
+ * from (bad configuration, malformed input files); panic() is for
+ * conditions that indicate a bug in the simulator itself; warn() and
+ * inform() report status without stopping the run.
+ */
+
+#ifndef UNISTC_COMMON_LOGGING_HH
+#define UNISTC_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace unistc
+{
+
+namespace detail
+{
+
+/** Terminate after printing a user-level error message. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Abort after printing an internal-error message. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Concatenate a parameter pack into one string via an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return {};
+    } else {
+        std::ostringstream os;
+        (os << ... << std::forward<Args>(args));
+        return os.str();
+    }
+}
+
+} // namespace detail
+
+} // namespace unistc
+
+#define UNISTC_FATAL(...) \
+    ::unistc::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::unistc::detail::concat(__VA_ARGS__))
+
+#define UNISTC_PANIC(...) \
+    ::unistc::detail::panicImpl(__FILE__, __LINE__, \
+                                ::unistc::detail::concat(__VA_ARGS__))
+
+#define UNISTC_WARN(...) \
+    ::unistc::detail::warnImpl(::unistc::detail::concat(__VA_ARGS__))
+
+#define UNISTC_INFORM(...) \
+    ::unistc::detail::informImpl(::unistc::detail::concat(__VA_ARGS__))
+
+/** Simulator-bug assertion: active in all build types. */
+#define UNISTC_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            UNISTC_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // UNISTC_COMMON_LOGGING_HH

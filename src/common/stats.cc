@@ -1,0 +1,154 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+RunningStat::min() const
+{
+    UNISTC_ASSERT(count_ > 0, "min() on empty RunningStat");
+    return min_;
+}
+
+double
+RunningStat::max() const
+{
+    UNISTC_ASSERT(count_ > 0, "max() on empty RunningStat");
+    return max_;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+Histogram::Histogram(int buckets, double lo, double hi)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    UNISTC_ASSERT(buckets > 0 && hi > lo, "bad histogram shape");
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    UNISTC_ASSERT(!counts_.empty(), "add() on default histogram");
+    const double width = (hi_ - lo_) / counts_.size();
+    int b = static_cast<int>(std::floor((x - lo_) / width));
+    b = std::clamp(b, 0, static_cast<int>(counts_.size()) - 1);
+    counts_[b] += weight;
+    total_ += weight;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.counts_.empty())
+        return;
+    if (counts_.empty()) {
+        *this = other;
+        return;
+    }
+    UNISTC_ASSERT(counts_.size() == other.counts_.size() &&
+                  lo_ == other.lo_ && hi_ == other.hi_,
+                  "merging differently shaped histograms");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+void
+Histogram::scale(std::uint64_t factor)
+{
+    for (auto &c : counts_)
+        c *= factor;
+    total_ *= factor;
+}
+
+double
+Histogram::bucketFraction(int b) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(b)) /
+        static_cast<double>(total_);
+}
+
+double
+Histogram::bucketLo(int b) const
+{
+    const double width = (hi_ - lo_) / counts_.size();
+    return lo_ + b * width;
+}
+
+double
+Histogram::bucketHi(int b) const
+{
+    const double width = (hi_ - lo_) / counts_.size();
+    return lo_ + (b + 1) * width;
+}
+
+void
+GeoMean::add(double x)
+{
+    if (x <= 0.0)
+        return;
+    logSum_ += std::log(x);
+    ++count_;
+}
+
+double
+GeoMean::value() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return std::exp(logSum_ / static_cast<double>(count_));
+}
+
+double
+quantile(std::vector<double> values, double q)
+{
+    UNISTC_ASSERT(!values.empty(), "quantile of empty sample");
+    UNISTC_ASSERT(q >= 0.0 && q <= 1.0, "quantile q out of range");
+    std::sort(values.begin(), values.end());
+    const double pos = q * (values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - lo;
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+} // namespace unistc

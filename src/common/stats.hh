@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Light-weight statistics accumulators used by the simulator and the
+ * benchmark harnesses: running min/mean/max, fixed-bucket histograms
+ * (e.g. the 4-bucket MAC-utilisation breakdown in the paper's Fig. 5),
+ * and geometric-mean accumulation for speedup aggregation.
+ */
+
+#ifndef UNISTC_COMMON_STATS_HH
+#define UNISTC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unistc
+{
+
+/** Running scalar statistic: count, sum, min, max, mean. */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the statistic. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram over equal-width buckets covering [lo, hi). Samples below
+ * lo clamp to the first bucket; samples >= hi clamp to the last, so the
+ * total count always equals the number of add() calls.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** @param buckets number of buckets; @param lo/@param hi range. */
+    Histogram(int buckets, double lo, double hi);
+
+    /** Add @p weight samples of value @p x. */
+    void add(double x, std::uint64_t weight = 1);
+
+    /** Merge a same-shaped histogram. */
+    void merge(const Histogram &other);
+
+    /** Multiply every bucket count by @p factor. */
+    void scale(std::uint64_t factor);
+
+    int numBuckets() const { return static_cast<int>(counts_.size()); }
+    std::uint64_t bucketCount(int b) const { return counts_.at(b); }
+    std::uint64_t totalCount() const { return total_; }
+
+    /** Fraction of samples in bucket @p b (0 when empty). */
+    double bucketFraction(int b) const;
+
+    /** Inclusive lower edge of bucket @p b. */
+    double bucketLo(int b) const;
+
+    /** Exclusive upper edge of bucket @p b. */
+    double bucketHi(int b) const;
+
+  private:
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** Geometric-mean accumulator (log-domain; ignores non-positive input). */
+class GeoMean
+{
+  public:
+    /** Fold one positive ratio into the mean. */
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double value() const;
+
+  private:
+    double logSum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Quantile of a sample vector (copies + sorts; linear interpolation). */
+double quantile(std::vector<double> values, double q);
+
+} // namespace unistc
+
+#endif // UNISTC_COMMON_STATS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * DLMC-style pruned-weight generator. The paper evaluates DNN
+ * inference on 302 DLMC weight matrices at 70% and 98% sparsity;
+ * DLMC holds unstructured magnitude-pruned weights, which this
+ * generator reproduces as i.i.d. keep-masks with mild per-row
+ * balance (magnitude pruning keeps row populations close to the
+ * global keep rate).
+ */
+
+#ifndef UNISTC_CORPUS_DLMC_HH
+#define UNISTC_CORPUS_DLMC_HH
+
+#include <cstdint>
+
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+/**
+ * Pruned weight matrix of shape rows x cols with the given sparsity
+ * (fraction of zeros, e.g. 0.7 or 0.98). Every row keeps at least
+ * one weight, matching pruned checkpoints that never empty a neuron.
+ */
+CsrMatrix genPrunedWeights(int rows, int cols, double sparsity,
+                           std::uint64_t seed);
+
+/**
+ * 2:4 structured-pruned weights: exactly two survivors in every
+ * 4-wide group of each row (50% sparsity, the A100 Sparse Tensor
+ * Core's supported pattern). @p cols must be a multiple of 4.
+ */
+CsrMatrix genStructured24(int rows, int cols, std::uint64_t seed);
+
+} // namespace unistc
+
+#endif // UNISTC_CORPUS_DLMC_HH

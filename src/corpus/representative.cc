@@ -1,0 +1,47 @@
+#include "corpus/representative.hh"
+
+#include "common/logging.hh"
+#include "corpus/generators.hh"
+
+namespace unistc
+{
+
+std::vector<NamedMatrix>
+representativeMatrices()
+{
+    std::vector<NamedMatrix> out;
+    // Family and parameter choices (per Table VII's plots):
+    //  consph     FEM sphere: medium band, moderate fill.
+    //  shipsec1   FEM ship section: wider band, similar fill.
+    //  crankseg_2 FEM with long rows from constraint coupling.
+    //  cant       FEM cantilever: narrow band, high fill near diag.
+    //  opt1       optimisation KKT: small, blocky and dense-ish.
+    //  pdb1HYS    protein: dense clusters (blocky).
+    //  pwtk       wind tunnel: regular band, high fill.
+    //  gupta3     nearly dense rows: the extreme density outlier.
+    out.push_back({"consph", genBanded(2048, 28, 0.28, 101)});
+    out.push_back({"shipsec1", genBanded(2304, 44, 0.26, 102)});
+    out.push_back({"crankseg_2",
+                   genFemLongRows(1536, 22, 0.44, 8, 0.15, 0.95,
+                                  103)});
+    out.push_back({"cant", genBanded(1792, 18, 0.55, 104)});
+    out.push_back({"opt1", genBlockDense(1024, 16, 0.35, 0.34, 105)});
+    out.push_back({"pdb1HYS",
+                   genBlockDense(1280, 24, 0.30, 0.50, 106)});
+    out.push_back({"pwtk", genBanded(2048, 24, 0.58, 107)});
+    out.push_back({"gupta3",
+                   genArrow(1024, 96, 0.58, 10, 0.85, 108)});
+    return out;
+}
+
+CsrMatrix
+representativeMatrix(const std::string &name)
+{
+    for (auto &nm : representativeMatrices()) {
+        if (nm.name == name)
+            return std::move(nm.matrix);
+    }
+    UNISTC_FATAL("unknown representative matrix '", name, "'");
+}
+
+} // namespace unistc

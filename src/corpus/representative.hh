@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Miniature analogues of the paper's eight representative SuiteSparse
+ * matrices (Table VII). The real matrices are 15K-218K rows; these
+ * are seed-deterministic synthetic stand-ins of ~1-3K rows built from
+ * the same structural family each original belongs to, ordered so the
+ * average intermediate-products-per-T1-task (#inter-prod/blk) climbs
+ * across the set the way Table VII's does.
+ */
+
+#ifndef UNISTC_CORPUS_REPRESENTATIVE_HH
+#define UNISTC_CORPUS_REPRESENTATIVE_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+/** A matrix with a display name. */
+struct NamedMatrix
+{
+    std::string name;
+    CsrMatrix matrix;
+};
+
+/** The eight Table VII analogues, in the paper's order. */
+std::vector<NamedMatrix> representativeMatrices();
+
+/** One representative matrix by name (aborts when unknown). */
+CsrMatrix representativeMatrix(const std::string &name);
+
+} // namespace unistc
+
+#endif // UNISTC_CORPUS_REPRESENTATIVE_HH

@@ -1,0 +1,88 @@
+#include "corpus/suite.hh"
+
+#include "corpus/generators.hh"
+
+namespace unistc
+{
+
+std::vector<NamedMatrix>
+syntheticSuite(int scale, std::uint64_t seed)
+{
+    std::vector<NamedMatrix> suite;
+    std::uint64_t s = seed;
+    auto next_seed = [&s]() { return ++s; };
+    auto name = [](const std::string &family, int i) {
+        return family + "_" + std::to_string(i);
+    };
+
+    for (int i = 0; i < scale; ++i) {
+        // Uniform random across four density decades.
+        suite.push_back({name("rand_d3", i),
+                         genRandomUniform(1024, 1024, 1e-3,
+                                          next_seed())});
+        suite.push_back({name("rand_d2", i),
+                         genRandomUniform(1024, 1024, 1e-2,
+                                          next_seed())});
+        suite.push_back({name("rand_d1", i),
+                         genRandomUniform(768, 768, 5e-2,
+                                          next_seed())});
+        suite.push_back({name("rand_dense", i),
+                         genRandomUniform(512, 512, 0.2,
+                                          next_seed())});
+
+        // FEM-style bands of varying width and fill.
+        suite.push_back({name("band_narrow", i),
+                         genBanded(1536, 8, 0.8, next_seed())});
+        suite.push_back({name("band_mid", i),
+                         genBanded(1536, 32, 0.3, next_seed())});
+        suite.push_back({name("band_wide", i),
+                         genBanded(1536, 96, 0.08, next_seed())});
+
+        // 2D Poisson stencils (the AMG fine grids).
+        suite.push_back({name("stencil5", i),
+                         genStencil2d(36 + 4 * i, false)});
+        suite.push_back({name("stencil9", i),
+                         genStencil2d(32 + 4 * i, true)});
+
+        // Power-law graphs (GNN/BFS workloads).
+        suite.push_back({name("plaw_soft", i),
+                         genPowerLaw(1024, 8.0, 2.5, next_seed())});
+        suite.push_back({name("plaw_hard", i),
+                         genPowerLaw(1024, 16.0, 2.1, next_seed())});
+
+        // Blocky FEM clusters.
+        suite.push_back({name("blocky_small", i),
+                         genBlockDense(1024, 8, 0.3, 0.7,
+                                       next_seed())});
+        suite.push_back({name("blocky_large", i),
+                         genBlockDense(1024, 32, 0.25, 0.5,
+                                       next_seed())});
+
+        // Diagonal-dominant operators.
+        suite.push_back({name("diag", i),
+                         genDiagonalHeavy(1536, 7, next_seed())});
+
+        // Long-row outliers.
+        suite.push_back({name("longrow", i),
+                         genLongRows(768, 12, 0.6, 0.01,
+                                     next_seed())});
+
+        // R-MAT social/web graphs (heavy-tailed, clustered).
+        suite.push_back({name("rmat", i),
+                         genRmat(10, 8, 0.57, 0.19, 0.19,
+                                 next_seed())});
+
+        // Triangular factors (solver workloads).
+        suite.push_back({name("tri", i),
+                         lowerTriangular(genBanded(1024, 24, 0.4,
+                                                   next_seed()))});
+
+        // Symmetric operators.
+        suite.push_back({name("sym", i),
+                         symmetrize(genRandomUniform(768, 768, 0.01,
+                                                     next_seed()))});
+    }
+    return suite;
+}
+
+} // namespace unistc

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The synthetic SuiteSparse-style corpus: a deterministic sweep over
+ * structural families, sizes and densities standing in for the
+ * paper's 2,893-matrix evaluation set (DESIGN.md substitution table).
+ */
+
+#ifndef UNISTC_CORPUS_SUITE_HH
+#define UNISTC_CORPUS_SUITE_HH
+
+#include <cstdint>
+
+#include "corpus/representative.hh"
+
+namespace unistc
+{
+
+/**
+ * Build the corpus. @p scale multiplies the per-family instance count
+ * (scale 1 ~= 42 matrices, covering every family x density level);
+ * all matrices are square so SpGEMM (C = A^2) runs on the full set.
+ */
+std::vector<NamedMatrix> syntheticSuite(int scale = 1,
+                                        std::uint64_t seed = 2026);
+
+} // namespace unistc
+
+#endif // UNISTC_CORPUS_SUITE_HH

@@ -1,0 +1,199 @@
+#include "isa/uwmma.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "unistc/sdpu.hh"
+#include "unistc/tms.hh"
+
+namespace unistc
+{
+
+const char *
+mnemonic(UwmmaOp op)
+{
+    switch (op) {
+      case UwmmaOp::LoadMetaMv:
+        return "stc.load.meta_mv";
+      case UwmmaOp::LoadMetaMm:
+        return "stc.load.meta_mm";
+      case UwmmaOp::LoadA:
+        return "stc.load.a";
+      case UwmmaOp::TaskGenMv:
+        return "stc.task_gen.mv";
+      case UwmmaOp::TaskGenMm:
+        return "stc.task_gen.mm";
+      case UwmmaOp::NumericMv:
+        return "stc.numeric.mv";
+      case UwmmaOp::NumericMm:
+        return "stc.numeric.mm";
+    }
+    return "?";
+}
+
+TaskBundle
+buildTaskBundle(const BlockPattern &a, const BlockPattern &b,
+                bool is_mv, const MachineConfig &cfg)
+{
+    TaskBundle bundle;
+
+    // Synchronous loads: meta (1 cycle) + A values (2 cycles).
+    bundle.instrs.push_back({is_mv ? UwmmaOp::LoadMetaMv
+                                   : UwmmaOp::LoadMetaMm,
+                             1});
+    bundle.instrs.push_back({UwmmaOp::LoadA, 2});
+    bundle.loadCycles = 3;
+
+    // Task generation: the TMS emits up to numDpgs T3 tasks per
+    // cycle into the Tile queue. Table V bounds: MV 1-4, MM 1-8.
+    const int n_tile_cols = is_mv ? 1 : kTilesPerEdge;
+    const auto tasks = generateTileTasks(a, b, n_tile_cols,
+                                         TaskOrdering::OuterProduct);
+    const int gen_max = is_mv ? 4 : 8;
+    int gen = static_cast<int>(
+        ceilDiv(tasks.size(), static_cast<std::uint64_t>(
+                                  std::max(1, cfg.numDpgs))));
+    gen = std::clamp(gen, 1, gen_max);
+    bundle.taskGenCycles = gen;
+    bundle.instrs.push_back({is_mv ? UwmmaOp::TaskGenMv
+                                   : UwmmaOp::TaskGenMm,
+                             gen});
+
+    // Numeric: the SDPU packing determines the cycle count. Table V
+    // bounds: MV 1-8, MM 1-64.
+    int numeric = 1;
+    if (!tasks.empty()) {
+        numeric = static_cast<int>(
+            scheduleSdpu(tasks, cfg.numDpgs, cfg.macCount,
+                         /*check_conflicts=*/!is_mv)
+                .size());
+    }
+    numeric = std::clamp(numeric, 1, is_mv ? 8 : 64);
+    bundle.numericCycles = numeric;
+    bundle.instrs.push_back({is_mv ? UwmmaOp::NumericMv
+                                   : UwmmaOp::NumericMm,
+                             numeric});
+    return bundle;
+}
+
+LifecycleStats
+simulateLifecycle(const std::vector<TaskBundle> &tasks,
+                  bool async_task_gen)
+{
+    LifecycleStats stats;
+    // Cycle at which the task queues of the *current* task become
+    // READY, relative to the global clock.
+    std::uint64_t clock = 0;
+    std::uint64_t queues_ready = 0;
+
+    for (const auto &t : tasks) {
+        stats.instructions += t.instrs.size();
+        stats.loadCycles += t.loadCycles;
+        stats.numericCycles +=
+            static_cast<std::uint64_t>(t.numericCycles);
+
+        // Loads are synchronous on the SM.
+        clock += static_cast<std::uint64_t>(t.loadCycles);
+
+        if (async_task_gen) {
+            // stc.task_gen retires immediately; generation runs in
+            // the background starting now.
+            queues_ready = clock +
+                static_cast<std::uint64_t>(t.taskGenCycles);
+            // stc.numeric stalls while the flag is BUSY.
+            if (queues_ready > clock) {
+                const std::uint64_t stall =
+                    std::min<std::uint64_t>(queues_ready - clock,
+                                            t.taskGenCycles);
+                // The SDPU can begin draining as soon as the first
+                // queue entries land; model a one-cycle fill stall
+                // only when generation has not produced anything yet.
+                const std::uint64_t observed_stall =
+                    stall > static_cast<std::uint64_t>(
+                                t.numericCycles)
+                    ? stall - t.numericCycles
+                    : 0;
+                stats.taskGenStalls += observed_stall;
+                clock += observed_stall;
+            }
+            clock += static_cast<std::uint64_t>(t.numericCycles);
+        } else {
+            // Serialised ablation: generation completes before the
+            // numeric phase starts.
+            clock += static_cast<std::uint64_t>(t.taskGenCycles);
+            stats.taskGenStalls +=
+                static_cast<std::uint64_t>(t.taskGenCycles);
+            clock += static_cast<std::uint64_t>(t.numericCycles);
+        }
+    }
+    stats.totalCycles = clock;
+    return stats;
+}
+
+std::vector<TaskBundle>
+traceSpmv(const BbcMatrix &a, const MachineConfig &cfg)
+{
+    std::vector<TaskBundle> out;
+    out.reserve(a.numBlocks());
+    const BlockPattern x = vectorAsBlock(0xFFFFu);
+    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
+        out.push_back(buildTaskBundle(a.blockPattern(blk), x,
+                                      /*is_mv=*/true, cfg));
+    }
+    return out;
+}
+
+std::vector<TaskBundle>
+traceSpmm(const BbcMatrix &a, int b_cols, const MachineConfig &cfg)
+{
+    UNISTC_ASSERT(b_cols > 0, "SpMM needs a B width");
+    const int b_block_cols =
+        static_cast<int>(ceilDiv(b_cols, kBlockSize));
+    std::vector<TaskBundle> out;
+    out.reserve(a.numBlocks() * b_block_cols);
+    const BlockPattern dense_b = BlockPattern::dense();
+    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
+        const BlockPattern pattern = a.blockPattern(blk);
+        // Every dense-B block column induces the identical bundle.
+        const TaskBundle bundle = buildTaskBundle(pattern, dense_b,
+                                                  /*is_mv=*/false,
+                                                  cfg);
+        for (int bj = 0; bj < b_block_cols; ++bj)
+            out.push_back(bundle);
+    }
+    return out;
+}
+
+std::vector<TaskBundle>
+traceSpgemm(const BbcMatrix &a, const BbcMatrix &b,
+            const MachineConfig &cfg)
+{
+    UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
+    std::vector<TaskBundle> out;
+    std::vector<BlockPattern> a_pat;
+    a_pat.reserve(a.numBlocks());
+    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk)
+        a_pat.push_back(a.blockPattern(blk));
+    std::vector<BlockPattern> b_pat;
+    b_pat.reserve(b.numBlocks());
+    for (std::int64_t blk = 0; blk < b.numBlocks(); ++blk)
+        b_pat.push_back(b.blockPattern(blk));
+
+    for (int bi = 0; bi < a.blockRows(); ++bi) {
+        for (std::int64_t ai = a.rowPtr()[bi]; ai < a.rowPtr()[bi + 1];
+             ++ai) {
+            const int bk = a.colIdx()[ai];
+            for (std::int64_t bj = b.rowPtr()[bk];
+                 bj < b.rowPtr()[bk + 1]; ++bj) {
+                if (blockProductCount(a_pat[ai], b_pat[bj]) == 0)
+                    continue;
+                out.push_back(buildTaskBundle(a_pat[ai], b_pat[bj],
+                                              /*is_mv=*/false, cfg));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace unistc

@@ -1,0 +1,158 @@
+#include "kernels/reference.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+std::vector<double>
+spmvRef(const CsrMatrix &a, const std::vector<double> &x)
+{
+    UNISTC_ASSERT(static_cast<int>(x.size()) == a.cols(),
+                  "SpMV shape mismatch");
+    std::vector<double> y(a.rows(), 0.0);
+    for (int r = 0; r < a.rows(); ++r) {
+        double acc = 0.0;
+        for (std::int64_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1];
+             ++i) {
+            acc += a.vals()[i] * x[a.colIdx()[i]];
+        }
+        y[r] = acc;
+    }
+    return y;
+}
+
+SparseVector
+spmspvRef(const CsrMatrix &a, const SparseVector &x)
+{
+    UNISTC_ASSERT(x.size() == a.cols(), "SpMSpV shape mismatch");
+    const std::vector<double> xd = x.toDense();
+    std::vector<bool> x_mask(a.cols(), false);
+    for (int i : x.idx())
+        x_mask[i] = true;
+
+    SparseVector y(a.rows());
+    for (int r = 0; r < a.rows(); ++r) {
+        double acc = 0.0;
+        bool touched = false;
+        for (std::int64_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1];
+             ++i) {
+            const int c = a.colIdx()[i];
+            if (x_mask[c]) {
+                acc += a.vals()[i] * xd[c];
+                touched = true;
+            }
+        }
+        // Keep structural hits even when values cancel to zero: SpMSpV
+        // consumers (e.g. BFS frontiers) rely on the structural result.
+        if (touched)
+            y.push(r, acc);
+    }
+    return y;
+}
+
+DenseMatrix
+spmmRef(const CsrMatrix &a, const DenseMatrix &b)
+{
+    UNISTC_ASSERT(a.cols() == b.rows(), "SpMM shape mismatch");
+    DenseMatrix c(a.rows(), b.cols());
+    for (int r = 0; r < a.rows(); ++r) {
+        for (std::int64_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1];
+             ++i) {
+            const int k = a.colIdx()[i];
+            const double av = a.vals()[i];
+            for (int j = 0; j < b.cols(); ++j)
+                c.at(r, j) += av * b.at(k, j);
+        }
+    }
+    return c;
+}
+
+namespace
+{
+
+/**
+ * Gustavson SpGEMM over one row using a dense sparse-accumulator.
+ * When @p numeric is false only the structure is produced.
+ */
+template <bool numeric>
+CsrMatrix
+spgemmImpl(const CsrMatrix &a, const CsrMatrix &b)
+{
+    UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
+    const int rows = a.rows();
+    const int cols = b.cols();
+
+    std::vector<double> spa(cols, 0.0);
+    std::vector<int> marker(cols, -1);
+    std::vector<int> touched;
+
+    std::vector<std::int64_t> row_ptr(rows + 1, 0);
+    std::vector<int> col_idx;
+    std::vector<double> vals;
+
+    for (int r = 0; r < rows; ++r) {
+        touched.clear();
+        for (std::int64_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1];
+             ++i) {
+            const int k = a.colIdx()[i];
+            const double av = a.vals()[i];
+            for (std::int64_t j = b.rowPtr()[k];
+                 j < b.rowPtr()[k + 1]; ++j) {
+                const int c = b.colIdx()[j];
+                if (marker[c] != r) {
+                    marker[c] = r;
+                    touched.push_back(c);
+                    if constexpr (numeric)
+                        spa[c] = av * b.vals()[j];
+                } else if constexpr (numeric) {
+                    spa[c] += av * b.vals()[j];
+                }
+            }
+        }
+        std::sort(touched.begin(), touched.end());
+        for (int c : touched) {
+            col_idx.push_back(c);
+            if constexpr (numeric)
+                vals.push_back(spa[c]);
+            else
+                vals.push_back(1.0);
+        }
+        row_ptr[r + 1] = static_cast<std::int64_t>(col_idx.size());
+    }
+    return CsrMatrix(rows, cols, std::move(row_ptr),
+                     std::move(col_idx), std::move(vals));
+}
+
+} // namespace
+
+CsrMatrix
+spgemmRef(const CsrMatrix &a, const CsrMatrix &b)
+{
+    return spgemmImpl<true>(a, b);
+}
+
+CsrMatrix
+spgemmSymbolic(const CsrMatrix &a, const CsrMatrix &b)
+{
+    return spgemmImpl<false>(a, b);
+}
+
+std::int64_t
+spgemmFlops(const CsrMatrix &a, const CsrMatrix &b)
+{
+    UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
+    std::int64_t flops = 0;
+    for (int r = 0; r < a.rows(); ++r) {
+        for (std::int64_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1];
+             ++i) {
+            const int k = a.colIdx()[i];
+            flops += b.rowNnz(k);
+        }
+    }
+    return flops;
+}
+
+} // namespace unistc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reference (gold-standard) implementations of the four sparse kernels
+ * the paper targets: SpMV, SpMSpV, SpMM and SpGEMM. Every simulator
+ * run is verified numerically against these.
+ */
+
+#ifndef UNISTC_KERNELS_REFERENCE_HH
+#define UNISTC_KERNELS_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hh"
+#include "sparse/dense.hh"
+#include "sparse/sparse_vector.hh"
+
+namespace unistc
+{
+
+/** y = A * x, dense x. */
+std::vector<double> spmvRef(const CsrMatrix &a,
+                            const std::vector<double> &x);
+
+/** y = A * x, sparse x; returns a sparse y with exact nonzeros. */
+SparseVector spmspvRef(const CsrMatrix &a, const SparseVector &x);
+
+/** C = A * B with dense B (column count = b.cols()). */
+DenseMatrix spmmRef(const CsrMatrix &a, const DenseMatrix &b);
+
+/** C = A * B, both sparse (Gustavson row-by-row with dense SPA). */
+CsrMatrix spgemmRef(const CsrMatrix &a, const CsrMatrix &b);
+
+/**
+ * Symbolic SpGEMM: structure of C = A * B only (values all 1.0).
+ * Used by the runners to pre-compute output block structure and by
+ * Table VII to report nnz(C) cheaply.
+ */
+CsrMatrix spgemmSymbolic(const CsrMatrix &a, const CsrMatrix &b);
+
+/**
+ * Number of intermediate (multiply) operations of C = A * B:
+ * sum over k of colNnz_A(k) * rowNnz_B(k). This is the "#inter-prod"
+ * quantity the paper's Table VII and Fig. 20 x-axis build on.
+ */
+std::int64_t spgemmFlops(const CsrMatrix &a, const CsrMatrix &b);
+
+} // namespace unistc
+
+#endif // UNISTC_KERNELS_REFERENCE_HH

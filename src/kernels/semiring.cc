@@ -1,0 +1,43 @@
+#include "kernels/semiring.hh"
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+SsspResult
+ssspMinPlus(const CsrMatrix &adj_transposed, int source,
+            int max_rounds)
+{
+    const CsrMatrix &a = adj_transposed;
+    UNISTC_ASSERT(a.rows() == a.cols(), "SSSP needs a square matrix");
+    UNISTC_ASSERT(source >= 0 && source < a.rows(),
+                  "SSSP source out of range");
+    for (double w : a.vals())
+        UNISTC_ASSERT(w >= 0.0, "SSSP requires non-negative weights");
+
+    SsspResult out;
+    out.dist.assign(a.rows(), MinPlus::zero());
+    out.dist[source] = 0.0;
+    if (max_rounds < 0)
+        max_rounds = a.rows(); // Bellman-Ford bound
+
+    for (int round = 0; round < max_rounds; ++round) {
+        const std::vector<double> relaxed =
+            spmvSemiring<MinPlus>(a, out.dist);
+        bool changed = false;
+        for (int v = 0; v < a.rows(); ++v) {
+            const double better = std::min(out.dist[v], relaxed[v]);
+            if (better < out.dist[v]) {
+                out.dist[v] = better;
+                changed = true;
+            }
+        }
+        out.rounds = round + 1;
+        if (!changed)
+            break;
+    }
+    return out;
+}
+
+} // namespace unistc

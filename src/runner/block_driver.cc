@@ -1,0 +1,23 @@
+#include "runner/block_driver.hh"
+
+namespace unistc
+{
+
+std::vector<BlockPattern>
+allBlockPatterns(const BbcMatrix &m)
+{
+    std::vector<BlockPattern> patterns;
+    patterns.reserve(m.numBlocks());
+    for (std::int64_t blk = 0; blk < m.numBlocks(); ++blk)
+        patterns.push_back(m.blockPattern(blk));
+    return patterns;
+}
+
+void
+finalizeRun(const StcModel &model, const EnergyModel &energy,
+            RunResult &res)
+{
+    energy.finalize(model.config(), model.network(), res);
+}
+
+} // namespace unistc

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared plumbing for the kernel runners: block-pattern caching and
+ * energy finalisation. The runners implement the paper's software
+ * dataflow (Algorithms 1 and 2): they walk the BBC outer CSR, emit
+ * one T1 block task per (A block, B block / x segment) pair, feed the
+ * task to an StcModel and accumulate the RunResult.
+ */
+
+#ifndef UNISTC_RUNNER_BLOCK_DRIVER_HH
+#define UNISTC_RUNNER_BLOCK_DRIVER_HH
+
+#include <vector>
+
+#include "bbc/bbc_matrix.hh"
+#include "sim/energy.hh"
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Reconstruct all block patterns of a BBC matrix once. */
+std::vector<BlockPattern> allBlockPatterns(const BbcMatrix &m);
+
+/** Apply the energy model to a finished run. */
+void finalizeRun(const StcModel &model, const EnergyModel &energy,
+                 RunResult &res);
+
+} // namespace unistc
+
+#endif // UNISTC_RUNNER_BLOCK_DRIVER_HH

@@ -1,0 +1,94 @@
+#include "runner/partition.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+double
+WarpPartition::imbalance() const
+{
+    if (warps.empty())
+        return 1.0;
+    std::int64_t max_load = 0;
+    std::int64_t total = 0;
+    for (const auto &w : warps) {
+        max_load = std::max(max_load, w.size());
+        total += w.size();
+    }
+    if (total == 0)
+        return 1.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(warps.size());
+    return static_cast<double>(max_load) / mean;
+}
+
+std::int64_t
+WarpPartition::totalBlocks() const
+{
+    std::int64_t total = 0;
+    for (const auto &w : warps)
+        total += w.size();
+    return total;
+}
+
+namespace
+{
+
+/** Block row containing global block index @p blk. */
+int
+rowOfBlock(const BbcMatrix &m, std::int64_t blk)
+{
+    int lo = 0;
+    int hi = m.blockRows();
+    while (lo + 1 < hi) {
+        const int mid = (lo + hi) / 2;
+        if (m.rowPtr()[mid] <= blk)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+WarpPartition
+partitionBlocks(const BbcMatrix &m, int num_warps)
+{
+    UNISTC_ASSERT(num_warps > 0, "need at least one warp");
+    WarpPartition part;
+    const std::int64_t blocks = m.numBlocks();
+    for (int w = 0; w < num_warps; ++w) {
+        WarpRange range;
+        range.begin = blocks * w / num_warps;
+        range.end = blocks * (w + 1) / num_warps;
+        range.rowId =
+            range.size() > 0 ? rowOfBlock(m, range.begin) : 0;
+        part.warps.push_back(range);
+    }
+    return part;
+}
+
+WarpPartition
+partitionRows(const BbcMatrix &m, int num_warps)
+{
+    UNISTC_ASSERT(num_warps > 0, "need at least one warp");
+    WarpPartition part;
+    const int rows = m.blockRows();
+    for (int w = 0; w < num_warps; ++w) {
+        const int row_begin = rows * w / num_warps;
+        const int row_end = rows * (w + 1) / num_warps;
+        WarpRange range;
+        range.rowId = row_begin;
+        range.begin = m.rowPtr()[row_begin];
+        range.end = m.rowPtr()[row_end];
+        part.warps.push_back(range);
+    }
+    return part;
+}
+
+} // namespace unistc

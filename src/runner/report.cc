@@ -1,0 +1,65 @@
+#include "runner/report.hh"
+
+namespace unistc
+{
+
+const char *
+toString(Kernel k)
+{
+    switch (k) {
+      case Kernel::SpMV:
+        return "SpMV";
+      case Kernel::SpMSpV:
+        return "SpMSpV";
+      case Kernel::SpMM:
+        return "SpMM";
+      case Kernel::SpGEMM:
+        return "SpGEMM";
+    }
+    return "?";
+}
+
+const std::vector<Kernel> &
+allKernels()
+{
+    static const std::vector<Kernel> kernels = {
+        Kernel::SpMV, Kernel::SpMSpV, Kernel::SpMM, Kernel::SpGEMM};
+    return kernels;
+}
+
+Comparison
+compare(const RunResult &base, const RunResult &test)
+{
+    Comparison c;
+    if (test.cycles > 0) {
+        c.speedup = static_cast<double>(base.cycles) /
+            static_cast<double>(test.cycles);
+    }
+    const double test_energy = test.energy.total();
+    if (test_energy > 0.0)
+        c.energyReduction = base.energy.total() / test_energy;
+    c.energyEfficiency = c.speedup * c.energyReduction;
+    return c;
+}
+
+void
+ComparisonRollup::add(const Comparison &c)
+{
+    speedup.add(c.speedup);
+    energyReduction.add(c.energyReduction);
+    energyEfficiency.add(c.energyEfficiency);
+    speedupStat.add(c.speedup);
+    energyReductionStat.add(c.energyReduction);
+    energyEfficiencyStat.add(c.energyEfficiency);
+}
+
+double
+interProductsPerT1(const RunResult &res)
+{
+    if (res.tasksT1 == 0)
+        return 0.0;
+    return static_cast<double>(res.products) /
+        static_cast<double>(res.tasksT1);
+}
+
+} // namespace unistc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Aggregation helpers turning RunResults into the paper's reported
+ * quantities: speedup, energy reduction, energy efficiency (the
+ * product of the two) and per-kernel geomean/max roll-ups.
+ */
+
+#ifndef UNISTC_RUNNER_REPORT_HH
+#define UNISTC_RUNNER_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/result.hh"
+
+namespace unistc
+{
+
+/** Named sparse kernels. */
+enum class Kernel
+{
+    SpMV,
+    SpMSpV,
+    SpMM,
+    SpGEMM,
+};
+
+/** Printable kernel name. */
+const char *toString(Kernel k);
+
+/** All four kernels in paper order. */
+const std::vector<Kernel> &allKernels();
+
+/** Pairwise comparison of a run against a baseline run. */
+struct Comparison
+{
+    double speedup = 0.0;         ///< base.cycles / test.cycles.
+    double energyReduction = 0.0; ///< base.energy / test.energy.
+    double energyEfficiency = 0.0;///< speedup * energyReduction.
+};
+
+/** Compare @p test against @p base (both finalized). */
+Comparison compare(const RunResult &base, const RunResult &test);
+
+/** Geomean + max roll-up of comparisons (Table VIII rows). */
+struct ComparisonRollup
+{
+    GeoMean speedup;
+    GeoMean energyReduction;
+    GeoMean energyEfficiency;
+    RunningStat speedupStat;
+    RunningStat energyReductionStat;
+    RunningStat energyEfficiencyStat;
+
+    void add(const Comparison &c);
+};
+
+/** Average intermediate products per T1 task (Fig. 20 x-axis). */
+double interProductsPerT1(const RunResult &res);
+
+} // namespace unistc
+
+#endif // UNISTC_RUNNER_REPORT_HH

@@ -1,0 +1,40 @@
+#include "runner/spgemm_runner.hh"
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+RunResult
+runSpgemm(const StcModel &model, const BbcMatrix &a,
+          const BbcMatrix &b, const EnergyModel &energy)
+{
+    UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
+
+    // Reconstruct block patterns once; the inner loop touches B's
+    // block rows many times.
+    const auto a_patterns = allBlockPatterns(a);
+    const auto b_patterns = allBlockPatterns(b);
+
+    RunResult res;
+    for (int bi = 0; bi < a.blockRows(); ++bi) {
+        for (std::int64_t ai = a.rowPtr()[bi]; ai < a.rowPtr()[bi + 1];
+             ++ai) {
+            const int bk = a.colIdx()[ai];
+            const BlockPattern &a_pat = a_patterns[ai];
+            for (std::int64_t bj = b.rowPtr()[bk];
+                 bj < b.rowPtr()[bk + 1]; ++bj) {
+                const BlockPattern &b_pat = b_patterns[bj];
+                // Software bitmap check (Algorithm 2, line 13).
+                if (blockProductCount(a_pat, b_pat) == 0)
+                    continue;
+                const BlockTask task = BlockTask::mm(a_pat, b_pat);
+                model.runBlock(task, res);
+            }
+        }
+    }
+    finalizeRun(model, energy, res);
+    return res;
+}
+
+} // namespace unistc

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * SpGEMM runner — Algorithm 2 over two BBC operands: a row-by-row
+ * block outer product C_i* += A_ik x B_k*, with the software bitmap
+ * check (`A16b x B16b`, Algorithm 2 line 13) skipping block pairs
+ * that share no index.
+ */
+
+#ifndef UNISTC_RUNNER_SPGEMM_RUNNER_HH
+#define UNISTC_RUNNER_SPGEMM_RUNNER_HH
+
+#include "runner/block_driver.hh"
+
+namespace unistc
+{
+
+/** Simulate C = A * B, both sparse, on @p model. */
+RunResult runSpgemm(const StcModel &model, const BbcMatrix &a,
+                    const BbcMatrix &b,
+                    const EnergyModel &energy = EnergyModel());
+
+} // namespace unistc
+
+#endif // UNISTC_RUNNER_SPGEMM_RUNNER_HH

@@ -1,0 +1,47 @@
+#include "runner/spmm_runner.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+RunResult
+runSpmm(const StcModel &model, const BbcMatrix &a, int b_cols,
+        const EnergyModel &energy)
+{
+    UNISTC_ASSERT(b_cols > 0, "SpMM needs at least one B column");
+    const int b_block_cols = static_cast<int>(ceilDiv(b_cols,
+                                                      kBlockSize));
+
+    // Dense B block: a full pattern, or a partial-width one for the
+    // last block column when b_cols is not a multiple of 16.
+    auto dense_b_block = [&](int bj) {
+        const int width = std::min(kBlockSize,
+                                   b_cols - bj * kBlockSize);
+        if (width == kBlockSize)
+            return BlockPattern::dense();
+        BlockPattern p;
+        for (int r = 0; r < kBlockSize; ++r) {
+            for (int c = 0; c < width; ++c)
+                p.set(r, c);
+        }
+        return p;
+    };
+
+    RunResult res;
+    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
+        const BlockPattern pattern = a.blockPattern(blk);
+        for (int bj = 0; bj < b_block_cols; ++bj) {
+            const BlockTask task =
+                BlockTask::mm(pattern, dense_b_block(bj));
+            model.runBlock(task, res);
+        }
+    }
+    finalizeRun(model, energy, res);
+    return res;
+}
+
+} // namespace unistc

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * SpMM runner — Algorithm 2 with a dense B: every stored A block is
+ * multiplied against ceil(bCols/16) dense B blocks. The paper fixes
+ * bCols = 64 (§VI-A).
+ */
+
+#ifndef UNISTC_RUNNER_SPMM_RUNNER_HH
+#define UNISTC_RUNNER_SPMM_RUNNER_HH
+
+#include "runner/block_driver.hh"
+
+namespace unistc
+{
+
+/** Simulate C = A * B with a dense rows(A.cols) x b_cols B. */
+RunResult runSpmm(const StcModel &model, const BbcMatrix &a,
+                  int b_cols = 64,
+                  const EnergyModel &energy = EnergyModel());
+
+} // namespace unistc
+
+#endif // UNISTC_RUNNER_SPMM_RUNNER_HH

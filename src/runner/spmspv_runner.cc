@@ -1,0 +1,49 @@
+#include "runner/spmspv_runner.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+std::vector<std::uint16_t>
+segmentMasks(const SparseVector &x)
+{
+    const int segments =
+        static_cast<int>(ceilDiv(x.size(), kBlockSize));
+    std::vector<std::uint16_t> masks(segments, 0);
+    for (int i : x.idx()) {
+        masks[i / kBlockSize] = setBit(masks[i / kBlockSize],
+                                       i % kBlockSize);
+    }
+    return masks;
+}
+
+RunResult
+runSpmspv(const StcModel &model, const BbcMatrix &a,
+          const SparseVector &x, const EnergyModel &energy)
+{
+    UNISTC_ASSERT(x.size() == a.cols(), "SpMSpV shape mismatch");
+    const auto masks = segmentMasks(x);
+
+    RunResult res;
+    for (int br = 0; br < a.blockRows(); ++br) {
+        for (std::int64_t blk = a.rowPtr()[br];
+             blk < a.rowPtr()[br + 1]; ++blk) {
+            const int bc = a.colIdx()[blk];
+            const std::uint16_t mask = masks[bc];
+            if (!mask)
+                continue;
+            const BlockPattern pattern = a.blockPattern(blk);
+            // Software bitmap check: skip blocks with no index match.
+            if (blockMvProductCount(pattern, mask) == 0)
+                continue;
+            const BlockTask task = BlockTask::mv(pattern, mask);
+            model.runBlock(task, res);
+        }
+    }
+    finalizeRun(model, energy, res);
+    return res;
+}
+
+} // namespace unistc

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * SpMSpV runner — Algorithm 1 with a sparse x: the x-segment bitmap
+ * of each block column gates task generation; blocks whose bitmap
+ * product with the segment is empty are skipped by the software check
+ * (the `stc.task_gen` path emits nothing for them).
+ */
+
+#ifndef UNISTC_RUNNER_SPMSPV_RUNNER_HH
+#define UNISTC_RUNNER_SPMSPV_RUNNER_HH
+
+#include "runner/block_driver.hh"
+#include "sparse/sparse_vector.hh"
+
+namespace unistc
+{
+
+/** Per-block-column 16-bit structural masks of a sparse vector. */
+std::vector<std::uint16_t> segmentMasks(const SparseVector &x);
+
+/** Simulate y = A * x (sparse x) on @p model. */
+RunResult runSpmspv(const StcModel &model, const BbcMatrix &a,
+                    const SparseVector &x,
+                    const EnergyModel &energy = EnergyModel());
+
+} // namespace unistc
+
+#endif // UNISTC_RUNNER_SPMSPV_RUNNER_HH

@@ -1,0 +1,21 @@
+#include "runner/spmv_runner.hh"
+
+namespace unistc
+{
+
+RunResult
+runSpmv(const StcModel &model, const BbcMatrix &a,
+        const EnergyModel &energy)
+{
+    RunResult res;
+    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
+        const BlockPattern pattern = a.blockPattern(blk);
+        // Dense x: every lane of the segment is live.
+        const BlockTask task = BlockTask::mv(pattern, 0xFFFFu);
+        model.runBlock(task, res);
+    }
+    finalizeRun(model, energy, res);
+    return res;
+}
+
+} // namespace unistc

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * SpMV runner — Algorithm 1 with a dense x: every stored A block is a
+ * matrix-vector T1 task against the full 16-entry x segment of its
+ * block column.
+ */
+
+#ifndef UNISTC_RUNNER_SPMV_RUNNER_HH
+#define UNISTC_RUNNER_SPMV_RUNNER_HH
+
+#include "runner/block_driver.hh"
+
+namespace unistc
+{
+
+/** Simulate y = A * x (dense x) on @p model. */
+RunResult runSpmv(const StcModel &model, const BbcMatrix &a,
+                  const EnergyModel &energy = EnergyModel());
+
+} // namespace unistc
+
+#endif // UNISTC_RUNNER_SPMV_RUNNER_HH

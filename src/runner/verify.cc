@@ -1,0 +1,211 @@
+#include "runner/verify.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "kernels/reference.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+
+std::vector<double>
+spmvBbc(const BbcMatrix &a, const std::vector<double> &x)
+{
+    UNISTC_ASSERT(static_cast<int>(x.size()) == a.cols(),
+                  "SpMV shape mismatch");
+    std::vector<double> y(a.rows(), 0.0);
+    for (int br = 0; br < a.blockRows(); ++br) {
+        for (std::int64_t blk = a.rowPtr()[br];
+             blk < a.rowPtr()[br + 1]; ++blk) {
+            const int bc = a.colIdx()[blk];
+            const auto dense = a.blockDense(blk);
+            for (int lr = 0; lr < kBlockSize; ++lr) {
+                const int r = br * kBlockSize + lr;
+                if (r >= a.rows())
+                    break;
+                double acc = 0.0;
+                for (int lc = 0; lc < kBlockSize; ++lc) {
+                    const int c = bc * kBlockSize + lc;
+                    if (c < a.cols())
+                        acc += dense[lr * kBlockSize + lc] * x[c];
+                }
+                y[r] += acc;
+            }
+        }
+    }
+    return y;
+}
+
+SparseVector
+spmspvBbc(const BbcMatrix &a, const SparseVector &x)
+{
+    UNISTC_ASSERT(x.size() == a.cols(), "SpMSpV shape mismatch");
+    const std::vector<double> xd = x.toDense();
+    std::vector<bool> x_mask(a.cols(), false);
+    for (int i : x.idx())
+        x_mask[i] = true;
+
+    std::vector<double> y(a.rows(), 0.0);
+    std::vector<bool> touched(a.rows(), false);
+    for (int br = 0; br < a.blockRows(); ++br) {
+        for (std::int64_t blk = a.rowPtr()[br];
+             blk < a.rowPtr()[br + 1]; ++blk) {
+            const int bc = a.colIdx()[blk];
+            const BlockPattern pattern = a.blockPattern(blk);
+            const auto dense = a.blockDense(blk);
+            for (int lr = 0; lr < kBlockSize; ++lr) {
+                const int r = br * kBlockSize + lr;
+                if (r >= a.rows())
+                    break;
+                for (int lc = 0; lc < kBlockSize; ++lc) {
+                    const int c = bc * kBlockSize + lc;
+                    if (c < a.cols() && pattern.test(lr, lc) &&
+                        x_mask[c]) {
+                        y[r] += dense[lr * kBlockSize + lc] * xd[c];
+                        touched[r] = true;
+                    }
+                }
+            }
+        }
+    }
+    SparseVector out(a.rows());
+    for (int r = 0; r < a.rows(); ++r) {
+        if (touched[r])
+            out.push(r, y[r]);
+    }
+    return out;
+}
+
+DenseMatrix
+spmmBbc(const BbcMatrix &a, const DenseMatrix &b)
+{
+    UNISTC_ASSERT(a.cols() == b.rows(), "SpMM shape mismatch");
+    DenseMatrix c(a.rows(), b.cols());
+    for (int br = 0; br < a.blockRows(); ++br) {
+        for (std::int64_t blk = a.rowPtr()[br];
+             blk < a.rowPtr()[br + 1]; ++blk) {
+            const int bc = a.colIdx()[blk];
+            const auto dense = a.blockDense(blk);
+            for (int lr = 0; lr < kBlockSize; ++lr) {
+                const int r = br * kBlockSize + lr;
+                if (r >= a.rows())
+                    break;
+                for (int lc = 0; lc < kBlockSize; ++lc) {
+                    const int k = bc * kBlockSize + lc;
+                    const double av = dense[lr * kBlockSize + lc];
+                    if (k >= b.rows() || av == 0.0)
+                        continue;
+                    for (int j = 0; j < b.cols(); ++j)
+                        c.at(r, j) += av * b.at(k, j);
+                }
+            }
+        }
+    }
+    return c;
+}
+
+CsrMatrix
+spgemmBbc(const BbcMatrix &a, const BbcMatrix &b)
+{
+    UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
+    // Block outer-product with a dense block-row accumulator
+    // (Algorithm 2's row-by-row C_i* += A_ik x B_k* schedule).
+    CooMatrix coo(a.rows(), b.cols());
+
+    for (int bi = 0; bi < a.blockRows(); ++bi) {
+        // Dense accumulator for one block row of C.
+        DenseMatrix acc(kBlockSize, b.cols());
+        std::vector<bool> touched_cols(b.blockCols(), false);
+
+        for (std::int64_t ai = a.rowPtr()[bi]; ai < a.rowPtr()[bi + 1];
+             ++ai) {
+            const int bk = a.colIdx()[ai];
+            const auto a_dense = a.blockDense(ai);
+            for (std::int64_t bj = b.rowPtr()[bk];
+                 bj < b.rowPtr()[bk + 1]; ++bj) {
+                const int bc = b.colIdx()[bj];
+                const auto b_dense = b.blockDense(bj);
+                touched_cols[bc] = true;
+                // 16x16x16 dense block multiply-accumulate.
+                for (int lr = 0; lr < kBlockSize; ++lr) {
+                    for (int lk = 0; lk < kBlockSize; ++lk) {
+                        const double av =
+                            a_dense[lr * kBlockSize + lk];
+                        if (av == 0.0)
+                            continue;
+                        for (int lc = 0; lc < kBlockSize; ++lc) {
+                            const double bv =
+                                b_dense[lk * kBlockSize + lc];
+                            if (bv != 0.0) {
+                                acc.at(lr, bc * kBlockSize + lc) +=
+                                    av * bv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for (int lr = 0; lr < kBlockSize; ++lr) {
+            const int r = bi * kBlockSize + lr;
+            if (r >= a.rows())
+                break;
+            for (int c = 0; c < b.cols(); ++c) {
+                const double v = acc.at(lr, c);
+                if (v != 0.0)
+                    coo.add(r, c, v);
+            }
+        }
+    }
+    return cooToCsr(std::move(coo));
+}
+
+bool
+verifyAllKernels(const CsrMatrix &a, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+
+    // Round-trip first: the format itself must be lossless.
+    if (!bbc.toCsr().approxEquals(a, 0.0))
+        return false;
+
+    // SpMV.
+    std::vector<double> x(a.cols());
+    for (auto &v : x)
+        v = rng.nextDouble(-1.0, 1.0);
+    if (maxAbsDiff(spmvBbc(bbc, x), spmvRef(a, x)) > 1e-9)
+        return false;
+
+    // SpMSpV with a 50%-sparse x (the paper's operand density).
+    SparseVector xs(a.cols());
+    for (int i = 0; i < a.cols(); ++i) {
+        if (rng.nextBool(0.5))
+            xs.push(i, rng.nextDouble(-1.0, 1.0));
+    }
+    const SparseVector ys = spmspvBbc(bbc, xs);
+    const SparseVector yr = spmspvRef(a, xs);
+    if (ys.idx() != yr.idx())
+        return false;
+    if (maxAbsDiff(ys.toDense(), yr.toDense()) > 1e-9)
+        return false;
+
+    // SpMM with an 8-column dense B (small, fast in tests).
+    DenseMatrix b(a.cols(), 8);
+    for (auto &v : b.data())
+        v = rng.nextDouble(-1.0, 1.0);
+    if (!spmmBbc(bbc, b).approxEquals(spmmRef(a, b), 1e-9))
+        return false;
+
+    // SpGEMM (C = A * A) when square.
+    if (a.rows() == a.cols()) {
+        if (!spgemmBbc(bbc, bbc).approxEquals(spgemmRef(a, a), 1e-9))
+            return false;
+    }
+    return true;
+}
+
+} // namespace unistc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Functional (numeric) execution of the four kernels directly on the
+ * BBC format, following the same block dataflow the simulator models.
+ * Used to verify that the format + dataflow produce bit-correct
+ * results against the CSR reference kernels.
+ */
+
+#ifndef UNISTC_RUNNER_VERIFY_HH
+#define UNISTC_RUNNER_VERIFY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bbc/bbc_matrix.hh"
+#include "sparse/dense.hh"
+#include "sparse/sparse_vector.hh"
+
+namespace unistc
+{
+
+/** y = A * x computed block-by-block on the BBC format. */
+std::vector<double> spmvBbc(const BbcMatrix &a,
+                            const std::vector<double> &x);
+
+/** y = A * x with sparse x, block-by-block with segment masks. */
+SparseVector spmspvBbc(const BbcMatrix &a, const SparseVector &x);
+
+/** C = A * B with dense B, block-by-block. */
+DenseMatrix spmmBbc(const BbcMatrix &a, const DenseMatrix &b);
+
+/** C = A * B, both BBC, via the block outer-product of Algorithm 2. */
+CsrMatrix spgemmBbc(const BbcMatrix &a, const BbcMatrix &b);
+
+/**
+ * Run all four kernels on @p a (SpGEMM as C = A * A when square)
+ * through the BBC path and compare against the CSR references.
+ * Returns true when every kernel matches; @p seed drives the random
+ * x / B operands.
+ */
+bool verifyAllKernels(const CsrMatrix &a, std::uint64_t seed);
+
+} // namespace unistc
+
+#endif // UNISTC_RUNNER_VERIFY_HH

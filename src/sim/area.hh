@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Analytical area model reproducing the paper's Table IX flow:
+ * buffers via a CACTI-style linear SRAM curve (45 nm scaled to 7 nm),
+ * logic modules via synthesis-calibrated constants, and a projected
+ * 432-unit deployment (4 per SM x 108 SMs) on an A100's 826 mm2 die.
+ */
+
+#ifndef UNISTC_SIM_AREA_HH
+#define UNISTC_SIM_AREA_HH
+
+#include <string>
+#include <vector>
+
+namespace unistc
+{
+
+/** One row of the Table IX breakdown. */
+struct AreaItem
+{
+    std::string module;
+    double mm2 = 0.0;      ///< Per Uni-STC unit.
+    double percent = 0.0;  ///< 432 units relative to the A100 die.
+};
+
+/** Area model for Uni-STC and the baselines' dedicated modules. */
+class AreaModel
+{
+  public:
+    /** A100 die area the percentages are relative to (mm2). */
+    static constexpr double kDieAreaMm2 = 826.0;
+
+    /** Projected deployment: 4 Uni-STCs per SM x 108 SMs. */
+    static constexpr int kUnitsPerDie = 432;
+
+    /** SRAM macro area at 7 nm for @p bytes of storage (mm2). */
+    static double sramAreaMm2(int bytes);
+
+    /**
+     * Table IX breakdown for a Uni-STC with @p num_dpgs DPGs.
+     * The final row is the total overhead.
+     */
+    static std::vector<AreaItem> uniStcBreakdown(int num_dpgs = 8);
+
+    /** Total dedicated-module overhead of one Uni-STC unit (mm2). */
+    static double uniStcOverheadMm2(int num_dpgs = 8);
+
+    /**
+     * Dedicated-module overhead of RM-STC. §I reports Uni-STC carries
+     * an 18% area overhead over RM-STC; §IV-D attributes 16.67% of
+     * RM-STC's overhead to its hardware decoder.
+     */
+    static double rmStcOverheadMm2();
+
+    /** Dedicated-module overhead of DS-STC (outer-product buffers). */
+    static double dsStcOverheadMm2();
+};
+
+} // namespace unistc
+
+#endif // UNISTC_SIM_AREA_HH

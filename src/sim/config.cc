@@ -1,0 +1,41 @@
+#include "sim/config.hh"
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+std::string
+toString(Precision p)
+{
+    return p == Precision::FP64 ? "fp64" : "fp32";
+}
+
+int
+MachineConfig::bytesPerValue() const
+{
+    return precision == Precision::FP64 ? 8 : 4;
+}
+
+MachineConfig
+MachineConfig::fp64()
+{
+    return MachineConfig{Precision::FP64, 64, 8, 1.5};
+}
+
+MachineConfig
+MachineConfig::fp32()
+{
+    return MachineConfig{Precision::FP32, 128, 8, 1.5};
+}
+
+MachineConfig
+MachineConfig::fp64WithDpgs(int dpgs)
+{
+    UNISTC_ASSERT(dpgs > 0, "DPG count must be positive");
+    MachineConfig cfg = fp64();
+    cfg.numDpgs = dpgs;
+    return cfg;
+}
+
+} // namespace unistc

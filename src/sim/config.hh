@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Machine configuration shared by every STC model. The paper evaluates
+ * two throughput-aligned configurations: 64 MAC @ FP64 and 128 MAC @
+ * FP32 (§VI-A), both at the A100's 1.5 GHz tensor-core clock.
+ */
+
+#ifndef UNISTC_SIM_CONFIG_HH
+#define UNISTC_SIM_CONFIG_HH
+
+#include <string>
+
+namespace unistc
+{
+
+/** Arithmetic precision of the MAC array. */
+enum class Precision
+{
+    FP64,
+    FP32,
+};
+
+/** Name for printing ("fp64"/"fp32"). */
+std::string toString(Precision p);
+
+/** Per-run hardware configuration. */
+struct MachineConfig
+{
+    Precision precision = Precision::FP64;
+    int macCount = 64;    ///< Multipliers in the MAC array.
+    int numDpgs = 8;      ///< Uni-STC dot-product generators.
+    double freqGhz = 1.5; ///< Target clock (A100).
+
+    /** Operand width in bytes (8 for FP64, 4 for FP32). */
+    int bytesPerValue() const;
+
+    /** The paper's default FP64 configuration (64 MACs, 8 DPGs). */
+    static MachineConfig fp64();
+
+    /** The paper's FP32 configuration (128 MACs, 8 DPGs). */
+    static MachineConfig fp32();
+
+    /** FP64 configuration with a non-default DPG count (Fig. 22). */
+    static MachineConfig fp64WithDpgs(int dpgs);
+};
+
+} // namespace unistc
+
+#endif // UNISTC_SIM_CONFIG_HH

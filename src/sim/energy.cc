@@ -1,0 +1,72 @@
+#include "sim/energy.hh"
+
+namespace unistc
+{
+
+double
+EnergyParams::macPj(const MachineConfig &cfg) const
+{
+    return cfg.precision == Precision::FP64 ? macFp64Pj : macFp32Pj;
+}
+
+EnergyModel::EnergyModel(EnergyParams params) : params_(params)
+{
+}
+
+void
+EnergyModel::finalize(const MachineConfig &cfg, const NetworkConfig &net,
+                      RunResult &res) const
+{
+    const EnergyParams &p = params_;
+    const double bytes = cfg.bytesPerValue();
+    const double flat = flatCrossbarPjPerByte();
+
+    EnergyBreakdown e;
+
+    // Operand fetch: register-file read + network traversal for every
+    // engaged operand slot (wasted slots still toggle the datapath).
+    const double a_net = flat / net.aFactor;
+    const double b_net = flat / net.bFactor;
+    e.fetchA = static_cast<double>(res.traffic.totalA()) *
+        (p.regReadPj + bytes * a_net);
+    e.fetchB = static_cast<double>(res.traffic.totalB()) *
+        (p.regReadPj + bytes * b_net);
+
+    // Partial-sum write-back: accumulator write + network traversal.
+    // Architectures with dynamic gating shrink the active C network
+    // with the measured average scale (Fig. 19); static designs pay
+    // the full configured scale.
+    double c_net = flat / net.cFactor;
+    if (net.dynamicGating && res.cycles > 0) {
+        const double active = res.avgCNetScale();
+        const double full = static_cast<double>(net.cNetUnits);
+        if (full > 0.0 && active > 0.0 && active < full)
+            c_net *= active / full;
+    }
+    e.writeC = static_cast<double>(res.traffic.writesC) *
+        (p.regWritePj + bytes * c_net);
+
+    // Task preparation: per-T1 metadata, per-T3 scheduling work, and a
+    // queue push + pop per T3 task.
+    e.schedule = static_cast<double>(res.tasksT1) * p.schedT1Pj +
+        static_cast<double>(res.tasksT3) *
+            (p.schedT3Pj + 2.0 * p.queueOpPj);
+
+    // Static per-cycle lane power. Gated designs pay only for active
+    // lanes; always-on designs pay every lane every cycle.
+    const double lanes = static_cast<double>(cfg.numDpgs);
+    double lane_cycles;
+    if (net.dynamicGating) {
+        lane_cycles = static_cast<double>(res.dpgActiveAccum);
+    } else {
+        lane_cycles = static_cast<double>(res.cycles) * lanes;
+    }
+    e.schedule += lane_cycles * p.lanePjPerCycle;
+
+    // Compute: effective MACs only (idle multipliers are data-gated).
+    e.compute = static_cast<double>(res.products) * p.macPj(cfg);
+
+    res.energy = e;
+}
+
+} // namespace unistc

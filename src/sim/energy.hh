@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Event-count energy model (Sparseloop methodology, §VI-A): every
+ * architectural event — MAC, operand fetch, partial-sum write-back,
+ * task-scheduling step, network traversal — carries a per-event energy
+ * and the total is the weighted event count.
+ */
+
+#ifndef UNISTC_SIM_ENERGY_HH
+#define UNISTC_SIM_ENERGY_HH
+
+#include "sim/config.hh"
+#include "sim/network.hh"
+#include "sim/result.hh"
+
+namespace unistc
+{
+
+/** Per-event energies in picojoules (7 nm-class values). */
+struct EnergyParams
+{
+    double macFp64Pj = 16.0;  ///< FP64 multiply + add.
+    double macFp32Pj = 4.5;   ///< FP32 multiply + add.
+    double regReadPj = 1.2;   ///< Register-file read per operand.
+    double regWritePj = 1.5;  ///< Register-file write per operand.
+    double queueOpPj = 0.15;  ///< Task-queue push or pop (code only).
+    double schedT3Pj = 0.9;   ///< TMS+DPG work per T3 task.
+    double schedT1Pj = 2.5;   ///< Per-T1 metadata handling.
+    /** Static network/control power per cycle per DPG lane. */
+    double lanePjPerCycle = 0.6;
+
+    /** MAC energy for the configured precision. */
+    double macPj(const MachineConfig &cfg) const;
+};
+
+/**
+ * Computes the EnergyBreakdown of a finished run from its raw event
+ * counters and the architecture's network description, and stores it
+ * in @p res.energy.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams params = {});
+
+    /**
+     * Fill @p res.energy.
+     *
+     * @param cfg machine configuration the run used.
+     * @param net the architecture's interconnect description.
+     * @param res run to finalize (energy is overwritten).
+     */
+    void finalize(const MachineConfig &cfg, const NetworkConfig &net,
+                  RunResult &res) const;
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_SIM_ENERGY_HH

@@ -1,0 +1,73 @@
+#include "sim/memory.hh"
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+DramTraffic
+kernelDramTraffic(Kernel kernel, const BbcMatrix &a, int b_cols,
+                  const BbcMatrix *b, std::int64_t c_nnz,
+                  const MachineConfig &cfg)
+{
+    DramTraffic t;
+    const std::uint64_t bytes = cfg.bytesPerValue();
+    const std::uint64_t a_image = a.metadataBytes() +
+        static_cast<std::uint64_t>(a.nnz()) * bytes;
+
+    switch (kernel) {
+      case Kernel::SpMV:
+      case Kernel::SpMSpV:
+        t.readA = a_image;
+        // Dense x (or the sparse x image); y written once. Both are
+        // vector-sized.
+        t.readB = static_cast<std::uint64_t>(a.cols()) * bytes;
+        t.writeC = static_cast<std::uint64_t>(a.rows()) * bytes;
+        break;
+      case Kernel::SpMM:
+        UNISTC_ASSERT(b_cols > 0, "SpMM needs a B width");
+        t.readA = a_image;
+        t.readB = static_cast<std::uint64_t>(a.cols()) * b_cols *
+            bytes;
+        t.writeC = static_cast<std::uint64_t>(a.rows()) * b_cols *
+            bytes;
+        break;
+      case Kernel::SpGEMM: {
+        UNISTC_ASSERT(b != nullptr, "SpGEMM needs a B operand");
+        UNISTC_ASSERT(c_nnz >= 0, "SpGEMM needs the result size");
+        t.readA = a_image;
+        // B's block rows are revisited once per referencing A block;
+        // the L2 absorbs part of the reuse, the rest hits DRAM. A
+        // single full stream of B is the floor.
+        t.readB = b->metadataBytes() +
+            static_cast<std::uint64_t>(b->nnz()) * bytes;
+        t.writeC = static_cast<std::uint64_t>(c_nnz) *
+            (bytes + 4 /* column index */);
+        break;
+      }
+    }
+    return t;
+}
+
+RooflineVerdict
+roofline(const RunResult &run, const DramTraffic &traffic,
+         const MachineConfig &cfg, const MemoryConfig &mem)
+{
+    RooflineVerdict v;
+    // Compute time with the run's cycles spread over every STC unit
+    // on the device (optimistic compute => conservative verdict).
+    const double unit_ns = run.timeNs(cfg.freqGhz);
+    v.computeNs = unit_ns / mem.stcUnitsPerDevice;
+
+    // DRAM time: the traffic model already counts each operand image
+    // streamed exactly once (re-reads are assumed L2-resident, which
+    // mem.l2HitRate documents), so every counted byte hits DRAM.
+    const double bytes_per_ns = mem.bandwidthGBs; // GB/s == B/ns
+    v.memoryNs = static_cast<double>(traffic.total()) / bytes_per_ns;
+
+    v.computeBound = v.computeNs >= v.memoryNs;
+    v.ratio = v.memoryNs > 0.0 ? v.computeNs / v.memoryNs : 1e9;
+    return v;
+}
+
+} // namespace unistc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Off-chip memory substrate (extension). The paper's evaluation is
+ * compute-side: it integrates the STC into Accel-Sim "with added
+ * support for asynchronous memory access" and reports kernel cycles.
+ * This module supplies the missing sanity check: a DRAM traffic and
+ * roofline model that verifies the evaluated kernels stay compute-
+ * bound on an A100-class memory system — i.e. that comparing STCs by
+ * compute cycles is legitimate — and flags the operating points
+ * where they do not.
+ */
+
+#ifndef UNISTC_SIM_MEMORY_HH
+#define UNISTC_SIM_MEMORY_HH
+
+#include <cstdint>
+
+#include "bbc/bbc_matrix.hh"
+#include "runner/report.hh"
+#include "sim/config.hh"
+#include "sim/result.hh"
+
+namespace unistc
+{
+
+/** Device memory-system parameters (A100-class defaults). */
+struct MemoryConfig
+{
+    double bandwidthGBs = 1555.0; ///< HBM2e bandwidth.
+    double l2HitRate = 0.5;       ///< Fraction of re-reads served on chip.
+    int stcUnitsPerDevice = 432;  ///< 4 per SM x 108 SMs.
+};
+
+/** DRAM traffic of one kernel invocation (bytes). */
+struct DramTraffic
+{
+    std::uint64_t readA = 0;  ///< BBC image of A (streamed once).
+    std::uint64_t readB = 0;  ///< B operand (dense or BBC image).
+    std::uint64_t writeC = 0; ///< Result write-back.
+
+    std::uint64_t total() const { return readA + readB + writeC; }
+};
+
+/**
+ * Compute the DRAM traffic of a kernel on BBC operands. Operand
+ * images stream from DRAM once (block reuse hits in the L2 per
+ * l2HitRate); the result is written once.
+ *
+ * @param kernel which kernel.
+ * @param a the (BBC) A operand.
+ * @param b_cols dense-B width for SpMM.
+ * @param b the BBC B operand for SpGEMM (ignored otherwise).
+ * @param c_nnz result nonzeros (pass the symbolic count).
+ */
+DramTraffic kernelDramTraffic(Kernel kernel, const BbcMatrix &a,
+                              int b_cols, const BbcMatrix *b,
+                              std::int64_t c_nnz,
+                              const MachineConfig &cfg);
+
+/** Roofline verdict for one simulated run. */
+struct RooflineVerdict
+{
+    double computeNs = 0.0; ///< STC time (device-wide).
+    double memoryNs = 0.0;  ///< DRAM streaming time.
+    bool computeBound = false;
+    /** computeNs / memoryNs: > 1 means compute-bound. */
+    double ratio = 0.0;
+};
+
+/**
+ * Compare the device-level compute time of a run against its DRAM
+ * streaming time. The run's cycles are divided across the device's
+ * STC units (perfect scaling — optimistic for compute, i.e. a
+ * conservative compute-bound verdict).
+ */
+RooflineVerdict roofline(const RunResult &run,
+                         const DramTraffic &traffic,
+                         const MachineConfig &cfg,
+                         const MemoryConfig &mem = {});
+
+} // namespace unistc
+
+#endif // UNISTC_SIM_MEMORY_HH

@@ -1,0 +1,30 @@
+#include "sim/network.hh"
+
+#include <cmath>
+
+namespace unistc
+{
+
+namespace
+{
+// Calibration constant: pJ per byte per sqrt(port product). Chosen so
+// the flat 64x256 crossbar costs ~3.8 pJ/byte, in the range register-
+// file-to-FU movement costs at 7 nm occupy in the literature, and so
+// the relative dense-workload energies of §VI-C-1 reproduce.
+constexpr double kNetPjPerByteUnit = 0.03;
+} // namespace
+
+double
+crossbarPjPerByte(int in_ports, int out_ports)
+{
+    return kNetPjPerByteUnit *
+        std::sqrt(static_cast<double>(in_ports) * out_ports);
+}
+
+double
+flatCrossbarPjPerByte()
+{
+    return crossbarPjPerByte(64, 256);
+}
+
+} // namespace unistc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * On-chip network model. §IV-C identifies network scale and data
+ * traffic as the primary energy drivers in STCs. Each architecture is
+ * described by the effective energy-per-byte of its A/B/C delivery
+ * paths, expressed as a *reduction factor* relative to the flat
+ * 64x256 crossbars a naive design would need. Uni-STC's hierarchical
+ * two-layer design achieves 7.16x / 5.33x / 2.83x (paper §IV-C-2);
+ * baseline factors are calibrated from the relative energies the
+ * paper reports (see DESIGN.md §4).
+ */
+
+#ifndef UNISTC_SIM_NETWORK_HH
+#define UNISTC_SIM_NETWORK_HH
+
+namespace unistc
+{
+
+/** Per-architecture interconnect description. */
+struct NetworkConfig
+{
+    /** Energy-per-byte reduction of the A path vs a flat crossbar. */
+    double aFactor = 1.0;
+    /** Energy-per-byte reduction of the B path vs a flat crossbar. */
+    double bFactor = 1.0;
+    /** Energy-per-byte reduction of the C path vs a flat crossbar. */
+    double cFactor = 1.0;
+    /**
+     * Static C-write network scale in 16x16-network units (Fig. 19).
+     * Uni-STC overrides this dynamically via RunResult::cNetScaleAccum.
+     */
+    int cNetUnits = 16;
+    /** True when unused DPG datapaths are power-gated (Uni-STC). */
+    bool dynamicGating = false;
+};
+
+/**
+ * Crossbar traversal energy in picojoules per byte for a network with
+ * @p in_ports inputs and @p out_ports outputs. Wire length (and hence
+ * energy per bit) grows roughly with the geometric mean of the port
+ * counts; the constant is calibrated so a flat 64x256 crossbar matches
+ * the reference energy the factors above divide.
+ */
+double crossbarPjPerByte(int in_ports, int out_ports);
+
+/** Reference flat-crossbar energy (64x256) in pJ/byte. */
+double flatCrossbarPjPerByte();
+
+} // namespace unistc
+
+#endif // UNISTC_SIM_NETWORK_HH

@@ -1,0 +1,113 @@
+#include "sm/sm_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+double
+SmStats::unitUtilisation(int stc_units) const
+{
+    if (makespanCycles == 0 || stc_units <= 0)
+        return 0.0;
+    return static_cast<double>(busyUnitCycles) /
+        (static_cast<double>(makespanCycles) * stc_units);
+}
+
+SmStats
+simulateSmWarps(const std::vector<std::vector<TaskBundle>> &warp_streams,
+                int stc_units)
+{
+    UNISTC_ASSERT(stc_units > 0, "need at least one STC unit");
+
+    SmStats stats;
+    std::vector<std::uint64_t> unit_free(stc_units, 0);
+    std::uint64_t makespan = 0;
+
+    // Warps proceed independently; within a warp, bundles are issued
+    // in program order. Round-robin over warps approximates the warp
+    // scheduler: we advance the warp with the smallest local clock.
+    struct WarpState
+    {
+        std::size_t next = 0;
+        std::uint64_t clock = 0;
+    };
+    std::vector<WarpState> warps(warp_streams.size());
+
+    for (;;) {
+        // Pick the least-advanced warp that still has work.
+        int pick = -1;
+        for (std::size_t w = 0; w < warps.size(); ++w) {
+            if (warps[w].next >= warp_streams[w].size())
+                continue;
+            if (pick < 0 || warps[w].clock < warps[pick].clock)
+                pick = static_cast<int>(w);
+        }
+        if (pick < 0)
+            break;
+
+        WarpState &ws = warps[pick];
+        const TaskBundle &bundle = warp_streams[pick][ws.next++];
+        ++stats.tasksIssued;
+
+        // Loads serialise on the warp (operand collector).
+        ws.clock += static_cast<std::uint64_t>(bundle.loadCycles);
+
+        // Earliest-free unit runs the bundle. Task generation
+        // overlaps the unit's previous numeric phase (§IV-G), so the
+        // unit is occupied for max(taskGen, numeric) but the warp
+        // only waits for the numeric result.
+        auto it = std::min_element(unit_free.begin(),
+                                   unit_free.end());
+        const std::uint64_t start = std::max(*it, ws.clock);
+        const std::uint64_t busy = static_cast<std::uint64_t>(
+            std::max(bundle.taskGenCycles, bundle.numericCycles));
+        *it = start + busy;
+        ws.clock = start + busy;
+        stats.busyUnitCycles += busy;
+        makespan = std::max(makespan, ws.clock);
+    }
+
+    stats.makespanCycles = makespan;
+    return stats;
+}
+
+SmStats
+simulateSm(const std::vector<TaskBundle> &bundles, const SmConfig &cfg)
+{
+    UNISTC_ASSERT(cfg.warps > 0, "need at least one warp");
+    std::vector<std::vector<TaskBundle>> streams(cfg.warps);
+    const std::size_t n = bundles.size();
+    for (int w = 0; w < cfg.warps; ++w) {
+        const std::size_t begin = n * w / cfg.warps;
+        const std::size_t end = n * (w + 1) / cfg.warps;
+        streams[w].assign(bundles.begin() + begin,
+                          bundles.begin() + end);
+    }
+    return simulateSmWarps(streams, cfg.stcUnits);
+}
+
+SmStats
+simulateDevice(const std::vector<TaskBundle> &bundles,
+               const SmConfig &cfg, int num_sms)
+{
+    UNISTC_ASSERT(num_sms > 0, "need at least one SM");
+    SmStats device;
+    const std::size_t n = bundles.size();
+    for (int sm = 0; sm < num_sms; ++sm) {
+        const std::size_t begin = n * sm / num_sms;
+        const std::size_t end = n * (sm + 1) / num_sms;
+        const std::vector<TaskBundle> chunk(bundles.begin() + begin,
+                                            bundles.begin() + end);
+        const SmStats s = simulateSm(chunk, cfg);
+        device.makespanCycles =
+            std::max(device.makespanCycles, s.makespanCycles);
+        device.busyUnitCycles += s.busyUnitCycles;
+        device.tasksIssued += s.tasksIssued;
+    }
+    return device;
+}
+
+} // namespace unistc

@@ -1,0 +1,57 @@
+#include "sparse/coo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+CooMatrix::CooMatrix(int rows, int cols) : rows_(rows), cols_(cols)
+{
+    UNISTC_ASSERT(rows >= 0 && cols >= 0, "negative matrix shape");
+}
+
+void
+CooMatrix::add(int row, int col, double val)
+{
+    entries_.push_back({row, col, val});
+}
+
+void
+CooMatrix::normalize()
+{
+    validate();
+    std::sort(entries_.begin(), entries_.end(),
+              [](const CooEntry &a, const CooEntry &b) {
+                  if (a.row != b.row)
+                      return a.row < b.row;
+                  return a.col < b.col;
+              });
+    std::vector<CooEntry> merged;
+    merged.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        if (!merged.empty() && merged.back().row == e.row &&
+            merged.back().col == e.col) {
+            merged.back().val += e.val;
+        } else {
+            merged.push_back(e);
+        }
+    }
+    // Drop explicit zeros produced by cancellation or by generators.
+    std::erase_if(merged, [](const CooEntry &e) { return e.val == 0.0; });
+    entries_ = std::move(merged);
+}
+
+void
+CooMatrix::validate() const
+{
+    for (const auto &e : entries_) {
+        UNISTC_ASSERT(e.row >= 0 && e.row < rows_ &&
+                      e.col >= 0 && e.col < cols_,
+                      "COO entry (", e.row, ",", e.col,
+                      ") out of bounds for ", rows_, "x", cols_);
+    }
+}
+
+} // namespace unistc

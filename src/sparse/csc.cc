@@ -1,0 +1,48 @@
+#include "sparse/csc.hh"
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+CscMatrix::CscMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols), colPtr_(cols + 1, 0)
+{
+    UNISTC_ASSERT(rows >= 0 && cols >= 0, "negative matrix shape");
+}
+
+CscMatrix::CscMatrix(int rows, int cols,
+                     std::vector<std::int64_t> col_ptr,
+                     std::vector<int> row_idx, std::vector<double> vals)
+    : rows_(rows), cols_(cols), colPtr_(std::move(col_ptr)),
+      rowIdx_(std::move(row_idx)), vals_(std::move(vals))
+{
+    validate();
+}
+
+void
+CscMatrix::validate() const
+{
+    UNISTC_ASSERT(static_cast<int>(colPtr_.size()) == cols_ + 1,
+                  "colPtr size mismatch");
+    UNISTC_ASSERT(colPtr_.front() == 0, "colPtr must start at 0");
+    UNISTC_ASSERT(rowIdx_.size() == vals_.size(),
+                  "rowIdx/vals size mismatch");
+    UNISTC_ASSERT(colPtr_.back() ==
+                  static_cast<std::int64_t>(rowIdx_.size()),
+                  "colPtr back != nnz");
+    for (int c = 0; c < cols_; ++c) {
+        UNISTC_ASSERT(colPtr_[c] <= colPtr_[c + 1],
+                      "colPtr not monotone at column ", c);
+        for (std::int64_t i = colPtr_[c]; i < colPtr_[c + 1]; ++i) {
+            UNISTC_ASSERT(rowIdx_[i] >= 0 && rowIdx_[i] < rows_,
+                          "row index out of bounds in column ", c);
+            if (i > colPtr_[c]) {
+                UNISTC_ASSERT(rowIdx_[i - 1] < rowIdx_[i],
+                              "rows unsorted/duplicated in column ", c);
+            }
+        }
+    }
+}
+
+} // namespace unistc

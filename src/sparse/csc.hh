@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Compressed Sparse Column matrix; used where column access dominates
+ * (outer-product baselines gather columns of A).
+ */
+
+#ifndef UNISTC_SPARSE_CSC_HH
+#define UNISTC_SPARSE_CSC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace unistc
+{
+
+/** CSC matrix mirroring CsrMatrix's layout, per column. */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    /** Empty (all-zero) matrix of the given shape. */
+    CscMatrix(int rows, int cols);
+
+    /** Construct from raw arrays (validated). */
+    CscMatrix(int rows, int cols, std::vector<std::int64_t> col_ptr,
+              std::vector<int> row_idx, std::vector<double> vals);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::int64_t nnz() const
+    {
+        return colPtr_.empty() ? 0 : colPtr_.back();
+    }
+
+    const std::vector<std::int64_t> &colPtr() const { return colPtr_; }
+    const std::vector<int> &rowIdx() const { return rowIdx_; }
+    const std::vector<double> &vals() const { return vals_; }
+
+    /** Number of nonzeros in column @p c. */
+    std::int64_t colNnz(int c) const
+    {
+        return colPtr_[c + 1] - colPtr_[c];
+    }
+
+    /** Abort if the structure is inconsistent or indices unsorted. */
+    void validate() const;
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<std::int64_t> colPtr_{0};
+    std::vector<int> rowIdx_;
+    std::vector<double> vals_;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_SPARSE_CSC_HH

@@ -1,0 +1,97 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+CsrMatrix::CsrMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols), rowPtr_(rows + 1, 0)
+{
+    UNISTC_ASSERT(rows >= 0 && cols >= 0, "negative matrix shape");
+}
+
+CsrMatrix::CsrMatrix(int rows, int cols,
+                     std::vector<std::int64_t> row_ptr,
+                     std::vector<int> col_idx, std::vector<double> vals)
+    : rows_(rows), cols_(cols), rowPtr_(std::move(row_ptr)),
+      colIdx_(std::move(col_idx)), vals_(std::move(vals))
+{
+    validate();
+}
+
+double
+CsrMatrix::at(int r, int c) const
+{
+    UNISTC_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "at(", r, ",", c, ") out of bounds");
+    const auto begin = colIdx_.begin() + rowPtr_[r];
+    const auto end = colIdx_.begin() + rowPtr_[r + 1];
+    const auto it = std::lower_bound(begin, end, c);
+    if (it != end && *it == c)
+        return vals_[it - colIdx_.begin()];
+    return 0.0;
+}
+
+double
+CsrMatrix::density() const
+{
+    const double cells = static_cast<double>(rows_) * cols_;
+    return cells > 0.0 ? static_cast<double>(nnz()) / cells : 0.0;
+}
+
+std::uint64_t
+CsrMatrix::storageBytes() const
+{
+    return static_cast<std::uint64_t>(rowPtr_.size()) * 8 +
+        static_cast<std::uint64_t>(colIdx_.size()) * 4 +
+        static_cast<std::uint64_t>(vals_.size()) * 8;
+}
+
+void
+CsrMatrix::validate() const
+{
+    UNISTC_ASSERT(static_cast<int>(rowPtr_.size()) == rows_ + 1,
+                  "rowPtr size ", rowPtr_.size(), " != rows+1 ",
+                  rows_ + 1);
+    UNISTC_ASSERT(rowPtr_.front() == 0, "rowPtr must start at 0");
+    UNISTC_ASSERT(colIdx_.size() == vals_.size(),
+                  "colIdx/vals size mismatch");
+    UNISTC_ASSERT(rowPtr_.back() ==
+                  static_cast<std::int64_t>(colIdx_.size()),
+                  "rowPtr back != nnz");
+    for (int r = 0; r < rows_; ++r) {
+        UNISTC_ASSERT(rowPtr_[r] <= rowPtr_[r + 1],
+                      "rowPtr not monotone at row ", r);
+        for (std::int64_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i) {
+            UNISTC_ASSERT(colIdx_[i] >= 0 && colIdx_[i] < cols_,
+                          "column index out of bounds at row ", r);
+            if (i > rowPtr_[r]) {
+                UNISTC_ASSERT(colIdx_[i - 1] < colIdx_[i],
+                              "columns unsorted/duplicated in row ", r);
+            }
+        }
+    }
+}
+
+bool
+CsrMatrix::approxEquals(const CsrMatrix &other, double tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    if (rowPtr_ != other.rowPtr_ || colIdx_ != other.colIdx_)
+        return false;
+    for (std::size_t i = 0; i < vals_.size(); ++i) {
+        const double scale =
+            std::max({1.0, std::fabs(vals_[i]),
+                      std::fabs(other.vals_[i])});
+        if (std::fabs(vals_[i] - other.vals_[i]) > tol * scale)
+            return false;
+    }
+    return true;
+}
+
+} // namespace unistc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Compressed Sparse Row matrix — the repository's working format for
+ * reference kernels and the source format for BBC construction.
+ */
+
+#ifndef UNISTC_SPARSE_CSR_HH
+#define UNISTC_SPARSE_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace unistc
+{
+
+/** CSR matrix with 64-bit row pointers and 32-bit column indices. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Empty (all-zero) matrix of the given shape. */
+    CsrMatrix(int rows, int cols);
+
+    /** Construct from raw arrays (validated). */
+    CsrMatrix(int rows, int cols, std::vector<std::int64_t> row_ptr,
+              std::vector<int> col_idx, std::vector<double> vals);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::int64_t nnz() const
+    {
+        return rowPtr_.empty() ? 0 : rowPtr_.back();
+    }
+
+    const std::vector<std::int64_t> &rowPtr() const { return rowPtr_; }
+    const std::vector<int> &colIdx() const { return colIdx_; }
+    const std::vector<double> &vals() const { return vals_; }
+    std::vector<double> &vals() { return vals_; }
+
+    /** Number of nonzeros in row @p r. */
+    std::int64_t rowNnz(int r) const
+    {
+        return rowPtr_[r + 1] - rowPtr_[r];
+    }
+
+    /** Value at (r, c); 0 when structurally absent (binary search). */
+    double at(int r, int c) const;
+
+    /** Density nnz / (rows*cols); 0 for an empty shape. */
+    double density() const;
+
+    /**
+     * Storage footprint in bytes with 4-byte column indices, 8-byte
+     * row pointers and 8-byte FP64 values (Fig. 15 accounting).
+     */
+    std::uint64_t storageBytes() const;
+
+    /** Abort if the structure is inconsistent or indices unsorted. */
+    void validate() const;
+
+    /** Structural + numerical equality within @p tol. */
+    bool approxEquals(const CsrMatrix &other, double tol = 1e-9) const;
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<std::int64_t> rowPtr_{0};
+    std::vector<int> colIdx_;
+    std::vector<double> vals_;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_SPARSE_CSR_HH

@@ -1,0 +1,117 @@
+#include "sparse/io.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+} // namespace
+
+CsrMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        UNISTC_FATAL("empty Matrix Market stream");
+
+    std::istringstream hdr(line);
+    std::string banner, object, format, field, symmetry;
+    hdr >> banner >> object >> format >> field >> symmetry;
+    if (banner != "%%MatrixMarket")
+        UNISTC_FATAL("missing %%MatrixMarket banner");
+    object = toLower(object);
+    format = toLower(format);
+    field = toLower(field);
+    symmetry = toLower(symmetry);
+    if (object != "matrix" || format != "coordinate")
+        UNISTC_FATAL("only 'matrix coordinate' files are supported");
+    if (field != "real" && field != "integer" && field != "pattern")
+        UNISTC_FATAL("unsupported field type '", field, "'");
+    if (symmetry != "general" && symmetry != "symmetric")
+        UNISTC_FATAL("unsupported symmetry '", symmetry, "'");
+
+    // Skip comments, then read the size line.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream size_line(line);
+    long rows = 0, cols = 0, nnz = 0;
+    size_line >> rows >> cols >> nnz;
+    if (rows <= 0 || cols <= 0 || nnz < 0)
+        UNISTC_FATAL("bad Matrix Market size line: '", line, "'");
+
+    CooMatrix coo(static_cast<int>(rows), static_cast<int>(cols));
+    const bool pattern = field == "pattern";
+    const bool symmetric = symmetry == "symmetric";
+    for (long k = 0; k < nnz; ++k) {
+        if (!std::getline(in, line))
+            UNISTC_FATAL("truncated Matrix Market file at entry ", k);
+        std::istringstream es(line);
+        long r = 0, c = 0;
+        double v = 1.0;
+        es >> r >> c;
+        if (!pattern)
+            es >> v;
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            UNISTC_FATAL("entry out of bounds at line for entry ", k);
+        coo.add(static_cast<int>(r - 1), static_cast<int>(c - 1), v);
+        if (symmetric && r != c) {
+            coo.add(static_cast<int>(c - 1), static_cast<int>(r - 1),
+                    v);
+        }
+    }
+    return cooToCsr(std::move(coo));
+}
+
+CsrMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        UNISTC_FATAL("cannot open '", path, "' for reading");
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(std::ostream &out, const CsrMatrix &m)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    out.precision(17);
+    for (int r = 0; r < m.rows(); ++r) {
+        for (std::int64_t i = m.rowPtr()[r]; i < m.rowPtr()[r + 1];
+             ++i) {
+            out << (r + 1) << " " << (m.colIdx()[i] + 1) << " "
+                << m.vals()[i] << "\n";
+        }
+    }
+}
+
+void
+writeMatrixMarketFile(const std::string &path, const CsrMatrix &m)
+{
+    std::ofstream out(path);
+    if (!out)
+        UNISTC_FATAL("cannot open '", path, "' for writing");
+    writeMatrixMarket(out, m);
+}
+
+} // namespace unistc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Matrix Market (.mtx) reader/writer. Supports the coordinate format
+ * with real/integer/pattern fields and general/symmetric symmetry —
+ * enough to load any SuiteSparse matrix a user drops into the corpus.
+ */
+
+#ifndef UNISTC_SPARSE_IO_HH
+#define UNISTC_SPARSE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+/** Parse a Matrix Market stream into CSR. Aborts via fatal() on error. */
+CsrMatrix readMatrixMarket(std::istream &in);
+
+/** Load a .mtx file. */
+CsrMatrix readMatrixMarketFile(const std::string &path);
+
+/** Write CSR as "coordinate real general" Matrix Market. */
+void writeMatrixMarket(std::ostream &out, const CsrMatrix &m);
+
+/** Save a .mtx file. */
+void writeMatrixMarketFile(const std::string &path, const CsrMatrix &m);
+
+} // namespace unistc
+
+#endif // UNISTC_SPARSE_IO_HH

@@ -1,0 +1,69 @@
+#include "stc/ds_stc.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace unistc
+{
+
+NetworkConfig
+DsStc::network() const
+{
+    // Outer products scatter every partial product across the full
+    // C accumulator: a large, always-on write crossbar.
+    NetworkConfig net;
+    net.aFactor = 3.4;
+    net.bFactor = 3.4;
+    net.cFactor = 2.2;
+    net.cNetUnits = 64;
+    net.dynamicGating = false;
+    return net;
+}
+
+void
+DsStc::runBlock(const BlockTask &task, RunResult &res) const
+{
+    ++res.tasksT1;
+    const int mac = cfg_.macCount;
+    const int n_ext = task.nExtent();
+    // Outer-product T3 geometry: 8x8x1 @FP64, 8x16x1 @FP32.
+    const int t3m = 8;
+    const int t3n = cfg_.precision == Precision::FP64 ? 8 : 16;
+
+    for (int k = 0; k < kBlockSize; ++k) {
+        const int na = popcount16(task.a.colBits(k));
+        int nb = 0;
+        for (int c = 0; c < n_ext; ++c)
+            nb += task.b.test(k, c) ? 1 : 0;
+        // Dual-side skip: a K slice contributes nothing when either
+        // side is empty, and the front-end skips it outright.
+        if (na == 0 || nb == 0)
+            continue;
+
+        const int m_steps = static_cast<int>(ceilDiv(na, t3m));
+        const int n_steps = static_cast<int>(ceilDiv(nb, t3n));
+        for (int mi = 0; mi < m_steps; ++mi) {
+            const int a_seg = std::min(t3m, na - mi * t3m);
+            for (int ni = 0; ni < n_steps; ++ni) {
+                const int b_seg = std::min(t3n, nb - ni * t3n);
+                const int eff = a_seg * b_seg;
+                ++res.tasksT3;
+                res.recordCycle(mac, eff, 0, network().cNetUnits);
+
+                // One gathered A segment and one gathered B segment
+                // feed the whole cycle; idle lanes are wasted slots.
+                res.traffic.readsA += a_seg;
+                res.traffic.wastedA += t3m - a_seg;
+                res.traffic.readsB += b_seg;
+                res.traffic.wastedB += t3n - b_seg;
+
+                // Outer product: every product is a scattered partial
+                // update of C.
+                res.traffic.writesC += eff;
+            }
+        }
+    }
+}
+
+} // namespace unistc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * DS-STC — the dual-side sparse tensor core (Wang et al., ISCA'21 /
+ * Zhang et al., TC'24) modelled from its Table VI geometry: an
+ * outer-product dataflow with T3 tasks of 8(M) x 8(N) x 1(K) @FP64
+ * (8 x 16 x 1 @FP32).
+ *
+ * For every K slice whose A column and B row both carry nonzeros, the
+ * nonzeros are gathered into dense vectors and the outer product is
+ * executed in ceil(na/8) x ceil(nb/8) cycles. Short gather segments
+ * leave MAC lanes idle (the paper's red-slash ineffective accesses),
+ * and every intermediate product is written to the C accumulator
+ * through a wide crossbar — the architecture's energy weakness.
+ */
+
+#ifndef UNISTC_STC_DS_STC_HH
+#define UNISTC_STC_DS_STC_HH
+
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Outer-product dual-side sparse tensor core baseline. */
+class DsStc : public StcModel
+{
+  public:
+    explicit DsStc(MachineConfig cfg) : StcModel(cfg) {}
+
+    std::string name() const override { return "DS-STC"; }
+
+    NetworkConfig network() const override;
+
+    void runBlock(const BlockTask &task, RunResult &res) const override;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_STC_DS_STC_HH

@@ -1,0 +1,61 @@
+#include "stc/gamma.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace unistc
+{
+
+NetworkConfig
+Gamma::network() const
+{
+    NetworkConfig net;
+    net.aFactor = 2.8;
+    net.bFactor = 2.6;
+    net.cFactor = 2.0;
+    net.cNetUnits = 32;
+    net.dynamicGating = false;
+    return net;
+}
+
+void
+Gamma::runBlock(const BlockTask &task, RunResult &res) const
+{
+    ++res.tasksT1;
+    const int mac = cfg_.macCount;
+    const int n_ext = task.nExtent();
+    const int t3m = 16;
+    const int t3n = cfg_.precision == Precision::FP64 ? 4 : 8;
+
+    for (int k = 0; k < kBlockSize; ++k) {
+        const std::uint16_t a_col = task.a.colBits(k);
+        const int na = popcount16(a_col);
+        int nb = 0;
+        for (int c = 0; c < n_ext; ++c)
+            nb += task.b.test(k, c) ? 1 : 0;
+        // A fully empty K slice is skipped by the front-end; a slice
+        // with work engages all 16 M lanes, empty rows included.
+        if (na == 0 || nb == 0)
+            continue;
+
+        const int n_steps = static_cast<int>(ceilDiv(nb, t3n));
+        for (int ni = 0; ni < n_steps; ++ni) {
+            const int b_seg = std::min(t3n, nb - ni * t3n);
+            const int eff = na * b_seg;
+            ++res.tasksT3;
+            res.recordCycle(mac, eff, 0, network().cNetUnits);
+
+            // All 16 A lanes are loaded even for empty rows.
+            res.traffic.readsA += na;
+            res.traffic.wastedA += t3m - na;
+            res.traffic.readsB += b_seg;
+            res.traffic.wastedB += t3n - b_seg;
+            // Gustavson accumulates rows of C; each active lane
+            // writes one partial per streamed column.
+            res.traffic.writesC += eff;
+        }
+    }
+}
+
+} // namespace unistc

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * GAMMA (Zhang et al., ASPLOS'21) — Gustavson-dataflow accelerator,
+ * throughput-aligned to the common MAC budget per §VI-C. Table VI
+ * geometry: 16(M) x (8 or 4)(N) x 1(K). Per K slice the whole 16-row
+ * column of A occupies the M lanes — empty rows inside the slice
+ * cannot be bypassed (the paper's stated weakness of its blocking
+ * approach) — while the B row's nonzeros stream N at a time.
+ */
+
+#ifndef UNISTC_STC_GAMMA_HH
+#define UNISTC_STC_GAMMA_HH
+
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Gustavson-dataflow baseline. */
+class Gamma : public StcModel
+{
+  public:
+    explicit Gamma(MachineConfig cfg) : StcModel(cfg) {}
+
+    std::string name() const override { return "GAMMA"; }
+
+    NetworkConfig network() const override;
+
+    void runBlock(const BlockTask &task, RunResult &res) const override;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_STC_GAMMA_HH

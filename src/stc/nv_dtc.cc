@@ -1,0 +1,85 @@
+#include "stc/nv_dtc.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+NetworkConfig
+NvDtc::network() const
+{
+    // A dense tensor core routes operands on fixed wires: very cheap
+    // per byte, modest fixed write fabric.
+    NetworkConfig net;
+    net.aFactor = 8.0;
+    net.bFactor = 8.0;
+    net.cFactor = 4.0;
+    net.cNetUnits = 4;
+    net.dynamicGating = false;
+    return net;
+}
+
+void
+NvDtc::runBlock(const BlockTask &task, RunResult &res) const
+{
+    // The GPU front-end skips instructions with an empty operand
+    // (coarse-grained skipping, §V-B); inside a non-empty task there
+    // is no sparsity adaptation.
+    if (task.a.empty() || task.b.empty())
+        return;
+    ++res.tasksT1;
+    const int mac = cfg_.macCount;
+    const int n_ext = task.nExtent();
+    // Dense T3 geometry: FP64 4x4x4 = 64 MACs, FP32 8x4x4 = 128 MACs.
+    const int t3m = cfg_.precision == Precision::FP64 ? 4 : 8;
+    const int t3n = 4;
+    const int t3k = 4;
+
+    const int m_steps = kBlockSize / t3m;
+    const int n_steps = static_cast<int>(ceilDiv(n_ext, t3n));
+    const int k_steps = kBlockSize / t3k;
+
+    for (int mi = 0; mi < m_steps; ++mi) {
+        for (int ni = 0; ni < n_steps; ++ni) {
+            for (int ki = 0; ki < k_steps; ++ki) {
+                // Effective products inside this dense T3 sub-cube.
+                int eff = 0;
+                int b_rows_nnz = 0;
+                int a_sub_nnz = 0;
+                for (int k = ki * t3k; k < (ki + 1) * t3k; ++k) {
+                    int a_cnt = 0;
+                    for (int r = mi * t3m; r < (mi + 1) * t3m; ++r)
+                        a_cnt += task.a.test(r, k) ? 1 : 0;
+                    int b_cnt = 0;
+                    for (int c = ni * t3n;
+                         c < std::min((ni + 1) * t3n, n_ext); ++c)
+                        b_cnt += task.b.test(k, c) ? 1 : 0;
+                    eff += a_cnt * b_cnt;
+                    a_sub_nnz += a_cnt;
+                    b_rows_nnz += b_cnt;
+                }
+                ++res.tasksT3;
+                res.recordCycle(mac, eff, 0, network().cNetUnits);
+
+                // Dense fetch: every operand slot is read whether or
+                // not it holds a nonzero.
+                const int a_slots = t3m * t3k;
+                const int b_slots =
+                    t3k * std::min(t3n, n_ext - ni * t3n);
+                res.traffic.readsA += a_sub_nnz;
+                res.traffic.wastedA += a_slots - a_sub_nnz;
+                res.traffic.readsB += b_rows_nnz;
+                res.traffic.wastedB += b_slots - b_rows_nnz;
+            }
+        }
+    }
+
+    // The dense accumulator writes the whole C block back once.
+    res.traffic.writesC +=
+        static_cast<std::uint64_t>(kBlockSize) * n_ext;
+}
+
+} // namespace unistc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * NV-DTC — the NVIDIA A100's original dense tensor core, modelled as
+ * the no-sparsity-adaptation baseline. It walks the full 16x16x16 T1
+ * task as a fixed grid of dense T3 tasks (Table VI: (8 or 4)x4x4), so
+ * cycles are data-independent and utilisation equals block density.
+ */
+
+#ifndef UNISTC_STC_NV_DTC_HH
+#define UNISTC_STC_NV_DTC_HH
+
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Dense tensor core baseline. */
+class NvDtc : public StcModel
+{
+  public:
+    explicit NvDtc(MachineConfig cfg) : StcModel(cfg) {}
+
+    std::string name() const override { return "NV-DTC"; }
+
+    NetworkConfig network() const override;
+
+    void runBlock(const BlockTask &task, RunResult &res) const override;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_STC_NV_DTC_HH

@@ -1,0 +1,106 @@
+#include "stc/nv_stc24.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "stc/nv_dtc.hh"
+
+namespace unistc
+{
+
+bool
+conformsTo24(const BlockPattern &a)
+{
+    for (int r = 0; r < kBlockSize; ++r) {
+        const std::uint16_t row = a.rowBits(r);
+        for (int g = 0; g < kBlockSize; g += 4) {
+            const int cnt = popcount16(
+                static_cast<std::uint16_t>((row >> g) & 0xFu));
+            if (cnt > 2)
+                return false;
+        }
+    }
+    return true;
+}
+
+NetworkConfig
+NvStc24::network() const
+{
+    // Same fixed routing as the dense core, plus the metadata mux.
+    NetworkConfig net;
+    net.aFactor = 7.0;
+    net.bFactor = 8.0;
+    net.cFactor = 4.0;
+    net.cNetUnits = 4;
+    net.dynamicGating = false;
+    return net;
+}
+
+void
+NvStc24::runBlock(const BlockTask &task, RunResult &res) const
+{
+    if (task.a.empty() || task.b.empty())
+        return;
+
+    if (!conformsTo24(task.a)) {
+        // Unstructured operand: the sparse path is unusable and the
+        // task executes on the dense pipeline.
+        NvDtc dense(cfg_);
+        dense.runBlock(task, res);
+        return;
+    }
+
+    ++res.tasksT1;
+    const int mac = cfg_.macCount;
+    const int n_ext = task.nExtent();
+    // 2:4 mode halves the K iteration count: each 4-wide group is
+    // compressed to its <= 2 survivors plus metadata.
+    const int t3m = cfg_.precision == Precision::FP64 ? 4 : 8;
+    const int t3n = 4;
+    const int t3k = 4; // compressed: covers 8 logical K per step
+
+    const int m_steps = kBlockSize / t3m;
+    const int n_steps = static_cast<int>(ceilDiv(n_ext, t3n));
+    const int k_steps = kBlockSize / (2 * t3k); // halved
+
+    for (int mi = 0; mi < m_steps; ++mi) {
+        for (int ni = 0; ni < n_steps; ++ni) {
+            for (int ki = 0; ki < k_steps; ++ki) {
+                // This step covers logical K range [8*ki, 8*ki+8).
+                int eff = 0;
+                int a_nnz = 0;
+                int b_nnz = 0;
+                for (int k = ki * 8; k < ki * 8 + 8; ++k) {
+                    int a_cnt = 0;
+                    for (int r = mi * t3m; r < (mi + 1) * t3m; ++r)
+                        a_cnt += task.a.test(r, k) ? 1 : 0;
+                    int b_cnt = 0;
+                    for (int c = ni * t3n;
+                         c < std::min((ni + 1) * t3n, n_ext); ++c)
+                        b_cnt += task.b.test(k, c) ? 1 : 0;
+                    eff += a_cnt * b_cnt;
+                    a_nnz += a_cnt;
+                    b_nnz += b_cnt;
+                }
+                // 2:4 bounds a_nnz at t3m*4 over the 8 logical K
+                // levels, so eff <= mac holds exactly.
+                ++res.tasksT3;
+                res.recordCycle(mac, eff, 0, network().cNetUnits);
+
+                // Compressed A fetch: survivors only; B is fetched
+                // densely for the full logical K range.
+                const int a_slots = t3m * t3k;
+                const int b_slots =
+                    8 * std::min(t3n, n_ext - ni * t3n);
+                res.traffic.readsA += a_nnz;
+                res.traffic.wastedA += std::max(0, a_slots - a_nnz);
+                res.traffic.readsB += b_nnz;
+                res.traffic.wastedB += std::max(0, b_slots - b_nnz);
+            }
+        }
+    }
+    res.traffic.writesC +=
+        static_cast<std::uint64_t>(kBlockSize) * n_ext;
+}
+
+} // namespace unistc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * NV-STC-2:4 — the A100's Sparse Tensor Core mode (extension). The
+ * paper's introduction situates Uni-STC against tensor cores "of
+ * various ... structured sparsity capabilities": the production
+ * design accelerates only 2:4 structured sparsity (at most 2
+ * nonzeros in every 4-wide group of an A row along K), doubling
+ * throughput when the operand conforms and falling back to the dense
+ * path otherwise. This model makes that contrast measurable.
+ */
+
+#ifndef UNISTC_STC_NV_STC24_HH
+#define UNISTC_STC_NV_STC24_HH
+
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** True when every 4-wide K group of every A row has <= 2 nonzeros. */
+bool conformsTo24(const BlockPattern &a);
+
+/** A100 Sparse Tensor Core (2:4 structured sparsity) model. */
+class NvStc24 : public StcModel
+{
+  public:
+    explicit NvStc24(MachineConfig cfg) : StcModel(cfg) {}
+
+    std::string name() const override { return "NV-STC-2:4"; }
+
+    NetworkConfig network() const override;
+
+    void runBlock(const BlockTask &task, RunResult &res) const override;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_STC_NV_STC24_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * RM-STC — the row-merge sparse tensor core (Huang et al., MICRO'23),
+ * the paper's primary state-of-the-art baseline. Table VI geometry:
+ * T3 = 8(M) x 4(N) x 2(K) @FP64 (16 x 4 x 2 @FP32), with a T4 vector
+ * task of 1 x 1 x 4. Modelled via the grouped row-merge dataflow:
+ * two A scalars per row per step scale their (merged) B rows four
+ * columns at a time, eight rows in lock-step.
+ */
+
+#ifndef UNISTC_STC_RM_STC_HH
+#define UNISTC_STC_RM_STC_HH
+
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Row-merge sparse tensor core baseline. */
+class RmStc : public StcModel
+{
+  public:
+    explicit RmStc(MachineConfig cfg) : StcModel(cfg) {}
+
+    std::string name() const override { return "RM-STC"; }
+
+    NetworkConfig network() const override;
+
+    void runBlock(const BlockTask &task, RunResult &res) const override;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_STC_RM_STC_HH

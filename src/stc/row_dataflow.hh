@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared grouped row-dataflow engine parameterised on the T3 geometry
+ * M x N x K. RM-STC (8x4x2 @FP64) and Trapezoid's three modes are all
+ * instances of this engine:
+ *
+ *  - rows of A are processed in lock-stepped groups of M;
+ *  - each row consumes its nonzero scalars K at a time;
+ *  - for each scalar group the touched B rows are merged (row-merge)
+ *    and the merged column set is swept N columns per sub-step;
+ *  - a group's cycle count is the maximum over its rows (load
+ *    imbalance inside a group leaves lanes idle — the inefficiency
+ *    the paper attributes to both RM-STC and Trapezoid).
+ */
+
+#ifndef UNISTC_STC_ROW_DATAFLOW_HH
+#define UNISTC_STC_ROW_DATAFLOW_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Per-cycle event tallies of one row's sub-step sequence. */
+struct RowStep
+{
+    int products = 0;  ///< Effective MACs this sub-step.
+    int readsB = 0;    ///< Effective B fetches.
+    int wastedB = 0;   ///< B lanes toggled without a nonzero.
+    int writesC = 0;   ///< Merged partial sums written.
+};
+
+/**
+ * Execute one T1 task under the M x N x K grouped row dataflow,
+ * accumulating into @p res. @p c_net_units is the architecture's
+ * static C-write network scale recorded per cycle.
+ *
+ * @param gather_columns when true (RM-STC) the merged B columns are
+ *        gathered into dense N-wide segments; when false (Trapezoid)
+ *        the engine sweeps fixed N-wide column chunks of the output
+ *        extent and can only skip chunks that are entirely empty —
+ *        B-side sparsity inside a chunk wastes lanes.
+ */
+inline void
+runRowDataflow(const BlockTask &task, const MachineConfig &cfg,
+               int t3m, int t3n, int t3k, int c_net_units,
+               RunResult &res, bool gather_columns = true)
+{
+    ++res.tasksT1;
+    const int mac = cfg.macCount;
+    const int n_ext = task.nExtent();
+
+    // Active-column mask of the N extent (all 16 for MM, col 0 for MV).
+    const std::uint16_t n_mask = n_ext == kBlockSize
+        ? 0xFFFFu
+        : static_cast<std::uint16_t>((1u << n_ext) - 1u);
+
+    for (int g = 0; g < kBlockSize; g += t3m) {
+        // Build every row's sub-step trace, then merge in lock-step.
+        std::vector<std::vector<RowStep>> row_steps;
+        row_steps.reserve(t3m);
+
+        for (int r = g; r < g + t3m && r < kBlockSize; ++r) {
+            std::vector<RowStep> steps;
+            std::vector<int> ks;
+            forEachSetBit(task.a.rowBits(r),
+                          [&](int k) { ks.push_back(k); });
+
+            for (std::size_t p = 0; p < ks.size();
+                 p += static_cast<std::size_t>(t3k)) {
+                const int group_sz = static_cast<int>(
+                    std::min<std::size_t>(t3k, ks.size() - p));
+                // A scalars for this group are fetched once.
+                res.traffic.readsA += group_sz;
+                res.traffic.wastedA += t3k - group_sz;
+                ++res.tasksT3;
+
+                // Merged column set of the touched B rows.
+                std::uint16_t merged = 0;
+                for (int q = 0; q < group_sz; ++q) {
+                    merged = static_cast<std::uint16_t>(
+                        merged | task.b.rowBits(ks[p + q]));
+                }
+                merged &= n_mask;
+
+                if (!merged) {
+                    // Scalars matched nothing (e.g. sparse x): the
+                    // sub-step is still issued and burns the lanes.
+                    steps.push_back(RowStep{});
+                    continue;
+                }
+
+                std::vector<int> cols;
+                if (gather_columns) {
+                    forEachSetBit(merged,
+                                  [&](int c) { cols.push_back(c); });
+                } else {
+                    // Fixed chunk sweep: every column of a chunk
+                    // containing at least one nonzero is visited.
+                    for (int base = 0; base < n_ext; base += t3n) {
+                        const std::uint16_t chunk_mask =
+                            static_cast<std::uint16_t>(
+                                ((1u << std::min(t3n,
+                                                 n_ext - base)) -
+                                 1u)
+                                << base);
+                        if (!(merged & chunk_mask))
+                            continue;
+                        for (int c = base;
+                             c < std::min(base + t3n, n_ext); ++c) {
+                            cols.push_back(c);
+                        }
+                    }
+                }
+                for (std::size_t ci = 0; ci < cols.size();
+                     ci += static_cast<std::size_t>(t3n)) {
+                    RowStep step;
+                    const int chunk = static_cast<int>(
+                        std::min<std::size_t>(t3n, cols.size() - ci));
+                    for (int x = 0; x < chunk; ++x) {
+                        const int c = cols[ci + x];
+                        int hits = 0;
+                        for (int q = 0; q < group_sz; ++q) {
+                            if (task.b.test(ks[p + q], c))
+                                ++hits;
+                        }
+                        step.products += hits;
+                        step.readsB += hits;
+                        // Lanes for scalars whose B row lacks column
+                        // c toggle without useful work (row-merge's
+                        // cost on disjoint rows).
+                        step.wastedB += group_sz - hits;
+                        ++step.writesC; // merged by the K-wide adder
+                    }
+                    steps.push_back(step);
+                }
+            }
+            row_steps.push_back(std::move(steps));
+        }
+
+        std::size_t group_cycles = 0;
+        for (const auto &steps : row_steps)
+            group_cycles = std::max(group_cycles, steps.size());
+
+        for (std::size_t cyc = 0; cyc < group_cycles; ++cyc) {
+            int eff = 0;
+            for (const auto &steps : row_steps) {
+                if (cyc < steps.size()) {
+                    eff += steps[cyc].products;
+                    res.traffic.readsB += steps[cyc].readsB;
+                    res.traffic.wastedB += steps[cyc].wastedB;
+                    res.traffic.writesC += steps[cyc].writesC;
+                }
+            }
+            res.recordCycle(mac, eff, 0, c_net_units);
+        }
+    }
+}
+
+} // namespace unistc
+
+#endif // UNISTC_STC_ROW_DATAFLOW_HH

@@ -1,0 +1,92 @@
+#include "stc/sigma.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitops.hh"
+
+namespace unistc
+{
+
+NetworkConfig
+Sigma::network() const
+{
+    // Benes networks give SIGMA flexible but expensive routing.
+    NetworkConfig net;
+    net.aFactor = 2.6;
+    net.bFactor = 2.4;
+    net.cFactor = 2.0;
+    net.cNetUnits = 32;
+    net.dynamicGating = false;
+    return net;
+}
+
+void
+Sigma::runBlock(const BlockTask &task, RunResult &res) const
+{
+    // SIGMA's flexible distribution network packs the nonzeros of A
+    // (in row-major order, spanning row boundaries) into the K-lane
+    // array; the forwarding-adder reduction tree produces segmented
+    // per-row sums. B is streamed densely N columns per cycle —
+    // SIGMA's single-side-sparse mode cannot exploit B's sparsity,
+    // which is what limits it against dual-side designs (§VI-C-1).
+    ++res.tasksT1;
+    const int mac = cfg_.macCount;
+    const int n_ext = task.nExtent();
+    const int t3n = cfg_.precision == Precision::FP64 ? 4 : 8;
+    const int t3k = 16;
+
+    // Gather A nonzeros row-major: (row, k) pairs.
+    std::vector<std::pair<int, int>> nz;
+    nz.reserve(256);
+    for (int r = 0; r < kBlockSize; ++r) {
+        forEachSetBit(task.a.rowBits(r),
+                      [&](int k) { nz.emplace_back(r, k); });
+    }
+    if (nz.empty())
+        return;
+
+    const int n_steps = static_cast<int>(ceilDiv(n_ext, t3n));
+    for (std::size_t base = 0; base < nz.size();
+         base += static_cast<std::size_t>(t3k)) {
+        const int group = static_cast<int>(
+            std::min<std::size_t>(t3k, nz.size() - base));
+        // The packed A group is loaded into the lanes once per sweep.
+        res.traffic.readsA += group;
+        res.traffic.wastedA += t3k - group;
+
+        for (int ni = 0; ni < n_steps; ++ni) {
+            const int chunk = std::min(t3n, n_ext - ni * t3n);
+            int eff = 0;
+            for (int x = 0; x < chunk; ++x) {
+                const int c = ni * t3n + x;
+                int hits = 0;
+                for (int g = 0; g < group; ++g) {
+                    const int k = nz[base + g].second;
+                    if (task.b.test(k, c))
+                        ++hits;
+                }
+                eff += hits;
+                res.traffic.readsB += hits;
+                // Dense streaming: a B operand slot toggles for every
+                // stationary lane whether or not B holds a nonzero.
+                res.traffic.wastedB += group - hits;
+                // The reduction tree emits one partial sum per row
+                // segment present in the group (conservatively: one
+                // write per touched row per column).
+            }
+            // Count per-row segment writes for this column chunk.
+            int row_segments = 1;
+            for (int g = 1; g < group; ++g) {
+                if (nz[base + g].first != nz[base + g - 1].first)
+                    ++row_segments;
+            }
+            res.traffic.writesC +=
+                static_cast<std::uint64_t>(row_segments) * chunk;
+            ++res.tasksT3;
+            res.recordCycle(mac, eff, 0, network().cNetUnits);
+        }
+    }
+}
+
+} // namespace unistc

@@ -1,0 +1,28 @@
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+BlockTask
+BlockTask::mm(const BlockPattern &a, const BlockPattern &b)
+{
+    BlockTask t;
+    t.a = a;
+    t.b = b;
+    t.c = blockProductPattern(a, b);
+    t.isMv = false;
+    return t;
+}
+
+BlockTask
+BlockTask::mv(const BlockPattern &a, std::uint16_t x_mask)
+{
+    BlockTask t;
+    t.a = a;
+    t.b = vectorAsBlock(x_mask);
+    t.c = blockProductPattern(t.a, t.b);
+    t.isMv = true;
+    return t;
+}
+
+} // namespace unistc

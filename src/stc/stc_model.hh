@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Abstract sparse-tensor-core model. Every architecture (NV-DTC,
+ * DS-STC, RM-STC, GAMMA, SIGMA, Trapezoid, Uni-STC) consumes the same
+ * T1 block-task stream the software dataflow (Algorithms 1 and 2)
+ * produces and reports cycles, per-cycle utilisation, operand traffic
+ * and scheduling events into a RunResult.
+ */
+
+#ifndef UNISTC_STC_STC_MODEL_HH
+#define UNISTC_STC_STC_MODEL_HH
+
+#include <memory>
+#include <string>
+
+#include "bbc/block_pattern.hh"
+#include "sim/config.hh"
+#include "sim/network.hh"
+#include "sim/result.hh"
+
+namespace unistc
+{
+
+/**
+ * One T1 task: C += A x B over 16x16 blocks. Matrix-vector kernels
+ * (Algorithm 1) embed the x segment as a 16x1 block via
+ * vectorAsBlock(), flagged by isMv so models can apply their MV
+ * instruction variant (N = 1 lane population).
+ */
+struct BlockTask
+{
+    BlockPattern a;  ///< Structural pattern of the A block.
+    BlockPattern b;  ///< Pattern of the B block (or x as a column).
+    BlockPattern c;  ///< Structural pattern of the C update (A x B).
+    bool isMv = false;
+
+    /** Effective N extent: 1 for MV tasks, 16 for MM tasks. */
+    int nExtent() const { return isMv ? 1 : kBlockSize; }
+
+    /** Build a fully formed MM task (C pattern derived from A, B). */
+    static BlockTask mm(const BlockPattern &a, const BlockPattern &b);
+
+    /** Build an MV task from A and the x-segment mask. */
+    static BlockTask mv(const BlockPattern &a, std::uint16_t x_mask);
+};
+
+/** Architecture model interface. */
+class StcModel
+{
+  public:
+    explicit StcModel(MachineConfig cfg) : cfg_(cfg) {}
+    virtual ~StcModel() = default;
+
+    StcModel(const StcModel &) = delete;
+    StcModel &operator=(const StcModel &) = delete;
+
+    /** Architecture name as printed in tables ("Uni-STC", ...). */
+    virtual std::string name() const = 0;
+
+    /** Interconnect description used by the energy model. */
+    virtual NetworkConfig network() const = 0;
+
+    /**
+     * Simulate one T1 block task and accumulate cycles, utilisation
+     * histogram, traffic and scheduling counters into @p res.
+     * Implementations must uphold:
+     *  - products added == blockProductCount(a, b);
+     *  - per-cycle effective products <= cfg().macCount.
+     */
+    virtual void runBlock(const BlockTask &task, RunResult &res) const
+        = 0;
+
+    const MachineConfig &config() const { return cfg_; }
+
+  protected:
+    MachineConfig cfg_;
+};
+
+using StcModelPtr = std::unique_ptr<StcModel>;
+
+} // namespace unistc
+
+#endif // UNISTC_STC_STC_MODEL_HH

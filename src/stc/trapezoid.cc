@@ -1,0 +1,53 @@
+#include "stc/trapezoid.hh"
+
+#include "stc/row_dataflow.hh"
+
+namespace unistc
+{
+
+NetworkConfig
+Trapezoid::network() const
+{
+    NetworkConfig net;
+    net.aFactor = 3.0;
+    net.bFactor = 2.7;
+    net.cFactor = 2.1;
+    net.cNetUnits = 32;
+    net.dynamicGating = false;
+    return net;
+}
+
+void
+Trapezoid::runBlock(const BlockTask &task, RunResult &res) const
+{
+    struct Mode
+    {
+        int m, n, k;
+    };
+    const bool fp64 = cfg_.precision == Precision::FP64;
+    const Mode modes[3] = {
+        {16, fp64 ? 2 : 4, 2}, // TrIP
+        {16, 4, fp64 ? 1 : 2}, // TrGT
+        {8, 4, fp64 ? 2 : 4},  // TrGS
+    };
+
+    // Run each mode into a scratch result and keep the fastest.
+    RunResult best;
+    bool have_best = false;
+    for (const Mode &mode : modes) {
+        RunResult scratch;
+        // Trapezoid sweeps fixed column chunks (no B-column gather):
+        // strong on dot-product-shaped work (SpMV), weak when B is
+        // sparse (SpGEMM) — the Fig. 21 asymmetry.
+        runRowDataflow(task, cfg_, mode.m, mode.n, mode.k,
+                       network().cNetUnits, scratch,
+                       /*gather_columns=*/false);
+        if (!have_best || scratch.cycles < best.cycles) {
+            best = scratch;
+            have_best = true;
+        }
+    }
+    res.merge(best);
+}
+
+} // namespace unistc

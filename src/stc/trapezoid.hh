@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Trapezoid (Yang et al., ISCA'24) — a versatile dense/sparse matrix
+ * engine with three operating modes (Table VI):
+ *   TrIP: 16 x (4 or 2) x 2,
+ *   TrGT: 16 x 4 x (2 or 1),
+ *   TrGS:  8 x 4 x (4 or 2).
+ * Following §VI-C ("for multi-mode architectures ... we select their
+ * best-performing configurations"), each T1 task is executed under
+ * all three geometries and the fastest result is kept. As in the
+ * paper, this is a throughput-aligned adaptation rather than a
+ * faithful reimplementation of the original accelerator.
+ */
+
+#ifndef UNISTC_STC_TRAPEZOID_HH
+#define UNISTC_STC_TRAPEZOID_HH
+
+#include "stc/stc_model.hh"
+
+namespace unistc
+{
+
+/** Trapezoid baseline (best-of-three-modes). */
+class Trapezoid : public StcModel
+{
+  public:
+    explicit Trapezoid(MachineConfig cfg) : StcModel(cfg) {}
+
+    std::string name() const override { return "Trapezoid"; }
+
+    NetworkConfig network() const override;
+
+    void runBlock(const BlockTask &task, RunResult &res) const override;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_STC_TRAPEZOID_HH

@@ -1,0 +1,197 @@
+#include "unistc/dpg.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+/** Output-position visit sequences for the four fill orders. */
+std::array<std::pair<int, int>, 16>
+fillSequence(FillOrder order)
+{
+    std::array<std::pair<int, int>, 16> seq;
+    int n = 0;
+    switch (order) {
+      case FillOrder::ZShaped:
+        // Morton order, rows first inside each 2x2 quadrant.
+        for (int qr = 0; qr < 2; ++qr) {
+            for (int qc = 0; qc < 2; ++qc) {
+                for (int r = 0; r < 2; ++r) {
+                    for (int c = 0; c < 2; ++c)
+                        seq[n++] = {qr * 2 + r, qc * 2 + c};
+                }
+            }
+        }
+        break;
+      case FillOrder::NShaped:
+        // Morton order, columns first inside each 2x2 quadrant.
+        for (int qc = 0; qc < 2; ++qc) {
+            for (int qr = 0; qr < 2; ++qr) {
+                for (int c = 0; c < 2; ++c) {
+                    for (int r = 0; r < 2; ++r)
+                        seq[n++] = {qr * 2 + r, qc * 2 + c};
+                }
+            }
+        }
+        break;
+      case FillOrder::RowMajor:
+        for (int r = 0; r < 4; ++r) {
+            for (int c = 0; c < 4; ++c)
+                seq[n++] = {r, c};
+        }
+        break;
+      case FillOrder::ColMajor:
+        for (int c = 0; c < 4; ++c) {
+            for (int r = 0; r < 4; ++r)
+                seq[n++] = {r, c};
+        }
+        break;
+    }
+    return seq;
+}
+
+/**
+ * Lane-gap window within which an operand is forwarded (broadcast)
+ * instead of refetched. Matches the paper's 9-multiplier B range:
+ * two tasks separated by at most one intervening task.
+ */
+constexpr int kBroadcastWindow = 8;
+
+} // namespace
+
+const char *
+toString(FillOrder order)
+{
+    switch (order) {
+      case FillOrder::ZShaped:
+        return "Z-shaped";
+      case FillOrder::NShaped:
+        return "N-shaped";
+      case FillOrder::RowMajor:
+        return "row-major";
+      case FillOrder::ColMajor:
+        return "col-major";
+    }
+    return "?";
+}
+
+int
+T4Task::len() const
+{
+    return popcount16(pattern);
+}
+
+std::uint8_t
+T4Task::code() const
+{
+    return static_cast<std::uint8_t>((target << 4) | (pattern & 0xFu));
+}
+
+std::vector<T4Task>
+expandTileTask(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols,
+               FillOrder order)
+{
+    UNISTC_ASSERT(n_cols == 1 || n_cols == 4,
+                  "tile N extent must be 1 or 4");
+
+    // Accumulation targets are ranks in the C tile's row-major
+    // nonzero order (the storage order of the BBC value array).
+    std::array<std::array<int, 4>, 4> rank{};
+    int next_rank = 0;
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < n_cols; ++c) {
+            const std::uint16_t match = static_cast<std::uint16_t>(
+                row4(a_tile, r) & col4(b_tile, c));
+            rank[r][c] = match ? next_rank++ : -1;
+        }
+    }
+    UNISTC_ASSERT(next_rank <= 16, "more than 16 segments in a tile");
+
+    std::vector<T4Task> tasks;
+    tasks.reserve(next_rank);
+    for (const auto &[r, c] : fillSequence(order)) {
+        if (c >= n_cols)
+            continue;
+        const std::uint16_t match = static_cast<std::uint16_t>(
+            row4(a_tile, r) & col4(b_tile, c));
+        if (!match)
+            continue;
+        T4Task t;
+        t.target = static_cast<std::uint8_t>(rank[r][c]);
+        t.pattern = static_cast<std::uint8_t>(match);
+        t.r = static_cast<std::int8_t>(r);
+        t.c = static_cast<std::int8_t>(c);
+        tasks.push_back(t);
+    }
+    return tasks;
+}
+
+void
+activeOperands(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols,
+               int &a_elems, int &b_elems)
+{
+    a_elems = 0;
+    b_elems = 0;
+    // Mask B down to the considered output columns.
+    std::uint16_t col_mask = 0;
+    for (int c = 0; c < n_cols; ++c) {
+        for (int k = 0; k < 4; ++k)
+            col_mask = setBit(col_mask, bit4x4(k, c));
+    }
+    const std::uint16_t b_masked =
+        static_cast<std::uint16_t>(b_tile & col_mask);
+
+    for (int k = 0; k < 4; ++k) {
+        const bool b_row_live = row4(b_masked, k) != 0;
+        const bool a_col_live = col4(a_tile, k) != 0;
+        if (b_row_live)
+            a_elems += popcount16(col4(a_tile, k));
+        if (a_col_live)
+            b_elems += popcount16(row4(b_masked, k));
+    }
+}
+
+BroadcastRange
+broadcastRange(const std::vector<T4Task> &tasks)
+{
+    BroadcastRange out;
+    // Last SDPU lane at which each operand was consumed; -1 = none.
+    std::array<std::array<int, 4>, 4> last_a;
+    std::array<std::array<int, 4>, 4> last_b;
+    for (auto &row : last_a)
+        row.fill(-1);
+    for (auto &row : last_b)
+        row.fill(-1);
+
+    int lane = 0;
+    for (const auto &t : tasks) {
+        int offset = 0;
+        forEachSetBit(t.pattern, [&](int k) {
+            const int at_lane = lane + offset;
+            ++offset;
+            int &la = last_a[t.r][k];
+            if (la >= 0 && at_lane - la <= kBroadcastWindow) {
+                out.maxRangeA =
+                    std::max(out.maxRangeA, at_lane - la + 1);
+            }
+            la = at_lane;
+            int &lb = last_b[k][t.c];
+            if (lb >= 0 && at_lane - lb <= kBroadcastWindow) {
+                out.maxRangeB =
+                    std::max(out.maxRangeB, at_lane - lb + 1);
+            }
+            lb = at_lane;
+        });
+        lane += t.len();
+    }
+    return out;
+}
+
+} // namespace unistc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Segmented Dot-Product Unit (§IV-B) and the per-cycle task packing
+ * it induces. The SDPU's merge-forward structure turns any group of
+ * up to four adjacent multipliers into a reduction tree, so the T4
+ * segments of several T3 tasks are concatenated compactly onto the
+ * MAC lanes. Packing per cycle is bounded by three constraints:
+ *   1. at most one T3 task per DPG (numDpgs tasks);
+ *   2. total intermediate products <= the MAC budget (in-order
+ *      concatenation stops at the first task that does not fit);
+ *   3. no two tasks may write the same C tile in one cycle — a
+ *      conflicting task occupies its DPG but waits (round-robin
+ *      arbitration, §IV-A-1 ③).
+ */
+
+#ifndef UNISTC_UNISTC_SDPU_HH
+#define UNISTC_UNISTC_SDPU_HH
+
+#include <vector>
+
+#include "unistc/tile_task.hh"
+
+namespace unistc
+{
+
+/** One SDPU execution cycle. */
+struct SdpuCycle
+{
+    std::vector<TileTask> executed; ///< Tasks computed this cycle.
+    int waitingDpgs = 0;  ///< DPGs held by write-conflicted tasks.
+    bool hadConflict = false;
+
+    /** Effective products this cycle. */
+    int products() const;
+
+    /** DPGs powered this cycle (executing + conflict-stalled). */
+    int activeDpgs() const
+    {
+        return static_cast<int>(executed.size()) + waitingDpgs;
+    }
+};
+
+/**
+ * Pack an ordered T3 task stream into SDPU cycles.
+ *
+ * @param tasks TMS-ordered tasks (zero-product tasks are skipped by
+ *        the TMS and must not appear here).
+ * @param num_dpgs parallel task limit per cycle.
+ * @param mac_count multiplier budget per cycle.
+ * @param check_conflicts enforce the one-writer-per-C-tile rule.
+ *        True for MM tasks; false for MV tasks, whose partial sums
+ *        land in distinct per-thread accumulator slots and are
+ *        merged by the final shfl_gather (Algorithm 1), so same-tile
+ *        writes in one cycle are safe.
+ */
+std::vector<SdpuCycle> scheduleSdpu(const std::vector<TileTask> &tasks,
+                                    int num_dpgs, int mac_count,
+                                    bool check_conflicts = true);
+
+} // namespace unistc
+
+#endif // UNISTC_UNISTC_SDPU_HH

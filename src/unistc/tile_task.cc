@@ -1,0 +1,38 @@
+#include "unistc/tile_task.hh"
+
+#include "common/bitops.hh"
+
+namespace unistc
+{
+
+int
+tileProductCount(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols)
+{
+    int total = 0;
+    for (int r = 0; r < 4; ++r) {
+        const std::uint16_t a_row = row4(a_tile, r);
+        for (int c = 0; c < n_cols; ++c) {
+            const std::uint16_t b_col = col4(b_tile, c);
+            total += popcount16(
+                static_cast<std::uint16_t>(a_row & b_col));
+        }
+    }
+    return total;
+}
+
+int
+tileSegmentCount(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols)
+{
+    int segs = 0;
+    for (int r = 0; r < 4; ++r) {
+        const std::uint16_t a_row = row4(a_tile, r);
+        for (int c = 0; c < n_cols; ++c) {
+            const std::uint16_t b_col = col4(b_tile, c);
+            if (a_row & b_col)
+                ++segs;
+        }
+    }
+    return segs;
+}
+
+} // namespace unistc

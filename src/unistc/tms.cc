@@ -1,0 +1,182 @@
+#include "unistc/tms.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "unistc/sdpu.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+/** Build the task for (i, j, k) if it produces any work. */
+bool
+makeTask(const BlockPattern &a, const BlockPattern &b, int i, int j,
+         int k, int n_cols, TileTask &out)
+{
+    const std::uint16_t a_tile = a.tilePattern(i, k);
+    const std::uint16_t b_tile = b.tilePattern(k, j);
+    if (!a_tile || !b_tile)
+        return false;
+    const int products = tileProductCount(a_tile, b_tile, n_cols);
+    if (products == 0)
+        return false; // bitmap product is empty: DPG emits nothing
+    out.i = static_cast<std::int8_t>(i);
+    out.j = static_cast<std::int8_t>(j);
+    out.k = static_cast<std::int8_t>(k);
+    out.aTile = a_tile;
+    out.bTile = b_tile;
+    out.products = products;
+    out.segments = tileSegmentCount(a_tile, b_tile, n_cols);
+    return true;
+}
+
+} // namespace
+
+const char *
+toString(TaskOrdering ordering)
+{
+    switch (ordering) {
+      case TaskOrdering::OuterProduct:
+        return "outer-product";
+      case TaskOrdering::DotProduct:
+        return "dot-product";
+      case TaskOrdering::RowRow:
+        return "row-row";
+    }
+    return "?";
+}
+
+std::vector<TileTask>
+generateTileTasks(const BlockPattern &a, const BlockPattern &b,
+                  int n_tile_cols, TaskOrdering ordering, bool adaptive)
+{
+    UNISTC_ASSERT(n_tile_cols == 1 || n_tile_cols == kTilesPerEdge,
+                  "tile columns must be 1 (MV) or 4 (MM)");
+    const int n_cols = n_tile_cols == 1 ? 1 : 4;
+    std::vector<TileTask> tasks;
+
+    switch (ordering) {
+      case TaskOrdering::OuterProduct:
+        // Four-layer intermediate-product bitmap: one layer per K.
+        for (int k = 0; k < kTilesPerEdge; ++k) {
+            // Collect the layer first so the adaptive intra-layer
+            // order can inspect its shape.
+            std::vector<TileTask> layer;
+            std::uint16_t live_rows = 0;
+            std::uint16_t live_cols = 0;
+            for (int i = 0; i < kTilesPerEdge; ++i) {
+                for (int j = 0; j < n_tile_cols; ++j) {
+                    TileTask t;
+                    if (makeTask(a, b, i, j, k, n_cols, t)) {
+                        layer.push_back(t);
+                        live_rows = setBit(live_rows, i);
+                        live_cols = setBit(live_cols, j);
+                    }
+                }
+            }
+            // Adaptive rule (§IV-A-1 ②): column-major when nonzero
+            // rows outnumber nonzero columns, row-major otherwise.
+            const bool col_major = adaptive &&
+                popcount16(live_rows) > popcount16(live_cols);
+            if (col_major) {
+                std::stable_sort(layer.begin(), layer.end(),
+                                 [](const TileTask &x,
+                                    const TileTask &y) {
+                                     if (x.j != y.j)
+                                         return x.j < y.j;
+                                     return x.i < y.i;
+                                 });
+            }
+            tasks.insert(tasks.end(), layer.begin(), layer.end());
+        }
+        break;
+
+      case TaskOrdering::DotProduct:
+        for (int i = 0; i < kTilesPerEdge; ++i) {
+            for (int j = 0; j < n_tile_cols; ++j) {
+                for (int k = 0; k < kTilesPerEdge; ++k) {
+                    TileTask t;
+                    if (makeTask(a, b, i, j, k, n_cols, t))
+                        tasks.push_back(t);
+                }
+            }
+        }
+        break;
+
+      case TaskOrdering::RowRow:
+        for (int i = 0; i < kTilesPerEdge; ++i) {
+            for (int k = 0; k < kTilesPerEdge; ++k) {
+                for (int j = 0; j < n_tile_cols; ++j) {
+                    TileTask t;
+                    if (makeTask(a, b, i, j, k, n_cols, t))
+                        tasks.push_back(t);
+                }
+            }
+        }
+        break;
+    }
+    return tasks;
+}
+
+OrderingStats
+analyzeOrdering(const BlockPattern &a, const BlockPattern &b,
+                int n_tile_cols, TaskOrdering ordering, int num_dpgs,
+                int mac_count)
+{
+    OrderingStats stats;
+    const auto tasks = generateTileTasks(a, b, n_tile_cols, ordering,
+                                         /*adaptive=*/true);
+    if (tasks.empty())
+        return stats;
+    const auto cycles = scheduleSdpu(tasks, num_dpgs, mac_count);
+
+    // Theoretical fetches: one tile fetch per task per operand.
+    // Actual fetches: distinct tiles per cycle (same-cycle sharing is
+    // the reuse the TMS ordering creates).
+    std::uint64_t theoretical = tasks.size();
+    std::uint64_t actual_a = 0;
+    std::uint64_t actual_b = 0;
+    std::uint64_t parallel_sum = 0;
+    std::uint64_t aligned_sum = 0;
+    std::uint64_t conflict_cycles = 0;
+
+    for (const auto &cycle : cycles) {
+        std::set<int> a_tiles;
+        std::set<int> b_tiles;
+        int k_count[kTilesPerEdge] = {0, 0, 0, 0};
+        for (const auto &t : cycle.executed) {
+            a_tiles.insert(t.i * kTilesPerEdge + t.k);
+            b_tiles.insert(t.k * kTilesPerEdge + t.j);
+            ++k_count[t.k];
+        }
+        actual_a += a_tiles.size();
+        actual_b += b_tiles.size();
+        parallel_sum += cycle.executed.size();
+        int aligned = 0;
+        for (int c : k_count)
+            aligned = std::max(aligned, c);
+        aligned_sum += aligned;
+        if (cycle.hadConflict)
+            ++conflict_cycles;
+    }
+
+    stats.cycles = cycles.size();
+    stats.reuseRateA = 1.0 - static_cast<double>(actual_a) /
+        static_cast<double>(theoretical);
+    stats.reuseRateB = 1.0 - static_cast<double>(actual_b) /
+        static_cast<double>(theoretical);
+    stats.avgParallelTasks = static_cast<double>(parallel_sum) /
+        static_cast<double>(cycles.size());
+    stats.avgAlignedTasks = static_cast<double>(aligned_sum) /
+        static_cast<double>(cycles.size());
+    stats.writeConflictRate = static_cast<double>(conflict_cycles) /
+        static_cast<double>(cycles.size());
+    return stats;
+}
+
+} // namespace unistc

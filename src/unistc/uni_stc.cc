@@ -1,0 +1,83 @@
+#include "unistc/uni_stc.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+#include "unistc/dpg.hh"
+#include "unistc/sdpu.hh"
+
+namespace unistc
+{
+
+NetworkConfig
+UniStc::network() const
+{
+    // Hierarchical two-layer network (§IV-C-2): the dedicated 16x8
+    // tile networks plus the 64x5 / 64x9 MUX arrays cut energy per
+    // byte by 7.16x (A), 5.33x (B) and 2.83x (C) relative to flat
+    // 64x256 crossbars. The C path is one 16x16 network per DPG, all
+    // of which are power-gated with their DPG.
+    NetworkConfig net;
+    net.aFactor = 7.16;
+    net.bFactor = 5.33;
+    net.cFactor = 2.83;
+    net.cNetUnits = cfg_.numDpgs;
+    net.dynamicGating = true;
+    return net;
+}
+
+void
+UniStc::runBlock(const BlockTask &task, RunResult &res) const
+{
+    ++res.tasksT1;
+    const int mac = cfg_.macCount;
+    const int n_tile_cols = task.isMv ? 1 : kTilesPerEdge;
+    const int n_cols = task.isMv ? 1 : 4;
+
+    // Stage 1: TMS generates the ordered T3 task stream.
+    const auto tasks = generateTileTasks(task.a, task.b, n_tile_cols,
+                                         ordering_, adaptive_);
+    if (tasks.empty())
+        return;
+    res.tasksT3 += tasks.size();
+
+    // Stages 2+3: DPG expansion and SDPU packing. The three-stage
+    // pipeline overlaps task generation with execution (task
+    // generation is asynchronous, §IV-G), so steady-state cycles are
+    // the SDPU cycles.
+    const auto cycles = scheduleSdpu(tasks, cfg_.numDpgs, mac,
+                                     /*check_conflicts=*/!task.isMv);
+
+    for (const auto &cycle : cycles) {
+        const int eff = cycle.products();
+        res.recordCycle(mac, eff, cycle.activeDpgs(),
+                        static_cast<int>(cycle.executed.size()));
+        if (cycle.hadConflict)
+            ++res.stallCycles;
+
+        // Operand traffic: a tile shared by several tasks in one
+        // cycle is fetched once (the reuse the outer-product order
+        // creates); bitmap gating means no dead element is touched.
+        std::set<int> a_tiles_seen;
+        std::set<int> b_tiles_seen;
+        for (const auto &t : cycle.executed) {
+            int a_elems = 0;
+            int b_elems = 0;
+            activeOperands(t.aTile, t.bTile, n_cols, a_elems,
+                           b_elems);
+            if (a_tiles_seen.insert(t.i * kTilesPerEdge + t.k)
+                    .second) {
+                res.traffic.readsA += a_elems;
+            }
+            if (b_tiles_seen.insert(t.k * kTilesPerEdge + t.j)
+                    .second) {
+                res.traffic.readsB += b_elems;
+            }
+            // The SDPU pre-merges each T4 segment's products into a
+            // single partial sum before write-back (§IV-B).
+            res.traffic.writesC += t.segments;
+        }
+    }
+}
+
+} // namespace unistc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Uni-STC — the paper's unified sparse tensor core. Pipeline per T1
+ * task (§IV-C): the TMS turns the Lv1 bitmaps into an ordered T3 task
+ * stream (Stage 1), up to numDpgs DPGs expand tasks into T4 segments
+ * (Stage 2), and the SDPU executes the concatenated segments and
+ * pre-merges partial products before write-back (Stage 3). Unused
+ * DPGs and their datapaths are power-gated each cycle (§IV-C-2).
+ */
+
+#ifndef UNISTC_UNISTC_UNI_STC_HH
+#define UNISTC_UNISTC_UNI_STC_HH
+
+#include "stc/stc_model.hh"
+#include "unistc/tms.hh"
+
+namespace unistc
+{
+
+/** The Uni-STC architecture model. */
+class UniStc : public StcModel
+{
+  public:
+    /**
+     * @param cfg machine configuration (cfg.numDpgs selects the DPG
+     *        count: 8 by default, 4/16 in the Fig. 22 sweep).
+     * @param ordering TMS batch ordering (outer-product by default).
+     * @param adaptive adaptive intra-layer row/column-major order.
+     */
+    explicit UniStc(MachineConfig cfg,
+                    TaskOrdering ordering = TaskOrdering::OuterProduct,
+                    bool adaptive = true)
+        : StcModel(cfg), ordering_(ordering), adaptive_(adaptive)
+    {
+    }
+
+    std::string name() const override { return "Uni-STC"; }
+
+    NetworkConfig network() const override;
+
+    void runBlock(const BlockTask &task, RunResult &res) const override;
+
+    TaskOrdering ordering() const { return ordering_; }
+
+  private:
+    TaskOrdering ordering_;
+    bool adaptive_;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_UNISTC_UNI_STC_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * AMG solver tests: aggregation sanity, Galerkin hierarchy shapes,
+ * V-cycle convergence on 2D Poisson, and the STC workload driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/amg/amg.hh"
+#include "apps/amg/amg_driver.hh"
+#include "common/rng.hh"
+#include "corpus/generators.hh"
+#include "kernels/reference.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(AmgAggregate, CoversEveryRow)
+{
+    const CsrMatrix a = genStencil2d(12, false);
+    int num_agg = 0;
+    const auto agg = aggregate(a, 0.25, num_agg);
+    ASSERT_EQ(agg.size(), static_cast<std::size_t>(a.rows()));
+    EXPECT_GT(num_agg, 0);
+    EXPECT_LT(num_agg, a.rows()); // actual coarsening
+    for (int id : agg) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, num_agg);
+    }
+}
+
+TEST(AmgAggregate, ProlongationHasOneEntryPerRow)
+{
+    const CsrMatrix a = genStencil2d(10, false);
+    int num_agg = 0;
+    const auto agg = aggregate(a, 0.25, num_agg);
+    const CsrMatrix p = prolongationFromAggregates(agg, num_agg);
+    EXPECT_EQ(p.rows(), a.rows());
+    EXPECT_EQ(p.cols(), num_agg);
+    for (int r = 0; r < p.rows(); ++r) {
+        EXPECT_EQ(p.rowNnz(r), 1);
+    }
+}
+
+TEST(AmgHierarchy, LevelsShrink)
+{
+    const CsrMatrix a = genStencil2d(24, false);
+    const AmgHierarchy h(a);
+    EXPECT_GE(h.numLevels(), 2);
+    for (int l = 1; l < h.numLevels(); ++l) {
+        EXPECT_LT(h.level(l).a.rows(), h.level(l - 1).a.rows());
+        // Grid transfer shapes are consistent.
+        EXPECT_EQ(h.level(l).p.rows(), h.level(l - 1).a.rows());
+        EXPECT_EQ(h.level(l).p.cols(), h.level(l).a.rows());
+        EXPECT_EQ(h.level(l).r.rows(), h.level(l).a.rows());
+    }
+}
+
+TEST(AmgHierarchy, GalerkinOperatorIsRAP)
+{
+    const CsrMatrix a = genStencil2d(16, false);
+    const AmgHierarchy h(a);
+    ASSERT_GE(h.numLevels(), 2);
+    const auto &lev = h.level(1);
+    const CsrMatrix rap =
+        spgemmRef(lev.r, spgemmRef(h.level(0).a, lev.p));
+    EXPECT_TRUE(lev.a.approxEquals(rap, 1e-10));
+}
+
+TEST(AmgSolve, ConvergesOnPoisson)
+{
+    const CsrMatrix a = genStencil2d(24, false);
+    const AmgHierarchy h(a);
+    Rng rng(501);
+    std::vector<double> b(a.rows());
+    for (auto &v : b)
+        v = rng.nextDouble(-1.0, 1.0);
+    std::vector<double> x(a.rows(), 0.0);
+    const AmgSolveStats stats = h.solve(x, b, 1e-8, 60);
+    EXPECT_TRUE(stats.converged)
+        << "residual " << stats.finalResidual;
+    // Solution actually satisfies the system.
+    const auto ax = spmvRef(a, x);
+    EXPECT_LT(maxAbsDiff(ax, b), 1e-5);
+}
+
+TEST(AmgSolve, ResidualMonotonicallyDecreases)
+{
+    const CsrMatrix a = genStencil2d(20, false);
+    const AmgHierarchy h(a);
+    std::vector<double> b(a.rows(), 1.0);
+    std::vector<double> x(a.rows(), 0.0);
+    const AmgSolveStats stats = h.solve(x, b, 1e-10, 40);
+    for (std::size_t i = 1; i < stats.residualHistory.size(); ++i) {
+        EXPECT_LT(stats.residualHistory[i],
+                  stats.residualHistory[i - 1] * 1.01);
+    }
+}
+
+TEST(AmgSolve, FasterThanPlainJacobi)
+{
+    const CsrMatrix a = genStencil2d(20, false);
+    AmgOptions opts;
+    const AmgHierarchy h(a, opts);
+    std::vector<double> b(a.rows(), 1.0);
+
+    std::vector<double> x_amg(a.rows(), 0.0);
+    const auto amg_stats = h.solve(x_amg, b, 1e-6, 50);
+
+    // Plain weighted Jacobi for the same number of fine-grid sweeps.
+    std::vector<double> x_j(a.rows(), 0.0);
+    const int sweeps = amg_stats.iterations *
+        (opts.preSmooth + opts.postSmooth);
+    for (int s = 0; s < sweeps; ++s) {
+        const auto ax = spmvRef(a, x_j);
+        for (int r = 0; r < a.rows(); ++r)
+            x_j[r] += 0.66 * (b[r] - ax[r]) / a.at(r, r);
+    }
+    const auto ax = spmvRef(a, x_j);
+    std::vector<double> res(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i)
+        res[i] = b[i] - ax[i];
+    EXPECT_LT(amg_stats.finalResidual, norm2(res) / norm2(b));
+}
+
+TEST(AmgDriver, WorkloadCountsScaleWithVCycles)
+{
+    const CsrMatrix a = genStencil2d(16, false);
+    const AmgHierarchy h(a);
+    const auto model = makeStcModel("Uni-STC",
+                                    MachineConfig::fp64());
+    const AmgWorkload w1 = simulateAmg(*model, h, 1);
+    const AmgWorkload w5 = simulateAmg(*model, h, 5);
+    EXPECT_EQ(w5.spmv.cycles, 5 * w1.spmv.cycles);
+    // Setup SpGEMM is independent of V-cycle count.
+    EXPECT_EQ(w5.spgemm.cycles, w1.spgemm.cycles);
+    EXPECT_GT(w1.spmv.products, 0u);
+    EXPECT_GT(w1.spgemm.products, 0u);
+}
+
+TEST(AmgDriver, UniStcBeatsDsStcOnBothKernels)
+{
+    const CsrMatrix a = genStencil2d(20, false);
+    const AmgHierarchy h(a);
+    const MachineConfig cfg = MachineConfig::fp64();
+    const auto ds = makeStcModel("DS-STC", cfg);
+    const auto uni = makeStcModel("Uni-STC", cfg);
+    const AmgWorkload wd = simulateAmg(*ds, h, 10);
+    const AmgWorkload wu = simulateAmg(*uni, h, 10);
+    EXPECT_LT(wu.spmv.cycles, wd.spmv.cycles);
+    EXPECT_LT(wu.spgemm.cycles, wd.spgemm.cycles);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Behavioural tests of the baseline STC models on hand-constructed
+ * block patterns where the expected cycle counts follow directly from
+ * each architecture's Table VI task geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "stc/ds_stc.hh"
+#include "stc/nv_dtc.hh"
+#include "stc/registry.hh"
+#include "stc/rm_stc.hh"
+
+namespace unistc
+{
+namespace
+{
+
+const MachineConfig kFp64 = MachineConfig::fp64();
+
+RunResult
+run(const StcModel &m, const BlockTask &t)
+{
+    RunResult res;
+    m.runBlock(t, res);
+    return res;
+}
+
+TEST(NvDtc, DenseMmTakes64CyclesAtFullUtilisation)
+{
+    NvDtc model(kFp64);
+    const BlockTask t = BlockTask::mm(BlockPattern::dense(),
+                                      BlockPattern::dense());
+    const RunResult r = run(model, t);
+    EXPECT_EQ(r.cycles, 64u); // 4096 products / 64 MACs
+    EXPECT_EQ(r.products, 4096u);
+    EXPECT_DOUBLE_EQ(r.utilisation(), 1.0);
+    // Dense accumulator writes the whole block once.
+    EXPECT_EQ(r.traffic.writesC, 256u);
+}
+
+TEST(NvDtc, CyclesAreDataIndependent)
+{
+    NvDtc model(kFp64);
+    Rng rng(1);
+    const BlockPattern sparse_a = BlockPattern::random(rng, 0.05);
+    const BlockPattern sparse_b = BlockPattern::random(rng, 0.05);
+    const RunResult r =
+        run(model, BlockTask::mm(sparse_a, sparse_b));
+    EXPECT_EQ(r.cycles, 64u); // no sparsity adaptation
+    EXPECT_LT(r.utilisation(), 0.25);
+}
+
+TEST(NvDtc, MvTask)
+{
+    NvDtc model(kFp64);
+    const RunResult r = run(model,
+                            BlockTask::mv(BlockPattern::dense(),
+                                          0xFFFF));
+    // 4 M-tiles x 4 K-tiles x 1 N-tile = 16 cycles; 256 products.
+    EXPECT_EQ(r.cycles, 16u);
+    EXPECT_EQ(r.products, 256u);
+    EXPECT_DOUBLE_EQ(r.utilisation(), 0.25); // N=1 of 4 lanes
+}
+
+TEST(DsStc, SingleOuterProductSlice)
+{
+    DsStc model(kFp64);
+    // A has column 0 fully populated; B has row 0 fully populated.
+    BlockPattern a, b;
+    for (int i = 0; i < kBlockSize; ++i) {
+        a.set(i, 0);
+        b.set(0, i);
+    }
+    const RunResult r = run(model, BlockTask::mm(a, b));
+    // na = nb = 16: ceil(16/8)^2 = 4 cycles, each 8x8 = 64 products.
+    EXPECT_EQ(r.cycles, 4u);
+    EXPECT_EQ(r.products, 256u);
+    EXPECT_DOUBLE_EQ(r.utilisation(), 1.0);
+    // Outer product writes every product to C.
+    EXPECT_EQ(r.traffic.writesC, 256u);
+}
+
+TEST(DsStc, ShortGatherWastesLanes)
+{
+    DsStc model(kFp64);
+    BlockPattern a, b;
+    a.set(0, 0);
+    a.set(1, 0);
+    a.set(2, 0); // na = 3
+    b.set(0, 0);
+    b.set(0, 1); // nb = 2
+    const RunResult r = run(model, BlockTask::mm(a, b));
+    EXPECT_EQ(r.cycles, 1u);
+    EXPECT_EQ(r.products, 6u);
+    EXPECT_EQ(r.traffic.wastedA, 5u); // 8-lane gather, 3 used
+    EXPECT_EQ(r.traffic.wastedB, 6u);
+}
+
+TEST(DsStc, DualSideSkipsEmptySlices)
+{
+    DsStc model(kFp64);
+    BlockPattern a, b;
+    a.set(0, 3); // column 3 of A only
+    b.set(7, 0); // row 7 of B only: no k matches
+    const RunResult r = run(model, BlockTask::mm(a, b));
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.products, 0u);
+}
+
+TEST(DsStc, MvUtilisationCappedAtOneEighth)
+{
+    DsStc model(kFp64);
+    const RunResult r = run(model,
+                            BlockTask::mv(BlockPattern::dense(),
+                                          0xFFFF));
+    // N lanes carry one x element: utilisation <= 8/64 (§VI-C-2).
+    EXPECT_LE(r.utilisation(), 0.125 + 1e-12);
+    EXPECT_EQ(r.products, 256u);
+}
+
+TEST(RmStc, DenseRowGroups)
+{
+    RmStc model(kFp64);
+    const BlockTask t = BlockTask::mm(BlockPattern::dense(),
+                                      BlockPattern::dense());
+    const RunResult r = run(model, t);
+    EXPECT_EQ(r.products, 4096u);
+    // Per row: 8 scalar pairs x ceil(16/4) = 32 sub-steps; two
+    // 8-row groups run in lock-step: 64 cycles at full utilisation.
+    EXPECT_EQ(r.cycles, 64u);
+    EXPECT_DOUBLE_EQ(r.utilisation(), 1.0);
+}
+
+TEST(RmStc, MvUtilisationCappedAtOneQuarter)
+{
+    RmStc model(kFp64);
+    const RunResult r = run(model,
+                            BlockTask::mv(BlockPattern::dense(),
+                                          0xFFFF));
+    EXPECT_LE(r.utilisation(), 0.25 + 1e-12); // §VI-C-2
+    EXPECT_EQ(r.products, 256u);
+}
+
+TEST(RmStc, DisjointRowsWasteMergedLanes)
+{
+    RmStc model(kFp64);
+    BlockPattern a, b;
+    // Row 0 of A holds scalars at k=0 and k=1 (one pair).
+    a.set(0, 0);
+    a.set(0, 1);
+    // B rows 0 and 1 are disjoint 4-wide: merged width 8.
+    for (int c = 0; c < 4; ++c) {
+        b.set(0, c);
+        b.set(1, c + 4);
+    }
+    const RunResult r = run(model, BlockTask::mm(a, b));
+    // Merged 8 columns swept 4 at a time: 2 cycles; every column has
+    // exactly one contributing scalar, so half the K lanes waste.
+    EXPECT_EQ(r.cycles, 2u);
+    EXPECT_EQ(r.products, 8u);
+    EXPECT_EQ(r.traffic.wastedB, 8u);
+}
+
+TEST(RmStc, SparseXStallsPairs)
+{
+    RmStc model(kFp64);
+    BlockPattern a;
+    a.set(0, 0);
+    a.set(0, 1);
+    // x empty at positions 0/1: the pair matches nothing but is
+    // still issued (the SpMSpV weakness, §VI-C-2).
+    const std::uint16_t x = 1u << 9;
+    const RunResult r = run(model, BlockTask::mv(a, x));
+    EXPECT_EQ(r.cycles, 1u);
+    EXPECT_EQ(r.products, 0u);
+}
+
+TEST(Gamma, CannotBypassEmptyRowsInsideSlice)
+{
+    auto model = makeStcModel("GAMMA", kFp64);
+    BlockPattern a, b;
+    // Column 0 of A has a single nonzero; B row 0 is dense.
+    a.set(5, 0);
+    for (int c = 0; c < kBlockSize; ++c)
+        b.set(0, c);
+    RunResult r;
+    model->runBlock(BlockTask::mm(a, b), r);
+    // 16 B nonzeros, 4 per cycle: 4 cycles; only 1 of 16 M lanes
+    // effective.
+    EXPECT_EQ(r.cycles, 4u);
+    EXPECT_EQ(r.products, 16u);
+    EXPECT_EQ(r.traffic.wastedA, 15u * 4);
+}
+
+TEST(Sigma, StationaryRowStreamsAllColumns)
+{
+    auto model = makeStcModel("SIGMA", kFp64);
+    BlockPattern a, b;
+    // One dense A row; B entirely empty: SIGMA still streams N.
+    for (int k = 0; k < kBlockSize; ++k)
+        a.set(3, k);
+    RunResult r;
+    model->runBlock(BlockTask::mm(a, b), r);
+    EXPECT_EQ(r.cycles, 4u); // 16 columns / 4 per cycle
+    EXPECT_EQ(r.products, 0u);
+    EXPECT_EQ(r.traffic.wastedB, 16u * 16);
+}
+
+TEST(Trapezoid, PicksBestModePerBlock)
+{
+    auto trap = makeStcModel("Trapezoid", kFp64);
+    auto rm = makeStcModel("RM-STC", kFp64);
+    Rng rng(5);
+    for (int trial = 0; trial < 8; ++trial) {
+        const BlockPattern a = BlockPattern::random(rng, 0.2);
+        const BlockPattern b = BlockPattern::random(rng, 0.2);
+        RunResult rt, rr;
+        trap->runBlock(BlockTask::mm(a, b), rt);
+        rm->runBlock(BlockTask::mm(a, b), rr);
+        EXPECT_EQ(rt.products, rr.products);
+    }
+}
+
+TEST(Registry, CreatesEveryModel)
+{
+    for (const auto &name : allModelNames()) {
+        auto model = makeStcModel(name, kFp64);
+        ASSERT_NE(model, nullptr);
+        EXPECT_EQ(model->name(), name);
+        EXPECT_GT(model->network().aFactor, 0.0);
+    }
+    EXPECT_EQ(makeCoreLineup(kFp64).size(), 3u);
+    EXPECT_EQ(makeFullLineup(kFp64).size(), 7u);
+}
+
+} // namespace
+} // namespace unistc

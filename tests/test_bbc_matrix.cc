@@ -1,0 +1,160 @@
+/**
+ * @file
+ * BBC format tests: construction from CSR, exact round-trips, the
+ * two-level pointer invariants, storage accounting and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bbc/bbc_io.hh"
+#include "bbc/bbc_matrix.hh"
+#include "common/bitops.hh"
+#include "corpus/generators.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+namespace
+{
+
+class BbcRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BbcRoundTrip, CsrToBbcToCsrIsLossless)
+{
+    const CsrMatrix m = genRandomUniform(100, 84, GetParam(), 31);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    EXPECT_EQ(bbc.nnz(), m.nnz());
+    EXPECT_TRUE(bbc.toCsr().approxEquals(m, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, BbcRoundTrip,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.2,
+                                           0.7));
+
+TEST(BbcMatrix, EmptyMatrix)
+{
+    const CsrMatrix m(40, 40);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    EXPECT_EQ(bbc.numBlocks(), 0);
+    EXPECT_EQ(bbc.nnz(), 0);
+    EXPECT_TRUE(bbc.toCsr().approxEquals(m, 0.0));
+}
+
+TEST(BbcMatrix, SingleElement)
+{
+    CooMatrix coo(40, 40);
+    coo.add(19, 33, 5.5);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(cooToCsr(std::move(coo)));
+    ASSERT_EQ(bbc.numBlocks(), 1);
+    // (19, 33) sits in block (1, 2), tile (0, 0) of that block at
+    // local (3, 1).
+    EXPECT_EQ(bbc.colIdx()[0], 2);
+    const BlockPattern p = bbc.blockPattern(0);
+    EXPECT_TRUE(p.test(3, 1));
+    EXPECT_EQ(p.nnz(), 1);
+    EXPECT_EQ(popcount16(bbc.lv1()[0]), 1);
+    const auto dense = bbc.blockDense(0);
+    EXPECT_DOUBLE_EQ(dense[3 * kBlockSize + 1], 5.5);
+}
+
+TEST(BbcMatrix, BlockPatternMatchesCsrStructure)
+{
+    const CsrMatrix m = genRandomUniform(64, 64, 0.08, 32);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    for (std::int64_t blk = 0; blk < bbc.numBlocks(); ++blk) {
+        const BbcBlockView view = bbc.blockView(blk);
+        for (int lr = 0; lr < kBlockSize; ++lr) {
+            for (int lc = 0; lc < kBlockSize; ++lc) {
+                const int r = view.blockRow * kBlockSize + lr;
+                const int c = view.blockCol * kBlockSize + lc;
+                const bool nz = r < m.rows() && c < m.cols() &&
+                    m.at(r, c) != 0.0;
+                EXPECT_EQ(view.pattern.test(lr, lc), nz);
+            }
+        }
+    }
+}
+
+TEST(BbcMatrix, Lv1MatchesPatternTileBitmap)
+{
+    const CsrMatrix m = genRandomUniform(80, 80, 0.05, 33);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    for (std::int64_t blk = 0; blk < bbc.numBlocks(); ++blk) {
+        EXPECT_EQ(bbc.lv1()[blk],
+                  bbc.blockPattern(blk).tileBitmap());
+        EXPECT_EQ(bbc.blockTileCount(blk),
+                  popcount16(bbc.lv1()[blk]));
+    }
+}
+
+TEST(BbcMatrix, ValPtrLv2OffsetsAreTilePrefixSums)
+{
+    const CsrMatrix m = genRandomUniform(48, 48, 0.15, 34);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    for (std::int64_t blk = 0; blk < bbc.numBlocks(); ++blk) {
+        const std::int64_t base = bbc.tileBase(blk);
+        int offset = 0;
+        for (int t = 0; t < bbc.blockTileCount(blk); ++t) {
+            EXPECT_EQ(bbc.valPtrLv2()[base + t], offset);
+            offset += popcount16(bbc.lv2()[base + t]);
+        }
+    }
+}
+
+TEST(BbcMatrix, NnzPerBlockAndStorage)
+{
+    const CsrMatrix dense_band = genBanded(96, 12, 0.9, 35);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(dense_band);
+    EXPECT_GT(bbc.nnzPerBlock(), 1.0);
+    // Storage = metadata + 8 bytes per value.
+    EXPECT_EQ(bbc.storageBytes(),
+              bbc.metadataBytes() +
+                  static_cast<std::uint64_t>(bbc.nnz()) * 8);
+    // For a dense-ish band, BBC must beat CSR (the Fig. 15 claim for
+    // NnzPB > 3.57).
+    EXPECT_GT(bbc.nnzPerBlock(), 3.57);
+    EXPECT_LT(bbc.storageBytes(), dense_band.storageBytes());
+}
+
+TEST(BbcMatrix, SparseMatrixBbcOverheadIsBounded)
+{
+    // Hyper-sparse: one element per block at most; BBC metadata may
+    // exceed CSR's but stays within a small factor.
+    const CsrMatrix m = genRandomUniform(256, 256, 0.0005, 36);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    EXPECT_LE(bbc.storageBytes(), m.storageBytes() * 4);
+}
+
+TEST(BbcIo, SaveLoadRoundTrip)
+{
+    const CsrMatrix m = genRandomUniform(72, 72, 0.07, 37);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    const std::string path = testing::TempDir() + "/unistc_t.bbc";
+    saveBbcFile(path, bbc);
+    const BbcMatrix back = loadBbcFile(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(back.rows(), bbc.rows());
+    EXPECT_EQ(back.cols(), bbc.cols());
+    EXPECT_EQ(back.numBlocks(), bbc.numBlocks());
+    EXPECT_EQ(back.lv1(), bbc.lv1());
+    EXPECT_EQ(back.lv2(), bbc.lv2());
+    EXPECT_EQ(back.valPtrLv2(), bbc.valPtrLv2());
+    EXPECT_TRUE(back.toCsr().approxEquals(m, 0.0));
+}
+
+TEST(BbcMatrix, NonMultipleOf16Shapes)
+{
+    // Shapes straddling block boundaries exercise edge blocks.
+    for (const auto &[r, c] : {std::pair{17, 31}, {15, 16},
+                               {33, 7}, {100, 3}}) {
+        const CsrMatrix m = genRandomUniform(r, c, 0.2, 38 + r);
+        const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+        EXPECT_TRUE(bbc.toCsr().approxEquals(m, 0.0))
+            << r << "x" << c;
+    }
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * BFS-via-SpMSpV tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "apps/bfs/bfs.hh"
+#include "corpus/generators.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+namespace
+{
+
+std::vector<int>
+bfsPlain(const CsrMatrix &adj, int source)
+{
+    std::vector<int> level(adj.rows(), -1);
+    std::queue<int> q;
+    level[source] = 0;
+    q.push(source);
+    while (!q.empty()) {
+        const int u = q.front();
+        q.pop();
+        for (std::int64_t i = adj.rowPtr()[u];
+             i < adj.rowPtr()[u + 1]; ++i) {
+            const int v = adj.colIdx()[i];
+            if (level[v] == -1) {
+                level[v] = level[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return level;
+}
+
+TEST(Bfs, PathGraphLevels)
+{
+    // 0 -> 1 -> 2 -> 3.
+    CooMatrix coo(4, 4);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 2, 1.0);
+    coo.add(2, 3, 1.0);
+    const CsrMatrix adj = cooToCsr(std::move(coo));
+    const BfsResult r = bfsSpmspv(adj, 0);
+    EXPECT_EQ(r.level, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(r.iterations, 4); // frontiers: {0},{1},{2},{3}
+}
+
+TEST(Bfs, UnreachableVerticesStayMinusOne)
+{
+    CooMatrix coo(5, 5);
+    coo.add(0, 1, 1.0);
+    coo.add(3, 4, 1.0); // disconnected component
+    const CsrMatrix adj = cooToCsr(std::move(coo));
+    const BfsResult r = bfsSpmspv(adj, 0);
+    EXPECT_EQ(r.level[0], 0);
+    EXPECT_EQ(r.level[1], 1);
+    EXPECT_EQ(r.level[3], -1);
+    EXPECT_EQ(r.level[4], -1);
+}
+
+TEST(Bfs, MatchesQueueBfsOnRandomGraphs)
+{
+    for (std::uint64_t seed : {701u, 702u, 703u}) {
+        const CsrMatrix adj = genPowerLaw(120, 5.0, 2.4, seed);
+        const BfsResult r = bfsSpmspv(adj, 0);
+        EXPECT_EQ(r.level, bfsPlain(adj, 0)) << "seed " << seed;
+    }
+}
+
+TEST(Bfs, FrontiersPartitionReachableVertices)
+{
+    const CsrMatrix adj = genPowerLaw(100, 6.0, 2.3, 704);
+    const BfsResult r = bfsSpmspv(adj, 0);
+    std::vector<bool> seen(adj.rows(), false);
+    std::int64_t total = 0;
+    for (const auto &f : r.frontiers) {
+        for (int v : f.idx()) {
+            EXPECT_FALSE(seen[v]); // disjoint frontiers
+            seen[v] = true;
+        }
+        total += f.nnz();
+    }
+    std::int64_t reachable = 0;
+    for (int lvl : r.level)
+        reachable += lvl >= 0 ? 1 : 0;
+    EXPECT_EQ(total, reachable);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation primitives the bitmap pipeline
+ * is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(Bitops, Popcount16)
+{
+    EXPECT_EQ(popcount16(0x0000), 0);
+    EXPECT_EQ(popcount16(0xFFFF), 16);
+    EXPECT_EQ(popcount16(0x0001), 1);
+    EXPECT_EQ(popcount16(0x8001), 2);
+    EXPECT_EQ(popcount16(0x5555), 8);
+}
+
+TEST(Bitops, TestAndSetBit)
+{
+    std::uint16_t v = 0;
+    EXPECT_FALSE(testBit(v, 3));
+    v = setBit(v, 3);
+    EXPECT_TRUE(testBit(v, 3));
+    EXPECT_FALSE(testBit(v, 2));
+    v = setBit(v, 15);
+    EXPECT_TRUE(testBit(v, 15));
+    EXPECT_EQ(popcount16(v), 2);
+}
+
+TEST(Bitops, BitRankCountsBitsBelow)
+{
+    const std::uint16_t v = 0b1011'0010'0110'1001;
+    EXPECT_EQ(bitRank(v, 0), 0);
+    EXPECT_EQ(bitRank(v, 1), 1); // only bit 0 below
+    EXPECT_EQ(bitRank(v, 4), 2); // bits 0, 3
+    EXPECT_EQ(bitRank(v, 15), popcount16(v) - 1);
+}
+
+TEST(Bitops, SelectBitInvertsRank)
+{
+    const std::uint16_t v = 0b0110'1001'0011'0100;
+    const int n = popcount16(v);
+    for (int i = 0; i < n; ++i) {
+        const int pos = selectBit(v, i);
+        ASSERT_GE(pos, 0);
+        EXPECT_TRUE(testBit(v, pos));
+        EXPECT_EQ(bitRank(v, pos), i);
+    }
+    EXPECT_EQ(selectBit(v, n), -1);
+    EXPECT_EQ(selectBit(0, 0), -1);
+}
+
+TEST(Bitops, ExclusivePrefixRanks)
+{
+    const std::uint16_t v = 0b0000'0000'1010'0001;
+    const auto ranks = exclusivePrefixRanks(v);
+    EXPECT_EQ(ranks[0], 0);
+    EXPECT_EQ(ranks[1], 1); // bit 0 set
+    EXPECT_EQ(ranks[5], 1);
+    EXPECT_EQ(ranks[6], 2); // bits 0 and 5 set
+    EXPECT_EQ(ranks[15], 3);
+}
+
+TEST(Bitops, ForEachSetBitVisitsLsbFirst)
+{
+    std::vector<int> seen;
+    forEachSetBit(0b1000'0000'0010'0100,
+                  [&](int idx) { seen.push_back(idx); });
+    EXPECT_EQ(seen, (std::vector<int>{2, 5, 15}));
+
+    seen.clear();
+    forEachSetBit(0, [&](int idx) { seen.push_back(idx); });
+    EXPECT_TRUE(seen.empty());
+}
+
+TEST(Bitops, Row4AndCol4Agree)
+{
+    // Build a known 4x4 map: diagonal plus (0,3).
+    std::uint16_t m = 0;
+    for (int i = 0; i < 4; ++i)
+        m = setBit(m, bit4x4(i, i));
+    m = setBit(m, bit4x4(0, 3));
+
+    EXPECT_EQ(row4(m, 0), 0b1001);
+    EXPECT_EQ(row4(m, 1), 0b0010);
+    EXPECT_EQ(col4(m, 3), 0b1001);
+    EXPECT_EQ(col4(m, 0), 0b0001);
+}
+
+TEST(Bitops, Transpose4x4)
+{
+    std::uint16_t m = 0;
+    m = setBit(m, bit4x4(0, 3));
+    m = setBit(m, bit4x4(2, 1));
+    const std::uint16_t t = transpose4x4(m);
+    EXPECT_TRUE(testBit(t, bit4x4(3, 0)));
+    EXPECT_TRUE(testBit(t, bit4x4(1, 2)));
+    EXPECT_EQ(popcount16(t), 2);
+    EXPECT_EQ(transpose4x4(t), m);
+}
+
+TEST(Bitops, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(16, 16), 1u);
+}
+
+} // namespace
+} // namespace unistc

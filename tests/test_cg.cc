@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Conjugate-gradient solver tests, including AMG-preconditioned CG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/amg/amg.hh"
+#include "apps/solvers/cg.hh"
+#include "common/rng.hh"
+#include "corpus/generators.hh"
+#include "kernels/reference.hh"
+#include "sparse/dense.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(Cg, ConvergesOnPoisson)
+{
+    const CsrMatrix a = genStencil2d(20, false);
+    Rng rng(31);
+    std::vector<double> b(a.rows());
+    for (auto &v : b)
+        v = rng.nextDouble(-1.0, 1.0);
+    std::vector<double> x(a.rows(), 0.0);
+    const CgStats stats = conjugateGradient(a, x, b, 1e-10, 500);
+    EXPECT_TRUE(stats.converged);
+    const auto ax = spmvRef(a, x);
+    EXPECT_LT(maxAbsDiff(ax, b), 1e-7);
+}
+
+TEST(Cg, ZeroRhsReturnsImmediately)
+{
+    const CsrMatrix a = genStencil2d(8, false);
+    const std::vector<double> b(a.rows(), 0.0);
+    std::vector<double> x(a.rows(), 0.0);
+    const CgStats stats = conjugateGradient(a, x, b, 1e-10, 100);
+    EXPECT_LE(stats.iterations, 1);
+    EXPECT_EQ(norm2(x), 0.0);
+}
+
+TEST(Cg, ResidualHistoryReachesTolerance)
+{
+    const CsrMatrix a = genStencil2d(16, false);
+    std::vector<double> b(a.rows(), 1.0);
+    std::vector<double> x(a.rows(), 0.0);
+    const CgStats stats = conjugateGradient(a, x, b, 1e-8, 500);
+    ASSERT_TRUE(stats.converged);
+    EXPECT_LT(stats.residualHistory.back(), 1e-8);
+    EXPECT_EQ(static_cast<int>(stats.residualHistory.size()),
+              stats.iterations);
+}
+
+TEST(Cg, AmgPreconditioningCutsIterations)
+{
+    const CsrMatrix a = genStencil2d(32, false);
+    const AmgHierarchy amg(a);
+    Rng rng(32);
+    std::vector<double> b(a.rows());
+    for (auto &v : b)
+        v = rng.nextDouble(-1.0, 1.0);
+
+    std::vector<double> x_plain(a.rows(), 0.0);
+    const CgStats plain =
+        conjugateGradient(a, x_plain, b, 1e-8, 1000);
+
+    std::vector<double> x_pcg(a.rows(), 0.0);
+    const Preconditioner m = [&](const std::vector<double> &r) {
+        std::vector<double> z(r.size(), 0.0);
+        amg.vCycle(z, r);
+        return z;
+    };
+    const CgStats pcg =
+        conjugateGradient(a, x_pcg, b, 1e-8, 1000, m);
+
+    ASSERT_TRUE(plain.converged);
+    ASSERT_TRUE(pcg.converged);
+    EXPECT_LT(pcg.iterations, plain.iterations / 2);
+    // Both reach the same solution.
+    EXPECT_LT(maxAbsDiff(x_plain, x_pcg), 1e-5);
+}
+
+TEST(Cg, SpmvCountTracksIterations)
+{
+    const CsrMatrix a = genStencil2d(12, false);
+    std::vector<double> b(a.rows(), 1.0);
+    std::vector<double> x(a.rows(), 0.0);
+    const CgStats stats = conjugateGradient(a, x, b, 1e-8, 300);
+    // One initial residual SpMV plus one per iteration.
+    EXPECT_EQ(stats.spmvCount, stats.iterations + 1);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the extended corpus generators (R-MAT, triangular,
+ * symmetric, graph Laplacian) and the DNN layer stacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/dnn/layers.hh"
+#include "common/stats.hh"
+#include "corpus/generators.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(Rmat, ShapeAndDeterminism)
+{
+    const CsrMatrix g = genRmat(9, 8, 0.57, 0.19, 0.19, 121);
+    g.validate();
+    EXPECT_EQ(g.rows(), 512);
+    // Duplicates merge, so nnz <= edges generated.
+    EXPECT_LE(g.nnz(), 512 * 8);
+    EXPECT_GT(g.nnz(), 512 * 4);
+    EXPECT_TRUE(g.approxEquals(genRmat(9, 8, 0.57, 0.19, 0.19, 121),
+                               0.0));
+}
+
+TEST(Rmat, SkewedDegreeDistribution)
+{
+    const CsrMatrix g = genRmat(10, 8, 0.57, 0.19, 0.19, 122);
+    std::vector<double> degs;
+    for (int r = 0; r < g.rows(); ++r)
+        degs.push_back(static_cast<double>(g.rowNnz(r)));
+    // Graph500-style parameters give a strongly skewed tail.
+    EXPECT_GT(quantile(degs, 1.0), 5.0 * quantile(degs, 0.5));
+}
+
+TEST(Rmat, UniformParametersGiveUniformGraph)
+{
+    const CsrMatrix g = genRmat(9, 6, 0.25, 0.25, 0.25, 123);
+    std::vector<double> degs;
+    for (int r = 0; r < g.rows(); ++r)
+        degs.push_back(static_cast<double>(g.rowNnz(r)));
+    EXPECT_LT(quantile(degs, 1.0), 4.0 * quantile(degs, 0.5) + 4.0);
+}
+
+TEST(Triangular, KeepsOnlyLowerPart)
+{
+    const CsrMatrix m = genRandomUniform(64, 64, 0.2, 124);
+    const CsrMatrix l = lowerTriangular(m);
+    l.validate();
+    for (int r = 0; r < l.rows(); ++r) {
+        for (std::int64_t i = l.rowPtr()[r]; i < l.rowPtr()[r + 1];
+             ++i) {
+            EXPECT_LE(l.colIdx()[i], r);
+        }
+    }
+    // Every kept entry matches the source.
+    for (int r = 0; r < l.rows(); ++r) {
+        for (int c = 0; c <= r; ++c)
+            EXPECT_DOUBLE_EQ(l.at(r, c), m.at(r, c));
+    }
+}
+
+TEST(Symmetrize, ProducesSymmetricMatrix)
+{
+    const CsrMatrix m = genRandomUniform(48, 48, 0.1, 125);
+    const CsrMatrix s = symmetrize(m);
+    s.validate();
+    for (int r = 0; r < s.rows(); ++r) {
+        for (std::int64_t i = s.rowPtr()[r]; i < s.rowPtr()[r + 1];
+             ++i) {
+            const int c = s.colIdx()[i];
+            EXPECT_NEAR(s.at(r, c), s.at(c, r), 1e-12);
+            EXPECT_NEAR(s.at(r, c),
+                        0.5 * (m.at(r, c) + m.at(c, r)), 1e-12);
+        }
+    }
+}
+
+TEST(GraphLaplacian, RowSumsAreShift)
+{
+    const CsrMatrix l = genGraphLaplacian(200, 6.0, 2.3, 126);
+    l.validate();
+    for (int r = 0; r < l.rows(); ++r) {
+        double sum = 0.0;
+        for (std::int64_t i = l.rowPtr()[r]; i < l.rowPtr()[r + 1];
+             ++i) {
+            sum += l.vals()[i];
+        }
+        EXPECT_NEAR(sum, 0.01, 1e-9); // L = D - A + 0.01 I
+        EXPECT_GT(l.at(r, r), 0.0);
+    }
+}
+
+TEST(DnnStacks, ResNet50FullStackShape)
+{
+    const auto stack = resnet50FullStack();
+    // 1 stem + 16 blocks x 3 convs + 4 projections = 53.
+    EXPECT_EQ(stack.size(), 53u);
+    for (const auto &rep : stack) {
+        EXPECT_GT(rep.layer.m, 0);
+        EXPECT_GT(rep.layer.k, 0);
+        EXPECT_EQ(rep.layer.n, 64);
+        EXPECT_GE(rep.repeats, 1);
+    }
+    // The stem sees the largest spatial extent.
+    EXPECT_EQ(stack.front().repeats, 112 * 112 / 64);
+}
+
+TEST(DnnStacks, TransformerFullStackShape)
+{
+    const auto stack = transformerFullStack(6, 2);
+    EXPECT_EQ(stack.size(), 24u); // 6 layers x 4 GEMMs
+    for (const auto &rep : stack)
+        EXPECT_EQ(rep.repeats, 2);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * DNN inference driver tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/dnn/dnn_driver.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace
+{
+
+const MachineConfig kFp32 = MachineConfig::fp32();
+
+TEST(DnnLayers, ShapesArePositive)
+{
+    for (const auto &layers : {resnet50Layers(), transformerLayers()}) {
+        EXPECT_GE(layers.size(), 4u);
+        for (const auto &l : layers) {
+            EXPECT_GT(l.m, 0);
+            EXPECT_GT(l.k, 0);
+            EXPECT_EQ(l.n, 64); // the paper's SpMM width
+        }
+    }
+}
+
+TEST(DnnDriver, DenseModeRunsSpmm)
+{
+    const DnnLayer layer{"t", 64, 128, 64};
+    const auto model = makeStcModel("Uni-STC", kFp32);
+    const RunResult r = runDnnLayer(*model, layer, 0.7,
+                                    ActivationMode::Dense, 0.0, 601);
+    EXPECT_GT(r.cycles, 0u);
+    // ~30% kept weights x 64 activation columns.
+    EXPECT_NEAR(static_cast<double>(r.products),
+                0.3 * 64 * 128 * 64, 0.15 * 64 * 128 * 64);
+}
+
+TEST(DnnDriver, HigherSparsityFewerCycles)
+{
+    const DnnLayer layer{"t", 128, 256, 64};
+    const auto model = makeStcModel("Uni-STC", kFp32);
+    const RunResult r70 = runDnnLayer(*model, layer, 0.7,
+                                      ActivationMode::Dense, 0.0,
+                                      602);
+    const RunResult r98 = runDnnLayer(*model, layer, 0.98,
+                                      ActivationMode::Dense, 0.0,
+                                      602);
+    EXPECT_LT(r98.cycles, r70.cycles);
+    EXPECT_LT(r98.products, r70.products);
+}
+
+TEST(DnnDriver, SparseActivationsUseSpgemm)
+{
+    const DnnLayer layer{"t", 64, 128, 64};
+    const auto model = makeStcModel("Uni-STC", kFp32);
+    const RunResult dense = runDnnLayer(*model, layer, 0.7,
+                                        ActivationMode::Dense, 0.0,
+                                        603);
+    const RunResult sparse = runDnnLayer(*model, layer, 0.7,
+                                         ActivationMode::Sparse, 0.5,
+                                         603);
+    // Sparse activations halve the useful products.
+    EXPECT_LT(sparse.products, dense.products);
+    EXPECT_GT(sparse.products, 0u);
+}
+
+TEST(DnnDriver, UniStcBeatsRmStcOnSparseWeights)
+{
+    // The Fig. 17 DNN claim in aggregate over the layer stacks.
+    std::uint64_t uni_cycles = 0, rm_cycles = 0;
+    const auto uni = makeStcModel("Uni-STC", kFp32);
+    const auto rm = makeStcModel("RM-STC", kFp32);
+    for (const auto &layer : transformerLayers()) {
+        uni_cycles += runDnnLayer(*uni, layer, 0.7,
+                                  ActivationMode::Dense, 0.0, 604)
+                          .cycles;
+        rm_cycles += runDnnLayer(*rm, layer, 0.7,
+                                 ActivationMode::Dense, 0.0, 604)
+                         .cycles;
+    }
+    EXPECT_LT(uni_cycles, rm_cycles);
+}
+
+TEST(DnnDriver, DeterministicInSeed)
+{
+    const DnnLayer layer{"t", 64, 64, 64};
+    const auto model = makeStcModel("RM-STC", kFp32);
+    const RunResult a = runDnnLayer(*model, layer, 0.9,
+                                    ActivationMode::Dense, 0.0, 605);
+    const RunResult b = runDnnLayer(*model, layer, 0.9,
+                                    ActivationMode::Dense, 0.0, 605);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.products, b.products);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * End-to-end DNN latency projection tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/dnn/dnn_driver.hh"
+
+namespace unistc
+{
+namespace
+{
+
+const MachineConfig kFp32 = MachineConfig::fp32();
+
+std::vector<DnnLayerRep>
+tinyStack()
+{
+    return {
+        {{"l0", 64, 128, 64}, 2},
+        {{"l1", 128, 64, 64}, 1},
+    };
+}
+
+TEST(DnnE2e, LatencyIsPositiveAndConsistent)
+{
+    const InferenceLatency lat = estimateInferenceLatency(
+        tinyStack(), 0.7, kFp32, 2, 4, 8, 1);
+    EXPECT_GT(lat.makespanCycles, 0u);
+    EXPECT_GT(lat.latencyUs, 0.0);
+    EXPECT_GT(lat.bundles, 0u);
+    EXPECT_GT(lat.unitUtilisation, 0.0);
+    EXPECT_LE(lat.unitUtilisation, 1.0);
+}
+
+TEST(DnnE2e, SparserWeightsAreFaster)
+{
+    const InferenceLatency dense = estimateInferenceLatency(
+        tinyStack(), 0.0, kFp32, 2, 4, 8, 2);
+    const InferenceLatency sparse = estimateInferenceLatency(
+        tinyStack(), 0.9, kFp32, 2, 4, 8, 2);
+    EXPECT_LT(sparse.makespanCycles, dense.makespanCycles);
+}
+
+TEST(DnnE2e, MoreSmsAreFaster)
+{
+    const InferenceLatency one = estimateInferenceLatency(
+        tinyStack(), 0.5, kFp32, 1, 4, 8, 3);
+    const InferenceLatency four = estimateInferenceLatency(
+        tinyStack(), 0.5, kFp32, 4, 4, 8, 3);
+    EXPECT_LE(four.makespanCycles, one.makespanCycles);
+}
+
+TEST(DnnE2e, DeterministicInSeed)
+{
+    const InferenceLatency a = estimateInferenceLatency(
+        tinyStack(), 0.7, kFp32, 2, 4, 8, 4);
+    const InferenceLatency b = estimateInferenceLatency(
+        tinyStack(), 0.7, kFp32, 2, 4, 8, 4);
+    EXPECT_EQ(a.makespanCycles, b.makespanCycles);
+    EXPECT_EQ(a.bundles, b.bundles);
+}
+
+} // namespace
+} // namespace unistc

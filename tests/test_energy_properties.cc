@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Property tests for the energy model: monotonicity in every event
+ * class, gating dominance, and precision scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+
+namespace unistc
+{
+namespace
+{
+
+const MachineConfig kFp64 = MachineConfig::fp64();
+
+RunResult
+baseRun()
+{
+    RunResult r;
+    for (int i = 0; i < 100; ++i)
+        r.recordCycle(64, 32, 4, 4);
+    r.tasksT1 = 10;
+    r.tasksT3 = 100;
+    r.traffic.readsA = 1000;
+    r.traffic.readsB = 1200;
+    r.traffic.writesC = 800;
+    return r;
+}
+
+NetworkConfig
+someNet()
+{
+    NetworkConfig net;
+    net.aFactor = 3.0;
+    net.bFactor = 3.0;
+    net.cFactor = 2.0;
+    net.cNetUnits = 8;
+    return net;
+}
+
+TEST(EnergyProperties, MonotoneInEveryEventClass)
+{
+    const EnergyModel em;
+    RunResult base = baseRun();
+    em.finalize(kFp64, someNet(), base);
+    const double base_total = base.energy.total();
+
+    struct Bump
+    {
+        const char *what;
+        void (*apply)(RunResult &);
+    };
+    const Bump bumps[] = {
+        {"readsA", [](RunResult &r) { r.traffic.readsA += 500; }},
+        {"wastedA", [](RunResult &r) { r.traffic.wastedA += 500; }},
+        {"readsB", [](RunResult &r) { r.traffic.readsB += 500; }},
+        {"writesC", [](RunResult &r) { r.traffic.writesC += 500; }},
+        {"tasksT3", [](RunResult &r) { r.tasksT3 += 50; }},
+        {"products", [](RunResult &r) { r.recordCycle(64, 64); }},
+    };
+    for (const Bump &bump : bumps) {
+        RunResult r = baseRun();
+        bump.apply(r);
+        const EnergyModel em2;
+        em2.finalize(kFp64, someNet(), r);
+        EXPECT_GT(r.energy.total(), base_total) << bump.what;
+    }
+}
+
+TEST(EnergyProperties, GatedNeverExceedsAlwaysOn)
+{
+    const EnergyModel em;
+    NetworkConfig gated = someNet();
+    gated.dynamicGating = true;
+    NetworkConfig always = someNet();
+    always.dynamicGating = false;
+
+    RunResult g = baseRun(); // 4 of 8 DPGs active per cycle
+    RunResult a = baseRun();
+    em.finalize(kFp64, gated, g);
+    em.finalize(kFp64, always, a);
+    EXPECT_LE(g.energy.total(), a.energy.total());
+    EXPECT_LE(g.energy.writeC, a.energy.writeC);
+    EXPECT_LE(g.energy.schedule, a.energy.schedule);
+}
+
+TEST(EnergyProperties, FullyActiveGatingEqualsAlwaysOnLanes)
+{
+    const EnergyModel em;
+    RunResult g;
+    // All 8 DPGs active every cycle, full C network.
+    for (int i = 0; i < 50; ++i)
+        g.recordCycle(64, 64, 8, 8);
+    RunResult a = g;
+
+    NetworkConfig gated = someNet();
+    gated.dynamicGating = true;
+    NetworkConfig always = someNet();
+    em.finalize(kFp64, gated, g);
+    em.finalize(kFp64, always, a);
+    EXPECT_NEAR(g.energy.schedule, a.energy.schedule, 1e-9);
+    EXPECT_NEAR(g.energy.writeC, a.energy.writeC, 1e-9);
+}
+
+TEST(EnergyProperties, StrongerNetworkFactorsReduceOnlyTheirPath)
+{
+    const EnergyModel em;
+    RunResult base = baseRun();
+    em.finalize(kFp64, someNet(), base);
+
+    NetworkConfig better_a = someNet();
+    better_a.aFactor *= 2.0;
+    RunResult r = baseRun();
+    em.finalize(kFp64, better_a, r);
+    EXPECT_LT(r.energy.fetchA, base.energy.fetchA);
+    EXPECT_DOUBLE_EQ(r.energy.fetchB, base.energy.fetchB);
+    EXPECT_DOUBLE_EQ(r.energy.writeC, base.energy.writeC);
+    EXPECT_DOUBLE_EQ(r.energy.compute, base.energy.compute);
+}
+
+TEST(EnergyProperties, Fp32ComputeCheaper)
+{
+    const EnergyModel em;
+    RunResult r64 = baseRun();
+    em.finalize(MachineConfig::fp64(), someNet(), r64);
+    RunResult r32 = baseRun();
+    em.finalize(MachineConfig::fp32(), someNet(), r32);
+    EXPECT_LT(r32.energy.compute, r64.energy.compute);
+    // Narrower operands also cut network energy.
+    EXPECT_LT(r32.energy.fetchA, r64.energy.fetchA);
+}
+
+TEST(EnergyProperties, ZeroRunHasZeroEnergy)
+{
+    const EnergyModel em;
+    RunResult r;
+    em.finalize(kFp64, someNet(), r);
+    EXPECT_DOUBLE_EQ(r.energy.total(), 0.0);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Logging/error-reporting tests (death tests for fatal/panic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(LoggingDeath, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(UNISTC_FATAL("bad user input ", 42),
+                ::testing::ExitedWithCode(1), "fatal: bad user input 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(UNISTC_PANIC("simulator bug"),
+                 "panic: simulator bug");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(UNISTC_ASSERT(1 == 2, "math broke"),
+                 "assertion failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    UNISTC_ASSERT(2 + 2 == 4, "never printed");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    UNISTC_WARN("this is a warning with value ", 3.14);
+    UNISTC_INFORM("status message");
+    SUCCEED();
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DRAM traffic and roofline model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corpus/generators.hh"
+#include "kernels/reference.hh"
+#include "sim/memory.hh"
+
+namespace unistc
+{
+namespace
+{
+
+const MachineConfig kFp64 = MachineConfig::fp64();
+
+TEST(DramTraffic, SpmvCountsImagesOnce)
+{
+    const CsrMatrix m = genBanded(128, 8, 0.5, 551);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    const DramTraffic t = kernelDramTraffic(Kernel::SpMV, bbc, 0,
+                                            nullptr, 0, kFp64);
+    EXPECT_EQ(t.readA,
+              bbc.metadataBytes() +
+                  static_cast<std::uint64_t>(bbc.nnz()) * 8);
+    EXPECT_EQ(t.readB, static_cast<std::uint64_t>(m.cols()) * 8);
+    EXPECT_EQ(t.writeC, static_cast<std::uint64_t>(m.rows()) * 8);
+    EXPECT_EQ(t.total(), t.readA + t.readB + t.writeC);
+}
+
+TEST(DramTraffic, SpmmScalesWithWidth)
+{
+    const CsrMatrix m = genBanded(96, 8, 0.5, 552);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    const DramTraffic w16 = kernelDramTraffic(Kernel::SpMM, bbc, 16,
+                                              nullptr, 0, kFp64);
+    const DramTraffic w64 = kernelDramTraffic(Kernel::SpMM, bbc, 64,
+                                              nullptr, 0, kFp64);
+    EXPECT_EQ(w64.readB, 4 * w16.readB);
+    EXPECT_EQ(w64.writeC, 4 * w16.writeC);
+    EXPECT_EQ(w64.readA, w16.readA);
+}
+
+TEST(DramTraffic, SpgemmIncludesResultImage)
+{
+    const CsrMatrix m = genRandomUniform(96, 96, 0.05, 553);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    const std::int64_t c_nnz = spgemmSymbolic(m, m).nnz();
+    const DramTraffic t = kernelDramTraffic(Kernel::SpGEMM, bbc, 0,
+                                            &bbc, c_nnz, kFp64);
+    EXPECT_EQ(t.writeC, static_cast<std::uint64_t>(c_nnz) * 12);
+    EXPECT_GT(t.readB, 0u);
+}
+
+TEST(Roofline, HighIntensityIsComputeBound)
+{
+    // Many cycles, tiny traffic: compute-bound.
+    RunResult run;
+    for (int i = 0; i < 100000; ++i)
+        run.recordCycle(64, 64);
+    DramTraffic tiny;
+    tiny.readA = 1024;
+    const RooflineVerdict v = roofline(run, tiny, kFp64);
+    EXPECT_TRUE(v.computeBound);
+    EXPECT_GT(v.ratio, 1.0);
+}
+
+TEST(Roofline, LowIntensityIsMemoryBound)
+{
+    RunResult run;
+    run.recordCycle(64, 64); // one cycle of compute
+    DramTraffic huge;
+    huge.readA = 1ull << 30;
+    const RooflineVerdict v = roofline(run, huge, kFp64);
+    EXPECT_FALSE(v.computeBound);
+    EXPECT_LT(v.ratio, 1.0);
+}
+
+TEST(Roofline, MoreUnitsShiftTowardMemoryBound)
+{
+    RunResult run;
+    for (int i = 0; i < 50000; ++i)
+        run.recordCycle(64, 32);
+    DramTraffic t;
+    t.readA = 40ull << 20;
+    MemoryConfig few;
+    few.stcUnitsPerDevice = 4;
+    MemoryConfig many;
+    many.stcUnitsPerDevice = 432;
+    const RooflineVerdict vf = roofline(run, t, kFp64, few);
+    const RooflineVerdict vm = roofline(run, t, kFp64, many);
+    EXPECT_GT(vf.ratio, vm.ratio);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the 2:4 structured-sparsity tensor core model and the
+ * structured-weight generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bbc/bbc_matrix.hh"
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "corpus/dlmc.hh"
+#include "runner/spmm_runner.hh"
+#include "stc/nv_dtc.hh"
+#include "stc/nv_stc24.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace
+{
+
+const MachineConfig kFp64 = MachineConfig::fp64();
+
+BlockPattern
+structured24Block(std::uint64_t seed)
+{
+    Rng rng(seed);
+    BlockPattern p;
+    for (int r = 0; r < kBlockSize; ++r) {
+        for (int g = 0; g < kBlockSize; g += 4) {
+            for (int k : rng.sampleDistinct(4, 2))
+                p.set(r, g + k);
+        }
+    }
+    return p;
+}
+
+TEST(Conforms24, DetectsStructure)
+{
+    EXPECT_TRUE(conformsTo24(structured24Block(1)));
+    EXPECT_TRUE(conformsTo24(BlockPattern{})); // empty conforms
+
+    BlockPattern bad;
+    bad.set(0, 0);
+    bad.set(0, 1);
+    bad.set(0, 2); // 3 in the first 4-group
+    EXPECT_FALSE(conformsTo24(bad));
+
+    EXPECT_FALSE(conformsTo24(BlockPattern::dense()));
+}
+
+TEST(NvStc24, HalvesCyclesOnConformingBlocks)
+{
+    const BlockPattern a = structured24Block(2);
+    const BlockTask t = BlockTask::mm(a, BlockPattern::dense());
+    NvStc24 sparse(kFp64);
+    NvDtc dense(kFp64);
+    RunResult rs, rd;
+    sparse.runBlock(t, rs);
+    dense.runBlock(t, rd);
+    EXPECT_EQ(rs.cycles * 2, rd.cycles);
+    EXPECT_EQ(rs.products, rd.products);
+}
+
+TEST(NvStc24, FallsBackToDenseOnUnstructured)
+{
+    Rng rng(3);
+    const BlockPattern a = BlockPattern::random(rng, 0.5);
+    ASSERT_FALSE(conformsTo24(a));
+    const BlockTask t = BlockTask::mm(a, BlockPattern::dense());
+    NvStc24 sparse(kFp64);
+    NvDtc dense(kFp64);
+    RunResult rs, rd;
+    sparse.runBlock(t, rs);
+    dense.runBlock(t, rd);
+    EXPECT_EQ(rs.cycles, rd.cycles);
+    EXPECT_EQ(rs.products, rd.products);
+}
+
+TEST(NvStc24, ProductConservation)
+{
+    Rng rng(4);
+    for (int trial = 0; trial < 10; ++trial) {
+        const BlockPattern a = structured24Block(10 + trial);
+        const BlockPattern b = BlockPattern::random(rng, 0.3);
+        RunResult r;
+        NvStc24 model(kFp64);
+        model.runBlock(BlockTask::mm(a, b), r);
+        EXPECT_EQ(r.products,
+                  static_cast<std::uint64_t>(blockProductCount(a,
+                                                               b)));
+        EXPECT_LE(r.utilisation(), 1.0 + 1e-12);
+    }
+}
+
+TEST(NvStc24, RegistryCreatesIt)
+{
+    const auto model = makeStcModel("NV-STC-2:4", kFp64);
+    EXPECT_EQ(model->name(), "NV-STC-2:4");
+}
+
+TEST(Structured24Generator, ExactPattern)
+{
+    const CsrMatrix w = genStructured24(64, 128, 5);
+    EXPECT_EQ(w.nnz(), 64 * 128 / 2); // exactly 50% dense
+    for (int r = 0; r < w.rows(); ++r) {
+        std::vector<int> group_count(128 / 4, 0);
+        for (std::int64_t i = w.rowPtr()[r]; i < w.rowPtr()[r + 1];
+             ++i) {
+            ++group_count[w.colIdx()[i] / 4];
+        }
+        for (int c : group_count)
+            EXPECT_EQ(c, 2);
+    }
+    // Every block of the BBC encoding conforms.
+    const BbcMatrix bbc = BbcMatrix::fromCsr(w);
+    for (std::int64_t blk = 0; blk < bbc.numBlocks(); ++blk)
+        EXPECT_TRUE(conformsTo24(bbc.blockPattern(blk)));
+}
+
+TEST(NvStc24, EndToEndSpmmBeatsDenseOnStructuredWeights)
+{
+    const CsrMatrix w = genStructured24(64, 256, 6);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(w);
+    const auto sparse = makeStcModel("NV-STC-2:4", kFp64);
+    const auto dense = makeStcModel("NV-DTC", kFp64);
+    const RunResult rs = runSpmm(*sparse, bbc, 64);
+    const RunResult rd = runSpmm(*dense, bbc, 64);
+    EXPECT_EQ(rs.cycles * 2, rd.cycles);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * PageRank tests: stochasticity, known rankings, dangling handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/graph/pagerank.hh"
+#include "corpus/generators.hh"
+#include "sparse/convert.hh"
+
+namespace unistc
+{
+namespace
+{
+
+double
+sum(const std::vector<double> &v)
+{
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s;
+}
+
+TEST(PageRank, RanksFormProbabilityDistribution)
+{
+    const CsrMatrix adj = genPowerLaw(120, 5.0, 2.3, 711);
+    const PageRankResult r = pageRank(adj);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(sum(r.rank), 1.0, 1e-9);
+    for (double x : r.rank)
+        EXPECT_GT(x, 0.0);
+}
+
+TEST(PageRank, StarCenterRanksHighest)
+{
+    // Every leaf points to the hub.
+    const int n = 12;
+    CooMatrix coo(n, n);
+    for (int leaf = 1; leaf < n; ++leaf)
+        coo.add(leaf, 0, 1.0);
+    const PageRankResult r = pageRank(cooToCsr(std::move(coo)));
+    for (int leaf = 1; leaf < n; ++leaf)
+        EXPECT_GT(r.rank[0], r.rank[leaf]);
+}
+
+TEST(PageRank, SymmetricCycleIsUniform)
+{
+    const int n = 8;
+    CooMatrix coo(n, n);
+    for (int u = 0; u < n; ++u)
+        coo.add(u, (u + 1) % n, 1.0);
+    const PageRankResult r = pageRank(cooToCsr(std::move(coo)));
+    for (int u = 0; u < n; ++u)
+        EXPECT_NEAR(r.rank[u], 1.0 / n, 1e-9);
+}
+
+TEST(PageRank, DanglingMassConserved)
+{
+    // Node 2 has no out-edges; ranks must still sum to 1.
+    CooMatrix coo(3, 3);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 2, 1.0);
+    const PageRankResult r = pageRank(cooToCsr(std::move(coo)));
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(sum(r.rank), 1.0, 1e-9);
+    // The chain end accumulates the most rank.
+    EXPECT_GT(r.rank[2], r.rank[0]);
+}
+
+TEST(PageRank, TransitionTransposeIsColumnStochastic)
+{
+    const CsrMatrix adj = genPowerLaw(64, 4.0, 2.4, 712);
+    const CsrMatrix pt = transitionTranspose(adj);
+    // Column u of P^T (= row u of P) sums to 1 for non-dangling u.
+    std::vector<double> col_sum(adj.rows(), 0.0);
+    for (int r = 0; r < pt.rows(); ++r) {
+        for (std::int64_t i = pt.rowPtr()[r]; i < pt.rowPtr()[r + 1];
+             ++i) {
+            col_sum[pt.colIdx()[i]] += pt.vals()[i];
+        }
+    }
+    for (int u = 0; u < adj.rows(); ++u) {
+        if (adj.rowNnz(u) > 0)
+            EXPECT_NEAR(col_sum[u], 1.0, 1e-12);
+        else
+            EXPECT_EQ(col_sum[u], 0.0);
+    }
+}
+
+} // namespace
+} // namespace unistc

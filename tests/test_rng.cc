@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, range contracts
+ * and rough distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+    // bound 1 always yields 0.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sum2 += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.1);
+}
+
+TEST(Rng, SampleDistinctProperties)
+{
+    Rng rng(19);
+    const auto s = rng.sampleDistinct(100, 20);
+    ASSERT_EQ(s.size(), 20u);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        EXPECT_GE(s[i], 0);
+        EXPECT_LT(s[i], 100);
+        if (i > 0) {
+            EXPECT_LT(s[i - 1], s[i]); // sorted, distinct
+        }
+    }
+}
+
+TEST(Rng, SampleDistinctEdgeCases)
+{
+    Rng rng(23);
+    EXPECT_TRUE(rng.sampleDistinct(10, 0).empty());
+    const auto all = rng.sampleDistinct(5, 5);
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Kernel-runner tests: the Algorithm 1/2 drivers must issue the right
+ * task stream, conserve intermediate-product counts against the
+ * reference kernels, and produce finalized energy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "corpus/generators.hh"
+#include "kernels/reference.hh"
+#include "runner/report.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmm_runner.hh"
+#include "runner/spmspv_runner.hh"
+#include "runner/spmv_runner.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace
+{
+
+const MachineConfig kFp64 = MachineConfig::fp64();
+
+TEST(SpmvRunner, ProductCountEqualsNnz)
+{
+    // With dense x, every stored element contributes one product.
+    const CsrMatrix a = genRandomUniform(96, 96, 0.05, 201);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    for (const auto &model : makeCoreLineup(kFp64)) {
+        const RunResult r = runSpmv(*model, bbc);
+        EXPECT_EQ(r.products, static_cast<std::uint64_t>(a.nnz()))
+            << model->name();
+        EXPECT_EQ(r.tasksT1,
+                  static_cast<std::uint64_t>(bbc.numBlocks()));
+        EXPECT_GT(r.energy.total(), 0.0);
+    }
+}
+
+TEST(SpmspvRunner, ProductCountMatchesMaskedNnz)
+{
+    const CsrMatrix a = genRandomUniform(80, 80, 0.08, 202);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    Rng rng(203);
+    SparseVector x(a.cols());
+    for (int i = 0; i < a.cols(); ++i) {
+        if (rng.nextBool(0.5))
+            x.push(i, 1.0);
+    }
+    // Ground truth: elements of A in columns x touches.
+    std::vector<bool> mask(a.cols(), false);
+    for (int i : x.idx())
+        mask[i] = true;
+    std::int64_t expect = 0;
+    for (int r = 0; r < a.rows(); ++r) {
+        for (std::int64_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1];
+             ++i) {
+            expect += mask[a.colIdx()[i]] ? 1 : 0;
+        }
+    }
+    for (const auto &model : makeCoreLineup(kFp64)) {
+        const RunResult r = runSpmspv(*model, bbc, x);
+        EXPECT_EQ(r.products, static_cast<std::uint64_t>(expect))
+            << model->name();
+    }
+}
+
+TEST(SpmspvRunner, EmptyXIssuesNothing)
+{
+    const CsrMatrix a = genRandomUniform(48, 48, 0.1, 204);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    const SparseVector x(a.cols());
+    const auto model = makeStcModel("Uni-STC", kFp64);
+    const RunResult r = runSpmspv(*model, bbc, x);
+    EXPECT_EQ(r.tasksT1, 0u);
+    EXPECT_EQ(r.cycles, 0u);
+}
+
+TEST(SpmmRunner, ProductCountEqualsNnzTimesWidth)
+{
+    const CsrMatrix a = genRandomUniform(64, 64, 0.06, 205);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    const int b_cols = 64;
+    for (const auto &model : makeCoreLineup(kFp64)) {
+        const RunResult r = runSpmm(*model, bbc, b_cols);
+        EXPECT_EQ(r.products,
+                  static_cast<std::uint64_t>(a.nnz()) * b_cols)
+            << model->name();
+        // 4 B block columns per A block.
+        EXPECT_EQ(r.tasksT1,
+                  static_cast<std::uint64_t>(bbc.numBlocks()) * 4);
+    }
+}
+
+TEST(SpmmRunner, PartialWidthB)
+{
+    const CsrMatrix a = genRandomUniform(40, 40, 0.1, 206);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    const auto model = makeStcModel("Uni-STC", kFp64);
+    const RunResult r = runSpmm(*model, bbc, 20); // 16 + 4 columns
+    EXPECT_EQ(r.products, static_cast<std::uint64_t>(a.nnz()) * 20);
+}
+
+TEST(SpgemmRunner, ProductCountEqualsSpgemmFlops)
+{
+    const CsrMatrix a = genRandomUniform(72, 72, 0.05, 207);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    const std::int64_t flops = spgemmFlops(a, a);
+    for (const auto &model : makeCoreLineup(kFp64)) {
+        const RunResult r = runSpgemm(*model, bbc, bbc);
+        EXPECT_EQ(r.products, static_cast<std::uint64_t>(flops))
+            << model->name();
+    }
+}
+
+TEST(SpgemmRunner, RectangularOperands)
+{
+    const CsrMatrix a = genRandomUniform(48, 32, 0.1, 208);
+    const CsrMatrix b = genRandomUniform(32, 64, 0.1, 209);
+    const BbcMatrix ab = BbcMatrix::fromCsr(a);
+    const BbcMatrix bb = BbcMatrix::fromCsr(b);
+    const auto model = makeStcModel("RM-STC", kFp64);
+    const RunResult r = runSpgemm(*model, ab, bb);
+    EXPECT_EQ(r.products,
+              static_cast<std::uint64_t>(spgemmFlops(a, b)));
+}
+
+TEST(Report, CompareAndRollup)
+{
+    RunResult base, test;
+    base.recordCycle(64, 32);
+    base.recordCycle(64, 32);
+    base.energy.compute = 200.0;
+    test.recordCycle(64, 64);
+    test.energy.compute = 100.0;
+    const Comparison c = compare(base, test);
+    EXPECT_DOUBLE_EQ(c.speedup, 2.0);
+    EXPECT_DOUBLE_EQ(c.energyReduction, 2.0);
+    EXPECT_DOUBLE_EQ(c.energyEfficiency, 4.0);
+
+    ComparisonRollup roll;
+    roll.add(c);
+    roll.add({8.0, 0.5, 4.0});
+    EXPECT_NEAR(roll.speedup.value(), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(roll.speedupStat.max(), 8.0);
+}
+
+TEST(Report, KernelNames)
+{
+    EXPECT_STREQ(toString(Kernel::SpMV), "SpMV");
+    EXPECT_STREQ(toString(Kernel::SpGEMM), "SpGEMM");
+    EXPECT_EQ(allKernels().size(), 4u);
+}
+
+TEST(Report, InterProductsPerT1)
+{
+    RunResult r;
+    r.products = 400;
+    r.tasksT1 = 4;
+    EXPECT_DOUBLE_EQ(interProductsPerT1(r), 100.0);
+    EXPECT_DOUBLE_EQ(interProductsPerT1(RunResult{}), 0.0);
+}
+
+TEST(Runners, UniStcWinsOnRepresentativeKernelMix)
+{
+    // Aggregate sanity on a banded matrix: Uni-STC should not lose
+    // to DS-STC on any kernel (the paper's headline).
+    const CsrMatrix a = genBanded(160, 12, 0.5, 210);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    const auto ds = makeStcModel("DS-STC", kFp64);
+    const auto uni = makeStcModel("Uni-STC", kFp64);
+
+    EXPECT_LE(runSpmv(*uni, bbc).cycles, runSpmv(*ds, bbc).cycles);
+    EXPECT_LE(runSpmm(*uni, bbc, 64).cycles,
+              runSpmm(*ds, bbc, 64).cycles);
+    EXPECT_LE(runSpgemm(*uni, bbc, bbc).cycles,
+              runSpgemm(*ds, bbc, bbc).cycles);
+}
+
+} // namespace
+} // namespace unistc

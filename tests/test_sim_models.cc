@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the simulator core: machine configs, RunResult
+ * accounting, the energy model and the area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/area.hh"
+#include "sim/config.hh"
+#include "sim/energy.hh"
+#include "sim/network.hh"
+#include "sim/result.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(MachineConfig, PaperPresets)
+{
+    const MachineConfig fp64 = MachineConfig::fp64();
+    EXPECT_EQ(fp64.macCount, 64);
+    EXPECT_EQ(fp64.numDpgs, 8);
+    EXPECT_EQ(fp64.bytesPerValue(), 8);
+    EXPECT_DOUBLE_EQ(fp64.freqGhz, 1.5);
+
+    const MachineConfig fp32 = MachineConfig::fp32();
+    EXPECT_EQ(fp32.macCount, 128);
+    EXPECT_EQ(fp32.bytesPerValue(), 4);
+
+    EXPECT_EQ(MachineConfig::fp64WithDpgs(4).numDpgs, 4);
+    EXPECT_EQ(toString(Precision::FP64), "fp64");
+}
+
+TEST(RunResult, RecordCycleAccounting)
+{
+    RunResult r;
+    r.recordCycle(64, 64, 2, 2);
+    r.recordCycle(64, 10, 1, 1);
+    r.recordCycle(64, 0, 0, 0);
+    EXPECT_EQ(r.cycles, 3u);
+    EXPECT_EQ(r.products, 74u);
+    EXPECT_EQ(r.macSlots, 192u);
+    EXPECT_NEAR(r.utilisation(), 74.0 / 192.0, 1e-12);
+    EXPECT_NEAR(r.avgActiveDpgs(), 1.0, 1e-12);
+    EXPECT_NEAR(r.avgCNetScale(), 1.0, 1e-12);
+    // Buckets: 100% -> bucket 3, ~16% -> bucket 0, 0% -> bucket 0.
+    EXPECT_EQ(r.utilHist.bucketCount(3), 1u);
+    EXPECT_EQ(r.utilHist.bucketCount(0), 2u);
+}
+
+TEST(RunResult, MergeAndScale)
+{
+    RunResult a, b;
+    a.recordCycle(64, 32);
+    a.tasksT1 = 1;
+    a.traffic.readsA = 10;
+    b.recordCycle(64, 16);
+    b.tasksT1 = 2;
+    b.traffic.readsA = 5;
+    a.merge(b);
+    EXPECT_EQ(a.cycles, 2u);
+    EXPECT_EQ(a.products, 48u);
+    EXPECT_EQ(a.tasksT1, 3u);
+    EXPECT_EQ(a.traffic.readsA, 15u);
+
+    a.scale(3);
+    EXPECT_EQ(a.cycles, 6u);
+    EXPECT_EQ(a.products, 144u);
+    EXPECT_EQ(a.traffic.readsA, 45u);
+    EXPECT_EQ(a.utilHist.totalCount(), 6u);
+}
+
+TEST(RunResult, TimeNs)
+{
+    RunResult r;
+    for (int i = 0; i < 15; ++i)
+        r.recordCycle(64, 1);
+    EXPECT_NEAR(r.timeNs(1.5), 10.0, 1e-12);
+}
+
+TEST(Network, CrossbarEnergyGrowsWithPorts)
+{
+    EXPECT_LT(crossbarPjPerByte(4, 8), crossbarPjPerByte(64, 256));
+    EXPECT_DOUBLE_EQ(flatCrossbarPjPerByte(),
+                     crossbarPjPerByte(64, 256));
+}
+
+TEST(Energy, MoreTrafficMoreEnergy)
+{
+    const MachineConfig cfg = MachineConfig::fp64();
+    const NetworkConfig net; // flat factors
+    EnergyModel em;
+
+    RunResult small;
+    small.recordCycle(64, 32);
+    small.traffic.readsA = 100;
+    small.traffic.writesC = 50;
+    em.finalize(cfg, net, small);
+
+    RunResult big = small;
+    big.traffic.readsA = 1000;
+    em.finalize(cfg, net, big);
+    EXPECT_GT(big.energy.fetchA, small.energy.fetchA);
+    EXPECT_DOUBLE_EQ(big.energy.writeC, small.energy.writeC);
+    EXPECT_GT(small.energy.total(), 0.0);
+}
+
+TEST(Energy, NetworkFactorsReduceEnergy)
+{
+    const MachineConfig cfg = MachineConfig::fp64();
+    EnergyModel em;
+
+    RunResult r;
+    r.recordCycle(64, 64);
+    r.traffic.readsA = 500;
+    r.traffic.readsB = 500;
+    r.traffic.writesC = 500;
+
+    NetworkConfig flat;
+    RunResult flat_run = r;
+    em.finalize(cfg, flat, flat_run);
+
+    NetworkConfig hier;
+    hier.aFactor = 7.16;
+    hier.bFactor = 5.33;
+    hier.cFactor = 2.83;
+    RunResult hier_run = r;
+    em.finalize(cfg, hier, hier_run);
+
+    EXPECT_LT(hier_run.energy.fetchA, flat_run.energy.fetchA);
+    EXPECT_LT(hier_run.energy.fetchB, flat_run.energy.fetchB);
+    EXPECT_LT(hier_run.energy.writeC, flat_run.energy.writeC);
+}
+
+TEST(Energy, DynamicGatingSavesLanePower)
+{
+    const MachineConfig cfg = MachineConfig::fp64();
+    EnergyModel em;
+
+    RunResult r;
+    // 10 cycles with only 1 of 8 DPGs active.
+    for (int i = 0; i < 10; ++i)
+        r.recordCycle(64, 8, 1, 1);
+
+    NetworkConfig gated;
+    gated.dynamicGating = true;
+    gated.cNetUnits = 8;
+    RunResult gated_run = r;
+    em.finalize(cfg, gated, gated_run);
+
+    NetworkConfig always_on;
+    always_on.dynamicGating = false;
+    always_on.cNetUnits = 8;
+    RunResult on_run = r;
+    em.finalize(cfg, always_on, on_run);
+
+    EXPECT_LT(gated_run.energy.schedule, on_run.energy.schedule);
+}
+
+TEST(Energy, Fp32MacCheaperThanFp64)
+{
+    EnergyParams p;
+    EXPECT_LT(p.macPj(MachineConfig::fp32()),
+              p.macPj(MachineConfig::fp64()));
+}
+
+TEST(Area, TableIxBreakdown)
+{
+    const auto items = AreaModel::uniStcBreakdown(8);
+    ASSERT_EQ(items.size(), 7u); // six modules + total
+    EXPECT_EQ(items.back().module, "Total Overhead");
+
+    // Calibration targets from Table IX (tolerances cover the linear
+    // SRAM fit).
+    EXPECT_NEAR(items[0].mm2, 0.002, 5e-4);   // Benes & MUX
+    EXPECT_NEAR(items[1].mm2, 0.012, 1e-3);   // TMS & DPG
+    EXPECT_NEAR(items[2].mm2, 0.018, 1e-3);   // SDPU adders
+    EXPECT_NEAR(items[3].mm2, 0.0005, 3e-4);  // 144B buffer
+    EXPECT_NEAR(items[4].mm2, 0.003, 8e-4);   // 1KB buffer
+    EXPECT_NEAR(items[5].mm2, 0.007, 1e-3);   // 2KB buffer
+    EXPECT_NEAR(items.back().mm2, 0.0425, 0.004);
+    // 432 units on an 826 mm2 die -> ~2.12%.
+    EXPECT_NEAR(items.back().percent, 2.12, 0.3);
+}
+
+TEST(Area, DpgCountScalesLogicOnly)
+{
+    const double a4 = AreaModel::uniStcOverheadMm2(4);
+    const double a8 = AreaModel::uniStcOverheadMm2(8);
+    const double a16 = AreaModel::uniStcOverheadMm2(16);
+    EXPECT_LT(a4, a8);
+    EXPECT_LT(a8, a16);
+    // Buffers and SDPU dominate, so doubling DPGs must not double
+    // area.
+    EXPECT_LT(a16, 2.0 * a8);
+}
+
+TEST(Area, BaselineRelations)
+{
+    // §I: Uni-STC has 18% more dedicated-module area than RM-STC.
+    EXPECT_NEAR(AreaModel::uniStcOverheadMm2(8) /
+                    AreaModel::rmStcOverheadMm2(),
+                1.18, 1e-9);
+    EXPECT_LT(AreaModel::dsStcOverheadMm2(),
+              AreaModel::rmStcOverheadMm2());
+}
+
+TEST(Area, SramCurveMonotone)
+{
+    EXPECT_LT(AreaModel::sramAreaMm2(144),
+              AreaModel::sramAreaMm2(1024));
+    EXPECT_LT(AreaModel::sramAreaMm2(1024),
+              AreaModel::sramAreaMm2(2048));
+}
+
+} // namespace
+} // namespace unistc

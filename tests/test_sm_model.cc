@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SM-level scheduler tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corpus/generators.hh"
+#include "sm/sm_model.hh"
+
+namespace unistc
+{
+namespace
+{
+
+const MachineConfig kFp64 = MachineConfig::fp64();
+
+std::vector<TaskBundle>
+sampleWorkload()
+{
+    const CsrMatrix m = genBanded(192, 10, 0.5, 901);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    return traceSpgemm(bbc, bbc, kFp64);
+}
+
+TEST(SmModel, SingleWarpSingleUnitMatchesSerialSum)
+{
+    const auto bundles = sampleWorkload();
+    SmConfig cfg;
+    cfg.stcUnits = 1;
+    cfg.warps = 1;
+    const SmStats s = simulateSm(bundles, cfg);
+    std::uint64_t expect = 0;
+    for (const auto &b : bundles) {
+        expect += static_cast<std::uint64_t>(b.loadCycles) +
+            std::max(b.taskGenCycles, b.numericCycles);
+    }
+    EXPECT_EQ(s.makespanCycles, expect);
+    EXPECT_EQ(s.tasksIssued, bundles.size());
+}
+
+TEST(SmModel, MoreUnitsNeverSlower)
+{
+    const auto bundles = sampleWorkload();
+    SmConfig one{1, 8};
+    SmConfig four{4, 8};
+    const SmStats s1 = simulateSm(bundles, one);
+    const SmStats s4 = simulateSm(bundles, four);
+    EXPECT_LE(s4.makespanCycles, s1.makespanCycles);
+    EXPECT_EQ(s1.busyUnitCycles, s4.busyUnitCycles);
+}
+
+TEST(SmModel, MoreWarpsExposeMoreParallelism)
+{
+    const auto bundles = sampleWorkload();
+    const SmStats w1 = simulateSm(bundles, SmConfig{4, 1});
+    const SmStats w8 = simulateSm(bundles, SmConfig{4, 8});
+    // One warp cannot keep four units busy.
+    EXPECT_LT(w8.makespanCycles, w1.makespanCycles);
+    EXPECT_GT(w8.unitUtilisation(4), w1.unitUtilisation(4));
+}
+
+TEST(SmModel, MakespanRespectsLowerBounds)
+{
+    const auto bundles = sampleWorkload();
+    const SmConfig cfg{4, 8};
+    const SmStats s = simulateSm(bundles, cfg);
+    // Work conservation: makespan >= busy / units.
+    EXPECT_GE(s.makespanCycles * cfg.stcUnits, s.busyUnitCycles);
+    // Utilisation is a valid fraction.
+    const double u = s.unitUtilisation(cfg.stcUnits);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+}
+
+TEST(SmModel, DeviceSplitsWork)
+{
+    const auto bundles = sampleWorkload();
+    const SmConfig cfg{4, 8};
+    const SmStats one_sm = simulateSm(bundles, cfg);
+    const SmStats dev = simulateDevice(bundles, cfg, 4);
+    EXPECT_LT(dev.makespanCycles, one_sm.makespanCycles);
+    EXPECT_EQ(dev.tasksIssued, bundles.size());
+}
+
+TEST(SmModel, EmptyWorkload)
+{
+    const SmStats s = simulateSm({}, SmConfig{4, 8});
+    EXPECT_EQ(s.makespanCycles, 0u);
+    EXPECT_EQ(s.tasksIssued, 0u);
+    EXPECT_EQ(s.unitUtilisation(4), 0.0);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Matrix Market reader/writer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/generators.hh"
+#include "sparse/io.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    const CsrMatrix m = genRandomUniform(40, 30, 0.1, 21);
+    std::stringstream ss;
+    writeMatrixMarket(ss, m);
+    const CsrMatrix back = readMatrixMarket(ss);
+    EXPECT_TRUE(m.approxEquals(back, 1e-14));
+}
+
+TEST(MatrixMarket, ReadsGeneralRealCoordinate)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 4 3\n"
+        "1 1 2.5\n"
+        "3 4 -1\n"
+        "2 2 7\n");
+    const CsrMatrix m = readMatrixMarket(ss);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_EQ(m.nnz(), 3);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 2.5);
+    EXPECT_DOUBLE_EQ(m.at(2, 3), -1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 7.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 4\n"
+        "3 3 1\n");
+    const CsrMatrix m = readMatrixMarket(ss);
+    EXPECT_EQ(m.nnz(), 3); // off-diagonal mirrored, diagonal not
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(m.at(2, 2), 1.0);
+}
+
+TEST(MatrixMarket, ReadsPatternAsOnes)
+{
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const CsrMatrix m = readMatrixMarket(ss);
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, FileRoundTrip)
+{
+    const CsrMatrix m = genRandomUniform(25, 25, 0.15, 23);
+    const std::string path =
+        testing::TempDir() + "/unistc_io_test.mtx";
+    writeMatrixMarketFile(path, m);
+    const CsrMatrix back = readMatrixMarketFile(path);
+    EXPECT_TRUE(m.approxEquals(back, 1e-14));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(RunningStat, BasicAccumulation)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        const double x = i * 1.5 - 3.0;
+        (i < 5 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(1.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    RunningStat c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.min(), 1.0);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(4, 0.0, 1.0);
+    h.add(0.1);   // bucket 0
+    h.add(0.3);   // bucket 1
+    h.add(0.6);   // bucket 2
+    h.add(0.9);   // bucket 3
+    h.add(-5.0);  // clamps to 0
+    h.add(2.0);   // clamps to 3
+    EXPECT_EQ(h.totalCount(), 6u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(0), 2.0 / 6.0);
+}
+
+TEST(Histogram, EdgesAndWeights)
+{
+    Histogram h(4, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.bucketLo(3), 0.75);
+    h.add(0.5, 10);
+    EXPECT_EQ(h.bucketCount(2), 10u);
+    EXPECT_EQ(h.totalCount(), 10u);
+}
+
+TEST(Histogram, MergeAndScale)
+{
+    Histogram a(2, 0.0, 1.0);
+    Histogram b(2, 0.0, 1.0);
+    a.add(0.2);
+    b.add(0.7, 3);
+    a.merge(b);
+    EXPECT_EQ(a.bucketCount(0), 1u);
+    EXPECT_EQ(a.bucketCount(1), 3u);
+    a.scale(2);
+    EXPECT_EQ(a.bucketCount(0), 2u);
+    EXPECT_EQ(a.bucketCount(1), 6u);
+    EXPECT_EQ(a.totalCount(), 8u);
+}
+
+TEST(GeoMean, MatchesClosedForm)
+{
+    GeoMean g;
+    g.add(2.0);
+    g.add(8.0);
+    EXPECT_NEAR(g.value(), 4.0, 1e-12);
+    EXPECT_EQ(g.count(), 2u);
+}
+
+TEST(GeoMean, IgnoresNonPositive)
+{
+    GeoMean g;
+    g.add(4.0);
+    g.add(0.0);
+    g.add(-1.0);
+    EXPECT_EQ(g.count(), 1u);
+    EXPECT_NEAR(g.value(), 4.0, 1e-12);
+}
+
+TEST(GeoMean, EmptyIsZero)
+{
+    GeoMean g;
+    EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+} // namespace
+} // namespace unistc

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Property-based tests: invariants every STC model must uphold on
+ * randomly drawn block tasks, swept over (model, density, precision)
+ * via parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace
+{
+
+using PropertyParam = std::tuple<std::string, double, bool>;
+
+class StcProperties : public ::testing::TestWithParam<PropertyParam>
+{
+  protected:
+    StcProperties()
+    {
+        const auto &[name, density, fp32] = GetParam();
+        density_ = density;
+        cfg_ = fp32 ? MachineConfig::fp32() : MachineConfig::fp64();
+        model_ = makeStcModel(name, cfg_);
+    }
+
+    double density_ = 0.0;
+    MachineConfig cfg_;
+    StcModelPtr model_;
+};
+
+TEST_P(StcProperties, MmProductsEqualBitmapProductCount)
+{
+    Rng rng(1000 + static_cast<int>(density_ * 100));
+    for (int trial = 0; trial < 10; ++trial) {
+        const BlockPattern a = BlockPattern::random(rng, density_);
+        const BlockPattern b = BlockPattern::random(rng, density_);
+        RunResult r;
+        model_->runBlock(BlockTask::mm(a, b), r);
+        EXPECT_EQ(r.products,
+                  static_cast<std::uint64_t>(blockProductCount(a, b)));
+    }
+}
+
+TEST_P(StcProperties, MvProductsEqualMvCount)
+{
+    Rng rng(2000 + static_cast<int>(density_ * 100));
+    for (int trial = 0; trial < 10; ++trial) {
+        const BlockPattern a = BlockPattern::random(rng, density_);
+        const std::uint16_t x =
+            static_cast<std::uint16_t>(rng.next() & 0xFFFF);
+        RunResult r;
+        model_->runBlock(BlockTask::mv(a, x), r);
+        EXPECT_EQ(r.products, static_cast<std::uint64_t>(
+                                  blockMvProductCount(a, x)));
+    }
+}
+
+TEST_P(StcProperties, UtilisationBounded)
+{
+    Rng rng(3000 + static_cast<int>(density_ * 100));
+    RunResult r;
+    for (int trial = 0; trial < 10; ++trial) {
+        const BlockPattern a = BlockPattern::random(rng, density_);
+        const BlockPattern b = BlockPattern::random(rng, density_);
+        model_->runBlock(BlockTask::mm(a, b), r);
+    }
+    EXPECT_LE(r.utilisation(), 1.0 + 1e-12);
+    EXPECT_EQ(r.macSlots,
+              r.cycles * static_cast<std::uint64_t>(cfg_.macCount));
+    // The utilisation histogram covers every cycle exactly once.
+    EXPECT_EQ(r.utilHist.totalCount(), r.cycles);
+}
+
+TEST_P(StcProperties, CyclesRespectThroughputLowerBound)
+{
+    Rng rng(4000 + static_cast<int>(density_ * 100));
+    for (int trial = 0; trial < 10; ++trial) {
+        const BlockPattern a = BlockPattern::random(rng, density_);
+        const BlockPattern b = BlockPattern::random(rng, density_);
+        RunResult r;
+        model_->runBlock(BlockTask::mm(a, b), r);
+        const std::uint64_t mac = cfg_.macCount;
+        EXPECT_GE(r.cycles, (r.products + mac - 1) / mac);
+    }
+}
+
+TEST_P(StcProperties, TrafficIsConsistent)
+{
+    Rng rng(5000 + static_cast<int>(density_ * 100));
+    RunResult r;
+    for (int trial = 0; trial < 10; ++trial) {
+        const BlockPattern a = BlockPattern::random(rng, density_);
+        const BlockPattern b = BlockPattern::random(rng, density_);
+        model_->runBlock(BlockTask::mm(a, b), r);
+    }
+    if (r.products > 0) {
+        // Work implies operand movement and result write-back.
+        EXPECT_GT(r.traffic.readsA, 0u);
+        EXPECT_GT(r.traffic.readsB, 0u);
+        EXPECT_GT(r.traffic.writesC, 0u);
+    }
+}
+
+TEST_P(StcProperties, EmptyBlockIsFree)
+{
+    const BlockPattern empty;
+    RunResult r;
+    model_->runBlock(BlockTask::mm(empty, empty), r);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.products, 0u);
+}
+
+TEST_P(StcProperties, DeterministicAcrossRuns)
+{
+    Rng rng(6000 + static_cast<int>(density_ * 100));
+    const BlockPattern a = BlockPattern::random(rng, density_);
+    const BlockPattern b = BlockPattern::random(rng, density_);
+    RunResult r1, r2;
+    model_->runBlock(BlockTask::mm(a, b), r1);
+    model_->runBlock(BlockTask::mm(a, b), r2);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.products, r2.products);
+    EXPECT_EQ(r1.traffic.readsA, r2.traffic.readsA);
+    EXPECT_EQ(r1.traffic.writesC, r2.traffic.writesC);
+}
+
+std::vector<PropertyParam>
+allPropertyParams()
+{
+    std::vector<PropertyParam> params;
+    for (const auto &name : allModelNames()) {
+        for (double density : {0.02, 0.1, 0.4}) {
+            params.emplace_back(name, density, false);
+            params.emplace_back(name, density, true);
+        }
+    }
+    return params;
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<PropertyParam> &info)
+{
+    const auto &[name, density, fp32] = info.param;
+    std::string n = name + "_d" +
+        std::to_string(static_cast<int>(density * 100)) +
+        (fp32 ? "_fp32" : "_fp64");
+    for (auto &ch : n) {
+        if (ch == '-')
+            ch = '_';
+    }
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, StcProperties,
+                         ::testing::ValuesIn(allPropertyParams()),
+                         paramName);
+
+} // namespace
+} // namespace unistc

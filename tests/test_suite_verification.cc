@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Whole-corpus verification sweep: every family the synthetic suite
+ * generates must survive numeric verification of all four kernels on
+ * the BBC path, a BBC file round-trip, and simulation on the core
+ * line-up without tripping any internal assertion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bbc/bbc_io.hh"
+#include "corpus/suite.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmv_runner.hh"
+#include "runner/verify.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace
+{
+
+/** One matrix per family, downscaled for test runtime. */
+std::vector<NamedMatrix>
+familySamples()
+{
+    std::vector<NamedMatrix> out;
+    int i = 0;
+    for (auto &nm : syntheticSuite(1, 77)) {
+        // Take every third family member to keep the sweep quick
+        // while still spanning the family list.
+        if (i++ % 3 == 0 && nm.matrix.rows() <= 1100)
+            out.push_back(std::move(nm));
+    }
+    return out;
+}
+
+class SuiteSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    static const std::vector<NamedMatrix> &
+    samples()
+    {
+        static const std::vector<NamedMatrix> s = familySamples();
+        return s;
+    }
+};
+
+TEST_P(SuiteSweep, NumericVerificationPasses)
+{
+    const auto &nm = samples().at(GetParam());
+    EXPECT_TRUE(verifyAllKernels(nm.matrix, 1234)) << nm.name;
+}
+
+TEST_P(SuiteSweep, BbcFileRoundTrip)
+{
+    const auto &nm = samples().at(GetParam());
+    const BbcMatrix bbc = BbcMatrix::fromCsr(nm.matrix);
+    const std::string path = testing::TempDir() + "/sweep_" +
+        std::to_string(GetParam()) + ".bbc";
+    saveBbcFile(path, bbc);
+    const BbcMatrix back = loadBbcFile(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(back.toCsr().approxEquals(nm.matrix, 0.0))
+        << nm.name;
+}
+
+TEST_P(SuiteSweep, SimulationInvariantsHold)
+{
+    const auto &nm = samples().at(GetParam());
+    const BbcMatrix bbc = BbcMatrix::fromCsr(nm.matrix);
+    for (const auto &model : makeCoreLineup(MachineConfig::fp64())) {
+        const RunResult mv = runSpmv(*model, bbc);
+        EXPECT_EQ(mv.products,
+                  static_cast<std::uint64_t>(nm.matrix.nnz()))
+            << nm.name << " on " << model->name();
+        EXPECT_LE(mv.utilisation(), 1.0 + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SuiteSweep,
+    ::testing::Range(0, static_cast<int>(familySamples().size())));
+
+TEST(BbcIoRobustness, RejectsCorruptedFile)
+{
+    const std::string path = testing::TempDir() + "/corrupt.bbc";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char junk[] = "this is not a BBC image";
+        std::fwrite(junk, 1, sizeof(junk), f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(loadBbcFile(path), ::testing::ExitedWithCode(1),
+                "not a BBC file");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace unistc

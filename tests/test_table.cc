@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the table renderer and numeric formatters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace unistc
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"xxxx", "1"});
+    t.addRow({"y", "2"});
+    const std::string out = t.render();
+    // Both data rows must place column b at the same offset.
+    const auto l1_start = out.find("xxxx");
+    const auto l2_start = out.find("y", l1_start);
+    const auto one = out.find("1", l1_start) - l1_start;
+    const auto two = out.find("2", l2_start) - l2_start;
+    EXPECT_EQ(one, two);
+}
+
+TEST(TextTable, SeparatorRendersRule)
+{
+    TextTable t;
+    t.setHeader({"c"});
+    t.addRow({"v"});
+    t.addSeparator();
+    t.addRow({"w"});
+    const std::string out = t.render();
+    // Header rule + explicit separator.
+    std::size_t rules = 0;
+    for (std::size_t pos = out.find("---"); pos != std::string::npos;
+         pos = out.find("---", pos + 1)) {
+        ++rules;
+    }
+    EXPECT_GE(rules, 2u);
+}
+
+TEST(Formatters, Doubles)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+    EXPECT_EQ(fmtRatio(2.207, 2), "2.21x");
+    EXPECT_EQ(fmtPercent(0.8434, 1), "84.3%");
+}
+
+TEST(Formatters, Counts)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+TEST(Formatters, Bytes)
+{
+    EXPECT_EQ(fmtBytes(512), "512 B");
+    EXPECT_EQ(fmtBytes(2048), "2.00 KiB");
+    EXPECT_EQ(fmtBytes(3 * 1024ull * 1024ull), "3.00 MiB");
+}
+
+TEST(Formatters, Energy)
+{
+    EXPECT_EQ(fmtEnergyPj(500.0), "500.00 pJ");
+    EXPECT_EQ(fmtEnergyPj(2500.0), "2.50 nJ");
+    EXPECT_EQ(fmtEnergyPj(3.2e6), "3.20 uJ");
+}
+
+} // namespace
+} // namespace unistc
