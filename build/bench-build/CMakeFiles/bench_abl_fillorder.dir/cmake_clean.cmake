@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_fillorder"
+  "../bench/bench_abl_fillorder.pdb"
+  "CMakeFiles/bench_abl_fillorder.dir/bench_abl_fillorder.cc.o"
+  "CMakeFiles/bench_abl_fillorder.dir/bench_abl_fillorder.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_fillorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

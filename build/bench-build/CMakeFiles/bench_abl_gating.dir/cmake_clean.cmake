@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_gating"
+  "../bench/bench_abl_gating.pdb"
+  "CMakeFiles/bench_abl_gating.dir/bench_abl_gating.cc.o"
+  "CMakeFiles/bench_abl_gating.dir/bench_abl_gating.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

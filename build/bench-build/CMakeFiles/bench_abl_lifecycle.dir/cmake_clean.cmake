@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_lifecycle"
+  "../bench/bench_abl_lifecycle.pdb"
+  "CMakeFiles/bench_abl_lifecycle.dir/bench_abl_lifecycle.cc.o"
+  "CMakeFiles/bench_abl_lifecycle.dir/bench_abl_lifecycle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_ordering"
+  "../bench/bench_abl_ordering.pdb"
+  "CMakeFiles/bench_abl_ordering.dir/bench_abl_ordering.cc.o"
+  "CMakeFiles/bench_abl_ordering.dir/bench_abl_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_partition"
+  "../bench/bench_abl_partition.pdb"
+  "CMakeFiles/bench_abl_partition.dir/bench_abl_partition.cc.o"
+  "CMakeFiles/bench_abl_partition.dir/bench_abl_partition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

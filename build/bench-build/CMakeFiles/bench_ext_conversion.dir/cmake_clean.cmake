@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_conversion"
+  "../bench/bench_ext_conversion.pdb"
+  "CMakeFiles/bench_ext_conversion.dir/bench_ext_conversion.cc.o"
+  "CMakeFiles/bench_ext_conversion.dir/bench_ext_conversion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

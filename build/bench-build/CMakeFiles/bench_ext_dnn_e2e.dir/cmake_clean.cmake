@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_dnn_e2e"
+  "../bench/bench_ext_dnn_e2e.pdb"
+  "CMakeFiles/bench_ext_dnn_e2e.dir/bench_ext_dnn_e2e.cc.o"
+  "CMakeFiles/bench_ext_dnn_e2e.dir/bench_ext_dnn_e2e.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dnn_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

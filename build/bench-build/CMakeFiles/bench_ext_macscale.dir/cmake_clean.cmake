@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_macscale"
+  "../bench/bench_ext_macscale.pdb"
+  "CMakeFiles/bench_ext_macscale.dir/bench_ext_macscale.cc.o"
+  "CMakeFiles/bench_ext_macscale.dir/bench_ext_macscale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_macscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_roofline"
+  "../bench/bench_ext_roofline.pdb"
+  "CMakeFiles/bench_ext_roofline.dir/bench_ext_roofline.cc.o"
+  "CMakeFiles/bench_ext_roofline.dir/bench_ext_roofline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_smscale"
+  "../bench/bench_ext_smscale.pdb"
+  "CMakeFiles/bench_ext_smscale.dir/bench_ext_smscale.cc.o"
+  "CMakeFiles/bench_ext_smscale.dir/bench_ext_smscale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_smscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

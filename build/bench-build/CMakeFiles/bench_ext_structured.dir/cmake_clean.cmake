@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_structured"
+  "../bench/bench_ext_structured.pdb"
+  "CMakeFiles/bench_ext_structured.dir/bench_ext_structured.cc.o"
+  "CMakeFiles/bench_ext_structured.dir/bench_ext_structured.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_casestudy"
+  "../bench/bench_fig14_casestudy.pdb"
+  "CMakeFiles/bench_fig14_casestudy.dir/bench_fig14_casestudy.cc.o"
+  "CMakeFiles/bench_fig14_casestudy.dir/bench_fig14_casestudy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

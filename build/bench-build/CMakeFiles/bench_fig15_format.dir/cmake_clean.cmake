@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_format"
+  "../bench/bench_fig15_format.pdb"
+  "CMakeFiles/bench_fig15_format.dir/bench_fig15_format.cc.o"
+  "CMakeFiles/bench_fig15_format.dir/bench_fig15_format.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_kernels"
+  "../bench/bench_fig17_kernels.pdb"
+  "CMakeFiles/bench_fig17_kernels.dir/bench_fig17_kernels.cc.o"
+  "CMakeFiles/bench_fig17_kernels.dir/bench_fig17_kernels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_amg"
+  "../bench/bench_fig21_amg.pdb"
+  "CMakeFiles/bench_fig21_amg.dir/bench_fig21_amg.cc.o"
+  "CMakeFiles/bench_fig21_amg.dir/bench_fig21_amg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_eed"
+  "../bench/bench_fig22_eed.pdb"
+  "CMakeFiles/bench_fig22_eed.dir/bench_fig22_eed.cc.o"
+  "CMakeFiles/bench_fig22_eed.dir/bench_fig22_eed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_eed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab04_tilesize"
+  "../bench/bench_tab04_tilesize.pdb"
+  "CMakeFiles/bench_tab04_tilesize.dir/bench_tab04_tilesize.cc.o"
+  "CMakeFiles/bench_tab04_tilesize.dir/bench_tab04_tilesize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab06_geometry"
+  "../bench/bench_tab06_geometry.pdb"
+  "CMakeFiles/bench_tab06_geometry.dir/bench_tab06_geometry.cc.o"
+  "CMakeFiles/bench_tab06_geometry.dir/bench_tab06_geometry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab07_matrices"
+  "../bench/bench_tab07_matrices.pdb"
+  "CMakeFiles/bench_tab07_matrices.dir/bench_tab07_matrices.cc.o"
+  "CMakeFiles/bench_tab07_matrices.dir/bench_tab07_matrices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab07_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

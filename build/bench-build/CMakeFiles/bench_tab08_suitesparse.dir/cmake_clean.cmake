@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab08_suitesparse"
+  "../bench/bench_tab08_suitesparse.pdb"
+  "CMakeFiles/bench_tab08_suitesparse.dir/bench_tab08_suitesparse.cc.o"
+  "CMakeFiles/bench_tab08_suitesparse.dir/bench_tab08_suitesparse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab08_suitesparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

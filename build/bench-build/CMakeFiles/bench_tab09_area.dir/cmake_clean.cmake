@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab09_area"
+  "../bench/bench_tab09_area.pdb"
+  "CMakeFiles/bench_tab09_area.dir/bench_tab09_area.cc.o"
+  "CMakeFiles/bench_tab09_area.dir/bench_tab09_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab09_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casestudy_fig14.dir/casestudy_fig14.cc.o"
+  "CMakeFiles/casestudy_fig14.dir/casestudy_fig14.cc.o.d"
+  "casestudy_fig14"
+  "casestudy_fig14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casestudy_fig14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

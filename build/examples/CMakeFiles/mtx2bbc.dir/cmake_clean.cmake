@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtx2bbc.dir/mtx2bbc.cc.o"
+  "CMakeFiles/mtx2bbc.dir/mtx2bbc.cc.o.d"
+  "mtx2bbc"
+  "mtx2bbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtx2bbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

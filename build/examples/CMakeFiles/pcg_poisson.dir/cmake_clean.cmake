@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcg_poisson.dir/pcg_poisson.cc.o"
+  "CMakeFiles/pcg_poisson.dir/pcg_poisson.cc.o.d"
+  "pcg_poisson"
+  "pcg_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcg_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_cli.dir/simulate_cli.cc.o"
+  "CMakeFiles/simulate_cli.dir/simulate_cli.cc.o.d"
+  "simulate_cli"
+  "simulate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

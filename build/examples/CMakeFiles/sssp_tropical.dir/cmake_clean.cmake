@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_tropical.dir/sssp_tropical.cc.o"
+  "CMakeFiles/sssp_tropical.dir/sssp_tropical.cc.o.d"
+  "sssp_tropical"
+  "sssp_tropical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_tropical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/amg/amg.cc" "src/CMakeFiles/unistc.dir/apps/amg/amg.cc.o" "gcc" "src/CMakeFiles/unistc.dir/apps/amg/amg.cc.o.d"
+  "/root/repo/src/apps/amg/amg_driver.cc" "src/CMakeFiles/unistc.dir/apps/amg/amg_driver.cc.o" "gcc" "src/CMakeFiles/unistc.dir/apps/amg/amg_driver.cc.o.d"
+  "/root/repo/src/apps/bfs/bfs.cc" "src/CMakeFiles/unistc.dir/apps/bfs/bfs.cc.o" "gcc" "src/CMakeFiles/unistc.dir/apps/bfs/bfs.cc.o.d"
+  "/root/repo/src/apps/dnn/dnn_driver.cc" "src/CMakeFiles/unistc.dir/apps/dnn/dnn_driver.cc.o" "gcc" "src/CMakeFiles/unistc.dir/apps/dnn/dnn_driver.cc.o.d"
+  "/root/repo/src/apps/dnn/layers.cc" "src/CMakeFiles/unistc.dir/apps/dnn/layers.cc.o" "gcc" "src/CMakeFiles/unistc.dir/apps/dnn/layers.cc.o.d"
+  "/root/repo/src/apps/graph/pagerank.cc" "src/CMakeFiles/unistc.dir/apps/graph/pagerank.cc.o" "gcc" "src/CMakeFiles/unistc.dir/apps/graph/pagerank.cc.o.d"
+  "/root/repo/src/apps/graph/triangles.cc" "src/CMakeFiles/unistc.dir/apps/graph/triangles.cc.o" "gcc" "src/CMakeFiles/unistc.dir/apps/graph/triangles.cc.o.d"
+  "/root/repo/src/apps/solvers/cg.cc" "src/CMakeFiles/unistc.dir/apps/solvers/cg.cc.o" "gcc" "src/CMakeFiles/unistc.dir/apps/solvers/cg.cc.o.d"
+  "/root/repo/src/bbc/bbc_io.cc" "src/CMakeFiles/unistc.dir/bbc/bbc_io.cc.o" "gcc" "src/CMakeFiles/unistc.dir/bbc/bbc_io.cc.o.d"
+  "/root/repo/src/bbc/bbc_matrix.cc" "src/CMakeFiles/unistc.dir/bbc/bbc_matrix.cc.o" "gcc" "src/CMakeFiles/unistc.dir/bbc/bbc_matrix.cc.o.d"
+  "/root/repo/src/bbc/block_pattern.cc" "src/CMakeFiles/unistc.dir/bbc/block_pattern.cc.o" "gcc" "src/CMakeFiles/unistc.dir/bbc/block_pattern.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/unistc.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/unistc.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/unistc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/unistc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/unistc.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/unistc.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/unistc.dir/common/table.cc.o" "gcc" "src/CMakeFiles/unistc.dir/common/table.cc.o.d"
+  "/root/repo/src/corpus/dlmc.cc" "src/CMakeFiles/unistc.dir/corpus/dlmc.cc.o" "gcc" "src/CMakeFiles/unistc.dir/corpus/dlmc.cc.o.d"
+  "/root/repo/src/corpus/generators.cc" "src/CMakeFiles/unistc.dir/corpus/generators.cc.o" "gcc" "src/CMakeFiles/unistc.dir/corpus/generators.cc.o.d"
+  "/root/repo/src/corpus/representative.cc" "src/CMakeFiles/unistc.dir/corpus/representative.cc.o" "gcc" "src/CMakeFiles/unistc.dir/corpus/representative.cc.o.d"
+  "/root/repo/src/corpus/suite.cc" "src/CMakeFiles/unistc.dir/corpus/suite.cc.o" "gcc" "src/CMakeFiles/unistc.dir/corpus/suite.cc.o.d"
+  "/root/repo/src/isa/uwmma.cc" "src/CMakeFiles/unistc.dir/isa/uwmma.cc.o" "gcc" "src/CMakeFiles/unistc.dir/isa/uwmma.cc.o.d"
+  "/root/repo/src/kernels/reference.cc" "src/CMakeFiles/unistc.dir/kernels/reference.cc.o" "gcc" "src/CMakeFiles/unistc.dir/kernels/reference.cc.o.d"
+  "/root/repo/src/kernels/semiring.cc" "src/CMakeFiles/unistc.dir/kernels/semiring.cc.o" "gcc" "src/CMakeFiles/unistc.dir/kernels/semiring.cc.o.d"
+  "/root/repo/src/runner/block_driver.cc" "src/CMakeFiles/unistc.dir/runner/block_driver.cc.o" "gcc" "src/CMakeFiles/unistc.dir/runner/block_driver.cc.o.d"
+  "/root/repo/src/runner/partition.cc" "src/CMakeFiles/unistc.dir/runner/partition.cc.o" "gcc" "src/CMakeFiles/unistc.dir/runner/partition.cc.o.d"
+  "/root/repo/src/runner/report.cc" "src/CMakeFiles/unistc.dir/runner/report.cc.o" "gcc" "src/CMakeFiles/unistc.dir/runner/report.cc.o.d"
+  "/root/repo/src/runner/spgemm_runner.cc" "src/CMakeFiles/unistc.dir/runner/spgemm_runner.cc.o" "gcc" "src/CMakeFiles/unistc.dir/runner/spgemm_runner.cc.o.d"
+  "/root/repo/src/runner/spmm_runner.cc" "src/CMakeFiles/unistc.dir/runner/spmm_runner.cc.o" "gcc" "src/CMakeFiles/unistc.dir/runner/spmm_runner.cc.o.d"
+  "/root/repo/src/runner/spmspv_runner.cc" "src/CMakeFiles/unistc.dir/runner/spmspv_runner.cc.o" "gcc" "src/CMakeFiles/unistc.dir/runner/spmspv_runner.cc.o.d"
+  "/root/repo/src/runner/spmv_runner.cc" "src/CMakeFiles/unistc.dir/runner/spmv_runner.cc.o" "gcc" "src/CMakeFiles/unistc.dir/runner/spmv_runner.cc.o.d"
+  "/root/repo/src/runner/verify.cc" "src/CMakeFiles/unistc.dir/runner/verify.cc.o" "gcc" "src/CMakeFiles/unistc.dir/runner/verify.cc.o.d"
+  "/root/repo/src/sim/area.cc" "src/CMakeFiles/unistc.dir/sim/area.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sim/area.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/unistc.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/CMakeFiles/unistc.dir/sim/energy.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sim/energy.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/unistc.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/unistc.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/result.cc" "src/CMakeFiles/unistc.dir/sim/result.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sim/result.cc.o.d"
+  "/root/repo/src/sm/sm_model.cc" "src/CMakeFiles/unistc.dir/sm/sm_model.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sm/sm_model.cc.o.d"
+  "/root/repo/src/sparse/bsr.cc" "src/CMakeFiles/unistc.dir/sparse/bsr.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sparse/bsr.cc.o.d"
+  "/root/repo/src/sparse/convert.cc" "src/CMakeFiles/unistc.dir/sparse/convert.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sparse/convert.cc.o.d"
+  "/root/repo/src/sparse/coo.cc" "src/CMakeFiles/unistc.dir/sparse/coo.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sparse/coo.cc.o.d"
+  "/root/repo/src/sparse/csc.cc" "src/CMakeFiles/unistc.dir/sparse/csc.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sparse/csc.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/CMakeFiles/unistc.dir/sparse/csr.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sparse/csr.cc.o.d"
+  "/root/repo/src/sparse/dense.cc" "src/CMakeFiles/unistc.dir/sparse/dense.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sparse/dense.cc.o.d"
+  "/root/repo/src/sparse/io.cc" "src/CMakeFiles/unistc.dir/sparse/io.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sparse/io.cc.o.d"
+  "/root/repo/src/sparse/sparse_vector.cc" "src/CMakeFiles/unistc.dir/sparse/sparse_vector.cc.o" "gcc" "src/CMakeFiles/unistc.dir/sparse/sparse_vector.cc.o.d"
+  "/root/repo/src/stc/ds_stc.cc" "src/CMakeFiles/unistc.dir/stc/ds_stc.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/ds_stc.cc.o.d"
+  "/root/repo/src/stc/gamma.cc" "src/CMakeFiles/unistc.dir/stc/gamma.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/gamma.cc.o.d"
+  "/root/repo/src/stc/nv_dtc.cc" "src/CMakeFiles/unistc.dir/stc/nv_dtc.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/nv_dtc.cc.o.d"
+  "/root/repo/src/stc/nv_stc24.cc" "src/CMakeFiles/unistc.dir/stc/nv_stc24.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/nv_stc24.cc.o.d"
+  "/root/repo/src/stc/registry.cc" "src/CMakeFiles/unistc.dir/stc/registry.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/registry.cc.o.d"
+  "/root/repo/src/stc/rm_stc.cc" "src/CMakeFiles/unistc.dir/stc/rm_stc.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/rm_stc.cc.o.d"
+  "/root/repo/src/stc/sigma.cc" "src/CMakeFiles/unistc.dir/stc/sigma.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/sigma.cc.o.d"
+  "/root/repo/src/stc/stc_model.cc" "src/CMakeFiles/unistc.dir/stc/stc_model.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/stc_model.cc.o.d"
+  "/root/repo/src/stc/trapezoid.cc" "src/CMakeFiles/unistc.dir/stc/trapezoid.cc.o" "gcc" "src/CMakeFiles/unistc.dir/stc/trapezoid.cc.o.d"
+  "/root/repo/src/unistc/buffers.cc" "src/CMakeFiles/unistc.dir/unistc/buffers.cc.o" "gcc" "src/CMakeFiles/unistc.dir/unistc/buffers.cc.o.d"
+  "/root/repo/src/unistc/dpg.cc" "src/CMakeFiles/unistc.dir/unistc/dpg.cc.o" "gcc" "src/CMakeFiles/unistc.dir/unistc/dpg.cc.o.d"
+  "/root/repo/src/unistc/sdpu.cc" "src/CMakeFiles/unistc.dir/unistc/sdpu.cc.o" "gcc" "src/CMakeFiles/unistc.dir/unistc/sdpu.cc.o.d"
+  "/root/repo/src/unistc/tile_task.cc" "src/CMakeFiles/unistc.dir/unistc/tile_task.cc.o" "gcc" "src/CMakeFiles/unistc.dir/unistc/tile_task.cc.o.d"
+  "/root/repo/src/unistc/tms.cc" "src/CMakeFiles/unistc.dir/unistc/tms.cc.o" "gcc" "src/CMakeFiles/unistc.dir/unistc/tms.cc.o.d"
+  "/root/repo/src/unistc/uni_stc.cc" "src/CMakeFiles/unistc.dir/unistc/uni_stc.cc.o" "gcc" "src/CMakeFiles/unistc.dir/unistc/uni_stc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

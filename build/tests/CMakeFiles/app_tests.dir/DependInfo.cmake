@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_amg.cc" "tests/CMakeFiles/app_tests.dir/test_amg.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/test_amg.cc.o.d"
+  "/root/repo/tests/test_bfs.cc" "tests/CMakeFiles/app_tests.dir/test_bfs.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/test_bfs.cc.o.d"
+  "/root/repo/tests/test_cg.cc" "tests/CMakeFiles/app_tests.dir/test_cg.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/test_cg.cc.o.d"
+  "/root/repo/tests/test_dnn.cc" "tests/CMakeFiles/app_tests.dir/test_dnn.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/test_dnn.cc.o.d"
+  "/root/repo/tests/test_dnn_e2e.cc" "tests/CMakeFiles/app_tests.dir/test_dnn_e2e.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/test_dnn_e2e.cc.o.d"
+  "/root/repo/tests/test_pagerank.cc" "tests/CMakeFiles/app_tests.dir/test_pagerank.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/test_pagerank.cc.o.d"
+  "/root/repo/tests/test_triangles.cc" "tests/CMakeFiles/app_tests.dir/test_triangles.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/test_triangles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unistc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_tests.dir/test_amg.cc.o"
+  "CMakeFiles/app_tests.dir/test_amg.cc.o.d"
+  "CMakeFiles/app_tests.dir/test_bfs.cc.o"
+  "CMakeFiles/app_tests.dir/test_bfs.cc.o.d"
+  "CMakeFiles/app_tests.dir/test_cg.cc.o"
+  "CMakeFiles/app_tests.dir/test_cg.cc.o.d"
+  "CMakeFiles/app_tests.dir/test_dnn.cc.o"
+  "CMakeFiles/app_tests.dir/test_dnn.cc.o.d"
+  "CMakeFiles/app_tests.dir/test_dnn_e2e.cc.o"
+  "CMakeFiles/app_tests.dir/test_dnn_e2e.cc.o.d"
+  "CMakeFiles/app_tests.dir/test_pagerank.cc.o"
+  "CMakeFiles/app_tests.dir/test_pagerank.cc.o.d"
+  "CMakeFiles/app_tests.dir/test_triangles.cc.o"
+  "CMakeFiles/app_tests.dir/test_triangles.cc.o.d"
+  "app_tests"
+  "app_tests.pdb"
+  "app_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

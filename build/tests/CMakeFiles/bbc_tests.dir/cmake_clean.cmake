@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbc_tests.dir/test_bbc_matrix.cc.o"
+  "CMakeFiles/bbc_tests.dir/test_bbc_matrix.cc.o.d"
+  "CMakeFiles/bbc_tests.dir/test_block_pattern.cc.o"
+  "CMakeFiles/bbc_tests.dir/test_block_pattern.cc.o.d"
+  "bbc_tests"
+  "bbc_tests.pdb"
+  "bbc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

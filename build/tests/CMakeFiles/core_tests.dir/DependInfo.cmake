@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/core_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_kernels_ref.cc" "tests/CMakeFiles/core_tests.dir/test_kernels_ref.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_kernels_ref.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/core_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/core_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_semiring.cc" "tests/CMakeFiles/core_tests.dir/test_semiring.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_semiring.cc.o.d"
+  "/root/repo/tests/test_sparse_formats.cc" "tests/CMakeFiles/core_tests.dir/test_sparse_formats.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_sparse_formats.cc.o.d"
+  "/root/repo/tests/test_sparse_io.cc" "tests/CMakeFiles/core_tests.dir/test_sparse_io.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_sparse_io.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/core_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/core_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unistc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

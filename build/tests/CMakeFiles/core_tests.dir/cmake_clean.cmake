@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/test_bitops.cc.o"
+  "CMakeFiles/core_tests.dir/test_bitops.cc.o.d"
+  "CMakeFiles/core_tests.dir/test_kernels_ref.cc.o"
+  "CMakeFiles/core_tests.dir/test_kernels_ref.cc.o.d"
+  "CMakeFiles/core_tests.dir/test_logging.cc.o"
+  "CMakeFiles/core_tests.dir/test_logging.cc.o.d"
+  "CMakeFiles/core_tests.dir/test_rng.cc.o"
+  "CMakeFiles/core_tests.dir/test_rng.cc.o.d"
+  "CMakeFiles/core_tests.dir/test_semiring.cc.o"
+  "CMakeFiles/core_tests.dir/test_semiring.cc.o.d"
+  "CMakeFiles/core_tests.dir/test_sparse_formats.cc.o"
+  "CMakeFiles/core_tests.dir/test_sparse_formats.cc.o.d"
+  "CMakeFiles/core_tests.dir/test_sparse_io.cc.o"
+  "CMakeFiles/core_tests.dir/test_sparse_io.cc.o.d"
+  "CMakeFiles/core_tests.dir/test_stats.cc.o"
+  "CMakeFiles/core_tests.dir/test_stats.cc.o.d"
+  "CMakeFiles/core_tests.dir/test_table.cc.o"
+  "CMakeFiles/core_tests.dir/test_table.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_corpus.cc" "tests/CMakeFiles/runner_tests.dir/test_corpus.cc.o" "gcc" "tests/CMakeFiles/runner_tests.dir/test_corpus.cc.o.d"
+  "/root/repo/tests/test_corpus_extra.cc" "tests/CMakeFiles/runner_tests.dir/test_corpus_extra.cc.o" "gcc" "tests/CMakeFiles/runner_tests.dir/test_corpus_extra.cc.o.d"
+  "/root/repo/tests/test_golden.cc" "tests/CMakeFiles/runner_tests.dir/test_golden.cc.o" "gcc" "tests/CMakeFiles/runner_tests.dir/test_golden.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/runner_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/runner_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_partition.cc" "tests/CMakeFiles/runner_tests.dir/test_partition.cc.o" "gcc" "tests/CMakeFiles/runner_tests.dir/test_partition.cc.o.d"
+  "/root/repo/tests/test_runners.cc" "tests/CMakeFiles/runner_tests.dir/test_runners.cc.o" "gcc" "tests/CMakeFiles/runner_tests.dir/test_runners.cc.o.d"
+  "/root/repo/tests/test_suite_verification.cc" "tests/CMakeFiles/runner_tests.dir/test_suite_verification.cc.o" "gcc" "tests/CMakeFiles/runner_tests.dir/test_suite_verification.cc.o.d"
+  "/root/repo/tests/test_verify.cc" "tests/CMakeFiles/runner_tests.dir/test_verify.cc.o" "gcc" "tests/CMakeFiles/runner_tests.dir/test_verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unistc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_tests.dir/test_corpus.cc.o"
+  "CMakeFiles/runner_tests.dir/test_corpus.cc.o.d"
+  "CMakeFiles/runner_tests.dir/test_corpus_extra.cc.o"
+  "CMakeFiles/runner_tests.dir/test_corpus_extra.cc.o.d"
+  "CMakeFiles/runner_tests.dir/test_golden.cc.o"
+  "CMakeFiles/runner_tests.dir/test_golden.cc.o.d"
+  "CMakeFiles/runner_tests.dir/test_integration.cc.o"
+  "CMakeFiles/runner_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/runner_tests.dir/test_partition.cc.o"
+  "CMakeFiles/runner_tests.dir/test_partition.cc.o.d"
+  "CMakeFiles/runner_tests.dir/test_runners.cc.o"
+  "CMakeFiles/runner_tests.dir/test_runners.cc.o.d"
+  "CMakeFiles/runner_tests.dir/test_suite_verification.cc.o"
+  "CMakeFiles/runner_tests.dir/test_suite_verification.cc.o.d"
+  "CMakeFiles/runner_tests.dir/test_verify.cc.o"
+  "CMakeFiles/runner_tests.dir/test_verify.cc.o.d"
+  "runner_tests"
+  "runner_tests.pdb"
+  "runner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

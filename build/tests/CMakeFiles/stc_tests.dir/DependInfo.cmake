@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/stc_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_buffers.cc" "tests/CMakeFiles/stc_tests.dir/test_buffers.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_buffers.cc.o.d"
+  "/root/repo/tests/test_energy_properties.cc" "tests/CMakeFiles/stc_tests.dir/test_energy_properties.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_energy_properties.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/stc_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/stc_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_nv_stc24.cc" "tests/CMakeFiles/stc_tests.dir/test_nv_stc24.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_nv_stc24.cc.o.d"
+  "/root/repo/tests/test_row_dataflow.cc" "tests/CMakeFiles/stc_tests.dir/test_row_dataflow.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_row_dataflow.cc.o.d"
+  "/root/repo/tests/test_sim_models.cc" "tests/CMakeFiles/stc_tests.dir/test_sim_models.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_sim_models.cc.o.d"
+  "/root/repo/tests/test_sm_model.cc" "tests/CMakeFiles/stc_tests.dir/test_sm_model.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_sm_model.cc.o.d"
+  "/root/repo/tests/test_stc_properties.cc" "tests/CMakeFiles/stc_tests.dir/test_stc_properties.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_stc_properties.cc.o.d"
+  "/root/repo/tests/test_unistc_model.cc" "tests/CMakeFiles/stc_tests.dir/test_unistc_model.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_unistc_model.cc.o.d"
+  "/root/repo/tests/test_unistc_units.cc" "tests/CMakeFiles/stc_tests.dir/test_unistc_units.cc.o" "gcc" "tests/CMakeFiles/stc_tests.dir/test_unistc_units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unistc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

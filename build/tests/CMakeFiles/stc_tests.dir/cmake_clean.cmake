@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stc_tests.dir/test_baselines.cc.o"
+  "CMakeFiles/stc_tests.dir/test_baselines.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_buffers.cc.o"
+  "CMakeFiles/stc_tests.dir/test_buffers.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_energy_properties.cc.o"
+  "CMakeFiles/stc_tests.dir/test_energy_properties.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_isa.cc.o"
+  "CMakeFiles/stc_tests.dir/test_isa.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_memory.cc.o"
+  "CMakeFiles/stc_tests.dir/test_memory.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_nv_stc24.cc.o"
+  "CMakeFiles/stc_tests.dir/test_nv_stc24.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_row_dataflow.cc.o"
+  "CMakeFiles/stc_tests.dir/test_row_dataflow.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_sim_models.cc.o"
+  "CMakeFiles/stc_tests.dir/test_sim_models.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_sm_model.cc.o"
+  "CMakeFiles/stc_tests.dir/test_sm_model.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_stc_properties.cc.o"
+  "CMakeFiles/stc_tests.dir/test_stc_properties.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_unistc_model.cc.o"
+  "CMakeFiles/stc_tests.dir/test_unistc_model.cc.o.d"
+  "CMakeFiles/stc_tests.dir/test_unistc_units.cc.o"
+  "CMakeFiles/stc_tests.dir/test_unistc_units.cc.o.d"
+  "stc_tests"
+  "stc_tests.pdb"
+  "stc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

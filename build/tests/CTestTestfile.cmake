@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/bbc_tests[1]_include.cmake")
+include("/root/repo/build/tests/stc_tests[1]_include.cmake")
+include("/root/repo/build/tests/runner_tests[1]_include.cmake")
+include("/root/repo/build/tests/app_tests[1]_include.cmake")
