@@ -8,12 +8,18 @@
 #define UNISTC_BENCH_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bbc/bbc_matrix.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "obs/json_writer.hh"
+#include "obs/metrics_export.hh"
+#include "obs/stat_registry.hh"
 #include "runner/report.hh"
 #include "runner/spgemm_runner.hh"
 #include "runner/spmm_runner.hh"
@@ -46,22 +52,111 @@ struct Prepared
     }
 };
 
+/**
+ * Accumulates every RunResult a bench harness produces so the run can
+ * be exported as machine-readable JSON next to the printed tables.
+ * Set UNISTC_BENCH_JSON=out.json to get an automatic dump at exit.
+ */
+class ResultLog
+{
+  public:
+    struct Entry
+    {
+        std::string kernel;
+        std::string model;
+        std::string matrix;
+        RunResult result;
+    };
+
+    static ResultLog &
+    instance()
+    {
+        // Intentionally leaked: the atexit dump handler registered in
+        // the constructor must outlive static destruction.
+        static ResultLog *log = new ResultLog();
+        return *log;
+    }
+
+    void
+    record(Kernel kernel, const std::string &model,
+           const std::string &matrix, const RunResult &result)
+    {
+        entries_.push_back(
+            {toString(kernel), model, matrix, result});
+    }
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Write all recorded entries as schema-versioned JSON. */
+    void
+    dumpJson(const std::string &path) const
+    {
+        std::ofstream os(path);
+        if (!os) {
+            UNISTC_FATAL("cannot open bench JSON output '", path,
+                         "' for writing");
+        }
+        os << "{\n  \"schema\": \"unistc-bench\",\n"
+           << "  \"version\": 1,\n  \"entries\": [";
+        bool first = true;
+        for (const auto &e : entries_) {
+            StatRegistry reg;
+            registerRunResult(reg, e.result);
+            os << (first ? "\n" : ",\n")
+               << "    {\n      \"kernel\": \""
+               << JsonWriter::escape(e.kernel)
+               << "\",\n      \"model\": \""
+               << JsonWriter::escape(e.model)
+               << "\",\n      \"matrix\": \""
+               << JsonWriter::escape(e.matrix)
+               << "\",\n      \"stats\": ";
+            reg.writeJson(os, 6);
+            os << "\n    }";
+            first = false;
+        }
+        os << (first ? "]\n}\n" : "\n  ]\n}\n");
+    }
+
+  private:
+    ResultLog()
+    {
+        if (std::getenv("UNISTC_BENCH_JSON") != nullptr)
+            std::atexit(&ResultLog::dumpAtExit);
+    }
+
+    static void
+    dumpAtExit()
+    {
+        const char *path = std::getenv("UNISTC_BENCH_JSON");
+        if (path != nullptr && !instance().entries_.empty())
+            instance().dumpJson(path);
+    }
+
+    std::vector<Entry> entries_;
+};
+
 /** Run one of the four kernels on a prepared matrix. */
 inline RunResult
 runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
           const EnergyModel &energy = EnergyModel())
 {
+    RunResult res;
     switch (kernel) {
       case Kernel::SpMV:
-        return runSpmv(model, p.bbc, energy);
+        res = runSpmv(model, p.bbc, energy);
+        break;
       case Kernel::SpMSpV:
-        return runSpmspv(model, p.bbc, p.x50, energy);
+        res = runSpmspv(model, p.bbc, p.x50, energy);
+        break;
       case Kernel::SpMM:
-        return runSpmm(model, p.bbc, 64, energy);
+        res = runSpmm(model, p.bbc, 64, energy);
+        break;
       case Kernel::SpGEMM:
-        return runSpgemm(model, p.bbc, p.bbc, energy);
+        res = runSpgemm(model, p.bbc, p.bbc, energy);
+        break;
     }
-    return RunResult{};
+    ResultLog::instance().record(kernel, model.name(), p.name, res);
+    return res;
 }
 
 /** True when the bench should shrink workloads (--quick / env). */

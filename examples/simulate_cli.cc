@@ -5,7 +5,8 @@
  *
  *   simulate_cli --kernel spgemm --model all --gen banded:2048,24,0.4
  *   simulate_cli --kernel spmv --model Uni-STC --matrix my.mtx \
- *                --precision fp32 --dpgs 16
+ *                --precision fp32 --dpgs 16 \
+ *                --trace t.json --stats-json s.json
  *
  * Options:
  *   --matrix PATH          Matrix Market input
@@ -18,11 +19,17 @@
  *   --dpgs N               Uni-STC DPG count (default 8)
  *   --bcols N              SpMM dense-B width (default 64)
  *   --save-bbc PATH        write the encoded BBC file
+ *   --trace PATH           write a Chrome trace-event JSON (open in
+ *                          Perfetto / chrome://tracing)
+ *   --trace-events N       trace ring-buffer capacity (default 65536)
+ *   --stats-json PATH      write all run statistics as JSON
+ *   --log-level LEVEL      debug|info|warn|error|silent (or 0-4)
  */
 
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "bbc/bbc_io.hh"
@@ -30,6 +37,9 @@
 #include "common/table.hh"
 #include "common/rng.hh"
 #include "corpus/generators.hh"
+#include "obs/metrics_export.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 #include "runner/report.hh"
 #include "runner/spgemm_runner.hh"
 #include "runner/spmm_runner.hh"
@@ -43,42 +53,20 @@ using namespace unistc;
 namespace
 {
 
-CsrMatrix
-generateFromSpec(const std::string &spec)
+/** Strict integer option parsing: the whole value must be a number. */
+int
+parseIntOpt(const std::string &flag, const std::string &text)
 {
-    const auto colon = spec.find(':');
-    const std::string family = spec.substr(0, colon);
-    std::vector<double> args;
-    if (colon != std::string::npos) {
-        std::string rest = spec.substr(colon + 1);
-        std::size_t pos = 0;
-        while (pos < rest.size()) {
-            args.push_back(std::stod(rest.substr(pos)));
-            const auto comma = rest.find(',', pos);
-            if (comma == std::string::npos)
-                break;
-            pos = comma + 1;
-        }
+    try {
+        std::size_t used = 0;
+        const int v = std::stoi(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception &) {
+        UNISTC_FATAL("--", flag, " needs an integer, got '", text,
+                     "'");
     }
-    auto arg = [&](std::size_t i, double dflt) {
-        return i < args.size() ? args[i] : dflt;
-    };
-    if (family == "banded") {
-        return genBanded(static_cast<int>(arg(0, 1024)),
-                         static_cast<int>(arg(1, 16)), arg(2, 0.5),
-                         1);
-    }
-    if (family == "random") {
-        const int n = static_cast<int>(arg(0, 1024));
-        return genRandomUniform(n, n, arg(1, 0.01), 1);
-    }
-    if (family == "powerlaw") {
-        return genPowerLaw(static_cast<int>(arg(0, 1024)),
-                           arg(1, 8.0), arg(2, 2.3), 1);
-    }
-    if (family == "stencil")
-        return genStencil2d(static_cast<int>(arg(0, 32)));
-    UNISTC_FATAL("unknown generator family '", family, "'");
 }
 
 } // namespace
@@ -87,10 +75,21 @@ int
 main(int argc, char **argv)
 {
     std::map<std::string, std::string> opts;
-    for (int i = 1; i + 1 < argc; i += 2) {
+    for (int i = 1; i < argc; i += 2) {
         if (std::strncmp(argv[i], "--", 2) != 0)
             UNISTC_FATAL("expected an option, got '", argv[i], "'");
+        if (i + 1 >= argc)
+            UNISTC_FATAL("option '", argv[i], "' is missing a value");
         opts[argv[i] + 2] = argv[i + 1];
+    }
+
+    if (opts.count("log-level")) {
+        LogLevel level = LogLevel::Info;
+        if (!parseLogLevel(opts["log-level"], level)) {
+            UNISTC_FATAL("unknown --log-level '", opts["log-level"],
+                         "' (use debug|info|warn|error|silent)");
+        }
+        setLogLevel(level);
     }
 
     CsrMatrix a;
@@ -109,9 +108,24 @@ main(int argc, char **argv)
         ? MachineConfig::fp32()
         : MachineConfig::fp64();
     if (opts.count("dpgs"))
-        cfg.numDpgs = std::stoi(opts["dpgs"]);
+        cfg.numDpgs = parseIntOpt("dpgs", opts["dpgs"]);
     const int b_cols =
-        opts.count("bcols") ? std::stoi(opts["bcols"]) : 64;
+        opts.count("bcols") ? parseIntOpt("bcols", opts["bcols"]) : 64;
+
+    std::unique_ptr<TraceSink> trace;
+    if (opts.count("trace")) {
+        std::size_t capacity = TraceSink::kDefaultCapacity;
+        if (opts.count("trace-events")) {
+            const int n =
+                parseIntOpt("trace-events", opts["trace-events"]);
+            if (n <= 0) {
+                UNISTC_FATAL("--trace-events needs a positive count, "
+                             "got ", n);
+            }
+            capacity = static_cast<std::size_t>(n);
+        }
+        trace = std::make_unique<TraceSink>(capacity);
+    }
 
     std::printf("Matrix: %d x %d, %lld nonzeros\n", a.rows(),
                 a.cols(), static_cast<long long>(a.nnz()));
@@ -137,15 +151,20 @@ main(int argc, char **argv)
 
     auto run = [&](const StcModel &model) {
         if (kernel_name == "spmv")
-            return runSpmv(model, bbc);
-        if (kernel_name == "spmspv")
-            return runSpmspv(model, bbc, x50);
-        if (kernel_name == "spmm")
-            return runSpmm(model, bbc, b_cols);
+            return runSpmv(model, bbc, EnergyModel(), trace.get());
+        if (kernel_name == "spmspv") {
+            return runSpmspv(model, bbc, x50, EnergyModel(),
+                             trace.get());
+        }
+        if (kernel_name == "spmm") {
+            return runSpmm(model, bbc, b_cols, EnergyModel(),
+                           trace.get());
+        }
         if (kernel_name == "spgemm") {
             if (a.rows() != a.cols())
                 UNISTC_FATAL("spgemm (C = A^2) needs a square matrix");
-            return runSpgemm(model, bbc, bbc);
+            return runSpgemm(model, bbc, bbc, EnergyModel(),
+                             trace.get());
         }
         UNISTC_FATAL("unknown kernel '", kernel_name, "'");
     };
@@ -156,14 +175,35 @@ main(int argc, char **argv)
     else
         names.push_back(model_name);
 
+    StatRegistry stats;
+    stats.setText("kernel", kernel_name, "simulated kernel");
+    stats.setText("matrix.source",
+                  opts.count("matrix") ? opts["matrix"]
+                  : opts.count("gen")  ? opts["gen"]
+                                       : "banded:1024,16,0.4",
+                  "matrix input path or generator spec");
+    stats.setCounter("matrix.rows",
+                     static_cast<std::uint64_t>(a.rows()));
+    stats.setCounter("matrix.cols",
+                     static_cast<std::uint64_t>(a.cols()));
+    stats.setCounter("matrix.nnz",
+                     static_cast<std::uint64_t>(a.nnz()));
+    stats.setCounter("matrix.bbcBlocks",
+                     static_cast<std::uint64_t>(bbc.numBlocks()));
+    registerMachineConfig(stats, cfg);
+
     TextTable t("Kernel '" + kernel_name + "' @ " +
                 toString(cfg.precision) + ", " +
                 std::to_string(cfg.macCount) + " MACs");
     t.setHeader({"STC", "cycles", "MAC util", "energy", "A reads",
                  "C writes"});
+    int pid = 0;
     for (const auto &name : names) {
         const auto model = makeStcModel(name, cfg);
+        if (trace)
+            trace->setProcess(pid++, name);
         const RunResult r = run(*model);
+        registerRunResult(stats, r, "models." + name + ".");
         t.addRow({name, fmtCount(r.cycles),
                   fmtPercent(r.utilisation()),
                   fmtEnergyPj(r.energy.total()),
@@ -171,5 +211,19 @@ main(int argc, char **argv)
                   fmtCount(r.traffic.writesC)});
     }
     t.print();
+
+    if (trace) {
+        trace->writeChromeTraceFile(opts["trace"]);
+        registerTraceSinkStats(stats, *trace);
+        std::printf("\nTrace: %s (%llu events, %llu dropped)\n",
+                    opts["trace"].c_str(),
+                    static_cast<unsigned long long>(trace->size()),
+                    static_cast<unsigned long long>(trace->dropped()));
+    }
+    if (opts.count("stats-json")) {
+        writeStatsJsonFile(stats, opts["stats-json"]);
+        std::printf("%sStats: %s\n", trace ? "" : "\n",
+                    opts["stats-json"].c_str());
+    }
     return 0;
 }

@@ -1,10 +1,98 @@
 #include "common/logging.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
 namespace unistc
 {
+
+namespace
+{
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("UNISTC_LOG_LEVEL");
+    LogLevel level = LogLevel::Info;
+    if (env != nullptr && *env != '\0' &&
+        !parseLogLevel(env, level)) {
+        std::fprintf(stderr,
+                     "warn: ignoring bad UNISTC_LOG_LEVEL '%s'\n",
+                     env);
+    }
+    return level;
+}
+
+LogLevel &
+levelRef()
+{
+    static LogLevel level = initialLevel();
+    return level;
+}
+
+/**
+ * Touch the level at startup so a malformed UNISTC_LOG_LEVEL is
+ * warned about even when the program never logs anything.
+ */
+[[maybe_unused]] const LogLevel initial_level_trigger = levelRef();
+
+} // namespace
+
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Silent:
+        return "silent";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(const std::string &text, LogLevel &out)
+{
+    std::string t = text;
+    std::transform(t.begin(), t.end(), t.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (t == "debug" || t == "0") {
+        out = LogLevel::Debug;
+    } else if (t == "info" || t == "1") {
+        out = LogLevel::Info;
+    } else if (t == "warn" || t == "warning" || t == "2") {
+        out = LogLevel::Warn;
+    } else if (t == "error" || t == "3") {
+        out = LogLevel::Error;
+    } else if (t == "silent" || t == "quiet" || t == "4") {
+        out = LogLevel::Silent;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+LogLevel
+logLevel()
+{
+    return levelRef();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelRef() = level;
+}
+
 namespace detail
 {
 
@@ -25,13 +113,23 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (logLevel() > LogLevel::Warn)
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (logLevel() > LogLevel::Info)
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 } // namespace detail

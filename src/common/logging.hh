@@ -6,6 +6,13 @@
  * from (bad configuration, malformed input files); panic() is for
  * conditions that indicate a bug in the simulator itself; warn() and
  * inform() report status without stopping the run.
+ *
+ * Non-terminating messages pass a runtime severity filter: the level
+ * defaults to Info, is settable programmatically via setLogLevel()
+ * or from the UNISTC_LOG_LEVEL environment variable (a name like
+ * "warn" or a number 0-4), and lets bench runs silence inform()
+ * chatter. fatal() and panic() always print — hiding the reason for
+ * a termination would help nobody.
  */
 
 #ifndef UNISTC_COMMON_LOGGING_HH
@@ -16,6 +23,32 @@
 
 namespace unistc
 {
+
+/** Message severities, least severe first. */
+enum class LogLevel
+{
+    Debug = 0,  ///< Developer chatter (UNISTC_DEBUG).
+    Info = 1,   ///< Status messages (UNISTC_INFORM). Default.
+    Warn = 2,   ///< Recoverable anomalies (UNISTC_WARN).
+    Error = 3,  ///< Only fatal/panic output.
+    Silent = 4, ///< Nothing below termination messages.
+};
+
+/** Printable level name ("debug", ...). */
+const char *toString(LogLevel level);
+
+/**
+ * Parse a level from a name ("debug", "info", "warn"/"warning",
+ * "error", "silent"/"quiet", case-insensitive) or a digit 0-4.
+ * @return true and set @p out on success.
+ */
+bool parseLogLevel(const std::string &text, LogLevel &out);
+
+/** Current filter threshold (initialised from UNISTC_LOG_LEVEL). */
+LogLevel logLevel();
+
+/** Override the filter threshold for the rest of the process. */
+void setLogLevel(LogLevel level);
 
 namespace detail
 {
@@ -31,6 +64,9 @@ void warnImpl(const std::string &msg);
 
 /** Print an informational message to stderr. */
 void informImpl(const std::string &msg);
+
+/** Print a debug message to stderr. */
+void debugImpl(const std::string &msg);
 
 /** Concatenate a parameter pack into one string via an ostringstream. */
 template <typename... Args>
@@ -63,6 +99,14 @@ concat(Args &&...args)
 
 #define UNISTC_INFORM(...) \
     ::unistc::detail::informImpl(::unistc::detail::concat(__VA_ARGS__))
+
+#define UNISTC_DEBUG(...) \
+    do { \
+        if (::unistc::logLevel() <= ::unistc::LogLevel::Debug) { \
+            ::unistc::detail::debugImpl( \
+                ::unistc::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /** Simulator-bug assertion: active in all build types. */
 #define UNISTC_ASSERT(cond, ...) \

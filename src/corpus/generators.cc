@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -350,6 +352,73 @@ randomizeValues(CsrMatrix &m, std::uint64_t seed)
     Rng rng(seed);
     for (auto &v : m.vals())
         v = val(rng);
+}
+
+CsrMatrix
+generateFromSpec(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    const std::string family = spec.substr(0, colon);
+
+    // Parse the comma-separated numeric fields strictly: every field
+    // (including the one after a trailing comma) must be a complete
+    // number — std::stod leftovers, empty fields and overflow all
+    // report the offending spec instead of throwing out of main().
+    std::vector<double> args;
+    if (colon != std::string::npos) {
+        const std::string rest = spec.substr(colon + 1);
+        std::size_t pos = 0;
+        while (true) {
+            const auto comma = rest.find(',', pos);
+            const std::string field =
+                comma == std::string::npos
+                    ? rest.substr(pos)
+                    : rest.substr(pos, comma - pos);
+            double v = 0.0;
+            std::size_t used = 0;
+            bool ok = !field.empty();
+            if (ok) {
+                try {
+                    v = std::stod(field, &used);
+                } catch (const std::exception &) {
+                    ok = false;
+                }
+            }
+            if (ok && used != field.size())
+                ok = false;
+            if (ok && !std::isfinite(v))
+                ok = false;
+            if (!ok) {
+                UNISTC_FATAL("malformed --gen spec '", spec,
+                             "': bad numeric field '", field, "'");
+            }
+            args.push_back(v);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+
+    auto arg = [&](std::size_t i, double dflt) {
+        return i < args.size() ? args[i] : dflt;
+    };
+    if (family == "banded") {
+        return genBanded(static_cast<int>(arg(0, 1024)),
+                         static_cast<int>(arg(1, 16)), arg(2, 0.5),
+                         1);
+    }
+    if (family == "random") {
+        const int n = static_cast<int>(arg(0, 1024));
+        return genRandomUniform(n, n, arg(1, 0.01), 1);
+    }
+    if (family == "powerlaw") {
+        return genPowerLaw(static_cast<int>(arg(0, 1024)),
+                           arg(1, 8.0), arg(2, 2.3), 1);
+    }
+    if (family == "stencil")
+        return genStencil2d(static_cast<int>(arg(0, 32)));
+    UNISTC_FATAL("malformed --gen spec '", spec,
+                 "': unknown generator family '", family, "'");
 }
 
 } // namespace unistc

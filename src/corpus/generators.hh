@@ -11,11 +11,25 @@
 #define UNISTC_CORPUS_GENERATORS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "sparse/csr.hh"
 
 namespace unistc
 {
+
+/**
+ * Build a matrix from a textual generator spec, the `--gen` syntax of
+ * simulate_cli:
+ *
+ *   banded:n,half_bandwidth,fill | random:n,density |
+ *   powerlaw:n,avg_degree,alpha  | stencil:grid
+ *
+ * Omitted numeric fields take family defaults. Malformed specs
+ * (unknown family, non-numeric or empty fields, trailing commas)
+ * report the offending spec via fatal() instead of throwing.
+ */
+CsrMatrix generateFromSpec(const std::string &spec);
 
 /** i.i.d. uniform random pattern with the given element density. */
 CsrMatrix genRandomUniform(int rows, int cols, double density,

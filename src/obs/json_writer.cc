@@ -1,0 +1,217 @@
+#include "obs/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+}
+
+void
+JsonWriter::newline()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << '\n';
+    const int depth = static_cast<int>(stack_.size());
+    for (int i = 0; i < depth * indent_; ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::preValue()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        if (!firstInScope_)
+            os_ << ',';
+        newline();
+    }
+    firstInScope_ = false;
+}
+
+void
+JsonWriter::preKey()
+{
+    UNISTC_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                  "JSON key outside an object");
+    UNISTC_ASSERT(!afterKey_, "JSON key after a dangling key");
+    if (!firstInScope_)
+        os_ << ',';
+    newline();
+    firstInScope_ = false;
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << '{';
+    stack_.push_back(Scope::Object);
+    firstInScope_ = true;
+}
+
+void
+JsonWriter::endObject()
+{
+    UNISTC_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                  "unbalanced JSON endObject");
+    const bool empty = firstInScope_;
+    stack_.pop_back();
+    firstInScope_ = false;
+    if (!empty)
+        newline();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << '[';
+    stack_.push_back(Scope::Array);
+    firstInScope_ = true;
+}
+
+void
+JsonWriter::endArray()
+{
+    UNISTC_ASSERT(!stack_.empty() && stack_.back() == Scope::Array,
+                  "unbalanced JSON endArray");
+    const bool empty = firstInScope_;
+    stack_.pop_back();
+    firstInScope_ = false;
+    if (!empty)
+        newline();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    preKey();
+    os_ << '"' << escape(k) << "\": ";
+    afterKey_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return;
+    }
+    // Shortest round-trip-safe representation; always valid JSON
+    // (never produces a bare exponent or locale-dependent comma).
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Trim to the shortest form that still round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char trial[32];
+        std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(trial, "%lf", &back);
+        if (back == v) {
+            os_ << trial;
+            return;
+        }
+    }
+    os_ << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(int v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    preValue();
+    os_ << "null";
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace unistc

@@ -1,0 +1,225 @@
+#include "obs/stat_registry.hh"
+
+#include "common/logging.hh"
+#include "obs/json_writer.hh"
+
+namespace unistc
+{
+
+const char *
+toString(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Counter:
+        return "counter";
+      case StatKind::Scalar:
+        return "scalar";
+      case StatKind::Text:
+        return "text";
+      case StatKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+void
+StatRegistry::setCounter(const std::string &name, std::uint64_t v,
+                         const std::string &desc)
+{
+    Entry &e = entries_[name];
+    e.kind = StatKind::Counter;
+    e.c = v;
+    if (!desc.empty())
+        e.desc = desc;
+}
+
+void
+StatRegistry::addCounter(const std::string &name, std::uint64_t delta,
+                         const std::string &desc)
+{
+    Entry &e = entries_[name];
+    UNISTC_ASSERT(e.kind == StatKind::Counter,
+                  "addCounter on non-counter stat '", name, "'");
+    e.c += delta;
+    if (!desc.empty())
+        e.desc = desc;
+}
+
+void
+StatRegistry::setScalar(const std::string &name, double v,
+                        const std::string &desc)
+{
+    Entry &e = entries_[name];
+    e.kind = StatKind::Scalar;
+    e.d = v;
+    if (!desc.empty())
+        e.desc = desc;
+}
+
+void
+StatRegistry::setText(const std::string &name, const std::string &v,
+                      const std::string &desc)
+{
+    Entry &e = entries_[name];
+    e.kind = StatKind::Text;
+    e.s = v;
+    if (!desc.empty())
+        e.desc = desc;
+}
+
+void
+StatRegistry::setHistogram(const std::string &name, const Histogram &h,
+                           const std::string &desc)
+{
+    Entry &e = entries_[name];
+    e.kind = StatKind::Histogram;
+    e.h = h;
+    if (!desc.empty())
+        e.desc = desc;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return entries_.count(name) > 0;
+}
+
+const StatRegistry::Entry &
+StatRegistry::find(const std::string &name) const
+{
+    const auto it = entries_.find(name);
+    UNISTC_ASSERT(it != entries_.end(), "unknown stat '", name, "'");
+    return it->second;
+}
+
+StatKind
+StatRegistry::kind(const std::string &name) const
+{
+    return find(name).kind;
+}
+
+std::uint64_t
+StatRegistry::counter(const std::string &name) const
+{
+    const Entry &e = find(name);
+    UNISTC_ASSERT(e.kind == StatKind::Counter, "stat '", name,
+                  "' is not a counter");
+    return e.c;
+}
+
+double
+StatRegistry::scalar(const std::string &name) const
+{
+    const Entry &e = find(name);
+    UNISTC_ASSERT(e.kind == StatKind::Scalar, "stat '", name,
+                  "' is not a scalar");
+    return e.d;
+}
+
+const std::string &
+StatRegistry::text(const std::string &name) const
+{
+    const Entry &e = find(name);
+    UNISTC_ASSERT(e.kind == StatKind::Text, "stat '", name,
+                  "' is not text");
+    return e.s;
+}
+
+const Histogram &
+StatRegistry::histogram(const std::string &name) const
+{
+    const Entry &e = find(name);
+    UNISTC_ASSERT(e.kind == StatKind::Histogram, "stat '", name,
+                  "' is not a histogram");
+    return e.h;
+}
+
+const std::string &
+StatRegistry::description(const std::string &name) const
+{
+    return find(name).desc;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+void
+StatRegistry::merge(const StatRegistry &other)
+{
+    for (const auto &[name, theirs] : other.entries_) {
+        const auto it = entries_.find(name);
+        if (it == entries_.end()) {
+            entries_[name] = theirs;
+            continue;
+        }
+        Entry &ours = it->second;
+        UNISTC_ASSERT(ours.kind == theirs.kind,
+                      "stat kind mismatch merging '", name, "'");
+        switch (ours.kind) {
+          case StatKind::Counter:
+            ours.c += theirs.c;
+            break;
+          case StatKind::Scalar:
+            ours.d += theirs.d;
+            break;
+          case StatKind::Text:
+            UNISTC_ASSERT(ours.s == theirs.s,
+                          "conflicting text stat '", name, "': '",
+                          ours.s, "' vs '", theirs.s, "'");
+            break;
+          case StatKind::Histogram:
+            ours.h.merge(theirs.h);
+            break;
+        }
+        if (ours.desc.empty())
+            ours.desc = theirs.desc;
+    }
+}
+
+void
+StatRegistry::writeJson(std::ostream &os, int indent) const
+{
+    JsonWriter w(os, indent);
+    w.beginObject();
+    for (const auto &[name, e] : entries_) {
+        w.key(name);
+        switch (e.kind) {
+          case StatKind::Counter:
+            w.value(e.c);
+            break;
+          case StatKind::Scalar:
+            w.value(e.d);
+            break;
+          case StatKind::Text:
+            w.value(e.s);
+            break;
+          case StatKind::Histogram:
+            w.beginObject();
+            w.key("lo");
+            w.value(e.h.numBuckets() > 0 ? e.h.bucketLo(0) : 0.0);
+            w.key("hi");
+            w.value(e.h.numBuckets() > 0
+                        ? e.h.bucketHi(e.h.numBuckets() - 1)
+                        : 0.0);
+            w.key("total");
+            w.value(e.h.totalCount());
+            w.key("counts");
+            w.beginArray();
+            for (int b = 0; b < e.h.numBuckets(); ++b)
+                w.value(e.h.bucketCount(b));
+            w.endArray();
+            w.endObject();
+            break;
+        }
+    }
+    w.endObject();
+}
+
+} // namespace unistc

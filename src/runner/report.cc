@@ -30,14 +30,23 @@ allKernels()
 Comparison
 compare(const RunResult &base, const RunResult &test)
 {
+    // A ratio against an empty run (zero cycles, zero energy) has no
+    // meaning: base/0 is inf, 0/0 is NaN, and a silent 0.0 would be
+    // dropped by GeoMean::add while still skewing RunningStat — all
+    // three quietly poison roll-ups. Define such ratios as the
+    // neutral 1.0 and tell the caller via the degenerate flag.
+    auto ratio = [](double b, double t, bool &flag) {
+        if (b > 0.0 && t > 0.0)
+            return b / t;
+        flag = true;
+        return 1.0;
+    };
+
     Comparison c;
-    if (test.cycles > 0) {
-        c.speedup = static_cast<double>(base.cycles) /
-            static_cast<double>(test.cycles);
-    }
-    const double test_energy = test.energy.total();
-    if (test_energy > 0.0)
-        c.energyReduction = base.energy.total() / test_energy;
+    c.speedup = ratio(static_cast<double>(base.cycles),
+                      static_cast<double>(test.cycles), c.degenerate);
+    c.energyReduction = ratio(base.energy.total(),
+                              test.energy.total(), c.degenerate);
     c.energyEfficiency = c.speedup * c.energyReduction;
     return c;
 }

@@ -38,9 +38,19 @@ struct Comparison
     double speedup = 0.0;         ///< base.cycles / test.cycles.
     double energyReduction = 0.0; ///< base.energy / test.energy.
     double energyEfficiency = 0.0;///< speedup * energyReduction.
+    /**
+     * True when either run was empty (zero cycles or zero energy) and
+     * the affected ratios were defined to the neutral 1.0 instead of
+     * inf/NaN/0 — which would silently poison GeoMean roll-ups.
+     */
+    bool degenerate = false;
 };
 
-/** Compare @p test against @p base (both finalized). */
+/**
+ * Compare @p test against @p base (both finalized). Ratios involving
+ * an empty side (zero cycles / zero energy) are defined as 1.0 and
+ * flagged via Comparison::degenerate; every field is always finite.
+ */
 Comparison compare(const RunResult &base, const RunResult &test);
 
 /** Geomean + max roll-up of comparisons (Table VIII rows). */

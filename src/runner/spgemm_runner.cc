@@ -1,13 +1,15 @@
 #include "runner/spgemm_runner.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace unistc
 {
 
 RunResult
 runSpgemm(const StcModel &model, const BbcMatrix &a,
-          const BbcMatrix &b, const EnergyModel &energy)
+          const BbcMatrix &b, const EnergyModel &energy,
+          TraceSink *trace)
 {
     UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
 
@@ -17,7 +19,9 @@ runSpgemm(const StcModel &model, const BbcMatrix &a,
     const auto b_patterns = allBlockPatterns(b);
 
     RunResult res;
+    UNISTC_TRACE_BEGIN(trace, TraceTrack::Runner, "SpGEMM", 0);
     for (int bi = 0; bi < a.blockRows(); ++bi) {
+        const std::uint64_t row_start = res.cycles;
         for (std::int64_t ai = a.rowPtr()[bi]; ai < a.rowPtr()[bi + 1];
              ++ai) {
             const int bk = a.colIdx()[ai];
@@ -29,10 +33,16 @@ runSpgemm(const StcModel &model, const BbcMatrix &a,
                 if (blockProductCount(a_pat, b_pat) == 0)
                     continue;
                 const BlockTask task = BlockTask::mm(a_pat, b_pat);
-                model.runBlock(task, res);
+                model.runBlock(task, res, trace);
             }
         }
+        if (res.cycles > row_start) {
+            UNISTC_TRACE_COMPLETE(trace, TraceTrack::Runner,
+                                  "C block row #" + std::to_string(bi),
+                                  row_start, res.cycles - row_start);
+        }
     }
+    UNISTC_TRACE_END(trace, TraceTrack::Runner, res.cycles);
     finalizeRun(model, energy, res);
     return res;
 }

@@ -17,7 +17,8 @@ namespace unistc
 /** Simulate C = A * B, both sparse, on @p model. */
 RunResult runSpgemm(const StcModel &model, const BbcMatrix &a,
                     const BbcMatrix &b,
-                    const EnergyModel &energy = EnergyModel());
+                    const EnergyModel &energy = EnergyModel(),
+                    TraceSink *trace = nullptr);
 
 } // namespace unistc
 

@@ -4,13 +4,14 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace unistc
 {
 
 RunResult
 runSpmm(const StcModel &model, const BbcMatrix &a, int b_cols,
-        const EnergyModel &energy)
+        const EnergyModel &energy, TraceSink *trace)
 {
     UNISTC_ASSERT(b_cols > 0, "SpMM needs at least one B column");
     const int b_block_cols = static_cast<int>(ceilDiv(b_cols,
@@ -32,14 +33,20 @@ runSpmm(const StcModel &model, const BbcMatrix &a, int b_cols,
     };
 
     RunResult res;
+    UNISTC_TRACE_BEGIN(trace, TraceTrack::Runner, "SpMM", 0);
     for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
         const BlockPattern pattern = a.blockPattern(blk);
+        const std::uint64_t t0 = res.cycles;
         for (int bj = 0; bj < b_block_cols; ++bj) {
             const BlockTask task =
                 BlockTask::mm(pattern, dense_b_block(bj));
-            model.runBlock(task, res);
+            model.runBlock(task, res, trace);
         }
+        UNISTC_TRACE_COMPLETE(trace, TraceTrack::Runner,
+                              "T1 row #" + std::to_string(blk), t0,
+                              res.cycles - t0);
     }
+    UNISTC_TRACE_END(trace, TraceTrack::Runner, res.cycles);
     finalizeRun(model, energy, res);
     return res;
 }

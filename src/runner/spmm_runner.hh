@@ -16,7 +16,8 @@ namespace unistc
 /** Simulate C = A * B with a dense rows(A.cols) x b_cols B. */
 RunResult runSpmm(const StcModel &model, const BbcMatrix &a,
                   int b_cols = 64,
-                  const EnergyModel &energy = EnergyModel());
+                  const EnergyModel &energy = EnergyModel(),
+                  TraceSink *trace = nullptr);
 
 } // namespace unistc
 

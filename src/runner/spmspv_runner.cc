@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace unistc
 {
@@ -21,12 +22,14 @@ segmentMasks(const SparseVector &x)
 
 RunResult
 runSpmspv(const StcModel &model, const BbcMatrix &a,
-          const SparseVector &x, const EnergyModel &energy)
+          const SparseVector &x, const EnergyModel &energy,
+          TraceSink *trace)
 {
     UNISTC_ASSERT(x.size() == a.cols(), "SpMSpV shape mismatch");
     const auto masks = segmentMasks(x);
 
     RunResult res;
+    UNISTC_TRACE_BEGIN(trace, TraceTrack::Runner, "SpMSpV", 0);
     for (int br = 0; br < a.blockRows(); ++br) {
         for (std::int64_t blk = a.rowPtr()[br];
              blk < a.rowPtr()[br + 1]; ++blk) {
@@ -39,9 +42,14 @@ runSpmspv(const StcModel &model, const BbcMatrix &a,
             if (blockMvProductCount(pattern, mask) == 0)
                 continue;
             const BlockTask task = BlockTask::mv(pattern, mask);
-            model.runBlock(task, res);
+            const std::uint64_t t0 = res.cycles;
+            model.runBlock(task, res, trace);
+            UNISTC_TRACE_COMPLETE(trace, TraceTrack::Runner,
+                                  "T1 #" + std::to_string(blk), t0,
+                                  res.cycles - t0);
         }
     }
+    UNISTC_TRACE_END(trace, TraceTrack::Runner, res.cycles);
     finalizeRun(model, energy, res);
     return res;
 }

@@ -21,7 +21,8 @@ std::vector<std::uint16_t> segmentMasks(const SparseVector &x);
 /** Simulate y = A * x (sparse x) on @p model. */
 RunResult runSpmspv(const StcModel &model, const BbcMatrix &a,
                     const SparseVector &x,
-                    const EnergyModel &energy = EnergyModel());
+                    const EnergyModel &energy = EnergyModel(),
+                    TraceSink *trace = nullptr);
 
 } // namespace unistc
 

@@ -1,19 +1,27 @@
 #include "runner/spmv_runner.hh"
 
+#include "obs/trace.hh"
+
 namespace unistc
 {
 
 RunResult
 runSpmv(const StcModel &model, const BbcMatrix &a,
-        const EnergyModel &energy)
+        const EnergyModel &energy, TraceSink *trace)
 {
     RunResult res;
+    UNISTC_TRACE_BEGIN(trace, TraceTrack::Runner, "SpMV", 0);
     for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
         const BlockPattern pattern = a.blockPattern(blk);
         // Dense x: every lane of the segment is live.
         const BlockTask task = BlockTask::mv(pattern, 0xFFFFu);
-        model.runBlock(task, res);
+        const std::uint64_t t0 = res.cycles;
+        model.runBlock(task, res, trace);
+        UNISTC_TRACE_COMPLETE(trace, TraceTrack::Runner,
+                              "T1 #" + std::to_string(blk), t0,
+                              res.cycles - t0);
     }
+    UNISTC_TRACE_END(trace, TraceTrack::Runner, res.cycles);
     finalizeRun(model, energy, res);
     return res;
 }

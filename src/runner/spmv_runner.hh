@@ -15,7 +15,8 @@ namespace unistc
 
 /** Simulate y = A * x (dense x) on @p model. */
 RunResult runSpmv(const StcModel &model, const BbcMatrix &a,
-                  const EnergyModel &energy = EnergyModel());
+                  const EnergyModel &energy = EnergyModel(),
+                  TraceSink *trace = nullptr);
 
 } // namespace unistc
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "obs/trace.hh"
 
 namespace unistc
 {
@@ -22,9 +23,11 @@ DsStc::network() const
 }
 
 void
-DsStc::runBlock(const BlockTask &task, RunResult &res) const
+DsStc::runBlock(const BlockTask &task, RunResult &res,
+                TraceSink *trace) const
 {
     ++res.tasksT1;
+    const std::uint64_t t0 = res.cycles;
     const int mac = cfg_.macCount;
     const int n_ext = task.nExtent();
     // Outer-product T3 geometry: 8x8x1 @FP64, 8x16x1 @FP32.
@@ -64,6 +67,10 @@ DsStc::runBlock(const BlockTask &task, RunResult &res) const
             }
         }
     }
+
+    UNISTC_TRACE_COMPLETE(trace, TraceTrack::Sdpu,
+                          task.isMv ? "T1 MV (outer)" : "T1 MM (outer)",
+                          t0, res.cycles - t0);
 }
 
 } // namespace unistc

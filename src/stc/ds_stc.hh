@@ -31,7 +31,8 @@ class DsStc : public StcModel
 
     NetworkConfig network() const override;
 
-    void runBlock(const BlockTask &task, RunResult &res) const override;
+    void runBlock(const BlockTask &task, RunResult &res,
+                  TraceSink *trace = nullptr) const override;
 };
 
 } // namespace unistc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "obs/trace.hh"
 
 namespace unistc
 {
@@ -20,9 +21,11 @@ Gamma::network() const
 }
 
 void
-Gamma::runBlock(const BlockTask &task, RunResult &res) const
+Gamma::runBlock(const BlockTask &task, RunResult &res,
+                TraceSink *trace) const
 {
     ++res.tasksT1;
+    const std::uint64_t t0 = res.cycles;
     const int mac = cfg_.macCount;
     const int n_ext = task.nExtent();
     const int t3m = 16;
@@ -56,6 +59,11 @@ Gamma::runBlock(const BlockTask &task, RunResult &res) const
             res.traffic.writesC += eff;
         }
     }
+
+    UNISTC_TRACE_COMPLETE(trace, TraceTrack::Sdpu,
+                          task.isMv ? "T1 MV (gustavson)"
+                                    : "T1 MM (gustavson)",
+                          t0, res.cycles - t0);
 }
 
 } // namespace unistc

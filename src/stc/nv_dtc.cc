@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace unistc
 {
@@ -23,7 +24,8 @@ NvDtc::network() const
 }
 
 void
-NvDtc::runBlock(const BlockTask &task, RunResult &res) const
+NvDtc::runBlock(const BlockTask &task, RunResult &res,
+                TraceSink *trace) const
 {
     // The GPU front-end skips instructions with an empty operand
     // (coarse-grained skipping, §V-B); inside a non-empty task there
@@ -31,6 +33,7 @@ NvDtc::runBlock(const BlockTask &task, RunResult &res) const
     if (task.a.empty() || task.b.empty())
         return;
     ++res.tasksT1;
+    const std::uint64_t t0 = res.cycles;
     const int mac = cfg_.macCount;
     const int n_ext = task.nExtent();
     // Dense T3 geometry: FP64 4x4x4 = 64 MACs, FP32 8x4x4 = 128 MACs.
@@ -80,6 +83,10 @@ NvDtc::runBlock(const BlockTask &task, RunResult &res) const
     // The dense accumulator writes the whole C block back once.
     res.traffic.writesC +=
         static_cast<std::uint64_t>(kBlockSize) * n_ext;
+
+    UNISTC_TRACE_COMPLETE(trace, TraceTrack::Sdpu,
+                          task.isMv ? "T1 MV (dense)" : "T1 MM (dense)",
+                          t0, res.cycles - t0);
 }
 
 } // namespace unistc

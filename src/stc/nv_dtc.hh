@@ -24,7 +24,8 @@ class NvDtc : public StcModel
 
     NetworkConfig network() const override;
 
-    void runBlock(const BlockTask &task, RunResult &res) const override;
+    void runBlock(const BlockTask &task, RunResult &res,
+                  TraceSink *trace = nullptr) const override;
 };
 
 } // namespace unistc

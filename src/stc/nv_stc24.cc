@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hh"
+#include "obs/trace.hh"
 #include "stc/nv_dtc.hh"
 
 namespace unistc
@@ -37,7 +38,8 @@ NvStc24::network() const
 }
 
 void
-NvStc24::runBlock(const BlockTask &task, RunResult &res) const
+NvStc24::runBlock(const BlockTask &task, RunResult &res,
+                  TraceSink *trace) const
 {
     if (task.a.empty() || task.b.empty())
         return;
@@ -46,11 +48,12 @@ NvStc24::runBlock(const BlockTask &task, RunResult &res) const
         // Unstructured operand: the sparse path is unusable and the
         // task executes on the dense pipeline.
         NvDtc dense(cfg_);
-        dense.runBlock(task, res);
+        dense.runBlock(task, res, trace);
         return;
     }
 
     ++res.tasksT1;
+    const std::uint64_t t0 = res.cycles;
     const int mac = cfg_.macCount;
     const int n_ext = task.nExtent();
     // 2:4 mode halves the K iteration count: each 4-wide group is
@@ -101,6 +104,10 @@ NvStc24::runBlock(const BlockTask &task, RunResult &res) const
     }
     res.traffic.writesC +=
         static_cast<std::uint64_t>(kBlockSize) * n_ext;
+
+    UNISTC_TRACE_COMPLETE(trace, TraceTrack::Sdpu,
+                          task.isMv ? "T1 MV (2:4)" : "T1 MM (2:4)",
+                          t0, res.cycles - t0);
 }
 
 } // namespace unistc

@@ -30,7 +30,8 @@ class NvStc24 : public StcModel
 
     NetworkConfig network() const override;
 
-    void runBlock(const BlockTask &task, RunResult &res) const override;
+    void runBlock(const BlockTask &task, RunResult &res,
+                  TraceSink *trace = nullptr) const override;
 };
 
 } // namespace unistc

@@ -22,10 +22,12 @@ RmStc::network() const
 }
 
 void
-RmStc::runBlock(const BlockTask &task, RunResult &res) const
+RmStc::runBlock(const BlockTask &task, RunResult &res,
+                TraceSink *trace) const
 {
     const int t3m = cfg_.precision == Precision::FP64 ? 8 : 16;
-    runRowDataflow(task, cfg_, t3m, 4, 2, network().cNetUnits, res);
+    runRowDataflow(task, cfg_, t3m, 4, 2, network().cNetUnits, res,
+                   /*gather_columns=*/true, trace);
 }
 
 } // namespace unistc

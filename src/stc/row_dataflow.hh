@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "obs/trace.hh"
 #include "stc/stc_model.hh"
 
 namespace unistc
@@ -44,13 +45,17 @@ struct RowStep
  *        the engine sweeps fixed N-wide column chunks of the output
  *        extent and can only skip chunks that are entirely empty —
  *        B-side sparsity inside a chunk wastes lanes.
+ * @param trace optional event sink: one span per row group on the
+ *        SDPU track.
  */
 inline void
 runRowDataflow(const BlockTask &task, const MachineConfig &cfg,
                int t3m, int t3n, int t3k, int c_net_units,
-               RunResult &res, bool gather_columns = true)
+               RunResult &res, bool gather_columns = true,
+               TraceSink *trace = nullptr)
 {
     ++res.tasksT1;
+    const std::uint64_t t1_start = res.cycles;
     const int mac = cfg.macCount;
     const int n_ext = task.nExtent();
 
@@ -146,6 +151,7 @@ runRowDataflow(const BlockTask &task, const MachineConfig &cfg,
         for (const auto &steps : row_steps)
             group_cycles = std::max(group_cycles, steps.size());
 
+        const std::uint64_t group_start = res.cycles;
         for (std::size_t cyc = 0; cyc < group_cycles; ++cyc) {
             int eff = 0;
             for (const auto &steps : row_steps) {
@@ -158,7 +164,15 @@ runRowDataflow(const BlockTask &task, const MachineConfig &cfg,
             }
             res.recordCycle(mac, eff, 0, c_net_units);
         }
+        if (group_cycles > 0) {
+            UNISTC_TRACE_COMPLETE(trace, TraceTrack::Sdpu,
+                                  "row group " + std::to_string(g / t3m),
+                                  group_start, res.cycles - group_start);
+        }
     }
+
+    UNISTC_TRACE_COMPLETE(trace, TraceTrack::Sdpu, "T1 (row dataflow)",
+                          t1_start, res.cycles - t1_start);
 }
 
 } // namespace unistc

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "obs/trace.hh"
 
 namespace unistc
 {
@@ -22,7 +23,8 @@ Sigma::network() const
 }
 
 void
-Sigma::runBlock(const BlockTask &task, RunResult &res) const
+Sigma::runBlock(const BlockTask &task, RunResult &res,
+                TraceSink *trace) const
 {
     // SIGMA's flexible distribution network packs the nonzeros of A
     // (in row-major order, spanning row boundaries) into the K-lane
@@ -31,6 +33,7 @@ Sigma::runBlock(const BlockTask &task, RunResult &res) const
     // SIGMA's single-side-sparse mode cannot exploit B's sparsity,
     // which is what limits it against dual-side designs (§VI-C-1).
     ++res.tasksT1;
+    const std::uint64_t t0 = res.cycles;
     const int mac = cfg_.macCount;
     const int n_ext = task.nExtent();
     const int t3n = cfg_.precision == Precision::FP64 ? 4 : 8;
@@ -87,6 +90,10 @@ Sigma::runBlock(const BlockTask &task, RunResult &res) const
             res.recordCycle(mac, eff, 0, network().cNetUnits);
         }
     }
+
+    UNISTC_TRACE_COMPLETE(trace, TraceTrack::Sdpu,
+                          task.isMv ? "T1 MV (sigma)" : "T1 MM (sigma)",
+                          t0, res.cycles - t0);
 }
 
 } // namespace unistc

@@ -27,7 +27,8 @@ class Sigma : public StcModel
 
     NetworkConfig network() const override;
 
-    void runBlock(const BlockTask &task, RunResult &res) const override;
+    void runBlock(const BlockTask &task, RunResult &res,
+                  TraceSink *trace = nullptr) const override;
 };
 
 } // namespace unistc

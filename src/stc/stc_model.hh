@@ -21,6 +21,8 @@
 namespace unistc
 {
 
+class TraceSink;
+
 /**
  * One T1 task: C += A x B over 16x16 blocks. Matrix-vector kernels
  * (Algorithm 1) embed the x segment as a 16x1 block via
@@ -66,9 +68,12 @@ class StcModel
      * Implementations must uphold:
      *  - products added == blockProductCount(a, b);
      *  - per-cycle effective products <= cfg().macCount.
+     *
+     * @param trace optional event sink; when attached, models emit
+     *        per-stage spans against the res.cycles virtual clock.
      */
-    virtual void runBlock(const BlockTask &task, RunResult &res) const
-        = 0;
+    virtual void runBlock(const BlockTask &task, RunResult &res,
+                          TraceSink *trace = nullptr) const = 0;
 
     const MachineConfig &config() const { return cfg_; }
 

@@ -1,5 +1,6 @@
 #include "stc/trapezoid.hh"
 
+#include "obs/trace.hh"
 #include "stc/row_dataflow.hh"
 
 namespace unistc
@@ -18,7 +19,8 @@ Trapezoid::network() const
 }
 
 void
-Trapezoid::runBlock(const BlockTask &task, RunResult &res) const
+Trapezoid::runBlock(const BlockTask &task, RunResult &res,
+                    TraceSink *trace) const
 {
     struct Mode
     {
@@ -47,7 +49,13 @@ Trapezoid::runBlock(const BlockTask &task, RunResult &res) const
             have_best = true;
         }
     }
+    const std::uint64_t t0 = res.cycles;
     res.merge(best);
+
+    UNISTC_TRACE_COMPLETE(trace, TraceTrack::Sdpu,
+                          task.isMv ? "T1 MV (trapezoid)"
+                                    : "T1 MM (trapezoid)",
+                          t0, res.cycles - t0);
 }
 
 } // namespace unistc

@@ -1,8 +1,11 @@
 #include "unistc/uni_stc.hh"
 
+#include <algorithm>
 #include <set>
+#include <string>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "unistc/dpg.hh"
 #include "unistc/sdpu.hh"
 
@@ -27,12 +30,14 @@ UniStc::network() const
 }
 
 void
-UniStc::runBlock(const BlockTask &task, RunResult &res) const
+UniStc::runBlock(const BlockTask &task, RunResult &res,
+                 TraceSink *trace) const
 {
     ++res.tasksT1;
     const int mac = cfg_.macCount;
     const int n_tile_cols = task.isMv ? 1 : kTilesPerEdge;
     const int n_cols = task.isMv ? 1 : 4;
+    const std::uint64_t t0 = res.cycles;
 
     // Stage 1: TMS generates the ordered T3 task stream.
     const auto tasks = generateTileTasks(task.a, task.b, n_tile_cols,
@@ -48,12 +53,21 @@ UniStc::runBlock(const BlockTask &task, RunResult &res) const
     const auto cycles = scheduleSdpu(tasks, cfg_.numDpgs, mac,
                                      /*check_conflicts=*/!task.isMv);
 
+    std::uint64_t block_products = 0;
+    std::uint64_t block_active_dpgs = 0;
+    std::uint64_t offset = 0;
     for (const auto &cycle : cycles) {
         const int eff = cycle.products();
         res.recordCycle(mac, eff, cycle.activeDpgs(),
                         static_cast<int>(cycle.executed.size()));
-        if (cycle.hadConflict)
+        block_products += static_cast<std::uint64_t>(eff);
+        block_active_dpgs +=
+            static_cast<std::uint64_t>(cycle.activeDpgs());
+        if (cycle.hadConflict) {
             ++res.stallCycles;
+            UNISTC_TRACE_INSTANT(trace, TraceTrack::Sdpu,
+                                 "C write-back stall", t0 + offset);
+        }
 
         // Operand traffic: a tile shared by several tasks in one
         // cycle is fetched once (the reuse the outer-product order
@@ -77,6 +91,38 @@ UniStc::runBlock(const BlockTask &task, RunResult &res) const
             // single partial sum before write-back (§IV-B).
             res.traffic.writesC += t.segments;
         }
+        ++offset;
+    }
+
+    if (UNISTC_TRACE_ACTIVE(trace)) {
+        const std::uint64_t n_cycles = cycles.size();
+        // The TMS feeds one T3 task per cycle into the Tile queue and
+        // the whole stream overlaps the SDPU cycles (asynchronous
+        // generation, §IV-G).
+        trace->complete(TraceTrack::Tms,
+                        "T3 gen x" + std::to_string(tasks.size()), t0,
+                        std::min<std::uint64_t>(tasks.size(),
+                                                n_cycles));
+        trace->complete(TraceTrack::Dpg, "T4 expand", t0, n_cycles);
+        trace->complete(TraceTrack::Sdpu,
+                        std::string(task.isMv ? "segments MV"
+                                              : "segments MM") +
+                            " x" + std::to_string(block_products),
+                        t0, n_cycles);
+        // Per-block summary counters (Perfetto counter tracks): MAC
+        // utilisation and active-DPG occupancy over this T1 task.
+        const double denom =
+            static_cast<double>(mac) * static_cast<double>(n_cycles);
+        trace->counter("macUtil", t0,
+                       denom > 0.0
+                           ? static_cast<double>(block_products) /
+                                 denom
+                           : 0.0);
+        trace->counter("activeDpgs", t0,
+                       n_cycles > 0
+                           ? static_cast<double>(block_active_dpgs) /
+                                 static_cast<double>(n_cycles)
+                           : 0.0);
     }
 }
 

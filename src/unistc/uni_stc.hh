@@ -38,7 +38,8 @@ class UniStc : public StcModel
 
     NetworkConfig network() const override;
 
-    void runBlock(const BlockTask &task, RunResult &res) const override;
+    void runBlock(const BlockTask &task, RunResult &res,
+                  TraceSink *trace = nullptr) const override;
 
     TaskOrdering ordering() const { return ordering_; }
 
