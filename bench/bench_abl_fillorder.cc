@@ -19,7 +19,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     const int trials = 500;
     TextTable t("Ablation: DPG fill order (random 4x4 tile pairs)");

@@ -18,7 +18,7 @@ using namespace unistc;
 using unistc::bench::Prepared;
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp64();
     const EnergyModel em;

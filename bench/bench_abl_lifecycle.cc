@@ -16,7 +16,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp64();
 

@@ -19,7 +19,7 @@ using namespace unistc;
 using unistc::bench::Prepared;
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp64();
 

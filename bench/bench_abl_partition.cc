@@ -17,7 +17,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp64();
     const int warps = 32;

@@ -1,22 +1,62 @@
 /**
  * @file
  * Shared plumbing for the benchmark harnesses: per-matrix kernel
- * dispatch with BBC reuse, and the standard baseline comparisons.
+ * dispatch with BBC reuse, the standard baseline comparisons, and the
+ * parallel sweep engine behind `--jobs N`.
+ *
+ * Every harness that includes this header gains three flags with no
+ * per-bench code:
+ *
+ *   --quick    shrink workloads (also UNISTC_BENCH_QUICK)
+ *   --smoke    tiny corpus for ctest smoke runs (implies --quick)
+ *   --jobs N   fan runKernel() simulations across N worker threads
+ *              (also UNISTC_JOBS; N = 0 or "auto" uses every core)
+ *
+ * How --jobs works (docs/PARALLELISM.md): the bench body runs twice.
+ * The *plan* pass runs with stdout silenced and the log level raised;
+ * every runKernel() call records a JobSpec — model clone, shared BBC
+ * operands, energy parameters — submits it to the thread pool (which
+ * starts simulating immediately) and returns a zeroed RunResult.
+ * After a barrier, the *replay* pass re-runs the body serially; each
+ * runKernel() call now returns the precomputed result for its
+ * submission index. Because replay is the serial program with the
+ * deterministic per-job results spliced in, stdout, tables and the
+ * UNISTC_BENCH_JSON dump are byte-identical to a --jobs 1 run.
+ *
+ * The contract this buys is narrow and checked: the *sequence* of
+ * runKernel() calls must not depend on simulation results (values
+ * may — comparisons and roll-ups only affect printing). A diverging
+ * bench fails fast with a clear fatal() in the replay pass.
  */
 
 #ifndef UNISTC_BENCH_BENCH_COMMON_HH
 #define UNISTC_BENCH_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNISTC_BENCH_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define UNISTC_BENCH_POSIX 0
+#endif
 
 #include "bbc/bbc_matrix.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "exec/sweep_executor.hh"
 #include "obs/json_writer.hh"
 #include "obs/metrics_export.hh"
 #include "obs/stat_registry.hh"
@@ -56,6 +96,8 @@ struct Prepared
  * Accumulates every RunResult a bench harness produces so the run can
  * be exported as machine-readable JSON next to the printed tables.
  * Set UNISTC_BENCH_JSON=out.json to get an automatic dump at exit.
+ * record() is mutex-guarded so sweep workers may append concurrently;
+ * entries() / dumpJson() are for after the run settles.
  */
 class ResultLog
 {
@@ -81,6 +123,7 @@ class ResultLog
     record(Kernel kernel, const std::string &model,
            const std::string &matrix, const RunResult &result)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         entries_.push_back(
             {toString(kernel), model, matrix, result});
     }
@@ -132,7 +175,161 @@ class ResultLog
             instance().dumpJson(path);
     }
 
+    std::mutex mu_;
     std::vector<Entry> entries_;
+};
+
+/**
+ * The per-binary --jobs state machine driving the plan / execute /
+ * replay phases described in the file header. Off by default; the
+ * generated main() (bottom of this header) flips it when --jobs > 1.
+ */
+class SweepSession
+{
+  public:
+    enum class Mode
+    {
+        Off,    ///< Serial: runKernel() simulates inline.
+        Plan,   ///< Recording pass: submit jobs, return zeros.
+        Replay, ///< Serial re-run returning precomputed results.
+    };
+
+    static SweepSession &
+    instance()
+    {
+        static SweepSession session;
+        return session;
+    }
+
+    Mode mode() const { return mode_; }
+
+    void
+    startPlan(int jobs)
+    {
+        SweepExecutor::Options opt;
+        opt.jobs = jobs;
+        // ResultLog builds its own per-entry registries at dump
+        // time; executor-side shards would be redundant work.
+        opt.collectStats = false;
+        exec_ = std::make_unique<SweepExecutor>(opt);
+        cursor_ = 0;
+        mode_ = Mode::Plan;
+    }
+
+    /** Barrier: all planned jobs finish, then replay begins. */
+    void
+    startReplay()
+    {
+        UNISTC_ASSERT(mode_ == Mode::Plan,
+                      "startReplay without a plan pass");
+        exec_->wait();
+        cursor_ = 0;
+        mode_ = Mode::Replay;
+    }
+
+    void
+    finish()
+    {
+        mode_ = Mode::Off;
+        exec_.reset();
+        captures_.clear();
+    }
+
+    /** Plan-pass runKernel(): record + submit, return zeros. */
+    RunResult
+    plan(Kernel kernel, const StcModel &model, const Prepared &p,
+         const EnergyModel &energy)
+    {
+        JobSpec spec;
+        spec.kernel = kernel;
+        spec.model = model.name();
+        spec.config = model.config();
+        spec.matrix = p.name;
+        spec.impl = std::shared_ptr<const StcModel>(model.clone());
+        const Capture &cap = capture(p);
+        spec.a = cap.bbc;
+        if (kernel == Kernel::SpMSpV)
+            spec.x = cap.x50;
+        spec.energy = energy.params();
+        exec_->submit(std::move(spec));
+        // Degenerate sentinel, not zeros: several benches guard on
+        // `result.cycles == 0` before folding results into rollups,
+        // and an all-skipped rollup panics (max() on empty stat).
+        // Nonzero counters keep the plan pass on the same control
+        // path; every derived ratio is a neutral 1.0 and the output
+        // goes to /dev/null anyway.
+        RunResult sentinel;
+        sentinel.cycles = 1;
+        sentinel.products = 1;
+        sentinel.macSlots = 1;
+        sentinel.tasksT1 = 1;
+        sentinel.tasksT3 = 1;
+        return sentinel;
+    }
+
+    /** Replay-pass runKernel(): next precomputed result, checked. */
+    RunResult
+    replay(Kernel kernel, const StcModel &model, const Prepared &p)
+    {
+        UNISTC_ASSERT(exec_ != nullptr, "replay without a plan");
+        if (cursor_ >= exec_->jobCount()) {
+            UNISTC_FATAL(
+                "--jobs replay diverged: the bench issued more "
+                "runKernel() calls than the plan pass recorded "
+                "(call ", cursor_ + 1, " of ", exec_->jobCount(),
+                "). This bench's control flow depends on simulation "
+                "results; run it with --jobs 1.");
+        }
+        const JobSpec &planned = exec_->spec(cursor_);
+        if (planned.kernel != kernel ||
+            planned.model != model.name() ||
+            planned.matrix != p.name) {
+            UNISTC_FATAL(
+                "--jobs replay diverged at job ", cursor_,
+                ": planned ", planned.label(), " but the bench "
+                "requested ", toString(kernel), " ", model.name(),
+                " @ ", p.name, ". This bench's control flow depends "
+                "on simulation results; run it with --jobs 1.");
+        }
+        return exec_->result(cursor_++);
+    }
+
+  private:
+    struct Capture
+    {
+        std::shared_ptr<const BbcMatrix> bbc;
+        std::shared_ptr<const SparseVector> x50;
+    };
+
+    SweepSession() = default;
+
+    /**
+     * One shared copy of a Prepared matrix per sweep, keyed by name
+     * and shape so every job over the same matrix shares operands
+     * instead of copying them.
+     */
+    const Capture &
+    capture(const Prepared &p)
+    {
+        const std::string key =
+            p.name + "#" + std::to_string(p.csr.rows()) + "x" +
+            std::to_string(p.csr.cols()) + "#" +
+            std::to_string(p.csr.nnz()) + "#" +
+            std::to_string(p.x50.nnz());
+        auto it = captures_.find(key);
+        if (it == captures_.end()) {
+            Capture cap;
+            cap.bbc = std::make_shared<const BbcMatrix>(p.bbc);
+            cap.x50 = std::make_shared<const SparseVector>(p.x50);
+            it = captures_.emplace(key, std::move(cap)).first;
+        }
+        return it->second;
+    }
+
+    Mode mode_ = Mode::Off;
+    std::unique_ptr<SweepExecutor> exec_;
+    std::map<std::string, Capture> captures_;
+    std::size_t cursor_ = 0;
 };
 
 /** Run one of the four kernels on a prepared matrix. */
@@ -140,20 +337,28 @@ inline RunResult
 runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
           const EnergyModel &energy = EnergyModel())
 {
+    auto &session = SweepSession::instance();
+    if (session.mode() == SweepSession::Mode::Plan)
+        return session.plan(kernel, model, p, energy);
+
     RunResult res;
-    switch (kernel) {
-      case Kernel::SpMV:
-        res = runSpmv(model, p.bbc, energy);
-        break;
-      case Kernel::SpMSpV:
-        res = runSpmspv(model, p.bbc, p.x50, energy);
-        break;
-      case Kernel::SpMM:
-        res = runSpmm(model, p.bbc, 64, energy);
-        break;
-      case Kernel::SpGEMM:
-        res = runSpgemm(model, p.bbc, p.bbc, energy);
-        break;
+    if (session.mode() == SweepSession::Mode::Replay) {
+        res = session.replay(kernel, model, p);
+    } else {
+        switch (kernel) {
+          case Kernel::SpMV:
+            res = runSpmv(model, p.bbc, energy);
+            break;
+          case Kernel::SpMSpV:
+            res = runSpmspv(model, p.bbc, p.x50, energy);
+            break;
+          case Kernel::SpMM:
+            res = runSpmm(model, p.bbc, 64, energy);
+            break;
+          case Kernel::SpGEMM:
+            res = runSpgemm(model, p.bbc, p.bbc, energy);
+            break;
+        }
     }
     ResultLog::instance().record(kernel, model.name(), p.name, res);
     return res;
@@ -164,13 +369,154 @@ inline bool
 quickMode(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--quick")
+        const std::string a(argv[i]);
+        if (a == "--quick" || a == "--smoke")
             return true;
     }
     return std::getenv("UNISTC_BENCH_QUICK") != nullptr;
 }
 
+/**
+ * --smoke: propagate the tiny-corpus environment before the bench
+ * body runs, so corpus builders (and child phases) all see it.
+ * Existing environment settings win.
+ */
+inline void
+applySmokeEnv(int argc, char **argv)
+{
+#if UNISTC_BENCH_POSIX
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke") {
+            ::setenv("UNISTC_BENCH_QUICK", "1", 0);
+            ::setenv("UNISTC_CORPUS_CLAMP", "2", 0);
+            return;
+        }
+    }
+#else
+    (void)argc;
+    (void)argv;
+#endif
+}
+
+/** Resolve --jobs N / --jobs=N / UNISTC_JOBS into a worker count. */
+inline int
+sweepJobs(int argc, char **argv)
+{
+    auto parse = [](const std::string &text) -> int {
+        if (text == "auto")
+            return ThreadPool::hardwareThreads();
+        char *end = nullptr;
+        const long v =
+            text.empty() ? -1 : std::strtol(text.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v < 0) {
+            UNISTC_FATAL("--jobs needs a non-negative integer or "
+                         "'auto', got '", text, "'");
+        }
+        return v == 0 ? ThreadPool::hardwareThreads()
+                      : static_cast<int>(v);
+    };
+    int requested = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a(argv[i]);
+        if (a == "--jobs" && i + 1 < argc)
+            requested = parse(argv[++i]);
+        else if (a.rfind("--jobs=", 0) == 0)
+            requested = parse(a.substr(7));
+    }
+    return SweepExecutor::resolveJobs(requested, 1);
+}
+
+/**
+ * Silences stdout and raises the log level for the plan pass, so the
+ * recording run of the bench body prints nothing; fatal()/panic()
+ * still reach stderr. Restores both on destruction.
+ */
+class ScopedPlanQuiet
+{
+  public:
+    ScopedPlanQuiet() : savedLevel_(logLevel())
+    {
+        if (savedLevel_ < LogLevel::Error)
+            setLogLevel(LogLevel::Error);
+#if UNISTC_BENCH_POSIX
+        std::fflush(stdout);
+        std::cout.flush();
+        savedFd_ = ::dup(STDOUT_FILENO);
+        const int nul = ::open("/dev/null", O_WRONLY);
+        if (nul >= 0) {
+            ::dup2(nul, STDOUT_FILENO);
+            ::close(nul);
+        }
+#endif
+    }
+
+    ~ScopedPlanQuiet()
+    {
+#if UNISTC_BENCH_POSIX
+        std::fflush(stdout);
+        std::cout.flush();
+        if (savedFd_ >= 0) {
+            ::dup2(savedFd_, STDOUT_FILENO);
+            ::close(savedFd_);
+        }
+#endif
+        setLogLevel(savedLevel_);
+    }
+
+    ScopedPlanQuiet(const ScopedPlanQuiet &) = delete;
+    ScopedPlanQuiet &operator=(const ScopedPlanQuiet &) = delete;
+
+  private:
+    LogLevel savedLevel_;
+#if UNISTC_BENCH_POSIX
+    int savedFd_ = -1;
+#endif
+};
+
 } // namespace bench
 } // namespace unistc
+
+#ifndef UNISTC_BENCH_NO_MAIN
+
+/**
+ * The bench's own main() (renamed below, SDL-style) — every harness
+ * defines `int main(int, char **)`, which the macro turns into the
+ * body the real main() drives through the sweep phases.
+ */
+int unistc_bench_body(int argc, char **argv);
+
+int
+main(int argc, char **argv)
+{
+    namespace ub = unistc::bench;
+    ub::applySmokeEnv(argc, argv);
+    const int jobs = ub::sweepJobs(argc, argv);
+#if !UNISTC_BENCH_POSIX
+    if (jobs > 1)
+        UNISTC_WARN("--jobs needs POSIX fd redirection; running "
+                    "serially");
+    return unistc_bench_body(argc, argv);
+#else
+    if (jobs <= 1)
+        return unistc_bench_body(argc, argv);
+    auto &session = ub::SweepSession::instance();
+    session.startPlan(jobs);
+    int rc;
+    {
+        ub::ScopedPlanQuiet quiet;
+        rc = unistc_bench_body(argc, argv);
+    }
+    if (rc != 0)
+        return rc;
+    session.startReplay();
+    rc = unistc_bench_body(argc, argv);
+    session.finish();
+    return rc;
+#endif
+}
+
+#define main unistc_bench_body
+
+#endif // UNISTC_BENCH_NO_MAIN
 
 #endif // UNISTC_BENCH_BENCH_COMMON_HH

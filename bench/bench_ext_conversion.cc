@@ -37,7 +37,7 @@ wallMs(const std::function<void()> &fn)
 } // namespace
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp64();
 

@@ -19,7 +19,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     const auto reps = representativeMatrices();
     std::vector<BbcMatrix> bbcs;

@@ -19,7 +19,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp32();
     const int rows = 256;

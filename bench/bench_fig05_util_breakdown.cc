@@ -17,7 +17,7 @@ using namespace unistc;
 using unistc::bench::Prepared;
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp64();
     const std::vector<std::string> models = {"NV-DTC", "DS-STC",

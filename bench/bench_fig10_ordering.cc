@@ -16,7 +16,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     const int mac = 64;
     const int dpgs = 8;

@@ -15,7 +15,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp64();
 

@@ -105,7 +105,7 @@ printDnnSection(const std::string &model_name,
 } // namespace
 
 int
-main()
+main(int, char **)
 {
     const MachineConfig cfg = MachineConfig::fp64();
 

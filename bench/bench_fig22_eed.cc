@@ -22,7 +22,7 @@ using namespace unistc;
 using unistc::bench::Prepared;
 
 int
-main()
+main(int, char **)
 {
     auto suite = syntheticSuite(1);
     for (auto &nm : representativeMatrices())

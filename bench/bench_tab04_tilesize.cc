@@ -61,7 +61,7 @@ avgTileProducts(int t, double density, int trials)
 } // namespace
 
 int
-main()
+main(int, char **)
 {
     TextTable t("Table IV: T3 task-size trade-offs (64-MAC SDPU)");
     t.setHeader({"Task size", "#Cycles", "#DPGs to saturate",

@@ -11,7 +11,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     TextTable t("Table VI: STC task geometries "
                 "(MMA task 16x16x16; 128 MAC@FP32 or 64 MAC@FP64)");

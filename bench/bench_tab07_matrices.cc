@@ -14,7 +14,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     TextTable t("Table VII: representative matrices "
                 "(synthetic analogues, C = A^2)");

@@ -13,7 +13,7 @@
 using namespace unistc;
 
 int
-main()
+main(int, char **)
 {
     TextTable t("Table IX: Uni-STC area breakdown "
                 "(432 units vs 826 mm2 A100 die)");

@@ -1,0 +1,41 @@
+# Runs one bench harness twice — serial and with two workers — and
+# fails unless stdout and the UNISTC_BENCH_JSON dump are
+# byte-identical. Driven by ctest (see CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DWORKDIR=<scratch dir> \
+#         -P jobs_determinism.cmake
+
+foreach(var BENCH WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+foreach(jobs 1 2)
+    set(ENV{UNISTC_BENCH_JSON} ${WORKDIR}/jobs${jobs}.json)
+    execute_process(
+        COMMAND ${BENCH} --smoke --jobs ${jobs}
+        OUTPUT_FILE ${WORKDIR}/jobs${jobs}.txt
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "${BENCH} --smoke --jobs ${jobs} exited with ${rc}")
+    endif()
+endforeach()
+
+foreach(artifact txt json)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/jobs1.${artifact} ${WORKDIR}/jobs2.${artifact}
+        RESULT_VARIABLE differ)
+    if(NOT differ EQUAL 0)
+        message(FATAL_ERROR
+                "--jobs 1 and --jobs 2 produced different "
+                "${artifact} output (${WORKDIR}/jobs1.${artifact} vs "
+                "${WORKDIR}/jobs2.${artifact})")
+    endif()
+endforeach()
+
+message(STATUS "jobs=1 and jobs=2 outputs are byte-identical")

@@ -21,9 +21,14 @@
  *   --save-bbc PATH        write the encoded BBC file
  *   --trace PATH           write a Chrome trace-event JSON (open in
  *                          Perfetto / chrome://tracing)
- *   --trace-events N       trace ring-buffer capacity (default 65536)
+ *   --trace-events N       per-model trace ring capacity (default 65536)
  *   --stats-json PATH      write all run statistics as JSON
  *   --log-level LEVEL      debug|info|warn|error|silent (or 0-4)
+ *   --jobs N               simulate models on N worker threads
+ *                          (0 or "auto" = all cores; also UNISTC_JOBS).
+ *                          Results merge in submission order, so the
+ *                          table, stats JSON and trace are
+ *                          byte-identical for any N.
  */
 
 #include <cstdio>
@@ -34,6 +39,7 @@
 
 #include "bbc/bbc_io.hh"
 #include "common/logging.hh"
+#include "exec/sweep_executor.hh"
 #include "common/table.hh"
 #include "common/rng.hh"
 #include "corpus/generators.hh"
@@ -112,9 +118,9 @@ main(int argc, char **argv)
     const int b_cols =
         opts.count("bcols") ? parseIntOpt("bcols", opts["bcols"]) : 64;
 
-    std::unique_ptr<TraceSink> trace;
+    std::size_t trace_capacity = 0;
     if (opts.count("trace")) {
-        std::size_t capacity = TraceSink::kDefaultCapacity;
+        trace_capacity = TraceSink::kDefaultCapacity;
         if (opts.count("trace-events")) {
             const int n =
                 parseIntOpt("trace-events", opts["trace-events"]);
@@ -122,10 +128,22 @@ main(int argc, char **argv)
                 UNISTC_FATAL("--trace-events needs a positive count, "
                              "got ", n);
             }
-            capacity = static_cast<std::size_t>(n);
+            trace_capacity = static_cast<std::size_t>(n);
         }
-        trace = std::make_unique<TraceSink>(capacity);
     }
+
+    int requested_jobs = 0;
+    if (opts.count("jobs")) {
+        requested_jobs = opts["jobs"] == "auto"
+            ? ThreadPool::hardwareThreads()
+            : parseIntOpt("jobs", opts["jobs"]);
+        if (requested_jobs < 0)
+            UNISTC_FATAL("--jobs needs a non-negative count, got ",
+                         requested_jobs);
+        if (requested_jobs == 0)
+            requested_jobs = ThreadPool::hardwareThreads();
+    }
+    const int jobs = SweepExecutor::resolveJobs(requested_jobs, 1);
 
     std::printf("Matrix: %d x %d, %lld nonzeros\n", a.rows(),
                 a.cols(), static_cast<long long>(a.nnz()));
@@ -149,25 +167,19 @@ main(int argc, char **argv)
         }
     }
 
-    auto run = [&](const StcModel &model) {
-        if (kernel_name == "spmv")
-            return runSpmv(model, bbc, EnergyModel(), trace.get());
-        if (kernel_name == "spmspv") {
-            return runSpmspv(model, bbc, x50, EnergyModel(),
-                             trace.get());
-        }
-        if (kernel_name == "spmm") {
-            return runSpmm(model, bbc, b_cols, EnergyModel(),
-                           trace.get());
-        }
-        if (kernel_name == "spgemm") {
-            if (a.rows() != a.cols())
-                UNISTC_FATAL("spgemm (C = A^2) needs a square matrix");
-            return runSpgemm(model, bbc, bbc, EnergyModel(),
-                             trace.get());
-        }
+    Kernel kernel = Kernel::SpMV;
+    if (kernel_name == "spmv")
+        kernel = Kernel::SpMV;
+    else if (kernel_name == "spmspv")
+        kernel = Kernel::SpMSpV;
+    else if (kernel_name == "spmm")
+        kernel = Kernel::SpMM;
+    else if (kernel_name == "spgemm")
+        kernel = Kernel::SpGEMM;
+    else
         UNISTC_FATAL("unknown kernel '", kernel_name, "'");
-    };
+    if (kernel == Kernel::SpGEMM && a.rows() != a.cols())
+        UNISTC_FATAL("spgemm (C = A^2) needs a square matrix");
 
     std::vector<std::string> names;
     if (model_name == "all")
@@ -175,12 +187,14 @@ main(int argc, char **argv)
     else
         names.push_back(model_name);
 
+    const std::string source_label =
+        opts.count("matrix") ? opts["matrix"]
+        : opts.count("gen")  ? opts["gen"]
+                             : "banded:1024,16,0.4";
+
     StatRegistry stats;
     stats.setText("kernel", kernel_name, "simulated kernel");
-    stats.setText("matrix.source",
-                  opts.count("matrix") ? opts["matrix"]
-                  : opts.count("gen")  ? opts["gen"]
-                                       : "banded:1024,16,0.4",
+    stats.setText("matrix.source", source_label,
                   "matrix input path or generator spec");
     stats.setCounter("matrix.rows",
                      static_cast<std::uint64_t>(a.rows()));
@@ -197,14 +211,38 @@ main(int argc, char **argv)
                 std::to_string(cfg.macCount) + " MACs");
     t.setHeader({"STC", "cycles", "MAC util", "energy", "A reads",
                  "C writes"});
-    int pid = 0;
+    // One job per model, all through the sweep executor; with
+    // --jobs 1 the jobs run inline at submit(), so the serial and
+    // parallel paths share every line of merge code and the output
+    // is byte-identical for any worker count.
+    SweepExecutor::Options exec_opt;
+    exec_opt.jobs = jobs;
+    exec_opt.collectStats = false;
+    exec_opt.tracePerJob = trace_capacity;
+    SweepExecutor exec(exec_opt);
+
+    const auto shared_bbc = std::make_shared<const BbcMatrix>(bbc);
+    const auto shared_x = std::make_shared<const SparseVector>(x50);
     for (const auto &name : names) {
-        const auto model = makeStcModel(name, cfg);
-        if (trace)
-            trace->setProcess(pid++, name);
-        const RunResult r = run(*model);
-        registerRunResult(stats, r, "models." + name + ".");
-        t.addRow({name, fmtCount(r.cycles),
+        JobSpec spec;
+        spec.kernel = kernel;
+        spec.model = name;
+        spec.config = cfg;
+        spec.matrix = source_label;
+        spec.impl =
+            std::shared_ptr<const StcModel>(makeStcModel(name, cfg));
+        spec.a = shared_bbc;
+        if (kernel == Kernel::SpMSpV)
+            spec.x = shared_x;
+        spec.bCols = b_cols;
+        exec.submit(std::move(spec));
+    }
+    exec.wait();
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &r = exec.result(i);
+        registerRunResult(stats, r, "models." + names[i] + ".");
+        t.addRow({names[i], fmtCount(r.cycles),
                   fmtPercent(r.utilisation()),
                   fmtEnergyPj(r.energy.total()),
                   fmtCount(r.traffic.totalA()),
@@ -212,7 +250,8 @@ main(int argc, char **argv)
     }
     t.print();
 
-    if (trace) {
+    const TraceSink *trace = exec.trace();
+    if (trace != nullptr) {
         trace->writeChromeTraceFile(opts["trace"]);
         registerTraceSinkStats(stats, *trace);
         std::printf("\nTrace: %s (%llu events, %llu dropped)\n",

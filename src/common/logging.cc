@@ -1,6 +1,7 @@
 #include "common/logging.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -25,10 +26,15 @@ initialLevel()
     return level;
 }
 
-LogLevel &
+/**
+ * The filter is read from simulation worker threads and written by
+ * the main thread (--log-level, sweep plan-phase quieting), so it is
+ * atomic; relaxed ordering suffices for a monotonic filter check.
+ */
+std::atomic<LogLevel> &
 levelRef()
 {
-    static LogLevel level = initialLevel();
+    static std::atomic<LogLevel> level{initialLevel()};
     return level;
 }
 
@@ -36,7 +42,8 @@ levelRef()
  * Touch the level at startup so a malformed UNISTC_LOG_LEVEL is
  * warned about even when the program never logs anything.
  */
-[[maybe_unused]] const LogLevel initial_level_trigger = levelRef();
+[[maybe_unused]] const LogLevel initial_level_trigger =
+    levelRef().load(std::memory_order_relaxed);
 
 } // namespace
 
@@ -84,13 +91,13 @@ parseLogLevel(const std::string &text, LogLevel &out)
 LogLevel
 logLevel()
 {
-    return levelRef();
+    return levelRef().load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    levelRef() = level;
+    levelRef().store(level, std::memory_order_relaxed);
 }
 
 namespace detail

@@ -1,13 +1,18 @@
 #include "corpus/representative.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "corpus/generators.hh"
 
 namespace unistc
 {
 
+namespace
+{
+
 std::vector<NamedMatrix>
-representativeMatrices()
+fullRepresentativeMatrices()
 {
     std::vector<NamedMatrix> out;
     // Family and parameter choices (per Table VII's plots):
@@ -34,10 +39,40 @@ representativeMatrices()
     return out;
 }
 
+} // namespace
+
+int
+corpusClamp()
+{
+    const char *env = std::getenv("UNISTC_CORPUS_CLAMP");
+    if (env == nullptr || *env == '\0')
+        return -1;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+        UNISTC_WARN("ignoring bad UNISTC_CORPUS_CLAMP '", env,
+                    "' (want a non-negative integer)");
+        return -1;
+    }
+    return static_cast<int>(v);
+}
+
+std::vector<NamedMatrix>
+representativeMatrices()
+{
+    auto out = fullRepresentativeMatrices();
+    const int clamp = corpusClamp();
+    if (clamp >= 0 && static_cast<std::size_t>(clamp) < out.size())
+        out.resize(static_cast<std::size_t>(clamp));
+    return out;
+}
+
 CsrMatrix
 representativeMatrix(const std::string &name)
 {
-    for (auto &nm : representativeMatrices()) {
+    // Lookup by name ignores the clamp: a bench pinned to one
+    // specific matrix must keep it even in smoke mode.
+    for (auto &nm : fullRepresentativeMatrices()) {
         if (nm.name == name)
             return std::move(nm.matrix);
     }

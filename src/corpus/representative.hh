@@ -29,6 +29,14 @@ struct NamedMatrix
 /** The eight Table VII analogues, in the paper's order. */
 std::vector<NamedMatrix> representativeMatrices();
 
+/**
+ * Corpus size clamp from UNISTC_CORPUS_CLAMP: the maximum number of
+ * matrices syntheticSuite() / representativeMatrices() each return,
+ * or a negative value when unset/invalid (no clamp). Bench smoke
+ * runs (--smoke) set this so every harness finishes in seconds.
+ */
+int corpusClamp();
+
 /** One representative matrix by name (aborts when unknown). */
 CsrMatrix representativeMatrix(const std::string &name);
 

@@ -82,6 +82,9 @@ syntheticSuite(int scale, std::uint64_t seed)
                          symmetrize(genRandomUniform(768, 768, 0.01,
                                                      next_seed()))});
     }
+    const int clamp = corpusClamp();
+    if (clamp >= 0 && static_cast<std::size_t>(clamp) < suite.size())
+        suite.resize(static_cast<std::size_t>(clamp));
     return suite;
 }
 

@@ -1,0 +1,80 @@
+#include "exec/job_spec.hh"
+
+#include "common/logging.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmm_runner.hh"
+#include "runner/spmspv_runner.hh"
+#include "runner/spmv_runner.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+/** Mix so adjacent seeds give unrelated streams (SplitMix64 core). */
+std::uint64_t
+mixSeed(std::uint64_t s)
+{
+    s += 0x9E3779B97F4A7C15ull;
+    s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9ull;
+    s = (s ^ (s >> 27)) * 0x94D049BB133111EBull;
+    return s ^ (s >> 31);
+}
+
+} // namespace
+
+Rng
+JobSpec::rng() const
+{
+    return Rng(mixSeed(seed));
+}
+
+RunResult
+JobSpec::run(TraceSink *trace) const
+{
+    UNISTC_ASSERT(a != nullptr, "JobSpec without an A operand: ",
+                  label());
+    const StcModel *m = impl.get();
+    StcModelPtr owned;
+    if (m == nullptr) {
+        owned = makeStcModel(model, config);
+        m = owned.get();
+    }
+    const EnergyModel em(energy);
+    switch (kernel) {
+      case Kernel::SpMV:
+        return runSpmv(*m, *a, em, trace);
+      case Kernel::SpMSpV: {
+        const SparseVector *xv = x.get();
+        SparseVector synth;
+        if (xv == nullptr) {
+            // Standard 50 %-sparse x (§VI-A), from this job's own
+            // RNG stream.
+            Rng r = rng();
+            synth = SparseVector(a->cols());
+            for (int i = 0; i < a->cols(); ++i) {
+                if (r.nextBool(0.5))
+                    synth.push(i, r.nextDouble(0.1, 1.0));
+            }
+            xv = &synth;
+        }
+        return runSpmspv(*m, *a, *xv, em, trace);
+      }
+      case Kernel::SpMM:
+        return runSpmm(*m, *a, bCols, em, trace);
+      case Kernel::SpGEMM:
+        return runSpgemm(*m, *a, b ? *b : *a, em, trace);
+    }
+    UNISTC_PANIC("unhandled kernel in JobSpec::run");
+}
+
+std::string
+JobSpec::label() const
+{
+    return std::string(toString(kernel)) + " " + model + " @ " +
+           matrix;
+}
+
+} // namespace unistc

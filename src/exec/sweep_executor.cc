@@ -1,0 +1,150 @@
+#include "exec/sweep_executor.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "obs/metrics_export.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+/** Base mixed into auto-assigned per-job seeds. */
+constexpr std::uint64_t kJobSeedBase = 0x5EEDBA5Eu;
+
+} // namespace
+
+SweepExecutor::SweepExecutor() : SweepExecutor(Options()) {}
+
+SweepExecutor::SweepExecutor(const Options &opt)
+    : opt_(opt), pool_(opt.jobs <= 1 ? 0 : opt.jobs)
+{
+}
+
+SweepExecutor::~SweepExecutor()
+{
+    pool_.wait();
+}
+
+std::size_t
+SweepExecutor::submit(JobSpec spec)
+{
+    UNISTC_ASSERT(!merged_,
+                  "SweepExecutor::submit after wait(): start a new "
+                  "executor for a new sweep");
+    const std::size_t index = slots_.size();
+    if (spec.seed == 0) {
+        // Seeded per-job (by submission index), never per-thread:
+        // the stream is identical whichever worker runs the job.
+        spec.seed = kJobSeedBase + static_cast<std::uint64_t>(index);
+    }
+    slots_.push_back(Slot{std::move(spec), RunResult{}, nullptr});
+    Slot &slot = slots_.back();
+    if (opt_.tracePerJob > 0) {
+        slot.sink = std::make_unique<TraceSink>(opt_.tracePerJob);
+        slot.sink->setProcess(static_cast<int>(index),
+                              slot.spec.model + " | " +
+                                  slot.spec.matrix);
+    }
+    pool_.submit([&slot] {
+        slot.result = slot.spec.run(slot.sink.get());
+    });
+    return index;
+}
+
+void
+SweepExecutor::wait()
+{
+    pool_.wait();
+    if (merged_)
+        return;
+    merged_ = true;
+
+    // Deterministic merge: strictly submission order, independent of
+    // which worker finished when.
+    if (opt_.collectStats) {
+        stats_.setCounter(opt_.statsPrefix + "jobCount",
+                          slots_.size(),
+                          "jobs executed by this sweep");
+        std::uint64_t total_cycles = 0;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            const Slot &s = slots_[i];
+            registerRunResult(stats_, s.result,
+                              opt_.statsPrefix + std::to_string(i) +
+                                  "." + s.spec.matrix + "." +
+                                  s.spec.model + "." +
+                                  toString(s.spec.kernel) + ".");
+            total_cycles += s.result.cycles;
+        }
+        stats_.setCounter(opt_.statsPrefix + "totalCycles",
+                          total_cycles,
+                          "sum of simulated cycles over all jobs");
+    }
+    if (opt_.tracePerJob > 0) {
+        std::size_t total = 0;
+        for (const Slot &s : slots_)
+            total += s.sink->size();
+        mergedTrace_ =
+            std::make_unique<TraceSink>(std::max<std::size_t>(total,
+                                                              1));
+        for (const Slot &s : slots_)
+            mergedTrace_->mergeFrom(*s.sink);
+    }
+}
+
+const JobSpec &
+SweepExecutor::spec(std::size_t i) const
+{
+    UNISTC_ASSERT(i < slots_.size(), "job index ", i,
+                  " out of range");
+    return slots_[i].spec;
+}
+
+const RunResult &
+SweepExecutor::result(std::size_t i) const
+{
+    UNISTC_ASSERT(merged_, "SweepExecutor::result before wait()");
+    UNISTC_ASSERT(i < slots_.size(), "job index ", i,
+                  " out of range");
+    return slots_[i].result;
+}
+
+const StatRegistry &
+SweepExecutor::stats() const
+{
+    UNISTC_ASSERT(merged_, "SweepExecutor::stats before wait()");
+    return stats_;
+}
+
+const TraceSink *
+SweepExecutor::trace() const
+{
+    UNISTC_ASSERT(merged_, "SweepExecutor::trace before wait()");
+    return mergedTrace_.get();
+}
+
+int
+SweepExecutor::resolveJobs(int requested, int fallback)
+{
+    if (requested > 0)
+        return requested;
+    const char *env = std::getenv("UNISTC_JOBS");
+    if (env != nullptr && *env != '\0') {
+        const std::string text(env);
+        if (text == "0" || text == "auto")
+            return ThreadPool::hardwareThreads();
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != nullptr && *end == '\0' && v > 0)
+            return static_cast<int>(std::min<long>(v, 1024));
+        UNISTC_WARN("ignoring bad UNISTC_JOBS '", text,
+                    "' (want a positive integer or 'auto')");
+    }
+    return fallback;
+}
+
+} // namespace unistc

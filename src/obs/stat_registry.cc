@@ -26,6 +26,7 @@ void
 StatRegistry::setCounter(const std::string &name, std::uint64_t v,
                          const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Entry &e = entries_[name];
     e.kind = StatKind::Counter;
     e.c = v;
@@ -37,6 +38,7 @@ void
 StatRegistry::addCounter(const std::string &name, std::uint64_t delta,
                          const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Entry &e = entries_[name];
     UNISTC_ASSERT(e.kind == StatKind::Counter,
                   "addCounter on non-counter stat '", name, "'");
@@ -49,6 +51,7 @@ void
 StatRegistry::setScalar(const std::string &name, double v,
                         const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Entry &e = entries_[name];
     e.kind = StatKind::Scalar;
     e.d = v;
@@ -60,6 +63,7 @@ void
 StatRegistry::setText(const std::string &name, const std::string &v,
                       const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Entry &e = entries_[name];
     e.kind = StatKind::Text;
     e.s = v;
@@ -71,6 +75,7 @@ void
 StatRegistry::setHistogram(const std::string &name, const Histogram &h,
                            const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     Entry &e = entries_[name];
     e.kind = StatKind::Histogram;
     e.h = h;
@@ -81,6 +86,7 @@ StatRegistry::setHistogram(const std::string &name, const Histogram &h,
 bool
 StatRegistry::has(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return entries_.count(name) > 0;
 }
 
@@ -95,12 +101,14 @@ StatRegistry::find(const std::string &name) const
 StatKind
 StatRegistry::kind(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return find(name).kind;
 }
 
 std::uint64_t
 StatRegistry::counter(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const Entry &e = find(name);
     UNISTC_ASSERT(e.kind == StatKind::Counter, "stat '", name,
                   "' is not a counter");
@@ -110,6 +118,7 @@ StatRegistry::counter(const std::string &name) const
 double
 StatRegistry::scalar(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const Entry &e = find(name);
     UNISTC_ASSERT(e.kind == StatKind::Scalar, "stat '", name,
                   "' is not a scalar");
@@ -119,6 +128,7 @@ StatRegistry::scalar(const std::string &name) const
 const std::string &
 StatRegistry::text(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const Entry &e = find(name);
     UNISTC_ASSERT(e.kind == StatKind::Text, "stat '", name,
                   "' is not text");
@@ -128,6 +138,7 @@ StatRegistry::text(const std::string &name) const
 const Histogram &
 StatRegistry::histogram(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const Entry &e = find(name);
     UNISTC_ASSERT(e.kind == StatKind::Histogram, "stat '", name,
                   "' is not a histogram");
@@ -137,12 +148,14 @@ StatRegistry::histogram(const std::string &name) const
 const std::string &
 StatRegistry::description(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return find(name).desc;
 }
 
 std::vector<std::string>
 StatRegistry::names() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto &[name, entry] : entries_)
@@ -150,9 +163,45 @@ StatRegistry::names() const
     return out;
 }
 
+StatRegistry::StatRegistry(const StatRegistry &other)
+{
+    std::lock_guard<std::mutex> lock(other.mu_);
+    entries_ = other.entries_;
+}
+
+StatRegistry &
+StatRegistry::operator=(const StatRegistry &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mu_, other.mu_);
+    entries_ = other.entries_;
+    return *this;
+}
+
+std::size_t
+StatRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+StatRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
 void
 StatRegistry::merge(const StatRegistry &other)
 {
+    if (&other == this) {
+        // Self-merge would double every counter; treat as a no-op
+        // bug guard rather than deadlocking on one mutex twice.
+        UNISTC_PANIC("StatRegistry::merge with itself");
+    }
+    std::scoped_lock lock(mu_, other.mu_);
     for (const auto &[name, theirs] : other.entries_) {
         const auto it = entries_.find(name);
         if (it == entries_.end()) {
@@ -186,6 +235,7 @@ StatRegistry::merge(const StatRegistry &other)
 void
 StatRegistry::writeJson(std::ostream &os, int indent) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     JsonWriter w(os, indent);
     w.beginObject();
     for (const auto &[name, e] : entries_) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -34,10 +35,24 @@ enum class StatKind
 /** Printable kind name ("counter", ...). */
 const char *toString(StatKind kind);
 
-/** Registry of named statistics with deterministic (sorted) order. */
+/**
+ * Registry of named statistics with deterministic (sorted) order.
+ *
+ * Thread safety: every member serialises on an internal mutex, so
+ * concurrent registration from sweep workers is safe. Accessors
+ * returning references (text(), histogram(), description()) hand out
+ * stable map-node storage; mutating the *same* entry while another
+ * thread reads that reference is still a caller-side race — the
+ * sweep executor avoids it by sharding per job and merging only at
+ * the barrier.
+ */
 class StatRegistry
 {
   public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &other);
+    StatRegistry &operator=(const StatRegistry &other);
+
     void setCounter(const std::string &name, std::uint64_t v,
                     const std::string &desc = "");
 
@@ -71,9 +86,9 @@ class StatRegistry
     /** All names in sorted order. */
     std::vector<std::string> names() const;
 
-    std::size_t size() const { return entries_.size(); }
-    bool empty() const { return entries_.empty(); }
-    void clear() { entries_.clear(); }
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+    void clear();
 
     /**
      * Fold another registry into this one: counters and scalars add,
@@ -102,8 +117,10 @@ class StatRegistry
         std::string desc;
     };
 
+    /** Lookup without locking; callers hold mu_. */
     const Entry &find(const std::string &name) const;
 
+    mutable std::mutex mu_;
     std::map<std::string, Entry> entries_;
 };
 

@@ -51,6 +51,19 @@ TraceSink::push(TraceEvent e)
 }
 
 void
+TraceSink::mergeFrom(const TraceSink &other)
+{
+    for (auto &e : other.events())
+        push(std::move(e));
+    for (const auto &[pid, name] : other.processNames_)
+        processNames_[pid] = name;
+    // Events the source ring already overwrote are still "recorded":
+    // keep dropped() = recorded() - size() consistent after a merge.
+    recorded_ += other.dropped();
+    unbalanced_ += other.unbalanced_;
+}
+
+void
 TraceSink::begin(TraceTrack track, std::string name, std::uint64_t ts)
 {
     if (!enabled_)

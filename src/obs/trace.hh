@@ -114,6 +114,17 @@ class TraceSink
     /** Held events, oldest first. */
     std::vector<TraceEvent> events() const;
 
+    /**
+     * Append another sink's held events (oldest first) and process
+     * names into this sink, preserving their pid/tid/timestamps.
+     * Dropped and unbalanced tallies carry over so merged health
+     * counters stay truthful. Used by the sweep executor to fold
+     * per-job trace buffers together in submission order at the
+     * barrier; like every other member it must not race with
+     * concurrent writers.
+     */
+    void mergeFrom(const TraceSink &other);
+
     /** Serialise to Chrome trace-event JSON. */
     void writeChromeTrace(std::ostream &os) const;
 

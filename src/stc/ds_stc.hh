@@ -29,6 +29,11 @@ class DsStc : public StcModel
 
     std::string name() const override { return "DS-STC"; }
 
+    std::unique_ptr<StcModel> clone() const override
+    {
+        return std::make_unique<DsStc>(cfg_);
+    }
+
     NetworkConfig network() const override;
 
     void runBlock(const BlockTask &task, RunResult &res,

@@ -24,6 +24,11 @@ class Gamma : public StcModel
 
     std::string name() const override { return "GAMMA"; }
 
+    std::unique_ptr<StcModel> clone() const override
+    {
+        return std::make_unique<Gamma>(cfg_);
+    }
+
     NetworkConfig network() const override;
 
     void runBlock(const BlockTask &task, RunResult &res,

@@ -22,6 +22,11 @@ class NvDtc : public StcModel
 
     std::string name() const override { return "NV-DTC"; }
 
+    std::unique_ptr<StcModel> clone() const override
+    {
+        return std::make_unique<NvDtc>(cfg_);
+    }
+
     NetworkConfig network() const override;
 
     void runBlock(const BlockTask &task, RunResult &res,

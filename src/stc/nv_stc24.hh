@@ -28,6 +28,11 @@ class NvStc24 : public StcModel
 
     std::string name() const override { return "NV-STC-2:4"; }
 
+    std::unique_ptr<StcModel> clone() const override
+    {
+        return std::make_unique<NvStc24>(cfg_);
+    }
+
     NetworkConfig network() const override;
 
     void runBlock(const BlockTask &task, RunResult &res,

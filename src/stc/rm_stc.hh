@@ -24,6 +24,11 @@ class RmStc : public StcModel
 
     std::string name() const override { return "RM-STC"; }
 
+    std::unique_ptr<StcModel> clone() const override
+    {
+        return std::make_unique<RmStc>(cfg_);
+    }
+
     NetworkConfig network() const override;
 
     void runBlock(const BlockTask &task, RunResult &res,

@@ -25,6 +25,11 @@ class Sigma : public StcModel
 
     std::string name() const override { return "SIGMA"; }
 
+    std::unique_ptr<StcModel> clone() const override
+    {
+        return std::make_unique<Sigma>(cfg_);
+    }
+
     NetworkConfig network() const override;
 
     void runBlock(const BlockTask &task, RunResult &res,

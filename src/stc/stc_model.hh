@@ -59,6 +59,14 @@ class StcModel
     /** Architecture name as printed in tables ("Uni-STC", ...). */
     virtual std::string name() const = 0;
 
+    /**
+     * Deep copy preserving every construction parameter (including
+     * non-config knobs like Uni-STC's task ordering). The sweep
+     * executor clones models so each parallel job simulates on its
+     * own instance.
+     */
+    virtual std::unique_ptr<StcModel> clone() const = 0;
+
     /** Interconnect description used by the energy model. */
     virtual NetworkConfig network() const = 0;
 

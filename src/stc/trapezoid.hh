@@ -28,6 +28,11 @@ class Trapezoid : public StcModel
 
     std::string name() const override { return "Trapezoid"; }
 
+    std::unique_ptr<StcModel> clone() const override
+    {
+        return std::make_unique<Trapezoid>(cfg_);
+    }
+
     NetworkConfig network() const override;
 
     void runBlock(const BlockTask &task, RunResult &res,

@@ -36,6 +36,11 @@ class UniStc : public StcModel
 
     std::string name() const override { return "Uni-STC"; }
 
+    std::unique_ptr<StcModel> clone() const override
+    {
+        return std::make_unique<UniStc>(cfg_, ordering_, adaptive_);
+    }
+
     NetworkConfig network() const override;
 
     void runBlock(const BlockTask &task, RunResult &res,

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Differential test suite: every STC model in the registry, on every
+ * kernel, across a grid of corpus-family matrices.
+ *
+ * The performance models differ in cycles, traffic and energy — that
+ * is the point of the paper — but they all simulate the *same*
+ * computation, so the effective work they account for must agree
+ * exactly, both with each other and with the counts derived from the
+ * CSR reference kernels:
+ *
+ *   SpMV    products = nnz(A)
+ *   SpMSpV  products = nnz of A restricted to the active x columns
+ *   SpMM    products = nnz(A) * bCols
+ *   SpGEMM  products = spgemmFlops(A, A)
+ *
+ * The numeric outputs themselves (BBC dataflow vs CSR reference) are
+ * re-verified on the same grid via verifyAllKernels().
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "bbc/bbc_matrix.hh"
+#include "common/rng.hh"
+#include "corpus/generators.hh"
+#include "kernels/reference.hh"
+#include "runner/report.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmm_runner.hh"
+#include "runner/spmspv_runner.hh"
+#include "runner/spmv_runner.hh"
+#include "runner/verify.hh"
+#include "sim/energy.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace
+{
+
+constexpr int kSpmmCols = 64;
+
+struct GridCase
+{
+    const char *name;
+    CsrMatrix matrix;
+};
+
+/** Small instances of the corpus families (one per structure type). */
+std::vector<GridCase>
+matrixGrid()
+{
+    std::vector<GridCase> grid;
+    grid.push_back({"banded", genBanded(160, 8, 0.5, 501)});
+    grid.push_back({"random", genRandomUniform(128, 128, 0.05, 502)});
+    grid.push_back({"powerlaw", genPowerLaw(120, 6.0, 2.3, 503)});
+    grid.push_back({"blocky", genBlockDense(128, 16, 0.3, 0.6, 504)});
+    grid.push_back({"stencil", genStencil2d(11, true)});
+    grid.push_back({"longrow", genLongRows(96, 6, 0.5, 0.02, 505)});
+    return grid;
+}
+
+/** The paper's standard 50%-sparse SpMSpV input. */
+SparseVector
+halfSparseX(int cols, std::uint64_t seed)
+{
+    SparseVector x(cols);
+    Rng rng(seed);
+    for (int i = 0; i < cols; ++i) {
+        if (rng.nextBool(0.5))
+            x.push(i, rng.nextDouble(0.1, 1.0));
+    }
+    return x;
+}
+
+/** products an SpMSpV over @p x must account for: entries of A in
+ *  active columns. */
+std::uint64_t
+restrictedNnz(const CsrMatrix &a, const SparseVector &x)
+{
+    std::unordered_set<int> active(x.idx().begin(), x.idx().end());
+    std::uint64_t count = 0;
+    for (std::size_t i = 0; i < a.colIdx().size(); ++i) {
+        if (active.count(a.colIdx()[i]))
+            ++count;
+    }
+    return count;
+}
+
+class DifferentialGrid : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DifferentialGrid, EveryModelAccountsTheSameWork)
+{
+    const auto grid = matrixGrid();
+    const auto &tc = grid[static_cast<std::size_t>(GetParam())];
+    SCOPED_TRACE(tc.name);
+
+    const BbcMatrix bbc = BbcMatrix::fromCsr(tc.matrix);
+    const SparseVector x = halfSparseX(tc.matrix.cols(), 601);
+    const MachineConfig cfg = MachineConfig::fp64();
+    const EnergyModel energy;
+
+    const std::uint64_t nnz =
+        static_cast<std::uint64_t>(tc.matrix.nnz());
+    const std::uint64_t expected_spmspv =
+        restrictedNnz(tc.matrix, x);
+    const std::uint64_t expected_spgemm = static_cast<std::uint64_t>(
+        spgemmFlops(tc.matrix, tc.matrix));
+
+    for (const auto &name : allModelNames()) {
+        SCOPED_TRACE(name);
+        const auto model = makeStcModel(name, cfg);
+
+        const RunResult spmv = runSpmv(*model, bbc, energy);
+        EXPECT_EQ(spmv.products, nnz);
+
+        const RunResult spmspv = runSpmspv(*model, bbc, x, energy);
+        EXPECT_EQ(spmspv.products, expected_spmspv);
+
+        const RunResult spmm =
+            runSpmm(*model, bbc, kSpmmCols, energy);
+        EXPECT_EQ(spmm.products, nnz * kSpmmCols);
+
+        const RunResult spgemm =
+            runSpgemm(*model, bbc, bbc, energy);
+        EXPECT_EQ(spgemm.products, expected_spgemm);
+
+        // Sanity on every result: the machine ran, and it cannot do
+        // more effective work than it has MAC slots.
+        for (const RunResult *r : {&spmv, &spmspv, &spmm, &spgemm}) {
+            EXPECT_GT(r->cycles, 0u);
+            EXPECT_GE(r->macSlots, r->products);
+            EXPECT_GT(r->energy.total(), 0.0);
+        }
+    }
+}
+
+TEST_P(DifferentialGrid, BbcDataflowMatchesCsrReference)
+{
+    const auto grid = matrixGrid();
+    const auto &tc = grid[static_cast<std::size_t>(GetParam())];
+    SCOPED_TRACE(tc.name);
+    EXPECT_TRUE(verifyAllKernels(tc.matrix, 701 + GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(CorpusFamilies, DifferentialGrid,
+                         ::testing::Range(0, 6));
+
+/** The registry must expose the full paper lineup. */
+TEST(DifferentialGrid, RegistryCoversThePaperLineup)
+{
+    const auto names = allModelNames();
+    EXPECT_GE(names.size(), 5u);
+    for (const auto &required :
+         {"Uni-STC", "DS-STC", "RM-STC"}) {
+        bool found = false;
+        for (const auto &n : names)
+            found = found || n == required;
+        EXPECT_TRUE(found) << required;
+    }
+}
+
+} // namespace
+} // namespace unistc
