@@ -11,6 +11,10 @@
  *   --smoke    tiny corpus for ctest smoke runs (implies --quick)
  *   --jobs N   fan runKernel() simulations across N worker threads
  *              (also UNISTC_JOBS; N = 0 or "auto" uses every core)
+ *   --resume P checkpoint finished jobs to file P and skip any job
+ *              already recorded there, so an interrupted bench picks
+ *              up where it stopped (also UNISTC_BENCH_RESUME; see
+ *              docs/ROBUSTNESS.md)
  *
  * How --jobs works (docs/PARALLELISM.md): the bench body runs twice.
  * The *plan* pass runs with stdout silenced and the log level raised;
@@ -60,6 +64,7 @@
 #include "obs/json_writer.hh"
 #include "obs/metrics_export.hh"
 #include "obs/stat_registry.hh"
+#include "robust/checkpoint.hh"
 #include "runner/report.hh"
 #include "runner/spgemm_runner.hh"
 #include "runner/spmm_runner.hh"
@@ -177,6 +182,102 @@ class ResultLog
 
     std::mutex mu_;
     std::vector<Entry> entries_;
+};
+
+/**
+ * The per-binary --resume state: a checkpoint file loaded at startup
+ * plus an append handle for newly finished jobs. lookup() matches a
+ * runKernel() call against the checkpoint by (kernel, model, matrix)
+ * key and occurrence count — the Nth call with a given key maps to
+ * the Nth checkpointed entry with that key — so benches that run the
+ * same combination repeatedly resume correctly, and the plan and
+ * replay passes of a --jobs run (which both traverse the bench body)
+ * see identical answers after resetCursor().
+ */
+class CheckpointSession
+{
+  public:
+    static CheckpointSession &
+    instance()
+    {
+        static CheckpointSession session;
+        return session;
+    }
+
+    /** Enable resume against @p path: load it, then append to it. */
+    void
+    configure(const std::string &path)
+    {
+        log_ = std::make_unique<CheckpointLog>(
+            CheckpointLog::load(path).value());
+        if (Status s = writer_.open(path); !s.ok())
+            raise(s);
+        if (!log_->empty()) {
+            UNISTC_INFORM("resuming from checkpoint '", path, "': ",
+                          log_->size(), " completed job(s) on file");
+        }
+        enabled_ = true;
+    }
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Checkpointed result for the next occurrence of this key, or
+     * null when the job still has to run. Advances the occurrence
+     * cursor either way.
+     */
+    const CheckpointEntry *
+    lookup(Kernel kernel, const std::string &model,
+           const std::string &matrix)
+    {
+        if (!enabled_)
+            return nullptr;
+        std::lock_guard<std::mutex> lock(mu_);
+        const std::size_t occurrence =
+            seen_[checkpointKey(toString(kernel), model, matrix)]++;
+        return log_->find(toString(kernel), model, matrix,
+                          occurrence);
+    }
+
+    /** Append a newly computed result (flushes immediately). */
+    void
+    append(Kernel kernel, const std::string &model,
+           const std::string &matrix, const RunResult &result)
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mu_);
+        CheckpointEntry e;
+        e.kernel = toString(kernel);
+        e.model = model;
+        e.matrix = matrix;
+        e.result = result;
+        if (Status s = writer_.append(e); !s.ok()) {
+            // A failing checkpoint must not fail the bench: results
+            // are still printed, only resumability degrades.
+            UNISTC_WARN("checkpoint append failed: ", s.message());
+        }
+    }
+
+    /**
+     * Restart occurrence counting — called between the plan and
+     * replay passes so both consume the checkpoint identically.
+     */
+    void
+    resetCursor()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        seen_.clear();
+    }
+
+  private:
+    CheckpointSession() = default;
+
+    bool enabled_ = false;
+    std::mutex mu_;
+    std::unique_ptr<CheckpointLog> log_;
+    CheckpointWriter writer_;
+    std::map<std::string, std::size_t> seen_;
 };
 
 /**
@@ -338,6 +439,18 @@ runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
           const EnergyModel &energy = EnergyModel())
 {
     auto &session = SweepSession::instance();
+    auto &ckpt = CheckpointSession::instance();
+    // --resume: a checkpointed job is served from the file in every
+    // mode and never submitted/simulated. Plan and replay both ask,
+    // in the same order, so the sweep cursor stays aligned.
+    if (const CheckpointEntry *hit =
+            ckpt.lookup(kernel, model.name(), p.name)) {
+        if (session.mode() == SweepSession::Mode::Plan)
+            return hit->result;
+        ResultLog::instance().record(kernel, model.name(), p.name,
+                                     hit->result);
+        return hit->result;
+    }
     if (session.mode() == SweepSession::Mode::Plan)
         return session.plan(kernel, model, p, energy);
 
@@ -360,6 +473,10 @@ runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
             break;
         }
     }
+    // Newly computed (not resumed) results extend the checkpoint;
+    // this runs in the serial replay / Off paths only, so entries
+    // land in deterministic bench order.
+    ckpt.append(kernel, model.name(), p.name, res);
     ResultLog::instance().record(kernel, model.name(), p.name, res);
     return res;
 }
@@ -396,6 +513,26 @@ applySmokeEnv(int argc, char **argv)
     (void)argc;
     (void)argv;
 #endif
+}
+
+/** Resolve --resume P / --resume=P / UNISTC_BENCH_RESUME. */
+inline std::string
+resumePath(int argc, char **argv)
+{
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a(argv[i]);
+        if (a == "--resume" && i + 1 < argc)
+            path = argv[++i];
+        else if (a.rfind("--resume=", 0) == 0)
+            path = a.substr(9);
+    }
+    if (path.empty()) {
+        const char *env = std::getenv("UNISTC_BENCH_RESUME");
+        if (env != nullptr)
+            path = env;
+    }
+    return path;
 }
 
 /** Resolve --jobs N / --jobs=N / UNISTC_JOBS into a worker count. */
@@ -490,6 +627,9 @@ main(int argc, char **argv)
 {
     namespace ub = unistc::bench;
     ub::applySmokeEnv(argc, argv);
+    const std::string resume = ub::resumePath(argc, argv);
+    if (!resume.empty())
+        ub::CheckpointSession::instance().configure(resume);
     const int jobs = ub::sweepJobs(argc, argv);
 #if !UNISTC_BENCH_POSIX
     if (jobs > 1)
@@ -509,6 +649,7 @@ main(int argc, char **argv)
     if (rc != 0)
         return rc;
     session.startReplay();
+    ub::CheckpointSession::instance().resetCursor();
     rc = unistc_bench_body(argc, argv);
     session.finish();
     return rc;

@@ -29,12 +29,24 @@
  *                          Results merge in submission order, so the
  *                          table, stats JSON and trace are
  *                          byte-identical for any N.
+ *
+ * Robustness (docs/ROBUSTNESS.md):
+ *   --strict               fail fast: the first job failure aborts
+ *                          the run instead of quarantining the job
+ *                          (quarantined jobs print a QUARANTINED row
+ *                          and the sweep continues)
+ *   --max-job-seconds S    cooperative per-job watchdog budget;
+ *                          overrunning jobs are flagged and treated
+ *                          as failed (0 = off)
+ *   --resume PATH          checkpoint finished jobs to PATH and skip
+ *                          jobs already recorded there
  */
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "bbc/bbc_io.hh"
@@ -46,6 +58,8 @@
 #include "obs/metrics_export.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
+#include "robust/checkpoint.hh"
+#include "robust/status.hh"
 #include "runner/report.hh"
 #include "runner/spgemm_runner.hh"
 #include "runner/spmm_runner.hh"
@@ -81,12 +95,47 @@ int
 main(int argc, char **argv)
 {
     std::map<std::string, std::string> opts;
-    for (int i = 1; i < argc; i += 2) {
+    for (int i = 1; i < argc;) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            std::printf(
+                "usage: simulate_cli [options]\n"
+                "  --matrix PATH | --gen SPEC   input (SPEC: "
+                "banded:n,hb,fill | random:n,density |\n"
+                "                               powerlaw:n,deg,alpha "
+                "| stencil:grid)\n"
+                "  --kernel NAME  --model NAME  --precision fp64|fp32"
+                "  --dpgs N  --bcols N\n"
+                "  --save-bbc PATH  --trace PATH  --trace-events N  "
+                "--stats-json PATH\n"
+                "  --log-level LEVEL  --jobs N\n"
+                "  --strict  --max-job-seconds S  --resume PATH   "
+                "(docs/ROBUSTNESS.md)\n");
+            return 0;
+        }
         if (std::strncmp(argv[i], "--", 2) != 0)
             UNISTC_FATAL("expected an option, got '", argv[i], "'");
+        const std::string flag(argv[i] + 2);
+        // A typo'd option must fail loudly, not silently run the
+        // default experiment.
+        static const std::set<std::string> known = {
+            "kernel", "model", "matrix", "gen", "precision", "dpgs",
+            "bcols", "save-bbc", "trace", "trace-events",
+            "stats-json", "log-level", "jobs", "strict",
+            "max-job-seconds", "resume"};
+        if (!known.count(flag))
+            UNISTC_FATAL("unknown option '", argv[i],
+                         "' (see --help)");
+        // Valueless switches.
+        if (flag == "strict") {
+            opts[flag] = "1";
+            i += 1;
+            continue;
+        }
         if (i + 1 >= argc)
             UNISTC_FATAL("option '", argv[i], "' is missing a value");
-        opts[argv[i] + 2] = argv[i + 1];
+        opts[flag] = argv[i + 1];
+        i += 2;
     }
 
     if (opts.count("log-level")) {
@@ -129,6 +178,23 @@ main(int argc, char **argv)
                              "got ", n);
             }
             trace_capacity = static_cast<std::size_t>(n);
+        }
+    }
+
+    const bool strict = opts.count("strict") != 0;
+    double max_job_seconds = 0;
+    if (opts.count("max-job-seconds")) {
+        try {
+            std::size_t used = 0;
+            max_job_seconds = std::stod(opts["max-job-seconds"],
+                                        &used);
+            if (used != opts["max-job-seconds"].size() ||
+                max_job_seconds < 0)
+                throw std::invalid_argument("");
+        } catch (const std::exception &) {
+            UNISTC_FATAL("--max-job-seconds needs a non-negative "
+                         "number, got '", opts["max-job-seconds"],
+                         "'");
         }
     }
 
@@ -219,11 +285,51 @@ main(int argc, char **argv)
     exec_opt.jobs = jobs;
     exec_opt.collectStats = false;
     exec_opt.tracePerJob = trace_capacity;
+    // Recovery policy: one retry for transient failures; --strict
+    // fails the whole run on the first unrecovered job, the default
+    // quarantines it (zeroed result, QUARANTINED table row) and
+    // finishes the rest.
+    exec_opt.maxRetries = 1;
+    exec_opt.quarantine = !strict;
+    exec_opt.maxJobSeconds = max_job_seconds;
     SweepExecutor exec(exec_opt);
+
+    // --resume: serve models already on the checkpoint from the file
+    // and only submit the rest.
+    std::unique_ptr<CheckpointLog> ckpt_log;
+    CheckpointWriter ckpt_writer;
+    if (opts.count("resume")) {
+        ckpt_log = std::make_unique<CheckpointLog>(
+            CheckpointLog::load(opts["resume"]).value());
+        if (Status s = ckpt_writer.open(opts["resume"]); !s.ok())
+            raise(s);
+        if (!ckpt_log->empty()) {
+            std::printf("Resuming from %s: %zu completed job(s)\n\n",
+                        opts["resume"].c_str(), ckpt_log->size());
+        }
+    }
+
+    struct RowPlan
+    {
+        const CheckpointEntry *checkpointed = nullptr;
+        std::size_t jobIndex = 0;
+    };
+    std::vector<RowPlan> rows(names.size());
+    std::map<std::string, std::size_t> ckpt_seen;
 
     const auto shared_bbc = std::make_shared<const BbcMatrix>(bbc);
     const auto shared_x = std::make_shared<const SparseVector>(x50);
-    for (const auto &name : names) {
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const std::string &name = names[n];
+        if (ckpt_log != nullptr) {
+            const std::size_t occurrence =
+                ckpt_seen[checkpointKey(kernel_name, name,
+                                        source_label)]++;
+            rows[n].checkpointed = ckpt_log->find(
+                kernel_name, name, source_label, occurrence);
+            if (rows[n].checkpointed != nullptr)
+                continue;
+        }
         JobSpec spec;
         spec.kernel = kernel;
         spec.model = name;
@@ -235,13 +341,48 @@ main(int argc, char **argv)
         if (kernel == Kernel::SpMSpV)
             spec.x = shared_x;
         spec.bCols = b_cols;
-        exec.submit(std::move(spec));
+        rows[n].jobIndex = exec.submit(std::move(spec));
     }
     exec.wait();
 
+    std::uint64_t quarantined = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t faults = 0;
     for (std::size_t i = 0; i < names.size(); ++i) {
-        const RunResult &r = exec.result(i);
+        if (rows[i].checkpointed != nullptr) {
+            const RunResult &r = rows[i].checkpointed->result;
+            registerRunResult(stats, r, "models." + names[i] + ".");
+            t.addRow({names[i] + " (resumed)", fmtCount(r.cycles),
+                      fmtPercent(r.utilisation()),
+                      fmtEnergyPj(r.energy.total()),
+                      fmtCount(r.traffic.totalA()),
+                      fmtCount(r.traffic.writesC)});
+            continue;
+        }
+        const SweepExecutor::JobOutcome out =
+            exec.outcome(rows[i].jobIndex);
+        const RunResult &r = exec.result(rows[i].jobIndex);
         registerRunResult(stats, r, "models." + names[i] + ".");
+        faults += static_cast<std::uint64_t>(
+            out.ok ? out.attempts - 1 : out.attempts);
+        retried += static_cast<std::uint64_t>(out.attempts - 1);
+        if (!out.ok) {
+            ++quarantined;
+            UNISTC_WARN("job for model '", names[i],
+                        "' quarantined: ", out.error);
+            t.addRow({names[i], "QUARANTINED", "-", "-", "-", "-"});
+            continue;
+        }
+        if (ckpt_writer.isOpen()) {
+            CheckpointEntry e;
+            e.kernel = kernel_name;
+            e.model = names[i];
+            e.matrix = source_label;
+            e.result = r;
+            if (Status s = ckpt_writer.append(e); !s.ok())
+                UNISTC_WARN("checkpoint append failed: ",
+                            s.message());
+        }
         t.addRow({names[i], fmtCount(r.cycles),
                   fmtPercent(r.utilisation()),
                   fmtEnergyPj(r.energy.total()),
@@ -249,6 +390,15 @@ main(int argc, char **argv)
                   fmtCount(r.traffic.writesC)});
     }
     t.print();
+
+    if (strict || max_job_seconds > 0 || quarantined > 0) {
+        stats.setCounter("robust.faults_detected", faults,
+                         "job attempts that threw or timed out");
+        stats.setCounter("robust.jobs_retried", retried,
+                         "extra attempts made after a failure");
+        stats.setCounter("robust.jobs_quarantined", quarantined,
+                         "jobs replaced by a zeroed result");
+    }
 
     const TraceSink *trace = exec.trace();
     if (trace != nullptr) {

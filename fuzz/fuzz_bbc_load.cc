@@ -1,0 +1,49 @@
+/**
+ * @file
+ * libFuzzer harness for the BBC binary loader: arbitrary bytes in,
+ * either a valid matrix or a typed error out. Any abort, sanitizer
+ * report or uncaught foreign exception is a bug in the loader's
+ * hardening (docs/ROBUSTNESS.md).
+ *
+ * Build with the UNISTC_BUILD_FUZZERS option (requires Clang):
+ *   cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+ *         -DUNISTC_BUILD_FUZZERS=ON
+ *   ./build-fuzz/fuzz/fuzz_bbc_load -max_total_time=60
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "bbc/bbc_io.hh"
+#include "common/logging.hh"
+#include "robust/status.hh"
+#include "robust/validate.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace unistc;
+    // Library errors must surface as UnistcError, never exit().
+    static const bool init = [] {
+        setLogLevel(LogLevel::Silent);
+        setFatalBehavior(FatalBehavior::Throw);
+        return true;
+    }();
+    (void)init;
+
+    std::istringstream is(
+        std::string(reinterpret_cast<const char *>(data), size));
+    try {
+        Result<BbcMatrix> r = tryLoadBbc(is, "<fuzz>");
+        if (r.ok()) {
+            // Anything the loader accepts must also validate: the
+            // checksum plus structural checks form one contract.
+            validateBbc(r.value(), "<fuzz>").ok();
+        }
+    } catch (const UnistcError &) {
+        // Typed failure path — acceptable for fuzz inputs.
+    }
+    return 0;
+}

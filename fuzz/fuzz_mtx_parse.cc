@@ -1,0 +1,38 @@
+/**
+ * @file
+ * libFuzzer harness for the Matrix Market text parser: arbitrary
+ * text in, a valid CsrMatrix or a typed error out. See
+ * fuzz_bbc_load.cc for build instructions.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "robust/status.hh"
+#include "robust/validate.hh"
+#include "sparse/io.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace unistc;
+    static const bool init = [] {
+        setLogLevel(LogLevel::Silent);
+        setFatalBehavior(FatalBehavior::Throw);
+        return true;
+    }();
+    (void)init;
+
+    std::istringstream is(
+        std::string(reinterpret_cast<const char *>(data), size));
+    try {
+        Result<CsrMatrix> r = tryReadMatrixMarket(is, "<fuzz>");
+        if (r.ok())
+            validateCsr(r.value(), "<fuzz>").ok();
+    } catch (const UnistcError &) {
+    }
+    return 0;
+}

@@ -1,104 +1,360 @@
 #include "bbc/bbc_io.hh"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "robust/checksum.hh"
+#include "robust/validate.hh"
 
 namespace unistc
 {
 
+namespace detail
+{
+
+/** Grants bbc_io the right to assemble a BbcMatrix field by field. */
+class BbcIoAccess
+{
+  public:
+    static BbcMatrix
+    build(int rows, int cols, std::vector<std::int64_t> row_ptr,
+          std::vector<int> col_idx, std::vector<std::uint16_t> lv1,
+          std::vector<std::uint16_t> lv2,
+          std::vector<std::int64_t> val_ptr_lv1,
+          std::vector<std::uint8_t> val_ptr_lv2,
+          std::vector<double> vals)
+    {
+        BbcMatrix m;
+        m.rows_ = rows;
+        m.cols_ = cols;
+        m.blockRows_ = (rows + kBlockSize - 1) / kBlockSize;
+        m.blockCols_ = (cols + kBlockSize - 1) / kBlockSize;
+        m.rowPtr_ = std::move(row_ptr);
+        m.colIdx_ = std::move(col_idx);
+        m.lv1_ = std::move(lv1);
+        m.lv2_ = std::move(lv2);
+        m.valPtrLv1_ = std::move(val_ptr_lv1);
+        m.valPtrLv2_ = std::move(val_ptr_lv2);
+        m.vals_ = std::move(vals);
+
+        // Rebuild the derived tile-base prefix sums.
+        m.tileBase_.clear();
+        m.tileBase_.reserve(m.colIdx_.size());
+        std::int64_t tiles = 0;
+        for (std::size_t blk = 0; blk < m.colIdx_.size(); ++blk) {
+            m.tileBase_.push_back(tiles);
+            tiles += popcount16(m.lv1_[blk]);
+        }
+        return m;
+    }
+};
+
+} // namespace detail
+
 namespace
 {
 
-constexpr std::uint64_t kMagic = 0x4242432D53544331ull; // "BBC-STC1"
+constexpr std::uint64_t kMagicV1 = 0x4242432D53544331ull; // "BBC-STC1"
+constexpr std::uint64_t kMagicV2 = 0x4242432D53544332ull; // "BBC-STC2"
+constexpr std::uint32_t kVersion = 2;
+
+/** Largest shape the block math can hold without int overflow. */
+constexpr int kMaxDim = std::numeric_limits<int>::max() - kBlockSize;
 
 template <typename T>
 void
-writeVec(std::ostream &out, const std::vector<T> &v)
+appendRaw(std::string &out, const T &v)
 {
-    const std::uint64_t n = v.size();
-    out.write(reinterpret_cast<const char *>(&n), sizeof(n));
-    out.write(reinterpret_cast<const char *>(v.data()),
-              static_cast<std::streamsize>(n * sizeof(T)));
+    out.append(reinterpret_cast<const char *>(&v), sizeof(T));
 }
 
 template <typename T>
-std::vector<T>
-readVec(std::istream &in)
+void
+appendVec(std::string &out, const std::vector<T> &v)
 {
-    std::uint64_t n = 0;
-    in.read(reinterpret_cast<char *>(&n), sizeof(n));
-    std::vector<T> v(n);
-    in.read(reinterpret_cast<char *>(v.data()),
-            static_cast<std::streamsize>(n * sizeof(T)));
-    return v;
+    const std::uint64_t n = v.size();
+    appendRaw(out, n);
+    out.append(reinterpret_cast<const char *>(v.data()),
+               n * sizeof(T));
+}
+
+/**
+ * Bounds-checked cursor over an in-memory file image. Every failure
+ * names the section and the byte offset where decoding stopped.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::string &data, const std::string &label)
+        : data_(data), label_(label), limit_(data.size())
+    {
+    }
+
+    std::size_t pos() const { return pos_; }
+    std::size_t remaining() const { return limit_ - pos_; }
+
+    /** Restrict reads to the first @p end bytes (payload region). */
+    void setLimit(std::size_t end) { limit_ = end; }
+
+    Status
+    take(void *dst, std::size_t n, const char *what)
+    {
+        if (n > remaining()) {
+            std::ostringstream os;
+            os << label_ << ": truncated reading " << what
+               << " at byte offset " << pos_ << " (need " << n
+               << " bytes, " << remaining() << " left)";
+            return corruptData(os.str());
+        }
+        std::memcpy(dst, data_.data() + pos_, n);
+        pos_ += n;
+        return Status();
+    }
+
+    template <typename T>
+    Status
+    takeVec(std::vector<T> &out, const char *what)
+    {
+        std::uint64_t n = 0;
+        if (Status s = take(&n, sizeof(n), what); !s.ok())
+            return s;
+        if (n > remaining() / sizeof(T)) {
+            std::ostringstream os;
+            os << label_ << ": " << what << " claims " << n
+               << " elements (" << sizeof(T) << "B each) at byte "
+               << "offset " << pos_ << " but only " << remaining()
+               << " payload bytes remain";
+            return corruptData(os.str());
+        }
+        out.resize(static_cast<std::size_t>(n));
+        return take(out.data(), static_cast<std::size_t>(n) * sizeof(T),
+                    what);
+    }
+
+  private:
+    const std::string &data_;
+    const std::string &label_;
+    std::size_t pos_ = 0;
+    std::size_t limit_;
+};
+
+/** Decode the seven sections and assemble + validate the matrix. */
+Result<BbcMatrix>
+decodeSections(ByteReader &r, int rows, int cols,
+               const std::string &label)
+{
+    if (rows < 0 || cols < 0 || rows > kMaxDim || cols > kMaxDim) {
+        return corruptData(label + ": unreasonable shape " +
+                           std::to_string(rows) + "x" +
+                           std::to_string(cols));
+    }
+    std::vector<std::int64_t> row_ptr;
+    std::vector<int> col_idx;
+    std::vector<std::uint16_t> lv1;
+    std::vector<std::uint16_t> lv2;
+    std::vector<std::int64_t> val_ptr_lv1;
+    std::vector<std::uint8_t> val_ptr_lv2;
+    std::vector<double> vals;
+    if (Status s = r.takeVec(row_ptr, "RowPtr"); !s.ok())
+        return s;
+    if (Status s = r.takeVec(col_idx, "ColIdx"); !s.ok())
+        return s;
+    if (Status s = r.takeVec(lv1, "BitMap_Lv1"); !s.ok())
+        return s;
+    if (Status s = r.takeVec(lv2, "BitMap_Lv2"); !s.ok())
+        return s;
+    if (Status s = r.takeVec(val_ptr_lv1, "ValPtr_Lv1"); !s.ok())
+        return s;
+    if (Status s = r.takeVec(val_ptr_lv2, "ValPtr_Lv2"); !s.ok())
+        return s;
+    if (Status s = r.takeVec(vals, "values"); !s.ok())
+        return s;
+    if (r.remaining() != 0) {
+        std::ostringstream os;
+        os << label << ": " << r.remaining()
+           << " bytes of trailing garbage after the value section "
+           << "(byte offset " << r.pos() << ")";
+        return corruptData(os.str());
+    }
+
+    BbcMatrix m = detail::BbcIoAccess::build(
+        rows, cols, std::move(row_ptr), std::move(col_idx),
+        std::move(lv1), std::move(lv2), std::move(val_ptr_lv1),
+        std::move(val_ptr_lv2), std::move(vals));
+    if (Status s = validateBbc(m, label); !s.ok())
+        return s;
+    return m;
 }
 
 } // namespace
 
-void
-saveBbcFile(const std::string &path, const BbcMatrix &m)
+Status
+trySaveBbc(std::ostream &out, const BbcMatrix &m,
+           const std::string &label)
+{
+    std::string payload;
+    appendVec(payload, m.rowPtr());
+    appendVec(payload, m.colIdx());
+    appendVec(payload, m.lv1());
+    appendVec(payload, m.lv2());
+    appendVec(payload, m.valPtrLv1());
+    appendVec(payload, m.valPtrLv2());
+    appendVec(payload, m.vals());
+
+    std::string header;
+    appendRaw(header, kMagicV2);
+    appendRaw(header, kVersion);
+    appendRaw(header, std::uint32_t{0}); // flags (reserved)
+    appendRaw(header, static_cast<std::int32_t>(m.rows()));
+    appendRaw(header, static_cast<std::int32_t>(m.cols()));
+    appendRaw(header, static_cast<std::uint64_t>(payload.size()));
+
+    const std::uint64_t checksum =
+        fnv1a64(payload.data(), payload.size());
+
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.write(reinterpret_cast<const char *>(&checksum),
+              sizeof(checksum));
+    if (!out)
+        return ioError("write failure on '" + label + "'");
+    return Status();
+}
+
+Status
+trySaveBbcFile(const std::string &path, const BbcMatrix &m)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        UNISTC_FATAL("cannot open '", path, "' for writing");
-
-    out.write(reinterpret_cast<const char *>(&kMagic), sizeof(kMagic));
-    const std::int32_t shape[2] = {m.rows(), m.cols()};
-    out.write(reinterpret_cast<const char *>(shape), sizeof(shape));
-
-    writeVec(out, m.rowPtr());
-    writeVec(out, m.colIdx());
-    writeVec(out, m.lv1());
-    writeVec(out, m.lv2());
-    writeVec(out, m.valPtrLv1());
-    writeVec(out, m.valPtrLv2());
-    writeVec(out, m.vals());
+        return ioError("cannot open '" + path + "' for writing");
+    if (Status s = trySaveBbc(out, m, path); !s.ok())
+        return s;
+    out.close();
     if (!out)
-        UNISTC_FATAL("write failure on '", path, "'");
+        return ioError("close failure on '" + path + "'");
+    return Status();
+}
+
+Result<BbcMatrix>
+tryLoadBbc(std::istream &in, const std::string &label)
+{
+    // Slurp the stream: every subsequent decode step is then a
+    // bounds-checked read from memory, so a lying length field can
+    // produce a clean typed error instead of a huge allocation or a
+    // short read from a pipe.
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    if (in.bad())
+        return ioError("read failure on '" + label + "'");
+    const std::string data = slurp.str();
+
+    ByteReader r(data, label);
+    std::uint64_t magic = 0;
+    if (Status s = r.take(&magic, sizeof(magic), "magic"); !s.ok())
+        return s;
+
+    if (magic == kMagicV1) {
+        // Legacy image: no version/length/checksum; structural
+        // validation is the only integrity check.
+        std::int32_t shape[2] = {0, 0};
+        if (Status s = r.take(shape, sizeof(shape), "shape");
+            !s.ok()) {
+            return s;
+        }
+        return decodeSections(r, shape[0], shape[1], label);
+    }
+    if (magic != kMagicV2) {
+        std::ostringstream os;
+        os << "'" << label << "' is not a BBC file (bad magic at "
+           << "byte offset 0)";
+        return corruptData(os.str());
+    }
+
+    std::uint32_t version = 0;
+    std::uint32_t flags = 0;
+    std::int32_t shape[2] = {0, 0};
+    std::uint64_t payload_bytes = 0;
+    if (Status s = r.take(&version, sizeof(version), "version");
+        !s.ok()) {
+        return s;
+    }
+    if (version != kVersion) {
+        return corruptData("'" + label + "' has unsupported BBC "
+                           "format version " +
+                           std::to_string(version) + " (want " +
+                           std::to_string(kVersion) + ")");
+    }
+    if (Status s = r.take(&flags, sizeof(flags), "flags"); !s.ok())
+        return s;
+    if (Status s = r.take(shape, sizeof(shape), "shape"); !s.ok())
+        return s;
+    if (Status s = r.take(&payload_bytes, sizeof(payload_bytes),
+                          "payload length");
+        !s.ok()) {
+        return s;
+    }
+
+    const std::size_t header_end = r.pos();
+    const std::size_t after_header = data.size() - header_end;
+    if (after_header < sizeof(std::uint64_t) ||
+        payload_bytes != after_header - sizeof(std::uint64_t)) {
+        std::ostringstream os;
+        os << "'" << label << "' declares a " << payload_bytes
+           << "-byte payload but " << after_header
+           << " bytes (incl. 8-byte checksum) follow the header "
+           << "(truncated file or trailing garbage)";
+        return corruptData(os.str());
+    }
+
+    const std::uint64_t want_checksum = fnv1a64(
+        data.data() + header_end,
+        static_cast<std::size_t>(payload_bytes));
+    std::uint64_t stored_checksum = 0;
+    std::memcpy(&stored_checksum,
+                data.data() + header_end +
+                    static_cast<std::size_t>(payload_bytes),
+                sizeof(stored_checksum));
+    if (stored_checksum != want_checksum) {
+        std::ostringstream os;
+        os << "'" << label << "' payload checksum mismatch (stored 0x"
+           << std::hex << stored_checksum << ", computed 0x"
+           << want_checksum << std::dec
+           << ") over bytes [" << header_end << ", "
+           << header_end + payload_bytes << ")";
+        return corruptData(os.str());
+    }
+
+    r.setLimit(header_end + static_cast<std::size_t>(payload_bytes));
+    return decodeSections(r, shape[0], shape[1], label);
+}
+
+Result<BbcMatrix>
+tryLoadBbcFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return ioError("cannot open '" + path + "' for reading");
+    return tryLoadBbc(in, path);
+}
+
+void
+saveBbcFile(const std::string &path, const BbcMatrix &m)
+{
+    if (Status s = trySaveBbcFile(path, m); !s.ok())
+        raise(s);
 }
 
 BbcMatrix
 loadBbcFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        UNISTC_FATAL("cannot open '", path, "' for reading");
-
-    std::uint64_t magic = 0;
-    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-    if (magic != kMagic)
-        UNISTC_FATAL("'", path, "' is not a BBC file");
-    std::int32_t shape[2] = {0, 0};
-    in.read(reinterpret_cast<char *>(shape), sizeof(shape));
-
-    BbcMatrix m;
-    m.rows_ = shape[0];
-    m.cols_ = shape[1];
-    m.blockRows_ = (shape[0] + kBlockSize - 1) / kBlockSize;
-    m.blockCols_ = (shape[1] + kBlockSize - 1) / kBlockSize;
-    m.rowPtr_ = readVec<std::int64_t>(in);
-    m.colIdx_ = readVec<int>(in);
-    m.lv1_ = readVec<std::uint16_t>(in);
-    m.lv2_ = readVec<std::uint16_t>(in);
-    m.valPtrLv1_ = readVec<std::int64_t>(in);
-    m.valPtrLv2_ = readVec<std::uint8_t>(in);
-    m.vals_ = readVec<double>(in);
-    if (!in)
-        UNISTC_FATAL("read failure on '", path, "'");
-
-    // Rebuild the derived tile-base prefix sums.
-    m.tileBase_.clear();
-    m.tileBase_.reserve(m.colIdx_.size());
-    std::int64_t tiles = 0;
-    for (std::size_t blk = 0; blk < m.colIdx_.size(); ++blk) {
-        m.tileBase_.push_back(tiles);
-        tiles += popcount16(m.lv1_[blk]);
-    }
-    m.validate();
-    return m;
+    return tryLoadBbcFile(path).value();
 }
 
 } // namespace unistc

@@ -4,22 +4,71 @@
  * cost "can be entirely eliminated for frequently used matrices by
  * saving and reloading them via implemented file I/O function" — this
  * is that function.
+ *
+ * File format v2 ("BBC-STC2"):
+ *
+ *   u64  magic            0x4242432D53544332
+ *   u32  version          2
+ *   u32  flags            0 (reserved)
+ *   i32  rows, i32 cols
+ *   u64  payloadBytes     exact size of the section data that follows
+ *   7 sections            each "u64 count + raw element data"
+ *                         (rowPtr, colIdx, lv1, lv2, valPtrLv1,
+ *                          valPtrLv2, vals)
+ *   u64  checksum         FNV-1a 64 over the payload bytes
+ *
+ * The loader verifies magic, version, declared payload length, the
+ * checksum, per-section bounds (with byte offsets in every error),
+ * rejects trailing garbage, and structurally validates the decoded
+ * matrix (robust/validate.hh) before returning it. Files written by
+ * the v1 format ("BBC-STC1", no length/checksum) still load, with
+ * the structural validation as their only integrity check.
+ *
+ * Error contract: the try* functions return typed errors
+ * (robust/status.hh) and never terminate. The classic wrappers
+ * raise() on failure — throwing UnistcError under
+ * FatalBehavior::Throw, printing and exiting under
+ * FatalBehavior::Exit — instead of aborting unconditionally as they
+ * did before the robustness layer.
  */
 
 #ifndef UNISTC_BBC_BBC_IO_HH
 #define UNISTC_BBC_BBC_IO_HH
 
+#include <iosfwd>
 #include <string>
 
 #include "bbc/bbc_matrix.hh"
+#include "robust/status.hh"
 
 namespace unistc
 {
 
-/** Serialise a BBC matrix to a binary file. Aborts on I/O failure. */
+/** Serialise @p m to @p out in format v2. */
+Status trySaveBbc(std::ostream &out, const BbcMatrix &m,
+                  const std::string &label = "<stream>");
+
+/** Serialise @p m to a binary file (format v2). */
+Status trySaveBbcFile(const std::string &path, const BbcMatrix &m);
+
+/**
+ * Parse a BBC image from @p in; @p label names the source in error
+ * messages. Accepts v2 and legacy v1 images; every failure is a
+ * typed error with matrix + byte-offset context, never a crash.
+ */
+Result<BbcMatrix> tryLoadBbc(std::istream &in,
+                             const std::string &label = "<stream>");
+
+/** Load a BBC file with full integrity checking. */
+Result<BbcMatrix> tryLoadBbcFile(const std::string &path);
+
+/** Serialise a BBC matrix to a binary file; raise()s on failure. */
 void saveBbcFile(const std::string &path, const BbcMatrix &m);
 
-/** Load a BBC matrix previously written by saveBbcFile. */
+/**
+ * Load a BBC matrix previously written by saveBbcFile; raise()s on
+ * any I/O failure, corruption, or structural inconsistency.
+ */
 BbcMatrix loadBbcFile(const std::string &path);
 
 } // namespace unistc

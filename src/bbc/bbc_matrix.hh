@@ -27,6 +27,13 @@
 namespace unistc
 {
 
+class FaultPlan;
+
+namespace detail
+{
+class BbcIoAccess;
+} // namespace detail
+
 /** Per-block view handed to the simulator and the numeric executor. */
 struct BbcBlockView
 {
@@ -112,7 +119,10 @@ class BbcMatrix
     void validate() const;
 
   private:
-    friend BbcMatrix loadBbcFile(const std::string &path);
+    /** File loader (bbc_io.cc) assembles fields, then validates. */
+    friend class detail::BbcIoAccess;
+    /** Fault injector (robust/) corrupts fields deliberately. */
+    friend class FaultPlan;
 
     int rows_ = 0;
     int cols_ = 0;

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "robust/status.hh"
+
 namespace unistc
 {
 
@@ -44,6 +46,18 @@ levelRef()
  */
 [[maybe_unused]] const LogLevel initial_level_trigger =
     levelRef().load(std::memory_order_relaxed);
+
+/**
+ * Like the level filter, the fatal behavior may be flipped by the
+ * main thread while worker jobs run; relaxed atomicity is enough —
+ * callers sequence behavior changes against the work they guard.
+ */
+std::atomic<FatalBehavior> &
+fatalBehaviorRef()
+{
+    static std::atomic<FatalBehavior> behavior{FatalBehavior::Exit};
+    return behavior;
+}
 
 } // namespace
 
@@ -100,12 +114,33 @@ setLogLevel(LogLevel level)
     levelRef().store(level, std::memory_order_relaxed);
 }
 
+FatalBehavior
+fatalBehavior()
+{
+    return fatalBehaviorRef().load(std::memory_order_relaxed);
+}
+
+void
+setFatalBehavior(FatalBehavior behavior)
+{
+    fatalBehaviorRef().store(behavior, std::memory_order_relaxed);
+}
+
 namespace detail
 {
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatalBehavior() == FatalBehavior::Throw) {
+        // The exception carries the full message; the catcher owns
+        // reporting (a sweep quarantines, a test asserts, a fuzz
+        // driver swallows).
+        throw UnistcError(failedPrecondition(
+            msg + " (" + file + ":" + std::to_string(line) + ")"));
+    }
+    // Deliberately bypasses the log-level filter: a fatal message
+    // must reach stderr even at LogLevel::Silent.
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }

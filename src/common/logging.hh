@@ -11,8 +11,18 @@
  * defaults to Info, is settable programmatically via setLogLevel()
  * or from the UNISTC_LOG_LEVEL environment variable (a name like
  * "warn" or a number 0-4), and lets bench runs silence inform()
- * chatter. fatal() and panic() always print — hiding the reason for
- * a termination would help nobody.
+ * chatter. fatal() and panic() are never subject to that filter —
+ * the message is emitted (or carried in the thrown exception) even
+ * at LogLevel::Silent; hiding the reason for a termination would
+ * help nobody.
+ *
+ * The fatal *mechanism* is configurable (robustness layer, PR 3):
+ * under FatalBehavior::Exit (the default, right for CLI mains)
+ * UNISTC_FATAL prints and exit(1)s as it always has; under
+ * FatalBehavior::Throw (library, tests, fuzz drivers) it throws
+ * unistc::UnistcError carrying the same message, so a sweep can
+ * quarantine one bad input instead of dying. panic() is for
+ * simulator bugs and aborts unconditionally in both modes.
  */
 
 #ifndef UNISTC_COMMON_LOGGING_HH
@@ -50,10 +60,50 @@ LogLevel logLevel();
 /** Override the filter threshold for the rest of the process. */
 void setLogLevel(LogLevel level);
 
+/** What UNISTC_FATAL does after composing its message. */
+enum class FatalBehavior
+{
+    Exit,  ///< Print to stderr, std::exit(1). Default; CLI mains.
+    Throw, ///< Throw unistc::UnistcError. Library/test/fuzz context.
+};
+
+/** Current fatal behavior (process-wide, atomic). */
+FatalBehavior fatalBehavior();
+
+/** Choose between fail-fast (Exit) and recoverable (Throw) fatals. */
+void setFatalBehavior(FatalBehavior behavior);
+
+/**
+ * RAII switch to FatalBehavior::Throw: tests and library entry
+ * points that want typed errors wrap the fallible region in one of
+ * these and catch UnistcError; the previous behavior is restored on
+ * scope exit.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow() : saved_(fatalBehavior())
+    {
+        setFatalBehavior(FatalBehavior::Throw);
+    }
+
+    ~ScopedFatalThrow() { setFatalBehavior(saved_); }
+
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+
+  private:
+    FatalBehavior saved_;
+};
+
 namespace detail
 {
 
-/** Terminate after printing a user-level error message. */
+/**
+ * Escalate a user-level error: print + exit(1) under
+ * FatalBehavior::Exit, throw UnistcError under FatalBehavior::Throw.
+ * Never filtered by the log level in either mode.
+ */
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 
 /** Abort after printing an internal-error message. */

@@ -1,6 +1,7 @@
 #include "exec/job_spec.hh"
 
 #include "common/logging.hh"
+#include "robust/fault_inject.hh"
 #include "runner/spgemm_runner.hh"
 #include "runner/spmm_runner.hh"
 #include "runner/spmspv_runner.hh"
@@ -36,6 +37,8 @@ JobSpec::run(TraceSink *trace) const
 {
     UNISTC_ASSERT(a != nullptr, "JobSpec without an A operand: ",
                   label());
+    if (fault)
+        fault->apply(label());
     const StcModel *m = impl.get();
     StcModelPtr owned;
     if (m == nullptr) {

@@ -26,6 +26,7 @@ namespace unistc
 {
 
 class TraceSink;
+struct FaultSpec;
 
 /**
  * One (kernel, model, matrix) simulation job. Operands are shared
@@ -80,6 +81,14 @@ struct JobSpec
      * regardless of worker count ("seeded per-job, not per-thread").
      */
     std::uint64_t seed = 0;
+
+    /**
+     * Injected fault (robust/fault_inject.hh), applied at the start
+     * of run(): an artificial delay and/or a budget of throwing
+     * attempts. Null (the default) means no fault. Test-only — used
+     * to prove the executor's watchdog/retry/quarantine machinery.
+     */
+    std::shared_ptr<const FaultSpec> fault;
 
     /** This job's private RNG stream. */
     Rng rng() const;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
 #include <string>
+#include <utility>
 
 #include "common/logging.hh"
 #include "obs/metrics_export.hh"
+#include "robust/status.hh"
 
 namespace unistc
 {
@@ -16,6 +19,17 @@ namespace
 /** Base mixed into auto-assigned per-job seeds. */
 constexpr std::uint64_t kJobSeedBase = 0x5EEDBA5Eu;
 
+/** Watchdog scan period. */
+constexpr std::chrono::milliseconds kWatchdogTick{25};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
 } // namespace
 
 SweepExecutor::SweepExecutor() : SweepExecutor(Options()) {}
@@ -23,11 +37,31 @@ SweepExecutor::SweepExecutor() : SweepExecutor(Options()) {}
 SweepExecutor::SweepExecutor(const Options &opt)
     : opt_(opt), pool_(opt.jobs <= 1 ? 0 : opt.jobs)
 {
+    if (opt_.maxJobSeconds > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 SweepExecutor::~SweepExecutor()
 {
     pool_.wait();
+    stopWatchdog();
+}
+
+bool
+SweepExecutor::recoveryEnabled() const
+{
+    return opt_.maxJobSeconds > 0 || opt_.maxRetries > 0 ||
+           opt_.quarantine;
+}
+
+void
+SweepExecutor::resetSink(Slot &slot)
+{
+    if (opt_.tracePerJob == 0)
+        return;
+    slot.sink = std::make_unique<TraceSink>(opt_.tracePerJob);
+    slot.sink->setProcess(static_cast<int>(slot.index),
+                          slot.spec.model + " | " + slot.spec.matrix);
 }
 
 std::size_t
@@ -42,18 +76,118 @@ SweepExecutor::submit(JobSpec spec)
         // the stream is identical whichever worker runs the job.
         spec.seed = kJobSeedBase + static_cast<std::uint64_t>(index);
     }
-    slots_.push_back(Slot{std::move(spec), RunResult{}, nullptr});
-    Slot &slot = slots_.back();
-    if (opt_.tracePerJob > 0) {
-        slot.sink = std::make_unique<TraceSink>(opt_.tracePerJob);
-        slot.sink->setProcess(static_cast<int>(index),
-                              slot.spec.model + " | " +
-                                  slot.spec.matrix);
+    Slot *slot = nullptr;
+    {
+        // The watchdog scans slots_ while the deque grows; references
+        // stay stable but the deque's bookkeeping does not.
+        std::lock_guard<std::mutex> lock(slotsMu_);
+        slots_.emplace_back();
+        slot = &slots_.back();
     }
-    pool_.submit([&slot] {
-        slot.result = slot.spec.run(slot.sink.get());
-    });
+    slot->index = index;
+    slot->spec = std::move(spec);
+    resetSink(*slot);
+    pool_.submit([this, slot] { runSlot(*slot); });
     return index;
+}
+
+void
+SweepExecutor::runSlot(Slot &slot)
+{
+    const int max_attempts = 1 + std::max(0, opt_.maxRetries);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        slot.attempts = attempt;
+        if (attempt > 1) {
+            // Retry: fresh trace buffer (no half-written events from
+            // the failed attempt) and a small linear backoff.
+            resetSink(slot);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10 * (attempt - 1)));
+        }
+        slot.start = std::chrono::steady_clock::now();
+        slot.state.store(SlotState::Running,
+                         std::memory_order_release);
+        try {
+            RunResult res = slot.spec.run(slot.sink.get());
+            slot.state.store(SlotState::Done,
+                             std::memory_order_release);
+            if (opt_.maxJobSeconds > 0 &&
+                secondsSince(slot.start) > opt_.maxJobSeconds) {
+                // Cooperative timeout: the job cannot be killed
+                // mid-flight, so the overrun is detected here and
+                // the (late) result discarded. Not retried — a slow
+                // job stays slow.
+                slot.failed = true;
+                slot.timedOut = true;
+                slot.error = "job " + slot.spec.label() +
+                             " exceeded the " +
+                             std::to_string(opt_.maxJobSeconds) +
+                             " s budget";
+                break;
+            }
+            slot.result = std::move(res);
+            slot.failed = false;
+            slot.error.clear();
+            return;
+        } catch (const std::exception &e) {
+            slot.state.store(SlotState::Done,
+                             std::memory_order_release);
+            slot.failed = true;
+            slot.error = e.what();
+            if (attempt < max_attempts) {
+                UNISTC_WARN("job ", slot.spec.label(), " attempt ",
+                            attempt, " failed (", e.what(),
+                            "); retrying");
+            }
+        }
+    }
+    // Failed after every attempt (or timed out). Quarantine
+    // semantics: a zeroed result and an empty trace buffer, both
+    // independent of worker count, preserving the byte-identical
+    // merge guarantee.
+    slot.result = RunResult{};
+    resetSink(slot);
+}
+
+void
+SweepExecutor::watchdogLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(watchdogMu_);
+            watchdogCv_.wait_for(lock, kWatchdogTick,
+                                 [this] { return watchdogStop_; });
+            if (watchdogStop_)
+                return;
+        }
+        std::lock_guard<std::mutex> lock(slotsMu_);
+        for (Slot &s : slots_) {
+            if (s.state.load(std::memory_order_acquire) !=
+                SlotState::Running)
+                continue;
+            if (secondsSince(s.start) <= opt_.maxJobSeconds)
+                continue;
+            if (s.warned.exchange(true))
+                continue;
+            UNISTC_WARN("watchdog: job ", s.spec.label(),
+                        " exceeded its ", opt_.maxJobSeconds,
+                        " s budget and is still running; it will be "
+                        "flagged as timed out when it completes");
+        }
+    }
+}
+
+void
+SweepExecutor::stopWatchdog()
+{
+    if (!watchdog_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(watchdogMu_);
+        watchdogStop_ = true;
+    }
+    watchdogCv_.notify_all();
+    watchdog_.join();
 }
 
 void
@@ -62,6 +196,23 @@ SweepExecutor::wait()
     pool_.wait();
     if (merged_)
         return;
+    stopWatchdog();
+
+    // Without quarantine, a failed job fails the sweep: surface the
+    // first failure in submission order through raise() (throw or
+    // exit per FatalBehavior) before any merging happens.
+    if (!opt_.quarantine) {
+        for (const Slot &s : slots_) {
+            if (!s.failed)
+                continue;
+            raise(s.timedOut ? timeoutError(s.error)
+                             : internalError(
+                                   "job " + s.spec.label() +
+                                   " failed after " +
+                                   std::to_string(s.attempts) +
+                                   " attempt(s): " + s.error));
+        }
+    }
     merged_ = true;
 
     // Deterministic merge: strictly submission order, independent of
@@ -83,6 +234,27 @@ SweepExecutor::wait()
         stats_.setCounter(opt_.statsPrefix + "totalCycles",
                           total_cycles,
                           "sum of simulated cycles over all jobs");
+        if (recoveryEnabled()) {
+            std::uint64_t faults = 0;
+            std::uint64_t retried = 0;
+            std::uint64_t quarantined = 0;
+            for (const Slot &s : slots_) {
+                // Every attempt that did not produce a result is one
+                // detected fault.
+                faults += static_cast<std::uint64_t>(
+                    s.failed ? s.attempts : s.attempts - 1);
+                retried += static_cast<std::uint64_t>(
+                    std::max(0, s.attempts - 1));
+                if (s.failed)
+                    ++quarantined;
+            }
+            stats_.setCounter("robust.faults_detected", faults,
+                              "job attempts that threw or timed out");
+            stats_.setCounter("robust.jobs_retried", retried,
+                              "extra attempts made after a failure");
+            stats_.setCounter("robust.jobs_quarantined", quarantined,
+                              "jobs replaced by a zeroed result");
+        }
     }
     if (opt_.tracePerJob > 0) {
         std::size_t total = 0;
@@ -111,6 +283,21 @@ SweepExecutor::result(std::size_t i) const
     UNISTC_ASSERT(i < slots_.size(), "job index ", i,
                   " out of range");
     return slots_[i].result;
+}
+
+SweepExecutor::JobOutcome
+SweepExecutor::outcome(std::size_t i) const
+{
+    UNISTC_ASSERT(merged_, "SweepExecutor::outcome before wait()");
+    UNISTC_ASSERT(i < slots_.size(), "job index ", i,
+                  " out of range");
+    const Slot &s = slots_[i];
+    JobOutcome out;
+    out.ok = !s.failed;
+    out.timedOut = s.timedOut;
+    out.attempts = std::max(1, s.attempts);
+    out.error = s.error;
+    return out;
 }
 
 const StatRegistry &

@@ -1,9 +1,37 @@
 #include "exec/thread_pool.hh"
 
+#include <exception>
 #include <utility>
+
+#include "common/logging.hh"
 
 namespace unistc
 {
+
+namespace
+{
+
+/**
+ * Backstop for exceptions escaping a task: turn them into an
+ * attributed panic instead of std::terminate with no context.
+ * Recovery-aware callers (SweepExecutor) catch inside the task and
+ * never reach this.
+ */
+void
+runTask(const std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (const std::exception &e) {
+        UNISTC_PANIC("unhandled exception escaped a ThreadPool task: ",
+                     e.what());
+    } catch (...) {
+        UNISTC_PANIC("unhandled non-std exception escaped a "
+                     "ThreadPool task");
+    }
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(int threads)
 {
@@ -35,7 +63,7 @@ ThreadPool::submit(std::function<void()> task)
             std::unique_lock<std::mutex> lock(mu_);
             ++submitted_;
         }
-        task();
+        runTask(task);
         return;
     }
     {
@@ -85,7 +113,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        runTask(task);
         {
             std::unique_lock<std::mutex> lock(mu_);
             if (--inFlight_ == 0)

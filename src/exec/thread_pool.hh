@@ -7,10 +7,12 @@
  * and multi-threaded executions share one code path and differ only
  * in scheduling, never in results.
  *
- * Tasks must not throw: every failure path in the simulator goes
- * through fatal()/panic(), which terminate the process. An exception
- * escaping a task would std::terminate via the worker thread, which
- * is the behaviour we want for a simulator bug anyway.
+ * Tasks are expected to handle their own failures: callers that need
+ * recovery (SweepExecutor's retry/quarantine machinery) catch inside
+ * the task. As a backstop, an exception that does escape a task is
+ * caught by the pool and reported via UNISTC_PANIC with its message —
+ * a deliberate, attributed abort instead of an opaque std::terminate
+ * from a detached worker stack.
  */
 
 #ifndef UNISTC_EXEC_THREAD_POOL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Bench checkpoint log: an append-only text file of finished
+ * (kernel, model, matrix) -> RunResult entries that lets an
+ * interrupted sweep resume without recomputing completed jobs
+ * (docs/ROBUSTNESS.md).
+ *
+ * Format: one entry per line, space-separated tokens. Strings are
+ * %-escaped; every double is stored as the hex of its IEEE-754 bit
+ * pattern, so a resumed sweep reproduces bit-identical results. A
+ * corrupt line (interrupted write, disk damage) ends the valid
+ * prefix: everything before it is used, everything after discarded.
+ */
+
+#ifndef UNISTC_ROBUST_CHECKPOINT_HH
+#define UNISTC_ROBUST_CHECKPOINT_HH
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "robust/status.hh"
+#include "sim/result.hh"
+
+namespace unistc
+{
+
+/** One checkpointed job result. */
+struct CheckpointEntry
+{
+    std::string kernel;
+    std::string model;
+    std::string matrix;
+    RunResult result;
+
+    /** Escaped "kernel model matrix" lookup key. */
+    std::string key() const;
+};
+
+/** Build the lookup key a CheckpointEntry with these fields has. */
+std::string checkpointKey(const std::string &kernel,
+                          const std::string &model,
+                          const std::string &matrix);
+
+/** Serialize @p e as one checkpoint line (no trailing newline). */
+std::string encodeCheckpointEntry(const CheckpointEntry &e);
+
+/** Parse one checkpoint line; typed error on any malformation. */
+Result<CheckpointEntry> decodeCheckpointEntry(const std::string &line);
+
+/**
+ * Appends entries to a checkpoint file, flushing after each so an
+ * interrupted run loses at most the in-flight entry (which the
+ * loader then drops as a corrupt trailing line).
+ */
+class CheckpointWriter
+{
+  public:
+    CheckpointWriter() = default;
+
+    /** Open @p path for appending. */
+    Status open(const std::string &path);
+
+    /** Serialize, append, flush. */
+    Status append(const CheckpointEntry &e);
+
+    bool isOpen() const { return out_.is_open(); }
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+/**
+ * In-memory view of a checkpoint file, indexed by key with duplicate
+ * keys kept in file order — a sweep that runs the same
+ * (kernel, model, matrix) twice consumes its checkpoints in order
+ * via the @p occurrence parameter of find().
+ */
+class CheckpointLog
+{
+  public:
+    /**
+     * Load @p path. A missing file is an empty log (a fresh run and
+     * a resumed run share one code path); an unreadable or corrupt
+     * tail keeps the valid prefix and sets truncated().
+     */
+    static Result<CheckpointLog> load(const std::string &path);
+
+    /**
+     * The @p occurrence-th (0-based) entry whose key matches, in
+     * file order; null when fewer matches exist.
+     */
+    const CheckpointEntry *find(const std::string &kernel,
+                                const std::string &model,
+                                const std::string &matrix,
+                                std::size_t occurrence = 0) const;
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** True when a corrupt line cut the file short on load. */
+    bool truncated() const { return truncated_; }
+
+  private:
+    std::vector<CheckpointEntry> entries_;
+    std::unordered_map<std::string, std::vector<std::size_t>> byKey_;
+    bool truncated_ = false;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_ROBUST_CHECKPOINT_HH

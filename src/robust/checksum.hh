@@ -1,0 +1,38 @@
+/**
+ * @file
+ * FNV-1a 64-bit checksum over byte ranges — the integrity check the
+ * BBC file format (v2) stores after its payload. Not cryptographic;
+ * it exists to catch silent corruption (truncated writes, flipped
+ * bits, garbled sectors) before a bad matrix poisons a sweep.
+ */
+
+#ifndef UNISTC_ROBUST_CHECKSUM_HH
+#define UNISTC_ROBUST_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace unistc
+{
+
+/** FNV-1a offset basis; pass as @p seed to chain ranges. */
+constexpr std::uint64_t kFnv1aBasis = 0xCBF29CE484222325ull;
+
+/** Fold @p size bytes at @p data into an FNV-1a 64-bit state. */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t size,
+        std::uint64_t seed = kFnv1aBasis)
+{
+    constexpr std::uint64_t kPrime = 0x100000001B3ull;
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= kPrime;
+    }
+    return h;
+}
+
+} // namespace unistc
+
+#endif // UNISTC_ROBUST_CHECKSUM_HH

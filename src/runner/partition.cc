@@ -54,14 +54,30 @@ rowOfBlock(const BbcMatrix &m, std::int64_t blk)
     return lo;
 }
 
+/** @p num_warps empty ranges — the degenerate-matrix partition. */
+WarpPartition
+emptyPartition(int num_warps)
+{
+    WarpPartition part;
+    part.warps.assign(static_cast<std::size_t>(num_warps),
+                      WarpRange{});
+    return part;
+}
+
 } // namespace
 
 WarpPartition
 partitionBlocks(const BbcMatrix &m, int num_warps)
 {
     UNISTC_ASSERT(num_warps > 0, "need at least one warp");
-    WarpPartition part;
+    // Empty and all-zero matrices partition into empty ranges; the
+    // division logic below would handle blocks == 0 too, but the
+    // explicit guard keeps the zero-row contract obvious (and safe
+    // against a default-constructed BbcMatrix with blockRows 0).
     const std::int64_t blocks = m.numBlocks();
+    if (blocks == 0 || m.blockRows() == 0)
+        return emptyPartition(num_warps);
+    WarpPartition part;
     for (int w = 0; w < num_warps; ++w) {
         WarpRange range;
         range.begin = blocks * w / num_warps;
@@ -77,8 +93,13 @@ WarpPartition
 partitionRows(const BbcMatrix &m, int num_warps)
 {
     UNISTC_ASSERT(num_warps > 0, "need at least one warp");
-    WarpPartition part;
     const int rows = m.blockRows();
+    // A zero-row matrix has rowPtr == {0}; indexing rowPtr[row_end]
+    // with row_end == 0 would be fine, but return the explicit empty
+    // partition for symmetry with partitionBlocks.
+    if (rows == 0 || m.numBlocks() == 0)
+        return emptyPartition(num_warps);
+    WarpPartition part;
     for (int w = 0; w < num_warps; ++w) {
         const int row_begin = rows * w / num_warps;
         const int row_end = rows * (w + 1) / num_warps;

@@ -45,7 +45,9 @@ struct WarpPartition
  * Split the stored blocks of @p m into @p num_warps contiguous
  * ranges of near-equal size. Ranges may start mid-row (the split
  * long rows §III-B says fixed T3 shapes struggle with); empty warps
- * are possible only when num_warps exceeds the block count.
+ * are possible only when num_warps exceeds the block count. Empty
+ * and all-zero matrices (including a default-constructed BbcMatrix)
+ * yield num_warps empty ranges.
  */
 WarpPartition partitionBlocks(const BbcMatrix &m, int num_warps);
 

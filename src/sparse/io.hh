@@ -3,6 +3,14 @@
  * Matrix Market (.mtx) reader/writer. Supports the coordinate format
  * with real/integer/pattern fields and general/symmetric symmetry —
  * enough to load any SuiteSparse matrix a user drops into the corpus.
+ *
+ * The parser is defensive (docs/ROBUSTNESS.md): overflow-safe
+ * dimension parsing, per-entry bounds and finiteness checks,
+ * duplicate-entry rejection, truncation and trailing-garbage
+ * detection — every failure is a typed error naming the offending
+ * line. The try* functions return Result/Status and never
+ * terminate; the classic wrappers raise() (throw or exit, per
+ * FatalBehavior) on failure.
  */
 
 #ifndef UNISTC_SPARSE_IO_HH
@@ -11,15 +19,27 @@
 #include <iosfwd>
 #include <string>
 
+#include "robust/status.hh"
 #include "sparse/csr.hh"
 
 namespace unistc
 {
 
-/** Parse a Matrix Market stream into CSR. Aborts via fatal() on error. */
+/**
+ * Parse a Matrix Market stream into CSR; @p label names the source
+ * in error messages. Returns a typed error on malformed input.
+ */
+Result<CsrMatrix> tryReadMatrixMarket(std::istream &in,
+                                      const std::string &label =
+                                          "<stream>");
+
+/** Load a .mtx file with full input validation. */
+Result<CsrMatrix> tryReadMatrixMarketFile(const std::string &path);
+
+/** Parse a Matrix Market stream into CSR; raise()s on error. */
 CsrMatrix readMatrixMarket(std::istream &in);
 
-/** Load a .mtx file. */
+/** Load a .mtx file; raise()s on error. */
 CsrMatrix readMatrixMarketFile(const std::string &path);
 
 /** Write CSR as "coordinate real general" Matrix Market. */

@@ -81,5 +81,31 @@ TEST(Partition, MoreWarpsThanBlocks)
     EXPECT_EQ(non_empty, 2);
 }
 
+TEST(Partition, DefaultConstructedMatrixYieldsEmptyRanges)
+{
+    const BbcMatrix empty;
+    for (const auto part : {partitionBlocks(empty, 4),
+                            partitionRows(empty, 4)}) {
+        EXPECT_EQ(part.totalBlocks(), 0);
+        ASSERT_EQ(static_cast<int>(part.warps.size()), 4);
+        for (const auto &w : part.warps)
+            EXPECT_EQ(w.size(), 0);
+        EXPECT_LE(part.imbalance(), 1.0); // no spurious imbalance
+    }
+}
+
+TEST(Partition, ZeroNnzMatrixYieldsEmptyRanges)
+{
+    // A shaped matrix with no entries must partition like the empty
+    // one: no warp may receive a phantom block.
+    const BbcMatrix bbc = BbcMatrix::fromCsr(
+        CsrMatrix(64, 64, std::vector<std::int64_t>(65, 0), {}, {}));
+    EXPECT_EQ(bbc.numBlocks(), 0);
+    const WarpPartition p = partitionBlocks(bbc, 8);
+    EXPECT_EQ(p.totalBlocks(), 0);
+    for (const auto &w : p.warps)
+        EXPECT_EQ(w.size(), 0);
+}
+
 } // namespace
 } // namespace unistc
