@@ -60,7 +60,9 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "engine/kernel_pipeline.hh"
 #include "exec/sweep_executor.hh"
+#include "runner/block_driver.hh"
 #include "obs/json_writer.hh"
 #include "obs/metrics_export.hh"
 #include "obs/stat_registry.hh"
@@ -115,6 +117,22 @@ class ResultLog
         RunResult result;
     };
 
+    /**
+     * One engine pass recorded by runKernelLineup(): the per-layer
+     * counters of a single-pass multi-architecture run. The JSON dump
+     * gains an "engine" array when any were recorded. Wall-clock
+     * seconds appear only when @ref timed is set (tab07's
+     * enumeration-vs-model split) — they would otherwise break the
+     * --jobs byte-identical-output guarantee.
+     */
+    struct EngineEntry
+    {
+        std::string kernel;
+        std::string matrix;
+        PipelineCounters counters;
+        bool timed = false;
+    };
+
     static ResultLog &
     instance()
     {
@@ -133,7 +151,22 @@ class ResultLog
             {toString(kernel), model, matrix, result});
     }
 
+    void
+    recordEngine(Kernel kernel, const std::string &matrix,
+                 const PipelineCounters &counters, bool timed = false)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        engineEntries_.push_back(
+            {toString(kernel), matrix, counters, timed});
+    }
+
     const std::vector<Entry> &entries() const { return entries_; }
+
+    const std::vector<EngineEntry> &
+    engineEntries() const
+    {
+        return engineEntries_;
+    }
 
     /** Write all recorded entries as schema-versioned JSON. */
     void
@@ -145,7 +178,7 @@ class ResultLog
                          "' for writing");
         }
         os << "{\n  \"schema\": \"unistc-bench\",\n"
-           << "  \"version\": 1,\n  \"entries\": [";
+           << "  \"version\": 2,\n  \"entries\": [";
         bool first = true;
         for (const auto &e : entries_) {
             StatRegistry reg;
@@ -162,7 +195,27 @@ class ResultLog
             os << "\n    }";
             first = false;
         }
-        os << (first ? "]\n}\n" : "\n  ]\n}\n");
+        os << (first ? "]" : "\n  ]");
+        if (!engineEntries_.empty()) {
+            os << ",\n  \"engine\": [";
+            bool efirst = true;
+            for (const auto &e : engineEntries_) {
+                StatRegistry reg;
+                e.counters.registerStats(reg, "engine.",
+                                         /*includeTiming=*/e.timed);
+                os << (efirst ? "\n" : ",\n")
+                   << "    {\n      \"kernel\": \""
+                   << JsonWriter::escape(e.kernel)
+                   << "\",\n      \"matrix\": \""
+                   << JsonWriter::escape(e.matrix)
+                   << "\",\n      \"stats\": ";
+                reg.writeJson(os, 6);
+                os << "\n    }";
+                efirst = false;
+            }
+            os << "\n  ]";
+        }
+        os << "\n}\n";
     }
 
   private:
@@ -176,12 +229,14 @@ class ResultLog
     dumpAtExit()
     {
         const char *path = std::getenv("UNISTC_BENCH_JSON");
-        if (path != nullptr && !instance().entries_.empty())
+        if (path != nullptr && (!instance().entries_.empty() ||
+                                !instance().engineEntries_.empty()))
             instance().dumpJson(path);
     }
 
     std::mutex mu_;
     std::vector<Entry> entries_;
+    std::vector<EngineEntry> engineEntries_;
 };
 
 /**
@@ -395,6 +450,86 @@ class SweepSession
         return exec_->result(cursor_++);
     }
 
+    /**
+     * Plan-pass runKernelLineup(): submit ONE multi-model job whose
+     * lineup shares a single task stream, return sentinels.
+     */
+    std::vector<RunResult>
+    planLineup(Kernel kernel,
+               const std::vector<const StcModel *> &models,
+               const Prepared &p, const EnergyModel &energy)
+    {
+        JobSpec spec;
+        spec.kernel = kernel;
+        spec.matrix = p.name;
+        for (const StcModel *m : models) {
+            ModelSpec entry;
+            entry.name = m->name();
+            entry.config = m->config();
+            entry.impl = std::shared_ptr<const StcModel>(m->clone());
+            spec.lineup.push_back(std::move(entry));
+        }
+        const Capture &cap = capture(p);
+        spec.a = cap.bbc;
+        if (kernel == Kernel::SpMSpV)
+            spec.x = cap.x50;
+        spec.energy = energy.params();
+        exec_->submit(std::move(spec));
+        // Same degenerate sentinel as plan() — one per model.
+        RunResult sentinel;
+        sentinel.cycles = 1;
+        sentinel.products = 1;
+        sentinel.macSlots = 1;
+        sentinel.tasksT1 = 1;
+        sentinel.tasksT3 = 1;
+        return std::vector<RunResult>(models.size(), sentinel);
+    }
+
+    /**
+     * Replay-pass runKernelLineup(): per-model results of the next
+     * planned multi-model job, checked against the request; the
+     * job's engine counters land in @p counters.
+     */
+    std::vector<RunResult>
+    replayLineup(Kernel kernel,
+                 const std::vector<const StcModel *> &models,
+                 const Prepared &p, PipelineCounters *counters)
+    {
+        UNISTC_ASSERT(exec_ != nullptr, "replay without a plan");
+        if (cursor_ >= exec_->jobCount()) {
+            UNISTC_FATAL(
+                "--jobs replay diverged: the bench issued more "
+                "runKernelLineup() calls than the plan pass recorded "
+                "(call ", cursor_ + 1, " of ", exec_->jobCount(),
+                "). This bench's control flow depends on simulation "
+                "results; run it with --jobs 1.");
+        }
+        const JobSpec &planned = exec_->spec(cursor_);
+        bool matches = planned.kernel == kernel &&
+                       planned.matrix == p.name &&
+                       planned.fanout() == models.size() &&
+                       !planned.lineup.empty();
+        for (std::size_t m = 0; matches && m < models.size(); ++m)
+            matches = planned.modelName(m) == models[m]->name();
+        if (!matches) {
+            UNISTC_FATAL(
+                "--jobs replay diverged at job ", cursor_,
+                ": planned ", planned.label(), " but the bench "
+                "requested a ", toString(kernel), " lineup of ",
+                models.size(), " model(s) @ ", p.name,
+                ". This bench's control flow depends on simulation "
+                "results; run it with --jobs 1.");
+        }
+        if (counters != nullptr)
+            *counters = exec_->countersOf(cursor_);
+        std::vector<RunResult> results;
+        results.reserve(models.size());
+        for (std::size_t m = 0; m < models.size(); ++m)
+            results.push_back(exec_->resultOf(cursor_, m));
+        ++cursor_;
+        return results;
+    }
+
   private:
     struct Capture
     {
@@ -479,6 +614,106 @@ runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
     ckpt.append(kernel, model.name(), p.name, res);
     ResultLog::instance().record(kernel, model.name(), p.name, res);
     return res;
+}
+
+/**
+ * Run one kernel on a prepared matrix across a whole architecture
+ * lineup in a SINGLE pass over one shared task stream (the engine
+ * fan-out, docs/ARCHITECTURE.md): the stream is enumerated once per
+ * (kernel, matrix) no matter how many models run, and each returned
+ * RunResult (lineup order) is bit-identical to a one-model
+ * runKernel() call. Honors --resume — per-(kernel, model, matrix)
+ * checkpoint entries, compatible with files written by runKernel() —
+ * and --jobs, where the whole lineup rides as one multi-model job.
+ * Records per-model ResultLog entries plus one "engine" entry with
+ * the pass's counters; @p record_timing additionally publishes the
+ * enumerate-vs-model wall-time split (non-deterministic across runs,
+ * so only tab07's evidence path opts in). @p counters_out, when
+ * non-null, receives the pass's counters (all zero in a --jobs plan
+ * pass or when every model was served from the checkpoint).
+ */
+inline std::vector<RunResult>
+runKernelLineup(Kernel kernel,
+                const std::vector<const StcModel *> &models,
+                const Prepared &p,
+                const EnergyModel &energy = EnergyModel(),
+                bool record_timing = false,
+                PipelineCounters *counters_out = nullptr)
+{
+    auto &session = SweepSession::instance();
+    auto &ckpt = CheckpointSession::instance();
+    const std::size_t n = models.size();
+    UNISTC_ASSERT(n > 0, "runKernelLineup needs at least one model");
+
+    // --resume: serve checkpointed models from the file and fan the
+    // stream out only to the missing tail of the lineup. Lookups
+    // advance the per-key occurrence cursors in every mode, so the
+    // plan and replay passes stay aligned.
+    std::vector<RunResult> results(n);
+    std::vector<bool> from_ckpt(n, false);
+    std::vector<const StcModel *> missing;
+    std::vector<std::size_t> missing_idx;
+    for (std::size_t m = 0; m < n; ++m) {
+        if (const CheckpointEntry *hit =
+                ckpt.lookup(kernel, models[m]->name(), p.name)) {
+            results[m] = hit->result;
+            from_ckpt[m] = true;
+        } else {
+            missing.push_back(models[m]);
+            missing_idx.push_back(m);
+        }
+    }
+
+    if (session.mode() == SweepSession::Mode::Plan) {
+        if (counters_out != nullptr)
+            *counters_out = PipelineCounters{};
+        if (!missing.empty()) {
+            const std::vector<RunResult> planned =
+                session.planLineup(kernel, missing, p, energy);
+            for (std::size_t k = 0; k < missing_idx.size(); ++k)
+                results[missing_idx[k]] = planned[k];
+        }
+        return results;
+    }
+
+    PipelineCounters counters;
+    if (!missing.empty()) {
+        if (session.mode() == SweepSession::Mode::Replay) {
+            const std::vector<RunResult> ran =
+                session.replayLineup(kernel, missing, p, &counters);
+            for (std::size_t k = 0; k < missing_idx.size(); ++k)
+                results[missing_idx[k]] = ran[k];
+        } else {
+            PlanInputs in;
+            in.a = &p.bbc;
+            in.b = &p.bbc; // SpGEMM: C = A * A, like runKernel().
+            in.x = &p.x50;
+            in.bCols = 64;
+            const KernelPlanPtr plan = makeKernelPlan(kernel, in);
+            std::vector<KernelPipeline::ModelSlot> slots;
+            slots.reserve(missing.size());
+            for (const StcModel *m : missing)
+                slots.push_back({m, nullptr});
+            const std::vector<RunResult> ran = KernelPipeline::run(
+                *plan, slots, energy, &counters);
+            for (std::size_t k = 0; k < missing_idx.size(); ++k)
+                results[missing_idx[k]] = ran[k];
+        }
+        ResultLog::instance().recordEngine(kernel, p.name, counters,
+                                           record_timing);
+    }
+    if (counters_out != nullptr)
+        *counters_out = counters;
+
+    for (std::size_t m = 0; m < n; ++m) {
+        if (!from_ckpt[m]) {
+            ckpt.append(kernel, models[m]->name(), p.name,
+                        results[m]);
+        }
+        ResultLog::instance().record(kernel, models[m]->name(),
+                                     p.name, results[m]);
+    }
+    return results;
 }
 
 /** True when the bench should shrink workloads (--quick / env). */

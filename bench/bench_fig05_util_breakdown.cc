@@ -22,6 +22,14 @@ main(int, char **)
     const MachineConfig cfg = MachineConfig::fp64();
     const std::vector<std::string> models = {"NV-DTC", "DS-STC",
                                              "RM-STC", "Uni-STC"};
+    // One shared-stream lineup: each matrix's SpGEMM task stream is
+    // enumerated once and fanned out to all four architectures.
+    std::vector<StcModelPtr> owned;
+    std::vector<const StcModel *> lineup;
+    for (const auto &name : models) {
+        owned.push_back(makeStcModel(name, cfg));
+        lineup.push_back(owned.back().get());
+    }
 
     TextTable t("Fig. 5: SpGEMM (C = A^2) cycle share per MAC "
                 "utilisation bucket");
@@ -31,10 +39,10 @@ main(int, char **)
     std::vector<Histogram> agg(models.size());
     for (const auto &nm : representativeMatrices()) {
         const Prepared p(nm.name, nm.matrix);
+        const std::vector<RunResult> rs =
+            bench::runKernelLineup(Kernel::SpGEMM, lineup, p);
         for (std::size_t mi = 0; mi < models.size(); ++mi) {
-            const auto model = makeStcModel(models[mi], cfg);
-            const RunResult r =
-                bench::runKernel(Kernel::SpGEMM, *model, p);
+            const RunResult &r = rs[mi];
             t.addRow({nm.name, models[mi],
                       fmtPercent(r.utilHist.bucketFraction(0)),
                       fmtPercent(r.utilHist.bucketFraction(1)),

@@ -27,6 +27,14 @@ main(int argc, char **argv)
     const MachineConfig cfg = MachineConfig::fp64();
     const int n = quick ? 256 : 512;
     const auto names = allModelNames();
+    // All seven architectures consume ONE SpGEMM task stream per
+    // sparsity point, straight through the kernel pipeline.
+    std::vector<StcModelPtr> owned;
+    std::vector<KernelPipeline::ModelSlot> slots;
+    for (const auto &name : names) {
+        owned.push_back(makeStcModel(name, cfg));
+        slots.push_back({owned.back().get(), nullptr});
+    }
 
     TextTable t("Fig. 16: MAC utilisation on random matrices, "
                 "SpGEMM C = A x B (" + std::to_string(n) + "^2)");
@@ -44,13 +52,14 @@ main(int argc, char **argv)
         const BbcMatrix ab = BbcMatrix::fromCsr(a);
         const BbcMatrix bb = BbcMatrix::fromCsr(b);
 
+        const SpgemmPlan plan(ab, bb);
+        const std::vector<RunResult> rs =
+            KernelPipeline::run(plan, slots);
         std::vector<std::string> row = {fmtPercent(sparsity, 1)};
         std::vector<std::uint64_t> cycles(names.size(), 0);
         for (std::size_t i = 0; i < names.size(); ++i) {
-            const auto model = makeStcModel(names[i], cfg);
-            const RunResult r = runSpgemm(*model, ab, bb);
-            cycles[i] = r.cycles;
-            row.push_back(fmtPercent(r.utilisation(), 1));
+            cycles[i] = rs[i].cycles;
+            row.push_back(fmtPercent(rs[i].utilisation(), 1));
         }
         t.addRow(row);
         // Accumulate Uni-STC speedups over each baseline.
@@ -81,14 +90,21 @@ main(int argc, char **argv)
     TextTable e("Dense workload: utilisation and energy relative to "
                 "NV-DTC");
     e.setHeader({"STC", "utilisation", "energy vs NV-DTC"});
-    const auto nv = makeStcModel("NV-DTC", cfg);
-    const double nv_energy =
-        runSpgemm(*nv, dense_bbc, dense_bbc).energy.total();
-    for (const auto &name : {"NV-DTC", "DS-STC", "RM-STC",
-                             "Uni-STC"}) {
-        const auto model = makeStcModel(name, cfg);
-        const RunResult r = runSpgemm(*model, dense_bbc, dense_bbc);
-        e.addRow({name, fmtPercent(r.utilisation(), 1),
+    const std::vector<std::string> dense_names = {
+        "NV-DTC", "DS-STC", "RM-STC", "Uni-STC"};
+    std::vector<StcModelPtr> dense_owned;
+    std::vector<KernelPipeline::ModelSlot> dense_slots;
+    for (const auto &name : dense_names) {
+        dense_owned.push_back(makeStcModel(name, cfg));
+        dense_slots.push_back({dense_owned.back().get(), nullptr});
+    }
+    const SpgemmPlan dense_plan(dense_bbc, dense_bbc);
+    const std::vector<RunResult> dense_rs =
+        KernelPipeline::run(dense_plan, dense_slots);
+    const double nv_energy = dense_rs[0].energy.total();
+    for (std::size_t i = 0; i < dense_names.size(); ++i) {
+        const RunResult &r = dense_rs[i];
+        e.addRow({dense_names[i], fmtPercent(r.utilisation(), 1),
                   fmtRatio(nv_energy / r.energy.total())});
     }
     e.print();

@@ -30,15 +30,17 @@ printKernelSection(Kernel kernel,
                  "Uni-STC P", "Uni-STC E", "Uni-STC ExP"});
     ComparisonRollup rm_roll, uni_roll;
 
+    // DS / RM / Uni share one task stream per matrix.
+    const auto ds = makeStcModel("DS-STC", cfg);
+    const auto rm = makeStcModel("RM-STC", cfg);
+    const auto uni = makeStcModel("Uni-STC", cfg);
+    const std::vector<const StcModel *> lineup = {ds.get(), rm.get(),
+                                                  uni.get()};
     for (const auto &p : matrices) {
-        const auto ds = makeStcModel("DS-STC", cfg);
-        const auto rm = makeStcModel("RM-STC", cfg);
-        const auto uni = makeStcModel("Uni-STC", cfg);
-        const RunResult rd = bench::runKernel(kernel, *ds, p);
-        const RunResult rr = bench::runKernel(kernel, *rm, p);
-        const RunResult ru = bench::runKernel(kernel, *uni, p);
-        const Comparison crm = compare(rd, rr);
-        const Comparison cuni = compare(rd, ru);
+        const std::vector<RunResult> rs =
+            bench::runKernelLineup(kernel, lineup, p);
+        const Comparison crm = compare(rs[0], rs[1]);
+        const Comparison cuni = compare(rs[0], rs[2]);
         rm_roll.add(crm);
         uni_roll.add(cuni);
         t.addRow({p.name, fmtRatio(crm.speedup),

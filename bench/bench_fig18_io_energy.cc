@@ -24,24 +24,33 @@ main(int, char **)
     t.setHeader({"Matrix", "STC", "read A", "read B", "write C",
                  "sched", "compute", "total"});
 
+    // DS / RM / Uni share one SpGEMM task stream per matrix.
+    const std::vector<std::string> names = {"DS-STC", "RM-STC",
+                                            "Uni-STC"};
+    std::vector<StcModelPtr> owned;
+    std::vector<const StcModel *> lineup;
+    for (const auto &name : names) {
+        owned.push_back(makeStcModel(name, cfg));
+        lineup.push_back(owned.back().get());
+    }
+
     double ds_writec = 0.0, uni_writec = 0.0;
     double ds_total = 0.0, rm_total = 0.0, uni_total = 0.0;
     for (const auto &nm : representativeMatrices()) {
         const Prepared p(nm.name, nm.matrix);
-        for (const auto &name : {"DS-STC", "RM-STC", "Uni-STC"}) {
-            const auto model = makeStcModel(name, cfg);
-            const RunResult r =
-                bench::runKernel(Kernel::SpGEMM, *model, p);
-            const EnergyBreakdown &e = r.energy;
-            t.addRow({nm.name, name, fmtEnergyPj(e.fetchA),
+        const std::vector<RunResult> rs =
+            bench::runKernelLineup(Kernel::SpGEMM, lineup, p);
+        for (std::size_t mi = 0; mi < names.size(); ++mi) {
+            const EnergyBreakdown &e = rs[mi].energy;
+            t.addRow({nm.name, names[mi], fmtEnergyPj(e.fetchA),
                       fmtEnergyPj(e.fetchB), fmtEnergyPj(e.writeC),
                       fmtEnergyPj(e.schedule),
                       fmtEnergyPj(e.compute),
                       fmtEnergyPj(e.total())});
-            if (model->name() == "DS-STC") {
+            if (names[mi] == "DS-STC") {
                 ds_writec += e.writeC;
                 ds_total += e.total();
-            } else if (model->name() == "RM-STC") {
+            } else if (names[mi] == "RM-STC") {
                 rm_total += e.total();
             } else {
                 uni_writec += e.writeC;

@@ -25,24 +25,35 @@ main(int, char **)
     t.setHeader({"Matrix", "STC", "C writes", "C bytes",
                  "avg net scale"});
 
+    // DS / RM / Uni share one SpGEMM task stream per matrix.
+    const std::vector<std::string> names = {"DS-STC", "RM-STC",
+                                            "Uni-STC"};
+    std::vector<StcModelPtr> owned;
+    std::vector<const StcModel *> lineup;
+    for (const auto &name : names) {
+        owned.push_back(makeStcModel(name, cfg));
+        lineup.push_back(owned.back().get());
+    }
+
     double ds_traffic = 0.0, uni_traffic = 0.0;
     for (const auto &nm : representativeMatrices()) {
         const Prepared p(nm.name, nm.matrix);
-        for (const auto &name : {"DS-STC", "RM-STC", "Uni-STC"}) {
-            const auto model = makeStcModel(name, cfg);
-            const RunResult r =
-                bench::runKernel(Kernel::SpGEMM, *model, p);
-            const NetworkConfig net = model->network();
+        const std::vector<RunResult> rs =
+            bench::runKernelLineup(Kernel::SpGEMM, lineup, p);
+        for (std::size_t mi = 0; mi < names.size(); ++mi) {
+            const RunResult &r = rs[mi];
+            const NetworkConfig net = lineup[mi]->network();
             const double scale = net.dynamicGating
                 ? r.avgCNetScale()
                 : static_cast<double>(net.cNetUnits);
-            t.addRow({nm.name, name, fmtCount(r.traffic.writesC),
+            t.addRow({nm.name, names[mi],
+                      fmtCount(r.traffic.writesC),
                       fmtBytes(r.traffic.writesC *
                                cfg.bytesPerValue()),
                       fmtDouble(scale, 2)});
-            if (model->name() == "DS-STC")
+            if (names[mi] == "DS-STC")
                 ds_traffic += static_cast<double>(r.traffic.writesC);
-            else if (model->name() == "Uni-STC")
+            else if (names[mi] == "Uni-STC")
                 uni_traffic +=
                     static_cast<double>(r.traffic.writesC);
         }

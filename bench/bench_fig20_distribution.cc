@@ -26,6 +26,13 @@ main(int argc, char **argv)
     const int scale = bench::quickMode(argc, argv) ? 1 : 2;
     const auto suite = syntheticSuite(scale);
 
+    // DS / RM / Uni share one task stream per (kernel, matrix).
+    const auto ds = makeStcModel("DS-STC", cfg);
+    const auto rm = makeStcModel("RM-STC", cfg);
+    const auto uni = makeStcModel("Uni-STC", cfg);
+    const std::vector<const StcModel *> lineup = {ds.get(), rm.get(),
+                                                  uni.get()};
+
     for (const Kernel kernel : allKernels()) {
         struct Bucket
         {
@@ -37,14 +44,13 @@ main(int argc, char **argv)
 
         for (const auto &nm : suite) {
             const Prepared p(nm.name, nm.matrix);
-            const auto ds = makeStcModel("DS-STC", cfg);
-            const auto rm = makeStcModel("RM-STC", cfg);
-            const auto uni = makeStcModel("Uni-STC", cfg);
-            const RunResult rd = bench::runKernel(kernel, *ds, p);
+            const std::vector<RunResult> rs =
+                bench::runKernelLineup(kernel, lineup, p);
+            const RunResult &rd = rs[0];
+            const RunResult &rr = rs[1];
+            const RunResult &ru = rs[2];
             if (rd.tasksT1 == 0)
                 continue;
-            const RunResult rr = bench::runKernel(kernel, *rm, p);
-            const RunResult ru = bench::runKernel(kernel, *uni, p);
             const double density = interProductsPerT1(rd);
             int b = 0;
             while ((1 << (b + 1)) <= density && b < 11)

@@ -35,26 +35,32 @@ main(int, char **)
     t.setHeader({"Kernel", "DS-STC", "RM-STC", "Uni-STC(4)",
                  "Uni-STC(8)", "Uni-STC(16)"});
 
+    // One five-model lineup — DS, RM and the three Uni-STC DPG
+    // variants — sharing each (kernel, matrix) task stream.
+    const auto ds = makeStcModel("DS-STC", MachineConfig::fp64());
+    const auto rm = makeStcModel("RM-STC", MachineConfig::fp64());
+    const UniStc uni4(MachineConfig::fp64WithDpgs(4));
+    const UniStc uni8(MachineConfig::fp64WithDpgs(8));
+    const UniStc uni16(MachineConfig::fp64WithDpgs(16));
+    const std::vector<const StcModel *> lineup = {
+        ds.get(), rm.get(), &uni4, &uni8, &uni16};
+    const std::vector<int> dpg_list = {4, 8, 16};
+
     std::map<std::string, std::map<int, double>> uni_eed;
     for (const Kernel kernel : allKernels()) {
         GeoMean rm_eff;
         std::map<int, GeoMean> uni_eff;
         for (const auto &nm : suite) {
             const Prepared p(nm.name, nm.matrix);
-            const auto ds =
-                makeStcModel("DS-STC", MachineConfig::fp64());
-            const RunResult rd = bench::runKernel(kernel, *ds, p);
+            const std::vector<RunResult> rs =
+                bench::runKernelLineup(kernel, lineup, p);
+            const RunResult &rd = rs[0];
             if (rd.cycles == 0)
                 continue;
-            const auto rm =
-                makeStcModel("RM-STC", MachineConfig::fp64());
-            rm_eff.add(compare(rd, bench::runKernel(kernel, *rm, p))
-                           .energyEfficiency);
-            for (int dpgs : {4, 8, 16}) {
-                const UniStc uni(MachineConfig::fp64WithDpgs(dpgs));
-                uni_eff[dpgs].add(
-                    compare(rd, bench::runKernel(kernel, uni, p))
-                        .energyEfficiency);
+            rm_eff.add(compare(rd, rs[1]).energyEfficiency);
+            for (std::size_t k = 0; k < dpg_list.size(); ++k) {
+                uni_eff[dpg_list[k]].add(
+                    compare(rd, rs[2 + k]).energyEfficiency);
             }
         }
         const double rm_eed = rm_eff.value() /

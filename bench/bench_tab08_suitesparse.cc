@@ -30,17 +30,23 @@ main(int argc, char **argv)
     t.setHeader({"Kernel", "Baseline", "P aver", "P max", "E aver",
                  "E max", "ExP aver", "ExP max"});
 
+    // DS / RM / Uni share one task stream per (kernel, matrix).
+    const auto ds = makeStcModel("DS-STC", cfg);
+    const auto rm = makeStcModel("RM-STC", cfg);
+    const auto uni = makeStcModel("Uni-STC", cfg);
+    const std::vector<const StcModel *> lineup = {ds.get(), rm.get(),
+                                                  uni.get()};
+
     GeoMean overall_ds_p, overall_rm_p, overall_ds_ep, overall_rm_ep;
     for (const Kernel kernel : allKernels()) {
         ComparisonRollup vs_ds, vs_rm;
         for (const auto &nm : suite) {
             const Prepared p(nm.name, nm.matrix);
-            const auto ds = makeStcModel("DS-STC", cfg);
-            const auto rm = makeStcModel("RM-STC", cfg);
-            const auto uni = makeStcModel("Uni-STC", cfg);
-            const RunResult rd = bench::runKernel(kernel, *ds, p);
-            const RunResult rr = bench::runKernel(kernel, *rm, p);
-            const RunResult ru = bench::runKernel(kernel, *uni, p);
+            const std::vector<RunResult> rs =
+                bench::runKernelLineup(kernel, lineup, p);
+            const RunResult &rd = rs[0];
+            const RunResult &rr = rs[1];
+            const RunResult &ru = rs[2];
             if (ru.cycles == 0)
                 continue;
             const Comparison cd = compare(rd, ru);

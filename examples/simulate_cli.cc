@@ -15,6 +15,14 @@
  *                          powerlaw:n,deg,alpha | stencil:grid
  *   --kernel NAME          spmv | spmspv | spmm | spgemm (default spmv)
  *   --model NAME           an architecture name or "all"
+ *   --arch A,B,C           comma-separated architecture lineup run as
+ *                          ONE multi-model job: the kernel's task
+ *                          stream is enumerated once and fanned out
+ *                          to every listed model in a single pass
+ *                          (docs/ARCHITECTURE.md); engine.* counters
+ *                          land in --stats-json. Mutually exclusive
+ *                          with --model; unknown names are rejected
+ *                          with the list of available architectures.
  *   --precision fp64|fp32  MAC configuration (default fp64)
  *   --dpgs N               Uni-STC DPG count (default 8)
  *   --bcols N              SpMM dense-B width (default 64)
@@ -42,12 +50,14 @@
  *                          jobs already recorded there
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "bbc/bbc_io.hh"
 #include "common/logging.hh"
@@ -89,6 +99,40 @@ parseIntOpt(const std::string &flag, const std::string &text)
     }
 }
 
+/**
+ * Parse --arch's comma-separated lineup; an unknown name fails with
+ * the full list of available architectures.
+ */
+std::vector<std::string>
+parseArchList(const std::string &list)
+{
+    std::vector<std::string> names;
+    std::size_t begin = 0;
+    for (;;) {
+        const std::size_t comma = list.find(',', begin);
+        const std::string name = comma == std::string::npos
+            ? list.substr(begin)
+            : list.substr(begin, comma - begin);
+        if (name.empty())
+            UNISTC_FATAL("--arch has an empty entry in '", list, "'");
+        names.push_back(name);
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    const std::vector<std::string> all = allModelNames();
+    std::string available;
+    for (const std::string &n : all)
+        available += (available.empty() ? "" : ", ") + n;
+    for (const std::string &name : names) {
+        if (std::find(all.begin(), all.end(), name) == all.end()) {
+            UNISTC_FATAL("unknown architecture '", name,
+                         "' in --arch (available: ", available, ")");
+        }
+    }
+    return names;
+}
+
 } // namespace
 
 int
@@ -104,8 +148,8 @@ main(int argc, char **argv)
                 "banded:n,hb,fill | random:n,density |\n"
                 "                               powerlaw:n,deg,alpha "
                 "| stencil:grid)\n"
-                "  --kernel NAME  --model NAME  --precision fp64|fp32"
-                "  --dpgs N  --bcols N\n"
+                "  --kernel NAME  --model NAME | --arch A,B,C  "
+                "--precision fp64|fp32  --dpgs N  --bcols N\n"
                 "  --save-bbc PATH  --trace PATH  --trace-events N  "
                 "--stats-json PATH\n"
                 "  --log-level LEVEL  --jobs N\n"
@@ -119,8 +163,8 @@ main(int argc, char **argv)
         // A typo'd option must fail loudly, not silently run the
         // default experiment.
         static const std::set<std::string> known = {
-            "kernel", "model", "matrix", "gen", "precision", "dpgs",
-            "bcols", "save-bbc", "trace", "trace-events",
+            "kernel", "model", "arch", "matrix", "gen", "precision",
+            "dpgs", "bcols", "save-bbc", "trace", "trace-events",
             "stats-json", "log-level", "jobs", "strict",
             "max-job-seconds", "resume"};
         if (!known.count(flag))
@@ -247,8 +291,17 @@ main(int argc, char **argv)
     if (kernel == Kernel::SpGEMM && a.rows() != a.cols())
         UNISTC_FATAL("spgemm (C = A^2) needs a square matrix");
 
+    // --arch runs its whole lineup as ONE job: the sweep executor
+    // hands the JobSpec's lineup to the kernel pipeline, which
+    // enumerates the task stream once and fans every task out to all
+    // listed models. --model submits one job per model instead.
+    const bool multi = opts.count("arch") != 0;
+    if (multi && opts.count("model"))
+        UNISTC_FATAL("--model and --arch are mutually exclusive");
     std::vector<std::string> names;
-    if (model_name == "all")
+    if (multi)
+        names = parseArchList(opts["arch"]);
+    else if (model_name == "all")
         names = allModelNames();
     else
         names.push_back(model_name);
@@ -313,12 +366,14 @@ main(int argc, char **argv)
     {
         const CheckpointEntry *checkpointed = nullptr;
         std::size_t jobIndex = 0;
+        std::size_t slot = 0; ///< Lineup slot within the job.
     };
     std::vector<RowPlan> rows(names.size());
     std::map<std::string, std::size_t> ckpt_seen;
 
     const auto shared_bbc = std::make_shared<const BbcMatrix>(bbc);
     const auto shared_x = std::make_shared<const SparseVector>(x50);
+    JobSpec multi_spec; // --arch: every missing model, one job.
     for (std::size_t n = 0; n < names.size(); ++n) {
         const std::string &name = names[n];
         if (ckpt_log != nullptr) {
@@ -329,6 +384,14 @@ main(int argc, char **argv)
                 kernel_name, name, source_label, occurrence);
             if (rows[n].checkpointed != nullptr)
                 continue;
+        }
+        if (multi) {
+            rows[n].slot = multi_spec.lineup.size();
+            multi_spec.lineup.push_back(
+                {name, cfg,
+                 std::shared_ptr<const StcModel>(
+                     makeStcModel(name, cfg))});
+            continue;
         }
         JobSpec spec;
         spec.kernel = kernel;
@@ -342,6 +405,21 @@ main(int argc, char **argv)
             spec.x = shared_x;
         spec.bCols = b_cols;
         rows[n].jobIndex = exec.submit(std::move(spec));
+    }
+    bool multi_submitted = false;
+    if (multi && !multi_spec.lineup.empty()) {
+        multi_spec.kernel = kernel;
+        multi_spec.matrix = source_label;
+        multi_spec.a = shared_bbc;
+        if (kernel == Kernel::SpMSpV)
+            multi_spec.x = shared_x;
+        multi_spec.bCols = b_cols;
+        const std::size_t job = exec.submit(std::move(multi_spec));
+        for (std::size_t n = 0; n < names.size(); ++n) {
+            if (rows[n].checkpointed == nullptr)
+                rows[n].jobIndex = job;
+        }
+        multi_submitted = true;
     }
     exec.wait();
 
@@ -361,7 +439,8 @@ main(int argc, char **argv)
         }
         const SweepExecutor::JobOutcome out =
             exec.outcome(rows[i].jobIndex);
-        const RunResult &r = exec.result(rows[i].jobIndex);
+        const RunResult &r =
+            exec.resultOf(rows[i].jobIndex, rows[i].slot);
         registerRunResult(stats, r, "models." + names[i] + ".");
         faults += static_cast<std::uint64_t>(
             out.ok ? out.attempts - 1 : out.attempts);
@@ -390,6 +469,15 @@ main(int argc, char **argv)
                   fmtCount(r.traffic.writesC)});
     }
     t.print();
+
+    if (multi_submitted) {
+        // One shared stream fed the whole lineup; tasks_generated is
+        // the single-model enumeration count while models_fanout
+        // models consumed it. Timing fields stay out so the stats
+        // JSON is byte-identical across --jobs counts and reruns.
+        exec.pipelineCounters().registerStats(
+            stats, "engine.", /*includeTiming=*/false);
+    }
 
     if (strict || max_job_seconds > 0 || quarantined > 0) {
         stats.setCounter("robust.faults_detected", faults,

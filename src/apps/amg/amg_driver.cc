@@ -1,5 +1,6 @@
 #include "apps/amg/amg_driver.hh"
 
+#include "engine/kernel_pipeline.hh"
 #include "kernels/reference.hh"
 #include "runner/spgemm_runner.hh"
 #include "runner/spmv_runner.hh"
@@ -11,7 +12,43 @@ AmgWorkload
 simulateAmg(const StcModel &model, const AmgHierarchy &hierarchy,
             int num_vcycles, const EnergyModel &energy)
 {
-    AmgWorkload out;
+    return std::move(simulateAmgLineup({&model}, hierarchy,
+                                       num_vcycles, energy)
+                         .front());
+}
+
+std::vector<AmgWorkload>
+simulateAmgLineup(const std::vector<const StcModel *> &models,
+                  const AmgHierarchy &hierarchy, int num_vcycles,
+                  const EnergyModel &energy)
+{
+    std::vector<AmgWorkload> out(models.size());
+    std::vector<KernelPipeline::ModelSlot> slots;
+    slots.reserve(models.size());
+    for (const StcModel *m : models)
+        slots.push_back({m, nullptr});
+
+    // One shared stream per kernel invocation: every model consumes
+    // the same enumeration, so per-model results equal solo runs.
+    const auto mergeSpmv = [&](const BbcMatrix &bbc,
+                               std::uint64_t times) {
+        const SpmvPlan plan(bbc);
+        std::vector<RunResult> rs =
+            KernelPipeline::run(plan, slots, energy);
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            rs[i].scale(times);
+            out[i].spmv.merge(rs[i]);
+        }
+    };
+    const auto mergeSpgemm = [&](const BbcMatrix &a,
+                                 const BbcMatrix &b) {
+        const SpgemmPlan plan(a, b);
+        const std::vector<RunResult> rs =
+            KernelPipeline::run(plan, slots, energy);
+        for (std::size_t i = 0; i < rs.size(); ++i)
+            out[i].spgemm.merge(rs[i]);
+    };
+
     const AmgOptions &opts = hierarchy.options();
     const int levels = hierarchy.numLevels();
 
@@ -29,18 +66,15 @@ simulateAmg(const StcModel &model, const AmgHierarchy &hierarchy,
                                                  opts.postSmooth + 2);
         }
         const BbcMatrix a_bbc = BbcMatrix::fromCsr(lev.a);
-        RunResult a_run = runSpmv(model, a_bbc, energy);
-        a_run.scale(a_spmvs * num_vcycles);
-        out.spmv.merge(a_run);
+        mergeSpmv(a_bbc, a_spmvs * num_vcycles);
 
         // Grid-transfer SpMVs (R on the residual, P on the coarse
         // correction), once per V-cycle each.
         if (l > 0) {
             for (const CsrMatrix *t : {&lev.r, &lev.p}) {
                 const BbcMatrix t_bbc = BbcMatrix::fromCsr(*t);
-                RunResult t_run = runSpmv(model, t_bbc, energy);
-                t_run.scale(num_vcycles);
-                out.spmv.merge(t_run);
+                mergeSpmv(t_bbc, static_cast<std::uint64_t>(
+                                     num_vcycles));
             }
         }
     }
@@ -54,11 +88,11 @@ simulateAmg(const StcModel &model, const AmgHierarchy &hierarchy,
         const BbcMatrix p_bbc = BbcMatrix::fromCsr(coarse.p);
         const BbcMatrix r_bbc = BbcMatrix::fromCsr(coarse.r);
 
-        out.spgemm.merge(runSpgemm(model, a_bbc, p_bbc, energy));
+        mergeSpgemm(a_bbc, p_bbc);
 
         const CsrMatrix ap = spgemmRef(fine.a, coarse.p);
         const BbcMatrix ap_bbc = BbcMatrix::fromCsr(ap);
-        out.spgemm.merge(runSpgemm(model, r_bbc, ap_bbc, energy));
+        mergeSpgemm(r_bbc, ap_bbc);
     }
     return out;
 }

@@ -38,6 +38,19 @@ AmgWorkload simulateAmg(const StcModel &model,
                         const AmgHierarchy &hierarchy, int num_vcycles,
                         const EnergyModel &energy = EnergyModel());
 
+/**
+ * Simulate the AMG kernel stream on a whole architecture lineup in
+ * one pass: every level's SpMV / Galerkin-SpGEMM task stream is
+ * enumerated once and fanned out to all @p models through the kernel
+ * pipeline, so each returned workload (lineup order) matches a
+ * simulateAmg() call on that model alone while the per-level BBC
+ * encodes and stream walks are paid once instead of N times.
+ */
+std::vector<AmgWorkload> simulateAmgLineup(
+    const std::vector<const StcModel *> &models,
+    const AmgHierarchy &hierarchy, int num_vcycles,
+    const EnergyModel &energy = EnergyModel());
+
 } // namespace unistc
 
 #endif // UNISTC_APPS_AMG_AMG_DRIVER_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Kernel plan interface: a plan binds one kernel's operands (the BBC
+ * matrices, the sparse vector, the dense-B width) and knows how to
+ * open the lazy T1 task stream Algorithms 1/2 generate over them.
+ * The four concrete planners (SpmvPlan, SpmspvPlan, SpmmPlan,
+ * SpgemmPlan) live with their kernels in src/runner/; the engine
+ * (engine/kernel_pipeline.hh) drives any plan through any number of
+ * architecture models in a single pass.
+ */
+
+#ifndef UNISTC_ENGINE_PLAN_HH
+#define UNISTC_ENGINE_PLAN_HH
+
+#include <memory>
+
+#include "engine/task_stream.hh"
+#include "runner/report.hh"
+
+namespace unistc
+{
+
+/** One kernel invocation, ready to stream its T1 tasks. */
+class KernelPlan
+{
+  public:
+    virtual ~KernelPlan() = default;
+
+    /** The kernel this plan executes. */
+    virtual Kernel kernel() const = 0;
+
+    /**
+     * Open a fresh task stream. Each call restarts enumeration from
+     * the beginning; a multi-architecture pipeline opens exactly one
+     * stream and fans every task out to all models.
+     */
+    virtual std::unique_ptr<TaskStream> stream() const = 0;
+};
+
+using KernelPlanPtr = std::unique_ptr<KernelPlan>;
+
+} // namespace unistc
+
+#endif // UNISTC_ENGINE_PLAN_HH

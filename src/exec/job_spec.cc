@@ -1,11 +1,9 @@
 #include "exec/job_spec.hh"
 
 #include "common/logging.hh"
+#include "engine/kernel_pipeline.hh"
 #include "robust/fault_inject.hh"
-#include "runner/spgemm_runner.hh"
-#include "runner/spmm_runner.hh"
-#include "runner/spmspv_runner.hh"
-#include "runner/spmv_runner.hh"
+#include "runner/block_driver.hh"
 #include "stc/registry.hh"
 
 namespace unistc
@@ -32,51 +30,99 @@ JobSpec::rng() const
     return Rng(mixSeed(seed));
 }
 
+const std::string &
+JobSpec::modelName(std::size_t m) const
+{
+    if (lineup.empty()) {
+        UNISTC_ASSERT(m == 0, "model index ", m,
+                      " on a single-model job");
+        return model;
+    }
+    UNISTC_ASSERT(m < lineup.size(), "model index ", m,
+                  " out of range");
+    return lineup[m].name;
+}
+
 RunResult
 JobSpec::run(TraceSink *trace) const
+{
+    std::vector<RunResult> results = runMulti({trace});
+    return std::move(results.front());
+}
+
+std::vector<RunResult>
+JobSpec::runMulti(const std::vector<TraceSink *> &traces,
+                  PipelineCounters *counters) const
 {
     UNISTC_ASSERT(a != nullptr, "JobSpec without an A operand: ",
                   label());
     if (fault)
         fault->apply(label());
-    const StcModel *m = impl.get();
-    StcModelPtr owned;
-    if (m == nullptr) {
-        owned = makeStcModel(model, config);
-        m = owned.get();
-    }
-    const EnergyModel em(energy);
-    switch (kernel) {
-      case Kernel::SpMV:
-        return runSpmv(*m, *a, em, trace);
-      case Kernel::SpMSpV: {
-        const SparseVector *xv = x.get();
-        SparseVector synth;
-        if (xv == nullptr) {
-            // Standard 50 %-sparse x (§VI-A), from this job's own
-            // RNG stream.
-            Rng r = rng();
-            synth = SparseVector(a->cols());
-            for (int i = 0; i < a->cols(); ++i) {
-                if (r.nextBool(0.5))
-                    synth.push(i, r.nextDouble(0.1, 1.0));
-            }
-            xv = &synth;
+
+    // Resolve the model lineup: clones passed in by the caller, or
+    // registry constructions from (name, config).
+    std::vector<StcModelPtr> owned;
+    std::vector<const StcModel *> models;
+    if (lineup.empty()) {
+        const StcModel *m = impl.get();
+        if (m == nullptr) {
+            owned.push_back(makeStcModel(model, config));
+            m = owned.back().get();
         }
-        return runSpmspv(*m, *a, *xv, em, trace);
-      }
-      case Kernel::SpMM:
-        return runSpmm(*m, *a, bCols, em, trace);
-      case Kernel::SpGEMM:
-        return runSpgemm(*m, *a, b ? *b : *a, em, trace);
+        models.push_back(m);
+    } else {
+        for (const ModelSpec &entry : lineup) {
+            const StcModel *m = entry.impl.get();
+            if (m == nullptr) {
+                owned.push_back(makeStcModel(entry.name,
+                                             entry.config));
+                m = owned.back().get();
+            }
+            models.push_back(m);
+        }
     }
-    UNISTC_PANIC("unhandled kernel in JobSpec::run");
+
+    // Operands. A null b means C = A * A; a null x synthesizes the
+    // paper's standard 50 %-sparse vector (§VI-A) from this job's
+    // own RNG stream, so it depends on the seed, never the thread.
+    PlanInputs in;
+    in.a = a.get();
+    in.b = b ? b.get() : a.get();
+    in.bCols = bCols;
+    SparseVector synth;
+    const SparseVector *xv = x.get();
+    if (kernel == Kernel::SpMSpV && xv == nullptr) {
+        Rng r = rng();
+        synth = SparseVector(a->cols());
+        for (int i = 0; i < a->cols(); ++i) {
+            if (r.nextBool(0.5))
+                synth.push(i, r.nextDouble(0.1, 1.0));
+        }
+        xv = &synth;
+    }
+    in.x = xv;
+
+    const KernelPlanPtr plan = makeKernelPlan(kernel, in);
+    std::vector<KernelPipeline::ModelSlot> slots;
+    slots.reserve(models.size());
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        slots.push_back(
+            {models[m], m < traces.size() ? traces[m] : nullptr});
+    }
+    return KernelPipeline::run(*plan, slots, EnergyModel(energy),
+                               counters);
 }
 
 std::string
 JobSpec::label() const
 {
-    return std::string(toString(kernel)) + " " + model + " @ " +
+    std::string names;
+    for (std::size_t m = 0; m < fanout(); ++m) {
+        if (m > 0)
+            names += "+";
+        names += modelName(m);
+    }
+    return std::string(toString(kernel)) + " " + names + " @ " +
            matrix;
 }
 

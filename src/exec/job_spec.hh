@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bbc/bbc_matrix.hh"
 #include "common/rng.hh"
@@ -27,6 +28,19 @@ namespace unistc
 
 class TraceSink;
 struct FaultSpec;
+struct PipelineCounters;
+
+/**
+ * One architecture of a multi-model job lineup: registry name plus
+ * either a machine configuration (the job builds makeStcModel) or an
+ * exact instance to simulate on.
+ */
+struct ModelSpec
+{
+    std::string name;
+    MachineConfig config = MachineConfig::fp64();
+    std::shared_ptr<const StcModel> impl;
+};
 
 /**
  * One (kernel, model, matrix) simulation job. Operands are shared
@@ -90,17 +104,51 @@ struct JobSpec
      */
     std::shared_ptr<const FaultSpec> fault;
 
+    /**
+     * Multi-architecture lineup. Empty (the default) means a single-
+     * model job described by @ref model / @ref config / @ref impl.
+     * Non-empty means runMulti() opens the kernel's task stream ONCE
+     * and fans every generated task out to all lineup entries in a
+     * single pass (engine/kernel_pipeline.hh); model/config/impl are
+     * then ignored.
+     */
+    std::vector<ModelSpec> lineup;
+
+    /** Models this job simulates (1 unless @ref lineup is set). */
+    std::size_t fanout() const
+    {
+        return lineup.empty() ? 1 : lineup.size();
+    }
+
+    /** Display name of model @p m (@ref model for single jobs). */
+    const std::string &modelName(std::size_t m) const;
+
     /** This job's private RNG stream. */
     Rng rng() const;
 
     /**
      * Execute the job: build the model (clone or registry), run the
      * kernel, return the finalized RunResult. @p trace, when given,
-     * receives the job's pipeline events.
+     * receives the job's pipeline events. For a multi-model job this
+     * is runMulti() with only the first model traced, returning the
+     * first model's result.
      */
     RunResult run(TraceSink *trace = nullptr) const;
 
-    /** "kernel model @ matrix" label for logs and error messages. */
+    /**
+     * Execute the job's plan through every model of the lineup in a
+     * single pass over one task stream, returning one finalized
+     * RunResult per model (lineup order; one result for single-model
+     * jobs). Each result is bit-identical to a run() of the same spec
+     * restricted to that model. @p traces, when non-empty, supplies
+     * one optional sink per model; @p counters, when given, receives
+     * the engine's per-layer counters.
+     */
+    std::vector<RunResult>
+    runMulti(const std::vector<TraceSink *> &traces = {},
+             PipelineCounters *counters = nullptr) const;
+
+    /** "kernel model[+model...] @ matrix" label for logs/errors. */
     std::string label() const;
 };
 

@@ -59,9 +59,21 @@ SweepExecutor::resetSink(Slot &slot)
 {
     if (opt_.tracePerJob == 0)
         return;
+    // One trace process per lineup model; a single-model job keeps
+    // the historical pid == submission index (pidBase advances by
+    // each job's fan-out).
     slot.sink = std::make_unique<TraceSink>(opt_.tracePerJob);
-    slot.sink->setProcess(static_cast<int>(slot.index),
-                          slot.spec.model + " | " + slot.spec.matrix);
+    slot.sink->setProcess(slot.pidBase,
+                          slot.spec.modelName(0) + " | " +
+                              slot.spec.matrix);
+    slot.extraSinks.clear();
+    for (std::size_t m = 1; m < slot.spec.fanout(); ++m) {
+        slot.extraSinks.push_back(
+            std::make_unique<TraceSink>(opt_.tracePerJob));
+        slot.extraSinks.back()->setProcess(
+            slot.pidBase + static_cast<int>(m),
+            slot.spec.modelName(m) + " | " + slot.spec.matrix);
+    }
 }
 
 std::size_t
@@ -86,6 +98,8 @@ SweepExecutor::submit(JobSpec spec)
     }
     slot->index = index;
     slot->spec = std::move(spec);
+    slot->pidBase = nextPid_;
+    nextPid_ += static_cast<int>(slot->spec.fanout());
     resetSink(*slot);
     pool_.submit([this, slot] { runSlot(*slot); });
     return index;
@@ -108,7 +122,21 @@ SweepExecutor::runSlot(Slot &slot)
         slot.state.store(SlotState::Running,
                          std::memory_order_release);
         try {
-            RunResult res = slot.spec.run(slot.sink.get());
+            std::vector<RunResult> results;
+            if (slot.spec.fanout() > 1) {
+                // Multi-model job: one pass over one task stream,
+                // every task fanned out to the whole lineup.
+                slot.counters = PipelineCounters{};
+                std::vector<TraceSink *> traces;
+                if (slot.sink != nullptr) {
+                    traces.push_back(slot.sink.get());
+                    for (const auto &s : slot.extraSinks)
+                        traces.push_back(s.get());
+                }
+                results = slot.spec.runMulti(traces, &slot.counters);
+            } else {
+                results.push_back(slot.spec.run(slot.sink.get()));
+            }
             slot.state.store(SlotState::Done,
                              std::memory_order_release);
             if (opt_.maxJobSeconds > 0 &&
@@ -125,7 +153,8 @@ SweepExecutor::runSlot(Slot &slot)
                              " s budget";
                 break;
             }
-            slot.result = std::move(res);
+            slot.results = std::move(results);
+            slot.result = slot.results.front();
             slot.failed = false;
             slot.error.clear();
             return;
@@ -142,10 +171,12 @@ SweepExecutor::runSlot(Slot &slot)
         }
     }
     // Failed after every attempt (or timed out). Quarantine
-    // semantics: a zeroed result and an empty trace buffer, both
-    // independent of worker count, preserving the byte-identical
-    // merge guarantee.
+    // semantics: zeroed results (one per lineup model) and an empty
+    // trace buffer, both independent of worker count, preserving the
+    // byte-identical merge guarantee.
     slot.result = RunResult{};
+    slot.results.assign(slot.spec.fanout(), RunResult{});
+    slot.counters = PipelineCounters{};
     resetSink(slot);
 }
 
@@ -224,12 +255,16 @@ SweepExecutor::wait()
         std::uint64_t total_cycles = 0;
         for (std::size_t i = 0; i < slots_.size(); ++i) {
             const Slot &s = slots_[i];
-            registerRunResult(stats_, s.result,
-                              opt_.statsPrefix + std::to_string(i) +
-                                  "." + s.spec.matrix + "." +
-                                  s.spec.model + "." +
-                                  toString(s.spec.kernel) + ".");
-            total_cycles += s.result.cycles;
+            for (std::size_t m = 0; m < s.spec.fanout(); ++m) {
+                const RunResult &res =
+                    m < s.results.size() ? s.results[m] : s.result;
+                registerRunResult(
+                    stats_, res,
+                    opt_.statsPrefix + std::to_string(i) + "." +
+                        s.spec.matrix + "." + s.spec.modelName(m) +
+                        "." + toString(s.spec.kernel) + ".");
+                total_cycles += res.cycles;
+            }
         }
         stats_.setCounter(opt_.statsPrefix + "totalCycles",
                           total_cycles,
@@ -256,15 +291,47 @@ SweepExecutor::wait()
                               "jobs replaced by a zeroed result");
         }
     }
+
+    // Aggregate engine counters over multi-model jobs: tasks and
+    // wall times sum; fan-out and peak-live are maxima. Only the
+    // deterministic counter fields enter stats() — wall times would
+    // break the 1-vs-N-worker byte-identical stats guarantee.
+    bool any_multi = false;
+    for (const Slot &s : slots_) {
+        if (s.spec.fanout() <= 1)
+            continue;
+        any_multi = true;
+        engineCounters_.tasksGenerated += s.counters.tasksGenerated;
+        engineCounters_.modelsFanout =
+            std::max(engineCounters_.modelsFanout,
+                     s.counters.modelsFanout);
+        engineCounters_.peakLiveTasks =
+            std::max(engineCounters_.peakLiveTasks,
+                     s.counters.peakLiveTasks);
+        engineCounters_.enumerateSeconds +=
+            s.counters.enumerateSeconds;
+        engineCounters_.modelSeconds += s.counters.modelSeconds;
+    }
+    if (any_multi && opt_.collectStats) {
+        engineCounters_.registerStats(stats_, "engine.",
+                                      /*includeTiming=*/false);
+    }
+
     if (opt_.tracePerJob > 0) {
         std::size_t total = 0;
-        for (const Slot &s : slots_)
+        for (const Slot &s : slots_) {
             total += s.sink->size();
+            for (const auto &extra : s.extraSinks)
+                total += extra->size();
+        }
         mergedTrace_ =
             std::make_unique<TraceSink>(std::max<std::size_t>(total,
                                                               1));
-        for (const Slot &s : slots_)
+        for (const Slot &s : slots_) {
             mergedTrace_->mergeFrom(*s.sink);
+            for (const auto &extra : s.extraSinks)
+                mergedTrace_->mergeFrom(*extra);
+        }
     }
 }
 
@@ -283,6 +350,48 @@ SweepExecutor::result(std::size_t i) const
     UNISTC_ASSERT(i < slots_.size(), "job index ", i,
                   " out of range");
     return slots_[i].result;
+}
+
+std::size_t
+SweepExecutor::fanout(std::size_t i) const
+{
+    UNISTC_ASSERT(i < slots_.size(), "job index ", i,
+                  " out of range");
+    return slots_[i].spec.fanout();
+}
+
+const RunResult &
+SweepExecutor::resultOf(std::size_t i, std::size_t m) const
+{
+    UNISTC_ASSERT(merged_, "SweepExecutor::resultOf before wait()");
+    UNISTC_ASSERT(i < slots_.size(), "job index ", i,
+                  " out of range");
+    const Slot &s = slots_[i];
+    UNISTC_ASSERT(m < s.spec.fanout(), "model index ", m,
+                  " out of range for job ", i);
+    if (s.results.empty()) {
+        // A job that never ran its attempt loop (defensive; the
+        // quarantine path always fills results).
+        return s.result;
+    }
+    return s.results[m];
+}
+
+const PipelineCounters &
+SweepExecutor::countersOf(std::size_t i) const
+{
+    UNISTC_ASSERT(merged_, "SweepExecutor::countersOf before wait()");
+    UNISTC_ASSERT(i < slots_.size(), "job index ", i,
+                  " out of range");
+    return slots_[i].counters;
+}
+
+const PipelineCounters &
+SweepExecutor::pipelineCounters() const
+{
+    UNISTC_ASSERT(merged_,
+                  "SweepExecutor::pipelineCounters before wait()");
+    return engineCounters_;
 }
 
 SweepExecutor::JobOutcome

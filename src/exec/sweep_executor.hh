@@ -37,6 +37,7 @@
 #include <string>
 #include <thread>
 
+#include "engine/kernel_pipeline.hh"
 #include "exec/job_spec.hh"
 #include "exec/thread_pool.hh"
 #include "obs/stat_registry.hh"
@@ -147,8 +148,35 @@ class SweepExecutor
     /** Spec of job @p i as submitted (seed filled in). */
     const JobSpec &spec(std::size_t i) const;
 
-    /** Result of job @p i; requires wait() first. */
+    /**
+     * Result of job @p i (the first model's result for multi-model
+     * jobs); requires wait() first.
+     */
     const RunResult &result(std::size_t i) const;
+
+    /** Models fanned out by job @p i (1 for single-model jobs). */
+    std::size_t fanout(std::size_t i) const;
+
+    /**
+     * Result of model @p m of (multi-model) job @p i, in lineup
+     * order; requires wait() first. resultOf(i, 0) == result(i).
+     */
+    const RunResult &resultOf(std::size_t i, std::size_t m) const;
+
+    /**
+     * Engine counters of (multi-model) job @p i — all zero for
+     * single-model jobs; requires wait() first.
+     */
+    const PipelineCounters &countersOf(std::size_t i) const;
+
+    /**
+     * Engine counters aggregated over every multi-model job of the
+     * sweep (tasks summed; fan-out and peak-live maxima; wall times
+     * summed); requires wait(). All zero when no job carried a
+     * lineup. The counter (not timing) fields are also registered in
+     * stats() under "engine." whenever a multi-model job ran.
+     */
+    const PipelineCounters &pipelineCounters() const;
 
     /**
      * Recovery verdict of job @p i (attempts, timeout, final error);
@@ -185,6 +213,18 @@ class SweepExecutor
         RunResult result;
         std::unique_ptr<TraceSink> sink;
 
+        /** Per-model results (lineup order); results[0] == result. */
+        std::vector<RunResult> results;
+
+        /** Sinks for lineup models 1..N-1 (sink covers model 0). */
+        std::vector<std::unique_ptr<TraceSink>> extraSinks;
+
+        /** Engine counters of a multi-model run (else all zero). */
+        PipelineCounters counters;
+
+        /** First trace pid of this job (one pid per lineup model). */
+        int pidBase = 0;
+
         // Recovery bookkeeping, written by the worker running the
         // job and read after the wait() barrier (except state/start/
         // warned, which the watchdog reads while the job runs).
@@ -217,7 +257,9 @@ class SweepExecutor
     mutable std::mutex slotsMu_;
     StatRegistry stats_;
     std::unique_ptr<TraceSink> mergedTrace_;
+    PipelineCounters engineCounters_;
     bool merged_ = false;
+    int nextPid_ = 0;
 
     std::thread watchdog_;
     std::mutex watchdogMu_;

@@ -4,6 +4,9 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "engine/task_stream.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmv_runner.hh"
 #include "unistc/sdpu.hh"
 #include "unistc/tms.hh"
 
@@ -132,16 +135,23 @@ simulateLifecycle(const std::vector<TaskBundle> &tasks,
 }
 
 std::vector<TaskBundle>
-traceSpmv(const BbcMatrix &a, const MachineConfig &cfg)
+bundleStream(TaskStream &stream, const MachineConfig &cfg)
 {
     std::vector<TaskBundle> out;
-    out.reserve(a.numBlocks());
-    const BlockPattern x = vectorAsBlock(0xFFFFu);
-    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
-        out.push_back(buildTaskBundle(a.blockPattern(blk), x,
-                                      /*is_mv=*/true, cfg));
+    StreamedTask item;
+    while (stream.next(item)) {
+        out.push_back(buildTaskBundle(item.task.a, item.task.b,
+                                      item.task.isMv, cfg));
     }
     return out;
+}
+
+std::vector<TaskBundle>
+traceSpmv(const BbcMatrix &a, const MachineConfig &cfg)
+{
+    const SpmvPlan plan(a);
+    const auto stream = plan.stream();
+    return bundleStream(*stream, cfg);
 }
 
 std::vector<TaskBundle>
@@ -169,31 +179,9 @@ std::vector<TaskBundle>
 traceSpgemm(const BbcMatrix &a, const BbcMatrix &b,
             const MachineConfig &cfg)
 {
-    UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
-    std::vector<TaskBundle> out;
-    std::vector<BlockPattern> a_pat;
-    a_pat.reserve(a.numBlocks());
-    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk)
-        a_pat.push_back(a.blockPattern(blk));
-    std::vector<BlockPattern> b_pat;
-    b_pat.reserve(b.numBlocks());
-    for (std::int64_t blk = 0; blk < b.numBlocks(); ++blk)
-        b_pat.push_back(b.blockPattern(blk));
-
-    for (int bi = 0; bi < a.blockRows(); ++bi) {
-        for (std::int64_t ai = a.rowPtr()[bi]; ai < a.rowPtr()[bi + 1];
-             ++ai) {
-            const int bk = a.colIdx()[ai];
-            for (std::int64_t bj = b.rowPtr()[bk];
-                 bj < b.rowPtr()[bk + 1]; ++bj) {
-                if (blockProductCount(a_pat[ai], b_pat[bj]) == 0)
-                    continue;
-                out.push_back(buildTaskBundle(a_pat[ai], b_pat[bj],
-                                              /*is_mv=*/false, cfg));
-            }
-        }
-    }
-    return out;
+    const SpgemmPlan plan(a, b);
+    const auto stream = plan.stream();
+    return bundleStream(*stream, cfg);
 }
 
 } // namespace unistc

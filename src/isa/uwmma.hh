@@ -31,6 +31,8 @@
 namespace unistc
 {
 
+class TaskStream;
+
 /** UWMMA opcodes (Table V). */
 enum class UwmmaOp
 {
@@ -94,8 +96,17 @@ LifecycleStats simulateLifecycle(const std::vector<TaskBundle> &tasks,
                                  bool async_task_gen);
 
 /**
+ * Drain a T1 task stream (engine/task_stream.hh) into one UWMMA
+ * bundle per task, in stream order — the ISA layer's consumer of the
+ * unified kernel plans.
+ */
+std::vector<TaskBundle> bundleStream(TaskStream &stream,
+                                     const MachineConfig &cfg);
+
+/**
  * Build the full instruction stream of SpMV over a BBC matrix
- * (Algorithm 1) or of SpGEMM C = A x B (Algorithm 2).
+ * (Algorithm 1) or of SpGEMM C = A x B (Algorithm 2). Both are
+ * bundleStream() over the corresponding kernel plan's stream.
  */
 std::vector<TaskBundle> traceSpmv(const BbcMatrix &a,
                                   const MachineConfig &cfg);

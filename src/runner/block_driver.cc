@@ -1,5 +1,11 @@
 #include "runner/block_driver.hh"
 
+#include "common/logging.hh"
+#include "runner/spgemm_runner.hh"
+#include "runner/spmm_runner.hh"
+#include "runner/spmspv_runner.hh"
+#include "runner/spmv_runner.hh"
+
 namespace unistc
 {
 
@@ -18,6 +24,26 @@ finalizeRun(const StcModel &model, const EnergyModel &energy,
             RunResult &res)
 {
     energy.finalize(model.config(), model.network(), res);
+}
+
+KernelPlanPtr
+makeKernelPlan(Kernel kernel, const PlanInputs &in)
+{
+    UNISTC_ASSERT(in.a != nullptr, "every kernel plan needs A");
+    switch (kernel) {
+    case Kernel::SpMV:
+        return std::make_unique<SpmvPlan>(*in.a);
+    case Kernel::SpMSpV:
+        UNISTC_ASSERT(in.x != nullptr, "SpMSpV plan needs x");
+        return std::make_unique<SpmspvPlan>(*in.a, *in.x);
+    case Kernel::SpMM:
+        return std::make_unique<SpmmPlan>(*in.a, in.bCols);
+    case Kernel::SpGEMM:
+        UNISTC_ASSERT(in.b != nullptr, "SpGEMM plan needs B");
+        return std::make_unique<SpgemmPlan>(*in.a, *in.b);
+    }
+    UNISTC_ASSERT(false, "unknown kernel");
+    return nullptr;
 }
 
 } // namespace unistc

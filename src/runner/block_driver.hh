@@ -13,11 +13,14 @@
 #include <vector>
 
 #include "bbc/bbc_matrix.hh"
+#include "engine/plan.hh"
 #include "sim/energy.hh"
 #include "stc/stc_model.hh"
 
 namespace unistc
 {
+
+class SparseVector;
 
 /** Reconstruct all block patterns of a BBC matrix once. */
 std::vector<BlockPattern> allBlockPatterns(const BbcMatrix &m);
@@ -25,6 +28,26 @@ std::vector<BlockPattern> allBlockPatterns(const BbcMatrix &m);
 /** Apply the energy model to a finished run. */
 void finalizeRun(const StcModel &model, const EnergyModel &energy,
                  RunResult &res);
+
+/**
+ * Operand bundle for makeKernelPlan(). @p a is always required; @p x
+ * only for SpMSpV, @p b only for SpGEMM, @p bCols only for SpMM.
+ * Pointees must outlive the returned plan and its streams.
+ */
+struct PlanInputs
+{
+    const BbcMatrix *a = nullptr;
+    const BbcMatrix *b = nullptr;    ///< SpGEMM right-hand operand.
+    const SparseVector *x = nullptr; ///< SpMSpV input vector.
+    int bCols = 64;                  ///< SpMM dense-B width (§VI-A).
+};
+
+/**
+ * Build the planner for @p kernel over @p in — the one dispatch point
+ * turning (kernel, operands) into a streamable plan. Asserts when a
+ * required operand is missing.
+ */
+KernelPlanPtr makeKernelPlan(Kernel kernel, const PlanInputs &in);
 
 } // namespace unistc
 

@@ -89,6 +89,19 @@ partitionBlocks(const BbcMatrix &m, int num_warps)
     return part;
 }
 
+bool
+BlockRowCursor::next()
+{
+    ++blk_;
+    if (blk_ >= m_->numBlocks())
+        return false;
+    // Stored blocks are row-major, so the owning row only moves
+    // forward; skip rows with no stored blocks.
+    while (m_->rowPtr()[row_ + 1] <= blk_)
+        ++row_;
+    return true;
+}
+
 WarpPartition
 partitionRows(const BbcMatrix &m, int num_warps)
 {

@@ -58,6 +58,33 @@ WarpPartition partitionBlocks(const BbcMatrix &m, int num_warps);
  */
 WarpPartition partitionRows(const BbcMatrix &m, int num_warps);
 
+/**
+ * Row-ordered walk over the stored blocks of a BBC matrix: yields
+ * every (block row, global block index) pair exactly once, in the
+ * rowPtr/colIdx order Algorithms 1 and 2 prescribe. This is the loop
+ * skeleton the SpMSpV and SpMM task streams share (previously two
+ * hand-rolled copies in the runners).
+ */
+class BlockRowCursor
+{
+  public:
+    explicit BlockRowCursor(const BbcMatrix &m) : m_(&m) {}
+
+    /** Advance to the next stored block; false when exhausted. */
+    bool next();
+
+    /** Block row of the current block (valid after next() == true). */
+    int blockRow() const { return row_; }
+
+    /** Global block index of the current block. */
+    std::int64_t blockIndex() const { return blk_; }
+
+  private:
+    const BbcMatrix *m_;
+    int row_ = 0;
+    std::int64_t blk_ = -1;
+};
+
 } // namespace unistc
 
 #endif // UNISTC_RUNNER_PARTITION_HH

@@ -1,50 +1,120 @@
 #include "runner/spgemm_runner.hh"
 
 #include "common/logging.hh"
-#include "obs/trace.hh"
+#include "engine/kernel_pipeline.hh"
 
 namespace unistc
 {
+
+namespace
+{
+
+/**
+ * Resumable three-level walk of Algorithm 2: C block row bi -> stored
+ * A block ai in row bi -> stored B block bj in B's block row
+ * colIdx(ai). One trace group per C block row. Block patterns are
+ * reconstructed once per stream — so a multi-architecture pipeline
+ * pays the reconstruction once, not once per model.
+ */
+class SpgemmStream final : public TaskStream
+{
+  public:
+    SpgemmStream(const BbcMatrix &a, const BbcMatrix &b)
+        : a_(&a), b_(&b), aPatterns_(allBlockPatterns(a)),
+          bPatterns_(allBlockPatterns(b))
+    {
+        enterA();
+    }
+
+    bool
+    next(StreamedTask &out) override
+    {
+        for (; bi_ < a_->blockRows(); nextRow()) {
+            for (; ai_ < a_->rowPtr()[bi_ + 1]; nextA()) {
+                const BlockPattern &a_pat =
+                    aPatterns_[static_cast<std::size_t>(ai_)];
+                for (; bj_ < bEnd_; ++bj_) {
+                    const BlockPattern &b_pat =
+                        bPatterns_[static_cast<std::size_t>(bj_)];
+                    // Software bitmap check (Algorithm 2, line 13).
+                    if (blockProductCount(a_pat, b_pat) == 0)
+                        continue;
+                    out.task = BlockTask::mm(a_pat, b_pat);
+                    out.group = bi_;
+                    ++bj_;
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    std::string
+    groupLabel(std::int64_t group) const override
+    {
+        return "C block row #" + std::to_string(group);
+    }
+
+  private:
+    /** Bind bj_/bEnd_ to the B block row of the current A block. */
+    void
+    enterA()
+    {
+        if (bi_ < a_->blockRows() && ai_ < a_->rowPtr()[bi_ + 1]) {
+            const int bk = a_->colIdx()[ai_];
+            bj_ = b_->rowPtr()[bk];
+            bEnd_ = b_->rowPtr()[bk + 1];
+        } else {
+            bj_ = bEnd_ = 0;
+        }
+    }
+
+    void
+    nextA()
+    {
+        ++ai_;
+        enterA();
+    }
+
+    /** ai_ already sits at rowPtr[bi_ + 1] == start of the next row. */
+    void
+    nextRow()
+    {
+        ++bi_;
+        enterA();
+    }
+
+    const BbcMatrix *a_;
+    const BbcMatrix *b_;
+    std::vector<BlockPattern> aPatterns_;
+    std::vector<BlockPattern> bPatterns_;
+    int bi_ = 0;            ///< Current C block row.
+    std::int64_t ai_ = 0;   ///< Current stored A block (global).
+    std::int64_t bj_ = 0;   ///< Current stored B block (global).
+    std::int64_t bEnd_ = 0; ///< End of the current B block row.
+};
+
+} // namespace
+
+SpgemmPlan::SpgemmPlan(const BbcMatrix &a, const BbcMatrix &b)
+    : a_(&a), b_(&b)
+{
+    UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
+}
+
+std::unique_ptr<TaskStream>
+SpgemmPlan::stream() const
+{
+    return std::make_unique<SpgemmStream>(*a_, *b_);
+}
 
 RunResult
 runSpgemm(const StcModel &model, const BbcMatrix &a,
           const BbcMatrix &b, const EnergyModel &energy,
           TraceSink *trace)
 {
-    UNISTC_ASSERT(a.cols() == b.rows(), "SpGEMM shape mismatch");
-
-    // Reconstruct block patterns once; the inner loop touches B's
-    // block rows many times.
-    const auto a_patterns = allBlockPatterns(a);
-    const auto b_patterns = allBlockPatterns(b);
-
-    RunResult res;
-    UNISTC_TRACE_BEGIN(trace, TraceTrack::Runner, "SpGEMM", 0);
-    for (int bi = 0; bi < a.blockRows(); ++bi) {
-        const std::uint64_t row_start = res.cycles;
-        for (std::int64_t ai = a.rowPtr()[bi]; ai < a.rowPtr()[bi + 1];
-             ++ai) {
-            const int bk = a.colIdx()[ai];
-            const BlockPattern &a_pat = a_patterns[ai];
-            for (std::int64_t bj = b.rowPtr()[bk];
-                 bj < b.rowPtr()[bk + 1]; ++bj) {
-                const BlockPattern &b_pat = b_patterns[bj];
-                // Software bitmap check (Algorithm 2, line 13).
-                if (blockProductCount(a_pat, b_pat) == 0)
-                    continue;
-                const BlockTask task = BlockTask::mm(a_pat, b_pat);
-                model.runBlock(task, res, trace);
-            }
-        }
-        if (res.cycles > row_start) {
-            UNISTC_TRACE_COMPLETE(trace, TraceTrack::Runner,
-                                  "C block row #" + std::to_string(bi),
-                                  row_start, res.cycles - row_start);
-        }
-    }
-    UNISTC_TRACE_END(trace, TraceTrack::Runner, res.cycles);
-    finalizeRun(model, energy, res);
-    return res;
+    return KernelPipeline::runOne(SpgemmPlan(a, b), model, energy,
+                                  trace);
 }
 
 } // namespace unistc

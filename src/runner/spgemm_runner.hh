@@ -1,18 +1,34 @@
 /**
  * @file
- * SpGEMM runner — Algorithm 2 over two BBC operands: a row-by-row
+ * SpGEMM planner — Algorithm 2 over two BBC operands: a row-by-row
  * block outer product C_i* += A_ik x B_k*, with the software bitmap
  * check (`A16b x B16b`, Algorithm 2 line 13) skipping block pairs
- * that share no index.
+ * that share no index. SpgemmPlan opens the lazy task stream;
+ * runSpgemm() is the single-model wrapper.
  */
 
 #ifndef UNISTC_RUNNER_SPGEMM_RUNNER_HH
 #define UNISTC_RUNNER_SPGEMM_RUNNER_HH
 
+#include "engine/plan.hh"
 #include "runner/block_driver.hh"
 
 namespace unistc
 {
+
+/** Plan for C = A * B, both operands sparse. */
+class SpgemmPlan final : public KernelPlan
+{
+  public:
+    SpgemmPlan(const BbcMatrix &a, const BbcMatrix &b);
+
+    Kernel kernel() const override { return Kernel::SpGEMM; }
+    std::unique_ptr<TaskStream> stream() const override;
+
+  private:
+    const BbcMatrix *a_;
+    const BbcMatrix *b_;
+};
 
 /** Simulate C = A * B, both sparse, on @p model. */
 RunResult runSpgemm(const StcModel &model, const BbcMatrix &a,

@@ -4,24 +4,60 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
-#include "obs/trace.hh"
+#include "engine/kernel_pipeline.hh"
+#include "runner/partition.hh"
 
 namespace unistc
 {
 
-RunResult
-runSpmm(const StcModel &model, const BbcMatrix &a, int b_cols,
-        const EnergyModel &energy, TraceSink *trace)
+namespace
 {
-    UNISTC_ASSERT(b_cols > 0, "SpMM needs at least one B column");
-    const int b_block_cols = static_cast<int>(ceilDiv(b_cols,
-                                                      kBlockSize));
 
-    // Dense B block: a full pattern, or a partial-width one for the
-    // last block column when b_cols is not a multiple of 16.
-    auto dense_b_block = [&](int bj) {
+/**
+ * ceil(bCols/16) MM tasks per stored A block, in storage order; one
+ * trace group per A block.
+ */
+class SpmmStream final : public TaskStream
+{
+  public:
+    SpmmStream(const BbcMatrix &a, int b_cols)
+        : a_(&a), bCols_(b_cols),
+          bBlockCols_(static_cast<int>(ceilDiv(b_cols, kBlockSize))),
+          cursor_(a), bj_(bBlockCols_)
+    {
+    }
+
+    bool
+    next(StreamedTask &out) override
+    {
+        if (bj_ >= bBlockCols_) {
+            if (!cursor_.next())
+                return false;
+            pattern_ = a_->blockPattern(cursor_.blockIndex());
+            bj_ = 0;
+        }
+        out.task = BlockTask::mm(pattern_, denseBBlock(bj_));
+        out.group = cursor_.blockIndex();
+        ++bj_;
+        return true;
+    }
+
+    std::string
+    groupLabel(std::int64_t group) const override
+    {
+        return "T1 row #" + std::to_string(group);
+    }
+
+  private:
+    /**
+     * Dense B block: a full pattern, or a partial-width one for the
+     * last block column when bCols is not a multiple of 16.
+     */
+    BlockPattern
+    denseBBlock(int bj) const
+    {
         const int width = std::min(kBlockSize,
-                                   b_cols - bj * kBlockSize);
+                                   bCols_ - bj * kBlockSize);
         if (width == kBlockSize)
             return BlockPattern::dense();
         BlockPattern p;
@@ -30,25 +66,36 @@ runSpmm(const StcModel &model, const BbcMatrix &a, int b_cols,
                 p.set(r, c);
         }
         return p;
-    };
-
-    RunResult res;
-    UNISTC_TRACE_BEGIN(trace, TraceTrack::Runner, "SpMM", 0);
-    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
-        const BlockPattern pattern = a.blockPattern(blk);
-        const std::uint64_t t0 = res.cycles;
-        for (int bj = 0; bj < b_block_cols; ++bj) {
-            const BlockTask task =
-                BlockTask::mm(pattern, dense_b_block(bj));
-            model.runBlock(task, res, trace);
-        }
-        UNISTC_TRACE_COMPLETE(trace, TraceTrack::Runner,
-                              "T1 row #" + std::to_string(blk), t0,
-                              res.cycles - t0);
     }
-    UNISTC_TRACE_END(trace, TraceTrack::Runner, res.cycles);
-    finalizeRun(model, energy, res);
-    return res;
+
+    const BbcMatrix *a_;
+    int bCols_;
+    int bBlockCols_;
+    BlockRowCursor cursor_;
+    BlockPattern pattern_;
+    int bj_; ///< Next B block column; >= bBlockCols_ forces advance.
+};
+
+} // namespace
+
+SpmmPlan::SpmmPlan(const BbcMatrix &a, int b_cols)
+    : a_(&a), bCols_(b_cols)
+{
+    UNISTC_ASSERT(b_cols > 0, "SpMM needs at least one B column");
+}
+
+std::unique_ptr<TaskStream>
+SpmmPlan::stream() const
+{
+    return std::make_unique<SpmmStream>(*a_, bCols_);
+}
+
+RunResult
+runSpmm(const StcModel &model, const BbcMatrix &a, int b_cols,
+        const EnergyModel &energy, TraceSink *trace)
+{
+    return KernelPipeline::runOne(SpmmPlan(a, b_cols), model, energy,
+                                  trace);
 }
 
 } // namespace unistc

@@ -1,17 +1,33 @@
 /**
  * @file
- * SpMM runner — Algorithm 2 with a dense B: every stored A block is
+ * SpMM planner — Algorithm 2 with a dense B: every stored A block is
  * multiplied against ceil(bCols/16) dense B blocks. The paper fixes
- * bCols = 64 (§VI-A).
+ * bCols = 64 (§VI-A). SpmmPlan opens the lazy task stream; runSpmm()
+ * is the single-model wrapper.
  */
 
 #ifndef UNISTC_RUNNER_SPMM_RUNNER_HH
 #define UNISTC_RUNNER_SPMM_RUNNER_HH
 
+#include "engine/plan.hh"
 #include "runner/block_driver.hh"
 
 namespace unistc
 {
+
+/** Plan for C = A * B with a dense rows(A.cols) x bCols B. */
+class SpmmPlan final : public KernelPlan
+{
+  public:
+    explicit SpmmPlan(const BbcMatrix &a, int b_cols = 64);
+
+    Kernel kernel() const override { return Kernel::SpMM; }
+    std::unique_ptr<TaskStream> stream() const override;
+
+  private:
+    const BbcMatrix *a_;
+    int bCols_;
+};
 
 /** Simulate C = A * B with a dense rows(A.cols) x b_cols B. */
 RunResult runSpmm(const StcModel &model, const BbcMatrix &a,

@@ -2,7 +2,8 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
-#include "obs/trace.hh"
+#include "engine/kernel_pipeline.hh"
+#include "runner/partition.hh"
 
 namespace unistc
 {
@@ -20,38 +21,70 @@ segmentMasks(const SparseVector &x)
     return masks;
 }
 
+namespace
+{
+
+/**
+ * Row-ordered walk over stored A blocks, gated by the x-segment
+ * bitmap of each block column. Masks live in the owning plan.
+ */
+class SpmspvStream final : public TaskStream
+{
+  public:
+    SpmspvStream(const BbcMatrix &a,
+                 const std::vector<std::uint16_t> &masks)
+        : a_(&a), masks_(&masks), cursor_(a)
+    {
+    }
+
+    bool
+    next(StreamedTask &out) override
+    {
+        while (cursor_.next()) {
+            const std::int64_t blk = cursor_.blockIndex();
+            const std::uint16_t mask =
+                (*masks_)[static_cast<std::size_t>(
+                    a_->colIdx()[blk])];
+            if (!mask)
+                continue;
+            const BlockPattern pattern = a_->blockPattern(blk);
+            // Software bitmap check: skip blocks with no index match.
+            if (blockMvProductCount(pattern, mask) == 0)
+                continue;
+            out.task = BlockTask::mv(pattern, mask);
+            out.group = blk;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    const BbcMatrix *a_;
+    const std::vector<std::uint16_t> *masks_;
+    BlockRowCursor cursor_;
+};
+
+} // namespace
+
+SpmspvPlan::SpmspvPlan(const BbcMatrix &a, const SparseVector &x)
+    : a_(&a), masks_(segmentMasks(x))
+{
+    UNISTC_ASSERT(x.size() == a.cols(), "SpMSpV shape mismatch");
+}
+
+std::unique_ptr<TaskStream>
+SpmspvPlan::stream() const
+{
+    return std::make_unique<SpmspvStream>(*a_, masks_);
+}
+
 RunResult
 runSpmspv(const StcModel &model, const BbcMatrix &a,
           const SparseVector &x, const EnergyModel &energy,
           TraceSink *trace)
 {
-    UNISTC_ASSERT(x.size() == a.cols(), "SpMSpV shape mismatch");
-    const auto masks = segmentMasks(x);
-
-    RunResult res;
-    UNISTC_TRACE_BEGIN(trace, TraceTrack::Runner, "SpMSpV", 0);
-    for (int br = 0; br < a.blockRows(); ++br) {
-        for (std::int64_t blk = a.rowPtr()[br];
-             blk < a.rowPtr()[br + 1]; ++blk) {
-            const int bc = a.colIdx()[blk];
-            const std::uint16_t mask = masks[bc];
-            if (!mask)
-                continue;
-            const BlockPattern pattern = a.blockPattern(blk);
-            // Software bitmap check: skip blocks with no index match.
-            if (blockMvProductCount(pattern, mask) == 0)
-                continue;
-            const BlockTask task = BlockTask::mv(pattern, mask);
-            const std::uint64_t t0 = res.cycles;
-            model.runBlock(task, res, trace);
-            UNISTC_TRACE_COMPLETE(trace, TraceTrack::Runner,
-                                  "T1 #" + std::to_string(blk), t0,
-                                  res.cycles - t0);
-        }
-    }
-    UNISTC_TRACE_END(trace, TraceTrack::Runner, res.cycles);
-    finalizeRun(model, energy, res);
-    return res;
+    return KernelPipeline::runOne(SpmspvPlan(a, x), model, energy,
+                                  trace);
 }
 
 } // namespace unistc

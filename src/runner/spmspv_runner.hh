@@ -1,14 +1,18 @@
 /**
  * @file
- * SpMSpV runner — Algorithm 1 with a sparse x: the x-segment bitmap
+ * SpMSpV planner — Algorithm 1 with a sparse x: the x-segment bitmap
  * of each block column gates task generation; blocks whose bitmap
  * product with the segment is empty are skipped by the software check
- * (the `stc.task_gen` path emits nothing for them).
+ * (the `stc.task_gen` path emits nothing for them). SpmspvPlan opens
+ * the lazy task stream; runSpmspv() is the single-model wrapper.
  */
 
 #ifndef UNISTC_RUNNER_SPMSPV_RUNNER_HH
 #define UNISTC_RUNNER_SPMSPV_RUNNER_HH
 
+#include <vector>
+
+#include "engine/plan.hh"
 #include "runner/block_driver.hh"
 #include "sparse/sparse_vector.hh"
 
@@ -17,6 +21,20 @@ namespace unistc
 
 /** Per-block-column 16-bit structural masks of a sparse vector. */
 std::vector<std::uint16_t> segmentMasks(const SparseVector &x);
+
+/** Plan for y = A * x with a sparse x. */
+class SpmspvPlan final : public KernelPlan
+{
+  public:
+    SpmspvPlan(const BbcMatrix &a, const SparseVector &x);
+
+    Kernel kernel() const override { return Kernel::SpMSpV; }
+    std::unique_ptr<TaskStream> stream() const override;
+
+  private:
+    const BbcMatrix *a_;
+    std::vector<std::uint16_t> masks_;
+};
 
 /** Simulate y = A * x (sparse x) on @p model. */
 RunResult runSpmspv(const StcModel &model, const BbcMatrix &a,

@@ -1,29 +1,49 @@
 #include "runner/spmv_runner.hh"
 
-#include "obs/trace.hh"
+#include "engine/kernel_pipeline.hh"
 
 namespace unistc
 {
+
+namespace
+{
+
+/** One MV task per stored A block, in storage (row-major) order. */
+class SpmvStream final : public TaskStream
+{
+  public:
+    explicit SpmvStream(const BbcMatrix &a) : a_(&a) {}
+
+    bool
+    next(StreamedTask &out) override
+    {
+        if (blk_ >= a_->numBlocks())
+            return false;
+        // Dense x: every lane of the segment is live.
+        out.task = BlockTask::mv(a_->blockPattern(blk_), 0xFFFFu);
+        out.group = blk_;
+        ++blk_;
+        return true;
+    }
+
+  private:
+    const BbcMatrix *a_;
+    std::int64_t blk_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TaskStream>
+SpmvPlan::stream() const
+{
+    return std::make_unique<SpmvStream>(*a_);
+}
 
 RunResult
 runSpmv(const StcModel &model, const BbcMatrix &a,
         const EnergyModel &energy, TraceSink *trace)
 {
-    RunResult res;
-    UNISTC_TRACE_BEGIN(trace, TraceTrack::Runner, "SpMV", 0);
-    for (std::int64_t blk = 0; blk < a.numBlocks(); ++blk) {
-        const BlockPattern pattern = a.blockPattern(blk);
-        // Dense x: every lane of the segment is live.
-        const BlockTask task = BlockTask::mv(pattern, 0xFFFFu);
-        const std::uint64_t t0 = res.cycles;
-        model.runBlock(task, res, trace);
-        UNISTC_TRACE_COMPLETE(trace, TraceTrack::Runner,
-                              "T1 #" + std::to_string(blk), t0,
-                              res.cycles - t0);
-    }
-    UNISTC_TRACE_END(trace, TraceTrack::Runner, res.cycles);
-    finalizeRun(model, energy, res);
-    return res;
+    return KernelPipeline::runOne(SpmvPlan(a), model, energy, trace);
 }
 
 } // namespace unistc

@@ -1,17 +1,32 @@
 /**
  * @file
- * SpMV runner — Algorithm 1 with a dense x: every stored A block is a
+ * SpMV planner — Algorithm 1 with a dense x: every stored A block is a
  * matrix-vector T1 task against the full 16-entry x segment of its
- * block column.
+ * block column. SpmvPlan opens the lazy task stream; runSpmv() is the
+ * single-model convenience wrapper over the engine.
  */
 
 #ifndef UNISTC_RUNNER_SPMV_RUNNER_HH
 #define UNISTC_RUNNER_SPMV_RUNNER_HH
 
+#include "engine/plan.hh"
 #include "runner/block_driver.hh"
 
 namespace unistc
 {
+
+/** Plan for y = A * x with a dense x. */
+class SpmvPlan final : public KernelPlan
+{
+  public:
+    explicit SpmvPlan(const BbcMatrix &a) : a_(&a) {}
+
+    Kernel kernel() const override { return Kernel::SpMV; }
+    std::unique_ptr<TaskStream> stream() const override;
+
+  private:
+    const BbcMatrix *a_;
+};
 
 /** Simulate y = A * x (dense x) on @p model. */
 RunResult runSpmv(const StcModel &model, const BbcMatrix &a,
