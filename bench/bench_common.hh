@@ -57,6 +57,7 @@
 #endif
 
 #include "bbc/bbc_matrix.hh"
+#include "cache/matrix_cache.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
@@ -79,6 +80,20 @@ namespace unistc
 namespace bench
 {
 
+/**
+ * BBC for @p csr: the artifact cache's already-decoded conversion
+ * when one exists for these exact contents, a fresh fromCsr()
+ * otherwise. With the cache disabled this is exactly fromCsr(), so
+ * benches built on Prepared need zero changes either way.
+ */
+inline BbcMatrix
+bbcFor(const CsrMatrix &csr)
+{
+    if (auto cached = MatrixCache::global().findBbcFor(csr))
+        return *cached;
+    return BbcMatrix::fromCsr(csr);
+}
+
 /** A matrix prepared once and reused across models and kernels. */
 struct Prepared
 {
@@ -88,8 +103,8 @@ struct Prepared
     SparseVector x50; ///< 50%-sparse x for SpMSpV (§VI-A).
 
     Prepared(std::string n, CsrMatrix m, std::uint64_t seed = 99)
-        : name(std::move(n)), csr(std::move(m)),
-          bbc(BbcMatrix::fromCsr(csr)), x50(csr.cols())
+        : name(std::move(n)), csr(std::move(m)), bbc(bbcFor(csr)),
+          x50(csr.cols())
     {
         Rng rng(seed);
         for (int i = 0; i < csr.cols(); ++i) {
@@ -845,6 +860,23 @@ class ScopedPlanQuiet
 #endif
 };
 
+/**
+ * One-line cache summary on stderr after a cached run (stdout stays
+ * untouched: the determinism tests cmp it byte for byte). A warm
+ * run over an unchanged corpus reports "0 miss(es)".
+ */
+inline void
+logCacheSummary()
+{
+    const MatrixCache &cache = MatrixCache::global();
+    if (!cache.enabled())
+        return;
+    const CacheCounters c = cache.counters();
+    UNISTC_INFORM("matrix cache (", cache.dir(), "): ", c.hits,
+                  " hit(s), ", c.misses, " miss(es), ", c.bytesRead,
+                  " B read, ", c.bytesWritten, " B written");
+}
+
 } // namespace bench
 } // namespace unistc
 
@@ -870,10 +902,15 @@ main(int argc, char **argv)
     if (jobs > 1)
         UNISTC_WARN("--jobs needs POSIX fd redirection; running "
                     "serially");
-    return unistc_bench_body(argc, argv);
+    const int rc = unistc_bench_body(argc, argv);
+    ub::logCacheSummary();
+    return rc;
 #else
-    if (jobs <= 1)
-        return unistc_bench_body(argc, argv);
+    if (jobs <= 1) {
+        const int rc = unistc_bench_body(argc, argv);
+        ub::logCacheSummary();
+        return rc;
+    }
     auto &session = ub::SweepSession::instance();
     session.startPlan(jobs);
     int rc;
@@ -887,6 +924,7 @@ main(int argc, char **argv)
     ub::CheckpointSession::instance().resetCursor();
     rc = unistc_bench_body(argc, argv);
     session.finish();
+    ub::logCacheSummary();
     return rc;
 #endif
 }

@@ -58,14 +58,17 @@ main(int argc, char **argv)
             overall_ds_ep.add(cd.energyEfficiency);
             overall_rm_ep.add(cr.energyEfficiency);
         }
+        // maxOr: a clamped corpus (UNISTC_CORPUS_CLAMP=0) or an
+        // all-skipped kernel leaves the rollup empty; the row must
+        // print zeros, not assert inside RunningStat::max().
         auto emit = [&](const char *base, ComparisonRollup &roll) {
             t.addRow({toString(kernel), base,
                       fmtRatio(roll.speedup.value()),
-                      fmtRatio(roll.speedupStat.max()),
+                      fmtRatio(roll.speedupStat.maxOr(0.0)),
                       fmtRatio(roll.energyReduction.value()),
-                      fmtRatio(roll.energyReductionStat.max()),
+                      fmtRatio(roll.energyReductionStat.maxOr(0.0)),
                       fmtRatio(roll.energyEfficiency.value()),
-                      fmtRatio(roll.energyEfficiencyStat.max())});
+                      fmtRatio(roll.energyEfficiencyStat.maxOr(0.0))});
         };
         emit("DS-STC", vs_ds);
         emit("RM-STC", vs_rm);

@@ -1,0 +1,59 @@
+# Differential check for the matrix artifact cache: runs one bench
+# harness twice against the same fresh cache directory — a cold run
+# that populates it and a warm run that must be served entirely from
+# it — and fails unless stdout and the UNISTC_BENCH_JSON dump are
+# byte-identical, proving the cache cannot perturb results. The warm
+# run's stderr must also report zero misses, proving the cache
+# actually served every key rather than silently regenerating.
+# Driven by ctest (see CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DWORKDIR=<scratch dir> \
+#         -P cache_differential.cmake
+
+foreach(var BENCH WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR}/cache)
+set(ENV{UNISTC_CACHE_DIR} ${WORKDIR}/cache)
+
+foreach(pass cold warm)
+    set(ENV{UNISTC_BENCH_JSON} ${WORKDIR}/${pass}.json)
+    execute_process(
+        COMMAND ${BENCH} --smoke
+        OUTPUT_FILE ${WORKDIR}/${pass}.txt
+        ERROR_FILE ${WORKDIR}/${pass}.err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "${BENCH} --smoke (${pass} cache) exited with ${rc}")
+    endif()
+endforeach()
+
+foreach(artifact txt json)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/cold.${artifact} ${WORKDIR}/warm.${artifact}
+        RESULT_VARIABLE differ)
+    if(NOT differ EQUAL 0)
+        message(FATAL_ERROR
+                "cold-cache and warm-cache runs produced different "
+                "${artifact} output (${WORKDIR}/cold.${artifact} vs "
+                "${WORKDIR}/warm.${artifact})")
+    endif()
+endforeach()
+
+# The bench summarises cache traffic on stderr; a warm run that
+# regenerated anything is a cache bug even if the outputs matched.
+file(READ ${WORKDIR}/warm.err warm_err)
+if(NOT warm_err MATCHES " 0 miss")
+    message(FATAL_ERROR
+            "warm run was not served entirely from the cache "
+            "(stderr: ${warm_err})")
+endif()
+
+message(STATUS "cold and warm cache outputs are byte-identical; "
+               "warm run had zero misses")

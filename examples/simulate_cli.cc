@@ -32,6 +32,13 @@
  *   --trace-events N       per-model trace ring capacity (default 65536)
  *   --stats-json PATH      write all run statistics as JSON
  *   --log-level LEVEL      debug|info|warn|error|silent (or 0-4)
+ *   --cache-dir PATH       content-addressed matrix artifact cache
+ *                          directory (also UNISTC_CACHE_DIR); --gen
+ *                          matrices are stored as checksummed BBC
+ *                          entries and reloaded on later runs
+ *                          (docs/CACHING.md)
+ *   --cache MODE           off | ro | rw (default rw when a cache
+ *                          directory is set; also UNISTC_CACHE)
  *   --jobs N               simulate models on N worker threads
  *                          (0 or "auto" = all cores; also UNISTC_JOBS).
  *                          Results merge in submission order, so the
@@ -52,6 +59,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -60,6 +68,7 @@
 #include <vector>
 
 #include "bbc/bbc_io.hh"
+#include "cache/matrix_cache.hh"
 #include "common/logging.hh"
 #include "exec/sweep_executor.hh"
 #include "common/table.hh"
@@ -153,6 +162,8 @@ main(int argc, char **argv)
                 "  --save-bbc PATH  --trace PATH  --trace-events N  "
                 "--stats-json PATH\n"
                 "  --log-level LEVEL  --jobs N\n"
+                "  --cache-dir PATH  --cache off|ro|rw   "
+                "(docs/CACHING.md)\n"
                 "  --strict  --max-job-seconds S  --resume PATH   "
                 "(docs/ROBUSTNESS.md)\n");
             return 0;
@@ -166,7 +177,7 @@ main(int argc, char **argv)
             "kernel", "model", "arch", "matrix", "gen", "precision",
             "dpgs", "bcols", "save-bbc", "trace", "trace-events",
             "stats-json", "log-level", "jobs", "strict",
-            "max-job-seconds", "resume"};
+            "max-job-seconds", "resume", "cache-dir", "cache"};
         if (!known.count(flag))
             UNISTC_FATAL("unknown option '", argv[i],
                          "' (see --help)");
@@ -189,6 +200,32 @@ main(int argc, char **argv)
                          "' (use debug|info|warn|error|silent)");
         }
         setLogLevel(level);
+    }
+
+    // Cache flags override the UNISTC_CACHE_DIR / UNISTC_CACHE env
+    // configuration; they must land before the matrix is built so
+    // --gen goes through the cache.
+    if (opts.count("cache-dir") || opts.count("cache")) {
+        CacheMode cache_mode = CacheMode::ReadWrite;
+        if (opts.count("cache") &&
+            !parseCacheMode(opts["cache"], cache_mode)) {
+            UNISTC_FATAL("unknown --cache '", opts["cache"],
+                         "' (use off|ro|rw)");
+        }
+        std::string cache_dir =
+            opts.count("cache-dir") ? opts["cache-dir"] : "";
+        if (cache_dir.empty()) {
+            const char *env = std::getenv("UNISTC_CACHE_DIR");
+            if (env != nullptr)
+                cache_dir = env;
+        }
+        if (cache_mode != CacheMode::Off && cache_dir.empty()) {
+            UNISTC_FATAL("--cache=", toString(cache_mode),
+                         " needs --cache-dir or UNISTC_CACHE_DIR");
+        }
+        MatrixCache::global().configure(
+            cache_mode == CacheMode::Off ? "" : cache_dir,
+            cache_mode);
     }
 
     CsrMatrix a;
@@ -257,11 +294,18 @@ main(int argc, char **argv)
 
     std::printf("Matrix: %d x %d, %lld nonzeros\n", a.rows(),
                 a.cols(), static_cast<long long>(a.nnz()));
-    const BbcMatrix bbc = BbcMatrix::fromCsr(a);
+    // Reuse the cache's decoded conversion when --gen hit an entry;
+    // storage accounts the configured precision's value width.
+    const BbcMatrix bbc = [&a] {
+        if (auto cached = MatrixCache::global().findBbcFor(a))
+            return *cached;
+        return BbcMatrix::fromCsr(a);
+    }();
     std::printf("BBC: %lld blocks, NnzPB %.2f, %s\n\n",
                 static_cast<long long>(bbc.numBlocks()),
                 bbc.nnzPerBlock(),
-                fmtBytes(bbc.storageBytes()).c_str());
+                fmtBytes(bbc.storageBytes(cfg.bytesPerValue()))
+                    .c_str());
     if (opts.count("save-bbc")) {
         saveBbcFile(opts["save-bbc"], bbc);
         std::printf("Saved BBC image to %s\n\n",
@@ -488,7 +532,25 @@ main(int argc, char **argv)
                          "jobs replaced by a zeroed result");
     }
 
+    if (MatrixCache::global().enabled())
+        MatrixCache::global().registerStats(stats);
+
     const TraceSink *trace = exec.trace();
+    // Splice the cache's per-key resolution spans (its own trace
+    // process) into the model trace before writing it out.
+    std::unique_ptr<TraceSink> trace_with_cache;
+    if (trace != nullptr && MatrixCache::global().enabled()) {
+        const std::size_t extra =
+            MatrixCache::global().keyTimings().size();
+        if (extra > 0) {
+            trace_with_cache = std::make_unique<TraceSink>(
+                trace->size() + extra);
+            trace_with_cache->mergeFrom(*trace);
+            MatrixCache::global().appendTraceEvents(
+                *trace_with_cache, static_cast<int>(names.size()));
+            trace = trace_with_cache.get();
+        }
+    }
     if (trace != nullptr) {
         trace->writeChromeTraceFile(opts["trace"]);
         registerTraceSinkStats(stats, *trace);

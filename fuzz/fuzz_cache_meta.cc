@@ -1,0 +1,54 @@
+/**
+ * @file
+ * libFuzzer harness for the matrix-cache sidecar parser: arbitrary
+ * bytes in, either a well-formed CacheMeta or a typed error out. A
+ * cache directory is attacker-adjacent state (shared scratch dirs,
+ * partially written entries after a crash), so the parser must never
+ * abort, leak a sanitizer report or throw anything but UnistcError.
+ *
+ * Build with the UNISTC_BUILD_FUZZERS option (requires Clang):
+ *   cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+ *         -DUNISTC_BUILD_FUZZERS=ON
+ *   ./build-fuzz/fuzz/fuzz_cache_meta -max_total_time=60
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cache/matrix_cache.hh"
+#include "common/logging.hh"
+#include "robust/status.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace unistc;
+    // Library errors must surface as UnistcError, never exit().
+    static const bool init = [] {
+        setLogLevel(LogLevel::Silent);
+        setFatalBehavior(FatalBehavior::Throw);
+        return true;
+    }();
+    (void)init;
+
+    const std::string text(reinterpret_cast<const char *>(data),
+                           size);
+    try {
+        Result<CacheMeta> r = parseCacheMeta(text, "<fuzz>");
+        if (r.ok()) {
+            // Accepted records must round-trip through the writer
+            // and parse back to the same fields.
+            const std::string again = formatCacheMeta(r.value());
+            Result<CacheMeta> r2 = parseCacheMeta(again, "<fuzz2>");
+            if (!r2.ok() || r2.value().spec != r.value().spec ||
+                r2.value().rows != r.value().rows ||
+                r2.value().nnz != r.value().nnz ||
+                r2.value().payloadBytes != r.value().payloadBytes)
+                __builtin_trap();
+        }
+    } catch (const UnistcError &) {
+        // Typed failure path — acceptable for fuzz inputs.
+    }
+    return 0;
+}

@@ -174,10 +174,13 @@ BbcMatrix::nnzPerBlock() const
 }
 
 std::uint64_t
-BbcMatrix::storageBytes() const
+BbcMatrix::storageBytes(int bytesPerValue) const
 {
+    UNISTC_ASSERT(bytesPerValue > 0,
+                  "storageBytes needs a positive value width");
     return metadataBytes() +
-        static_cast<std::uint64_t>(vals_.size()) * 8;
+        static_cast<std::uint64_t>(vals_.size()) *
+        static_cast<std::uint64_t>(bytesPerValue);
 }
 
 std::uint64_t

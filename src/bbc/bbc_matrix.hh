@@ -108,9 +108,12 @@ class BbcMatrix
     /**
      * Storage footprint in bytes: 8B block-row pointers, 4B block
      * column indices, 2B Lv1 bitmaps, 2B Lv2 bitmaps, 4B ValPtr_Lv1,
-     * 1B ValPtr_Lv2, 8B values — the Fig. 15 accounting.
+     * 1B ValPtr_Lv2, plus @p bytesPerValue per stored value — the
+     * Fig. 15 accounting. The default 8 is FP64; pass
+     * MachineConfig::bytesPerValue() for precision-aware totals
+     * (4 under FP32) instead of the old hard-coded 8 B/value.
      */
-    std::uint64_t storageBytes() const;
+    std::uint64_t storageBytes(int bytesPerValue = 8) const;
 
     /** Index-structure bytes only (everything except values). */
     std::uint64_t metadataBytes() const;

@@ -1,0 +1,83 @@
+#include "cache/cache_key.hh"
+
+#include <cstdio>
+
+#include "bbc/block_pattern.hh"
+#include "common/logging.hh"
+#include "robust/checksum.hh"
+
+namespace unistc
+{
+
+MatrixSpec::MatrixSpec(std::string family) : family_(std::move(family))
+{
+    UNISTC_ASSERT(!family_.empty(), "cache spec needs a family name");
+}
+
+MatrixSpec &
+MatrixSpec::arg(const std::string &name, std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(v));
+    args_.emplace_back(name, buf);
+    return *this;
+}
+
+MatrixSpec &
+MatrixSpec::arg(const std::string &name, double v)
+{
+    // %.17g is a round-trip representation for IEEE doubles: equal
+    // bits serialise equally, distinct bits serialise distinctly.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    args_.emplace_back(name, buf);
+    return *this;
+}
+
+MatrixSpec &
+MatrixSpec::seed(std::uint64_t s)
+{
+    seed_ = s;
+    return *this;
+}
+
+std::string
+MatrixSpec::canonical() const
+{
+    std::string out = family_;
+    out += '(';
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += args_[i].first;
+        out += '=';
+        out += args_[i].second;
+    }
+    out += ");seed=";
+    out += std::to_string(seed_);
+    // Format parameters: changing the block geometry or the value
+    // type changes every key, so stale artifacts are never loaded.
+    out += ";block=";
+    out += std::to_string(kBlockSize);
+    out += ";values=f64";
+    return out;
+}
+
+std::uint64_t
+MatrixSpec::key() const
+{
+    const std::string c = canonical();
+    return fnv1a64(c.data(), c.size());
+}
+
+std::string
+MatrixSpec::keyHex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(key()));
+    return buf;
+}
+
+} // namespace unistc

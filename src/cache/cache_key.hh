@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Content-addressed cache keys for generated matrices. A MatrixSpec
+ * captures everything that determines a generator's output — family
+ * name, ordered numeric arguments, seed — plus the format parameters
+ * baked into the cached artifact (block geometry, value type). Its
+ * canonical serialization is the cache identity: the FNV-1a 64 hash
+ * of that string names the on-disk entry, and the string itself is
+ * stored in the sidecar record so a hash collision or a stale entry
+ * is detected on load instead of silently returning the wrong
+ * matrix (docs/CACHING.md).
+ */
+
+#ifndef UNISTC_CACHE_CACHE_KEY_HH
+#define UNISTC_CACHE_CACHE_KEY_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace unistc
+{
+
+/**
+ * Builder for a generator-spec cache key. Arguments are serialised
+ * in insertion order, so every generator wrapper lists its
+ * parameters in signature order and two different generators can
+ * never produce the same canonical string (the family name leads).
+ *
+ *   MatrixSpec("banded").arg("n", 1024).arg("hb", 16)
+ *       .arg("fill", 0.5).seed(1).canonical()
+ *     == "banded(n=1024,hb=16,fill=0.5);seed=1;block=16;values=f64"
+ */
+class MatrixSpec
+{
+  public:
+    explicit MatrixSpec(std::string family);
+
+    /** Append an integer argument. */
+    MatrixSpec &arg(const std::string &name, std::int64_t v);
+
+    /** Disambiguates int literals from the double overload. */
+    MatrixSpec &
+    arg(const std::string &name, int v)
+    {
+        return arg(name, static_cast<std::int64_t>(v));
+    }
+
+    /**
+     * Append a real argument, serialised with max_digits10
+     * precision so distinct doubles always get distinct keys and
+     * the same double always serialises identically.
+     */
+    MatrixSpec &arg(const std::string &name, double v);
+
+    /** Set the generator seed (default 0 for seedless families). */
+    MatrixSpec &seed(std::uint64_t s);
+
+    const std::string &family() const { return family_; }
+
+    /**
+     * Canonical serialization:
+     *   family(name=value,...);seed=S;block=16;values=f64
+     * The trailing format fields invalidate every entry if the BBC
+     * block geometry or the stored value type ever changes.
+     */
+    std::string canonical() const;
+
+    /** FNV-1a 64 hash of canonical(). */
+    std::uint64_t key() const;
+
+    /** key() as 16 lower-case hex digits — the entry's file stem. */
+    std::string keyHex() const;
+
+  private:
+    std::string family_;
+    std::vector<std::pair<std::string, std::string>> args_;
+    std::uint64_t seed_ = 0;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_CACHE_CACHE_KEY_HH

@@ -1,0 +1,605 @@
+#include "cache/matrix_cache.hh"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "bbc/bbc_io.hh"
+#include "common/logging.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+#include "robust/checksum.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+constexpr const char *kMetaHeader = "unistc-cache-meta v1";
+
+/** Whole-string strict integer parse (no sign for unsigned types). */
+template <typename T>
+bool
+parseWholeInt(const std::string &text, T &out)
+{
+    if (text.empty())
+        return false;
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    const auto r = std::from_chars(first, last, out);
+    return r.ec == std::errc() && r.ptr == last;
+}
+
+/** Slurp a whole file; empty optional on any I/O failure. */
+bool
+readFileBytes(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return false;
+    out = ss.str();
+    return true;
+}
+
+/** Atomic write: temp file in the same directory, then rename. */
+Status
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+#else
+    const std::string tmp = path + ".tmp";
+#endif
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return ioError("cannot open '" + tmp + "' for writing");
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out.good()) {
+            std::remove(tmp.c_str());
+            return ioError("short write to '" + tmp + "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return ioError("cannot rename '" + tmp + "' to '" + path +
+                       "'");
+    }
+    return Status::okStatus();
+}
+
+} // namespace
+
+bool
+parseCacheMode(const std::string &text, CacheMode &out)
+{
+    if (text == "off") {
+        out = CacheMode::Off;
+        return true;
+    }
+    if (text == "ro") {
+        out = CacheMode::ReadOnly;
+        return true;
+    }
+    if (text == "rw") {
+        out = CacheMode::ReadWrite;
+        return true;
+    }
+    return false;
+}
+
+const char *
+toString(CacheMode mode)
+{
+    switch (mode) {
+      case CacheMode::Off:
+        return "off";
+      case CacheMode::ReadOnly:
+        return "ro";
+      case CacheMode::ReadWrite:
+        return "rw";
+    }
+    return "?";
+}
+
+std::string
+formatCacheMeta(const CacheMeta &meta)
+{
+    std::string out = kMetaHeader;
+    out += '\n';
+    out += "spec: " + meta.spec + '\n';
+    out += "rows: " + std::to_string(meta.rows) + '\n';
+    out += "cols: " + std::to_string(meta.cols) + '\n';
+    out += "nnz: " + std::to_string(meta.nnz) + '\n';
+    out += "blocks: " + std::to_string(meta.blocks) + '\n';
+    out += "payload_bytes: " + std::to_string(meta.payloadBytes) +
+        '\n';
+    return out;
+}
+
+Result<CacheMeta>
+parseCacheMeta(const std::string &text, const std::string &label)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kMetaHeader) {
+        return parseError(label + ": missing '" +
+                          std::string(kMetaHeader) + "' header");
+    }
+    CacheMeta meta;
+    bool haveSpec = false, haveRows = false, haveCols = false;
+    bool haveNnz = false, haveBlocks = false, havePayload = false;
+    int lineNo = 1;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto sep = line.find(": ");
+        if (sep == std::string::npos || sep == 0) {
+            return parseError(label + ": line " +
+                              std::to_string(lineNo) +
+                              " is not 'key: value'");
+        }
+        const std::string key = line.substr(0, sep);
+        const std::string value = line.substr(sep + 2);
+        auto dup = [&] {
+            return parseError(label + ": duplicate '" + key +
+                              "' field");
+        };
+        auto badInt = [&] {
+            return parseError(label + ": bad integer '" + value +
+                              "' for '" + key + "'");
+        };
+        if (key == "spec") {
+            if (haveSpec)
+                return dup();
+            if (value.empty())
+                return parseError(label + ": empty spec field");
+            meta.spec = value;
+            haveSpec = true;
+        } else if (key == "rows") {
+            if (haveRows)
+                return dup();
+            if (!parseWholeInt(value, meta.rows) || meta.rows < 0)
+                return badInt();
+            haveRows = true;
+        } else if (key == "cols") {
+            if (haveCols)
+                return dup();
+            if (!parseWholeInt(value, meta.cols) || meta.cols < 0)
+                return badInt();
+            haveCols = true;
+        } else if (key == "nnz") {
+            if (haveNnz)
+                return dup();
+            if (!parseWholeInt(value, meta.nnz) || meta.nnz < 0)
+                return badInt();
+            haveNnz = true;
+        } else if (key == "blocks") {
+            if (haveBlocks)
+                return dup();
+            if (!parseWholeInt(value, meta.blocks) ||
+                meta.blocks < 0)
+                return badInt();
+            haveBlocks = true;
+        } else if (key == "payload_bytes") {
+            if (havePayload)
+                return dup();
+            if (!parseWholeInt(value, meta.payloadBytes))
+                return badInt();
+            havePayload = true;
+        } else {
+            return parseError(label + ": unknown field '" + key +
+                              "'");
+        }
+    }
+    if (!haveSpec || !haveRows || !haveCols || !haveNnz ||
+        !haveBlocks || !havePayload) {
+        return parseError(label + ": missing required field(s)");
+    }
+    return meta;
+}
+
+void
+MatrixCache::configure(std::string dir, CacheMode mode)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    dir_ = std::move(dir);
+    mode_ = dir_.empty() ? CacheMode::Off : mode;
+    entries_.clear();
+    byContent_.clear();
+    counters_ = CacheCounters();
+    entryBytes_ = RunningStat();
+    timings_.clear();
+    if (mode_ == CacheMode::Off) {
+        dir_.clear();
+        return;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec && !std::filesystem::is_directory(dir_)) {
+        UNISTC_WARN("matrix cache disabled: cannot create '", dir_,
+                    "': ", ec.message());
+        dir_.clear();
+        mode_ = CacheMode::Off;
+    }
+}
+
+bool
+MatrixCache::enabled() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return mode_ != CacheMode::Off;
+}
+
+CacheMode
+MatrixCache::mode() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return mode_;
+}
+
+std::string
+MatrixCache::dir() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dir_;
+}
+
+std::string
+MatrixCache::entryPath(const MatrixSpec &spec) const
+{
+    return dir() + "/" + spec.keyHex() + ".bbc";
+}
+
+std::string
+MatrixCache::metaPath(const MatrixSpec &spec) const
+{
+    return dir() + "/" + spec.keyHex() + ".meta";
+}
+
+Result<BbcMatrix>
+MatrixCache::tryLoadEntry(const MatrixSpec &spec,
+                          std::uint64_t *bytes)
+{
+    const std::string bbcPath = entryPath(spec);
+    const std::string metaText0 = metaPath(spec);
+    std::string payload;
+    if (!readFileBytes(bbcPath, payload))
+        return ioError("no cache entry at '" + bbcPath + "'");
+    std::string metaText;
+    if (!readFileBytes(metaText0, metaText)) {
+        return corruptData("cache entry '" + bbcPath +
+                           "' has no sidecar record");
+    }
+    Result<CacheMeta> meta = parseCacheMeta(metaText, metaText0);
+    if (!meta.ok())
+        return meta.status();
+    if (meta.value().spec != spec.canonical()) {
+        return corruptData("cache entry '" + bbcPath +
+                           "' holds spec '" + meta.value().spec +
+                           "', wanted '" + spec.canonical() + "'");
+    }
+    if (meta.value().payloadBytes != payload.size()) {
+        return corruptData(
+            "cache entry '" + bbcPath + "' is " +
+            std::to_string(payload.size()) + " B, sidecar says " +
+            std::to_string(meta.value().payloadBytes) + " B");
+    }
+    std::istringstream in(payload);
+    Result<BbcMatrix> loaded = tryLoadBbc(in, bbcPath);
+    if (!loaded.ok())
+        return loaded.status();
+    const BbcMatrix &m = loaded.value();
+    if (m.rows() != meta.value().rows ||
+        m.cols() != meta.value().cols ||
+        m.nnz() != meta.value().nnz ||
+        m.numBlocks() != meta.value().blocks) {
+        return corruptData("cache entry '" + bbcPath +
+                           "' shape disagrees with its sidecar");
+    }
+    *bytes = payload.size() + metaText.size();
+    return loaded;
+}
+
+Status
+MatrixCache::storeEntry(const MatrixSpec &spec, const BbcMatrix &bbc,
+                        std::uint64_t *bytes)
+{
+    std::ostringstream out;
+    if (Status s = trySaveBbc(out, bbc, entryPath(spec)); !s.ok())
+        return s;
+    const std::string payload = out.str();
+    CacheMeta meta;
+    meta.spec = spec.canonical();
+    meta.rows = bbc.rows();
+    meta.cols = bbc.cols();
+    meta.nnz = bbc.nnz();
+    meta.blocks = bbc.numBlocks();
+    meta.payloadBytes = payload.size();
+    const std::string metaText = formatCacheMeta(meta);
+    if (Status s = writeFileAtomic(entryPath(spec), payload);
+        !s.ok())
+        return s;
+    if (Status s = writeFileAtomic(metaPath(spec), metaText);
+        !s.ok())
+        return s;
+    *bytes = payload.size() + metaText.size();
+    return Status::okStatus();
+}
+
+void
+MatrixCache::recordOutcome(const MatrixSpec &spec, bool hit,
+                           std::uint64_t micros)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit)
+        ++counters_.hits;
+    else
+        ++counters_.misses;
+    CacheKeyTiming t;
+    t.keyHex = spec.keyHex();
+    t.spec = spec.canonical();
+    t.hit = hit;
+    t.micros = micros;
+    timings_.push_back(std::move(t));
+}
+
+std::shared_ptr<const BbcMatrix>
+MatrixCache::getOrBuild(const MatrixSpec &spec,
+                        const std::function<CsrMatrix()> &build)
+{
+    CacheMode mode;
+    std::shared_ptr<Entry> ent;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        mode = mode_;
+        if (mode != CacheMode::Off) {
+            auto &slot = entries_[spec.key()];
+            if (slot == nullptr) {
+                slot = std::make_shared<Entry>();
+                slot->spec = spec.canonical();
+            }
+            ent = slot;
+        }
+    }
+    if (mode == CacheMode::Off) {
+        return std::make_shared<const BbcMatrix>(
+            BbcMatrix::fromCsr(build()));
+    }
+    if (ent->spec != spec.canonical()) {
+        // In-process FNV collision between two live specs: serve
+        // this request uncached rather than corrupt either entry.
+        UNISTC_WARN("matrix cache key collision between '",
+                    ent->spec, "' and '", spec.canonical(),
+                    "'; bypassing the cache for the latter");
+        return std::make_shared<const BbcMatrix>(
+            BbcMatrix::fromCsr(build()));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // Per-key lock: concurrent requests for the same key serialise
+    // here, so the generator runs at most once per key per process.
+    std::lock_guard<std::mutex> keyLock(ent->mu);
+    if (ent->bbc != nullptr) {
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        recordOutcome(spec, /*hit=*/true,
+                      static_cast<std::uint64_t>(us));
+        return ent->bbc;
+    }
+
+    std::uint64_t bytes = 0;
+    bool hit = false;
+    Result<BbcMatrix> loaded = tryLoadEntry(spec, &bytes);
+    if (loaded.ok()) {
+        ent->bbc = std::make_shared<const BbcMatrix>(
+            std::move(loaded).value());
+        hit = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        counters_.bytesRead += bytes;
+        entryBytes_.add(static_cast<double>(bytes));
+    } else {
+        // A plain IoError means the entry simply isn't there (cold
+        // cache); anything else is a damaged entry worth a warning.
+        if (loaded.status().code() != ErrorCode::IoError) {
+            UNISTC_WARN("matrix cache entry for '", spec.canonical(),
+                        "' is invalid (", loaded.status().toString(),
+                        "); regenerating");
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.loadFailures;
+        }
+        ent->bbc = std::make_shared<const BbcMatrix>(
+            BbcMatrix::fromCsr(build()));
+        if (mode == CacheMode::ReadWrite) {
+            std::uint64_t written = 0;
+            if (Status s = storeEntry(spec, *ent->bbc, &written);
+                s.ok()) {
+                std::lock_guard<std::mutex> lock(mu_);
+                counters_.bytesWritten += written;
+                entryBytes_.add(static_cast<double>(written));
+            } else {
+                UNISTC_WARN("matrix cache store for '",
+                            spec.canonical(), "' failed: ",
+                            s.toString());
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.storeFailures;
+            }
+        }
+    }
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    recordOutcome(spec, hit, static_cast<std::uint64_t>(us));
+    return ent->bbc;
+}
+
+std::uint64_t
+csrFingerprint(const CsrMatrix &csr)
+{
+    const std::int64_t shape[3] = {csr.rows(), csr.cols(),
+                                   csr.nnz()};
+    std::uint64_t h = fnv1a64(shape, sizeof shape);
+    h = fnv1a64(csr.rowPtr().data(),
+                csr.rowPtr().size() * sizeof csr.rowPtr()[0], h);
+    h = fnv1a64(csr.colIdx().data(),
+                csr.colIdx().size() * sizeof csr.colIdx()[0], h);
+    h = fnv1a64(csr.vals().data(),
+                csr.vals().size() * sizeof csr.vals()[0], h);
+    return h;
+}
+
+std::shared_ptr<const BbcMatrix>
+MatrixCache::findBbcFor(const CsrMatrix &csr) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mode_ == CacheMode::Off)
+        return nullptr;
+    const auto it = byContent_.find(csrFingerprint(csr));
+    return it == byContent_.end() ? nullptr : it->second;
+}
+
+void
+MatrixCache::noteCsr(const CsrMatrix &csr,
+                     std::shared_ptr<const BbcMatrix> bbc)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mode_ == CacheMode::Off)
+        return;
+    byContent_[csrFingerprint(csr)] = std::move(bbc);
+}
+
+CacheCounters
+MatrixCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+std::vector<CacheKeyTiming>
+MatrixCache::keyTimings() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return timings_;
+}
+
+void
+MatrixCache::registerStats(StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    CacheCounters c;
+    RunningStat entryBytes;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        c = counters_;
+        entryBytes = entryBytes_;
+    }
+    reg.setCounter(prefix + "hits", c.hits,
+                   "cache requests served without generating");
+    reg.setCounter(prefix + "misses", c.misses,
+                   "cache requests that ran the generator");
+    reg.setCounter(prefix + "bytes_read", c.bytesRead,
+                   "entry + sidecar bytes loaded from the cache");
+    reg.setCounter(prefix + "bytes_written", c.bytesWritten,
+                   "entry + sidecar bytes stored into the cache");
+    reg.setCounter(prefix + "load_failures", c.loadFailures,
+                   "corrupt or invalid entries regenerated");
+    reg.setCounter(prefix + "store_failures", c.storeFailures,
+                   "entry writes that failed");
+    // Explicit count-0 record when nothing moved (empty-stat JSON
+    // contract; min/max only exist once there is a sample).
+    reg.setCounter(prefix + "entry_bytes.count", entryBytes.count(),
+                   "cache entries moved (read or written)");
+    if (entryBytes.count() > 0) {
+        reg.setScalar(prefix + "entry_bytes.min", entryBytes.min());
+        reg.setScalar(prefix + "entry_bytes.max", entryBytes.max());
+        reg.setScalar(prefix + "entry_bytes.mean",
+                      entryBytes.mean());
+    }
+}
+
+void
+MatrixCache::appendTraceEvents(TraceSink &sink, int pid) const
+{
+    const std::vector<CacheKeyTiming> timings = keyTimings();
+    if (timings.empty())
+        return;
+    sink.setProcess(pid, "matrix-cache");
+    // Key resolutions render back to back on the cache track; the
+    // trace's virtual clock is simulated cycles elsewhere, so these
+    // wall-clock micros live in their own process.
+    std::uint64_t ts = 0;
+    for (const CacheKeyTiming &t : timings) {
+        const std::uint64_t dur = std::max<std::uint64_t>(t.micros,
+                                                          1);
+        sink.complete(TraceTrack::Cache,
+                      std::string(t.hit ? "hit " : "miss ") + t.spec,
+                      ts, dur);
+        ts += dur;
+    }
+}
+
+MatrixCache &
+MatrixCache::global()
+{
+    static MatrixCache cache;
+    static const bool configured = [] {
+        const char *modeText = std::getenv("UNISTC_CACHE");
+        CacheMode mode = CacheMode::ReadWrite;
+        if (modeText != nullptr && *modeText != '\0' &&
+            !parseCacheMode(modeText, mode)) {
+            UNISTC_WARN("ignoring UNISTC_CACHE='", modeText,
+                        "' (use off|ro|rw); cache disabled");
+            mode = CacheMode::Off;
+        }
+        const char *dir = std::getenv("UNISTC_CACHE_DIR");
+        if (mode != CacheMode::Off && dir != nullptr &&
+            *dir != '\0') {
+            cache.configure(dir, mode);
+        } else if (mode != CacheMode::Off && modeText != nullptr &&
+                   *modeText != '\0') {
+            UNISTC_WARN("UNISTC_CACHE is set but UNISTC_CACHE_DIR "
+                        "is not; cache disabled");
+        }
+        return true;
+    }();
+    (void)configured;
+    return cache;
+}
+
+CsrMatrix
+cachedCsr(const MatrixSpec &spec,
+          const std::function<CsrMatrix()> &build)
+{
+    MatrixCache &cache = MatrixCache::global();
+    if (!cache.enabled())
+        return build();
+    const std::shared_ptr<const BbcMatrix> bbc =
+        cache.getOrBuild(spec, build);
+    // Decode the CSR from the artifact on hits AND misses: one code
+    // path, so cold- and warm-cache runs are identical bytes by
+    // construction (toCsr() is the exact fromCsr() inverse).
+    CsrMatrix csr = bbc->toCsr();
+    cache.noteCsr(csr, bbc);
+    return csr;
+}
+
+} // namespace unistc

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Content-addressed, on-disk artifact cache for generated matrices.
+ * Entries are keyed by a MatrixSpec's FNV-1a hash (cache_key.hh) and
+ * stored as two files:
+ *
+ *   <dir>/<key>.bbc    the BBC v2 checksummed container (bbc_io.hh)
+ *   <dir>/<key>.meta   sidecar record: canonical spec + shape fields
+ *
+ * Loads are validated end to end — the sidecar's spec string must
+ * match the requested key (collision/staleness guard), the BBC
+ * loader verifies magic/length/checksum/structure, and the decoded
+ * shape is cross-checked against the sidecar. Any failure is a typed
+ * error that falls back to regeneration (and, in read-write mode, a
+ * rewrite of the entry) instead of crashing. Stores are atomic:
+ * write to a temp file, then rename.
+ *
+ * Thread safety: getOrBuild() is safe for concurrent callers and
+ * builds each key at most once per process (per-key mutex); the
+ * in-memory memo then serves every later request for that key. See
+ * docs/CACHING.md.
+ */
+
+#ifndef UNISTC_CACHE_MATRIX_CACHE_HH
+#define UNISTC_CACHE_MATRIX_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bbc/bbc_matrix.hh"
+#include "cache/cache_key.hh"
+#include "common/stats.hh"
+#include "robust/status.hh"
+#include "sparse/csr.hh"
+
+namespace unistc
+{
+
+class StatRegistry;
+class TraceSink;
+
+/** Cache operating mode (the --cache=off|ro|rw CLI values). */
+enum class CacheMode
+{
+    Off,       ///< Disabled: every request regenerates.
+    ReadOnly,  ///< Serve existing entries; never write new ones.
+    ReadWrite, ///< Serve existing entries and store misses.
+};
+
+/** Parse "off" | "ro" | "rw" into @p out; false on anything else. */
+bool parseCacheMode(const std::string &text, CacheMode &out);
+
+const char *toString(CacheMode mode);
+
+/** Monotonic cache activity counters (the cache.* stats keys). */
+struct CacheCounters
+{
+    std::uint64_t hits = 0;   ///< Requests served without building.
+    std::uint64_t misses = 0; ///< Requests that ran the generator.
+    std::uint64_t bytesRead = 0;     ///< Entry + sidecar bytes loaded.
+    std::uint64_t bytesWritten = 0;  ///< Entry + sidecar bytes stored.
+    std::uint64_t loadFailures = 0;  ///< Corrupt/invalid entries hit.
+    std::uint64_t storeFailures = 0; ///< Failed entry writes.
+};
+
+/** Parsed sidecar record of one cache entry. */
+struct CacheMeta
+{
+    std::string spec; ///< Canonical MatrixSpec serialization.
+    int rows = 0;
+    int cols = 0;
+    std::int64_t nnz = 0;
+    std::int64_t blocks = 0;
+    std::uint64_t payloadBytes = 0; ///< Size of the .bbc file.
+};
+
+/** Serialise a sidecar record (the .meta file contents). */
+std::string formatCacheMeta(const CacheMeta &meta);
+
+/**
+ * Parse a sidecar record. Strict: exact header line, every field
+ * required exactly once, whole-field integer parses, no unknown or
+ * duplicate keys, no trailing garbage. Every failure is a typed
+ * error naming @p label — this is the fuzz_cache_meta entry point.
+ */
+Result<CacheMeta> parseCacheMeta(const std::string &text,
+                                 const std::string &label = "<meta>");
+
+/** Wall-clock record of one key resolution (Chrome trace export). */
+struct CacheKeyTiming
+{
+    std::string keyHex;
+    std::string spec;
+    bool hit = false;
+    std::uint64_t micros = 0;
+};
+
+/**
+ * The cache proper. A default-constructed cache is disabled (every
+ * getOrBuild() call builds); configure() points it at a directory.
+ * One process-wide instance, configured from UNISTC_CACHE_DIR /
+ * UNISTC_CACHE on first use, is shared by the generator wrappers,
+ * the bench harnesses and the sweep executor: global().
+ */
+class MatrixCache
+{
+  public:
+    MatrixCache() = default;
+    MatrixCache(const MatrixCache &) = delete;
+    MatrixCache &operator=(const MatrixCache &) = delete;
+
+    /**
+     * Point the cache at @p dir with @p mode, creating the directory
+     * if needed (read-write mode only). An empty @p dir or
+     * CacheMode::Off disables the cache. Resets counters, timings
+     * and the in-memory memo; a failure to create the directory
+     * warns and leaves the cache disabled.
+     */
+    void configure(std::string dir, CacheMode mode);
+
+    bool enabled() const;
+    CacheMode mode() const;
+    std::string dir() const;
+
+    /**
+     * Return the BBC artifact for @p spec, loading it from disk when
+     * a valid entry exists and otherwise running @p build and
+     * converting (storing the result in read-write mode). Safe for
+     * concurrent callers; @p build runs at most once per key per
+     * process. On a disabled cache this simply builds + converts.
+     */
+    std::shared_ptr<const BbcMatrix>
+    getOrBuild(const MatrixSpec &spec,
+               const std::function<CsrMatrix()> &build);
+
+    /**
+     * Conversion side-table: the BBC artifact previously produced
+     * for a CSR matrix with @p csr's exact contents, or null. Lets
+     * downstream CSR→BBC conversion sites (bench Prepared, the CLI)
+     * reuse the cached conversion with zero call-site plumbing.
+     */
+    std::shared_ptr<const BbcMatrix>
+    findBbcFor(const CsrMatrix &csr) const;
+
+    /** Record @p bbc as the conversion of @p csr's contents. */
+    void noteCsr(const CsrMatrix &csr,
+                 std::shared_ptr<const BbcMatrix> bbc);
+
+    CacheCounters counters() const;
+
+    /** Per-key resolution timings, in request-completion order. */
+    std::vector<CacheKeyTiming> keyTimings() const;
+
+    /**
+     * Register the cache.* keys into @p reg: activity counters plus
+     * an entry-size summary (explicit count of 0 when no entries
+     * moved). Deterministic — no wall-clock values.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix = "cache.") const;
+
+    /**
+     * Append one 'X' span per key resolution to @p sink on the
+     * Cache track under process @p pid (wall-clock micros on the
+     * trace's virtual time axis).
+     */
+    void appendTraceEvents(TraceSink &sink, int pid) const;
+
+    /** On-disk paths of @p spec's entry (tests, tooling). */
+    std::string entryPath(const MatrixSpec &spec) const;
+    std::string metaPath(const MatrixSpec &spec) const;
+
+    /** The process-wide cache (env-configured on first use). */
+    static MatrixCache &global();
+
+  private:
+    struct Entry
+    {
+        std::mutex mu;
+        std::string spec; ///< Canonical string (collision check).
+        std::shared_ptr<const BbcMatrix> bbc;
+    };
+
+    /** Try to load + validate the entry for @p spec from disk. */
+    Result<BbcMatrix> tryLoadEntry(const MatrixSpec &spec,
+                                   std::uint64_t *bytes);
+
+    /** Atomically store @p bbc + sidecar; Status on failure. */
+    Status storeEntry(const MatrixSpec &spec, const BbcMatrix &bbc,
+                      std::uint64_t *bytes);
+
+    void recordOutcome(const MatrixSpec &spec, bool hit,
+                       std::uint64_t micros);
+
+    mutable std::mutex mu_;
+    std::string dir_;
+    CacheMode mode_ = CacheMode::Off;
+    std::map<std::uint64_t, std::shared_ptr<Entry>> entries_;
+    std::map<std::uint64_t, std::shared_ptr<const BbcMatrix>>
+        byContent_;
+    CacheCounters counters_;
+    RunningStat entryBytes_; ///< .bbc payload sizes moved (r or w).
+    std::vector<CacheKeyTiming> timings_;
+};
+
+/**
+ * Generator-side convenience: the CSR matrix for @p spec, through
+ * the global cache when enabled and straight from @p build when not.
+ * The cached path always decodes the CSR from the BBC artifact, so
+ * cold and warm runs take one code path and are identical by
+ * construction; the conversion side-table is primed so later
+ * fromCsr() sites reuse the artifact.
+ */
+CsrMatrix cachedCsr(const MatrixSpec &spec,
+                    const std::function<CsrMatrix()> &build);
+
+/** Content fingerprint used by the conversion side-table. */
+std::uint64_t csrFingerprint(const CsrMatrix &csr);
+
+} // namespace unistc
+
+#endif // UNISTC_CACHE_MATRIX_CACHE_HH

@@ -51,6 +51,18 @@ RunningStat::max() const
 }
 
 double
+RunningStat::minOr(double fallback) const
+{
+    return count_ > 0 ? min_ : fallback;
+}
+
+double
+RunningStat::maxOr(double fallback) const
+{
+    return count_ > 0 ? max_ : fallback;
+}
+
+double
 RunningStat::mean() const
 {
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
@@ -59,16 +71,33 @@ RunningStat::mean() const
 Histogram::Histogram(int buckets, double lo, double hi)
     : lo_(lo), hi_(hi), counts_(buckets, 0)
 {
-    UNISTC_ASSERT(buckets > 0 && hi > lo, "bad histogram shape");
+    UNISTC_ASSERT(buckets > 0 && std::isfinite(lo) &&
+                  std::isfinite(hi) && hi > lo,
+                  "bad histogram shape");
 }
 
 void
 Histogram::add(double x, std::uint64_t weight)
 {
     UNISTC_ASSERT(!counts_.empty(), "add() on default histogram");
-    const double width = (hi_ - lo_) / counts_.size();
-    int b = static_cast<int>(std::floor((x - lo_) / width));
-    b = std::clamp(b, 0, static_cast<int>(counts_.size()) - 1);
+    // NaN must never reach the float->int cast below (UB); it gets
+    // its own tally. Infinities clamp like any out-of-range sample.
+    if (std::isnan(x)) {
+        nan_ += weight;
+        return;
+    }
+    const int last = static_cast<int>(counts_.size()) - 1;
+    int b;
+    if (x <= lo_) {
+        b = 0;
+    } else if (x >= hi_) {
+        b = last;
+    } else {
+        const double width = (hi_ - lo_) / counts_.size();
+        b = std::clamp(static_cast<int>(std::floor((x - lo_) /
+                                                   width)),
+                       0, last);
+    }
     counts_[b] += weight;
     total_ += weight;
 }
@@ -88,6 +117,7 @@ Histogram::merge(const Histogram &other)
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     total_ += other.total_;
+    nan_ += other.nan_;
 }
 
 void
@@ -96,6 +126,7 @@ Histogram::scale(std::uint64_t factor)
     for (auto &c : counts_)
         c *= factor;
     total_ *= factor;
+    nan_ *= factor;
 }
 
 double

@@ -32,6 +32,11 @@ class RunningStat
     double max() const;
     double mean() const;
 
+    /** min()/max() when samples exist, @p fallback when empty —
+     * export paths must not assert on a zero-sample sweep. */
+    double minOr(double fallback) const;
+    double maxOr(double fallback) const;
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -41,8 +46,11 @@ class RunningStat
 
 /**
  * Histogram over equal-width buckets covering [lo, hi). Samples below
- * lo clamp to the first bucket; samples >= hi clamp to the last, so the
- * total count always equals the number of add() calls.
+ * lo clamp to the first bucket and samples >= hi clamp to the last
+ * (infinities included), so totalCount() equals the number of finite
+ * comparisons made. NaN samples never reach a bucket: they land in a
+ * dedicated overflow tally (nanCount()) instead of hitting the
+ * undefined float→int cast the clamping math would otherwise make.
  */
 class Histogram
 {
@@ -65,6 +73,9 @@ class Histogram
     std::uint64_t bucketCount(int b) const { return counts_.at(b); }
     std::uint64_t totalCount() const { return total_; }
 
+    /** NaN samples seen by add() (kept out of every bucket). */
+    std::uint64_t nanCount() const { return nan_; }
+
     /** Fraction of samples in bucket @p b (0 when empty). */
     double bucketFraction(int b) const;
 
@@ -79,6 +90,7 @@ class Histogram
     double hi_ = 1.0;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+    std::uint64_t nan_ = 0;
 };
 
 /** Geometric-mean accumulator (log-domain; ignores non-positive input). */

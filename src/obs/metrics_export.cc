@@ -132,6 +132,20 @@ registerTraceSinkStats(StatRegistry &reg, const TraceSink &sink,
 }
 
 void
+registerRunningStat(StatRegistry &reg, const RunningStat &stat,
+                    const std::string &prefix,
+                    const std::string &desc)
+{
+    reg.setCounter(prefix + "count", stat.count(), desc);
+    if (stat.count() == 0)
+        return;
+    reg.setScalar(prefix + "min", stat.min());
+    reg.setScalar(prefix + "max", stat.max());
+    reg.setScalar(prefix + "mean", stat.mean());
+    reg.setScalar(prefix + "sum", stat.sum());
+}
+
+void
 writeStatsJson(const StatRegistry &reg, std::ostream &os)
 {
     // Open the envelope by hand so the registry body (itself a

@@ -260,6 +260,12 @@ StatRegistry::writeJson(std::ostream &os, int indent) const
                         : 0.0);
             w.key("total");
             w.value(e.h.totalCount());
+            // Keep NaN-free histograms byte-identical to the v1
+            // layout; the overflow tally only appears when nonzero.
+            if (e.h.nanCount() > 0) {
+                w.key("nan");
+                w.value(e.h.nanCount());
+            }
             w.key("counts");
             w.beginArray();
             for (int b = 0; b < e.h.numBuckets(); ++b)

@@ -23,6 +23,8 @@ toString(TraceTrack track)
         return "SDPU";
       case TraceTrack::Memory:
         return "memory";
+      case TraceTrack::Cache:
+        return "cache";
     }
     return "?";
 }
@@ -202,7 +204,8 @@ TraceSink::writeChromeTrace(std::ostream &os) const
         w.endObject();
         for (const TraceTrack track :
              {TraceTrack::Runner, TraceTrack::Tms, TraceTrack::Dpg,
-              TraceTrack::Sdpu, TraceTrack::Memory}) {
+              TraceTrack::Sdpu, TraceTrack::Memory,
+              TraceTrack::Cache}) {
             w.beginObject();
             w.key("ph");
             w.value("M");

@@ -118,6 +118,19 @@ TEST(BbcMatrix, NnzPerBlockAndStorage)
     EXPECT_LT(bbc.storageBytes(), dense_band.storageBytes());
 }
 
+TEST(BbcMatrix, StorageBytesScalesWithValueWidth)
+{
+    // Regression: storageBytes() used to hard-code 8 B/value; FP32
+    // machine configs (MachineConfig::bytesPerValue() == 4) need the
+    // width parameterised. Metadata is width-independent.
+    const CsrMatrix m = genBanded(64, 8, 0.8, 37);
+    const BbcMatrix bbc = BbcMatrix::fromCsr(m);
+    const std::uint64_t nnz = static_cast<std::uint64_t>(bbc.nnz());
+    EXPECT_EQ(bbc.storageBytes(), bbc.metadataBytes() + nnz * 8);
+    EXPECT_EQ(bbc.storageBytes(4), bbc.metadataBytes() + nnz * 4);
+    EXPECT_EQ(bbc.storageBytes() - bbc.storageBytes(4), nnz * 4);
+}
+
 TEST(BbcMatrix, SparseMatrixBbcOverheadIsBounded)
 {
     // Hyper-sparse: one element per block at most; BBC metadata may

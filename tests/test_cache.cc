@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Matrix artifact cache suite (label "cache"; runs under asan, tsan
+ * and ubsan — see CMakePresets.json): key canonicalization, the
+ * hit/miss/corruption/read-only state machine, sidecar parsing, the
+ * concurrent-writer at-most-once contract, generator integration
+ * through the global cache, and the conversion side-table.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bbc/bbc_matrix.hh"
+#include "cache/cache_key.hh"
+#include "cache/matrix_cache.hh"
+#include "common/logging.hh"
+#include "corpus/generators.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
+namespace unistc
+{
+namespace
+{
+
+/** Fresh scratch directory per test. */
+class CacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (std::filesystem::temp_directory_path() /
+                ("unistc_cache_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+        // Never leak an enabled global cache into other suites.
+        MatrixCache::global().configure("", CacheMode::Off);
+    }
+
+    std::string dir_;
+};
+
+MatrixSpec
+sampleSpec(std::uint64_t seed = 7)
+{
+    return MatrixSpec("banded")
+        .arg("n", 128)
+        .arg("hb", 4)
+        .arg("fill", 0.5)
+        .seed(seed);
+}
+
+CsrMatrix
+sampleMatrix(std::uint64_t seed = 7)
+{
+    return genBanded(128, 4, 0.5, seed);
+}
+
+TEST(MatrixSpecTest, CanonicalFormIsStable)
+{
+    const MatrixSpec s = MatrixSpec("banded")
+                             .arg("n", 1024)
+                             .arg("hb", 16)
+                             .arg("fill", 0.5)
+                             .seed(1);
+    EXPECT_EQ(s.canonical(),
+              "banded(n=1024,hb=16,fill=0.5);seed=1;block=16;"
+              "values=f64");
+    // key() is a pure function of the canonical form.
+    EXPECT_EQ(s.key(), MatrixSpec("banded")
+                           .arg("n", 1024)
+                           .arg("hb", 16)
+                           .arg("fill", 0.5)
+                           .seed(1)
+                           .key());
+    EXPECT_EQ(s.keyHex().size(), 16u);
+}
+
+TEST(MatrixSpecTest, DistinctArgsAndSeedsGetDistinctKeys)
+{
+    EXPECT_NE(sampleSpec(1).key(), sampleSpec(2).key());
+    EXPECT_NE(MatrixSpec("banded").arg("n", 128).key(),
+              MatrixSpec("banded").arg("n", 129).key());
+    EXPECT_NE(MatrixSpec("banded").arg("n", 128).key(),
+              MatrixSpec("random").arg("n", 128).key());
+    // Doubles round-trip: nextafter neighbours must differ.
+    const double x = 0.5;
+    const double y = std::nextafter(x, 1.0);
+    EXPECT_NE(MatrixSpec("f").arg("v", x).key(),
+              MatrixSpec("f").arg("v", y).key());
+}
+
+TEST(CacheMetaTest, RoundTrips)
+{
+    CacheMeta meta;
+    meta.spec = sampleSpec().canonical();
+    meta.rows = 128;
+    meta.cols = 128;
+    meta.nnz = 1000;
+    meta.blocks = 17;
+    meta.payloadBytes = 4242;
+    const Result<CacheMeta> parsed =
+        parseCacheMeta(formatCacheMeta(meta), "<test>");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().spec, meta.spec);
+    EXPECT_EQ(parsed.value().rows, 128);
+    EXPECT_EQ(parsed.value().nnz, 1000);
+    EXPECT_EQ(parsed.value().payloadBytes, 4242u);
+}
+
+TEST(CacheMetaTest, RejectsMalformedRecords)
+{
+    const std::string good =
+        formatCacheMeta({"spec-string", 1, 2, 3, 4, 5});
+    EXPECT_FALSE(parseCacheMeta("", "<t>").ok());
+    EXPECT_FALSE(parseCacheMeta("garbage\n", "<t>").ok());
+    // Missing fields.
+    EXPECT_FALSE(
+        parseCacheMeta("unistc-cache-meta v1\nspec: x\n", "<t>")
+            .ok());
+    // Duplicate field.
+    EXPECT_FALSE(parseCacheMeta(good + "rows: 1\n", "<t>").ok());
+    // Unknown field.
+    EXPECT_FALSE(parseCacheMeta(good + "extra: 1\n", "<t>").ok());
+    // Bad integers: trailing junk, negatives, overflow.
+    std::string bad = good;
+    bad.replace(bad.find("rows: 1"), 7, "rows: 1x");
+    EXPECT_FALSE(parseCacheMeta(bad, "<t>").ok());
+    bad = good;
+    bad.replace(bad.find("nnz: 3"), 6, "nnz: -3");
+    EXPECT_FALSE(parseCacheMeta(bad, "<t>").ok());
+    bad = good;
+    bad.replace(bad.find("payload_bytes: 5"), 16,
+                "payload_bytes: 99999999999999999999999999");
+    EXPECT_FALSE(parseCacheMeta(bad, "<t>").ok());
+}
+
+TEST(CacheModeTest, ParsesAndPrints)
+{
+    CacheMode m = CacheMode::Off;
+    EXPECT_TRUE(parseCacheMode("rw", m));
+    EXPECT_EQ(m, CacheMode::ReadWrite);
+    EXPECT_TRUE(parseCacheMode("ro", m));
+    EXPECT_EQ(m, CacheMode::ReadOnly);
+    EXPECT_TRUE(parseCacheMode("off", m));
+    EXPECT_EQ(m, CacheMode::Off);
+    EXPECT_FALSE(parseCacheMode("", m));
+    EXPECT_FALSE(parseCacheMode("readwrite", m));
+    EXPECT_STREQ(toString(CacheMode::ReadOnly), "ro");
+}
+
+TEST_F(CacheTest, MissBuildsStoresThenHits)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadWrite);
+    ASSERT_TRUE(cache.enabled());
+
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return genBanded(128, 4, 0.5, 7);
+    };
+    const auto first = cache.getOrBuild(sampleSpec(), build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_TRUE(std::filesystem::exists(
+        cache.entryPath(sampleSpec())));
+    EXPECT_TRUE(
+        std::filesystem::exists(cache.metaPath(sampleSpec())));
+    CacheCounters c = cache.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 0u);
+    EXPECT_GT(c.bytesWritten, 0u);
+    EXPECT_EQ(c.bytesRead, 0u);
+
+    // Same process: in-memory memo serves the same artifact.
+    const auto again = cache.getOrBuild(sampleSpec(), build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(again.get(), first.get());
+    EXPECT_EQ(cache.counters().hits, 1u);
+
+    // Fresh cache object, same dir: served from disk, not rebuilt.
+    MatrixCache warm;
+    warm.configure(dir_, CacheMode::ReadWrite);
+    const auto loaded = warm.getOrBuild(sampleSpec(), build);
+    EXPECT_EQ(builds, 1);
+    c = warm.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 0u);
+    EXPECT_GT(c.bytesRead, 0u);
+    // Loaded artifact decodes to exactly the generated matrix.
+    const CsrMatrix direct = genBanded(128, 4, 0.5, 7);
+    const CsrMatrix decoded = loaded->toCsr();
+    EXPECT_EQ(decoded.rowPtr(), direct.rowPtr());
+    EXPECT_EQ(decoded.colIdx(), direct.colIdx());
+    EXPECT_EQ(decoded.vals(), direct.vals());
+}
+
+TEST_F(CacheTest, CorruptEntryRegeneratesAndRewrites)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadWrite);
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return genBanded(128, 4, 0.5, 7);
+    };
+    (void)cache.getOrBuild(sampleSpec(), build);
+    ASSERT_EQ(builds, 1);
+    const std::string path = cache.entryPath(sampleSpec());
+
+    // Flip a payload byte: the BBC checksum must catch it.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(64);
+        char b = 0;
+        f.seekg(64);
+        f.read(&b, 1);
+        b = static_cast<char>(b ^ 0x5a);
+        f.seekp(64);
+        f.write(&b, 1);
+    }
+    MatrixCache second;
+    second.configure(dir_, CacheMode::ReadWrite);
+    (void)second.getOrBuild(sampleSpec(), build);
+    EXPECT_EQ(builds, 2); // regenerated
+    CacheCounters c = second.counters();
+    EXPECT_EQ(c.loadFailures, 1u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_GT(c.bytesWritten, 0u); // rewritten in rw mode
+
+    // The rewrite healed the entry: a third cache hits cleanly.
+    MatrixCache third;
+    third.configure(dir_, CacheMode::ReadWrite);
+    (void)third.getOrBuild(sampleSpec(), build);
+    EXPECT_EQ(builds, 2);
+    EXPECT_EQ(third.counters().hits, 1u);
+    EXPECT_EQ(third.counters().loadFailures, 0u);
+}
+
+TEST_F(CacheTest, TruncatedEntryFallsBackToRegeneration)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadWrite);
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return genBanded(128, 4, 0.5, 7);
+    };
+    (void)cache.getOrBuild(sampleSpec(), build);
+    std::filesystem::resize_file(cache.entryPath(sampleSpec()), 10);
+
+    MatrixCache second;
+    second.configure(dir_, CacheMode::ReadWrite);
+    const auto m = second.getOrBuild(sampleSpec(), build);
+    EXPECT_EQ(builds, 2);
+    EXPECT_EQ(second.counters().loadFailures, 1u);
+    EXPECT_EQ(m->rows(), 128);
+}
+
+TEST_F(CacheTest, SidecarSpecMismatchIsRejected)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadWrite);
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return genBanded(128, 4, 0.5, 7);
+    };
+    (void)cache.getOrBuild(sampleSpec(), build);
+
+    // Rewrite the sidecar to claim a different spec (a hash
+    // collision or a stale rename would look like this).
+    const std::string metaPath = cache.metaPath(sampleSpec());
+    CacheMeta meta;
+    {
+        std::ifstream in(metaPath);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        meta = parseCacheMeta(text).value();
+    }
+    meta.spec = "someone(else=1);seed=0;block=16;values=f64";
+    {
+        std::ofstream out(metaPath, std::ios::trunc);
+        out << formatCacheMeta(meta);
+    }
+    MatrixCache second;
+    second.configure(dir_, CacheMode::ReadWrite);
+    (void)second.getOrBuild(sampleSpec(), build);
+    EXPECT_EQ(builds, 2);
+    EXPECT_EQ(second.counters().loadFailures, 1u);
+}
+
+TEST_F(CacheTest, ReadOnlyModeNeverWrites)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadOnly);
+    int builds = 0;
+    const auto m = cache.getOrBuild(sampleSpec(), [&] {
+        ++builds;
+        return genBanded(128, 4, 0.5, 7);
+    });
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(m->rows(), 128);
+    EXPECT_EQ(cache.counters().bytesWritten, 0u);
+    EXPECT_FALSE(std::filesystem::exists(
+        cache.entryPath(sampleSpec())));
+
+    // A populated dir serves hits in ro mode.
+    MatrixCache writer;
+    writer.configure(dir_, CacheMode::ReadWrite);
+    (void)writer.getOrBuild(sampleSpec(), [&] {
+        return genBanded(128, 4, 0.5, 7);
+    });
+    MatrixCache reader;
+    reader.configure(dir_, CacheMode::ReadOnly);
+    (void)reader.getOrBuild(sampleSpec(), [&] {
+        ++builds;
+        return genBanded(128, 4, 0.5, 7);
+    });
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(reader.counters().hits, 1u);
+}
+
+TEST_F(CacheTest, DisabledCacheBuildsEveryTime)
+{
+    MatrixCache cache; // never configured
+    EXPECT_FALSE(cache.enabled());
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return genBanded(64, 2, 0.5, 3);
+    };
+    (void)cache.getOrBuild(MatrixSpec("x").seed(1), build);
+    (void)cache.getOrBuild(MatrixSpec("x").seed(1), build);
+    EXPECT_EQ(builds, 2);
+    const CacheCounters c = cache.counters();
+    EXPECT_EQ(c.hits + c.misses, 0u);
+}
+
+TEST_F(CacheTest, ConcurrentWritersBuildEachKeyOnce)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadWrite);
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 3;
+    std::atomic<int> builds{0};
+    std::vector<std::shared_ptr<const BbcMatrix>> got(
+        kThreads * kKeys);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int k = 0; k < kKeys; ++k) {
+                got[t * kKeys + k] = cache.getOrBuild(
+                    sampleSpec(static_cast<std::uint64_t>(k)), [&,
+                                                               k] {
+                        builds.fetch_add(1);
+                        return genBanded(
+                            128, 4, 0.5,
+                            static_cast<std::uint64_t>(k));
+                    });
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    // At-most-once generation per key, shared artifact pointers.
+    EXPECT_EQ(builds.load(), kKeys);
+    for (int k = 0; k < kKeys; ++k) {
+        for (int t = 1; t < kThreads; ++t)
+            EXPECT_EQ(got[t * kKeys + k].get(), got[k].get());
+    }
+    const CacheCounters c = cache.counters();
+    EXPECT_EQ(c.misses, static_cast<std::uint64_t>(kKeys));
+    EXPECT_EQ(c.hits,
+              static_cast<std::uint64_t>(kThreads * kKeys - kKeys));
+}
+
+TEST_F(CacheTest, ConversionSideTableServesPreparedMatrices)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadWrite);
+    const auto bbc = cache.getOrBuild(sampleSpec(), [] {
+        return genBanded(128, 4, 0.5, 7);
+    });
+    const CsrMatrix csr = bbc->toCsr();
+    cache.noteCsr(csr, bbc);
+
+    // An equal-content copy resolves; different content does not.
+    const CsrMatrix copy = csr;
+    EXPECT_EQ(cache.findBbcFor(copy).get(), bbc.get());
+    const CsrMatrix other = sampleMatrix(8);
+    EXPECT_EQ(cache.findBbcFor(other), nullptr);
+}
+
+TEST_F(CacheTest, GlobalCacheDrivesGenerators)
+{
+    MatrixCache &g = MatrixCache::global();
+    g.configure(dir_, CacheMode::ReadWrite);
+    const CsrMatrix first = genBanded(96, 3, 0.5, 11);
+    const CsrMatrix second = genBanded(96, 3, 0.5, 11);
+    const CacheCounters c = g.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(first.rowPtr(), second.rowPtr());
+    EXPECT_EQ(first.vals(), second.vals());
+    // Side-table primed: the BBC conversion for this CSR is shared.
+    EXPECT_NE(g.findBbcFor(first), nullptr);
+
+    // Cached output is bit-identical to the uncached generator.
+    g.configure("", CacheMode::Off);
+    const CsrMatrix uncached = genBanded(96, 3, 0.5, 11);
+    EXPECT_EQ(first.rowPtr(), uncached.rowPtr());
+    EXPECT_EQ(first.colIdx(), uncached.colIdx());
+    EXPECT_EQ(first.vals(), uncached.vals());
+}
+
+TEST_F(CacheTest, RegisterStatsEmitsCountersAndEmptySummary)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadWrite);
+    StatRegistry reg;
+    cache.registerStats(reg);
+    // Nothing moved yet: explicit zero counts, no min/max keys.
+    EXPECT_EQ(reg.counter("cache.hits"), 0u);
+    EXPECT_EQ(reg.counter("cache.entry_bytes.count"), 0u);
+    EXPECT_FALSE(reg.has("cache.entry_bytes.min"));
+
+    (void)cache.getOrBuild(sampleSpec(), [] {
+        return genBanded(128, 4, 0.5, 7);
+    });
+    cache.registerStats(reg);
+    EXPECT_EQ(reg.counter("cache.misses"), 1u);
+    EXPECT_GT(reg.counter("cache.bytes_written"), 0u);
+    EXPECT_EQ(reg.counter("cache.entry_bytes.count"), 1u);
+    EXPECT_TRUE(reg.has("cache.entry_bytes.min"));
+}
+
+TEST_F(CacheTest, TraceEventsCoverEveryKeyResolution)
+{
+    MatrixCache cache;
+    cache.configure(dir_, CacheMode::ReadWrite);
+    (void)cache.getOrBuild(sampleSpec(1), [] {
+        return genBanded(128, 4, 0.5, 1);
+    });
+    (void)cache.getOrBuild(sampleSpec(1), [] {
+        return genBanded(128, 4, 0.5, 1);
+    });
+    const auto timings = cache.keyTimings();
+    ASSERT_EQ(timings.size(), 2u);
+    EXPECT_FALSE(timings[0].hit);
+    EXPECT_TRUE(timings[1].hit);
+    EXPECT_EQ(timings[0].spec, sampleSpec(1).canonical());
+
+    TraceSink sink(16);
+    cache.appendTraceEvents(sink, /*pid=*/3);
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_EQ(events[0].pid, 3);
+    EXPECT_EQ(events[0].tid,
+              static_cast<int>(TraceTrack::Cache));
+    EXPECT_EQ(events[0].name.rfind("miss ", 0), 0u);
+    EXPECT_EQ(events[1].name.rfind("hit ", 0), 0u);
+}
+
+} // namespace
+} // namespace unistc

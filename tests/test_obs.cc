@@ -373,6 +373,50 @@ TEST(MetricsExport, RegisterRunResultExportsExpectedKeys)
     EXPECT_EQ(reg.histogram("m.utilHist").totalCount(), 2u);
 }
 
+TEST(StatRegistry, HistogramJsonCarriesNanTallyOnlyWhenPresent)
+{
+    // NaN-free histograms must serialise byte-identically to before
+    // the NaN tally existed; a non-zero tally adds an explicit key.
+    StatRegistry reg;
+    Histogram clean(2, 0.0, 1.0);
+    clean.add(0.3);
+    reg.setHistogram("h", clean);
+    std::ostringstream os;
+    reg.writeJson(os);
+    EXPECT_EQ(os.str().find("\"nan\""), std::string::npos);
+
+    Histogram dirty(2, 0.0, 1.0);
+    dirty.add(std::nan(""), 5);
+    reg.setHistogram("h", dirty);
+    std::ostringstream os2;
+    reg.writeJson(os2);
+    EXPECT_NE(os2.str().find("\"nan\": 5"), std::string::npos);
+    EXPECT_TRUE(JsonChecker(os2.str()).valid()) << os2.str();
+}
+
+TEST(MetricsExport, EmptyRunningStatExportsExplicitZeroCount)
+{
+    // Regression: exporting an empty stat used to require calling
+    // min()/max(), which assert on count == 0. The export must emit
+    // "count": 0 and omit the undefined summary fields instead.
+    StatRegistry reg;
+    RunningStat empty;
+    registerRunningStat(reg, empty, "x.");
+    EXPECT_EQ(reg.counter("x.count"), 0u);
+    EXPECT_FALSE(reg.has("x.min"));
+    EXPECT_FALSE(reg.has("x.max"));
+    EXPECT_FALSE(reg.has("x.mean"));
+
+    RunningStat full;
+    full.add(2.0);
+    full.add(6.0);
+    registerRunningStat(reg, full, "y.");
+    EXPECT_EQ(reg.counter("y.count"), 2u);
+    EXPECT_DOUBLE_EQ(reg.scalar("y.min"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("y.max"), 6.0);
+    EXPECT_DOUBLE_EQ(reg.scalar("y.mean"), 4.0);
+}
+
 TEST(MetricsExport, StatsJsonEnvelopeParsesWithSchema)
 {
     StatRegistry reg;

@@ -69,6 +69,40 @@ TEST(MatrixMarket, ReadsPatternAsOnes)
     EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
 }
 
+TEST(MatrixMarket, RejectsDuplicateEntries)
+{
+    // Regression: duplicate (r,c) pairs must be rejected, not summed
+    // silently by normalize(); a corrupt writer emitting the same
+    // coordinate twice would otherwise skew every downstream figure.
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 3\n"
+        "1 1 2.5\n"
+        "2 2 1.0\n"
+        "1 1 3.5\n");
+    const Result<CsrMatrix> r = tryReadMatrixMarket(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::CorruptData);
+    EXPECT_NE(r.status().message().find("duplicate"),
+              std::string::npos);
+}
+
+TEST(MatrixMarket, RejectsDuplicateFromSymmetricExpansion)
+{
+    // A symmetric file listing both (2,1) and (1,2) duplicates after
+    // mirroring even though the raw entry list has no repeats.
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 4\n"
+        "1 2 5\n");
+    const Result<CsrMatrix> r = tryReadMatrixMarket(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::CorruptData);
+    EXPECT_NE(r.status().message().find("symmetric expansion"),
+              std::string::npos);
+}
+
 TEST(MatrixMarket, FileRoundTrip)
 {
     const CsrMatrix m = genRandomUniform(25, 25, 0.15, 23);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/stats.hh"
 
@@ -97,6 +98,55 @@ TEST(Histogram, MergeAndScale)
     EXPECT_EQ(a.bucketCount(0), 2u);
     EXPECT_EQ(a.bucketCount(1), 6u);
     EXPECT_EQ(a.totalCount(), 8u);
+}
+
+TEST(RunningStat, MinOrMaxOrOnEmptyStat)
+{
+    RunningStat s;
+    EXPECT_DOUBLE_EQ(s.minOr(-1.0), -1.0);
+    EXPECT_DOUBLE_EQ(s.maxOr(42.0), 42.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.minOr(-1.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.maxOr(42.0), 3.0);
+}
+
+TEST(Histogram, NanGoesToOverflowTallyNotABucket)
+{
+    // Regression: casting NaN to int is UB; add() must route NaN to
+    // the dedicated tally without touching buckets or totalCount.
+    Histogram h(4, 0.0, 1.0);
+    h.add(std::nan(""));
+    h.add(std::nan(""), 3);
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_EQ(h.nanCount(), 4u);
+    for (int b = 0; b < 4; ++b)
+        EXPECT_EQ(h.bucketCount(b), 0u);
+    h.add(0.5);
+    EXPECT_EQ(h.totalCount(), 1u);
+    EXPECT_EQ(h.nanCount(), 4u);
+}
+
+TEST(Histogram, InfinitiesClampToEdgeBuckets)
+{
+    Histogram h(4, 0.0, 1.0);
+    h.add(-std::numeric_limits<double>::infinity());
+    h.add(std::numeric_limits<double>::infinity(), 2);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_EQ(h.nanCount(), 0u);
+}
+
+TEST(Histogram, NanTallyMergesAndScales)
+{
+    Histogram a(2, 0.0, 1.0);
+    Histogram b(2, 0.0, 1.0);
+    a.add(std::nan(""));
+    b.add(std::nan(""), 2);
+    a.merge(b);
+    EXPECT_EQ(a.nanCount(), 3u);
+    a.scale(2);
+    EXPECT_EQ(a.nanCount(), 6u);
 }
 
 TEST(GeoMean, MatchesClosedForm)
