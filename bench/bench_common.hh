@@ -64,10 +64,12 @@
 #include "engine/kernel_pipeline.hh"
 #include "exec/sweep_executor.hh"
 #include "runner/block_driver.hh"
+#include "obs/bench_json.hh"
 #include "obs/json_writer.hh"
 #include "obs/metrics_export.hh"
 #include "obs/stat_registry.hh"
 #include "robust/checkpoint.hh"
+#include "warehouse/sink.hh"
 #include "runner/report.hh"
 #include "runner/spgemm_runner.hh"
 #include "runner/spmm_runner.hh"
@@ -119,18 +121,15 @@ struct Prepared
  * be exported as machine-readable JSON next to the printed tables.
  * Set UNISTC_BENCH_JSON=out.json to get an automatic dump at exit.
  * record() is mutex-guarded so sweep workers may append concurrently;
- * entries() / dumpJson() are for after the run settles.
+ * entries() / dumpJson() are for after the run settles. Every record
+ * is additionally mirrored into the results warehouse when
+ * UNISTC_WAREHOUSE_DIR is set (warehouse/sink.hh) — same rows, same
+ * order, incrementally flushed so a crashed bench keeps its prefix.
  */
 class ResultLog
 {
   public:
-    struct Entry
-    {
-        std::string kernel;
-        std::string model;
-        std::string matrix;
-        RunResult result;
-    };
+    using Entry = BenchJsonEntry;
 
     /**
      * One engine pass recorded by runKernelLineup(): the per-layer
@@ -140,13 +139,7 @@ class ResultLog
      * enumeration-vs-model split) — they would otherwise break the
      * --jobs byte-identical-output guarantee.
      */
-    struct EngineEntry
-    {
-        std::string kernel;
-        std::string matrix;
-        PipelineCounters counters;
-        bool timed = false;
-    };
+    using EngineEntry = BenchJsonEngineEntry;
 
     static ResultLog &
     instance()
@@ -161,18 +154,26 @@ class ResultLog
     record(Kernel kernel, const std::string &model,
            const std::string &matrix, const RunResult &result)
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        entries_.push_back(
-            {toString(kernel), model, matrix, result});
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            entries_.push_back(
+                {toString(kernel), model, matrix, result});
+        }
+        warehouse::BenchSink::instance().record(
+            toString(kernel), model, matrix, result);
     }
 
     void
     recordEngine(Kernel kernel, const std::string &matrix,
                  const PipelineCounters &counters, bool timed = false)
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        engineEntries_.push_back(
-            {toString(kernel), matrix, counters, timed});
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            engineEntries_.push_back(
+                {toString(kernel), matrix, counters, timed});
+        }
+        warehouse::BenchSink::instance().recordEngine(
+            toString(kernel), matrix, counters, timed);
     }
 
     const std::vector<Entry> &entries() const { return entries_; }
@@ -183,7 +184,11 @@ class ResultLog
         return engineEntries_;
     }
 
-    /** Write all recorded entries as schema-versioned JSON. */
+    /**
+     * Write all recorded entries as schema-versioned JSON, through
+     * the shared serializer (obs/bench_json.hh) so this dump and
+     * `unistc_query export-bench` agree byte for byte.
+     */
     void
     dumpJson(const std::string &path) const
     {
@@ -192,45 +197,7 @@ class ResultLog
             UNISTC_FATAL("cannot open bench JSON output '", path,
                          "' for writing");
         }
-        os << "{\n  \"schema\": \"unistc-bench\",\n"
-           << "  \"version\": 2,\n  \"entries\": [";
-        bool first = true;
-        for (const auto &e : entries_) {
-            StatRegistry reg;
-            registerRunResult(reg, e.result);
-            os << (first ? "\n" : ",\n")
-               << "    {\n      \"kernel\": \""
-               << JsonWriter::escape(e.kernel)
-               << "\",\n      \"model\": \""
-               << JsonWriter::escape(e.model)
-               << "\",\n      \"matrix\": \""
-               << JsonWriter::escape(e.matrix)
-               << "\",\n      \"stats\": ";
-            reg.writeJson(os, 6);
-            os << "\n    }";
-            first = false;
-        }
-        os << (first ? "]" : "\n  ]");
-        if (!engineEntries_.empty()) {
-            os << ",\n  \"engine\": [";
-            bool efirst = true;
-            for (const auto &e : engineEntries_) {
-                StatRegistry reg;
-                e.counters.registerStats(reg, "engine.",
-                                         /*includeTiming=*/e.timed);
-                os << (efirst ? "\n" : ",\n")
-                   << "    {\n      \"kernel\": \""
-                   << JsonWriter::escape(e.kernel)
-                   << "\",\n      \"matrix\": \""
-                   << JsonWriter::escape(e.matrix)
-                   << "\",\n      \"stats\": ";
-                reg.writeJson(os, 6);
-                os << "\n    }";
-                efirst = false;
-            }
-            os << "\n  ]";
-        }
-        os << "\n}\n";
+        writeBenchJson(os, entries_, engineEntries_);
     }
 
   private:
@@ -401,6 +368,12 @@ class SweepSession
     void
     finish()
     {
+        // The sweep's recovery tallies belong in the warehouse
+        // commit record — after this point the executor is gone.
+        if (exec_ != nullptr) {
+            warehouse::BenchSink::instance().noteRecovery(
+                exec_->recoveryCounters());
+        }
         mode_ = Mode::Off;
         exec_.reset();
         captures_.clear();
@@ -894,6 +867,9 @@ main(int argc, char **argv)
 {
     namespace ub = unistc::bench;
     ub::applySmokeEnv(argc, argv);
+    // Warehouse sink (off unless UNISTC_WAREHOUSE_DIR): opened before
+    // the body so rows stream out as they are recorded.
+    unistc::warehouse::BenchSink::instance().configure(argc, argv);
     const std::string resume = ub::resumePath(argc, argv);
     if (!resume.empty())
         ub::CheckpointSession::instance().configure(resume);

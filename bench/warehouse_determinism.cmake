@@ -1,0 +1,87 @@
+# End-to-end check of the results warehouse (docs/WAREHOUSE.md):
+# the same bench run into two fresh warehouses with --jobs 1 and
+# --jobs 2 must produce byte-identical row content (column files and
+# string dictionary), `unistc_query export-bench` must reproduce the
+# direct UNISTC_BENCH_JSON dump byte-for-byte, and check-regressions
+# between the two runs must report zero regressions (exit 0).
+# Driven by ctest (see CMakeLists.txt):
+#
+#   cmake -DBENCH=<bench binary> -DQUERY=<unistc_query binary> \
+#         -DWORKDIR=<scratch dir> -P warehouse_determinism.cmake
+
+foreach(var BENCH QUERY WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+foreach(jobs 1 2)
+    set(wh ${WORKDIR}/wh${jobs})
+    set(ENV{UNISTC_WAREHOUSE_DIR} ${wh})
+    set(ENV{UNISTC_BENCH_JSON} ${WORKDIR}/direct${jobs}.json)
+    execute_process(
+        COMMAND ${BENCH} --smoke --jobs ${jobs}
+        OUTPUT_FILE ${WORKDIR}/stdout${jobs}.txt
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "${BENCH} --smoke --jobs ${jobs} exited with ${rc}")
+    endif()
+endforeach()
+set(ENV{UNISTC_WAREHOUSE_DIR})
+set(ENV{UNISTC_BENCH_JSON})
+
+# Row content must be byte-identical across worker counts: every
+# result/engine column file plus the string dictionary.
+file(GLOB cols RELATIVE ${WORKDIR}/wh1/000001
+     ${WORKDIR}/wh1/000001/r_*.bin ${WORKDIR}/wh1/000001/e_*.bin)
+list(APPEND cols strings.dict)
+foreach(f ${cols})
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/wh1/000001/${f} ${WORKDIR}/wh2/000001/${f}
+        RESULT_VARIABLE differ)
+    if(NOT differ EQUAL 0)
+        message(FATAL_ERROR
+                "--jobs 1 and --jobs 2 wrote different warehouse "
+                "row content: ${f}")
+    endif()
+endforeach()
+
+# export-bench must reproduce the direct UNISTC_BENCH_JSON dump
+# byte-for-byte (shared serialiser, obs/bench_json.hh).
+execute_process(
+    COMMAND ${QUERY} --warehouse ${WORKDIR}/wh1 export-bench latest
+            --out ${WORKDIR}/export1.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "export-bench exited with ${rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/direct1.json ${WORKDIR}/export1.json
+    RESULT_VARIABLE differ)
+if(NOT differ EQUAL 0)
+    message(FATAL_ERROR
+            "export-bench differs from the direct "
+            "UNISTC_BENCH_JSON dump")
+endif()
+
+# Identical runs must compare clean: exit 0, no regressions.
+execute_process(
+    COMMAND ${QUERY} --warehouse ${WORKDIR}/wh1 check-regressions
+            --baseline-json ${WORKDIR}/direct2.json --current latest
+    OUTPUT_FILE ${WORKDIR}/regressions.txt
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    file(READ ${WORKDIR}/regressions.txt report)
+    message(FATAL_ERROR
+            "check-regressions on identical runs exited with ${rc}:\n"
+            "${report}")
+endif()
+
+message(STATUS "warehouse rows, export and regression gate are "
+               "deterministic across --jobs 1 and --jobs 2")

@@ -416,6 +416,25 @@ SweepExecutor::outcome(std::size_t i) const
     return out;
 }
 
+SweepExecutor::RecoveryCounters
+SweepExecutor::recoveryCounters() const
+{
+    UNISTC_ASSERT(merged_,
+                  "SweepExecutor::recoveryCounters before wait()");
+    RecoveryCounters rc;
+    for (const Slot &s : slots_) {
+        rc.faultsDetected += static_cast<std::uint64_t>(
+            s.failed ? s.attempts : std::max(0, s.attempts - 1));
+        rc.jobsRetried += static_cast<std::uint64_t>(
+            std::max(0, s.attempts - 1));
+        if (s.failed)
+            ++rc.jobsQuarantined;
+        if (s.timedOut)
+            ++rc.jobsTimedOut;
+    }
+    return rc;
+}
+
 const StatRegistry &
 SweepExecutor::stats() const
 {

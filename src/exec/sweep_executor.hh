@@ -31,6 +31,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -184,6 +185,22 @@ class SweepExecutor
      * i was quarantined (its result() is zeroed).
      */
     JobOutcome outcome(std::size_t i) const;
+
+    /** Sweep-wide recovery tallies (the robust.* stats counters). */
+    struct RecoveryCounters
+    {
+        std::uint64_t faultsDetected = 0; ///< Attempts that failed.
+        std::uint64_t jobsRetried = 0;    ///< Extra attempts made.
+        std::uint64_t jobsQuarantined = 0;
+        std::uint64_t jobsTimedOut = 0;
+    };
+
+    /**
+     * Aggregate recovery counters over every job — available even
+     * with Options::collectStats off (the warehouse commit record
+     * reads them without paying for stat shards); requires wait().
+     */
+    RecoveryCounters recoveryCounters() const;
 
     /** Merged statistics (submission order); requires wait(). */
     const StatRegistry &stats() const;

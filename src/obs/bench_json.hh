@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The canonical bench JSON serialisation (schema "unistc-bench",
+ * version 2), factored out of bench_common.hh's ResultLog so two
+ * producers share one byte-identical writer:
+ *
+ *   - ResultLog::dumpJson() (the UNISTC_BENCH_JSON dump at bench
+ *     exit), and
+ *   - unistc_query export-bench, which reconstructs the same
+ *     document from warehouse rows (docs/WAREHOUSE.md) — this is
+ *     what makes committed BENCH_*.json baselines reproducible from
+ *     the longitudinal store.
+ */
+
+#ifndef UNISTC_OBS_BENCH_JSON_HH
+#define UNISTC_OBS_BENCH_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "engine/kernel_pipeline.hh"
+#include "sim/result.hh"
+
+namespace unistc
+{
+
+/** Bench JSON envelope identity. Bump the version on key changes. */
+inline constexpr const char *kBenchSchemaName = "unistc-bench";
+inline constexpr int kBenchSchemaVersion = 2;
+
+/** One per-(kernel, model, matrix) record of the "entries" array. */
+struct BenchJsonEntry
+{
+    std::string kernel;
+    std::string model;
+    std::string matrix;
+    RunResult result;
+};
+
+/**
+ * One engine pass record of the optional "engine" array. Wall-clock
+ * seconds are serialised only when @ref timed is set — untimed
+ * passes must stay byte-identical across --jobs worker counts.
+ */
+struct BenchJsonEngineEntry
+{
+    std::string kernel;
+    std::string matrix;
+    PipelineCounters counters;
+    bool timed = false;
+};
+
+/**
+ * Write the whole bench JSON document: schema envelope, "entries"
+ * array (stats via registerRunResult), and an "engine" array only
+ * when @p engine is non-empty.
+ */
+void writeBenchJson(std::ostream &os,
+                    const std::vector<BenchJsonEntry> &entries,
+                    const std::vector<BenchJsonEngineEntry> &engine);
+
+} // namespace unistc
+
+#endif // UNISTC_OBS_BENCH_JSON_HH

@@ -1,0 +1,465 @@
+#include "obs/json_reader.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+bool
+JsonValue::boolean() const
+{
+    UNISTC_ASSERT(kind_ == Kind::Bool, "JSON value is not a bool");
+    return b_;
+}
+
+double
+JsonValue::number() const
+{
+    UNISTC_ASSERT(kind_ == Kind::Number, "JSON value is not a number");
+    return d_;
+}
+
+const std::string &
+JsonValue::string() const
+{
+    UNISTC_ASSERT(kind_ == Kind::String, "JSON value is not a string");
+    return s_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    UNISTC_ASSERT(kind_ == Kind::Array, "JSON value is not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    UNISTC_ASSERT(kind_ == Kind::Object,
+                  "JSON value is not an object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::doubleValue(double *out) const
+{
+    if (kind_ == Kind::Number) {
+        *out = d_;
+        return true;
+    }
+    // The writer's non-finite sentinels (json_writer.hh policy).
+    if (kind_ == Kind::String) {
+        if (s_ == "nan") {
+            *out = std::numeric_limits<double>::quiet_NaN();
+            return true;
+        }
+        if (s_ == "inf") {
+            *out = std::numeric_limits<double>::infinity();
+            return true;
+        }
+        if (s_ == "-inf") {
+            *out = -std::numeric_limits<double>::infinity();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+JsonValue::counterValue(std::uint64_t *out) const
+{
+    if (kind_ != Kind::Number || !std::isfinite(d_) || d_ < 0)
+        return false;
+    const std::uint64_t v = static_cast<std::uint64_t>(d_);
+    // Counters above 2^53 would already have been lossy to emit as a
+    // JSON number; reject anything the double cannot represent.
+    if (static_cast<double>(v) != d_)
+        return false;
+    *out = v;
+    return true;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.b_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.d_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.s_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.items_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+namespace
+{
+
+/** Hand-rolled recursive-descent parser with location tracking. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &label)
+        : text_(text), label_(label)
+    {
+    }
+
+    Result<JsonValue>
+    parseDocument()
+    {
+        Result<JsonValue> v = parseValue(0);
+        if (!v.ok())
+            return v;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after the document");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    Status
+    error(const std::string &msg) const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        std::ostringstream os;
+        os << label_ << ":" << line << ":" << col << ": " << msg;
+        return parseError(os.str());
+    }
+
+    Result<JsonValue> fail(const std::string &msg) const
+    {
+        return Result<JsonValue>(error(msg));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        const std::size_t n = std::string(w).size();
+        if (text_.compare(pos_, n, w) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Result<JsonValue>
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than 64 levels");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"': {
+            std::string s;
+            if (Status st = parseString(&s); !st.ok())
+                return Result<JsonValue>(st);
+            return JsonValue::makeString(std::move(s));
+          }
+          case 't':
+            if (consumeWord("true"))
+                return JsonValue::makeBool(true);
+            return fail("bad literal (expected 'true')");
+          case 'f':
+            if (consumeWord("false"))
+                return JsonValue::makeBool(false);
+            return fail("bad literal (expected 'false')");
+          case 'n':
+            if (consumeWord("null"))
+                return JsonValue::makeNull();
+            return fail("bad literal (expected 'null')");
+          default:
+            return parseNumber();
+        }
+    }
+
+    Result<JsonValue>
+    parseObject(int depth)
+    {
+        consume('{');
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWs();
+        if (consume('}'))
+            return JsonValue::makeObject(std::move(members));
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (Status st = parseString(&key); !st.ok())
+                return Result<JsonValue>(st);
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            Result<JsonValue> v = parseValue(depth + 1);
+            if (!v.ok())
+                return v;
+            members.emplace_back(std::move(key),
+                                 std::move(v).value());
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return JsonValue::makeObject(std::move(members));
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    Result<JsonValue>
+    parseArray(int depth)
+    {
+        consume('[');
+        std::vector<JsonValue> items;
+        skipWs();
+        if (consume(']'))
+            return JsonValue::makeArray(std::move(items));
+        for (;;) {
+            Result<JsonValue> v = parseValue(depth + 1);
+            if (!v.ok())
+                return v;
+            items.push_back(std::move(v).value());
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return JsonValue::makeArray(std::move(items));
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Status
+    parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return error("expected '\"'");
+        std::string s;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') {
+                *out = std::move(s);
+                return Status::okStatus();
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return error("unescaped control character in string");
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return error("dangling escape at end of input");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                s += '"';
+                break;
+              case '\\':
+                s += '\\';
+                break;
+              case '/':
+                s += '/';
+                break;
+              case 'b':
+                s += '\b';
+                break;
+              case 'f':
+                s += '\f';
+                break;
+              case 'n':
+                s += '\n';
+                break;
+              case 'r':
+                s += '\r';
+                break;
+              case 't':
+                s += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return error("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code |= h - 'A' + 10;
+                    else
+                        return error("bad hex digit in \\u escape");
+                }
+                // The writer only emits \u00XX for control bytes;
+                // decode the Basic Latin range directly and encode
+                // anything else as UTF-8.
+                if (code < 0x80) {
+                    s += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    s += static_cast<char>(0xC0 | (code >> 6));
+                    s += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    s += static_cast<char>(0xE0 | (code >> 12));
+                    s += static_cast<char>(0x80 |
+                                           ((code >> 6) & 0x3F));
+                    s += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return error("unknown escape sequence");
+            }
+        }
+        return error("unterminated string");
+    }
+
+    Result<JsonValue>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a JSON value");
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0' || end == tok.c_str()) {
+            pos_ = start;
+            return fail("malformed number '" + tok + "'");
+        }
+        return JsonValue::makeNumber(d);
+    }
+
+    const std::string &text_;
+    const std::string &label_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Result<JsonValue>
+parseJson(const std::string &text, const std::string &label)
+{
+    Parser p(text, label);
+    return p.parseDocument();
+}
+
+Result<JsonValue>
+parseJsonFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return Result<JsonValue>(
+            ioError("cannot open '" + path + "' for reading"));
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (is.bad()) {
+        return Result<JsonValue>(
+            ioError("read failure on '" + path + "'"));
+    }
+    return parseJson(buf.str(), path);
+}
+
+} // namespace unistc

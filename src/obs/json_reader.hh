@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser — the read-side counterpart
+ * of JsonWriter. Parses the subset this repo emits (objects, arrays,
+ * strings, numbers, booleans, null) into a small DOM and decodes the
+ * writer's double policy: quoted "nan" / "inf" / "-inf" sentinels
+ * come back as the original non-finite values via doubleValue().
+ *
+ * Consumers: the json round-trip regression tests, and unistc_query
+ * reading committed BENCH_*.json baselines (docs/WAREHOUSE.md).
+ * Errors are typed (robust/status.hh) with line/column context —
+ * never asserts on malformed input.
+ */
+
+#ifndef UNISTC_OBS_JSON_READER_HH
+#define UNISTC_OBS_JSON_READER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "robust/status.hh"
+
+namespace unistc
+{
+
+/** One parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; assert on kind mismatch (use is*() first). */
+    bool boolean() const;
+    double number() const;
+    const std::string &string() const;
+    const std::vector<JsonValue> &array() const;
+
+    /** Object members in document order (duplicate keys kept). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** First member named @p key, or null when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * The value as a double under the writer's policy: a plain number
+     * parses directly, and the quoted sentinels "nan" / "inf" /
+     * "-inf" decode to NaN / +Inf / -Inf. False when the value is
+     * neither (callers see a typed mismatch, not a silent 0.0).
+     */
+    bool doubleValue(double *out) const;
+
+    /** number() narrowed to uint64; false on lossy conversion. */
+    bool counterValue(std::uint64_t *out) const;
+
+    // Construction is internal to the parser but public for tests.
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double d);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool b_ = false;
+    double d_ = 0.0;
+    std::string s_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage rejected). @p label names the source in errors.
+ */
+Result<JsonValue> parseJson(const std::string &text,
+                            const std::string &label = "<json>");
+
+/** parseJson() over the contents of @p path. */
+Result<JsonValue> parseJsonFile(const std::string &path);
+
+} // namespace unistc
+
+#endif // UNISTC_OBS_JSON_READER_HH

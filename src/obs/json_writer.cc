@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -121,25 +122,13 @@ JsonWriter::value(double v)
 {
     preValue();
     if (!std::isfinite(v)) {
-        os_ << "null";
+        // Quoted sentinel strings instead of null: null loses which
+        // of NaN/+Inf/-Inf the value was (the scalar analogue of the
+        // Histogram "nan" record; see the header policy note).
+        os_ << '"' << formatDouble(v) << '"';
         return;
     }
-    // Shortest round-trip-safe representation; always valid JSON
-    // (never produces a bare exponent or locale-dependent comma).
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    // Trim to the shortest form that still round-trips.
-    for (int prec = 1; prec < 17; ++prec) {
-        char trial[32];
-        std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
-        double back = 0.0;
-        std::sscanf(trial, "%lf", &back);
-        if (back == v) {
-            os_ << trial;
-            return;
-        }
-    }
-    os_ << buf;
+    os_ << formatDouble(v);
 }
 
 void
@@ -175,6 +164,30 @@ JsonWriter::null()
 {
     preValue();
     os_ << "null";
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v < 0 ? "-inf" : "inf";
+    // Shortest representation whose strtod() round-trip reproduces
+    // the exact bit pattern (== compares -0.0 equal to 0.0, but every
+    // %g rendering of -0.0 keeps the sign, so signed zero survives).
+    // Always valid JSON: %g never produces a bare exponent and the
+    // "C" numeric locale of snprintf is the repo-wide default.
+    for (int prec = 1; prec < 17; ++prec) {
+        char trial[32];
+        std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
+        if (std::strtod(trial, nullptr) == v)
+            return trial;
+    }
+    // max_digits10 == 17 digits round-trip any finite double.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
 }
 
 std::string

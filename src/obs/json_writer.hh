@@ -26,8 +26,18 @@ namespace unistc
  *   w.key("models"); w.beginArray(); w.value("Uni-STC"); w.endArray();
  *   w.endObject();
  *
- * Doubles that are not finite serialise as null (JSON has no
- * Infinity/NaN literals).
+ * Double policy (audited for bit-exact round-trips):
+ *
+ *  - Finite values emit the SHORTEST decimal form that strtod()
+ *    parses back to the identical bit pattern, falling back to
+ *    max_digits10 (17) significant digits. -0.0 keeps its sign.
+ *  - Non-finite values emit the quoted strings "nan", "inf" and
+ *    "-inf" — JSON has no Infinity/NaN literals, and the previous
+ *    null encoding conflated all three irrecoverably. This mirrors
+ *    the Histogram convention of an explicit "nan" record instead
+ *    of silently losing the information (docs/OBSERVABILITY.md).
+ *
+ * JsonReader::doubleValue() decodes both forms back losslessly.
  */
 class JsonWriter
 {
@@ -54,6 +64,14 @@ class JsonWriter
 
     /** Escape a string for embedding in a JSON document (no quotes). */
     static std::string escape(const std::string &s);
+
+    /**
+     * The exact token value(double) emits (sans quoting for the
+     * non-finite strings): shortest round-trip decimal for finite
+     * input, "nan" / "inf" / "-inf" otherwise. Exposed so tests and
+     * readers share one formatting contract.
+     */
+    static std::string formatDouble(double v);
 
   private:
     enum class Scope { Object, Array };

@@ -1,0 +1,286 @@
+#include "warehouse/schema.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+namespace warehouse
+{
+
+std::size_t
+colWidth(ColType t)
+{
+    return t == ColType::U32 ? 4 : 8;
+}
+
+const std::vector<ColumnDef> &
+resultColumns()
+{
+    // Order is the on-disk contract: new columns append at the end
+    // under a schema-version bump, never reorder.
+    static const std::vector<ColumnDef> cols = {
+        {"kernel", ColType::U32},
+        {"model", ColType::U32},
+        {"matrix", ColType::U32},
+        {"cycles", ColType::U64},
+        {"products", ColType::U64},
+        {"mac_slots", ColType::U64},
+        {"tasks_t1", ColType::U64},
+        {"tasks_t3", ColType::U64},
+        {"stall_cycles", ColType::U64},
+        {"dpg_active_accum", ColType::U64},
+        {"cnet_scale_accum", ColType::U64},
+        {"traffic_reads_a", ColType::U64},
+        {"traffic_wasted_a", ColType::U64},
+        {"traffic_reads_b", ColType::U64},
+        {"traffic_wasted_b", ColType::U64},
+        {"traffic_writes_c", ColType::U64},
+        {"energy_fetch_a", ColType::F64},
+        {"energy_fetch_b", ColType::F64},
+        {"energy_write_c", ColType::F64},
+        {"energy_schedule", ColType::F64},
+        {"energy_compute", ColType::F64},
+        {"hist_lo", ColType::F64},
+        {"hist_hi", ColType::F64},
+        {"hist_total", ColType::U64},
+        {"hist_nan", ColType::U64},
+        {"hist_b0", ColType::U64},
+        {"hist_b1", ColType::U64},
+        {"hist_b2", ColType::U64},
+        {"hist_b3", ColType::U64},
+    };
+    return cols;
+}
+
+const std::vector<ColumnDef> &
+engineColumns()
+{
+    static const std::vector<ColumnDef> cols = {
+        {"kernel", ColType::U32},
+        {"matrix", ColType::U32},
+        {"timed", ColType::U32},
+        {"tasks_generated", ColType::U64},
+        {"models_fanout", ColType::U64},
+        {"peak_live_tasks", ColType::U64},
+        {"enumerate_seconds", ColType::F64},
+        {"model_seconds", ColType::F64},
+    };
+    return cols;
+}
+
+namespace
+{
+
+std::uint64_t
+f2u(double d)
+{
+    return std::bit_cast<std::uint64_t>(d);
+}
+
+double
+u2f(std::uint64_t u)
+{
+    return std::bit_cast<double>(u);
+}
+
+/** Fixed bucket count of RunResult::utilHist (sim/result.cc). */
+constexpr int kUtilBuckets = 4;
+
+} // namespace
+
+std::vector<std::uint64_t>
+packResult(const RunResult &r)
+{
+    UNISTC_ASSERT(r.utilHist.numBuckets() == kUtilBuckets,
+                  "warehouse schema expects the ", kUtilBuckets,
+                  "-bucket utilisation histogram, got ",
+                  r.utilHist.numBuckets(), " buckets");
+    std::vector<std::uint64_t> s;
+    s.reserve(resultColumns().size() - kResultDictColumns);
+    s.push_back(r.cycles);
+    s.push_back(r.products);
+    s.push_back(r.macSlots);
+    s.push_back(r.tasksT1);
+    s.push_back(r.tasksT3);
+    s.push_back(r.stallCycles);
+    s.push_back(r.dpgActiveAccum);
+    s.push_back(r.cNetScaleAccum);
+    s.push_back(r.traffic.readsA);
+    s.push_back(r.traffic.wastedA);
+    s.push_back(r.traffic.readsB);
+    s.push_back(r.traffic.wastedB);
+    s.push_back(r.traffic.writesC);
+    s.push_back(f2u(r.energy.fetchA));
+    s.push_back(f2u(r.energy.fetchB));
+    s.push_back(f2u(r.energy.writeC));
+    s.push_back(f2u(r.energy.schedule));
+    s.push_back(f2u(r.energy.compute));
+    s.push_back(f2u(r.utilHist.bucketLo(0)));
+    s.push_back(f2u(r.utilHist.bucketHi(kUtilBuckets - 1)));
+    s.push_back(r.utilHist.totalCount());
+    s.push_back(r.utilHist.nanCount());
+    for (int b = 0; b < kUtilBuckets; ++b)
+        s.push_back(r.utilHist.bucketCount(b));
+    UNISTC_ASSERT(s.size() ==
+                      resultColumns().size() - kResultDictColumns,
+                  "packResult slot count drifted from the schema");
+    return s;
+}
+
+Result<RunResult>
+unpackResult(const std::vector<std::uint64_t> &s)
+{
+    if (s.size() != resultColumns().size() - kResultDictColumns) {
+        return Result<RunResult>(corruptData(
+            "result row has " + std::to_string(s.size()) +
+            " slots, schema expects " +
+            std::to_string(resultColumns().size() -
+                           kResultDictColumns)));
+    }
+    RunResult r;
+    std::size_t i = 0;
+    r.cycles = s[i++];
+    r.products = s[i++];
+    r.macSlots = s[i++];
+    r.tasksT1 = s[i++];
+    r.tasksT3 = s[i++];
+    r.stallCycles = s[i++];
+    r.dpgActiveAccum = s[i++];
+    r.cNetScaleAccum = s[i++];
+    r.traffic.readsA = s[i++];
+    r.traffic.wastedA = s[i++];
+    r.traffic.readsB = s[i++];
+    r.traffic.wastedB = s[i++];
+    r.traffic.writesC = s[i++];
+    r.energy.fetchA = u2f(s[i++]);
+    r.energy.fetchB = u2f(s[i++]);
+    r.energy.writeC = u2f(s[i++]);
+    r.energy.schedule = u2f(s[i++]);
+    r.energy.compute = u2f(s[i++]);
+    const double lo = u2f(s[i++]);
+    const double hi = u2f(s[i++]);
+    const std::uint64_t total = s[i++];
+    const std::uint64_t nan = s[i++];
+    if (!std::isfinite(lo) || !std::isfinite(hi) || !(lo < hi)) {
+        return Result<RunResult>(corruptData(
+            "result row carries a degenerate histogram range"));
+    }
+    // Replay the counts into a fresh histogram of the same shape:
+    // adding each bucket's midpoint with the stored weight lands in
+    // exactly that bucket, so the rebuilt counts are bit-identical.
+    Histogram h(kUtilBuckets, lo, hi);
+    std::uint64_t sum = 0;
+    for (int b = 0; b < kUtilBuckets; ++b) {
+        const std::uint64_t count = s[i++];
+        sum += count;
+        if (count > 0)
+            h.add((h.bucketLo(b) + h.bucketHi(b)) / 2.0, count);
+    }
+    if (nan > 0)
+        h.add(std::numeric_limits<double>::quiet_NaN(), nan);
+    if (sum != total || h.totalCount() != total ||
+        h.nanCount() != nan) {
+        return Result<RunResult>(corruptData(
+            "result row histogram counts disagree with its total"));
+    }
+    r.utilHist = h;
+    return r;
+}
+
+std::vector<std::uint64_t>
+packEngine(const PipelineCounters &c, bool timed)
+{
+    std::vector<std::uint64_t> s;
+    s.reserve(engineColumns().size() - kEngineDictColumns);
+    s.push_back(timed ? 1 : 0);
+    s.push_back(c.tasksGenerated);
+    s.push_back(c.modelsFanout);
+    s.push_back(c.peakLiveTasks);
+    s.push_back(f2u(c.enumerateSeconds));
+    s.push_back(f2u(c.modelSeconds));
+    UNISTC_ASSERT(s.size() ==
+                      engineColumns().size() - kEngineDictColumns,
+                  "packEngine slot count drifted from the schema");
+    return s;
+}
+
+void
+unpackEngine(const std::vector<std::uint64_t> &s, PipelineCounters *c,
+             bool *timed)
+{
+    UNISTC_ASSERT(s.size() ==
+                      engineColumns().size() - kEngineDictColumns,
+                  "unpackEngine slot count drifted from the schema");
+    std::size_t i = 0;
+    *timed = s[i++] != 0;
+    c->tasksGenerated = s[i++];
+    c->modelsFanout = s[i++];
+    c->peakLiveTasks = s[i++];
+    c->enumerateSeconds = u2f(s[i++]);
+    c->modelSeconds = u2f(s[i++]);
+}
+
+std::string
+escapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '%':
+            out += "%25";
+            break;
+          case '\n':
+            out += "%0a";
+            break;
+          case '\r':
+            out += "%0d";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+Result<std::string>
+unescapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            out += s[i];
+            continue;
+        }
+        if (i + 2 >= s.size()) {
+            return Result<std::string>(
+                corruptData("truncated % escape in field"));
+        }
+        auto hex = [](char c) -> int {
+            if (c >= '0' && c <= '9')
+                return c - '0';
+            if (c >= 'a' && c <= 'f')
+                return c - 'a' + 10;
+            if (c >= 'A' && c <= 'F')
+                return c - 'A' + 10;
+            return -1;
+        };
+        const int h = hex(s[i + 1]), l = hex(s[i + 2]);
+        if (h < 0 || l < 0) {
+            return Result<std::string>(
+                corruptData("bad hex digits in % escape"));
+        }
+        out += static_cast<char>(h * 16 + l);
+        i += 2;
+    }
+    return out;
+}
+
+} // namespace warehouse
+} // namespace unistc

@@ -1,0 +1,168 @@
+#include "warehouse/stattests.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+namespace warehouse
+{
+
+namespace
+{
+
+/**
+ * Regularised incomplete beta I_x(a, b) by Lentz's continued
+ * fraction; accurate to ~1e-12 for the (a, b) ranges a t-test needs.
+ */
+double
+betacf(double a, double b, double x)
+{
+    constexpr int kMaxIter = 200;
+    constexpr double kEps = 3e-14;
+    constexpr double kFpMin = 1e-300;
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kFpMin)
+        d = kFpMin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kFpMin)
+            d = kFpMin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kFpMin)
+            c = kFpMin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x /
+             ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kFpMin)
+            d = kFpMin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kFpMin)
+            c = kFpMin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEps)
+            break;
+    }
+    return h;
+}
+
+double
+incompleteBeta(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double lnBeta = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+    const double front = std::exp(lnBeta);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betacf(a, b, x) / a;
+    return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+} // namespace
+
+PairedSummary
+summarizeRatios(const std::vector<double> &ratios)
+{
+    PairedSummary s;
+    double sumLog = 0.0;
+    std::vector<double> logs;
+    logs.reserve(ratios.size());
+    for (const double r : ratios) {
+        if (!(r > 0.0) || !std::isfinite(r))
+            continue;
+        const double lr = std::log(r);
+        logs.push_back(lr);
+        sumLog += lr;
+        if (logs.size() == 1) {
+            s.minRatio = s.maxRatio = r;
+        } else {
+            s.minRatio = std::min(s.minRatio, r);
+            s.maxRatio = std::max(s.maxRatio, r);
+        }
+    }
+    s.n = logs.size();
+    if (s.n == 0)
+        return s;
+    s.meanLog = sumLog / static_cast<double>(s.n);
+    double ss = 0.0;
+    for (const double lr : logs) {
+        const double d = lr - s.meanLog;
+        ss += d * d;
+    }
+    s.sdLog = s.n > 1
+                  ? std::sqrt(ss / static_cast<double>(s.n - 1))
+                  : 0.0;
+    s.geomean = std::exp(s.meanLog);
+    return s;
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+studentTCdf(double t, double df)
+{
+    UNISTC_ASSERT(df > 0.0, "t CDF needs positive df, got ", df);
+    const double x = df / (df + t * t);
+    const double tail = 0.5 * incompleteBeta(df / 2.0, 0.5, x);
+    return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double
+pValueMeanAbove(const PairedSummary &s, double logThreshold)
+{
+    if (s.n < 2 || s.sdLog <= 0.0)
+        return 1.0;
+    const double se = s.sdLog / std::sqrt(static_cast<double>(s.n));
+    const double t = (s.meanLog - logThreshold) / se;
+    return 1.0 - studentTCdf(t, static_cast<double>(s.n - 1));
+}
+
+bool
+significantShift(const PairedSummary &s, double ratioThreshold,
+                 double alpha)
+{
+    UNISTC_ASSERT(ratioThreshold > 1.0,
+                  "ratio threshold must exceed 1, got ",
+                  ratioThreshold);
+    if (s.n == 0)
+        return false;
+    const double logThreshold = std::log(ratioThreshold);
+    const double magnitude = std::fabs(s.meanLog);
+    if (magnitude <= logThreshold)
+        return false;
+    if (s.n < 2 || s.sdLog <= 0.0) {
+        // Deterministic sims: every pair moved by the same factor.
+        // The shift is real by construction; significance reduces to
+        // the magnitude test above.
+        return true;
+    }
+    // One-sided t-test on |meanLog| against the threshold, so the
+    // same rule covers regressions and improvements symmetrically.
+    PairedSummary folded = s;
+    folded.meanLog = magnitude;
+    return pValueMeanAbove(folded, logThreshold) < alpha;
+}
+
+} // namespace warehouse
+} // namespace unistc

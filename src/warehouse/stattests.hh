@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small, self-contained summary statistics for regression checking
+ * (query.hh). Works on paired per-matrix metric ratios: the natural
+ * scale is logarithmic (a 2x slowdown and a 2x speedup should be
+ * symmetric), so everything here summarises log-ratios.
+ *
+ * The simulator is deterministic, so identical binaries produce
+ * ratios of exactly 1.0 and a zero-variance sample; the t-test
+ * degenerates there and the verdict falls back to comparing the
+ * geomean against the threshold directly (see significantShift).
+ */
+
+#ifndef UNISTC_WAREHOUSE_STATTESTS_HH
+#define UNISTC_WAREHOUSE_STATTESTS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace unistc
+{
+namespace warehouse
+{
+
+/** Moments of a paired log-ratio sample. */
+struct PairedSummary
+{
+    std::size_t n = 0;    ///< Number of pairs.
+    double meanLog = 0.0; ///< Mean of log(after/before).
+    double sdLog = 0.0;   ///< Sample standard deviation (n-1).
+    double geomean = 1.0; ///< exp(meanLog): geometric mean ratio.
+    double minRatio = 1.0;
+    double maxRatio = 1.0;
+};
+
+/**
+ * Summarise strictly-positive after/before ratios. Non-positive or
+ * non-finite ratios are skipped (a zero-cycle run carries no signal).
+ */
+PairedSummary summarizeRatios(const std::vector<double> &ratios);
+
+/** Standard normal CDF. */
+double normalCdf(double z);
+
+/**
+ * Student's t CDF with @p df degrees of freedom, via the regularised
+ * incomplete beta function (continued fraction, Numerical-Recipes
+ * style).
+ */
+double studentTCdf(double t, double df);
+
+/**
+ * One-sided p-value for "the mean log-ratio exceeds log(threshold)"
+ * — i.e. the metric really did get at least `threshold`x worse.
+ * Returns 1.0 when n < 2 (no evidence either way from variance).
+ */
+double pValueMeanAbove(const PairedSummary &s, double logThreshold);
+
+/**
+ * The decision used by --check-regressions: does this sample show a
+ * significant shift past `threshold`x (in the direction of
+ * meanLog's sign)? Degenerate zero-variance samples — deterministic
+ * sims — compare |meanLog| against log(threshold) directly.
+ */
+bool significantShift(const PairedSummary &s, double ratioThreshold,
+                      double alpha);
+
+} // namespace warehouse
+} // namespace unistc
+
+#endif // UNISTC_WAREHOUSE_STATTESTS_HH

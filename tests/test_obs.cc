@@ -11,6 +11,9 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -18,6 +21,7 @@
 #include "bbc/bbc_matrix.hh"
 #include "common/logging.hh"
 #include "corpus/generators.hh"
+#include "obs/json_reader.hh"
 #include "obs/json_writer.hh"
 #include "obs/metrics_export.hh"
 #include "obs/stat_registry.hh"
@@ -227,16 +231,25 @@ TEST(JsonWriter, EscapesControlAndQuoteCharacters)
     EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
 }
 
-TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+TEST(JsonWriter, NonFiniteDoublesUseQuotedSentinels)
 {
+    // The explicit NaN/Inf policy (docs/OBSERVABILITY.md): quoted
+    // sentinel strings, mirroring the Histogram "nan" record — the
+    // old null encoding conflated all three irrecoverably.
     std::ostringstream os;
     JsonWriter w(os);
     w.beginArray();
     w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
     w.value(std::numeric_limits<double>::quiet_NaN());
     w.endArray();
-    EXPECT_EQ(os.str().find("inf"), std::string::npos);
-    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+    EXPECT_NE(os.str().find("\"inf\""), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("\"-inf\""), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("\"nan\""), std::string::npos)
+        << os.str();
+    EXPECT_EQ(os.str().find("null"), std::string::npos) << os.str();
     EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
 }
 
@@ -249,6 +262,148 @@ TEST(JsonWriter, DoublesRoundTripShortest)
     w.value(3.0);
     w.endArray();
     EXPECT_NE(os.str().find("0.1"), std::string::npos) << os.str();
+}
+
+TEST(JsonWriter, FormatDoubleRoundTripsBitExact)
+{
+    // The double serialisation audit: every emitted token must
+    // strtod() back to the identical bit pattern, across shortest-
+    // form winners and full max_digits10 stragglers alike.
+    const double cases[] = {
+        0.0,
+        -0.0,
+        0.1,
+        1.0 / 3.0,
+        2.0 / 3.0,
+        1e-308,                                    // Subnormal edge.
+        4.9406564584124654e-324,                   // Min subnormal.
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::epsilon(),
+        3.141592653589793,
+        6.02214076e23,
+        1.0000000000000002,                        // 1.0 + 1 ulp.
+        123456789.123456789,
+        -9007199254740993.0,                       // 2^53 + 1.
+    };
+    for (const double v : cases) {
+        const std::string s = JsonWriter::formatDouble(v);
+        const double back = std::strtod(s.c_str(), nullptr);
+        EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+            << s << " reparsed to a different bit pattern";
+    }
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "nan");
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  std::numeric_limits<double>::infinity()),
+              "inf");
+    EXPECT_EQ(JsonWriter::formatDouble(
+                  -std::numeric_limits<double>::infinity()),
+              "-inf");
+    // -0.0 keeps its sign bit through the round trip.
+    EXPECT_EQ(JsonWriter::formatDouble(-0.0), "-0");
+}
+
+TEST(JsonReader, ParsesWriterOutputWithValues)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("n");
+    w.value(std::uint64_t{42});
+    w.key("x");
+    w.value(0.1);
+    w.key("name");
+    w.value("Uni-STC \"quoted\"\n");
+    w.key("flags");
+    w.beginArray();
+    w.value(true);
+    w.null();
+    w.endArray();
+    w.endObject();
+
+    auto doc = parseJson(os.str(), "test");
+    ASSERT_TRUE(doc.ok()) << doc.status().message();
+    std::uint64_t n = 0;
+    ASSERT_NE(doc.value().find("n"), nullptr);
+    EXPECT_TRUE(doc.value().find("n")->counterValue(&n));
+    EXPECT_EQ(n, 42u);
+    double x = 0.0;
+    EXPECT_TRUE(doc.value().find("x")->doubleValue(&x));
+    EXPECT_EQ(x, 0.1);
+    EXPECT_EQ(doc.value().find("name")->string(),
+              "Uni-STC \"quoted\"\n");
+    const auto &flags = doc.value().find("flags")->array();
+    ASSERT_EQ(flags.size(), 2u);
+    EXPECT_TRUE(flags[0].boolean());
+    EXPECT_TRUE(flags[1].isNull());
+}
+
+TEST(JsonReader, DecodesNonFiniteSentinels)
+{
+    auto doc =
+        parseJson("[\"nan\", \"inf\", \"-inf\", 2.5]", "test");
+    ASSERT_TRUE(doc.ok()) << doc.status().message();
+    const auto &a = doc.value().array();
+    ASSERT_EQ(a.size(), 4u);
+    double v = 0.0;
+    EXPECT_TRUE(a[0].doubleValue(&v));
+    EXPECT_TRUE(std::isnan(v));
+    EXPECT_TRUE(a[1].doubleValue(&v));
+    EXPECT_TRUE(std::isinf(v) && v > 0);
+    EXPECT_TRUE(a[2].doubleValue(&v));
+    EXPECT_TRUE(std::isinf(v) && v < 0);
+    EXPECT_TRUE(a[3].doubleValue(&v));
+    EXPECT_EQ(v, 2.5);
+    // An arbitrary string is NOT silently a number.
+    auto s = parseJson("\"hello\"", "test");
+    ASSERT_TRUE(s.ok());
+    EXPECT_FALSE(s.value().doubleValue(&v));
+}
+
+TEST(JsonReader, DoubleSerializationRoundTripsThroughDocument)
+{
+    // Writer -> reader round trip at the document level: the
+    // regression test locking in the serialisation audit.
+    const double cases[] = {
+        0.1, 1.0 / 3.0, 1e-308, 1.0000000000000002,
+        std::numeric_limits<double>::max(),
+        -std::numeric_limits<double>::infinity(),
+    };
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    for (const double v : cases)
+        w.value(v);
+    w.endArray();
+    auto doc = parseJson(os.str(), "roundtrip");
+    ASSERT_TRUE(doc.ok()) << doc.status().message();
+    const auto &a = doc.value().array();
+    ASSERT_EQ(a.size(), std::size(cases));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double back = 0.0;
+        ASSERT_TRUE(a[i].doubleValue(&back));
+        EXPECT_EQ(std::memcmp(&back, &cases[i], sizeof back), 0)
+            << "case " << i << " lost bits";
+    }
+}
+
+TEST(JsonReader, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(parseJson("{", "t").ok());
+    EXPECT_FALSE(parseJson("[1,]", "t").ok());
+    EXPECT_FALSE(parseJson("{\"a\" 1}", "t").ok());
+    EXPECT_FALSE(parseJson("[1] trailing", "t").ok());
+    EXPECT_FALSE(parseJson("", "t").ok());
+    // Counter narrowing rejects lossy and negative values.
+    auto big = parseJson("1e300", "t");
+    ASSERT_TRUE(big.ok());
+    std::uint64_t u = 0;
+    EXPECT_FALSE(big.value().counterValue(&u));
+    auto neg = parseJson("-4", "t");
+    ASSERT_TRUE(neg.ok());
+    EXPECT_FALSE(neg.value().counterValue(&u));
 }
 
 // ---------------------------------------------------------------- //
