@@ -1,6 +1,6 @@
 #include "bbc/bbc_matrix.hh"
 
-#include <map>
+#include <algorithm>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
@@ -20,37 +20,54 @@ BbcMatrix::fromCsr(const CsrMatrix &csr)
     out.blockCols_ =
         static_cast<int>(ceilDiv(csr.cols(), kBlockSize));
 
-    // Pass 1: collect per-block patterns and per-element values keyed
-    // by block coordinates. A map keeps block columns sorted per row.
-    struct BlockBuild
-    {
-        BlockPattern pattern;
-        std::array<double, kBlockSize * kBlockSize> dense{};
-    };
-    std::vector<std::map<int, BlockBuild>> brow(out.blockRows_);
-    for (int r = 0; r < csr.rows(); ++r) {
-        const int br = r / kBlockSize;
-        const int lr = r % kBlockSize;
-        for (std::int64_t i = csr.rowPtr()[r]; i < csr.rowPtr()[r + 1];
-             ++i) {
-            const int c = csr.colIdx()[i];
-            const int bc = c / kBlockSize;
-            const int lc = c % kBlockSize;
-            auto &blk = brow[br][bc];
-            blk.pattern.set(lr, lc);
-            blk.dense[lr * kBlockSize + lc] = csr.vals()[i];
-        }
-    }
+    // One block row at a time: patterns and dense value scratch live
+    // in per-block-column slots that are reset via the touched list,
+    // so no per-row map (or its node churn) is needed. The value
+    // scratch is never cleared: a position is only read back when its
+    // pattern bit is set, and that bit is only set after the slot was
+    // written in this block row.
+    std::vector<BlockPattern> pattern(out.blockCols_);
+    std::vector<std::int32_t> slot(out.blockCols_, -1);
+    std::vector<std::array<double, kBlockSize * kBlockSize>> scratch;
+    std::vector<int> touched;
 
-    // Pass 2: emit the BBC arrays. Values go tile-by-tile (row-major
-    // tile order) and row-major inside each tile, matching ValPtr_Lv2.
     out.rowPtr_.assign(out.blockRows_ + 1, 0);
     for (int br = 0; br < out.blockRows_; ++br) {
+        touched.clear();
+        const int r_end =
+            std::min((br + 1) * kBlockSize, csr.rows());
+        for (int r = br * kBlockSize; r < r_end; ++r) {
+            const int lr = r % kBlockSize;
+            for (std::int64_t i = csr.rowPtr()[r];
+                 i < csr.rowPtr()[r + 1]; ++i) {
+                const int c = csr.colIdx()[i];
+                const int bc = c / kBlockSize;
+                const int lc = c % kBlockSize;
+                if (slot[bc] < 0) {
+                    slot[bc] = static_cast<std::int32_t>(
+                        touched.size());
+                    touched.push_back(bc);
+                    if (scratch.size() < touched.size())
+                        scratch.emplace_back();
+                }
+                pattern[bc].set(lr, lc);
+                scratch[slot[bc]][lr * kBlockSize + lc] =
+                    csr.vals()[i];
+            }
+        }
+        std::sort(touched.begin(), touched.end());
+
+        // Emit the BBC arrays in block-column order. Values go
+        // tile-by-tile (row-major tile order) and row-major inside
+        // each tile, matching ValPtr_Lv2.
         out.rowPtr_[br + 1] = out.rowPtr_[br] +
-            static_cast<std::int64_t>(brow[br].size());
-        for (auto &[bc, blk] : brow[br]) {
+            static_cast<std::int64_t>(touched.size());
+        for (const int bc : touched) {
+            const BlockPattern &pat = pattern[bc];
+            const std::array<double, kBlockSize * kBlockSize> &dense =
+                scratch[slot[bc]];
             out.colIdx_.push_back(bc);
-            const std::uint16_t lv1 = blk.pattern.tileBitmap();
+            const std::uint16_t lv1 = pat.tileBitmap();
             out.lv1_.push_back(lv1);
             out.tileBase_.push_back(
                 static_cast<std::int64_t>(out.lv2_.size()));
@@ -61,7 +78,7 @@ BbcMatrix::fromCsr(const CsrMatrix &csr)
             forEachSetBit(lv1, [&](int tile_bit) {
                 const int ti = tile_bit / kTilesPerEdge;
                 const int tj = tile_bit % kTilesPerEdge;
-                const std::uint16_t lv2 = blk.pattern.tilePattern(ti, tj);
+                const std::uint16_t lv2 = pat.tilePattern(ti, tj);
                 out.lv2_.push_back(lv2);
                 out.valPtrLv2_.push_back(
                     static_cast<std::uint8_t>(block_offset));
@@ -70,10 +87,13 @@ BbcMatrix::fromCsr(const CsrMatrix &csr)
                         elem_bit / kTileSize;
                     const int lc = tj * kTileSize +
                         elem_bit % kTileSize;
-                    out.vals_.push_back(blk.dense[lr * kBlockSize + lc]);
+                    out.vals_.push_back(dense[lr * kBlockSize + lc]);
                 });
                 block_offset += popcount16(lv2);
             });
+
+            pattern[bc] = BlockPattern();
+            slot[bc] = -1;
         }
     }
     out.validate();

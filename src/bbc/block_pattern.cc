@@ -1,6 +1,7 @@
 #include "bbc/block_pattern.hh"
 
 #include "common/bitops.hh"
+#include "common/bitops_simd.hh"
 #include "common/rng.hh"
 
 namespace unistc
@@ -42,10 +43,8 @@ BlockPattern::colBits(int c) const
 int
 BlockPattern::nnz() const
 {
-    int n = 0;
-    for (int r = 0; r < kBlockSize; ++r)
-        n += popcount16(rows_[r]);
-    return n;
+    return static_cast<int>(popcountBuffer16(rows_.data(),
+                                             rows_.size()));
 }
 
 bool
@@ -94,12 +93,7 @@ BlockPattern
 BlockPattern::transposed() const
 {
     BlockPattern out;
-    for (int r = 0; r < kBlockSize; ++r) {
-        for (int c = 0; c < kBlockSize; ++c) {
-            if (test(r, c))
-                out.set(c, r);
-        }
-    }
+    transpose16x16(rows_.data(), out.rows_.data());
     return out;
 }
 
@@ -120,16 +114,9 @@ blockProductPattern(const BlockPattern &a, const BlockPattern &b)
     BlockPattern c;
     for (int r = 0; r < kBlockSize; ++r) {
         std::uint16_t out_row = 0;
-        const std::uint16_t a_row = a.rowBits(r);
-        for (int k = 0; k < kBlockSize; ++k) {
-            if ((a_row >> k) & 1u)
-                out_row = static_cast<std::uint16_t>(out_row |
-                                                     b.rowBits(k));
-        }
-        for (int c2 = 0; c2 < kBlockSize; ++c2) {
-            if ((out_row >> c2) & 1u)
-                c.set(r, c2);
-        }
+        forEachSetBit(a.rowBits(r),
+                      [&](int k) { out_row |= b.rowBits(k); });
+        c.setRowBits(r, out_row);
     }
     return c;
 }
@@ -137,9 +124,11 @@ blockProductPattern(const BlockPattern &a, const BlockPattern &b)
 int
 blockProductCount(const BlockPattern &a, const BlockPattern &b)
 {
+    std::uint16_t a_cols[kBlockSize];
+    transpose16x16(a.rowData(), a_cols);
     int total = 0;
     for (int k = 0; k < kBlockSize; ++k)
-        total += popcount16(a.colBits(k)) * popcount16(b.rowBits(k));
+        total += popcount16(a_cols[k]) * popcount16(b.rowBits(k));
     return total;
 }
 
@@ -157,11 +146,8 @@ blockMvPattern(const BlockPattern &a, std::uint16_t x_mask)
 int
 blockMvProductCount(const BlockPattern &a, std::uint16_t x_mask)
 {
-    int total = 0;
-    for (int r = 0; r < kBlockSize; ++r)
-        total += popcount16(static_cast<std::uint16_t>(a.rowBits(r) &
-                                                       x_mask));
-    return total;
+    return static_cast<int>(
+        maskedPopcount16(a.rowData(), kBlockSize, x_mask));
 }
 
 BlockPattern

@@ -52,6 +52,12 @@ class BlockPattern
     /** 16-bit mask of row @p r. */
     std::uint16_t rowBits(int r) const { return rows_[r]; }
 
+    /** Overwrite row @p r with @p bits (bulk row-writer fast path). */
+    void setRowBits(int r, std::uint16_t bits) { rows_[r] = bits; }
+
+    /** Raw row-mask array, for the bulk bitmap kernels. */
+    const std::uint16_t *rowData() const { return rows_.data(); }
+
     /** 16-bit mask of column @p c. */
     std::uint16_t colBits(int c) const;
 

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Precomputed per-block pattern summaries. Every STC model consumes
+ * the same handful of derived quantities from a BlockPattern — column
+ * masks, per-tile element bitmaps, per-row/column nonzero counts —
+ * and in a lineup run (--arch a,b,c) each model used to rederive them
+ * from the raw row masks. PatternMeta computes them once per block
+ * via the bulk transpose kernel so the fan-out cost is paid once per
+ * task stream instead of once per model.
+ */
+
+#ifndef UNISTC_BBC_PATTERN_META_HH
+#define UNISTC_BBC_PATTERN_META_HH
+
+#include <array>
+#include <cstdint>
+
+#include "bbc/block_pattern.hh"
+
+namespace unistc
+{
+
+/** Derived summaries of one 16x16 block pattern. */
+struct PatternMeta
+{
+    /** cols[c] = 16-bit mask of column c (== pattern.colBits(c)). */
+    std::array<std::uint16_t, kBlockSize> cols{};
+
+    /**
+     * tiles[ti*4+tj] = Lv2 element bitmap of tile (ti, tj)
+     * (== pattern.tilePattern(ti, tj)).
+     */
+    std::array<std::uint16_t, kBlockSize> tiles{};
+
+    /** colCnt[c] = nonzeros in column c. */
+    std::array<std::uint8_t, kBlockSize> colCnt{};
+
+    /** rowCnt[r] = nonzeros in row r. */
+    std::array<std::uint8_t, kBlockSize> rowCnt{};
+
+    /** Lv1 tile bitmap (== pattern.tileBitmap()). */
+    std::uint16_t tileBits = 0;
+
+    /** Total nonzeros (== pattern.nnz()). */
+    std::uint16_t nnz = 0;
+};
+
+/** Compute all summaries of @p pattern in one pass. */
+PatternMeta computePatternMeta(const BlockPattern &pattern);
+
+} // namespace unistc
+
+#endif // UNISTC_BBC_PATTERN_META_HH

@@ -1,0 +1,185 @@
+#include "common/arena.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+constexpr std::size_t kMinChunkBytes = 64 * 1024;
+
+enum class ArenaMode : int
+{
+    Unresolved,
+    Arena,
+    Plain,
+};
+
+std::atomic<ArenaMode> g_mode{ArenaMode::Unresolved};
+
+ArenaMode
+resolveModeFromEnv()
+{
+    const char *env = std::getenv("UNISTC_ARENA");
+    if (env != nullptr &&
+        (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+         std::strcmp(env, "plain") == 0)) {
+        return ArenaMode::Plain;
+    }
+    return ArenaMode::Arena;
+}
+
+ArenaMode
+mode()
+{
+    ArenaMode m = g_mode.load(std::memory_order_relaxed);
+    if (m == ArenaMode::Unresolved) {
+        m = resolveModeFromEnv();
+        g_mode.store(m, std::memory_order_relaxed);
+    }
+    return m;
+}
+
+std::size_t
+alignUp(std::size_t v, std::size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+bool
+ScratchArena::enabled()
+{
+    return mode() == ArenaMode::Arena;
+}
+
+void
+ScratchArena::setEnabledForTest(bool enabled)
+{
+    g_mode.store(enabled ? ArenaMode::Arena : ArenaMode::Plain,
+                 std::memory_order_relaxed);
+}
+
+void
+ScratchArena::resetModeFromEnv()
+{
+    g_mode.store(resolveModeFromEnv(), std::memory_order_relaxed);
+}
+
+void *
+ScratchArena::allocate(std::size_t bytes, std::size_t align)
+{
+    UNISTC_ASSERT(align > 0 && (align & (align - 1)) == 0,
+                  "arena alignment must be a power of two");
+    if (bytes == 0)
+        bytes = 1;
+    inUse_ += bytes;
+    if (!enabled()) {
+        // Pass-through mode: one fresh allocation per request. The
+        // extra alignment slack keeps over-aligned types valid.
+        auto buf = std::make_unique<std::byte[]>(bytes + align);
+        void *raw = buf.get();
+        const std::uintptr_t addr =
+            reinterpret_cast<std::uintptr_t>(raw);
+        const std::uintptr_t aligned =
+            (addr + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+        plain_.push_back(std::move(buf));
+        return reinterpret_cast<void *>(aligned);
+    }
+    if (cur_ < chunks_.size()) {
+        // Align the absolute address, not the chunk offset: new[]
+        // only guarantees the default allocation alignment for the
+        // chunk base.
+        Chunk &c = chunks_[cur_];
+        const std::uintptr_t base =
+            reinterpret_cast<std::uintptr_t>(c.data.get());
+        const std::uintptr_t aligned =
+            (base + c.used + align - 1) &
+            ~static_cast<std::uintptr_t>(align - 1);
+        const std::size_t at = static_cast<std::size_t>(aligned - base);
+        if (at + bytes <= c.size) {
+            c.used = at + bytes;
+            return c.data.get() + at;
+        }
+    }
+    return allocateSlow(bytes, align);
+}
+
+void *
+ScratchArena::allocateSlow(std::size_t bytes, std::size_t align)
+{
+    // Advance to (or create) a chunk large enough for the request.
+    if (cur_ < chunks_.size() && chunks_[cur_].used > 0)
+        ++cur_;
+    // Conservative fit check: worst-case base misalignment wastes up
+    // to align-1 leading bytes.
+    while (cur_ < chunks_.size() &&
+           bytes + align > chunks_[cur_].size) {
+        ++cur_;
+    }
+    if (cur_ == chunks_.size()) {
+        Chunk c;
+        c.size = std::max(kMinChunkBytes, bytes + align);
+        c.data = std::make_unique<std::byte[]>(c.size);
+        chunks_.push_back(std::move(c));
+    }
+    Chunk &c = chunks_[cur_];
+    std::uintptr_t base = reinterpret_cast<std::uintptr_t>(
+        c.data.get());
+    std::size_t at = alignUp(c.used, align);
+    // The chunk base itself may need re-aligning for exotic aligns.
+    const std::uintptr_t addr = base + at;
+    const std::uintptr_t aligned =
+        (addr + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+    at = static_cast<std::size_t>(aligned - base);
+    UNISTC_ASSERT(at + bytes <= c.size, "arena chunk sizing bug");
+    c.used = at + bytes;
+    return c.data.get() + at;
+}
+
+std::size_t
+ScratchArena::bytesReserved() const
+{
+    std::size_t total = 0;
+    for (const Chunk &c : chunks_)
+        total += c.size;
+    return total;
+}
+
+ScratchArena::Scope::Scope(ScratchArena &arena)
+    : arena_(arena), chunk_(arena.cur_),
+      used_(arena.cur_ < arena.chunks_.size()
+                ? arena.chunks_[arena.cur_].used
+                : 0),
+      plainCount_(arena.plain_.size()), inUse_(arena.inUse_)
+{
+}
+
+ScratchArena::Scope::~Scope()
+{
+    // Rewind chunk cursors past the mark (memory is retained for
+    // reuse) and release pass-through allocations made in the scope.
+    for (std::size_t i = arena_.chunks_.size(); i-- > chunk_ + 1;)
+        arena_.chunks_[i].used = 0;
+    if (chunk_ < arena_.chunks_.size())
+        arena_.chunks_[chunk_].used = used_;
+    arena_.cur_ = chunk_;
+    arena_.plain_.resize(plainCount_);
+    arena_.inUse_ = inUse_;
+}
+
+ScratchArena &
+taskScratch()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+} // namespace unistc

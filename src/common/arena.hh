@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Task-lifetime scratch arena. Hot simulation paths (row-dataflow
+ * lock-step merging, CSR→BBC conversion) need short-lived buffers
+ * whose sizes depend on the data; allocating them from the general
+ * heap per task is the malloc churn the ROADMAP's hot-path item names.
+ * A ScratchArena is a bump allocator over reusable chunks: allocation
+ * is a pointer increment, and a Scope rewinds everything allocated
+ * inside it on exit, so nested users compose.
+ *
+ * `UNISTC_ARENA=off` switches every arena to plain pass-through heap
+ * allocation (one malloc per request, freed on rewind) with identical
+ * semantics — the differential tests run both modes and require
+ * byte-identical simulation output.
+ */
+
+#ifndef UNISTC_COMMON_ARENA_HH
+#define UNISTC_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace unistc
+{
+
+/** Bump allocator with scope-based rewind. Not thread-safe; use the
+ * thread_local taskScratch() instance from worker code. */
+class ScratchArena
+{
+  public:
+    ScratchArena() = default;
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /** Uninitialised storage of @p bytes with @p align alignment. */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /** Uninitialised array of @p n trivially-destructible Ts. */
+    template <typename T>
+    T *
+    allocArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena storage is rewound, never destroyed");
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /** Bytes currently handed out (both modes). */
+    std::size_t bytesInUse() const { return inUse_; }
+
+    /** Bytes of chunk capacity retained for reuse (arena mode). */
+    std::size_t bytesReserved() const;
+
+    /**
+     * RAII rewind point: destruction releases every allocation made
+     * after construction. Scopes must nest (destroy in reverse
+     * construction order), which stack usage guarantees.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(ScratchArena &arena);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        ScratchArena &arena_;
+        std::size_t chunk_;
+        std::size_t used_;
+        std::size_t plainCount_;
+        std::size_t inUse_;
+    };
+
+    /** False when UNISTC_ARENA=off selected pass-through mode. */
+    static bool enabled();
+
+    /**
+     * Test hook: force arena (true) or pass-through (false) mode for
+     * subsequently created allocations. Single-threaded tests only.
+     */
+    static void setEnabledForTest(bool enabled);
+
+    /** Re-read UNISTC_ARENA (undo setEnabledForTest). */
+    static void resetModeFromEnv();
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    void *allocateSlow(std::size_t bytes, std::size_t align);
+
+    std::vector<Chunk> chunks_;
+    std::size_t cur_ = 0; ///< Chunk currently bump-allocating.
+    std::size_t inUse_ = 0;
+
+    /** Pass-through mode: individually owned allocations, released by
+     * Scope rewind in LIFO order. */
+    std::vector<std::unique_ptr<std::byte[]>> plain_;
+};
+
+/** Per-thread arena for task-lifetime scratch in model hot paths. */
+ScratchArena &taskScratch();
+
+} // namespace unistc
+
+#endif // UNISTC_COMMON_ARENA_HH

@@ -111,18 +111,6 @@ row4(std::uint16_t v, int r)
     return static_cast<std::uint16_t>((v >> (4 * r)) & 0xFu);
 }
 
-/** Extract column @p c of a row-major 4x4 bitmap as a 4-bit value. */
-inline std::uint16_t
-col4(std::uint16_t v, int c)
-{
-    std::uint16_t out = 0;
-    for (int r = 0; r < 4; ++r) {
-        if (testBit(v, r * 4 + c))
-            out = setBit(out, r);
-    }
-    return out;
-}
-
 /** Bit index of (r, c) inside a row-major 4x4 bitmap. */
 inline int
 bit4x4(int r, int c)
@@ -130,18 +118,54 @@ bit4x4(int r, int c)
     return r * 4 + c;
 }
 
-/** Transpose a row-major 4x4 bitmap. */
+/**
+ * Transpose a row-major 4x4 bitmap with two delta-swap rounds: the
+ * first exchanges the off-diagonal bits of each 2x2 sub-block, the
+ * second exchanges the off-diagonal 2x2 sub-blocks themselves.
+ */
 inline std::uint16_t
 transpose4x4(std::uint16_t v)
 {
-    std::uint16_t out = 0;
-    for (int r = 0; r < 4; ++r) {
-        for (int c = 0; c < 4; ++c) {
-            if (testBit(v, bit4x4(r, c)))
-                out = setBit(out, bit4x4(c, r));
-        }
-    }
-    return out;
+    std::uint16_t t =
+        static_cast<std::uint16_t>((v ^ (v >> 3)) & 0x0A0Au);
+    v = static_cast<std::uint16_t>(v ^ t ^ (t << 3));
+    t = static_cast<std::uint16_t>((v ^ (v >> 6)) & 0x00CCu);
+    return static_cast<std::uint16_t>(v ^ t ^ (t << 6));
+}
+
+/** Extract column @p c of a row-major 4x4 bitmap as a 4-bit value. */
+inline std::uint16_t
+col4(std::uint16_t v, int c)
+{
+    return row4(transpose4x4(v), c);
+}
+
+/** Broadcast a 4-bit value into all four nibbles of a 16-bit word. */
+inline std::uint16_t
+rep4(std::uint16_t v)
+{
+    return static_cast<std::uint16_t>(v * 0x1111u);
+}
+
+/**
+ * Collapse each nibble of a row-major 4x4 bitmap to its low bit:
+ * bit 4*i of the result is set iff nibble i of @p v is non-zero.
+ */
+inline std::uint16_t
+nonzeroNibbles4(std::uint16_t v)
+{
+    return static_cast<std::uint16_t>(
+        (v | (v >> 1) | (v >> 2) | (v >> 3)) & 0x1111u);
+}
+
+/**
+ * Expand the low bit of every nibble to a full nibble mask:
+ * nibble i of the result is 0xF iff nibble i of @p v is non-zero.
+ */
+inline std::uint16_t
+liveNibbleMask4(std::uint16_t v)
+{
+    return static_cast<std::uint16_t>(nonzeroNibbles4(v) * 0xFu);
 }
 
 /** Ceiling division for non-negative integers. */

@@ -1,0 +1,432 @@
+#include "common/bitops_simd.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bitops_simd_impl.hh"
+
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace unistc
+{
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels (the oracle). Deliberately the simplest
+// possible formulations — the fuzzer and the property tests hold every
+// other backend to these, bit for bit.
+// ---------------------------------------------------------------------
+
+namespace scalar_bitops
+{
+
+std::uint64_t
+popcountBuffer16(const std::uint16_t *p, std::size_t n)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(p[i]));
+    return total;
+}
+
+std::uint32_t
+exclusivePrefixPopcount16(const std::uint16_t *p, std::size_t n,
+                          std::uint32_t *out)
+{
+    std::uint32_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = running;
+        running += static_cast<std::uint32_t>(std::popcount(p[i]));
+    }
+    return running;
+}
+
+std::uint64_t
+intersectPopcount16(const std::uint16_t *a, const std::uint16_t *b,
+                    std::size_t n)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += static_cast<std::uint64_t>(std::popcount(
+            static_cast<std::uint16_t>(a[i] & b[i])));
+    }
+    return total;
+}
+
+std::uint64_t
+maskedPopcount16(const std::uint16_t *p, std::size_t n,
+                 std::uint16_t mask)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += static_cast<std::uint64_t>(std::popcount(
+            static_cast<std::uint16_t>(p[i] & mask)));
+    }
+    return total;
+}
+
+void
+transpose16x16(const std::uint16_t in[16], std::uint16_t out[16])
+{
+    std::uint16_t cols[16] = {};
+    for (int r = 0; r < 16; ++r) {
+        for (int c = 0; c < 16; ++c) {
+            if ((in[r] >> c) & 1u)
+                cols[c] = static_cast<std::uint16_t>(cols[c] |
+                                                     (1u << r));
+        }
+    }
+    std::memcpy(out, cols, sizeof(cols));
+}
+
+} // namespace scalar_bitops
+
+// ---------------------------------------------------------------------
+// Optimised portable (no-intrinsics) kernels — the UNISTC_SIMD=off
+// production path. Word-batched popcounts and the Hacker's Delight
+// delta-swap transpose; still plain C++, still exact.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+namespace swar
+{
+
+std::uint64_t
+load64(const std::uint16_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v)); // alignment-safe load
+    return v;
+}
+
+std::uint64_t
+popcountBuffer16(const std::uint16_t *p, std::size_t n)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        total += static_cast<std::uint64_t>(
+            std::popcount(load64(p + i)));
+    for (; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(p[i]));
+    return total;
+}
+
+std::uint32_t
+exclusivePrefixPopcount16(const std::uint16_t *p, std::size_t n,
+                          std::uint32_t *out)
+{
+    std::uint32_t running = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = running;
+        running += static_cast<std::uint32_t>(std::popcount(p[i]));
+    }
+    return running;
+}
+
+std::uint64_t
+intersectPopcount16(const std::uint16_t *a, const std::uint16_t *b,
+                    std::size_t n)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        total += static_cast<std::uint64_t>(
+            std::popcount(load64(a + i) & load64(b + i)));
+    for (; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(
+            static_cast<std::uint16_t>(a[i] & b[i])));
+    return total;
+}
+
+std::uint64_t
+maskedPopcount16(const std::uint16_t *p, std::size_t n,
+                 std::uint16_t mask)
+{
+    const std::uint64_t wide =
+        0x0001000100010001ULL * static_cast<std::uint64_t>(mask);
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        total += static_cast<std::uint64_t>(
+            std::popcount(load64(p + i) & wide));
+    for (; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(
+            static_cast<std::uint16_t>(p[i] & mask)));
+    return total;
+}
+
+void
+transpose16x16(const std::uint16_t in[16], std::uint16_t out[16])
+{
+    // Hacker's Delight delta-swap transpose, 16-bit edition: four
+    // rounds of exchanging j-strided sub-blocks. The swap direction is
+    // mirrored relative to the book (high bits of the upper row trade
+    // with low bits of the lower row) because our bit convention has
+    // column 0 at the LSB, not the MSB.
+    std::uint16_t a[16];
+    std::memcpy(a, in, sizeof(a));
+    std::uint16_t m = 0x00FFu;
+    for (int j = 8; j != 0; j >>= 1,
+             m = static_cast<std::uint16_t>(m ^ (m << j))) {
+        for (int k = 0; k < 16; k = (k + j + 1) & ~j) {
+            const std::uint16_t t =
+                static_cast<std::uint16_t>(((a[k] >> j) ^ a[k + j]) &
+                                           m);
+            a[k] = static_cast<std::uint16_t>(a[k] ^ (t << j));
+            a[k + j] = static_cast<std::uint16_t>(a[k + j] ^ t);
+        }
+    }
+    std::memcpy(out, a, sizeof(a));
+}
+
+} // namespace swar
+
+#if defined(__ARM_NEON)
+
+namespace neon
+{
+
+std::uint64_t
+popcountBuffer16(const std::uint16_t *p, std::size_t n)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const uint8x16_t v = vld1q_u8(
+            reinterpret_cast<const std::uint8_t *>(p + i));
+        total += vaddvq_u8(vcntq_u8(v));
+    }
+    for (; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(p[i]));
+    return total;
+}
+
+std::uint64_t
+intersectPopcount16(const std::uint16_t *a, const std::uint16_t *b,
+                    std::size_t n)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const uint8x16_t va = vld1q_u8(
+            reinterpret_cast<const std::uint8_t *>(a + i));
+        const uint8x16_t vb = vld1q_u8(
+            reinterpret_cast<const std::uint8_t *>(b + i));
+        total += vaddvq_u8(vcntq_u8(vandq_u8(va, vb)));
+    }
+    for (; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(
+            static_cast<std::uint16_t>(a[i] & b[i])));
+    return total;
+}
+
+std::uint64_t
+maskedPopcount16(const std::uint16_t *p, std::size_t n,
+                 std::uint16_t mask)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    const uint16x8_t vm = vdupq_n_u16(mask);
+    for (; i + 8 <= n; i += 8) {
+        const uint16x8_t v = vld1q_u16(p + i);
+        total += vaddvq_u8(
+            vcntq_u8(vreinterpretq_u8_u16(vandq_u16(v, vm))));
+    }
+    for (; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(
+            static_cast<std::uint16_t>(p[i] & mask)));
+    return total;
+}
+
+} // namespace neon
+
+#endif // __ARM_NEON
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+struct SimdOps
+{
+    std::uint64_t (*popcountBuffer)(const std::uint16_t *, std::size_t);
+    std::uint32_t (*exclusivePrefix)(const std::uint16_t *, std::size_t,
+                                     std::uint32_t *);
+    std::uint64_t (*intersect)(const std::uint16_t *,
+                               const std::uint16_t *, std::size_t);
+    std::uint64_t (*masked)(const std::uint16_t *, std::size_t,
+                            std::uint16_t);
+    void (*transpose)(const std::uint16_t *, std::uint16_t *);
+    SimdBackend backend;
+};
+
+constexpr SimdOps kScalarOps = {
+    &swar::popcountBuffer16,   &swar::exclusivePrefixPopcount16,
+    &swar::intersectPopcount16, &swar::maskedPopcount16,
+    &swar::transpose16x16,     SimdBackend::Scalar,
+};
+
+const SimdOps kAvx2Ops = {
+    &avx2_bitops::popcountBuffer16,
+    &avx2_bitops::exclusivePrefixPopcount16,
+    &avx2_bitops::intersectPopcount16,
+    &avx2_bitops::maskedPopcount16,
+    &avx2_bitops::transpose16x16,
+    SimdBackend::Avx2,
+};
+
+#if defined(__ARM_NEON)
+const SimdOps kNeonOps = {
+    &neon::popcountBuffer16,
+    // NEON has no win for the serial prefix; reuse the SWAR loop.
+    &swar::exclusivePrefixPopcount16,
+    &neon::intersectPopcount16,
+    &neon::maskedPopcount16,
+    &swar::transpose16x16,
+    SimdBackend::Neon,
+};
+#endif
+
+const SimdOps *
+opsFor(SimdBackend backend)
+{
+    switch (backend) {
+      case SimdBackend::Scalar:
+        return &kScalarOps;
+      case SimdBackend::Avx2:
+        return avx2_bitops::available() ? &kAvx2Ops : &kScalarOps;
+      case SimdBackend::Neon:
+#if defined(__ARM_NEON)
+        return &kNeonOps;
+#else
+        return &kScalarOps;
+#endif
+    }
+    return &kScalarOps;
+}
+
+SimdBackend
+bestBackend()
+{
+    if (avx2_bitops::available())
+        return SimdBackend::Avx2;
+#if defined(__ARM_NEON)
+    return SimdBackend::Neon;
+#else
+    return SimdBackend::Scalar;
+#endif
+}
+
+SimdBackend
+backendFromEnv()
+{
+    const char *env = std::getenv("UNISTC_SIMD");
+    if (env == nullptr || std::strcmp(env, "on") == 0 ||
+        std::strcmp(env, "auto") == 0 || env[0] == '\0') {
+        return bestBackend();
+    }
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "scalar") == 0) {
+        return SimdBackend::Scalar;
+    }
+    if (std::strcmp(env, "avx2") == 0)
+        return SimdBackend::Avx2;
+    if (std::strcmp(env, "neon") == 0)
+        return SimdBackend::Neon;
+    return bestBackend();
+}
+
+std::atomic<const SimdOps *> g_ops{nullptr};
+
+const SimdOps &
+ops()
+{
+    const SimdOps *p = g_ops.load(std::memory_order_acquire);
+    if (p == nullptr) {
+        p = opsFor(backendFromEnv());
+        g_ops.store(p, std::memory_order_release);
+    }
+    return *p;
+}
+
+} // namespace
+
+const char *
+toString(SimdBackend backend)
+{
+    switch (backend) {
+      case SimdBackend::Scalar:
+        return "scalar";
+      case SimdBackend::Avx2:
+        return "avx2";
+      case SimdBackend::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+SimdBackend
+activeSimdBackend()
+{
+    return ops().backend;
+}
+
+bool
+simdBackendAvailable(SimdBackend backend)
+{
+    return opsFor(backend)->backend == backend;
+}
+
+SimdBackend
+setSimdBackendForTest(SimdBackend backend)
+{
+    const SimdOps *p = opsFor(backend);
+    g_ops.store(p, std::memory_order_release);
+    return p->backend;
+}
+
+void
+resetSimdBackendFromEnv()
+{
+    g_ops.store(opsFor(backendFromEnv()), std::memory_order_release);
+}
+
+std::uint64_t
+popcountBuffer16(const std::uint16_t *p, std::size_t n)
+{
+    return ops().popcountBuffer(p, n);
+}
+
+std::uint32_t
+exclusivePrefixPopcount16(const std::uint16_t *p, std::size_t n,
+                          std::uint32_t *out)
+{
+    return ops().exclusivePrefix(p, n, out);
+}
+
+std::uint64_t
+intersectPopcount16(const std::uint16_t *a, const std::uint16_t *b,
+                    std::size_t n)
+{
+    return ops().intersect(a, b, n);
+}
+
+std::uint64_t
+maskedPopcount16(const std::uint16_t *p, std::size_t n,
+                 std::uint16_t mask)
+{
+    return ops().masked(p, n, mask);
+}
+
+void
+transpose16x16(const std::uint16_t in[16], std::uint16_t out[16])
+{
+    ops().transpose(in, out);
+}
+
+} // namespace unistc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Vectorized bulk bitmap kernels over buffers of 16-bit bitmap words
+ * (the Lv1/Lv2 words every BBC structure is made of): buffer
+ * popcount, exclusive prefix popcount, bitmap intersection popcount,
+ * masked popcount, and the 16x16 bit-matrix transpose behind column
+ * summaries. Each kernel has a scalar reference implementation (the
+ * oracle the property tests and the fuzzer compare against) plus
+ * AVX2 and NEON variants selected at runtime.
+ *
+ * Backend selection: the UNISTC_SIMD environment variable, read once.
+ *   unset / "on" / "auto"  — best backend the CPU supports;
+ *   "off" / "0" / "scalar" — scalar reference path;
+ *   "avx2" / "neon"        — force a backend (falls back to scalar
+ *                            when unavailable).
+ * Tests switch backends in-process with setSimdBackendForTest().
+ */
+
+#ifndef UNISTC_COMMON_BITOPS_SIMD_HH
+#define UNISTC_COMMON_BITOPS_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace unistc
+{
+
+enum class SimdBackend
+{
+    Scalar,
+    Avx2,
+    Neon,
+};
+
+/** Printable backend name ("scalar", "avx2", "neon"). */
+const char *toString(SimdBackend backend);
+
+/** Backend currently driving the dispatched kernels. */
+SimdBackend activeSimdBackend();
+
+/** True when @p backend can run on this build + CPU. */
+bool simdBackendAvailable(SimdBackend backend);
+
+/**
+ * Test hook: re-route the dispatched kernels (no-op when @p backend
+ * is unavailable; returns the backend actually active). Call
+ * resetSimdBackendFromEnv() to restore the environment selection.
+ * Single-threaded tests only.
+ */
+SimdBackend setSimdBackendForTest(SimdBackend backend);
+void resetSimdBackendFromEnv();
+
+/** Scalar reference kernels — the oracle for tests and fuzzing. */
+namespace scalar_bitops
+{
+
+std::uint64_t popcountBuffer16(const std::uint16_t *p, std::size_t n);
+
+/** out[i] = set bits in p[0..i); returns the total (sum over all). */
+std::uint32_t exclusivePrefixPopcount16(const std::uint16_t *p,
+                                        std::size_t n,
+                                        std::uint32_t *out);
+
+std::uint64_t intersectPopcount16(const std::uint16_t *a,
+                                  const std::uint16_t *b,
+                                  std::size_t n);
+
+std::uint64_t maskedPopcount16(const std::uint16_t *p, std::size_t n,
+                               std::uint16_t mask);
+
+/** out[c] = column c of the 16x16 bit matrix whose rows are in[r]. */
+void transpose16x16(const std::uint16_t in[16], std::uint16_t out[16]);
+
+} // namespace scalar_bitops
+
+/** Total set bits across @p n 16-bit bitmap words. */
+std::uint64_t popcountBuffer16(const std::uint16_t *p, std::size_t n);
+
+/**
+ * Exclusive prefix popcount: out[i] = set bits in p[0..i). This is
+ * the value-offset prefix sum BBC builds ValPtr arrays with. Returns
+ * the inclusive total.
+ */
+std::uint32_t exclusivePrefixPopcount16(const std::uint16_t *p,
+                                        std::size_t n,
+                                        std::uint32_t *out);
+
+/** Sum of popcount(a[i] & b[i]) — bitmap-intersection popcount. */
+std::uint64_t intersectPopcount16(const std::uint16_t *a,
+                                  const std::uint16_t *b,
+                                  std::size_t n);
+
+/** Sum of popcount(p[i] & mask) — one-side-broadcast intersection. */
+std::uint64_t maskedPopcount16(const std::uint16_t *p, std::size_t n,
+                               std::uint16_t mask);
+
+/**
+ * Transpose a 16x16 bit matrix: out[c] holds column c (bit r set when
+ * in[r] has bit c). Safe with in == out.
+ */
+void transpose16x16(const std::uint16_t in[16], std::uint16_t out[16]);
+
+} // namespace unistc
+
+#endif // UNISTC_COMMON_BITOPS_SIMD_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * AVX2 backend for the bulk bitmap kernels. This file is the only
+ * translation unit compiled with -mavx2 (see src/CMakeLists.txt);
+ * when the toolchain or target cannot build AVX2 the stubs below
+ * report the backend unavailable and the dispatcher stays scalar.
+ * Availability is re-checked at runtime with cpuid so a binary built
+ * with AVX2 support still runs on older x86 parts.
+ */
+
+#include "common/bitops_simd_impl.hh"
+
+#include <bit>
+#include <cstring>
+
+#if defined(UNISTC_AVX2_BUILD)
+#include <immintrin.h>
+#endif
+
+namespace unistc
+{
+namespace avx2_bitops
+{
+
+#if defined(UNISTC_AVX2_BUILD)
+
+bool
+available()
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+namespace
+{
+
+/** Per-byte popcount of a 256-bit lane via the nibble LUT + pshufb. */
+inline __m256i
+popcountBytes(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+        2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0F);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                           _mm256_shuffle_epi8(lut, hi));
+}
+
+/** Horizontal sum of the 32 byte counts (each <= 8, so no overflow). */
+inline std::uint64_t
+sumBytes(__m256i counts)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i sad = _mm256_sad_epu8(counts, zero);
+    return static_cast<std::uint64_t>(_mm256_extract_epi64(sad, 0)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(sad, 1)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(sad, 2)) +
+        static_cast<std::uint64_t>(_mm256_extract_epi64(sad, 3));
+}
+
+inline std::uint64_t
+scalarTail(const std::uint16_t *p, std::size_t n, std::uint16_t mask)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += static_cast<std::uint64_t>(std::popcount(
+            static_cast<std::uint16_t>(p[i] & mask)));
+    }
+    return total;
+}
+
+} // namespace
+
+std::uint64_t
+popcountBuffer16(const std::uint16_t *p, std::size_t n)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + i));
+        total += sumBytes(popcountBytes(v));
+    }
+    total += scalarTail(p + i, n - i, 0xFFFFu);
+    return total;
+}
+
+std::uint32_t
+exclusivePrefixPopcount16(const std::uint16_t *p, std::size_t n,
+                          std::uint32_t *out)
+{
+    // Vectorize the per-word popcounts; the carry chain itself is
+    // inherently serial and stays scalar.
+    std::uint32_t running = 0;
+    std::size_t i = 0;
+    alignas(32) std::uint8_t counts[32];
+    for (; i + 16 <= n; i += 16) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + i));
+        _mm256_store_si256(reinterpret_cast<__m256i *>(counts),
+                           popcountBytes(v));
+        for (int w = 0; w < 16; ++w) {
+            out[i + w] = running;
+            running += static_cast<std::uint32_t>(
+                counts[2 * w] + counts[2 * w + 1]);
+        }
+    }
+    for (; i < n; ++i) {
+        out[i] = running;
+        running += static_cast<std::uint32_t>(std::popcount(p[i]));
+    }
+    return running;
+}
+
+std::uint64_t
+intersectPopcount16(const std::uint16_t *a, const std::uint16_t *b,
+                    std::size_t n)
+{
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        total += sumBytes(popcountBytes(_mm256_and_si256(va, vb)));
+    }
+    for (; i < n; ++i) {
+        total += static_cast<std::uint64_t>(std::popcount(
+            static_cast<std::uint16_t>(a[i] & b[i])));
+    }
+    return total;
+}
+
+std::uint64_t
+maskedPopcount16(const std::uint16_t *p, std::size_t n,
+                 std::uint16_t mask)
+{
+    const __m256i vm = _mm256_set1_epi16(static_cast<short>(mask));
+    std::uint64_t total = 0;
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p + i));
+        total += sumBytes(popcountBytes(_mm256_and_si256(v, vm)));
+    }
+    total += scalarTail(p + i, n - i, mask);
+    return total;
+}
+
+void
+transpose16x16(const std::uint16_t in[16], std::uint16_t out[16])
+{
+    // movemask extracts one bit per byte: after k left shifts, the
+    // odd-position bits of the 32-bit mask are column (15 - k) and
+    // the even-position bits are column (7 - k). Eight shifts yield
+    // all 16 columns.
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(in));
+    std::uint16_t cols[16];
+    for (int k = 0; k < 8; ++k) {
+        const std::uint32_t m = static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(v));
+        // De-interleave: odd bits -> high column, even bits -> low.
+        std::uint32_t odd = (m >> 1) & 0x55555555u;
+        odd = (odd | (odd >> 1)) & 0x33333333u;
+        odd = (odd | (odd >> 2)) & 0x0F0F0F0Fu;
+        odd = (odd | (odd >> 4)) & 0x00FF00FFu;
+        odd = (odd | (odd >> 8)) & 0x0000FFFFu;
+        std::uint32_t even = m & 0x55555555u;
+        even = (even | (even >> 1)) & 0x33333333u;
+        even = (even | (even >> 2)) & 0x0F0F0F0Fu;
+        even = (even | (even >> 4)) & 0x00FF00FFu;
+        even = (even | (even >> 8)) & 0x0000FFFFu;
+        cols[15 - k] = static_cast<std::uint16_t>(odd);
+        cols[7 - k] = static_cast<std::uint16_t>(even);
+        v = _mm256_slli_epi16(v, 1);
+    }
+    std::memcpy(out, cols, sizeof(cols));
+}
+
+#else // !UNISTC_AVX2_BUILD — stubs keep the dispatcher linkable.
+
+bool
+available()
+{
+    return false;
+}
+
+std::uint64_t
+popcountBuffer16(const std::uint16_t *, std::size_t)
+{
+    return 0;
+}
+
+std::uint32_t
+exclusivePrefixPopcount16(const std::uint16_t *, std::size_t,
+                          std::uint32_t *)
+{
+    return 0;
+}
+
+std::uint64_t
+intersectPopcount16(const std::uint16_t *, const std::uint16_t *,
+                    std::size_t)
+{
+    return 0;
+}
+
+std::uint64_t
+maskedPopcount16(const std::uint16_t *, std::size_t, std::uint16_t)
+{
+    return 0;
+}
+
+void
+transpose16x16(const std::uint16_t *, std::uint16_t *)
+{
+}
+
+#endif // UNISTC_AVX2_BUILD
+
+} // namespace avx2_bitops
+} // namespace unistc

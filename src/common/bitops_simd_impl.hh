@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Internal backend entry points shared between the dispatch unit
+ * (bitops_simd.cc) and the AVX2 translation unit, which is compiled
+ * with -mavx2 in isolation so vector codegen cannot leak into
+ * generic code. Not part of the public API.
+ */
+
+#ifndef UNISTC_COMMON_BITOPS_SIMD_IMPL_HH
+#define UNISTC_COMMON_BITOPS_SIMD_IMPL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace unistc
+{
+namespace avx2_bitops
+{
+
+/** True when the binary carries AVX2 code and the CPU can run it. */
+bool available();
+
+std::uint64_t popcountBuffer16(const std::uint16_t *p, std::size_t n);
+std::uint32_t exclusivePrefixPopcount16(const std::uint16_t *p,
+                                        std::size_t n,
+                                        std::uint32_t *out);
+std::uint64_t intersectPopcount16(const std::uint16_t *a,
+                                  const std::uint16_t *b,
+                                  std::size_t n);
+std::uint64_t maskedPopcount16(const std::uint16_t *p, std::size_t n,
+                               std::uint16_t mask);
+void transpose16x16(const std::uint16_t in[16], std::uint16_t out[16]);
+
+} // namespace avx2_bitops
+} // namespace unistc
+
+#endif // UNISTC_COMMON_BITOPS_SIMD_IMPL_HH

@@ -103,6 +103,56 @@ Histogram::add(double x, std::uint64_t weight)
 }
 
 void
+Histogram::addRatio(int num, int den, std::uint64_t weight)
+{
+    UNISTC_ASSERT(!counts_.empty(), "addRatio() on default histogram");
+    UNISTC_ASSERT(den > 0 && num >= 0 && num <= den,
+                  "addRatio ratio out of range");
+    if (counts_.size() > 127) { // int8 map; huge shapes stay exact
+        add(static_cast<double>(num) / den, weight);
+        return;
+    }
+    // Memoized bucket map for the last (shape, den) seen. The bucket
+    // of num/den is computed with exactly the arithmetic add() uses,
+    // so the two entry points are bit-identical by construction; the
+    // simulator calls this once per cycle with a fixed den (the MAC
+    // count), so the cache almost always hits.
+    struct RatioMemo {
+        double lo, hi;
+        std::size_t buckets;
+        int den;
+        std::vector<std::int8_t> map; // map[num] = bucket index
+    };
+    thread_local RatioMemo memo{0.0, 0.0, 0, 0, {}};
+    if (memo.den != den || memo.buckets != counts_.size() ||
+        memo.lo != lo_ || memo.hi != hi_) {
+        memo.lo = lo_;
+        memo.hi = hi_;
+        memo.buckets = counts_.size();
+        memo.den = den;
+        memo.map.resize(den + 1);
+        const int last = static_cast<int>(counts_.size()) - 1;
+        const double width = (hi_ - lo_) / counts_.size();
+        for (int n = 0; n <= den; ++n) {
+            const double x = static_cast<double>(n) / den;
+            int b;
+            if (x <= lo_) {
+                b = 0;
+            } else if (x >= hi_) {
+                b = last;
+            } else {
+                b = std::clamp(
+                    static_cast<int>(std::floor((x - lo_) / width)), 0,
+                    last);
+            }
+            memo.map[n] = static_cast<std::int8_t>(b);
+        }
+    }
+    counts_[memo.map[num]] += weight;
+    total_ += weight;
+}
+
+void
 Histogram::merge(const Histogram &other)
 {
     if (other.counts_.empty())

@@ -63,6 +63,16 @@ class Histogram
     /** Add @p weight samples of value @p x. */
     void add(double x, std::uint64_t weight = 1);
 
+    /**
+     * Add @p weight samples of the ratio @p num / @p den
+     * (0 <= num <= den). Exactly equivalent to
+     * add(double(num) / den, weight) — the bucket for every (num, den)
+     * pair is computed once with the same double arithmetic and
+     * memoized, which turns the hot per-cycle utilisation update into
+     * a table lookup.
+     */
+    void addRatio(int num, int den, std::uint64_t weight = 1);
+
     /** Merge a same-shaped histogram. */
     void merge(const Histogram &other);
 

@@ -35,9 +35,13 @@ mnemonic(UwmmaOp op)
     return "?";
 }
 
+namespace
+{
+
 TaskBundle
-buildTaskBundle(const BlockPattern &a, const BlockPattern &b,
-                bool is_mv, const MachineConfig &cfg)
+buildTaskBundleFromMeta(const PatternMeta &a_meta,
+                        const PatternMeta &b_meta, bool is_mv,
+                        const MachineConfig &cfg)
 {
     TaskBundle bundle;
 
@@ -51,8 +55,9 @@ buildTaskBundle(const BlockPattern &a, const BlockPattern &b,
     // Task generation: the TMS emits up to numDpgs T3 tasks per
     // cycle into the Tile queue. Table V bounds: MV 1-4, MM 1-8.
     const int n_tile_cols = is_mv ? 1 : kTilesPerEdge;
-    const auto tasks = generateTileTasks(a, b, n_tile_cols,
-                                         TaskOrdering::OuterProduct);
+    const TileTaskList tasks =
+        generateTileTasks(a_meta, b_meta, n_tile_cols,
+                          TaskOrdering::OuterProduct);
     const int gen_max = is_mv ? 4 : 8;
     int gen = static_cast<int>(
         ceilDiv(tasks.size(), static_cast<std::uint64_t>(
@@ -67,10 +72,12 @@ buildTaskBundle(const BlockPattern &a, const BlockPattern &b,
     // bounds: MV 1-8, MM 1-64.
     int numeric = 1;
     if (!tasks.empty()) {
-        numeric = static_cast<int>(
-            scheduleSdpu(tasks, cfg.numDpgs, cfg.macCount,
-                         /*check_conflicts=*/!is_mv)
-                .size());
+        int cycles = 0;
+        forEachSdpuCycle(
+            std::span<const TileTask>(tasks.data(), tasks.size()),
+            cfg.numDpgs, cfg.macCount, /*check_conflicts=*/!is_mv,
+            [&](const SdpuCycleView &) { ++cycles; });
+        numeric = cycles;
     }
     numeric = std::clamp(numeric, 1, is_mv ? 8 : 64);
     bundle.numericCycles = numeric;
@@ -78,6 +85,23 @@ buildTaskBundle(const BlockPattern &a, const BlockPattern &b,
                                    : UwmmaOp::NumericMm,
                              numeric});
     return bundle;
+}
+
+} // namespace
+
+TaskBundle
+buildTaskBundle(const BlockPattern &a, const BlockPattern &b,
+                bool is_mv, const MachineConfig &cfg)
+{
+    return buildTaskBundleFromMeta(computePatternMeta(a),
+                                   computePatternMeta(b), is_mv, cfg);
+}
+
+TaskBundle
+buildTaskBundle(const BlockTask &task, const MachineConfig &cfg)
+{
+    return buildTaskBundleFromMeta(task.aInfo(), task.bInfo(),
+                                   task.isMv, cfg);
 }
 
 LifecycleStats
@@ -139,10 +163,8 @@ bundleStream(TaskStream &stream, const MachineConfig &cfg)
 {
     std::vector<TaskBundle> out;
     StreamedTask item;
-    while (stream.next(item)) {
-        out.push_back(buildTaskBundle(item.task.a, item.task.b,
-                                      item.task.isMv, cfg));
-    }
+    while (stream.next(item))
+        out.push_back(buildTaskBundle(item.task, cfg));
     return out;
 }
 

@@ -26,12 +26,14 @@
 #include <vector>
 
 #include "bbc/bbc_matrix.hh"
+#include "common/small_vector.hh"
 #include "sim/config.hh"
 
 namespace unistc
 {
 
 class TaskStream;
+struct BlockTask;
 
 /** UWMMA opcodes (Table V). */
 enum class UwmmaOp
@@ -61,7 +63,8 @@ struct TaskBundle
     int loadCycles = 0;    ///< Synchronous meta + value loads.
     int taskGenCycles = 0; ///< Asynchronous TMS+DPG work.
     int numericCycles = 0; ///< SDPU execution.
-    std::vector<UwmmaInstr> instrs; ///< The issued sequence.
+    /** The issued sequence — always the 4-instruction Table V shape. */
+    SmallVector<UwmmaInstr, 4> instrs;
 };
 
 /**
@@ -74,6 +77,14 @@ struct TaskBundle
  */
 TaskBundle buildTaskBundle(const BlockPattern &a, const BlockPattern &b,
                            bool is_mv, const MachineConfig &cfg);
+
+/**
+ * Allocation-free variant over a T1 block task: reuses the task's
+ * (possibly primed) pattern summaries and counts SDPU cycles without
+ * materialising the schedule. Produces the identical bundle.
+ */
+TaskBundle buildTaskBundle(const BlockTask &task,
+                           const MachineConfig &cfg);
 
 /** Outcome of running an instruction stream through the lifecycle. */
 struct LifecycleStats

@@ -23,6 +23,12 @@ class SpgemmStream final : public TaskStream
         : a_(&a), b_(&b), aPatterns_(allBlockPatterns(a)),
           bPatterns_(allBlockPatterns(b))
     {
+        aMetas_.reserve(aPatterns_.size());
+        for (const BlockPattern &p : aPatterns_)
+            aMetas_.push_back(computePatternMeta(p));
+        bMetas_.reserve(bPatterns_.size());
+        for (const BlockPattern &p : bPatterns_)
+            bMetas_.push_back(computePatternMeta(p));
         enterA();
     }
 
@@ -33,13 +39,26 @@ class SpgemmStream final : public TaskStream
             for (; ai_ < a_->rowPtr()[bi_ + 1]; nextA()) {
                 const BlockPattern &a_pat =
                     aPatterns_[static_cast<std::size_t>(ai_)];
+                const PatternMeta &a_meta =
+                    aMetas_[static_cast<std::size_t>(ai_)];
                 for (; bj_ < bEnd_; ++bj_) {
-                    const BlockPattern &b_pat =
-                        bPatterns_[static_cast<std::size_t>(bj_)];
-                    // Software bitmap check (Algorithm 2, line 13).
-                    if (blockProductCount(a_pat, b_pat) == 0)
+                    const PatternMeta &b_meta =
+                        bMetas_[static_cast<std::size_t>(bj_)];
+                    // Software bitmap check (Algorithm 2, line 13):
+                    // the product count is the dot product of A's
+                    // per-column and B's per-row nonzero counts, read
+                    // straight off the precomputed summaries.
+                    int products = 0;
+                    for (int k = 0; k < kBlockSize; ++k) {
+                        products += static_cast<int>(a_meta.colCnt[k]) *
+                            static_cast<int>(b_meta.rowCnt[k]);
+                    }
+                    if (products == 0)
                         continue;
-                    out.task = BlockTask::mm(a_pat, b_pat);
+                    out.task = BlockTask::mm(
+                        a_pat,
+                        bPatterns_[static_cast<std::size_t>(bj_)],
+                        &a_meta, &b_meta);
                     out.group = bi_;
                     ++bj_;
                     return true;
@@ -88,6 +107,8 @@ class SpgemmStream final : public TaskStream
     const BbcMatrix *b_;
     std::vector<BlockPattern> aPatterns_;
     std::vector<BlockPattern> bPatterns_;
+    std::vector<PatternMeta> aMetas_;
+    std::vector<PatternMeta> bMetas_;
     int bi_ = 0;            ///< Current C block row.
     std::int64_t ai_ = 0;   ///< Current stored A block (global).
     std::int64_t bj_ = 0;   ///< Current stored B block (global).

@@ -25,6 +25,14 @@ class SpmmStream final : public TaskStream
           bBlockCols_(static_cast<int>(ceilDiv(b_cols, kBlockSize))),
           cursor_(a), bj_(bBlockCols_)
     {
+        // The dense B blocks (and their summaries) repeat across all A
+        // blocks: build them once for the whole stream.
+        bBlocks_.reserve(static_cast<std::size_t>(bBlockCols_));
+        bMetas_.reserve(static_cast<std::size_t>(bBlockCols_));
+        for (int bj = 0; bj < bBlockCols_; ++bj) {
+            bBlocks_.push_back(denseBBlock(bj));
+            bMetas_.push_back(computePatternMeta(bBlocks_.back()));
+        }
     }
 
     bool
@@ -34,9 +42,12 @@ class SpmmStream final : public TaskStream
             if (!cursor_.next())
                 return false;
             pattern_ = a_->blockPattern(cursor_.blockIndex());
+            aMeta_ = computePatternMeta(pattern_);
             bj_ = 0;
         }
-        out.task = BlockTask::mm(pattern_, denseBBlock(bj_));
+        out.task = BlockTask::mm(
+            pattern_, bBlocks_[static_cast<std::size_t>(bj_)],
+            &aMeta_, &bMetas_[static_cast<std::size_t>(bj_)]);
         out.group = cursor_.blockIndex();
         ++bj_;
         return true;
@@ -73,6 +84,9 @@ class SpmmStream final : public TaskStream
     int bBlockCols_;
     BlockRowCursor cursor_;
     BlockPattern pattern_;
+    PatternMeta aMeta_;
+    std::vector<BlockPattern> bBlocks_;
+    std::vector<PatternMeta> bMetas_;
     int bj_; ///< Next B block column; >= bBlockCols_ forces advance.
 };
 

@@ -51,7 +51,12 @@ class SpmspvStream final : public TaskStream
             // Software bitmap check: skip blocks with no index match.
             if (blockMvProductCount(pattern, mask) == 0)
                 continue;
-            out.task = BlockTask::mv(pattern, mask);
+            // Prime the pattern summaries for the surviving task so
+            // every model in a lineup reuses them.
+            const PatternMeta a_meta = computePatternMeta(pattern);
+            const PatternMeta x_meta =
+                computePatternMeta(vectorAsBlock(mask));
+            out.task = BlockTask::mv(pattern, mask, &a_meta, &x_meta);
             out.group = blk;
             return true;
         }

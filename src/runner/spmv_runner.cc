@@ -12,15 +12,23 @@ namespace
 class SpmvStream final : public TaskStream
 {
   public:
-    explicit SpmvStream(const BbcMatrix &a) : a_(&a) {}
+    explicit SpmvStream(const BbcMatrix &a)
+        : a_(&a),
+          xMeta_(computePatternMeta(vectorAsBlock(0xFFFFu)))
+    {
+    }
 
     bool
     next(StreamedTask &out) override
     {
         if (blk_ >= a_->numBlocks())
             return false;
-        // Dense x: every lane of the segment is live.
-        out.task = BlockTask::mv(a_->blockPattern(blk_), 0xFFFFu);
+        // Dense x: every lane of the segment is live. Pattern
+        // summaries are primed here so a multi-architecture pipeline
+        // computes them once per task, not once per model.
+        const BlockPattern pattern = a_->blockPattern(blk_);
+        const PatternMeta a_meta = computePatternMeta(pattern);
+        out.task = BlockTask::mv(pattern, 0xFFFFu, &a_meta, &xMeta_);
         out.group = blk_;
         ++blk_;
         return true;
@@ -28,6 +36,7 @@ class SpmvStream final : public TaskStream
 
   private:
     const BbcMatrix *a_;
+    const PatternMeta xMeta_; ///< Shared dense-x block summary.
     std::int64_t blk_ = 0;
 };
 

@@ -41,7 +41,7 @@ RunResult::recordCycle(int mac_count, int eff, int active_dpgs,
     macSlots += mac_count;
     dpgActiveAccum += active_dpgs;
     cNetScaleAccum += c_net_units;
-    utilHist.add(static_cast<double>(eff) / mac_count);
+    utilHist.addRatio(eff, mac_count);
 }
 
 double

@@ -1,8 +1,10 @@
 #include "sm/sm_model.hh"
 
 #include <algorithm>
+#include <span>
 
 #include "common/logging.hh"
+#include "common/small_vector.hh"
 
 namespace unistc
 {
@@ -16,14 +18,19 @@ SmStats::unitUtilisation(int stc_units) const
         (static_cast<double>(makespanCycles) * stc_units);
 }
 
+namespace
+{
+
+/** The scheduler core over non-owning per-warp views. */
 SmStats
-simulateSmWarps(const std::vector<std::vector<TaskBundle>> &warp_streams,
-                int stc_units)
+simulateSmWarpSpans(std::span<const std::span<const TaskBundle>> warp_streams,
+                    int stc_units)
 {
     UNISTC_ASSERT(stc_units > 0, "need at least one STC unit");
 
     SmStats stats;
-    std::vector<std::uint64_t> unit_free(stc_units, 0);
+    SmallVector<std::uint64_t, 16> unit_free;
+    unit_free.resize(static_cast<std::size_t>(stc_units), 0);
     std::uint64_t makespan = 0;
 
     // Warps proceed independently; within a warp, bundles are issued
@@ -34,7 +41,8 @@ simulateSmWarps(const std::vector<std::vector<TaskBundle>> &warp_streams,
         std::size_t next = 0;
         std::uint64_t clock = 0;
     };
-    std::vector<WarpState> warps(warp_streams.size());
+    SmallVector<WarpState, 16> warps;
+    warps.resize(warp_streams.size());
 
     for (;;) {
         // Pick the least-advanced warp that still has work.
@@ -74,19 +82,46 @@ simulateSmWarps(const std::vector<std::vector<TaskBundle>> &warp_streams,
     return stats;
 }
 
+/** Contiguous near-equal split of @p bundles into @p parts views. */
+SmStats
+simulatePartitioned(std::span<const TaskBundle> bundles, int parts,
+                    int stc_units)
+{
+    SmallVector<std::span<const TaskBundle>, 16> streams;
+    const std::size_t n = bundles.size();
+    for (int w = 0; w < parts; ++w) {
+        const std::size_t begin = n * w / parts;
+        const std::size_t end = n * (w + 1) / parts;
+        streams.push_back(bundles.subspan(begin, end - begin));
+    }
+    return simulateSmWarpSpans(
+        std::span<const std::span<const TaskBundle>>(streams.data(),
+                                                     streams.size()),
+        stc_units);
+}
+
+} // namespace
+
+SmStats
+simulateSmWarps(const std::vector<std::vector<TaskBundle>> &warp_streams,
+                int stc_units)
+{
+    SmallVector<std::span<const TaskBundle>, 16> streams;
+    streams.reserve(warp_streams.size());
+    for (const std::vector<TaskBundle> &ws : warp_streams)
+        streams.push_back(std::span<const TaskBundle>(ws));
+    return simulateSmWarpSpans(
+        std::span<const std::span<const TaskBundle>>(streams.data(),
+                                                     streams.size()),
+        stc_units);
+}
+
 SmStats
 simulateSm(const std::vector<TaskBundle> &bundles, const SmConfig &cfg)
 {
     UNISTC_ASSERT(cfg.warps > 0, "need at least one warp");
-    std::vector<std::vector<TaskBundle>> streams(cfg.warps);
-    const std::size_t n = bundles.size();
-    for (int w = 0; w < cfg.warps; ++w) {
-        const std::size_t begin = n * w / cfg.warps;
-        const std::size_t end = n * (w + 1) / cfg.warps;
-        streams[w].assign(bundles.begin() + begin,
-                          bundles.begin() + end);
-    }
-    return simulateSmWarps(streams, cfg.stcUnits);
+    return simulatePartitioned(std::span<const TaskBundle>(bundles),
+                               cfg.warps, cfg.stcUnits);
 }
 
 SmStats
@@ -101,14 +136,15 @@ simulateDevice(const std::vector<TaskBundle> &bundles,
                const SmConfig &cfg, int num_sms)
 {
     UNISTC_ASSERT(num_sms > 0, "need at least one SM");
+    UNISTC_ASSERT(cfg.warps > 0, "need at least one warp");
     SmStats device;
+    const std::span<const TaskBundle> all(bundles);
     const std::size_t n = bundles.size();
     for (int sm = 0; sm < num_sms; ++sm) {
         const std::size_t begin = n * sm / num_sms;
         const std::size_t end = n * (sm + 1) / num_sms;
-        const std::vector<TaskBundle> chunk(bundles.begin() + begin,
-                                            bundles.begin() + end);
-        const SmStats s = simulateSm(chunk, cfg);
+        const SmStats s = simulatePartitioned(
+            all.subspan(begin, end - begin), cfg.warps, cfg.stcUnits);
         device.makespanCycles =
             std::max(device.makespanCycles, s.makespanCycles);
         device.busyUnitCycles += s.busyUnitCycles;

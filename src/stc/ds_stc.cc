@@ -33,12 +33,14 @@ DsStc::runBlock(const BlockTask &task, RunResult &res,
     // Outer-product T3 geometry: 8x8x1 @FP64, 8x16x1 @FP32.
     const int t3m = 8;
     const int t3n = cfg_.precision == Precision::FP64 ? 8 : 16;
+    const std::uint16_t n_mask = n_ext == kBlockSize
+        ? 0xFFFFu
+        : static_cast<std::uint16_t>((1u << n_ext) - 1u);
+    const PatternMeta &a_meta = task.aInfo();
 
     for (int k = 0; k < kBlockSize; ++k) {
-        const int na = popcount16(task.a.colBits(k));
-        int nb = 0;
-        for (int c = 0; c < n_ext; ++c)
-            nb += task.b.test(k, c) ? 1 : 0;
+        const int na = a_meta.colCnt[k];
+        const int nb = popcount16(task.b.rowBits(k) & n_mask);
         // Dual-side skip: a K slice contributes nothing when either
         // side is empty, and the front-end skips it outright.
         if (na == 0 || nb == 0)

@@ -30,13 +30,14 @@ Gamma::runBlock(const BlockTask &task, RunResult &res,
     const int n_ext = task.nExtent();
     const int t3m = 16;
     const int t3n = cfg_.precision == Precision::FP64 ? 4 : 8;
+    const std::uint16_t n_mask = n_ext == kBlockSize
+        ? 0xFFFFu
+        : static_cast<std::uint16_t>((1u << n_ext) - 1u);
+    const PatternMeta &a_meta = task.aInfo();
 
     for (int k = 0; k < kBlockSize; ++k) {
-        const std::uint16_t a_col = task.a.colBits(k);
-        const int na = popcount16(a_col);
-        int nb = 0;
-        for (int c = 0; c < n_ext; ++c)
-            nb += task.b.test(k, c) ? 1 : 0;
+        const int na = a_meta.colCnt[k];
+        const int nb = popcount16(task.b.rowBits(k) & n_mask);
         // A fully empty K slice is skipped by the front-end; a slice
         // with work engages all 16 M lanes, empty rows included.
         if (na == 0 || nb == 0)

@@ -44,22 +44,24 @@ NvDtc::runBlock(const BlockTask &task, RunResult &res,
     const int m_steps = kBlockSize / t3m;
     const int n_steps = static_cast<int>(ceilDiv(n_ext, t3n));
     const int k_steps = kBlockSize / t3k;
+    const std::uint16_t *a_cols = task.aInfo().cols.data();
 
     for (int mi = 0; mi < m_steps; ++mi) {
+        const std::uint16_t row_mask = static_cast<std::uint16_t>(
+            ((1u << t3m) - 1u) << (mi * t3m));
         for (int ni = 0; ni < n_steps; ++ni) {
+            const int col_hi = std::min((ni + 1) * t3n, n_ext);
+            const std::uint16_t col_mask = static_cast<std::uint16_t>(
+                ((1u << (col_hi - ni * t3n)) - 1u) << (ni * t3n));
             for (int ki = 0; ki < k_steps; ++ki) {
                 // Effective products inside this dense T3 sub-cube.
                 int eff = 0;
                 int b_rows_nnz = 0;
                 int a_sub_nnz = 0;
                 for (int k = ki * t3k; k < (ki + 1) * t3k; ++k) {
-                    int a_cnt = 0;
-                    for (int r = mi * t3m; r < (mi + 1) * t3m; ++r)
-                        a_cnt += task.a.test(r, k) ? 1 : 0;
-                    int b_cnt = 0;
-                    for (int c = ni * t3n;
-                         c < std::min((ni + 1) * t3n, n_ext); ++c)
-                        b_cnt += task.b.test(k, c) ? 1 : 0;
+                    const int a_cnt = popcount16(a_cols[k] & row_mask);
+                    const int b_cnt =
+                        popcount16(task.b.rowBits(k) & col_mask);
                     eff += a_cnt * b_cnt;
                     a_sub_nnz += a_cnt;
                     b_rows_nnz += b_cnt;

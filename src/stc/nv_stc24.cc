@@ -13,13 +13,15 @@ bool
 conformsTo24(const BlockPattern &a)
 {
     for (int r = 0; r < kBlockSize; ++r) {
+        // SWAR per-nibble popcount; a nibble with more than two set
+        // bits makes its count+1 carry into bit 2 of the lane.
         const std::uint16_t row = a.rowBits(r);
-        for (int g = 0; g < kBlockSize; g += 4) {
-            const int cnt = popcount16(
-                static_cast<std::uint16_t>((row >> g) & 0xFu));
-            if (cnt > 2)
-                return false;
-        }
+        const std::uint16_t pairs = static_cast<std::uint16_t>(
+            row - ((row >> 1) & 0x5555u));
+        const std::uint16_t nibs = static_cast<std::uint16_t>(
+            (pairs & 0x3333u) + ((pairs >> 2) & 0x3333u));
+        if ((nibs + 0x1111u) & 0x4444u)
+            return false;
     }
     return true;
 }
@@ -65,22 +67,24 @@ NvStc24::runBlock(const BlockTask &task, RunResult &res,
     const int m_steps = kBlockSize / t3m;
     const int n_steps = static_cast<int>(ceilDiv(n_ext, t3n));
     const int k_steps = kBlockSize / (2 * t3k); // halved
+    const std::uint16_t *a_cols = task.aInfo().cols.data();
 
     for (int mi = 0; mi < m_steps; ++mi) {
+        const std::uint16_t row_mask = static_cast<std::uint16_t>(
+            ((1u << t3m) - 1u) << (mi * t3m));
         for (int ni = 0; ni < n_steps; ++ni) {
+            const int col_hi = std::min((ni + 1) * t3n, n_ext);
+            const std::uint16_t col_mask = static_cast<std::uint16_t>(
+                ((1u << (col_hi - ni * t3n)) - 1u) << (ni * t3n));
             for (int ki = 0; ki < k_steps; ++ki) {
                 // This step covers logical K range [8*ki, 8*ki+8).
                 int eff = 0;
                 int a_nnz = 0;
                 int b_nnz = 0;
                 for (int k = ki * 8; k < ki * 8 + 8; ++k) {
-                    int a_cnt = 0;
-                    for (int r = mi * t3m; r < (mi + 1) * t3m; ++r)
-                        a_cnt += task.a.test(r, k) ? 1 : 0;
-                    int b_cnt = 0;
-                    for (int c = ni * t3n;
-                         c < std::min((ni + 1) * t3n, n_ext); ++c)
-                        b_cnt += task.b.test(k, c) ? 1 : 0;
+                    const int a_cnt = popcount16(a_cols[k] & row_mask);
+                    const int b_cnt =
+                        popcount16(task.b.rowBits(k) & col_mask);
                     eff += a_cnt * b_cnt;
                     a_nnz += a_cnt;
                     b_nnz += b_cnt;

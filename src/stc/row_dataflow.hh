@@ -17,9 +17,9 @@
 #define UNISTC_STC_ROW_DATAFLOW_HH
 
 #include <algorithm>
-#include <vector>
 
 #include "common/bitops.hh"
+#include "common/small_vector.hh"
 #include "obs/trace.hh"
 #include "stc/stc_model.hh"
 
@@ -63,32 +63,45 @@ runRowDataflow(const BlockTask &task, const MachineConfig &cfg,
     const std::uint16_t n_mask = n_ext == kBlockSize
         ? 0xFFFFu
         : static_cast<std::uint16_t>((1u << n_ext) - 1u);
+    // Column bitmaps of B: bit k of bCols[c] says row k holds column c.
+    const std::uint16_t *b_cols = task.bInfo().cols.data();
+
+    // Per-row sub-step sequences, reused across groups. A row emits at
+    // most ceil(16/t3k) scalar groups x ceil(16/t3n) column chunks
+    // sub-steps, which stays within the inline capacity for every
+    // RM-STC/Trapezoid geometry (worst case 8x8 = 64).
+    SmallVector<RowStep, 64> row_steps[kBlockSize];
 
     for (int g = 0; g < kBlockSize; g += t3m) {
         // Build every row's sub-step trace, then merge in lock-step.
-        std::vector<std::vector<RowStep>> row_steps;
-        row_steps.reserve(t3m);
+        const int n_rows = std::min(t3m, kBlockSize - g);
 
-        for (int r = g; r < g + t3m && r < kBlockSize; ++r) {
-            std::vector<RowStep> steps;
-            std::vector<int> ks;
-            forEachSetBit(task.a.rowBits(r),
-                          [&](int k) { ks.push_back(k); });
+        for (int ri = 0; ri < n_rows; ++ri) {
+            SmallVector<RowStep, 64> &steps = row_steps[ri];
+            steps.clear();
+            std::uint8_t ks[kBlockSize];
+            int n_ks = 0;
+            forEachSetBit(task.a.rowBits(g + ri), [&](int k) {
+                ks[n_ks++] = static_cast<std::uint8_t>(k);
+            });
 
-            for (std::size_t p = 0; p < ks.size();
-                 p += static_cast<std::size_t>(t3k)) {
-                const int group_sz = static_cast<int>(
-                    std::min<std::size_t>(t3k, ks.size() - p));
+            for (int p = 0; p < n_ks; p += t3k) {
+                const int group_sz = std::min(t3k, n_ks - p);
                 // A scalars for this group are fetched once.
                 res.traffic.readsA += group_sz;
                 res.traffic.wastedA += t3k - group_sz;
                 ++res.tasksT3;
 
-                // Merged column set of the touched B rows.
+                // Merged column set and K-lane mask of the touched B
+                // rows. The group's K indices are distinct bits of one
+                // A row, so a per-column hit count is a popcount of
+                // the B column bitmap against the lane mask.
                 std::uint16_t merged = 0;
+                std::uint16_t gmask = 0;
                 for (int q = 0; q < group_sz; ++q) {
                     merged = static_cast<std::uint16_t>(
                         merged | task.b.rowBits(ks[p + q]));
+                    gmask = setBit(gmask, ks[p + q]);
                 }
                 merged &= n_mask;
 
@@ -99,40 +112,33 @@ runRowDataflow(const BlockTask &task, const MachineConfig &cfg,
                     continue;
                 }
 
-                std::vector<int> cols;
+                std::uint8_t cols[kBlockSize];
+                int n_cols = 0;
                 if (gather_columns) {
-                    forEachSetBit(merged,
-                                  [&](int c) { cols.push_back(c); });
+                    forEachSetBit(merged, [&](int c) {
+                        cols[n_cols++] = static_cast<std::uint8_t>(c);
+                    });
                 } else {
                     // Fixed chunk sweep: every column of a chunk
                     // containing at least one nonzero is visited.
                     for (int base = 0; base < n_ext; base += t3n) {
+                        const int hi = std::min(base + t3n, n_ext);
                         const std::uint16_t chunk_mask =
                             static_cast<std::uint16_t>(
-                                ((1u << std::min(t3n,
-                                                 n_ext - base)) -
-                                 1u)
-                                << base);
+                                ((1u << (hi - base)) - 1u) << base);
                         if (!(merged & chunk_mask))
                             continue;
-                        for (int c = base;
-                             c < std::min(base + t3n, n_ext); ++c) {
-                            cols.push_back(c);
-                        }
+                        for (int c = base; c < hi; ++c)
+                            cols[n_cols++] =
+                                static_cast<std::uint8_t>(c);
                     }
                 }
-                for (std::size_t ci = 0; ci < cols.size();
-                     ci += static_cast<std::size_t>(t3n)) {
+                for (int ci = 0; ci < n_cols; ci += t3n) {
                     RowStep step;
-                    const int chunk = static_cast<int>(
-                        std::min<std::size_t>(t3n, cols.size() - ci));
+                    const int chunk = std::min(t3n, n_cols - ci);
                     for (int x = 0; x < chunk; ++x) {
-                        const int c = cols[ci + x];
-                        int hits = 0;
-                        for (int q = 0; q < group_sz; ++q) {
-                            if (task.b.test(ks[p + q], c))
-                                ++hits;
-                        }
+                        const int hits = popcount16(
+                            b_cols[cols[ci + x]] & gmask);
                         step.products += hits;
                         step.readsB += hits;
                         // Lanes for scalars whose B row lacks column
@@ -144,17 +150,17 @@ runRowDataflow(const BlockTask &task, const MachineConfig &cfg,
                     steps.push_back(step);
                 }
             }
-            row_steps.push_back(std::move(steps));
         }
 
         std::size_t group_cycles = 0;
-        for (const auto &steps : row_steps)
-            group_cycles = std::max(group_cycles, steps.size());
+        for (int ri = 0; ri < n_rows; ++ri)
+            group_cycles = std::max(group_cycles, row_steps[ri].size());
 
         const std::uint64_t group_start = res.cycles;
         for (std::size_t cyc = 0; cyc < group_cycles; ++cyc) {
             int eff = 0;
-            for (const auto &steps : row_steps) {
+            for (int ri = 0; ri < n_rows; ++ri) {
+                const SmallVector<RowStep, 64> &steps = row_steps[ri];
                 if (cyc < steps.size()) {
                     eff += steps[cyc].products;
                     res.traffic.readsB += steps[cyc].readsB;

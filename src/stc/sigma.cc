@@ -1,7 +1,6 @@
 #include "stc/sigma.hh"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/bitops.hh"
 #include "obs/trace.hh"
@@ -39,36 +38,61 @@ Sigma::runBlock(const BlockTask &task, RunResult &res,
     const int t3n = cfg_.precision == Precision::FP64 ? 4 : 8;
     const int t3k = 16;
 
-    // Gather A nonzeros row-major: (row, k) pairs.
-    std::vector<std::pair<int, int>> nz;
-    nz.reserve(256);
+    // Gather A nonzeros row-major: (row, k) pairs. A 16x16 block holds
+    // at most 256 nonzeros, so fixed stack arrays suffice.
+    std::uint8_t nz_row[kBlockSize * kBlockSize];
+    std::uint8_t nz_k[kBlockSize * kBlockSize];
+    int n_nz = 0;
     for (int r = 0; r < kBlockSize; ++r) {
-        forEachSetBit(task.a.rowBits(r),
-                      [&](int k) { nz.emplace_back(r, k); });
+        forEachSetBit(task.a.rowBits(r), [&](int k) {
+            nz_row[n_nz] = static_cast<std::uint8_t>(r);
+            nz_k[n_nz] = static_cast<std::uint8_t>(k);
+            ++n_nz;
+        });
     }
-    if (nz.empty())
+    if (n_nz == 0)
         return;
 
+    const std::uint16_t *b_cols = task.bInfo().cols.data();
     const int n_steps = static_cast<int>(ceilDiv(n_ext, t3n));
-    for (std::size_t base = 0; base < nz.size();
-         base += static_cast<std::size_t>(t3k)) {
-        const int group = static_cast<int>(
-            std::min<std::size_t>(t3k, nz.size() - base));
+    for (int base = 0; base < n_nz; base += t3k) {
+        const int group = std::min(t3k, n_nz - base);
         // The packed A group is loaded into the lanes once per sweep.
         res.traffic.readsA += group;
         res.traffic.wastedA += t3k - group;
+
+        // The same K index can occupy several lanes (different rows of
+        // A), so per-column hit counting is multiplicity-weighted.
+        // Decompose the lane counts per K into bit-planes: plane p has
+        // bit k set when lane-count(k) has bit p set, making
+        // hits(c) = sum_p 2^p * popcount(bCol(c) & plane[p]).
+        int cnt[kBlockSize] = {};
+        for (int g = 0; g < group; ++g)
+            ++cnt[nz_k[base + g]];
+        std::uint16_t plane[5] = {};
+        for (int k = 0; k < kBlockSize; ++k) {
+            for (int p = 0; p < 5; ++p) {
+                if (cnt[k] & (1 << p))
+                    plane[p] = setBit(plane[p], k);
+            }
+        }
+
+        // Per-row segment writes per streamed column (loop-invariant
+        // across the N sweep: the group's row layout does not change).
+        int row_segments = 1;
+        for (int g = 1; g < group; ++g) {
+            if (nz_row[base + g] != nz_row[base + g - 1])
+                ++row_segments;
+        }
 
         for (int ni = 0; ni < n_steps; ++ni) {
             const int chunk = std::min(t3n, n_ext - ni * t3n);
             int eff = 0;
             for (int x = 0; x < chunk; ++x) {
-                const int c = ni * t3n + x;
+                const std::uint16_t b_col = b_cols[ni * t3n + x];
                 int hits = 0;
-                for (int g = 0; g < group; ++g) {
-                    const int k = nz[base + g].second;
-                    if (task.b.test(k, c))
-                        ++hits;
-                }
+                for (int p = 0; p < 5; ++p)
+                    hits += popcount16(b_col & plane[p]) << p;
                 eff += hits;
                 res.traffic.readsB += hits;
                 // Dense streaming: a B operand slot toggles for every
@@ -77,12 +101,6 @@ Sigma::runBlock(const BlockTask &task, RunResult &res,
                 // The reduction tree emits one partial sum per row
                 // segment present in the group (conservatively: one
                 // write per touched row per column).
-            }
-            // Count per-row segment writes for this column chunk.
-            int row_segments = 1;
-            for (int g = 1; g < group; ++g) {
-                if (nz[base + g].first != nz[base + g - 1].first)
-                    ++row_segments;
             }
             res.traffic.writesC +=
                 static_cast<std::uint64_t>(row_segments) * chunk;

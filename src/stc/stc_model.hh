@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bbc/block_pattern.hh"
+#include "bbc/pattern_meta.hh"
 #include "sim/config.hh"
 #include "sim/network.hh"
 #include "sim/result.hh"
@@ -29,22 +30,70 @@ class TraceSink;
  * (Algorithm 1) embed the x segment as a 16x1 block via
  * vectorAsBlock(), flagged by isMv so models can apply their MV
  * instruction variant (N = 1 lane population).
+ *
+ * The derived pattern summaries (column masks, tile bitmaps, per-lane
+ * nonzero counts) are memoized on the task: the first model to call
+ * aInfo()/bInfo() computes them, and every later model in a lineup
+ * fan-out (--arch a,b,c hands the same task to each model slot in
+ * turn) reuses the cached copy. Runners that stream many tasks over
+ * the same block can prime the cache at construction so even the
+ * first model skips the computation.
  */
 struct BlockTask
 {
     BlockPattern a;  ///< Structural pattern of the A block.
     BlockPattern b;  ///< Pattern of the B block (or x as a column).
-    BlockPattern c;  ///< Structural pattern of the C update (A x B).
     bool isMv = false;
 
     /** Effective N extent: 1 for MV tasks, 16 for MM tasks. */
     int nExtent() const { return isMv ? 1 : kBlockSize; }
 
-    /** Build a fully formed MM task (C pattern derived from A, B). */
+    /** Structural pattern of the C update, derived on demand. */
+    BlockPattern cPattern() const { return blockProductPattern(a, b); }
+
+    /** Cached summaries of the A pattern (computed on first use). */
+    const PatternMeta &
+    aInfo() const
+    {
+        if (!aReady_) {
+            aMeta_ = computePatternMeta(a);
+            aReady_ = true;
+        }
+        return aMeta_;
+    }
+
+    /** Cached summaries of the B pattern (computed on first use). */
+    const PatternMeta &
+    bInfo() const
+    {
+        if (!bReady_) {
+            bMeta_ = computePatternMeta(b);
+            bReady_ = true;
+        }
+        return bMeta_;
+    }
+
+    /** Build an MM task; summaries are computed lazily. */
     static BlockTask mm(const BlockPattern &a, const BlockPattern &b);
+
+    /** MM task with pre-computed summaries (either may be null). */
+    static BlockTask mm(const BlockPattern &a, const BlockPattern &b,
+                        const PatternMeta *a_meta,
+                        const PatternMeta *b_meta);
 
     /** Build an MV task from A and the x-segment mask. */
     static BlockTask mv(const BlockPattern &a, std::uint16_t x_mask);
+
+    /** MV task with pre-computed summaries (either may be null). */
+    static BlockTask mv(const BlockPattern &a, std::uint16_t x_mask,
+                        const PatternMeta *a_meta,
+                        const PatternMeta *b_meta);
+
+  private:
+    mutable PatternMeta aMeta_;
+    mutable PatternMeta bMeta_;
+    mutable bool aReady_ = false;
+    mutable bool bReady_ = false;
 };
 
 /** Architecture model interface. */

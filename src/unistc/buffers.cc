@@ -49,19 +49,21 @@ int
 accumBufferBytes(const BlockPattern &a, const BlockPattern &b,
                  const MachineConfig &cfg)
 {
-    const auto tasks = generateTileTasks(
-        a, b, kTilesPerEdge, TaskOrdering::OuterProduct);
+    const TileTaskList tasks = generateTileTasks(
+        computePatternMeta(a), computePatternMeta(b), kTilesPerEdge,
+        TaskOrdering::OuterProduct);
     if (tasks.empty())
         return 0;
-    const auto cycles = scheduleSdpu(tasks, cfg.numDpgs,
-                                     cfg.macCount);
     int worst = 0;
-    for (const auto &cycle : cycles) {
-        int segments = 0;
-        for (const auto &t : cycle.executed)
-            segments += t.segments;
-        worst = std::max(worst, segments);
-    }
+    forEachSdpuCycle(
+        std::span<const TileTask>(tasks.data(), tasks.size()),
+        cfg.numDpgs, cfg.macCount, /*check_conflicts=*/true,
+        [&](const SdpuCycleView &cycle) {
+            int segments = 0;
+            for (const TileTask *t : cycle.executed)
+                segments += t->segments;
+            worst = std::max(worst, segments);
+        });
     return worst * cfg.bytesPerValue();
 }
 

@@ -94,38 +94,44 @@ T4Task::code() const
     return static_cast<std::uint8_t>((target << 4) | (pattern & 0xFu));
 }
 
-std::vector<T4Task>
-expandTileTask(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols,
-               FillOrder order)
+T4TaskList
+expandTileTaskInline(std::uint16_t a_tile, std::uint16_t b_tile,
+                     int n_cols, FillOrder order)
 {
     UNISTC_ASSERT(n_cols == 1 || n_cols == 4,
                   "tile N extent must be 1 or 4");
+
+    // Transposing B once turns every col4() lookup into a nibble
+    // extract; the 16 match words are shared between the rank pass
+    // and the fill pass.
+    const std::uint16_t b_t = transpose4x4(b_tile);
+    std::array<std::array<std::uint16_t, 4>, 4> match{};
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < n_cols; ++c) {
+            match[r][c] = static_cast<std::uint16_t>(
+                row4(a_tile, r) & row4(b_t, c));
+        }
+    }
 
     // Accumulation targets are ranks in the C tile's row-major
     // nonzero order (the storage order of the BBC value array).
     std::array<std::array<int, 4>, 4> rank{};
     int next_rank = 0;
     for (int r = 0; r < 4; ++r) {
-        for (int c = 0; c < n_cols; ++c) {
-            const std::uint16_t match = static_cast<std::uint16_t>(
-                row4(a_tile, r) & col4(b_tile, c));
-            rank[r][c] = match ? next_rank++ : -1;
-        }
+        for (int c = 0; c < n_cols; ++c)
+            rank[r][c] = match[r][c] ? next_rank++ : -1;
     }
     UNISTC_ASSERT(next_rank <= 16, "more than 16 segments in a tile");
 
-    std::vector<T4Task> tasks;
-    tasks.reserve(next_rank);
+    T4TaskList tasks;
     for (const auto &[r, c] : fillSequence(order)) {
         if (c >= n_cols)
             continue;
-        const std::uint16_t match = static_cast<std::uint16_t>(
-            row4(a_tile, r) & col4(b_tile, c));
-        if (!match)
+        if (!match[r][c])
             continue;
         T4Task t;
         t.target = static_cast<std::uint8_t>(rank[r][c]);
-        t.pattern = static_cast<std::uint8_t>(match);
+        t.pattern = static_cast<std::uint8_t>(match[r][c]);
         t.r = static_cast<std::int8_t>(r);
         t.c = static_cast<std::int8_t>(c);
         tasks.push_back(t);
@@ -133,33 +139,39 @@ expandTileTask(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols,
     return tasks;
 }
 
+std::vector<T4Task>
+expandTileTask(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols,
+               FillOrder order)
+{
+    const T4TaskList tasks =
+        expandTileTaskInline(a_tile, b_tile, n_cols, order);
+    return std::vector<T4Task>(tasks.begin(), tasks.end());
+}
+
 void
 activeOperands(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols,
                int &a_elems, int &b_elems)
 {
-    a_elems = 0;
-    b_elems = 0;
-    // Mask B down to the considered output columns.
-    std::uint16_t col_mask = 0;
-    for (int c = 0; c < n_cols; ++c) {
-        for (int k = 0; k < 4; ++k)
-            col_mask = setBit(col_mask, bit4x4(k, c));
-    }
+    // Mask B down to the considered output columns: bit c of every
+    // nibble for c < n_cols.
+    const std::uint16_t col_mask =
+        rep4(static_cast<std::uint16_t>((1u << n_cols) - 1u));
     const std::uint16_t b_masked =
         static_cast<std::uint16_t>(b_tile & col_mask);
 
-    for (int k = 0; k < 4; ++k) {
-        const bool b_row_live = row4(b_masked, k) != 0;
-        const bool a_col_live = col4(a_tile, k) != 0;
-        if (b_row_live)
-            a_elems += popcount16(col4(a_tile, k));
-        if (a_col_live)
-            b_elems += popcount16(row4(b_masked, k));
-    }
+    // Nibble k of a_t is A column k; nibble k of b_masked is B row k.
+    // An A element in column k is live iff B row k has any survivor
+    // (and vice versa), so each count is one AND against the other
+    // operand's live-nibble expansion plus a popcount.
+    const std::uint16_t a_t = transpose4x4(a_tile);
+    a_elems = popcount16(
+        static_cast<std::uint16_t>(a_t & liveNibbleMask4(b_masked)));
+    b_elems = popcount16(
+        static_cast<std::uint16_t>(b_masked & liveNibbleMask4(a_t)));
 }
 
 BroadcastRange
-broadcastRange(const std::vector<T4Task> &tasks)
+broadcastRange(std::span<const T4Task> tasks)
 {
     BroadcastRange out;
     // Last SDPU lane at which each operand was consumed; -1 = none.

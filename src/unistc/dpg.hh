@@ -13,7 +13,10 @@
 #define UNISTC_UNISTC_DPG_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
+
+#include "common/small_vector.hh"
 
 namespace unistc
 {
@@ -58,6 +61,14 @@ std::vector<T4Task> expandTileTask(std::uint16_t a_tile,
                                    FillOrder order
                                    = FillOrder::ZShaped);
 
+/** A T3 task expands to at most 16 T4 tasks (one per C tile slot). */
+using T4TaskList = SmallVector<T4Task, 16>;
+
+/** Allocation-free variant of expandTileTask (the hot path). */
+T4TaskList expandTileTaskInline(std::uint16_t a_tile,
+                                std::uint16_t b_tile, int n_cols,
+                                FillOrder order = FillOrder::ZShaped);
+
 /**
  * Count the distinct A and B tile elements participating in at least
  * one product of a T3 task — the operands actually fetched (bitmap
@@ -77,7 +88,7 @@ struct BroadcastRange
     int maxRangeA = 0;
     int maxRangeB = 0;
 };
-BroadcastRange broadcastRange(const std::vector<T4Task> &tasks);
+BroadcastRange broadcastRange(std::span<const T4Task> tasks);
 
 } // namespace unistc
 

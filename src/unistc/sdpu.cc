@@ -1,9 +1,5 @@
 #include "unistc/sdpu.hh"
 
-#include <bitset>
-
-#include "common/logging.hh"
-
 namespace unistc
 {
 
@@ -17,64 +13,20 @@ SdpuCycle::products() const
 }
 
 std::vector<SdpuCycle>
-scheduleSdpu(const std::vector<TileTask> &tasks, int num_dpgs,
+scheduleSdpu(std::span<const TileTask> tasks, int num_dpgs,
              int mac_count, bool check_conflicts)
 {
-    UNISTC_ASSERT(num_dpgs > 0 && mac_count > 0,
-                  "bad SDPU configuration");
-
     std::vector<SdpuCycle> cycles;
-    std::vector<TileTask> pending(tasks);
-
-    while (!pending.empty()) {
-        SdpuCycle cycle;
-        std::vector<TileTask> next;
-        next.reserve(pending.size());
-
-        int used_slots = 0;
-        int used_dpgs = 0;
-        std::bitset<16> c_tiles;
-        bool stop_scan = false;
-
-        for (std::size_t idx = 0; idx < pending.size(); ++idx) {
-            const TileTask &task = pending[idx];
-            if (stop_scan || used_dpgs == num_dpgs) {
-                next.push_back(task);
-                continue;
-            }
-            UNISTC_ASSERT(task.products > 0 &&
-                          task.products <= mac_count,
-                          "T3 task products out of range");
-            if (check_conflicts && c_tiles.test(task.cTileId())) {
-                // Write conflict: the task's DPG waits this cycle.
-                ++used_dpgs;
-                ++cycle.waitingDpgs;
-                cycle.hadConflict = true;
-                next.push_back(task);
-                continue;
-            }
-            if (used_slots + task.products > mac_count) {
-                // In-order concatenation: the SDPU fill stops here.
-                next.push_back(task);
-                stop_scan = true;
-                continue;
-            }
-            used_slots += task.products;
-            ++used_dpgs;
-            c_tiles.set(task.cTileId());
-            cycle.executed.push_back(task);
-        }
-
-        UNISTC_ASSERT(!cycle.executed.empty() || cycle.waitingDpgs > 0,
-                      "SDPU cycle made no progress");
-        // A cycle of pure conflict stalls cannot happen: the first
-        // pending task always finds its C tile free.
-        UNISTC_ASSERT(!cycle.executed.empty(),
-                      "SDPU deadlock: no task executed");
-
-        cycles.push_back(std::move(cycle));
-        pending = std::move(next);
-    }
+    forEachSdpuCycle(tasks, num_dpgs, mac_count, check_conflicts,
+                     [&](const SdpuCycleView &view) {
+                         SdpuCycle cycle;
+                         cycle.executed.reserve(view.executed.size());
+                         for (const TileTask *t : view.executed)
+                             cycle.executed.push_back(*t);
+                         cycle.waitingDpgs = view.waitingDpgs;
+                         cycle.hadConflict = view.hadConflict;
+                         cycles.push_back(std::move(cycle));
+                     });
     return cycles;
 }
 

@@ -5,33 +5,45 @@
 namespace unistc
 {
 
+namespace
+{
+
+/**
+ * Transposed B tile restricted to the first @p n_cols output columns:
+ * nibble c holds col4(b_tile, c) for c < n_cols, zero above.
+ */
+std::uint16_t
+bColumns(std::uint16_t b_tile, int n_cols)
+{
+    const std::uint32_t keep = (1u << (4 * n_cols)) - 1u;
+    return static_cast<std::uint16_t>(transpose4x4(b_tile) & keep);
+}
+
+} // namespace
+
 int
 tileProductCount(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols)
 {
+    // rep4 broadcasts an A row into every nibble lane, so one AND +
+    // popcount evaluates the row against all output columns at once.
+    const std::uint16_t b_cols = bColumns(b_tile, n_cols);
     int total = 0;
-    for (int r = 0; r < 4; ++r) {
-        const std::uint16_t a_row = row4(a_tile, r);
-        for (int c = 0; c < n_cols; ++c) {
-            const std::uint16_t b_col = col4(b_tile, c);
-            total += popcount16(
-                static_cast<std::uint16_t>(a_row & b_col));
-        }
-    }
+    for (int r = 0; r < 4; ++r)
+        total += popcount16(
+            static_cast<std::uint16_t>(rep4(row4(a_tile, r)) & b_cols));
     return total;
 }
 
 int
 tileSegmentCount(std::uint16_t a_tile, std::uint16_t b_tile, int n_cols)
 {
+    // A segment exists where a row/column pair intersects: count the
+    // nonzero nibble lanes of each row's intersection word.
+    const std::uint16_t b_cols = bColumns(b_tile, n_cols);
     int segs = 0;
-    for (int r = 0; r < 4; ++r) {
-        const std::uint16_t a_row = row4(a_tile, r);
-        for (int c = 0; c < n_cols; ++c) {
-            const std::uint16_t b_col = col4(b_tile, c);
-            if (a_row & b_col)
-                ++segs;
-        }
-    }
+    for (int r = 0; r < 4; ++r)
+        segs += popcount16(nonzeroNibbles4(
+            static_cast<std::uint16_t>(rep4(row4(a_tile, r)) & b_cols)));
     return segs;
 }
 

@@ -1,7 +1,6 @@
 #include "unistc/tms.hh"
 
 #include <algorithm>
-#include <set>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
@@ -15,11 +14,11 @@ namespace
 
 /** Build the task for (i, j, k) if it produces any work. */
 bool
-makeTask(const BlockPattern &a, const BlockPattern &b, int i, int j,
+makeTask(const PatternMeta &a, const PatternMeta &b, int i, int j,
          int k, int n_cols, TileTask &out)
 {
-    const std::uint16_t a_tile = a.tilePattern(i, k);
-    const std::uint16_t b_tile = b.tilePattern(k, j);
+    const std::uint16_t a_tile = a.tiles[i * kTilesPerEdge + k];
+    const std::uint16_t b_tile = b.tiles[k * kTilesPerEdge + j];
     if (!a_tile || !b_tile)
         return false;
     const int products = tileProductCount(a_tile, b_tile, n_cols);
@@ -33,6 +32,26 @@ makeTask(const BlockPattern &a, const BlockPattern &b, int i, int j,
     out.products = products;
     out.segments = tileSegmentCount(a_tile, b_tile, n_cols);
     return true;
+}
+
+/**
+ * Stable insertion sort into column-major (j, i) order; a layer holds
+ * at most 16 tasks, so this beats std::stable_sort's buffer churn.
+ */
+void
+sortLayerColMajor(TileTask *first, TileTask *last)
+{
+    for (TileTask *it = first + 1; it < last; ++it) {
+        TileTask v = *it;
+        TileTask *hole = it;
+        while (hole > first &&
+               (v.j < hole[-1].j ||
+                (v.j == hole[-1].j && v.i < hole[-1].i))) {
+            *hole = hole[-1];
+            --hole;
+        }
+        *hole = v;
+    }
 }
 
 } // namespace
@@ -51,14 +70,14 @@ toString(TaskOrdering ordering)
     return "?";
 }
 
-std::vector<TileTask>
-generateTileTasks(const BlockPattern &a, const BlockPattern &b,
+TileTaskList
+generateTileTasks(const PatternMeta &a_meta, const PatternMeta &b_meta,
                   int n_tile_cols, TaskOrdering ordering, bool adaptive)
 {
     UNISTC_ASSERT(n_tile_cols == 1 || n_tile_cols == kTilesPerEdge,
                   "tile columns must be 1 (MV) or 4 (MM)");
     const int n_cols = n_tile_cols == 1 ? 1 : 4;
-    std::vector<TileTask> tasks;
+    TileTaskList tasks;
 
     switch (ordering) {
       case TaskOrdering::OuterProduct:
@@ -66,14 +85,14 @@ generateTileTasks(const BlockPattern &a, const BlockPattern &b,
         for (int k = 0; k < kTilesPerEdge; ++k) {
             // Collect the layer first so the adaptive intra-layer
             // order can inspect its shape.
-            std::vector<TileTask> layer;
+            const std::size_t layer_begin = tasks.size();
             std::uint16_t live_rows = 0;
             std::uint16_t live_cols = 0;
             for (int i = 0; i < kTilesPerEdge; ++i) {
                 for (int j = 0; j < n_tile_cols; ++j) {
                     TileTask t;
-                    if (makeTask(a, b, i, j, k, n_cols, t)) {
-                        layer.push_back(t);
+                    if (makeTask(a_meta, b_meta, i, j, k, n_cols, t)) {
+                        tasks.push_back(t);
                         live_rows = setBit(live_rows, i);
                         live_cols = setBit(live_cols, j);
                     }
@@ -84,15 +103,9 @@ generateTileTasks(const BlockPattern &a, const BlockPattern &b,
             const bool col_major = adaptive &&
                 popcount16(live_rows) > popcount16(live_cols);
             if (col_major) {
-                std::stable_sort(layer.begin(), layer.end(),
-                                 [](const TileTask &x,
-                                    const TileTask &y) {
-                                     if (x.j != y.j)
-                                         return x.j < y.j;
-                                     return x.i < y.i;
-                                 });
+                sortLayerColMajor(tasks.data() + layer_begin,
+                                  tasks.data() + tasks.size());
             }
-            tasks.insert(tasks.end(), layer.begin(), layer.end());
         }
         break;
 
@@ -101,7 +114,7 @@ generateTileTasks(const BlockPattern &a, const BlockPattern &b,
             for (int j = 0; j < n_tile_cols; ++j) {
                 for (int k = 0; k < kTilesPerEdge; ++k) {
                     TileTask t;
-                    if (makeTask(a, b, i, j, k, n_cols, t))
+                    if (makeTask(a_meta, b_meta, i, j, k, n_cols, t))
                         tasks.push_back(t);
                 }
             }
@@ -113,7 +126,7 @@ generateTileTasks(const BlockPattern &a, const BlockPattern &b,
             for (int k = 0; k < kTilesPerEdge; ++k) {
                 for (int j = 0; j < n_tile_cols; ++j) {
                     TileTask t;
-                    if (makeTask(a, b, i, j, k, n_cols, t))
+                    if (makeTask(a_meta, b_meta, i, j, k, n_cols, t))
                         tasks.push_back(t);
                 }
             }
@@ -123,59 +136,76 @@ generateTileTasks(const BlockPattern &a, const BlockPattern &b,
     return tasks;
 }
 
+std::vector<TileTask>
+generateTileTasks(const BlockPattern &a, const BlockPattern &b,
+                  int n_tile_cols, TaskOrdering ordering, bool adaptive)
+{
+    const TileTaskList tasks =
+        generateTileTasks(computePatternMeta(a), computePatternMeta(b),
+                          n_tile_cols, ordering, adaptive);
+    return std::vector<TileTask>(tasks.begin(), tasks.end());
+}
+
 OrderingStats
 analyzeOrdering(const BlockPattern &a, const BlockPattern &b,
                 int n_tile_cols, TaskOrdering ordering, int num_dpgs,
                 int mac_count)
 {
     OrderingStats stats;
-    const auto tasks = generateTileTasks(a, b, n_tile_cols, ordering,
-                                         /*adaptive=*/true);
+    const TileTaskList tasks =
+        generateTileTasks(computePatternMeta(a), computePatternMeta(b),
+                          n_tile_cols, ordering, /*adaptive=*/true);
     if (tasks.empty())
         return stats;
-    const auto cycles = scheduleSdpu(tasks, num_dpgs, mac_count);
 
     // Theoretical fetches: one tile fetch per task per operand.
     // Actual fetches: distinct tiles per cycle (same-cycle sharing is
     // the reuse the TMS ordering creates).
-    std::uint64_t theoretical = tasks.size();
+    const std::uint64_t theoretical = tasks.size();
     std::uint64_t actual_a = 0;
     std::uint64_t actual_b = 0;
     std::uint64_t parallel_sum = 0;
     std::uint64_t aligned_sum = 0;
     std::uint64_t conflict_cycles = 0;
+    std::uint64_t num_cycles = 0;
 
-    for (const auto &cycle : cycles) {
-        std::set<int> a_tiles;
-        std::set<int> b_tiles;
-        int k_count[kTilesPerEdge] = {0, 0, 0, 0};
-        for (const auto &t : cycle.executed) {
-            a_tiles.insert(t.i * kTilesPerEdge + t.k);
-            b_tiles.insert(t.k * kTilesPerEdge + t.j);
-            ++k_count[t.k];
-        }
-        actual_a += a_tiles.size();
-        actual_b += b_tiles.size();
-        parallel_sum += cycle.executed.size();
-        int aligned = 0;
-        for (int c : k_count)
-            aligned = std::max(aligned, c);
-        aligned_sum += aligned;
-        if (cycle.hadConflict)
-            ++conflict_cycles;
-    }
+    forEachSdpuCycle(
+        std::span<const TileTask>(tasks.data(), tasks.size()),
+        num_dpgs, mac_count, /*check_conflicts=*/true,
+        [&](const SdpuCycleView &cycle) {
+            // Tile identities fit a 16-bit mask (i*4+k, k*4+j in
+            // 0..15), so distinct-tile counting is two popcounts.
+            std::uint16_t a_tiles = 0;
+            std::uint16_t b_tiles = 0;
+            int k_count[kTilesPerEdge] = {0, 0, 0, 0};
+            for (const TileTask *t : cycle.executed) {
+                a_tiles = setBit(a_tiles, t->i * kTilesPerEdge + t->k);
+                b_tiles = setBit(b_tiles, t->k * kTilesPerEdge + t->j);
+                ++k_count[t->k];
+            }
+            actual_a += static_cast<std::uint64_t>(popcount16(a_tiles));
+            actual_b += static_cast<std::uint64_t>(popcount16(b_tiles));
+            parallel_sum += cycle.executed.size();
+            int aligned = 0;
+            for (int c : k_count)
+                aligned = std::max(aligned, c);
+            aligned_sum += static_cast<std::uint64_t>(aligned);
+            if (cycle.hadConflict)
+                ++conflict_cycles;
+            ++num_cycles;
+        });
 
-    stats.cycles = cycles.size();
+    stats.cycles = num_cycles;
     stats.reuseRateA = 1.0 - static_cast<double>(actual_a) /
         static_cast<double>(theoretical);
     stats.reuseRateB = 1.0 - static_cast<double>(actual_b) /
         static_cast<double>(theoretical);
     stats.avgParallelTasks = static_cast<double>(parallel_sum) /
-        static_cast<double>(cycles.size());
+        static_cast<double>(num_cycles);
     stats.avgAlignedTasks = static_cast<double>(aligned_sum) /
-        static_cast<double>(cycles.size());
+        static_cast<double>(num_cycles);
     stats.writeConflictRate = static_cast<double>(conflict_cycles) /
-        static_cast<double>(cycles.size());
+        static_cast<double>(num_cycles);
     return stats;
 }
 

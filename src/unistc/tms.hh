@@ -15,10 +15,19 @@
 #include <vector>
 
 #include "bbc/block_pattern.hh"
+#include "bbc/pattern_meta.hh"
+#include "common/small_vector.hh"
 #include "unistc/tile_task.hh"
 
 namespace unistc
 {
+
+/** A 16x16x16 T1 task expands to at most 4x4x4 = 64 T3 tasks. */
+constexpr int kMaxTileTasks =
+    kTilesPerEdge * kTilesPerEdge * kTilesPerEdge;
+
+/** Allocation-free T3 task list (64 tasks fit inline). */
+using TileTaskList = SmallVector<TileTask, kMaxTileTasks>;
 
 /** Batched T3 task ordering strategies (Fig. 10). */
 enum class TaskOrdering
@@ -46,6 +55,16 @@ std::vector<TileTask> generateTileTasks(const BlockPattern &a,
                                         int n_tile_cols,
                                         TaskOrdering ordering,
                                         bool adaptive = true);
+
+/**
+ * Allocation-free variant over precomputed pattern summaries — the
+ * simulation hot path. Emits exactly the same tasks in the same order
+ * as the BlockPattern overload.
+ */
+TileTaskList generateTileTasks(const PatternMeta &a_meta,
+                               const PatternMeta &b_meta,
+                               int n_tile_cols, TaskOrdering ordering,
+                               bool adaptive = true);
 
 /** Scheduling-policy metrics reported by the Fig. 10 study. */
 struct OrderingStats

@@ -1,13 +1,14 @@
 #include "unistc/uni_stc.hh"
 
 #include <algorithm>
-#include <set>
 #include <string>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
 #include "unistc/dpg.hh"
 #include "unistc/sdpu.hh"
+#include "unistc/tms.hh"
 
 namespace unistc
 {
@@ -39,9 +40,10 @@ UniStc::runBlock(const BlockTask &task, RunResult &res,
     const int n_cols = task.isMv ? 1 : 4;
     const std::uint64_t t0 = res.cycles;
 
-    // Stage 1: TMS generates the ordered T3 task stream.
-    const auto tasks = generateTileTasks(task.a, task.b, n_tile_cols,
-                                         ordering_, adaptive_);
+    // Stage 1: TMS generates the ordered T3 task stream (from the
+    // task's memoized pattern summaries, shared across a lineup).
+    const TileTaskList tasks = generateTileTasks(
+        task.aInfo(), task.bInfo(), n_tile_cols, ordering_, adaptive_);
     if (tasks.empty())
         return;
     res.tasksT3 += tasks.size();
@@ -50,14 +52,14 @@ UniStc::runBlock(const BlockTask &task, RunResult &res,
     // pipeline overlaps task generation with execution (task
     // generation is asynchronous, §IV-G), so steady-state cycles are
     // the SDPU cycles.
-    const auto cycles = scheduleSdpu(tasks, cfg_.numDpgs, mac,
-                                     /*check_conflicts=*/!task.isMv);
-
     std::uint64_t block_products = 0;
     std::uint64_t block_active_dpgs = 0;
-    std::uint64_t offset = 0;
-    for (const auto &cycle : cycles) {
-        const int eff = cycle.products();
+    std::uint64_t n_cycles = 0;
+    forEachSdpuCycle(
+        std::span<const TileTask>(tasks.data(), tasks.size()),
+        cfg_.numDpgs, mac, /*check_conflicts=*/!task.isMv,
+        [&](const SdpuCycleView &cycle) {
+        const int eff = cycle.totalProducts;
         res.recordCycle(mac, eff, cycle.activeDpgs(),
                         static_cast<int>(cycle.executed.size()));
         block_products += static_cast<std::uint64_t>(eff);
@@ -66,36 +68,39 @@ UniStc::runBlock(const BlockTask &task, RunResult &res,
         if (cycle.hadConflict) {
             ++res.stallCycles;
             UNISTC_TRACE_INSTANT(trace, TraceTrack::Sdpu,
-                                 "C write-back stall", t0 + offset);
+                                 "C write-back stall", t0 + n_cycles);
         }
 
         // Operand traffic: a tile shared by several tasks in one
         // cycle is fetched once (the reuse the outer-product order
         // creates); bitmap gating means no dead element is touched.
-        std::set<int> a_tiles_seen;
-        std::set<int> b_tiles_seen;
-        for (const auto &t : cycle.executed) {
+        // Tile identities are i*4+k / k*4+j in 0..15, so the
+        // seen-sets are 16-bit masks.
+        std::uint16_t a_tiles_seen = 0;
+        std::uint16_t b_tiles_seen = 0;
+        for (const TileTask *t : cycle.executed) {
             int a_elems = 0;
             int b_elems = 0;
-            activeOperands(t.aTile, t.bTile, n_cols, a_elems,
+            activeOperands(t->aTile, t->bTile, n_cols, a_elems,
                            b_elems);
-            if (a_tiles_seen.insert(t.i * kTilesPerEdge + t.k)
-                    .second) {
+            const int a_id = t->i * kTilesPerEdge + t->k;
+            if (!testBit(a_tiles_seen, a_id)) {
+                a_tiles_seen = setBit(a_tiles_seen, a_id);
                 res.traffic.readsA += a_elems;
             }
-            if (b_tiles_seen.insert(t.k * kTilesPerEdge + t.j)
-                    .second) {
+            const int b_id = t->k * kTilesPerEdge + t->j;
+            if (!testBit(b_tiles_seen, b_id)) {
+                b_tiles_seen = setBit(b_tiles_seen, b_id);
                 res.traffic.readsB += b_elems;
             }
             // The SDPU pre-merges each T4 segment's products into a
             // single partial sum before write-back (§IV-B).
-            res.traffic.writesC += t.segments;
+            res.traffic.writesC += t->segments;
         }
-        ++offset;
-    }
+        ++n_cycles;
+    });
 
     if (UNISTC_TRACE_ACTIVE(trace)) {
-        const std::uint64_t n_cycles = cycles.size();
         // The TMS feeds one T3 task per cycle into the Tile queue and
         // the whole stream overlaps the SDPU cycles (asynchronous
         // generation, §IV-G).
