@@ -15,6 +15,11 @@
  *              already recorded there, so an interrupted bench picks
  *              up where it stopped (also UNISTC_BENCH_RESUME; see
  *              docs/ROBUSTNESS.md)
+ *   --shards K fan the sweep across K crash-isolated child
+ *              processes under a ShardSupervisor (hard SIGKILL
+ *              timeouts, retry with backoff, quarantine), then merge
+ *              to byte-identical output; --shard i runs one worker
+ *              by hand (docs/SHARDING.md)
  *
  * How --jobs works (docs/PARALLELISM.md): the bench body runs twice.
  * The *plan* pass runs with stdout silenced and the log level raised;
@@ -31,14 +36,33 @@
  * runKernel() calls must not depend on simulation results (values
  * may — comparisons and roll-ups only affect printing). A diverging
  * bench fails fast with a clear fatal() in the replay pass.
+ *
+ * How --shards works (docs/SHARDING.md): the same two-pass idea
+ * lifted across process boundaries. Each runKernel()/
+ * runKernelLineup() call is a *unit*, numbered identically in every
+ * process because the bench body is deterministic. A *worker*
+ * (--shard i) runs the body silenced, executes only units it owns
+ * (unit % K == i), and appends each finished unit to a durable
+ * per-shard manifest; non-owned units return the plan-pass sentinel.
+ * The supervisor (--shards K with no --shard) fork/execs the K
+ * workers under hard kill budgets, then runs the body once more as a
+ * *serve* pass that splices every unit's results back in from the
+ * merged manifests — so stdout, JSON and warehouse rows are
+ * byte-identical to the single-process run. Units a quarantined
+ * shard never finished serve zeroed results (and are NOT added to
+ * the --resume checkpoint, so a rerun heals them). The one knowing
+ * divergence: engine wall-time splits (tab07's record_timing) are
+ * not reproducible across processes and are recorded untimed.
  */
 
 #ifndef UNISTC_BENCH_BENCH_COMMON_HH
 #define UNISTC_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -51,6 +75,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define UNISTC_BENCH_POSIX 1
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #else
 #define UNISTC_BENCH_POSIX 0
@@ -62,7 +87,10 @@
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "engine/kernel_pipeline.hh"
+#include "exec/shard_plan.hh"
+#include "exec/shard_supervisor.hh"
 #include "exec/sweep_executor.hh"
+#include "robust/fault_inject.hh"
 #include "runner/block_driver.hh"
 #include "obs/bench_json.hh"
 #include "obs/json_writer.hh"
@@ -247,6 +275,20 @@ class CheckpointSession
     {
         log_ = std::make_unique<CheckpointLog>(
             CheckpointLog::load(path).value());
+        if (log_->truncated()) {
+            // A killed writer tore the tail. Rewrite the valid
+            // prefix atomically BEFORE reopening for append, or
+            // every record we add lands behind the corrupt line
+            // where no future --resume can reach it.
+            if (Status s = rewriteCheckpointAtomic(path,
+                                                   log_->entries());
+                !s.ok()) {
+                raise(s);
+            }
+            UNISTC_INFORM("repaired torn checkpoint '", path,
+                          "': kept ", log_->size(),
+                          " valid entr(ies)");
+        }
         if (Status s = writer_.open(path); !s.ok())
             raise(s);
         if (!log_->empty()) {
@@ -254,6 +296,22 @@ class CheckpointSession
                           log_->size(), " completed job(s) on file");
         }
         enabled_ = true;
+    }
+
+    /**
+     * Shard-worker variant: serve lookups from @p path but never
+     * append — only the supervisor's serve pass extends the user's
+     * checkpoint, so K workers cannot interleave writes into it.
+     * No repair either (the supervisor already did it before any
+     * worker was spawned).
+     */
+    void
+    configureReadOnly(const std::string &path)
+    {
+        log_ = std::make_unique<CheckpointLog>(
+            CheckpointLog::load(path).value());
+        enabled_ = true;
+        readOnly_ = true;
     }
 
     bool enabled() const { return enabled_; }
@@ -281,7 +339,7 @@ class CheckpointSession
     append(Kernel kernel, const std::string &model,
            const std::string &matrix, const RunResult &result)
     {
-        if (!enabled_)
+        if (!enabled_ || readOnly_)
             return;
         std::lock_guard<std::mutex> lock(mu_);
         CheckpointEntry e;
@@ -311,6 +369,7 @@ class CheckpointSession
     CheckpointSession() = default;
 
     bool enabled_ = false;
+    bool readOnly_ = false;
     std::mutex mu_;
     std::unique_ptr<CheckpointLog> log_;
     CheckpointWriter writer_;
@@ -556,6 +615,212 @@ class SweepSession
     std::size_t cursor_ = 0;
 };
 
+/**
+ * The per-binary --shards state machine (docs/SHARDING.md). Off by
+ * default; the generated main() puts the process in Worker mode
+ * (--shard i: execute owned units, record them to a durable
+ * manifest) or Serve mode (the supervisor's final pass: splice every
+ * unit's results back in from the merged manifests). Both modes
+ * number runKernel()/runKernelLineup() calls with the same unit
+ * counter, so ownership and lookup agree across processes.
+ */
+class ShardSession
+{
+  public:
+    enum class Mode
+    {
+        Off,    ///< Not sharded: runKernel() behaves as ever.
+        Worker, ///< Child: execute owned units into the manifest.
+        Serve,  ///< Supervisor: serve merged manifest results.
+    };
+
+    static ShardSession &
+    instance()
+    {
+        static ShardSession session;
+        return session;
+    }
+
+    Mode mode() const { return mode_; }
+    int shards() const { return plan_.shards; }
+
+    /**
+     * Enter Worker mode for shard @p shard of @p shards, recording
+     * to @p manifestPath. A manifest left by a killed earlier
+     * attempt is repaired and resumed — its units are skipped, not
+     * re-simulated. Injected process faults (UNISTC_SHARD_FAULT) are
+     * armed here.
+     */
+    void
+    startWorker(int shard, int shards, const std::string &manifestPath)
+    {
+        if (Status st = validateShardArgs(shards, shard); !st.ok())
+            raise(st);
+        plan_.shards = shards;
+        shard_ = shard;
+        manifestPath_ = manifestPath;
+        ShardManifest resumed;
+        if (Status st = writer_.open(manifestPath, shard, shards,
+                                     &resumed);
+            !st.ok()) {
+            raise(st);
+        }
+        resumed_ = std::move(resumed);
+        if (!resumed_.empty()) {
+            UNISTC_INFORM("shard ", shard, "/", shards,
+                          " resuming: ", resumed_.size(),
+                          " unit(s) already on '", manifestPath, "'");
+        }
+        attempt_ = shardAttemptFromEnv();
+        if (const char *env = std::getenv(kShardFaultEnv)) {
+            Result<std::vector<ProcFaultSpec>> specs =
+                parseProcFaultSpecs(env);
+            if (!specs.ok())
+                raise(specs.status());
+            faults_ = std::move(specs).value();
+        }
+        mode_ = Mode::Worker;
+        shardHeartbeat();
+    }
+
+    /** Enter Serve mode over the merged manifests of all shards. */
+    void
+    startServe(int shards, ShardMergeView view,
+               std::vector<bool> quarantined)
+    {
+        plan_.shards = shards;
+        view_ = std::move(view);
+        quarantined_ = std::move(quarantined);
+        unit_ = 0;
+        mode_ = Mode::Serve;
+    }
+
+    /** Number this runKernel()/runKernelLineup() call. */
+    std::uint64_t beginUnit() { return unit_++; }
+
+    bool owns(std::uint64_t unit) const
+    {
+        return plan_.owns(unit, shard_);
+    }
+
+    /**
+     * Worker: true when a previous (killed) attempt already durably
+     * recorded @p unit; counts it as done and beats the heart.
+     */
+    bool
+    alreadyRecorded(std::uint64_t unit)
+    {
+        if (resumed_.find(unit) == nullptr)
+            return false;
+        ++ownedDone_;
+        shardHeartbeat();
+        return true;
+    }
+
+    /**
+     * Worker: fire any injected process fault that is due before
+     * this unit executes. abort/exit/hang die right here;
+     * partial-output-then-crash arms itself and fires inside
+     * completeUnit() mid-append instead.
+     */
+    void
+    checkInjectedFault()
+    {
+        const ProcFaultSpec *f =
+            matchProcFault(faults_, shard_, attempt_);
+        if (f == nullptr || ownedDone_ < f->afterUnits)
+            return;
+        if (f->kind == FaultKind::ProcPartialCrash) {
+            armedPartial_ = f;
+            return;
+        }
+        executeProcFault(*f);
+    }
+
+    /** Worker: durably record one finished owned unit + heartbeat. */
+    void
+    completeUnit(const ShardUnitRecord &rec)
+    {
+        if (armedPartial_ != nullptr) {
+            executeProcFault(*armedPartial_, manifestPath_,
+                             encodeShardUnit(rec));
+        }
+        if (Status st = writer_.append(rec); !st.ok())
+            raise(st);
+        ++ownedDone_;
+        shardHeartbeat();
+    }
+
+    /** Serve: the merged record for @p unit, null when missing. */
+    const ShardUnitRecord *
+    find(std::uint64_t unit) const
+    {
+        return view_.find(unit);
+    }
+
+    /** Serve: true when @p unit's owning shard was quarantined. */
+    bool
+    unitQuarantined(std::uint64_t unit) const
+    {
+        const int owner = plan_.shardOf(unit);
+        return owner < static_cast<int>(quarantined_.size()) &&
+               quarantined_[owner];
+    }
+
+    /**
+     * What a worker returns for units it does not execute: the same
+     * degenerate nonzero sentinel as the --jobs plan pass, for the
+     * same reason (benches guard on cycles == 0, and worker output
+     * goes to /dev/null anyway).
+     */
+    static RunResult
+    sentinel()
+    {
+        RunResult s;
+        s.cycles = 1;
+        s.products = 1;
+        s.macSlots = 1;
+        s.tasksT1 = 1;
+        s.tasksT3 = 1;
+        return s;
+    }
+
+  private:
+    ShardSession() = default;
+
+    Mode mode_ = Mode::Off;
+    ShardPlan plan_;
+    int shard_ = -1;
+    int attempt_ = 0;
+    std::uint64_t unit_ = 0;
+    std::uint64_t ownedDone_ = 0;
+    std::string manifestPath_;
+    ShardManifestWriter writer_;
+    ShardManifest resumed_;
+    ShardMergeView view_;
+    std::vector<bool> quarantined_;
+    std::vector<ProcFaultSpec> faults_;
+    const ProcFaultSpec *armedPartial_ = nullptr;
+};
+
+/** Inline (in-process, serial) execution of one kernel. */
+inline RunResult
+executeKernel(Kernel kernel, const StcModel &model, const Prepared &p,
+              const EnergyModel &energy)
+{
+    switch (kernel) {
+      case Kernel::SpMV:
+        return runSpmv(model, p.bbc, energy);
+      case Kernel::SpMSpV:
+        return runSpmspv(model, p.bbc, p.x50, energy);
+      case Kernel::SpMM:
+        return runSpmm(model, p.bbc, 64, energy);
+      case Kernel::SpGEMM:
+        return runSpgemm(model, p.bbc, p.bbc, energy);
+    }
+    UNISTC_PANIC("executeKernel: unknown kernel");
+}
+
 /** Run one of the four kernels on a prepared matrix. */
 inline RunResult
 runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
@@ -563,11 +828,69 @@ runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
 {
     auto &session = SweepSession::instance();
     auto &ckpt = CheckpointSession::instance();
+    auto &shard = ShardSession::instance();
     // --resume: a checkpointed job is served from the file in every
-    // mode and never submitted/simulated. Plan and replay both ask,
-    // in the same order, so the sweep cursor stays aligned.
-    if (const CheckpointEntry *hit =
-            ckpt.lookup(kernel, model.name(), p.name)) {
+    // mode and never submitted/simulated. Every mode (plan/replay,
+    // worker/serve) asks in the same order, so the occurrence
+    // cursors stay aligned across passes AND processes.
+    const CheckpointEntry *hit =
+        ckpt.lookup(kernel, model.name(), p.name);
+
+    if (shard.mode() == ShardSession::Mode::Worker) {
+        const std::uint64_t unit = shard.beginUnit();
+        if (hit != nullptr)
+            return hit->result; // complete via the user checkpoint
+        if (!shard.owns(unit) || shard.alreadyRecorded(unit))
+            return ShardSession::sentinel();
+        shard.checkInjectedFault();
+        const RunResult res = executeKernel(kernel, model, p, energy);
+        ShardUnitRecord rec;
+        rec.unit = unit;
+        rec.entries.push_back(
+            {toString(kernel), model.name(), p.name, res});
+        shard.completeUnit(rec);
+        return res;
+    }
+    if (shard.mode() == ShardSession::Mode::Serve) {
+        const std::uint64_t unit = shard.beginUnit();
+        RunResult res;
+        bool quarantined = false;
+        if (hit != nullptr) {
+            res = hit->result;
+        } else if (const ShardUnitRecord *rec = shard.find(unit)) {
+            if (rec->entries.size() != 1 ||
+                rec->entries[0].kernel != toString(kernel) ||
+                rec->entries[0].model != model.name() ||
+                rec->entries[0].matrix != p.name) {
+                UNISTC_FATAL(
+                    "--shards merge diverged at unit ", unit,
+                    ": the manifest holds a different job than the "
+                    "requested ", toString(kernel), " ", model.name(),
+                    " @ ", p.name, ". The bench body must be "
+                    "deterministic across processes.");
+            }
+            res = rec->entries[0].result;
+        } else if (shard.unitQuarantined(unit)) {
+            // The owning shard died on every attempt before this
+            // unit: report zeros (the SweepExecutor quarantine
+            // convention) but do NOT checkpoint them, so a rerun
+            // with the same --resume file heals the hole.
+            quarantined = true;
+        } else {
+            UNISTC_FATAL(
+                "--shards merge is missing unit ", unit, " (",
+                toString(kernel), " ", model.name(), " @ ", p.name,
+                ") though its shard completed. The bench body must "
+                "be deterministic across processes.");
+        }
+        if (hit == nullptr && !quarantined)
+            ckpt.append(kernel, model.name(), p.name, res);
+        ResultLog::instance().record(kernel, model.name(), p.name,
+                                     res);
+        return res;
+    }
+
+    if (hit != nullptr) {
         if (session.mode() == SweepSession::Mode::Plan)
             return hit->result;
         ResultLog::instance().record(kernel, model.name(), p.name,
@@ -578,24 +901,10 @@ runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
         return session.plan(kernel, model, p, energy);
 
     RunResult res;
-    if (session.mode() == SweepSession::Mode::Replay) {
+    if (session.mode() == SweepSession::Mode::Replay)
         res = session.replay(kernel, model, p);
-    } else {
-        switch (kernel) {
-          case Kernel::SpMV:
-            res = runSpmv(model, p.bbc, energy);
-            break;
-          case Kernel::SpMSpV:
-            res = runSpmspv(model, p.bbc, p.x50, energy);
-            break;
-          case Kernel::SpMM:
-            res = runSpmm(model, p.bbc, 64, energy);
-            break;
-          case Kernel::SpGEMM:
-            res = runSpgemm(model, p.bbc, p.bbc, energy);
-            break;
-        }
-    }
+    else
+        res = executeKernel(kernel, model, p, energy);
     // Newly computed (not resumed) results extend the checkpoint;
     // this runs in the serial replay / Off paths only, so entries
     // land in deterministic bench order.
@@ -630,6 +939,7 @@ runKernelLineup(Kernel kernel,
 {
     auto &session = SweepSession::instance();
     auto &ckpt = CheckpointSession::instance();
+    auto &shard = ShardSession::instance();
     const std::size_t n = models.size();
     UNISTC_ASSERT(n > 0, "runKernelLineup needs at least one model");
 
@@ -650,6 +960,109 @@ runKernelLineup(Kernel kernel,
             missing.push_back(models[m]);
             missing_idx.push_back(m);
         }
+    }
+
+    if (shard.mode() == ShardSession::Mode::Worker) {
+        const std::uint64_t unit = shard.beginUnit();
+        if (counters_out != nullptr)
+            *counters_out = PipelineCounters{};
+        if (missing.empty())
+            return results; // complete via the user checkpoint
+        if (!shard.owns(unit) || shard.alreadyRecorded(unit)) {
+            for (const std::size_t idx : missing_idx)
+                results[idx] = ShardSession::sentinel();
+            return results;
+        }
+        shard.checkInjectedFault();
+        PlanInputs in;
+        in.a = &p.bbc;
+        in.b = &p.bbc; // SpGEMM: C = A * A, like runKernel().
+        in.x = &p.x50;
+        in.bCols = 64;
+        const KernelPlanPtr plan = makeKernelPlan(kernel, in);
+        std::vector<KernelPipeline::ModelSlot> slots;
+        slots.reserve(missing.size());
+        for (const StcModel *m : missing)
+            slots.push_back({m, nullptr});
+        PipelineCounters counters;
+        const std::vector<RunResult> ran =
+            KernelPipeline::run(*plan, slots, energy, &counters);
+        ShardUnitRecord rec;
+        rec.unit = unit;
+        for (std::size_t k = 0; k < missing_idx.size(); ++k) {
+            results[missing_idx[k]] = ran[k];
+            rec.entries.push_back({toString(kernel),
+                                   missing[k]->name(), p.name,
+                                   ran[k]});
+        }
+        rec.hasEngine = true;
+        rec.engTasksGenerated = counters.tasksGenerated;
+        rec.engModelsFanout = counters.modelsFanout;
+        rec.engPeakLiveTasks = counters.peakLiveTasks;
+        shard.completeUnit(rec);
+        if (counters_out != nullptr)
+            *counters_out = counters;
+        return results;
+    }
+    if (shard.mode() == ShardSession::Mode::Serve) {
+        const std::uint64_t unit = shard.beginUnit();
+        PipelineCounters counters;
+        bool quarantined = false;
+        if (!missing.empty()) {
+            if (const ShardUnitRecord *rec = shard.find(unit)) {
+                if (rec->entries.size() != missing.size())
+                    UNISTC_FATAL("--shards merge diverged at unit ",
+                                 unit, ": manifest has ",
+                                 rec->entries.size(),
+                                 " model result(s), the serve pass ",
+                                 "needs ", missing.size());
+                for (std::size_t k = 0; k < missing_idx.size(); ++k) {
+                    const CheckpointEntry &e = rec->entries[k];
+                    if (e.kernel != toString(kernel) ||
+                        e.model != missing[k]->name() ||
+                        e.matrix != p.name) {
+                        UNISTC_FATAL(
+                            "--shards merge diverged at unit ", unit,
+                            " slot ", k, ": the manifest holds a "
+                            "different job than the requested ",
+                            toString(kernel), " ",
+                            missing[k]->name(), " @ ", p.name,
+                            ". The bench body must be deterministic "
+                            "across processes.");
+                    }
+                    results[missing_idx[k]] = e.result;
+                }
+                // Timing is deliberately absent from the manifest
+                // (wall clock is not reproducible across processes),
+                // so the engine row is recorded untimed — like a
+                // checkpoint-resumed run.
+                counters.tasksGenerated = rec->engTasksGenerated;
+                counters.modelsFanout = rec->engModelsFanout;
+                counters.peakLiveTasks = rec->engPeakLiveTasks;
+            } else if (shard.unitQuarantined(unit)) {
+                quarantined = true; // zeroed results, no checkpoint
+            } else {
+                UNISTC_FATAL(
+                    "--shards merge is missing unit ", unit, " (",
+                    toString(kernel), " lineup @ ", p.name,
+                    ") though its shard completed. The bench body "
+                    "must be deterministic across processes.");
+            }
+            ResultLog::instance().recordEngine(kernel, p.name,
+                                               counters,
+                                               /*timed=*/false);
+        }
+        if (counters_out != nullptr)
+            *counters_out = counters;
+        for (std::size_t m = 0; m < n; ++m) {
+            if (!from_ckpt[m] && !quarantined) {
+                ckpt.append(kernel, models[m]->name(), p.name,
+                            results[m]);
+            }
+            ResultLog::instance().record(kernel, models[m]->name(),
+                                         p.name, results[m]);
+        }
+        return results;
     }
 
     if (session.mode() == SweepSession::Mode::Plan) {
@@ -850,6 +1263,241 @@ logCacheSummary()
                   " B read, ", c.bytesWritten, " B written");
 }
 
+/**
+ * Parsed --shards family of flags (docs/SHARDING.md). shard >= 0
+ * marks a worker child spawned by a supervisor (or by hand); shards
+ * > 1 with shard < 0 makes this process the supervisor.
+ */
+struct ShardCli
+{
+    int shards = 1;
+    int shard = -1;           ///< --shard i: run as worker child i.
+    std::string shardOut;     ///< Worker manifest path.
+    std::string shardDir;     ///< Supervisor manifest directory.
+    double maxSeconds = 0.0;  ///< Wall-clock SIGKILL budget (0: off).
+    double heartbeatSeconds = 0.0; ///< Silence SIGKILL budget (0: off).
+    int retries = 1;          ///< Retries after the first attempt.
+    double backoffSeconds = 0.25;  ///< First retry delay (doubles).
+    bool strict = false;      ///< Fail the run instead of quarantine.
+};
+
+/** Parse the --shards family; fatal on malformed values. */
+inline ShardCli
+parseShardCli(int argc, char **argv)
+{
+    ShardCli cli;
+    const auto parseInt = [](const char *flag,
+                             const std::string &text) -> int {
+        char *end = nullptr;
+        const long v =
+            text.empty() ? -1 : std::strtol(text.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v < 0) {
+            UNISTC_FATAL(flag, " needs a non-negative integer, got '",
+                         text, "'");
+        }
+        return static_cast<int>(v);
+    };
+    const auto parseSec = [](const char *flag,
+                             const std::string &text) -> double {
+        char *end = nullptr;
+        const double v =
+            text.empty() ? -1.0 : std::strtod(text.c_str(), &end);
+        if (end == nullptr || *end != '\0' || v < 0.0) {
+            UNISTC_FATAL(flag, " needs a non-negative number of ",
+                         "seconds, got '", text, "'");
+        }
+        return v;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a(argv[i]);
+        std::string v;
+        const auto value = [&](const char *flag) -> bool {
+            const std::string f(flag);
+            if (a == f) {
+                if (i + 1 >= argc)
+                    UNISTC_FATAL(flag, " needs a value");
+                v = argv[++i];
+                return true;
+            }
+            if (a.rfind(f + "=", 0) == 0) {
+                v = a.substr(f.size() + 1);
+                return true;
+            }
+            return false;
+        };
+        if (value("--shards"))
+            cli.shards = parseInt("--shards", v);
+        else if (value("--shard-out"))
+            cli.shardOut = v;
+        else if (value("--shard-dir"))
+            cli.shardDir = v;
+        else if (value("--shard-max-seconds"))
+            cli.maxSeconds = parseSec("--shard-max-seconds", v);
+        else if (value("--shard-heartbeat-seconds"))
+            cli.heartbeatSeconds =
+                parseSec("--shard-heartbeat-seconds", v);
+        else if (value("--shard-retries"))
+            cli.retries = parseInt("--shard-retries", v);
+        else if (value("--shard-backoff-seconds"))
+            cli.backoffSeconds = parseSec("--shard-backoff-seconds", v);
+        else if (a == "--shard-strict")
+            cli.strict = true;
+        else if (value("--shard"))
+            cli.shard = parseInt("--shard", v);
+    }
+    if (cli.shards < 1)
+        UNISTC_FATAL("--shards needs at least 1 shard");
+    return cli;
+}
+
+#if UNISTC_BENCH_POSIX
+
+/**
+ * Shard worker child (--shard i): run the bench body once with
+ * ShardSession in Worker mode, executing only owned units into the
+ * durable manifest. Output goes nowhere — stdout is silenced and the
+ * JSON/warehouse sinks are disabled, because the supervisor's serve
+ * pass is the only reporter.
+ */
+inline int
+runShardWorker(const ShardCli &cli, int argc, char **argv,
+               int (*body)(int, char **))
+{
+    if (Status st = validateShardArgs(cli.shards, cli.shard);
+        !st.ok()) {
+        UNISTC_FATAL("--shard: ", st.message());
+    }
+    // Workers must not clobber the supervisor's JSON dump or open
+    // their own warehouse runs.
+    ::unsetenv("UNISTC_BENCH_JSON");
+    ::unsetenv("UNISTC_WAREHOUSE_DIR");
+    const std::string resume = resumePath(argc, argv);
+    if (!resume.empty())
+        CheckpointSession::instance().configureReadOnly(resume);
+    std::string out = cli.shardOut;
+    if (out.empty())
+        out = "shard_" + std::to_string(cli.shard) + ".manifest";
+    ShardSession::instance().startWorker(cli.shard, cli.shards, out);
+    ScopedPlanQuiet quiet;
+    return body(argc, argv);
+}
+
+/**
+ * Shard supervisor (--shards K, no --shard): fork/exec one worker
+ * child per shard under kill/retry/quarantine supervision, merge the
+ * manifests, then run the bench body once more in Serve mode — the
+ * serial pass that produces the (byte-identical) report.
+ */
+inline int
+runShardSupervisor(const ShardCli &cli, int argc, char **argv,
+                   int (*body)(int, char **))
+{
+    // Manifest directory: explicit flag > next to the --resume file >
+    // a fresh temp dir (torn down again after a clean run).
+    std::string dir = cli.shardDir;
+    bool tempDir = false;
+    if (dir.empty()) {
+        const std::string resume = resumePath(argc, argv);
+        if (!resume.empty())
+            dir = resume + ".shards";
+    }
+    if (dir.empty()) {
+        char tmpl[] = "/tmp/unistc-shards-XXXXXX";
+        if (::mkdtemp(tmpl) == nullptr)
+            UNISTC_FATAL("--shards: mkdtemp failed: ",
+                         std::strerror(errno));
+        dir = tmpl;
+        tempDir = true;
+    } else if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        UNISTC_FATAL("--shards: cannot create '", dir, "': ",
+                     std::strerror(errno));
+    }
+
+    std::vector<std::string> manifests;
+    std::vector<ShardProcess> procs(
+        static_cast<std::size_t>(cli.shards));
+    for (int s = 0; s < cli.shards; ++s) {
+        manifests.push_back(dir + "/shard_" + std::to_string(s) +
+                            ".manifest");
+        ShardProcess &proc = procs[static_cast<std::size_t>(s)];
+        proc.argv.reserve(static_cast<std::size_t>(argc) + 4);
+        for (int i = 0; i < argc; ++i)
+            proc.argv.emplace_back(argv[i]);
+        proc.argv.push_back("--shard");
+        proc.argv.push_back(std::to_string(s));
+        proc.argv.push_back("--shard-out");
+        proc.argv.push_back(manifests.back());
+    }
+
+    ShardPolicy policy;
+    policy.maxShardSeconds = cli.maxSeconds;
+    policy.heartbeatSeconds = cli.heartbeatSeconds;
+    policy.maxRetries = cli.retries;
+    policy.backoffSeconds = cli.backoffSeconds;
+    policy.quarantine = !cli.strict;
+    ShardSupervisor supervisor(policy);
+    Result<std::vector<ShardOutcome>> run = supervisor.run(procs);
+    if (!run.ok())
+        UNISTC_FATAL("--shards: ", run.status().message());
+    const std::vector<ShardOutcome> outcomes = std::move(run).value();
+
+    std::vector<ShardManifest> loaded;
+    std::vector<bool> quarantined(
+        static_cast<std::size_t>(cli.shards), false);
+    bool anyQuarantined = false;
+    for (int s = 0; s < cli.shards; ++s) {
+        Result<ShardManifest> m =
+            ShardManifest::load(manifests[static_cast<std::size_t>(s)]);
+        if (!m.ok()) {
+            UNISTC_FATAL("--shards: cannot load '",
+                         manifests[static_cast<std::size_t>(s)],
+                         "': ", m.status().message());
+        }
+        loaded.push_back(std::move(m).value());
+        if (outcomes[static_cast<std::size_t>(s)].quarantined) {
+            quarantined[static_cast<std::size_t>(s)] = true;
+            anyQuarantined = true;
+            UNISTC_WARN(
+                "shard ", s, " quarantined (",
+                outcomes[static_cast<std::size_t>(s)].error, "); ",
+                loaded.back().size(), " durably completed unit(s) ",
+                "kept, its remaining units report zeroed results");
+        }
+    }
+    ShardPlan plan;
+    plan.shards = cli.shards;
+    Result<ShardMergeView> view = ShardMergeView::merge(loaded, plan);
+    if (!view.ok())
+        UNISTC_FATAL("--shards: ", view.status().message());
+    ShardSession::instance().startServe(
+        cli.shards, std::move(view).value(), quarantined);
+
+    const int rc = body(argc, argv);
+
+    const ShardRecoveryCounters &sc = supervisor.counters();
+    warehouse::BenchSink::instance().noteShards(cli.shards, sc);
+    UNISTC_INFORM("shards: ", sc.completed, "/", cli.shards,
+                  " completed, ", sc.spawned, " attempt(s), ",
+                  sc.retried, " retried, ",
+                  sc.killedWallClock + sc.killedHeartbeat,
+                  " killed, ", sc.crashed, " crashed, ",
+                  sc.quarantined, " quarantined, ", sc.heartbeats,
+                  " heartbeat(s)");
+    if (rc == 0 && tempDir && !anyQuarantined) {
+        for (const std::string &m : manifests)
+            std::remove(m.c_str());
+        ::rmdir(dir.c_str());
+    } else if (anyQuarantined) {
+        UNISTC_WARN("shard manifests kept in '", dir,
+                    "' (rerun with the same --resume/--shard-dir to ",
+                    "heal the quarantined units)");
+    }
+    logCacheSummary();
+    return rc;
+}
+
+#endif // UNISTC_BENCH_POSIX
+
 } // namespace bench
 } // namespace unistc
 
@@ -867,12 +1515,35 @@ main(int argc, char **argv)
 {
     namespace ub = unistc::bench;
     ub::applySmokeEnv(argc, argv);
+    const ub::ShardCli shardCli = ub::parseShardCli(argc, argv);
+#if UNISTC_BENCH_POSIX
+    // Worker check first: supervisor children inherit --shards K and
+    // add --shard i, which must win over the supervisor role.
+    if (shardCli.shard >= 0)
+        return ub::runShardWorker(shardCli, argc, argv,
+                                  unistc_bench_body);
+#else
+    if (shardCli.shard >= 0)
+        UNISTC_FATAL("--shard needs a POSIX host (fork/exec)");
+    if (shardCli.shards > 1)
+        UNISTC_WARN("--shards needs a POSIX host (fork/exec); "
+                    "running single-process");
+#endif
     // Warehouse sink (off unless UNISTC_WAREHOUSE_DIR): opened before
     // the body so rows stream out as they are recorded.
     unistc::warehouse::BenchSink::instance().configure(argc, argv);
     const std::string resume = ub::resumePath(argc, argv);
     if (!resume.empty())
         ub::CheckpointSession::instance().configure(resume);
+#if UNISTC_BENCH_POSIX
+    if (shardCli.shards > 1) {
+        // Sharding replaces --jobs: isolation already comes from the
+        // worker processes, and the serve pass must stay serial for
+        // byte-identical output.
+        return ub::runShardSupervisor(shardCli, argc, argv,
+                                      unistc_bench_body);
+    }
+#endif
     const int jobs = ub::sweepJobs(argc, argv);
 #if !UNISTC_BENCH_POSIX
     if (jobs > 1)

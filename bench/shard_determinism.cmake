@@ -1,0 +1,65 @@
+# Runs one bench harness serially and as a crash-isolated sharded
+# sweep (--shards 3) and fails unless stdout and the
+# UNISTC_BENCH_JSON dump are byte-identical. A third run injects a
+# process fault (one shard aborts on its first attempt) to prove the
+# supervisor's retry heals the crash without perturbing a single
+# output byte. Driven by ctest (see CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DWORKDIR=<scratch dir> \
+#         -P shard_determinism.cmake
+
+foreach(var BENCH WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# serial reference
+set(ENV{UNISTC_BENCH_JSON} ${WORKDIR}/serial.json)
+execute_process(
+    COMMAND ${BENCH} --smoke
+    OUTPUT_FILE ${WORKDIR}/serial.txt
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --smoke exited with ${rc}")
+endif()
+
+# sharded clean run, then sharded with an injected first-attempt
+# crash on shard 1 (the retry must heal it byte-identically)
+foreach(scenario sharded faulted)
+    if(scenario STREQUAL "faulted")
+        set(ENV{UNISTC_SHARD_FAULT} "abort@1")
+    endif()
+    set(ENV{UNISTC_BENCH_JSON} ${WORKDIR}/${scenario}.json)
+    execute_process(
+        COMMAND ${BENCH} --smoke --shards 3
+                --shard-dir ${WORKDIR}/${scenario}.shards
+        OUTPUT_FILE ${WORKDIR}/${scenario}.txt
+        RESULT_VARIABLE rc)
+    unset(ENV{UNISTC_SHARD_FAULT})
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "${BENCH} --smoke --shards 3 (${scenario}) exited "
+                "with ${rc}")
+    endif()
+    foreach(artifact txt json)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORKDIR}/serial.${artifact}
+                    ${WORKDIR}/${scenario}.${artifact}
+            RESULT_VARIABLE differ)
+        if(NOT differ EQUAL 0)
+            message(FATAL_ERROR
+                    "serial and ${scenario} --shards 3 produced "
+                    "different ${artifact} output "
+                    "(${WORKDIR}/serial.${artifact} vs "
+                    "${WORKDIR}/${scenario}.${artifact})")
+        endif()
+    endforeach()
+endforeach()
+
+message(STATUS
+        "serial, sharded and fault-recovered outputs are byte-identical")

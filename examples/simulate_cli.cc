@@ -55,9 +55,29 @@
  *                          as failed (0 = off)
  *   --resume PATH          checkpoint finished jobs to PATH and skip
  *                          jobs already recorded there
+ *
+ * Crash-isolated sharding (docs/SHARDING.md):
+ *   --shards K             split the model sweep across K worker
+ *                          *processes* under a supervisor that
+ *                          SIGKILLs hung shards, retries with
+ *                          backoff and quarantines persistent
+ *                          failures; output is byte-identical to a
+ *                          single-process run. Mutually exclusive
+ *                          with --arch. Row n belongs to shard
+ *                          n mod K.
+ *   --shard i              run as worker i (spawned by the
+ *                          supervisor; usable by hand for debugging)
+ *   --shard-out PATH       worker manifest path
+ *   --shard-dir DIR        supervisor manifest directory
+ *   --shard-max-seconds S  SIGKILL budget per shard attempt (0 = off)
+ *   --shard-heartbeat-seconds S  SIGKILL after S silent seconds
+ *   --shard-retries N      retries per shard after the first attempt
+ *   --shard-backoff-seconds S    first retry delay (doubles)
+ *   --shard-strict         fail the run instead of quarantining
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,9 +87,16 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "bbc/bbc_io.hh"
 #include "cache/matrix_cache.hh"
 #include "common/logging.hh"
+#include "exec/shard_plan.hh"
+#include "exec/shard_supervisor.hh"
 #include "exec/sweep_executor.hh"
 #include "common/table.hh"
 #include "common/rng.hh"
@@ -78,6 +105,7 @@
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
 #include "robust/checkpoint.hh"
+#include "robust/fault_inject.hh"
 #include "robust/status.hh"
 #include "runner/report.hh"
 #include "runner/spgemm_runner.hh"
@@ -105,6 +133,22 @@ parseIntOpt(const std::string &flag, const std::string &text)
     } catch (const std::exception &) {
         UNISTC_FATAL("--", flag, " needs an integer, got '", text,
                      "'");
+    }
+}
+
+/** Strict non-negative seconds parsing. */
+double
+parseSecondsOpt(const std::string &flag, const std::string &text)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(text, &used);
+        if (used != text.size() || v < 0)
+            throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception &) {
+        UNISTC_FATAL("--", flag, " needs a non-negative number, got '",
+                     text, "'");
     }
 }
 
@@ -165,7 +209,13 @@ main(int argc, char **argv)
                 "  --cache-dir PATH  --cache off|ro|rw   "
                 "(docs/CACHING.md)\n"
                 "  --strict  --max-job-seconds S  --resume PATH   "
-                "(docs/ROBUSTNESS.md)\n");
+                "(docs/ROBUSTNESS.md)\n"
+                "  --shards K  [--shard i --shard-out PATH]  "
+                "--shard-dir DIR\n"
+                "  --shard-max-seconds S  --shard-heartbeat-seconds S"
+                "  --shard-retries N\n"
+                "  --shard-backoff-seconds S  --shard-strict   "
+                "(docs/SHARDING.md)\n");
             return 0;
         }
         if (std::strncmp(argv[i], "--", 2) != 0)
@@ -177,12 +227,15 @@ main(int argc, char **argv)
             "kernel", "model", "arch", "matrix", "gen", "precision",
             "dpgs", "bcols", "save-bbc", "trace", "trace-events",
             "stats-json", "log-level", "jobs", "strict",
-            "max-job-seconds", "resume", "cache-dir", "cache"};
+            "max-job-seconds", "resume", "cache-dir", "cache",
+            "shards", "shard", "shard-out", "shard-dir",
+            "shard-max-seconds", "shard-heartbeat-seconds",
+            "shard-retries", "shard-backoff-seconds", "shard-strict"};
         if (!known.count(flag))
             UNISTC_FATAL("unknown option '", argv[i],
                          "' (see --help)");
         // Valueless switches.
-        if (flag == "strict") {
+        if (flag == "strict" || flag == "shard-strict") {
             opts[flag] = "1";
             i += 1;
             continue;
@@ -201,6 +254,46 @@ main(int argc, char **argv)
         }
         setLogLevel(level);
     }
+
+    // Crash-isolated sharding roles (docs/SHARDING.md): --shard i
+    // makes this process worker i of a supervisor's fan-out; --shards
+    // K without --shard makes it the supervisor.
+    const int shards =
+        opts.count("shards") ? parseIntOpt("shards", opts["shards"])
+                             : 1;
+    const int shard_index =
+        opts.count("shard") ? parseIntOpt("shard", opts["shard"]) : -1;
+    if (shards < 1)
+        UNISTC_FATAL("--shards needs at least 1 shard");
+    if (shard_index >= 0) {
+        if (Status s = validateShardArgs(shards, shard_index); !s.ok())
+            UNISTC_FATAL("--shard: ", s.message());
+    }
+    if (shards > 1 && opts.count("arch")) {
+        // --arch is ONE multi-model job by definition; there is
+        // nothing to split across processes.
+        UNISTC_FATAL("--arch and --shards are mutually exclusive "
+                     "(an --arch lineup is a single job)");
+    }
+    const bool shard_worker = shard_index >= 0;
+    const bool shard_super = !shard_worker && shards > 1;
+    if (shard_worker) {
+        // Workers are silent and write no report artifacts — the
+        // supervisor's serve pass is the only reporter.
+        opts.erase("trace");
+        opts.erase("stats-json");
+        opts.erase("save-bbc");
+#if defined(__unix__) || defined(__APPLE__)
+        if (std::freopen("/dev/null", "w", stdout) == nullptr)
+            UNISTC_WARN("cannot silence shard worker stdout");
+#else
+        UNISTC_FATAL("--shard needs a POSIX host (fork/exec)");
+#endif
+    }
+#if !defined(__unix__) && !defined(__APPLE__)
+    if (shard_super)
+        UNISTC_FATAL("--shards needs a POSIX host (fork/exec)");
+#endif
 
     // Cache flags override the UNISTC_CACHE_DIR / UNISTC_CACHE env
     // configuration; they must land before the matrix is built so
@@ -392,14 +485,30 @@ main(int argc, char **argv)
     SweepExecutor exec(exec_opt);
 
     // --resume: serve models already on the checkpoint from the file
-    // and only submit the rest.
+    // and only submit the rest. Shard workers read the checkpoint but
+    // never append — only the supervisor's serve pass extends it, so
+    // K processes cannot interleave writes into one file.
     std::unique_ptr<CheckpointLog> ckpt_log;
     CheckpointWriter ckpt_writer;
     if (opts.count("resume")) {
         ckpt_log = std::make_unique<CheckpointLog>(
             CheckpointLog::load(opts["resume"]).value());
-        if (Status s = ckpt_writer.open(opts["resume"]); !s.ok())
-            raise(s);
+        if (ckpt_log->truncated() && !shard_worker) {
+            // A SIGKILLed writer tore the tail; rewrite the valid
+            // prefix atomically before appending behind it.
+            if (Status s = rewriteCheckpointAtomic(
+                    opts["resume"], ckpt_log->entries());
+                !s.ok()) {
+                raise(s);
+            }
+            std::printf("Repaired torn checkpoint %s: kept %zu "
+                        "entr(ies)\n", opts["resume"].c_str(),
+                        ckpt_log->size());
+        }
+        if (!shard_worker) {
+            if (Status s = ckpt_writer.open(opts["resume"]); !s.ok())
+                raise(s);
+        }
         if (!ckpt_log->empty()) {
             std::printf("Resuming from %s: %zu completed job(s)\n\n",
                         opts["resume"].c_str(), ckpt_log->size());
@@ -417,26 +526,21 @@ main(int argc, char **argv)
 
     const auto shared_bbc = std::make_shared<const BbcMatrix>(bbc);
     const auto shared_x = std::make_shared<const SparseVector>(x50);
-    JobSpec multi_spec; // --arch: every missing model, one job.
-    for (std::size_t n = 0; n < names.size(); ++n) {
-        const std::string &name = names[n];
-        if (ckpt_log != nullptr) {
+
+    // Checkpoint row plan first, identically in every process role
+    // (single, worker, supervisor): row n is shard unit n, so the
+    // lookups must agree before any ownership decision.
+    if (ckpt_log != nullptr) {
+        for (std::size_t n = 0; n < names.size(); ++n) {
             const std::size_t occurrence =
-                ckpt_seen[checkpointKey(kernel_name, name,
+                ckpt_seen[checkpointKey(kernel_name, names[n],
                                         source_label)]++;
             rows[n].checkpointed = ckpt_log->find(
-                kernel_name, name, source_label, occurrence);
-            if (rows[n].checkpointed != nullptr)
-                continue;
+                kernel_name, names[n], source_label, occurrence);
         }
-        if (multi) {
-            rows[n].slot = multi_spec.lineup.size();
-            multi_spec.lineup.push_back(
-                {name, cfg,
-                 std::shared_ptr<const StcModel>(
-                     makeStcModel(name, cfg))});
-            continue;
-        }
+    }
+
+    const auto make_spec = [&](const std::string &name) {
         JobSpec spec;
         spec.kernel = kernel;
         spec.model = name;
@@ -448,7 +552,190 @@ main(int argc, char **argv)
         if (kernel == Kernel::SpMSpV)
             spec.x = shared_x;
         spec.bCols = b_cols;
-        rows[n].jobIndex = exec.submit(std::move(spec));
+        return spec;
+    };
+
+    if (shard_worker) {
+        // Worker role: simulate only rows n with n mod K == i, append
+        // each to the durable manifest, print nothing. A manifest
+        // left by a killed earlier attempt is resumed, not redone.
+        // In-process failures crash the worker on purpose — the
+        // supervisor's retry/quarantine IS the recovery path.
+        std::string manifest_path = opts.count("shard-out")
+            ? opts["shard-out"]
+            : "shard_" + std::to_string(shard_index) + ".manifest";
+        ShardManifestWriter writer;
+        ShardManifest resumed;
+        if (Status s = writer.open(manifest_path, shard_index, shards,
+                                   &resumed);
+            !s.ok()) {
+            raise(s);
+        }
+        std::vector<ProcFaultSpec> faults;
+        if (const char *env = std::getenv(kShardFaultEnv))
+            faults = parseProcFaultSpecs(env).value();
+        const int attempt = shardAttemptFromEnv();
+        const ProcFaultSpec *armed_partial = nullptr;
+        std::uint64_t owned_done = 0;
+        ShardPlan plan;
+        plan.shards = shards;
+        shardHeartbeat();
+        for (std::size_t n = 0; n < names.size(); ++n) {
+            if (rows[n].checkpointed != nullptr ||
+                !plan.owns(n, shard_index))
+                continue;
+            if (resumed.find(n) != nullptr) {
+                ++owned_done;
+                shardHeartbeat();
+                continue;
+            }
+            if (const ProcFaultSpec *f =
+                    matchProcFault(faults, shard_index, attempt);
+                f != nullptr && owned_done >= f->afterUnits) {
+                if (f->kind == FaultKind::ProcPartialCrash)
+                    armed_partial = f;
+                else
+                    executeProcFault(*f);
+            }
+            ShardUnitRecord rec;
+            rec.unit = n;
+            rec.entries.push_back({kernel_name, names[n],
+                                   source_label,
+                                   make_spec(names[n]).run()});
+            if (armed_partial != nullptr) {
+                executeProcFault(*armed_partial, manifest_path,
+                                 encodeShardUnit(rec));
+            }
+            if (Status s = writer.append(rec); !s.ok())
+                raise(s);
+            ++owned_done;
+            shardHeartbeat();
+        }
+        return 0;
+    }
+
+    ShardMergeView shard_view;
+    std::vector<bool> shard_quarantined;
+    ShardRecoveryCounters shard_counters;
+    std::unique_ptr<TraceSink> shard_trace;
+#if defined(__unix__) || defined(__APPLE__)
+    if (shard_super) {
+        // Supervisor role: fan one worker process per shard over this
+        // same command line, then serve the merged manifests below.
+        std::string dir =
+            opts.count("shard-dir") ? opts["shard-dir"] : "";
+        bool temp_dir = false;
+        if (dir.empty() && opts.count("resume"))
+            dir = opts["resume"] + ".shards";
+        if (dir.empty()) {
+            char tmpl[] = "/tmp/unistc-shards-XXXXXX";
+            if (::mkdtemp(tmpl) == nullptr)
+                UNISTC_FATAL("--shards: mkdtemp failed: ",
+                             std::strerror(errno));
+            dir = tmpl;
+            temp_dir = true;
+        } else if (::mkdir(dir.c_str(), 0755) != 0 &&
+                   errno != EEXIST) {
+            UNISTC_FATAL("--shards: cannot create '", dir, "': ",
+                         std::strerror(errno));
+        }
+        std::vector<std::string> manifests;
+        std::vector<ShardProcess> procs(
+            static_cast<std::size_t>(shards));
+        for (int s = 0; s < shards; ++s) {
+            manifests.push_back(dir + "/shard_" + std::to_string(s) +
+                                ".manifest");
+            ShardProcess &proc = procs[static_cast<std::size_t>(s)];
+            proc.argv.reserve(static_cast<std::size_t>(argc) + 4);
+            for (int i = 0; i < argc; ++i)
+                proc.argv.emplace_back(argv[i]);
+            proc.argv.push_back("--shard");
+            proc.argv.push_back(std::to_string(s));
+            proc.argv.push_back("--shard-out");
+            proc.argv.push_back(manifests.back());
+        }
+        ShardPolicy policy;
+        if (opts.count("shard-max-seconds"))
+            policy.maxShardSeconds = parseSecondsOpt(
+                "shard-max-seconds", opts["shard-max-seconds"]);
+        if (opts.count("shard-heartbeat-seconds"))
+            policy.heartbeatSeconds =
+                parseSecondsOpt("shard-heartbeat-seconds",
+                                opts["shard-heartbeat-seconds"]);
+        if (opts.count("shard-retries"))
+            policy.maxRetries = parseIntOpt("shard-retries",
+                                            opts["shard-retries"]);
+        if (opts.count("shard-backoff-seconds"))
+            policy.backoffSeconds =
+                parseSecondsOpt("shard-backoff-seconds",
+                                opts["shard-backoff-seconds"]);
+        policy.quarantine = opts.count("shard-strict") == 0;
+        if (trace_capacity > 0)
+            shard_trace = std::make_unique<TraceSink>(trace_capacity);
+        ShardSupervisor supervisor(policy);
+        Result<std::vector<ShardOutcome>> sup =
+            supervisor.run(procs, shard_trace.get());
+        if (!sup.ok())
+            UNISTC_FATAL("--shards: ", sup.status().message());
+        const std::vector<ShardOutcome> outcomes =
+            std::move(sup).value();
+        shard_counters = supervisor.counters();
+
+        std::vector<ShardManifest> loaded;
+        shard_quarantined.assign(static_cast<std::size_t>(shards),
+                                 false);
+        bool any_quarantined = false;
+        for (int s = 0; s < shards; ++s) {
+            Result<ShardManifest> m = ShardManifest::load(
+                manifests[static_cast<std::size_t>(s)]);
+            if (!m.ok()) {
+                UNISTC_FATAL("--shards: cannot load '",
+                             manifests[static_cast<std::size_t>(s)],
+                             "': ", m.status().message());
+            }
+            loaded.push_back(std::move(m).value());
+            if (outcomes[static_cast<std::size_t>(s)].quarantined) {
+                shard_quarantined[static_cast<std::size_t>(s)] = true;
+                any_quarantined = true;
+                UNISTC_WARN(
+                    "shard ", s, " quarantined (",
+                    outcomes[static_cast<std::size_t>(s)].error,
+                    "); its missing rows print QUARANTINED");
+            }
+        }
+        ShardPlan plan;
+        plan.shards = shards;
+        Result<ShardMergeView> view =
+            ShardMergeView::merge(loaded, plan);
+        if (!view.ok())
+            UNISTC_FATAL("--shards: ", view.status().message());
+        shard_view = std::move(view).value();
+        if (temp_dir && !any_quarantined) {
+            // The merged view is in memory; the scratch dir can go.
+            for (const std::string &m : manifests)
+                std::remove(m.c_str());
+            ::rmdir(dir.c_str());
+        } else if (any_quarantined) {
+            UNISTC_WARN("shard manifests kept in '", dir, "'");
+        }
+    }
+#endif
+
+    JobSpec multi_spec; // --arch: every missing model, one job.
+    if (!shard_super) {
+        for (std::size_t n = 0; n < names.size(); ++n) {
+            if (rows[n].checkpointed != nullptr)
+                continue;
+            if (multi) {
+                rows[n].slot = multi_spec.lineup.size();
+                multi_spec.lineup.push_back(
+                    {names[n], cfg,
+                     std::shared_ptr<const StcModel>(
+                         makeStcModel(names[n], cfg))});
+                continue;
+            }
+            rows[n].jobIndex = exec.submit(make_spec(names[n]));
+        }
     }
     bool multi_submitted = false;
     if (multi && !multi_spec.lineup.empty()) {
@@ -475,6 +762,57 @@ main(int argc, char **argv)
             const RunResult &r = rows[i].checkpointed->result;
             registerRunResult(stats, r, "models." + names[i] + ".");
             t.addRow({names[i] + " (resumed)", fmtCount(r.cycles),
+                      fmtPercent(r.utilisation()),
+                      fmtEnergyPj(r.energy.total()),
+                      fmtCount(r.traffic.totalA()),
+                      fmtCount(r.traffic.writesC)});
+            continue;
+        }
+        if (shard_super) {
+            // Serve row i (= shard unit i) from the merged worker
+            // manifests instead of an in-process job.
+            const ShardUnitRecord *rec = shard_view.find(i);
+            if (rec == nullptr) {
+                ShardPlan plan;
+                plan.shards = shards;
+                const std::size_t owner =
+                    static_cast<std::size_t>(plan.shardOf(i));
+                if (owner < shard_quarantined.size() &&
+                    shard_quarantined[owner]) {
+                    ++quarantined;
+                    UNISTC_WARN("model '", names[i],
+                                "' lost to quarantined shard ",
+                                owner);
+                    t.addRow({names[i], "QUARANTINED", "-", "-", "-",
+                              "-"});
+                    continue;
+                }
+                UNISTC_FATAL("--shards merge is missing row ", i,
+                             " ('", names[i], "') though its shard "
+                             "completed");
+            }
+            if (rec->entries.size() != 1 ||
+                rec->entries[0].kernel != kernel_name ||
+                rec->entries[0].model != names[i] ||
+                rec->entries[0].matrix != source_label) {
+                UNISTC_FATAL("--shards merge diverged at row ", i,
+                             ": the manifest holds a different job "
+                             "than ", kernel_name, " ", names[i],
+                             " @ ", source_label);
+            }
+            const RunResult &r = rec->entries[0].result;
+            registerRunResult(stats, r, "models." + names[i] + ".");
+            if (ckpt_writer.isOpen()) {
+                CheckpointEntry e;
+                e.kernel = kernel_name;
+                e.model = names[i];
+                e.matrix = source_label;
+                e.result = r;
+                if (Status s = ckpt_writer.append(e); !s.ok())
+                    UNISTC_WARN("checkpoint append failed: ",
+                                s.message());
+            }
+            t.addRow({names[i], fmtCount(r.cycles),
                       fmtPercent(r.utilisation()),
                       fmtEnergyPj(r.energy.total()),
                       fmtCount(r.traffic.totalA()),
@@ -531,11 +869,17 @@ main(int argc, char **argv)
         stats.setCounter("robust.jobs_quarantined", quarantined,
                          "jobs replaced by a zeroed result");
     }
+    if (shard_super)
+        registerShardStats(stats, shards, shard_counters);
 
     if (MatrixCache::global().enabled())
         MatrixCache::global().registerStats(stats);
 
-    const TraceSink *trace = exec.trace();
+    // Sharded runs carry the supervisor's lifecycle events (spawn /
+    // kill / retry / quarantine instants) instead of per-job spans —
+    // the jobs ran in other processes.
+    const TraceSink *trace =
+        shard_super ? shard_trace.get() : exec.trace();
     // Splice the cache's per-key resolution spans (its own trace
     // process) into the model trace before writing it out.
     std::unique_ptr<TraceSink> trace_with_cache;

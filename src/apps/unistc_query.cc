@@ -8,6 +8,7 @@
  *   unistc_query --warehouse DIR drift
  *   unistc_query --warehouse DIR cache-rate
  *   unistc_query --warehouse DIR slowest --top 10
+ *   unistc_query --warehouse DIR recovery
  *   unistc_query --warehouse DIR export-bench --run latest --out F
  *   unistc_query --warehouse DIR check-regressions \
  *       --baseline <label|id|latest> [--current latest] \
@@ -49,6 +50,8 @@ usage(const char *self)
         "  drift                     per-family utilisation drift\n"
         "  cache-rate                cache hit-rate per run\n"
         "  slowest                   slowest rows of one run\n"
+        "  recovery                  robust.*/shard recovery counters"
+        " per run\n"
         "  export-bench              run -> UNISTC_BENCH_JSON format\n"
         "  check-regressions         latest run vs a baseline\n"
         "\n"
@@ -167,6 +170,24 @@ parseArgs(int argc, char **argv, Args *args)
     return !args->command.empty();
 }
 
+/** Counter lookup helper: 0 when a run never recorded @p name. */
+std::uint64_t
+counterOr0(const RunMeta &m, const std::string &name)
+{
+    const auto it = m.counters.find(name);
+    return it == m.counters.end() ? 0 : it->second;
+}
+
+bool
+hasRecoveryCounters(const RunMeta &m)
+{
+    for (const auto &[name, v] : m.counters) {
+        if (name.rfind("robust.", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
 int
 cmdList(const WarehouseReader &reader, const Args &args)
 {
@@ -228,6 +249,83 @@ cmdShow(const WarehouseReader &reader, const Args &args)
     for (const auto &[name, v] : m.counters)
         std::printf("counter:   %s = %llu\n", name.c_str(),
                     static_cast<unsigned long long>(v));
+    if (hasRecoveryCounters(m)) {
+        const std::uint64_t shards =
+            counterOr0(m, "robust.shard_count");
+        if (shards > 0) {
+            std::printf(
+                "recovery:  %llu shard(s): %llu spawned, %llu "
+                "killed, %llu retried, %llu quarantined\n",
+                static_cast<unsigned long long>(shards),
+                static_cast<unsigned long long>(
+                    counterOr0(m, "robust.shard_spawned")),
+                static_cast<unsigned long long>(
+                    counterOr0(m, "robust.shard_killed_wall_clock") +
+                    counterOr0(m, "robust.shard_killed_heartbeat")),
+                static_cast<unsigned long long>(
+                    counterOr0(m, "robust.shard_retried")),
+                static_cast<unsigned long long>(
+                    counterOr0(m, "robust.shard_quarantined")));
+        } else {
+            std::printf(
+                "recovery:  %llu fault(s) detected, %llu job(s) "
+                "retried, %llu quarantined\n",
+                static_cast<unsigned long long>(
+                    counterOr0(m, "robust.faults_detected")),
+                static_cast<unsigned long long>(
+                    counterOr0(m, "robust.jobs_retried")),
+                static_cast<unsigned long long>(
+                    counterOr0(m, "robust.jobs_quarantined")));
+        }
+    }
+    return 0;
+}
+
+int
+cmdRecovery(const WarehouseReader &reader, const Args &args)
+{
+    TextTable t("fault recovery by run (robust.* counters; "
+                "docs/ROBUSTNESS.md, docs/SHARDING.md)");
+    t.setHeader({"run", "bench", "faults", "job retry", "job quar",
+                 "shards", "spawned", "killed", "shard retry",
+                 "shard quar"});
+    std::size_t shown = 0;
+    for (const RunMeta &m : reader.runs()) {
+        if (!args.bench.empty() && m.bench != args.bench)
+            continue;
+        if (!hasRecoveryCounters(m))
+            continue;
+        ++shown;
+        const std::uint64_t shards =
+            counterOr0(m, "robust.shard_count");
+        t.addRow(
+            {m.id, m.bench,
+             std::to_string(counterOr0(m, "robust.faults_detected")),
+             std::to_string(counterOr0(m, "robust.jobs_retried")),
+             std::to_string(counterOr0(m, "robust.jobs_quarantined")),
+             shards == 0 ? "-" : std::to_string(shards),
+             shards == 0
+                 ? "-"
+                 : std::to_string(counterOr0(m, "robust.shard_spawned")),
+             shards == 0
+                 ? "-"
+                 : std::to_string(
+                       counterOr0(m, "robust.shard_killed_wall_clock") +
+                       counterOr0(m, "robust.shard_killed_heartbeat")),
+             shards == 0
+                 ? "-"
+                 : std::to_string(counterOr0(m, "robust.shard_retried")),
+             shards == 0
+                 ? "-"
+                 : std::to_string(
+                       counterOr0(m, "robust.shard_quarantined"))});
+    }
+    if (shown == 0) {
+        std::printf("no runs with recovery counters in '%s'\n",
+                    reader.dir().c_str());
+        return 0;
+    }
+    t.print();
     return 0;
 }
 
@@ -404,6 +502,8 @@ main(int argc, char **argv)
         return cmdCacheRate(reader, args);
     if (args.command == "slowest")
         return cmdSlowest(reader, args);
+    if (args.command == "recovery")
+        return cmdRecovery(reader, args);
     if (args.command == "export-bench")
         return cmdExportBench(reader, args);
     if (args.command == "check-regressions")

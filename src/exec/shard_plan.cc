@@ -1,0 +1,297 @@
+#include "exec/shard_plan.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace unistc
+{
+
+namespace
+{
+
+constexpr const char *kHeaderTag = "unistc-shard-hdr-v1";
+constexpr const char *kUnitTag = "unistc-shard-unit-v1";
+
+} // namespace
+
+std::uint64_t
+ShardPlan::unitsFor(std::uint64_t total, int i) const
+{
+    const auto k = static_cast<std::uint64_t>(shards);
+    const auto s = static_cast<std::uint64_t>(i);
+    // Units s, s+k, s+2k, ... below total.
+    return total > s ? (total - s - 1) / k + 1 : 0;
+}
+
+Status
+validateShardArgs(int shards, int shard)
+{
+    if (shards < 1)
+        return invalidArgument("--shards must be >= 1");
+    if (shard < 0 || shard >= shards) {
+        return invalidArgument("--shard must be in [0, " +
+                               std::to_string(shards) + ")");
+    }
+    return Status();
+}
+
+std::string
+encodeShardHeader(int shard, int shards)
+{
+    return std::string(kHeaderTag) + " " +
+           checkpointHex(static_cast<std::uint64_t>(shard)) + " " +
+           checkpointHex(static_cast<std::uint64_t>(shards));
+}
+
+Status
+decodeShardHeader(const std::string &line, int &shard, int &shards)
+{
+    std::istringstream is(line);
+    std::string tag, shard_tok, shards_tok, extra;
+    if (!(is >> tag >> shard_tok >> shards_tok) || (is >> extra) ||
+        tag != kHeaderTag) {
+        return corruptData("manifest header is not a " +
+                           std::string(kHeaderTag) + " record");
+    }
+    std::uint64_t i = 0, k = 0;
+    if (!parseCheckpointHex(shard_tok, i) ||
+        !parseCheckpointHex(shards_tok, k) || k == 0 || i >= k ||
+        k > 1u << 20)
+        return corruptData("manifest header has bad shard indices");
+    shard = static_cast<int>(i);
+    shards = static_cast<int>(k);
+    return Status();
+}
+
+std::string
+encodeShardUnit(const ShardUnitRecord &rec)
+{
+    std::ostringstream os;
+    os << kUnitTag << " " << checkpointHex(rec.unit) << " "
+       << checkpointHex(rec.entries.size());
+    for (const CheckpointEntry &e : rec.entries)
+        os << " " << encodeCheckpointEntry(e);
+    if (rec.hasEngine) {
+        os << " E " << checkpointHex(rec.engTasksGenerated) << " "
+           << checkpointHex(rec.engModelsFanout) << " "
+           << checkpointHex(rec.engPeakLiveTasks);
+    }
+    return os.str();
+}
+
+Result<ShardUnitRecord>
+decodeShardUnit(const std::string &line)
+{
+    std::istringstream is(line);
+    std::vector<std::string> toks;
+    std::string tok;
+    while (is >> tok)
+        toks.push_back(tok);
+    if (toks.size() < 3 || toks[0] != kUnitTag) {
+        return corruptData("manifest line is not a " +
+                           std::string(kUnitTag) + " record");
+    }
+    ShardUnitRecord rec;
+    std::uint64_t n = 0;
+    if (!parseCheckpointHex(toks[1], rec.unit) ||
+        !parseCheckpointHex(toks[2], n) || n > 1u << 20)
+        return corruptData("manifest unit line has a bad prefix");
+    std::size_t pos = 3;
+    rec.entries.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (pos + kCheckpointEntryTokens > toks.size())
+            return corruptData("manifest unit line is short an entry");
+        // Each embedded entry is a complete checkpoint record; reuse
+        // its decoder by re-joining the token slice.
+        std::ostringstream sub;
+        for (std::size_t t = 0; t < kCheckpointEntryTokens; ++t) {
+            if (t > 0)
+                sub << " ";
+            sub << toks[pos + t];
+        }
+        Result<CheckpointEntry> e = decodeCheckpointEntry(sub.str());
+        if (!e.ok())
+            return e.status();
+        rec.entries.push_back(std::move(e).value());
+        pos += kCheckpointEntryTokens;
+    }
+    if (pos < toks.size()) {
+        if (toks[pos] != "E" || pos + 4 != toks.size())
+            return corruptData("manifest unit line has trailing junk");
+        if (!parseCheckpointHex(toks[pos + 1], rec.engTasksGenerated) ||
+            !parseCheckpointHex(toks[pos + 2], rec.engModelsFanout) ||
+            !parseCheckpointHex(toks[pos + 3], rec.engPeakLiveTasks))
+            return corruptData("manifest unit line has bad engine "
+                               "counters");
+        rec.hasEngine = true;
+    }
+    return rec;
+}
+
+Result<ShardManifest>
+ShardManifest::load(const std::string &path)
+{
+    ShardManifest m;
+    std::ifstream in(path);
+    if (!in) {
+        // Missing manifest = nothing recorded yet.
+        return m;
+    }
+    std::string line;
+    long line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line_no == 1) {
+            Status st = decodeShardHeader(line, m.shard_, m.shards_);
+            if (!st.ok()) {
+                // A torn header means nothing usable follows.
+                UNISTC_WARN("manifest '", path, "' has a corrupt ",
+                            "header (", st.message(),
+                            "); starting fresh");
+                m.shard_ = -1;
+                m.shards_ = 0;
+                m.truncated_ = true;
+                return m;
+            }
+            continue;
+        }
+        Result<ShardUnitRecord> rec = decodeShardUnit(line);
+        if (!rec.ok()) {
+            UNISTC_WARN("manifest '", path, "' line ", line_no,
+                        " is corrupt (", rec.status().message(),
+                        "); keeping the ", m.units_.size(),
+                        " units before it");
+            m.truncated_ = true;
+            break;
+        }
+        ShardUnitRecord r = std::move(rec).value();
+        const auto it = m.byUnit_.find(r.unit);
+        if (it != m.byUnit_.end()) {
+            // Last record wins: an earlier attempt's unit that was
+            // re-executed after a crash.
+            m.units_[it->second] = std::move(r);
+        } else {
+            m.byUnit_[r.unit] = m.units_.size();
+            m.units_.push_back(std::move(r));
+        }
+    }
+    return m;
+}
+
+const ShardUnitRecord *
+ShardManifest::find(std::uint64_t unit) const
+{
+    const auto it = byUnit_.find(unit);
+    return it == byUnit_.end() ? nullptr : &units_[it->second];
+}
+
+namespace
+{
+
+/** Atomically rewrite @p path as header + @p units (repair). */
+Status
+rewriteManifestAtomic(const std::string &path, int shard, int shards,
+                      const std::vector<ShardUnitRecord> &units)
+{
+    std::string blob = encodeShardHeader(shard, shards);
+    blob.push_back('\n');
+    for (const ShardUnitRecord &u : units) {
+        blob += encodeShardUnit(u);
+        blob.push_back('\n');
+    }
+    return atomicWriteFile(path, blob);
+}
+
+} // namespace
+
+Status
+ShardManifestWriter::open(const std::string &path, int shard,
+                          int shards, ShardManifest *resumed)
+{
+    Status st = validateShardArgs(shards, shard);
+    if (!st.ok())
+        return st;
+    Result<ShardManifest> loaded = ShardManifest::load(path);
+    if (!loaded.ok())
+        return loaded.status();
+    ShardManifest m = std::move(loaded).value();
+    const bool mismatch =
+        m.shard_ >= 0 && (m.shard_ != shard || m.shards_ != shards);
+    if (mismatch) {
+        UNISTC_WARN("manifest '", path, "' belongs to shard ",
+                    m.shard_, "/", m.shards_, ", not ", shard, "/",
+                    shards, "; discarding it");
+        m = ShardManifest();
+    }
+    if (mismatch || m.truncated_ || m.shard_ < 0) {
+        // Repair/initialise: valid prefix (possibly empty) + header,
+        // written with the tmp+fsync+rename discipline so a kill
+        // during repair never makes things worse.
+        st = rewriteManifestAtomic(path, shard, shards, m.units_);
+        if (!st.ok())
+            return st;
+        m.shard_ = shard;
+        m.shards_ = shards;
+        m.truncated_ = false;
+    }
+    st = file_.open(path);
+    if (!st.ok())
+        return st;
+    if (resumed != nullptr)
+        *resumed = std::move(m);
+    return Status();
+}
+
+Status
+ShardManifestWriter::append(const ShardUnitRecord &rec)
+{
+    if (!file_.isOpen())
+        return failedPrecondition("manifest writer is not open");
+    return file_.appendLine(encodeShardUnit(rec));
+}
+
+Result<ShardMergeView>
+ShardMergeView::merge(const std::vector<ShardManifest> &manifests,
+                      const ShardPlan &plan)
+{
+    ShardMergeView v;
+    for (const ShardManifest &m : manifests) {
+        if (m.shard() < 0)
+            continue; // empty manifest (e.g. a quarantined shard)
+        if (m.shards() != plan.shards) {
+            return failedPrecondition(
+                "manifest was written for " +
+                std::to_string(m.shards()) + " shards, plan has " +
+                std::to_string(plan.shards));
+        }
+        for (const ShardUnitRecord &u : m.units()) {
+            if (!plan.owns(u.unit, m.shard())) {
+                return failedPrecondition(
+                    "manifest of shard " + std::to_string(m.shard()) +
+                    " records unit " + std::to_string(u.unit) +
+                    " it does not own");
+            }
+            const auto it = v.byUnit_.find(u.unit);
+            if (it != v.byUnit_.end()) {
+                v.units_[it->second] = u;
+            } else {
+                v.byUnit_[u.unit] = v.units_.size();
+                v.units_.push_back(u);
+            }
+        }
+    }
+    return v;
+}
+
+const ShardUnitRecord *
+ShardMergeView::find(std::uint64_t unit) const
+{
+    const auto it = byUnit_.find(unit);
+    return it == byUnit_.end() ? nullptr : &units_[it->second];
+}
+
+} // namespace unistc

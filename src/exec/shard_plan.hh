@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Deterministic shard planning + the per-shard result manifest
+ * (docs/SHARDING.md).
+ *
+ * A sweep is a numbered sequence of *units* — one unit per
+ * runKernel()/runKernelLineup() call site, numbered identically in
+ * every process because the bench body is deterministic. The
+ * ShardPlan maps each unit to exactly one of K shards (round-robin,
+ * so heavy matrices spread evenly); a shard worker executes only its
+ * own units and appends each finished unit to a *manifest*: a
+ * line-oriented file speaking the checkpoint-log dialect
+ * (%-escaping, IEEE-754 bit-pattern hex) with the same durability
+ * discipline (one write(2) per record + fdatasync, prefix recovery
+ * on load, atomic tmp+fsync+rename repair of a torn tail).
+ *
+ * Format:
+ *   unistc-shard-hdr-v1 <shard-hex> <shards-hex>
+ *   unistc-shard-unit-v1 <unit-hex> <n-hex> <n checkpoint entries
+ *       inline, kCheckpointEntryTokens tokens each>
+ *       [E <tasksGenerated> <modelsFanout> <peakLiveTasks>]
+ *
+ * The optional E suffix carries the KernelPipeline counters of a
+ * lineup unit (timing is deliberately absent: wall-clock seconds are
+ * not reproducible across processes, so sharded runs zero them —
+ * exactly like checkpoint-resumed runs already do).
+ */
+
+#ifndef UNISTC_EXEC_SHARD_PLAN_HH
+#define UNISTC_EXEC_SHARD_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "robust/checkpoint.hh"
+#include "robust/status.hh"
+
+namespace unistc
+{
+
+/**
+ * Deterministic unit → shard assignment. Pure arithmetic, so the
+ * supervisor, every worker, and the serve pass all agree without
+ * communicating.
+ */
+struct ShardPlan
+{
+    int shards = 1;
+
+    /** Shard that owns @p unit (round-robin). */
+    int shardOf(std::uint64_t unit) const
+    {
+        return static_cast<int>(unit %
+                                static_cast<std::uint64_t>(shards));
+    }
+
+    bool owns(std::uint64_t unit, int shard) const
+    {
+        return shardOf(unit) == shard;
+    }
+
+    /** Units out of @p total that shard @p i executes. */
+    std::uint64_t unitsFor(std::uint64_t total, int i) const;
+};
+
+/** Validate a `--shards K --shard i` pair (K >= 1, 0 <= i < K). */
+Status validateShardArgs(int shards, int shard);
+
+/** One finished unit: its per-model results + optional engine counters. */
+struct ShardUnitRecord
+{
+    std::uint64_t unit = 0;
+
+    /** Results in the order the unit produced them (one per model). */
+    std::vector<CheckpointEntry> entries;
+
+    /** KernelPipeline counters for lineup units (timing excluded). */
+    bool hasEngine = false;
+    std::uint64_t engTasksGenerated = 0;
+    std::uint64_t engModelsFanout = 0;
+    std::uint64_t engPeakLiveTasks = 0;
+};
+
+/** Serialize @p rec as one manifest line (no trailing newline). */
+std::string encodeShardUnit(const ShardUnitRecord &rec);
+
+/** Parse one manifest unit line; typed error on malformation. */
+Result<ShardUnitRecord> decodeShardUnit(const std::string &line);
+
+/** Serialize a manifest header line. */
+std::string encodeShardHeader(int shard, int shards);
+
+/** Parse a manifest header line into (shard, shards). */
+Status decodeShardHeader(const std::string &line, int &shard,
+                         int &shards);
+
+/**
+ * In-memory view of one shard's manifest, indexed by unit number.
+ * Within a file, a re-recorded unit wins by last occurrence (a
+ * retried worker may legitimately re-execute a unit whose record
+ * was torn away).
+ */
+class ShardManifest
+{
+  public:
+    /**
+     * Load @p path. Missing file = empty manifest (fresh workers and
+     * resumed workers share one code path). A corrupt line ends the
+     * valid prefix and sets truncated(); everything after is
+     * discarded.
+     */
+    static Result<ShardManifest> load(const std::string &path);
+
+    const ShardUnitRecord *find(std::uint64_t unit) const;
+
+    /** Header fields; shard() is -1 for an empty/missing file. */
+    int shard() const { return shard_; }
+    int shards() const { return shards_; }
+
+    std::size_t size() const { return units_.size(); }
+    bool empty() const { return units_.empty(); }
+    bool truncated() const { return truncated_; }
+
+    const std::vector<ShardUnitRecord> &units() const { return units_; }
+
+  private:
+    int shard_ = -1;
+    int shards_ = 0;
+    std::vector<ShardUnitRecord> units_;
+    std::unordered_map<std::uint64_t, std::size_t> byUnit_;
+    bool truncated_ = false;
+
+    friend class ShardManifestWriter;
+};
+
+/**
+ * Appends unit records to a shard manifest with checkpoint-grade
+ * durability. open() doubles as crash recovery: it loads whatever a
+ * previous (possibly SIGKILLed) attempt left behind, repairs a torn
+ * tail in place via atomic rewrite, and hands the surviving records
+ * back so the worker can skip already-finished units.
+ */
+class ShardManifestWriter
+{
+  public:
+    /**
+     * Open @p path for shard @p shard of @p shards. An existing
+     * manifest with a matching header is resumed into @p resumed; a
+     * missing, torn-empty, or mismatched file is started fresh. The
+     * file on disk is left with a valid prefix + open append fd.
+     */
+    Status open(const std::string &path, int shard, int shards,
+                ShardManifest *resumed);
+
+    /** Append one finished unit (single write + sync). */
+    Status append(const ShardUnitRecord &rec);
+
+    bool isOpen() const { return file_.isOpen(); }
+
+  private:
+    DurableAppendFile file_;
+};
+
+/**
+ * Merged view over all shard manifests of a run: unit → record.
+ * Ownership makes shards disjoint, so merging is a union; a unit
+ * recorded by a shard that does not own it is a fatal plan mismatch.
+ */
+class ShardMergeView
+{
+  public:
+    /** Merge @p manifests (validated against @p plan). */
+    static Result<ShardMergeView>
+    merge(const std::vector<ShardManifest> &manifests,
+          const ShardPlan &plan);
+
+    const ShardUnitRecord *find(std::uint64_t unit) const;
+    std::size_t size() const { return byUnit_.size(); }
+
+  private:
+    std::vector<ShardUnitRecord> units_;
+    std::unordered_map<std::uint64_t, std::size_t> byUnit_;
+};
+
+} // namespace unistc
+
+#endif // UNISTC_EXEC_SHARD_PLAN_HH

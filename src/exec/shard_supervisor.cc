@@ -1,0 +1,396 @@
+#include "exec/shard_supervisor.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNISTC_SHARD_POSIX 1
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "common/logging.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
+namespace unistc
+{
+
+void
+registerShardStats(StatRegistry &stats, int shards,
+                   const ShardRecoveryCounters &sc)
+{
+    stats.setCounter("robust.shard_count",
+                     static_cast<std::uint64_t>(shards),
+                     "worker processes the sweep was split into");
+    stats.setCounter("robust.shard_spawned", sc.spawned,
+                     "shard attempts fork/exec'd");
+    stats.setCounter("robust.shard_completed", sc.completed,
+                     "shards that ended with exit status 0");
+    stats.setCounter("robust.shard_killed_wall_clock",
+                     sc.killedWallClock,
+                     "SIGKILLs for wall-clock budget overrun");
+    stats.setCounter("robust.shard_killed_heartbeat",
+                     sc.killedHeartbeat,
+                     "SIGKILLs for heartbeat silence");
+    stats.setCounter("robust.shard_crashed", sc.crashed,
+                     "attempts that died on their own (exit/signal)");
+    stats.setCounter("robust.shard_retried", sc.retried,
+                     "backoff restarts issued");
+    stats.setCounter("robust.shard_quarantined", sc.quarantined,
+                     "shards given up on (units report zeros)");
+    stats.setCounter("robust.shard_heartbeats", sc.heartbeats,
+                     "heartbeat bytes received across attempts");
+}
+
+void
+shardHeartbeat()
+{
+#ifdef UNISTC_SHARD_POSIX
+    static const int fd = [] {
+        const char *env = std::getenv(kShardHeartbeatFdEnv);
+        if (env == nullptr || *env == '\0')
+            return -1;
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == nullptr || *end != '\0' || v < 0)
+            return -1;
+        // The supervisor may already be gone; never let its death
+        // kill the worker via SIGPIPE.
+        ::signal(SIGPIPE, SIG_IGN);
+        return static_cast<int>(v);
+    }();
+    if (fd < 0)
+        return;
+    const char beat = '.';
+    // Best-effort: a full pipe or dead reader is the supervisor's
+    // problem, not ours.
+    (void)!::write(fd, &beat, 1);
+#endif
+}
+
+int
+shardAttemptFromEnv()
+{
+    const char *env = std::getenv(kShardAttemptEnv);
+    if (env == nullptr || *env == '\0')
+        return 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0)
+        return 0;
+    return static_cast<int>(v);
+}
+
+#ifdef UNISTC_SHARD_POSIX
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Supervisor-side state of one shard across its attempts. */
+struct ShardState
+{
+    enum class Phase
+    {
+        Pending, ///< Waiting for its (backoff) start time.
+        Running,
+        Done, ///< Completed or quarantined.
+    };
+
+    Phase phase = Phase::Pending;
+    pid_t pid = -1;
+    int heartbeatFd = -1;
+    int attempt = 0; ///< 0-based attempt about to run / running.
+    Clock::time_point startedAt;
+    Clock::time_point lastBeat;
+    Clock::time_point startAt; ///< Earliest next spawn (backoff).
+    bool killedWall = false;
+    bool killedBeat = false;
+    ShardOutcome outcome;
+};
+
+/** fork/exec one attempt; fills pid + heartbeat read fd. */
+Status
+spawnShard(const ShardProcess &proc, int attempt, ShardState &st)
+{
+    if (proc.argv.empty())
+        return invalidArgument("shard process has an empty argv");
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return ioError("pipe() for shard heartbeat failed");
+    // Only the read end is ours to keep; mark it close-on-exec and
+    // non-blocking so the poll loop never stalls on a slow child.
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return ioError("fork() for shard failed");
+    }
+    if (pid == 0) {
+        // Child: expose the write end + attempt number, exec.
+        ::close(fds[0]);
+        ::setenv(kShardHeartbeatFdEnv,
+                 std::to_string(fds[1]).c_str(), 1);
+        ::setenv(kShardAttemptEnv, std::to_string(attempt).c_str(), 1);
+        std::vector<char *> argv;
+        argv.reserve(proc.argv.size() + 1);
+        for (const std::string &a : proc.argv)
+            argv.push_back(const_cast<char *>(a.c_str()));
+        argv.push_back(nullptr);
+        ::execvp(argv[0], argv.data());
+        // exec failed: there is no supervisor-visible stderr contract,
+        // so just die with the conventional "cannot exec" status.
+        std::_Exit(127);
+    }
+    // Parent.
+    ::close(fds[1]);
+    st.pid = pid;
+    st.heartbeatFd = fds[0];
+    st.startedAt = Clock::now();
+    st.lastBeat = st.startedAt;
+    st.killedWall = false;
+    st.killedBeat = false;
+    return Status();
+}
+
+} // namespace
+
+Result<std::vector<ShardOutcome>>
+ShardSupervisor::run(const std::vector<ShardProcess> &procs,
+                     TraceSink *trace)
+{
+    const std::uint64_t traceTs = 0; // wall-time events, cycle 0
+    std::vector<ShardState> states(procs.size());
+    std::size_t live = states.size();
+    for (ShardState &st : states)
+        st.startAt = Clock::now();
+
+    const auto traceEvent = [&](std::size_t i, const char *what) {
+        if (trace == nullptr)
+            return;
+        std::ostringstream name;
+        name << "shard " << i << " " << what;
+        UNISTC_TRACE_INSTANT(trace, TraceTrack::Runner, name.str(),
+                             traceTs);
+    };
+
+    // One attempt just finished (reaped or found dead): decide
+    // completed / retry / quarantine / strict failure.
+    std::string strictError;
+    const auto settle = [&](std::size_t i, int waitStatus) {
+        ShardState &st = states[i];
+        ShardOutcome &out = st.outcome;
+        ::close(st.heartbeatFd);
+        st.heartbeatFd = -1;
+        st.pid = -1;
+        if (WIFEXITED(waitStatus)) {
+            out.exitCode = WEXITSTATUS(waitStatus);
+            out.termSignal = 0;
+        } else if (WIFSIGNALED(waitStatus)) {
+            out.exitCode = -1;
+            out.termSignal = WTERMSIG(waitStatus);
+        }
+        if (out.exitCode == 0) {
+            out.ok = true;
+            st.phase = ShardState::Phase::Done;
+            counters_.completed++;
+            traceEvent(i, "completed");
+            --live;
+            return;
+        }
+        counters_.crashed += st.killedWall || st.killedBeat ? 0 : 1;
+        std::ostringstream why;
+        if (st.killedWall) {
+            why << "killed after exceeding the "
+                << policy_.maxShardSeconds << "s wall-clock budget";
+        } else if (st.killedBeat) {
+            why << "killed after " << policy_.heartbeatSeconds
+                << "s of heartbeat silence";
+        } else if (out.termSignal != 0) {
+            why << "died on signal " << out.termSignal;
+        } else {
+            why << "exited with status " << out.exitCode;
+        }
+        if (st.attempt < policy_.maxRetries) {
+            // Exponential backoff: base * 2^(retry#).
+            const double delay = policy_.backoffSeconds *
+                static_cast<double>(1u << st.attempt);
+            UNISTC_WARN("shard ", i, " attempt ", st.attempt, " ",
+                        why.str(), "; retrying in ", delay, "s");
+            counters_.retried++;
+            st.attempt++;
+            st.phase = ShardState::Phase::Pending;
+            st.startAt = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(delay));
+            traceEvent(i, "retry");
+            return;
+        }
+        out.error = why.str();
+        st.phase = ShardState::Phase::Done;
+        --live;
+        if (policy_.quarantine) {
+            UNISTC_WARN("shard ", i, " ", why.str(), " on its last ",
+                        "attempt; quarantining (its units report ",
+                        "zeroed results)");
+            out.quarantined = true;
+            counters_.quarantined++;
+            traceEvent(i, "quarantined");
+        } else {
+            traceEvent(i, "failed");
+            if (strictError.empty()) {
+                strictError = "shard " + std::to_string(i) + " " +
+                              why.str();
+            }
+        }
+    };
+
+    while (live > 0) {
+        const Clock::time_point now = Clock::now();
+
+        // Phase 1: start every pending shard whose backoff elapsed.
+        for (std::size_t i = 0; i < states.size(); ++i) {
+            ShardState &st = states[i];
+            if (st.phase != ShardState::Phase::Pending ||
+                now < st.startAt)
+                continue;
+            Status sp = spawnShard(procs[i], st.attempt, st);
+            if (!sp.ok())
+                return sp;
+            st.phase = ShardState::Phase::Running;
+            st.outcome.attempts++;
+            counters_.spawned++;
+            traceEvent(i, st.attempt == 0 ? "spawned" : "respawned");
+        }
+
+        // Phase 2: wait for heartbeats / exits, bounded so budget
+        // and backoff deadlines are honoured promptly.
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fdShard;
+        for (std::size_t i = 0; i < states.size(); ++i) {
+            if (states[i].phase == ShardState::Phase::Running) {
+                fds.push_back({states[i].heartbeatFd, POLLIN, 0});
+                fdShard.push_back(i);
+            }
+        }
+        if (!fds.empty()) {
+            const int rc =
+                ::poll(fds.data(),
+                       static_cast<nfds_t>(fds.size()), 50);
+            if (rc < 0 && errno != EINTR)
+                return ioError("poll() on shard heartbeats failed");
+            for (std::size_t f = 0; rc > 0 && f < fds.size(); ++f) {
+                if ((fds[f].revents & POLLIN) == 0)
+                    continue;
+                ShardState &st = states[fdShard[f]];
+                char buf[256];
+                ssize_t n;
+                while ((n = ::read(st.heartbeatFd, buf,
+                                   sizeof(buf))) > 0) {
+                    st.outcome.heartbeats +=
+                        static_cast<std::uint64_t>(n);
+                    counters_.heartbeats +=
+                        static_cast<std::uint64_t>(n);
+                    st.lastBeat = Clock::now();
+                }
+            }
+        } else {
+            // Only backoff timers left: sleep a tick.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+
+        // Phase 3: reap exits, enforce budgets.
+        for (std::size_t i = 0; i < states.size(); ++i) {
+            ShardState &st = states[i];
+            if (st.phase != ShardState::Phase::Running)
+                continue;
+            int waitStatus = 0;
+            const pid_t r = ::waitpid(st.pid, &waitStatus, WNOHANG);
+            if (r == st.pid) {
+                settle(i, waitStatus);
+                continue;
+            }
+            const bool overWall = policy_.maxShardSeconds > 0 &&
+                secondsSince(st.startedAt) > policy_.maxShardSeconds;
+            const bool overBeat = policy_.heartbeatSeconds > 0 &&
+                secondsSince(st.lastBeat) > policy_.heartbeatSeconds;
+            if (!overWall && !overBeat)
+                continue;
+            if (overWall) {
+                st.killedWall = true;
+                st.outcome.killsWallClock++;
+                counters_.killedWallClock++;
+            } else {
+                st.killedBeat = true;
+                st.outcome.killsHeartbeat++;
+                counters_.killedHeartbeat++;
+            }
+            traceEvent(i, overWall ? "killed (wall clock)"
+                                   : "killed (heartbeat)");
+            // SIGKILL is the whole point: non-cooperative, cannot be
+            // caught, ends even a hard-hung child. Reap it now so a
+            // retry can start immediately.
+            ::kill(st.pid, SIGKILL);
+            int ks = 0;
+            while (::waitpid(st.pid, &ks, 0) < 0 && errno == EINTR) {
+            }
+            settle(i, ks);
+        }
+
+        if (!strictError.empty()) {
+            // Strict mode: kill everything still running and fail.
+            for (ShardState &st : states) {
+                if (st.phase == ShardState::Phase::Running) {
+                    ::kill(st.pid, SIGKILL);
+                    int ks = 0;
+                    while (::waitpid(st.pid, &ks, 0) < 0 &&
+                           errno == EINTR) {
+                    }
+                    ::close(st.heartbeatFd);
+                    st.heartbeatFd = -1;
+                }
+            }
+            return internalError(strictError);
+        }
+    }
+
+    std::vector<ShardOutcome> outcomes;
+    outcomes.reserve(states.size());
+    for (ShardState &st : states)
+        outcomes.push_back(std::move(st.outcome));
+    return outcomes;
+}
+
+#else // !UNISTC_SHARD_POSIX
+
+Result<std::vector<ShardOutcome>>
+ShardSupervisor::run(const std::vector<ShardProcess> &procs,
+                     TraceSink *trace)
+{
+    (void)procs;
+    (void)trace;
+    return failedPrecondition(
+        "sharded execution needs a POSIX host (fork/exec)");
+}
+
+#endif // UNISTC_SHARD_POSIX
+
+} // namespace unistc

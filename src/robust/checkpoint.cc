@@ -2,8 +2,17 @@
 
 #include <bit>
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNISTC_CHECKPOINT_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "common/logging.hh"
 
@@ -16,9 +25,11 @@ namespace
 /** Line magic: bump when the field list changes. */
 constexpr const char *kLineTag = "unistc-ckpt-v1";
 
+} // namespace
+
 /** %-escape spaces, percent signs and control characters. */
 std::string
-escapeToken(const std::string &s)
+escapeCheckpointToken(const std::string &s)
 {
     static const char *hex = "0123456789ABCDEF";
     std::string out;
@@ -35,6 +46,9 @@ escapeToken(const std::string &s)
     return out;
 }
 
+namespace
+{
+
 int
 hexDigit(char c)
 {
@@ -47,8 +61,10 @@ hexDigit(char c)
     return -1;
 }
 
+} // namespace
+
 bool
-unescapeToken(const std::string &s, std::string &out)
+unescapeCheckpointToken(const std::string &s, std::string &out)
 {
     out.clear();
     out.reserve(s.size());
@@ -70,22 +86,21 @@ unescapeToken(const std::string &s, std::string &out)
 }
 
 std::string
-u64Hex(std::uint64_t v)
+checkpointHex(std::uint64_t v)
 {
     std::ostringstream os;
     os << std::hex << v;
     return os.str();
 }
 
-/** Bit-exact double encoding: the hex of the IEEE-754 pattern. */
 std::string
-doubleHex(double d)
+checkpointDoubleHex(double d)
 {
-    return u64Hex(std::bit_cast<std::uint64_t>(d));
+    return checkpointHex(std::bit_cast<std::uint64_t>(d));
 }
 
 bool
-parseU64Hex(const std::string &tok, std::uint64_t &out)
+parseCheckpointHex(const std::string &tok, std::uint64_t &out)
 {
     if (tok.empty() || tok.size() > 16)
         return false;
@@ -101,13 +116,28 @@ parseU64Hex(const std::string &tok, std::uint64_t &out)
 }
 
 bool
-parseDoubleHex(const std::string &tok, double &out)
+parseCheckpointDoubleHex(const std::string &tok, double &out)
 {
     std::uint64_t bits = 0;
-    if (!parseU64Hex(tok, bits))
+    if (!parseCheckpointHex(tok, bits))
         return false;
     out = std::bit_cast<double>(bits);
     return true;
+}
+
+namespace
+{
+
+// Short local aliases keep the codec below readable.
+inline std::string u64Hex(std::uint64_t v) { return checkpointHex(v); }
+inline std::string doubleHex(double d) { return checkpointDoubleHex(d); }
+inline bool parseU64Hex(const std::string &t, std::uint64_t &o)
+{
+    return parseCheckpointHex(t, o);
+}
+inline bool parseDoubleHex(const std::string &t, double &o)
+{
+    return parseCheckpointDoubleHex(t, o);
 }
 
 /** Histogram as n:lo-bits:hi-bits:c0,c1,... ("0" when default). */
@@ -180,8 +210,9 @@ std::string
 checkpointKey(const std::string &kernel, const std::string &model,
               const std::string &matrix)
 {
-    return escapeToken(kernel) + " " + escapeToken(model) + " " +
-           escapeToken(matrix);
+    return escapeCheckpointToken(kernel) + " " +
+           escapeCheckpointToken(model) + " " +
+           escapeCheckpointToken(matrix);
 }
 
 std::string
@@ -218,16 +249,14 @@ decodeCheckpointEntry(const std::string &line)
     std::string tok;
     while (is >> tok)
         toks.push_back(tok);
-    // tag + 3 names + 13 counters + 5 energies + 1 histogram.
-    constexpr std::size_t kTokens = 1 + 3 + 13 + 5 + 1;
-    if (toks.size() != kTokens || toks[0] != kLineTag) {
+    if (toks.size() != kCheckpointEntryTokens || toks[0] != kLineTag) {
         return corruptData("checkpoint line is not a " +
                            std::string(kLineTag) + " record");
     }
     CheckpointEntry e;
-    if (!unescapeToken(toks[1], e.kernel) ||
-        !unescapeToken(toks[2], e.model) ||
-        !unescapeToken(toks[3], e.matrix))
+    if (!unescapeCheckpointToken(toks[1], e.kernel) ||
+        !unescapeCheckpointToken(toks[2], e.model) ||
+        !unescapeCheckpointToken(toks[3], e.matrix))
         return corruptData("checkpoint line has a bad name escape");
     RunResult &r = e.result;
     std::uint64_t *counters[] = {
@@ -252,29 +281,151 @@ decodeCheckpointEntry(const std::string &line)
     return e;
 }
 
+DurableAppendFile::~DurableAppendFile()
+{
+    close();
+}
+
+void
+DurableAppendFile::close()
+{
+#ifdef UNISTC_CHECKPOINT_POSIX
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+#endif
+}
+
+Status
+DurableAppendFile::open(const std::string &path)
+{
+#ifdef UNISTC_CHECKPOINT_POSIX
+    close();
+    // O_APPEND makes each write(2) an atomic seek-to-end + write, so
+    // two shard processes appending to one log never interleave.
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+    if (fd < 0) {
+        return ioError("cannot open '" + path + "' for appending");
+    }
+    fd_ = fd;
+    path_ = path;
+    return Status();
+#else
+    (void)path;
+    return failedPrecondition("DurableAppendFile needs a POSIX host");
+#endif
+}
+
+Status
+DurableAppendFile::appendLine(const std::string &line)
+{
+#ifdef UNISTC_CHECKPOINT_POSIX
+    if (fd_ < 0)
+        return failedPrecondition("append file is not open");
+    std::string rec = line;
+    rec.push_back('\n');
+    // One write() for the whole record: a kill mid-call tears only
+    // this line, never a previously synced one.
+    std::size_t off = 0;
+    while (off < rec.size()) {
+        const ssize_t n =
+            ::write(fd_, rec.data() + off, rec.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError("write to '" + path_ + "' failed");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+#if defined(__APPLE__)
+    if (::fsync(fd_) != 0)
+#else
+    if (::fdatasync(fd_) != 0)
+#endif
+        return ioError("sync of '" + path_ + "' failed");
+    return Status();
+#else
+    (void)line;
+    return failedPrecondition("DurableAppendFile needs a POSIX host");
+#endif
+}
+
 Status
 CheckpointWriter::open(const std::string &path)
 {
-    out_.open(path, std::ios::app);
-    if (!out_) {
+    Status st = file_.open(path);
+    if (!st.ok()) {
         return ioError("cannot open checkpoint '" + path +
-                       "' for appending");
+                       "' for appending: " + st.message());
     }
-    path_ = path;
     return Status();
 }
 
 Status
 CheckpointWriter::append(const CheckpointEntry &e)
 {
-    if (!out_.is_open())
+    if (!file_.isOpen())
         return failedPrecondition("checkpoint writer is not open");
-    out_ << encodeCheckpointEntry(e) << "\n";
-    out_.flush();
-    if (!out_) {
-        return ioError("write to checkpoint '" + path_ + "' failed");
+    return file_.appendLine(encodeCheckpointEntry(e));
+}
+
+Status
+atomicWriteFile(const std::string &path, const std::string &bytes)
+{
+#ifdef UNISTC_CHECKPOINT_POSIX
+    // Same-directory temp file so the final rename cannot cross a
+    // filesystem boundary (MatrixCache discipline).
+    const std::string tmp = path + ".tmp." +
+        std::to_string(static_cast<long>(::getpid()));
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return ioError("cannot create temp file '" + tmp + "'");
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return ioError("write to temp file '" + tmp + "' failed");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return ioError("sync of temp file '" + tmp + "' failed");
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return ioError("atomic rename over '" + path + "' failed");
     }
     return Status();
+#else
+    (void)path;
+    (void)bytes;
+    return failedPrecondition("atomicWriteFile needs a POSIX host");
+#endif
+}
+
+Status
+rewriteCheckpointAtomic(const std::string &path,
+                        const std::vector<CheckpointEntry> &entries)
+{
+    std::string blob;
+    for (const CheckpointEntry &e : entries) {
+        blob += encodeCheckpointEntry(e);
+        blob.push_back('\n');
+    }
+    return atomicWriteFile(path, blob);
 }
 
 Result<CheckpointLog>

@@ -10,13 +10,23 @@
  * pattern, so a resumed sweep reproduces bit-identical results. A
  * corrupt line (interrupted write, disk damage) ends the valid
  * prefix: everything before it is used, everything after discarded.
+ *
+ * Durability (the sharded-sweep hardening): every record is appended
+ * with ONE unbuffered write(2) on an O_APPEND descriptor followed by
+ * fdatasync, so a SIGKILL mid-append can only tear the in-flight
+ * line, never an earlier one, and two processes appending to the
+ * same log never interleave partial lines. A log whose tail did get
+ * torn is repaired on load via rewriteCheckpointAtomic() — the
+ * tmp-file + fsync + atomic-rename discipline of MatrixCache — so
+ * records appended after a torn line can never become unreachable
+ * (the "poisoned --resume" failure mode).
  */
 
 #ifndef UNISTC_ROBUST_CHECKPOINT_HH
 #define UNISTC_ROBUST_CHECKPOINT_HH
 
 #include <cstddef>
-#include <fstream>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +36,36 @@
 
 namespace unistc
 {
+
+/** Tokens per checkpoint line: tag + 3 names + 13 counters +
+ *  5 energies + 1 histogram. Kept in sync with the codec below;
+ *  the shard manifest embeds entries and needs the width too. */
+constexpr std::size_t kCheckpointEntryTokens = 1 + 3 + 13 + 5 + 1;
+
+/** @name Checkpoint token helpers
+ *  The escaping/number codec the checkpoint line format is built
+ *  from, exported so the shard manifest speaks the same dialect.
+ *  @{ */
+
+/** %-escape spaces, percent signs and control characters. */
+std::string escapeCheckpointToken(const std::string &s);
+
+/** Undo escapeCheckpointToken; false on a malformed escape. */
+bool unescapeCheckpointToken(const std::string &s, std::string &out);
+
+/** Lower-case hex of @p v, no leading zeros ("0" for zero). */
+std::string checkpointHex(std::uint64_t v);
+
+/** Parse checkpointHex output; false on empty/overlong/non-hex. */
+bool parseCheckpointHex(const std::string &tok, std::uint64_t &out);
+
+/** Bit-exact double encoding: the hex of the IEEE-754 pattern. */
+std::string checkpointDoubleHex(double d);
+
+/** Parse checkpointDoubleHex output (bit-exact round trip). */
+bool parseCheckpointDoubleHex(const std::string &tok, double &out);
+
+/** @} */
 
 /** One checkpointed job result. */
 struct CheckpointEntry
@@ -51,9 +91,44 @@ std::string encodeCheckpointEntry(const CheckpointEntry &e);
 Result<CheckpointEntry> decodeCheckpointEntry(const std::string &line);
 
 /**
- * Appends entries to a checkpoint file, flushing after each so an
- * interrupted run loses at most the in-flight entry (which the
- * loader then drops as a corrupt trailing line).
+ * A line-oriented append file with crash durability: each line goes
+ * out as ONE write(2) on an O_APPEND descriptor and is fdatasync'd,
+ * so a SIGKILL can only tear the in-flight line (the loader's
+ * prefix-recovery then drops it) and concurrent appenders from
+ * different processes never interleave partial lines. Checkpoint
+ * logs and shard manifests both ride on this.
+ */
+class DurableAppendFile
+{
+  public:
+    DurableAppendFile() = default;
+    ~DurableAppendFile();
+
+    DurableAppendFile(const DurableAppendFile &) = delete;
+    DurableAppendFile &operator=(const DurableAppendFile &) = delete;
+
+    /** Open (creating if needed) @p path for appending. */
+    Status open(const std::string &path);
+
+    /** Append @p line + '\n' as a single write, then sync. */
+    Status appendLine(const std::string &line);
+
+    /** Close the descriptor (idempotent). */
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/**
+ * Appends entries to a checkpoint file; each entry is one durable
+ * single-write append (see DurableAppendFile), so an interrupted run
+ * loses at most the in-flight entry (which the loader then drops as
+ * a corrupt trailing line) and never tears an earlier one.
  */
 class CheckpointWriter
 {
@@ -63,15 +138,33 @@ class CheckpointWriter
     /** Open @p path for appending. */
     Status open(const std::string &path);
 
-    /** Serialize, append, flush. */
+    /** Serialize, append in one write, sync. */
     Status append(const CheckpointEntry &e);
 
-    bool isOpen() const { return out_.is_open(); }
+    bool isOpen() const { return file_.isOpen(); }
 
   private:
-    std::ofstream out_;
-    std::string path_;
+    DurableAppendFile file_;
 };
+
+/**
+ * Durable atomic whole-file replace: write a temp file in the same
+ * directory, fsync it, atomically rename over @p path (the
+ * MatrixCache discipline plus the fsync a crash-consistency story
+ * needs). Readers see either the old file or the new one, never a
+ * mix, even across a SIGKILL or power loss mid-write.
+ */
+Status atomicWriteFile(const std::string &path,
+                       const std::string &bytes);
+
+/**
+ * Replace @p path with exactly @p entries via atomicWriteFile().
+ * Used to repair a checkpoint whose tail a SIGKILLed shard tore, so
+ * records appended afterwards are never stranded behind a corrupt
+ * line.
+ */
+Status rewriteCheckpointAtomic(const std::string &path,
+                               const std::vector<CheckpointEntry> &entries);
 
 /**
  * In-memory view of a checkpoint file, indexed by key with duplicate
@@ -100,6 +193,12 @@ class CheckpointLog
 
     std::size_t size() const { return entries_.size(); }
     bool empty() const { return entries_.empty(); }
+
+    /** All entries in file order (e.g. for an atomic repair rewrite). */
+    const std::vector<CheckpointEntry> &entries() const
+    {
+        return entries_;
+    }
 
     /** True when a corrupt line cut the file short on load. */
     bool truncated() const { return truncated_; }

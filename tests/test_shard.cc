@@ -1,0 +1,631 @@
+/**
+ * @file
+ * Tests for the crash-isolated sharding layer (docs/SHARDING.md):
+ * deterministic shard planning, the durable shard manifest codec and
+ * its torn-tail recovery, the merged serve-pass view, process-fault
+ * spec parsing, and the ShardSupervisor's kill/retry/quarantine
+ * machinery driven by /bin/sh child processes.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/shard_plan.hh"
+#include "exec/shard_supervisor.hh"
+#include "obs/stat_registry.hh"
+#include "robust/checkpoint.hh"
+#include "robust/fault_inject.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNISTC_TEST_POSIX 1
+#endif
+
+namespace unistc
+{
+namespace
+{
+
+std::string tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void appendRaw(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << bytes;
+}
+
+CheckpointEntry makeEntry(const std::string &kernel,
+                          const std::string &model,
+                          const std::string &matrix,
+                          std::uint64_t cycles)
+{
+    CheckpointEntry e;
+    e.kernel = kernel;
+    e.model = model;
+    e.matrix = matrix;
+    e.result.cycles = cycles;
+    e.result.products = cycles * 2;
+    e.result.macSlots = cycles * 256;
+    e.result.tasksT1 = 7;
+    e.result.tasksT3 = 3;
+    e.result.energy.compute = 1.25;
+    e.result.energy.fetchA = 0.5;
+    return e;
+}
+
+ShardUnitRecord makeUnit(std::uint64_t unit, std::size_t models)
+{
+    ShardUnitRecord rec;
+    rec.unit = unit;
+    for (std::size_t m = 0; m < models; ++m)
+        rec.entries.push_back(makeEntry(
+            "Spmm", "model" + std::to_string(m),
+            "mat" + std::to_string(unit), 100 + unit * 10 + m));
+    return rec;
+}
+
+void expectSameEntry(const CheckpointEntry &a, const CheckpointEntry &b)
+{
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.matrix, b.matrix);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.products, b.result.products);
+    EXPECT_EQ(a.result.macSlots, b.result.macSlots);
+    EXPECT_EQ(a.result.tasksT1, b.result.tasksT1);
+    EXPECT_EQ(a.result.tasksT3, b.result.tasksT3);
+    EXPECT_DOUBLE_EQ(a.result.energy.compute, b.result.energy.compute);
+    EXPECT_DOUBLE_EQ(a.result.energy.fetchA, b.result.energy.fetchA);
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST(ShardPlan, RoundRobinPartitionsEveryUnitExactlyOnce)
+{
+    ShardPlan plan;
+    plan.shards = 3;
+    for (std::uint64_t unit = 0; unit < 100; ++unit) {
+        int owner = plan.shardOf(unit);
+        EXPECT_GE(owner, 0);
+        EXPECT_LT(owner, plan.shards);
+        int owners = 0;
+        for (int s = 0; s < plan.shards; ++s)
+            owners += plan.owns(unit, s) ? 1 : 0;
+        EXPECT_EQ(owners, 1) << "unit " << unit;
+        EXPECT_TRUE(plan.owns(unit, owner));
+    }
+}
+
+TEST(ShardPlan, ShardOfIsDeterministicAcrossInstances)
+{
+    ShardPlan a, b;
+    a.shards = b.shards = 5;
+    for (std::uint64_t unit = 0; unit < 64; ++unit)
+        EXPECT_EQ(a.shardOf(unit), b.shardOf(unit));
+}
+
+TEST(ShardPlan, UnitsForSumsToTotal)
+{
+    const std::uint64_t totals[] = {0, 1, 7, 33, 100};
+    for (int shards = 1; shards <= 6; ++shards) {
+        ShardPlan plan;
+        plan.shards = shards;
+        for (std::uint64_t total : totals) {
+            std::uint64_t sum = 0;
+            for (int s = 0; s < shards; ++s)
+                sum += plan.unitsFor(total, s);
+            EXPECT_EQ(sum, total)
+                << "shards=" << shards << " total=" << total;
+        }
+    }
+}
+
+TEST(ShardPlan, ValidateShardArgs)
+{
+    EXPECT_TRUE(validateShardArgs(1, 0).ok());
+    EXPECT_TRUE(validateShardArgs(4, 0).ok());
+    EXPECT_TRUE(validateShardArgs(4, 3).ok());
+    EXPECT_FALSE(validateShardArgs(0, 0).ok());
+    EXPECT_FALSE(validateShardArgs(-2, 0).ok());
+    EXPECT_FALSE(validateShardArgs(4, -1).ok());
+    EXPECT_FALSE(validateShardArgs(4, 4).ok());
+}
+
+// --------------------------------------------------------------- codec
+
+TEST(ShardManifestCodec, UnitRoundTrip)
+{
+    ShardUnitRecord rec = makeUnit(11, 3);
+    auto decoded = decodeShardUnit(encodeShardUnit(rec));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    const ShardUnitRecord &back = decoded.value();
+    EXPECT_EQ(back.unit, rec.unit);
+    ASSERT_EQ(back.entries.size(), rec.entries.size());
+    for (std::size_t i = 0; i < rec.entries.size(); ++i)
+        expectSameEntry(back.entries[i], rec.entries[i]);
+    EXPECT_FALSE(back.hasEngine);
+}
+
+TEST(ShardManifestCodec, EngineSuffixRoundTrip)
+{
+    ShardUnitRecord rec = makeUnit(4, 2);
+    rec.hasEngine = true;
+    rec.engTasksGenerated = 12345;
+    rec.engModelsFanout = 6;
+    rec.engPeakLiveTasks = 42;
+    auto decoded = decodeShardUnit(encodeShardUnit(rec));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    const ShardUnitRecord &back = decoded.value();
+    EXPECT_TRUE(back.hasEngine);
+    EXPECT_EQ(back.engTasksGenerated, 12345u);
+    EXPECT_EQ(back.engModelsFanout, 6u);
+    EXPECT_EQ(back.engPeakLiveTasks, 42u);
+}
+
+TEST(ShardManifestCodec, RejectsMalformedLines)
+{
+    EXPECT_FALSE(decodeShardUnit("").ok());
+    EXPECT_FALSE(decodeShardUnit("bogus-tag 1 0").ok());
+    // Truncated mid-entry: claims one entry but carries none.
+    EXPECT_FALSE(decodeShardUnit("unistc-shard-unit-v1 0 1").ok());
+    // Torn half-line, as a SIGKILL mid-append leaves behind.
+    std::string full = encodeShardUnit(makeUnit(2, 1));
+    EXPECT_FALSE(decodeShardUnit(full.substr(0, full.size() / 2)).ok());
+}
+
+TEST(ShardManifestCodec, HeaderRoundTrip)
+{
+    int shard = -1, shards = -1;
+    ASSERT_TRUE(
+        decodeShardHeader(encodeShardHeader(2, 7), shard, shards).ok());
+    EXPECT_EQ(shard, 2);
+    EXPECT_EQ(shards, 7);
+    EXPECT_FALSE(decodeShardHeader("not-a-header 1 2", shard, shards).ok());
+}
+
+// ------------------------------------------------------------ manifest
+
+TEST(ShardManifest, WriteThenLoad)
+{
+    const std::string path = tempPath("manifest_write_load");
+    std::remove(path.c_str());
+
+    ShardManifestWriter writer;
+    ShardManifest resumed;
+    ASSERT_TRUE(writer.open(path, 1, 3, &resumed).ok());
+    EXPECT_TRUE(resumed.empty());
+    ASSERT_TRUE(writer.append(makeUnit(1, 2)).ok());
+    ASSERT_TRUE(writer.append(makeUnit(4, 1)).ok());
+
+    auto loaded = ShardManifest::load(path);
+    ASSERT_TRUE(loaded.ok());
+    const ShardManifest &m = loaded.value();
+    EXPECT_EQ(m.shard(), 1);
+    EXPECT_EQ(m.shards(), 3);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_FALSE(m.truncated());
+    ASSERT_NE(m.find(4), nullptr);
+    EXPECT_EQ(m.find(4)->entries.size(), 1u);
+    EXPECT_EQ(m.find(99), nullptr);
+}
+
+TEST(ShardManifest, MissingFileIsEmpty)
+{
+    auto loaded = ShardManifest::load(tempPath("manifest_nonexistent"));
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded.value().empty());
+    EXPECT_EQ(loaded.value().shard(), -1);
+}
+
+TEST(ShardManifest, DuplicateUnitLastWins)
+{
+    const std::string path = tempPath("manifest_dup");
+    std::remove(path.c_str());
+    ShardManifestWriter writer;
+    ShardManifest resumed;
+    ASSERT_TRUE(writer.open(path, 0, 2, &resumed).ok());
+    ShardUnitRecord first = makeUnit(2, 1);
+    first.entries[0].result.cycles = 111;
+    ShardUnitRecord second = makeUnit(2, 1);
+    second.entries[0].result.cycles = 222;
+    ASSERT_TRUE(writer.append(first).ok());
+    ASSERT_TRUE(writer.append(second).ok());
+
+    auto loaded = ShardManifest::load(path);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_NE(loaded.value().find(2), nullptr);
+    EXPECT_EQ(loaded.value().find(2)->entries[0].result.cycles, 222u);
+}
+
+TEST(ShardManifest, ResumeAfterSigkillKeepsPrefixAndRepairsTornTail)
+{
+    const std::string path = tempPath("manifest_torn");
+    std::remove(path.c_str());
+
+    {
+        ShardManifestWriter writer;
+        ShardManifest resumed;
+        ASSERT_TRUE(writer.open(path, 0, 3, &resumed).ok());
+        ASSERT_TRUE(writer.append(makeUnit(0, 2)).ok());
+        ASSERT_TRUE(writer.append(makeUnit(3, 2)).ok());
+    }
+    // A SIGKILL mid-append leaves a newline-less half record.
+    std::string torn = encodeShardUnit(makeUnit(6, 2));
+    appendRaw(path, torn.substr(0, torn.size() / 2));
+
+    // Loading keeps the valid prefix and flags the damage.
+    auto loaded = ShardManifest::load(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().size(), 2u);
+    EXPECT_TRUE(loaded.value().truncated());
+
+    // The retried attempt's open() repairs the file in place and
+    // resumes the surviving records.
+    ShardManifestWriter writer;
+    ShardManifest resumed;
+    ASSERT_TRUE(writer.open(path, 0, 3, &resumed).ok());
+    EXPECT_EQ(resumed.size(), 2u);
+    ASSERT_NE(resumed.find(3), nullptr);
+    ASSERT_TRUE(writer.append(makeUnit(6, 2)).ok());
+
+    auto repaired = ShardManifest::load(path);
+    ASSERT_TRUE(repaired.ok());
+    EXPECT_FALSE(repaired.value().truncated());
+    EXPECT_EQ(repaired.value().size(), 3u);
+    ASSERT_NE(repaired.value().find(6), nullptr);
+}
+
+TEST(ShardManifest, HeaderMismatchStartsFresh)
+{
+    const std::string path = tempPath("manifest_mismatch");
+    std::remove(path.c_str());
+    {
+        ShardManifestWriter writer;
+        ShardManifest resumed;
+        ASSERT_TRUE(writer.open(path, 0, 2, &resumed).ok());
+        ASSERT_TRUE(writer.append(makeUnit(0, 1)).ok());
+    }
+    // Same path, different plan shape: stale records must not leak in.
+    ShardManifestWriter writer;
+    ShardManifest resumed;
+    ASSERT_TRUE(writer.open(path, 0, 4, &resumed).ok());
+    EXPECT_TRUE(resumed.empty());
+
+    auto loaded = ShardManifest::load(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().shards(), 4);
+    EXPECT_TRUE(loaded.value().empty());
+}
+
+// --------------------------------------------------------------- merge
+
+TEST(ShardMergeView, MergesDisjointManifests)
+{
+    ShardPlan plan;
+    plan.shards = 2;
+    std::vector<ShardManifest> manifests;
+    for (int s = 0; s < 2; ++s) {
+        const std::string path =
+            tempPath("merge_shard_" + std::to_string(s));
+        std::remove(path.c_str());
+        ShardManifestWriter writer;
+        ShardManifest resumed;
+        ASSERT_TRUE(writer.open(path, s, 2, &resumed).ok());
+        for (std::uint64_t unit = 0; unit < 6; ++unit) {
+            if (plan.owns(unit, s))
+                ASSERT_TRUE(writer.append(makeUnit(unit, 1)).ok());
+        }
+        auto loaded = ShardManifest::load(path);
+        ASSERT_TRUE(loaded.ok());
+        manifests.push_back(loaded.value());
+    }
+
+    auto merged = ShardMergeView::merge(manifests, plan);
+    ASSERT_TRUE(merged.ok()) << merged.status().message();
+    const ShardMergeView &view = merged.value();
+    EXPECT_EQ(view.size(), 6u);
+    for (std::uint64_t unit = 0; unit < 6; ++unit) {
+        ASSERT_NE(view.find(unit), nullptr) << "unit " << unit;
+        EXPECT_EQ(view.find(unit)->unit, unit);
+    }
+    EXPECT_EQ(view.find(6), nullptr);
+}
+
+TEST(ShardMergeView, RejectsOwnershipViolation)
+{
+    ShardPlan plan;
+    plan.shards = 2;
+    const std::string path = tempPath("merge_violation");
+    std::remove(path.c_str());
+    ShardManifestWriter writer;
+    ShardManifest resumed;
+    ASSERT_TRUE(writer.open(path, 0, 2, &resumed).ok());
+    // Unit 1 belongs to shard 1; shard 0 recording it is a plan bug.
+    ASSERT_TRUE(writer.append(makeUnit(1, 1)).ok());
+    auto loaded = ShardManifest::load(path);
+    ASSERT_TRUE(loaded.ok());
+
+    auto merged = ShardMergeView::merge({loaded.value()}, plan);
+    EXPECT_FALSE(merged.ok());
+}
+
+// ---------------------------------------------------- durability layer
+
+TEST(CheckpointDurability, AtomicWriteFileReplacesWholeFile)
+{
+    const std::string path = tempPath("atomic_write");
+    ASSERT_TRUE(atomicWriteFile(path, "first\n").ok());
+    EXPECT_EQ(slurp(path), "first\n");
+    ASSERT_TRUE(atomicWriteFile(path, "second\n").ok());
+    EXPECT_EQ(slurp(path), "second\n");
+}
+
+TEST(CheckpointDurability, DurableAppendFileWritesWholeLines)
+{
+    const std::string path = tempPath("durable_append");
+    std::remove(path.c_str());
+    DurableAppendFile file;
+    ASSERT_TRUE(file.open(path).ok());
+    ASSERT_TRUE(file.appendLine("alpha").ok());
+    ASSERT_TRUE(file.appendLine("beta").ok());
+    file.close();
+    EXPECT_FALSE(file.isOpen());
+    EXPECT_EQ(slurp(path), "alpha\nbeta\n");
+}
+
+TEST(CheckpointDurability, RewriteCheckpointAtomicRepairsTornLog)
+{
+    const std::string path = tempPath("ckpt_torn");
+    std::remove(path.c_str());
+    CheckpointEntry a = makeEntry("Spmm", "uni", "m0", 10);
+    CheckpointEntry b = makeEntry("Spmm", "uni", "m1", 20);
+    appendRaw(path, encodeCheckpointEntry(a) + "\n");
+    appendRaw(path, encodeCheckpointEntry(b) + "\n");
+    std::string torn =
+        encodeCheckpointEntry(makeEntry("Spmm", "uni", "m2", 30));
+    appendRaw(path, torn.substr(0, torn.size() / 2));
+
+    auto log = CheckpointLog::load(path);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ(log.value().size(), 2u);
+    EXPECT_TRUE(log.value().truncated());
+
+    ASSERT_TRUE(rewriteCheckpointAtomic(path, log.value().entries()).ok());
+    auto repaired = CheckpointLog::load(path);
+    ASSERT_TRUE(repaired.ok());
+    EXPECT_EQ(repaired.value().size(), 2u);
+    EXPECT_FALSE(repaired.value().truncated());
+    ASSERT_NE(repaired.value().find("Spmm", "uni", "m1"), nullptr);
+    EXPECT_EQ(repaired.value().find("Spmm", "uni", "m1")->result.cycles,
+              20u);
+}
+
+// ----------------------------------------------------- proc fault spec
+
+TEST(ProcFaultSpec, ParsesFullSyntax)
+{
+    auto parsed =
+        parseProcFaultSpecs("abort@1;hang@2x*;exit:3@0x2;partial@1+2");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    const std::vector<ProcFaultSpec> &specs = parsed.value();
+    ASSERT_EQ(specs.size(), 4u);
+
+    EXPECT_EQ(specs[0].kind, FaultKind::ProcAbort);
+    EXPECT_EQ(specs[0].shard, 1);
+    EXPECT_EQ(specs[0].attempts, 1);
+
+    EXPECT_EQ(specs[1].kind, FaultKind::ProcHang);
+    EXPECT_EQ(specs[1].shard, 2);
+    EXPECT_EQ(specs[1].attempts, 0); // x* = every attempt
+
+    EXPECT_EQ(specs[2].kind, FaultKind::ProcExit);
+    EXPECT_EQ(specs[2].exitCode, 3);
+    EXPECT_EQ(specs[2].shard, 0);
+    EXPECT_EQ(specs[2].attempts, 2);
+
+    EXPECT_EQ(specs[3].kind, FaultKind::ProcPartialCrash);
+    EXPECT_EQ(specs[3].afterUnits, 2u);
+}
+
+TEST(ProcFaultSpec, RejectsBadSyntax)
+{
+    EXPECT_FALSE(parseProcFaultSpecs("frobnicate@1").ok());
+    EXPECT_FALSE(parseProcFaultSpecs("abort").ok());
+    EXPECT_FALSE(parseProcFaultSpecs("abort@x").ok());
+    EXPECT_FALSE(parseProcFaultSpecs("exit:@1").ok());
+}
+
+TEST(ProcFaultSpec, MatchRespectsShardAndAttemptBudget)
+{
+    auto parsed = parseProcFaultSpecs("abort@1;hang@2x*");
+    ASSERT_TRUE(parsed.ok());
+    const std::vector<ProcFaultSpec> &specs = parsed.value();
+
+    // abort@1: only shard 1, only attempt 0 (the retry heals).
+    EXPECT_EQ(matchProcFault(specs, 0, 0), nullptr);
+    ASSERT_NE(matchProcFault(specs, 1, 0), nullptr);
+    EXPECT_EQ(matchProcFault(specs, 1, 0)->kind, FaultKind::ProcAbort);
+    EXPECT_EQ(matchProcFault(specs, 1, 1), nullptr);
+
+    // hang@2x*: every attempt of shard 2 (forces quarantine).
+    ASSERT_NE(matchProcFault(specs, 2, 0), nullptr);
+    ASSERT_NE(matchProcFault(specs, 2, 5), nullptr);
+    EXPECT_EQ(matchProcFault(specs, 2, 5)->kind, FaultKind::ProcHang);
+}
+
+// ----------------------------------------------------------- supervisor
+
+#ifdef UNISTC_TEST_POSIX
+
+ShardProcess shellProc(const std::string &script)
+{
+    ShardProcess p;
+    p.argv = {"/bin/sh", "-c", script};
+    return p;
+}
+
+TEST(ShardSupervisor, AllShardsComplete)
+{
+    ShardPolicy policy;
+    policy.maxRetries = 0;
+    ShardSupervisor super(policy);
+    auto run = super.run(
+        {shellProc("exit 0"), shellProc("exit 0"), shellProc("exit 0")});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    const std::vector<ShardOutcome> &outcomes = run.value();
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (const auto &o : outcomes) {
+        EXPECT_TRUE(o.ok);
+        EXPECT_FALSE(o.quarantined);
+        EXPECT_EQ(o.attempts, 1);
+        EXPECT_EQ(o.exitCode, 0);
+    }
+    EXPECT_EQ(super.counters().spawned, 3u);
+    EXPECT_EQ(super.counters().completed, 3u);
+    EXPECT_EQ(super.counters().crashed, 0u);
+    EXPECT_EQ(super.counters().quarantined, 0u);
+}
+
+TEST(ShardSupervisor, RetryHealsCrashAndAccountsBackoff)
+{
+    // Attempt 0 exits 3; the supervisor's retry (attempt 1, announced
+    // via UNISTC_SHARD_ATTEMPT) succeeds.
+    ShardPolicy policy;
+    policy.maxRetries = 2;
+    policy.backoffSeconds = 0.01;
+    ShardSupervisor super(policy);
+    auto run = super.run({shellProc(
+        "[ \"${UNISTC_SHARD_ATTEMPT:-0}\" -ge 1 ] && exit 0; exit 3")});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    const std::vector<ShardOutcome> &outcomes = run.value();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_FALSE(outcomes[0].quarantined);
+    EXPECT_EQ(outcomes[0].attempts, 2);
+    EXPECT_EQ(outcomes[0].exitCode, 0);
+    EXPECT_EQ(super.counters().spawned, 2u);
+    EXPECT_EQ(super.counters().retried, 1u);
+    EXPECT_EQ(super.counters().crashed, 1u);
+    EXPECT_EQ(super.counters().completed, 1u);
+}
+
+TEST(ShardSupervisor, KillsHangOnHeartbeatSilenceAndQuarantines)
+{
+    ShardPolicy policy;
+    policy.heartbeatSeconds = 0.3;
+    policy.maxRetries = 0;
+    ShardSupervisor super(policy);
+    auto run = super.run({shellProc("sleep 30")});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    const std::vector<ShardOutcome> &outcomes = run.value();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_TRUE(outcomes[0].quarantined);
+    EXPECT_GE(outcomes[0].killsHeartbeat, 1);
+    EXPECT_EQ(super.counters().killedHeartbeat, 1u);
+    EXPECT_EQ(super.counters().quarantined, 1u);
+}
+
+TEST(ShardSupervisor, KillsWallClockOverrun)
+{
+    ShardPolicy policy;
+    policy.maxShardSeconds = 0.3;
+    policy.maxRetries = 0;
+    ShardSupervisor super(policy);
+    auto run = super.run({shellProc("sleep 30")});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_TRUE(run.value()[0].quarantined);
+    EXPECT_GE(run.value()[0].killsWallClock, 1);
+    EXPECT_EQ(super.counters().killedWallClock, 1u);
+}
+
+TEST(ShardSupervisor, HeartbeatsKeepSlowShardAlive)
+{
+    // Beats arrive every ~0.1s against a 1s silence budget: the shard
+    // must survive to completion and the beats must be counted.
+    ShardPolicy policy;
+    policy.heartbeatSeconds = 1.0;
+    policy.maxRetries = 0;
+    ShardSupervisor super(policy);
+    auto run = super.run({shellProc(
+        "i=0; while [ $i -lt 5 ]; do"
+        "  eval \"printf x 1>&$UNISTC_SHARD_HEARTBEAT_FD\";"
+        "  sleep 0.1; i=$((i+1));"
+        "done; exit 0")});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_TRUE(run.value()[0].ok);
+    EXPECT_GE(run.value()[0].heartbeats, 1u);
+    EXPECT_GE(super.counters().heartbeats, 1u);
+    EXPECT_EQ(super.counters().killedHeartbeat, 0u);
+}
+
+TEST(ShardSupervisor, QuarantineAfterRetriesExhausted)
+{
+    ShardPolicy policy;
+    policy.maxRetries = 1;
+    policy.backoffSeconds = 0.01;
+    ShardSupervisor super(policy);
+    auto run = super.run({shellProc("exit 7"), shellProc("exit 0")});
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    const std::vector<ShardOutcome> &outcomes = run.value();
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0].quarantined);
+    EXPECT_EQ(outcomes[0].attempts, 2);
+    EXPECT_EQ(outcomes[0].exitCode, 7);
+    EXPECT_TRUE(outcomes[1].ok);
+    EXPECT_EQ(super.counters().quarantined, 1u);
+    EXPECT_EQ(super.counters().retried, 1u);
+    EXPECT_EQ(super.counters().crashed, 2u);
+    EXPECT_EQ(super.counters().completed, 1u);
+}
+
+TEST(ShardSupervisor, StrictModeFailsTheRun)
+{
+    ShardPolicy policy;
+    policy.maxRetries = 0;
+    policy.quarantine = false;
+    ShardSupervisor super(policy);
+    auto run = super.run({shellProc("exit 5")});
+    EXPECT_FALSE(run.ok());
+}
+
+TEST(ShardSupervisor, RegisterShardStatsPublishesCounters)
+{
+    ShardRecoveryCounters sc;
+    sc.spawned = 4;
+    sc.completed = 3;
+    sc.killedHeartbeat = 1;
+    sc.retried = 1;
+    sc.quarantined = 1;
+    sc.heartbeats = 17;
+    StatRegistry stats;
+    registerShardStats(stats, 3, sc);
+    EXPECT_EQ(stats.counter("robust.shard_count"), 3u);
+    EXPECT_EQ(stats.counter("robust.shard_spawned"), 4u);
+    EXPECT_EQ(stats.counter("robust.shard_completed"), 3u);
+    EXPECT_EQ(stats.counter("robust.shard_killed_heartbeat"), 1u);
+    EXPECT_EQ(stats.counter("robust.shard_retried"), 1u);
+    EXPECT_EQ(stats.counter("robust.shard_quarantined"), 1u);
+    EXPECT_EQ(stats.counter("robust.shard_heartbeats"), 17u);
+}
+
+#endif // UNISTC_TEST_POSIX
+
+} // namespace
+} // namespace unistc
