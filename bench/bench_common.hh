@@ -1,11 +1,16 @@
 /**
  * @file
- * Shared plumbing for the benchmark harnesses: per-matrix kernel
- * dispatch with BBC reuse, the standard baseline comparisons, and the
- * parallel sweep engine behind `--jobs N`.
+ * Thin adapter between the benchmark harnesses and the execution
+ * driver library (src/driver/). The sweep engine that used to live
+ * here — result log, checkpoint/sweep/shard sessions, the kernel-run
+ * mode dispatch and the orchestrating main() — is now the compiled
+ * driver library; this header only re-exports the handful of names
+ * bench bodies use (Prepared, runKernel, runKernelLineup, quickMode)
+ * and generates the standard main() on top of DriverSession.
  *
- * Every harness that includes this header gains three flags with no
- * per-bench code:
+ * Every harness that includes this header accepts the full standard
+ * execution family with no per-bench code (one parser, one --help,
+ * one --version — driver/sweep_request.hh):
  *
  *   --quick    shrink workloads (also UNISTC_BENCH_QUICK)
  *   --smoke    tiny corpus for ctest smoke runs (implies --quick)
@@ -25,7 +30,7 @@
  * The *plan* pass runs with stdout silenced and the log level raised;
  * every runKernel() call records a JobSpec — model clone, shared BBC
  * operands, energy parameters — submits it to the thread pool (which
- * starts simulating immediately) and returns a zeroed RunResult.
+ * starts simulating immediately) and returns a sentinel RunResult.
  * After a barrier, the *replay* pass re-runs the body serially; each
  * runKernel() call now returns the precomputed result for its
  * submission index. Because replay is the serial program with the
@@ -58,46 +63,28 @@
 #ifndef UNISTC_BENCH_BENCH_COMMON_HH
 #define UNISTC_BENCH_BENCH_COMMON_HH
 
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <utility>
 #include <vector>
-
-#if defined(__unix__) || defined(__APPLE__)
-#define UNISTC_BENCH_POSIX 1
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#else
-#define UNISTC_BENCH_POSIX 0
-#endif
 
 #include "bbc/bbc_matrix.hh"
 #include "cache/matrix_cache.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "driver/driver_session.hh"
+#include "driver/execution_context.hh"
+#include "driver/kernel_run.hh"
+#include "driver/sweep_request.hh"
+#include "driver/version.hh"
 #include "engine/kernel_pipeline.hh"
-#include "exec/shard_plan.hh"
-#include "exec/shard_supervisor.hh"
-#include "exec/sweep_executor.hh"
-#include "robust/fault_inject.hh"
-#include "runner/block_driver.hh"
 #include "obs/bench_json.hh"
 #include "obs/json_writer.hh"
 #include "obs/metrics_export.hh"
 #include "obs/stat_registry.hh"
-#include "robust/checkpoint.hh"
-#include "warehouse/sink.hh"
+#include "runner/block_driver.hh"
 #include "runner/report.hh"
 #include "runner/spgemm_runner.hh"
 #include "runner/spmm_runner.hh"
@@ -110,1393 +97,20 @@ namespace unistc
 namespace bench
 {
 
-/**
- * BBC for @p csr: the artifact cache's already-decoded conversion
- * when one exists for these exact contents, a fresh fromCsr()
- * otherwise. With the cache disabled this is exactly fromCsr(), so
- * benches built on Prepared need zero changes either way.
- */
-inline BbcMatrix
-bbcFor(const CsrMatrix &csr)
-{
-    if (auto cached = MatrixCache::global().findBbcFor(csr))
-        return *cached;
-    return BbcMatrix::fromCsr(csr);
-}
-
-/** A matrix prepared once and reused across models and kernels. */
-struct Prepared
-{
-    std::string name;
-    CsrMatrix csr;
-    BbcMatrix bbc;
-    SparseVector x50; ///< 50%-sparse x for SpMSpV (§VI-A).
-
-    Prepared(std::string n, CsrMatrix m, std::uint64_t seed = 99)
-        : name(std::move(n)), csr(std::move(m)), bbc(bbcFor(csr)),
-          x50(csr.cols())
-    {
-        Rng rng(seed);
-        for (int i = 0; i < csr.cols(); ++i) {
-            if (rng.nextBool(0.5))
-                x50.push(i, rng.nextDouble(0.1, 1.0));
-        }
-    }
-};
-
-/**
- * Accumulates every RunResult a bench harness produces so the run can
- * be exported as machine-readable JSON next to the printed tables.
- * Set UNISTC_BENCH_JSON=out.json to get an automatic dump at exit.
- * record() is mutex-guarded so sweep workers may append concurrently;
- * entries() / dumpJson() are for after the run settles. Every record
- * is additionally mirrored into the results warehouse when
- * UNISTC_WAREHOUSE_DIR is set (warehouse/sink.hh) — same rows, same
- * order, incrementally flushed so a crashed bench keeps its prefix.
- */
-class ResultLog
-{
-  public:
-    using Entry = BenchJsonEntry;
-
-    /**
-     * One engine pass recorded by runKernelLineup(): the per-layer
-     * counters of a single-pass multi-architecture run. The JSON dump
-     * gains an "engine" array when any were recorded. Wall-clock
-     * seconds appear only when @ref timed is set (tab07's
-     * enumeration-vs-model split) — they would otherwise break the
-     * --jobs byte-identical-output guarantee.
-     */
-    using EngineEntry = BenchJsonEngineEntry;
-
-    static ResultLog &
-    instance()
-    {
-        // Intentionally leaked: the atexit dump handler registered in
-        // the constructor must outlive static destruction.
-        static ResultLog *log = new ResultLog();
-        return *log;
-    }
-
-    void
-    record(Kernel kernel, const std::string &model,
-           const std::string &matrix, const RunResult &result)
-    {
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            entries_.push_back(
-                {toString(kernel), model, matrix, result});
-        }
-        warehouse::BenchSink::instance().record(
-            toString(kernel), model, matrix, result);
-    }
-
-    void
-    recordEngine(Kernel kernel, const std::string &matrix,
-                 const PipelineCounters &counters, bool timed = false)
-    {
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            engineEntries_.push_back(
-                {toString(kernel), matrix, counters, timed});
-        }
-        warehouse::BenchSink::instance().recordEngine(
-            toString(kernel), matrix, counters, timed);
-    }
-
-    const std::vector<Entry> &entries() const { return entries_; }
-
-    const std::vector<EngineEntry> &
-    engineEntries() const
-    {
-        return engineEntries_;
-    }
-
-    /**
-     * Write all recorded entries as schema-versioned JSON, through
-     * the shared serializer (obs/bench_json.hh) so this dump and
-     * `unistc_query export-bench` agree byte for byte.
-     */
-    void
-    dumpJson(const std::string &path) const
-    {
-        std::ofstream os(path);
-        if (!os) {
-            UNISTC_FATAL("cannot open bench JSON output '", path,
-                         "' for writing");
-        }
-        writeBenchJson(os, entries_, engineEntries_);
-    }
-
-  private:
-    ResultLog()
-    {
-        if (std::getenv("UNISTC_BENCH_JSON") != nullptr)
-            std::atexit(&ResultLog::dumpAtExit);
-    }
-
-    static void
-    dumpAtExit()
-    {
-        const char *path = std::getenv("UNISTC_BENCH_JSON");
-        if (path != nullptr && (!instance().entries_.empty() ||
-                                !instance().engineEntries_.empty()))
-            instance().dumpJson(path);
-    }
-
-    std::mutex mu_;
-    std::vector<Entry> entries_;
-    std::vector<EngineEntry> engineEntries_;
-};
-
-/**
- * The per-binary --resume state: a checkpoint file loaded at startup
- * plus an append handle for newly finished jobs. lookup() matches a
- * runKernel() call against the checkpoint by (kernel, model, matrix)
- * key and occurrence count — the Nth call with a given key maps to
- * the Nth checkpointed entry with that key — so benches that run the
- * same combination repeatedly resume correctly, and the plan and
- * replay passes of a --jobs run (which both traverse the bench body)
- * see identical answers after resetCursor().
- */
-class CheckpointSession
-{
-  public:
-    static CheckpointSession &
-    instance()
-    {
-        static CheckpointSession session;
-        return session;
-    }
-
-    /** Enable resume against @p path: load it, then append to it. */
-    void
-    configure(const std::string &path)
-    {
-        log_ = std::make_unique<CheckpointLog>(
-            CheckpointLog::load(path).value());
-        if (log_->truncated()) {
-            // A killed writer tore the tail. Rewrite the valid
-            // prefix atomically BEFORE reopening for append, or
-            // every record we add lands behind the corrupt line
-            // where no future --resume can reach it.
-            if (Status s = rewriteCheckpointAtomic(path,
-                                                   log_->entries());
-                !s.ok()) {
-                raise(s);
-            }
-            UNISTC_INFORM("repaired torn checkpoint '", path,
-                          "': kept ", log_->size(),
-                          " valid entr(ies)");
-        }
-        if (Status s = writer_.open(path); !s.ok())
-            raise(s);
-        if (!log_->empty()) {
-            UNISTC_INFORM("resuming from checkpoint '", path, "': ",
-                          log_->size(), " completed job(s) on file");
-        }
-        enabled_ = true;
-    }
-
-    /**
-     * Shard-worker variant: serve lookups from @p path but never
-     * append — only the supervisor's serve pass extends the user's
-     * checkpoint, so K workers cannot interleave writes into it.
-     * No repair either (the supervisor already did it before any
-     * worker was spawned).
-     */
-    void
-    configureReadOnly(const std::string &path)
-    {
-        log_ = std::make_unique<CheckpointLog>(
-            CheckpointLog::load(path).value());
-        enabled_ = true;
-        readOnly_ = true;
-    }
-
-    bool enabled() const { return enabled_; }
-
-    /**
-     * Checkpointed result for the next occurrence of this key, or
-     * null when the job still has to run. Advances the occurrence
-     * cursor either way.
-     */
-    const CheckpointEntry *
-    lookup(Kernel kernel, const std::string &model,
-           const std::string &matrix)
-    {
-        if (!enabled_)
-            return nullptr;
-        std::lock_guard<std::mutex> lock(mu_);
-        const std::size_t occurrence =
-            seen_[checkpointKey(toString(kernel), model, matrix)]++;
-        return log_->find(toString(kernel), model, matrix,
-                          occurrence);
-    }
-
-    /** Append a newly computed result (flushes immediately). */
-    void
-    append(Kernel kernel, const std::string &model,
-           const std::string &matrix, const RunResult &result)
-    {
-        if (!enabled_ || readOnly_)
-            return;
-        std::lock_guard<std::mutex> lock(mu_);
-        CheckpointEntry e;
-        e.kernel = toString(kernel);
-        e.model = model;
-        e.matrix = matrix;
-        e.result = result;
-        if (Status s = writer_.append(e); !s.ok()) {
-            // A failing checkpoint must not fail the bench: results
-            // are still printed, only resumability degrades.
-            UNISTC_WARN("checkpoint append failed: ", s.message());
-        }
-    }
-
-    /**
-     * Restart occurrence counting — called between the plan and
-     * replay passes so both consume the checkpoint identically.
-     */
-    void
-    resetCursor()
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        seen_.clear();
-    }
-
-  private:
-    CheckpointSession() = default;
-
-    bool enabled_ = false;
-    bool readOnly_ = false;
-    std::mutex mu_;
-    std::unique_ptr<CheckpointLog> log_;
-    CheckpointWriter writer_;
-    std::map<std::string, std::size_t> seen_;
-};
-
-/**
- * The per-binary --jobs state machine driving the plan / execute /
- * replay phases described in the file header. Off by default; the
- * generated main() (bottom of this header) flips it when --jobs > 1.
- */
-class SweepSession
-{
-  public:
-    enum class Mode
-    {
-        Off,    ///< Serial: runKernel() simulates inline.
-        Plan,   ///< Recording pass: submit jobs, return zeros.
-        Replay, ///< Serial re-run returning precomputed results.
-    };
-
-    static SweepSession &
-    instance()
-    {
-        static SweepSession session;
-        return session;
-    }
-
-    Mode mode() const { return mode_; }
-
-    void
-    startPlan(int jobs)
-    {
-        SweepExecutor::Options opt;
-        opt.jobs = jobs;
-        // ResultLog builds its own per-entry registries at dump
-        // time; executor-side shards would be redundant work.
-        opt.collectStats = false;
-        exec_ = std::make_unique<SweepExecutor>(opt);
-        cursor_ = 0;
-        mode_ = Mode::Plan;
-    }
-
-    /** Barrier: all planned jobs finish, then replay begins. */
-    void
-    startReplay()
-    {
-        UNISTC_ASSERT(mode_ == Mode::Plan,
-                      "startReplay without a plan pass");
-        exec_->wait();
-        cursor_ = 0;
-        mode_ = Mode::Replay;
-    }
-
-    void
-    finish()
-    {
-        // The sweep's recovery tallies belong in the warehouse
-        // commit record — after this point the executor is gone.
-        if (exec_ != nullptr) {
-            warehouse::BenchSink::instance().noteRecovery(
-                exec_->recoveryCounters());
-        }
-        mode_ = Mode::Off;
-        exec_.reset();
-        captures_.clear();
-    }
-
-    /** Plan-pass runKernel(): record + submit, return zeros. */
-    RunResult
-    plan(Kernel kernel, const StcModel &model, const Prepared &p,
-         const EnergyModel &energy)
-    {
-        JobSpec spec;
-        spec.kernel = kernel;
-        spec.model = model.name();
-        spec.config = model.config();
-        spec.matrix = p.name;
-        spec.impl = std::shared_ptr<const StcModel>(model.clone());
-        const Capture &cap = capture(p);
-        spec.a = cap.bbc;
-        if (kernel == Kernel::SpMSpV)
-            spec.x = cap.x50;
-        spec.energy = energy.params();
-        exec_->submit(std::move(spec));
-        // Degenerate sentinel, not zeros: several benches guard on
-        // `result.cycles == 0` before folding results into rollups,
-        // and an all-skipped rollup panics (max() on empty stat).
-        // Nonzero counters keep the plan pass on the same control
-        // path; every derived ratio is a neutral 1.0 and the output
-        // goes to /dev/null anyway.
-        RunResult sentinel;
-        sentinel.cycles = 1;
-        sentinel.products = 1;
-        sentinel.macSlots = 1;
-        sentinel.tasksT1 = 1;
-        sentinel.tasksT3 = 1;
-        return sentinel;
-    }
-
-    /** Replay-pass runKernel(): next precomputed result, checked. */
-    RunResult
-    replay(Kernel kernel, const StcModel &model, const Prepared &p)
-    {
-        UNISTC_ASSERT(exec_ != nullptr, "replay without a plan");
-        if (cursor_ >= exec_->jobCount()) {
-            UNISTC_FATAL(
-                "--jobs replay diverged: the bench issued more "
-                "runKernel() calls than the plan pass recorded "
-                "(call ", cursor_ + 1, " of ", exec_->jobCount(),
-                "). This bench's control flow depends on simulation "
-                "results; run it with --jobs 1.");
-        }
-        const JobSpec &planned = exec_->spec(cursor_);
-        if (planned.kernel != kernel ||
-            planned.model != model.name() ||
-            planned.matrix != p.name) {
-            UNISTC_FATAL(
-                "--jobs replay diverged at job ", cursor_,
-                ": planned ", planned.label(), " but the bench "
-                "requested ", toString(kernel), " ", model.name(),
-                " @ ", p.name, ". This bench's control flow depends "
-                "on simulation results; run it with --jobs 1.");
-        }
-        return exec_->result(cursor_++);
-    }
-
-    /**
-     * Plan-pass runKernelLineup(): submit ONE multi-model job whose
-     * lineup shares a single task stream, return sentinels.
-     */
-    std::vector<RunResult>
-    planLineup(Kernel kernel,
-               const std::vector<const StcModel *> &models,
-               const Prepared &p, const EnergyModel &energy)
-    {
-        JobSpec spec;
-        spec.kernel = kernel;
-        spec.matrix = p.name;
-        for (const StcModel *m : models) {
-            ModelSpec entry;
-            entry.name = m->name();
-            entry.config = m->config();
-            entry.impl = std::shared_ptr<const StcModel>(m->clone());
-            spec.lineup.push_back(std::move(entry));
-        }
-        const Capture &cap = capture(p);
-        spec.a = cap.bbc;
-        if (kernel == Kernel::SpMSpV)
-            spec.x = cap.x50;
-        spec.energy = energy.params();
-        exec_->submit(std::move(spec));
-        // Same degenerate sentinel as plan() — one per model.
-        RunResult sentinel;
-        sentinel.cycles = 1;
-        sentinel.products = 1;
-        sentinel.macSlots = 1;
-        sentinel.tasksT1 = 1;
-        sentinel.tasksT3 = 1;
-        return std::vector<RunResult>(models.size(), sentinel);
-    }
-
-    /**
-     * Replay-pass runKernelLineup(): per-model results of the next
-     * planned multi-model job, checked against the request; the
-     * job's engine counters land in @p counters.
-     */
-    std::vector<RunResult>
-    replayLineup(Kernel kernel,
-                 const std::vector<const StcModel *> &models,
-                 const Prepared &p, PipelineCounters *counters)
-    {
-        UNISTC_ASSERT(exec_ != nullptr, "replay without a plan");
-        if (cursor_ >= exec_->jobCount()) {
-            UNISTC_FATAL(
-                "--jobs replay diverged: the bench issued more "
-                "runKernelLineup() calls than the plan pass recorded "
-                "(call ", cursor_ + 1, " of ", exec_->jobCount(),
-                "). This bench's control flow depends on simulation "
-                "results; run it with --jobs 1.");
-        }
-        const JobSpec &planned = exec_->spec(cursor_);
-        bool matches = planned.kernel == kernel &&
-                       planned.matrix == p.name &&
-                       planned.fanout() == models.size() &&
-                       !planned.lineup.empty();
-        for (std::size_t m = 0; matches && m < models.size(); ++m)
-            matches = planned.modelName(m) == models[m]->name();
-        if (!matches) {
-            UNISTC_FATAL(
-                "--jobs replay diverged at job ", cursor_,
-                ": planned ", planned.label(), " but the bench "
-                "requested a ", toString(kernel), " lineup of ",
-                models.size(), " model(s) @ ", p.name,
-                ". This bench's control flow depends on simulation "
-                "results; run it with --jobs 1.");
-        }
-        if (counters != nullptr)
-            *counters = exec_->countersOf(cursor_);
-        std::vector<RunResult> results;
-        results.reserve(models.size());
-        for (std::size_t m = 0; m < models.size(); ++m)
-            results.push_back(exec_->resultOf(cursor_, m));
-        ++cursor_;
-        return results;
-    }
-
-  private:
-    struct Capture
-    {
-        std::shared_ptr<const BbcMatrix> bbc;
-        std::shared_ptr<const SparseVector> x50;
-    };
-
-    SweepSession() = default;
-
-    /**
-     * One shared copy of a Prepared matrix per sweep, keyed by name
-     * and shape so every job over the same matrix shares operands
-     * instead of copying them.
-     */
-    const Capture &
-    capture(const Prepared &p)
-    {
-        const std::string key =
-            p.name + "#" + std::to_string(p.csr.rows()) + "x" +
-            std::to_string(p.csr.cols()) + "#" +
-            std::to_string(p.csr.nnz()) + "#" +
-            std::to_string(p.x50.nnz());
-        auto it = captures_.find(key);
-        if (it == captures_.end()) {
-            Capture cap;
-            cap.bbc = std::make_shared<const BbcMatrix>(p.bbc);
-            cap.x50 = std::make_shared<const SparseVector>(p.x50);
-            it = captures_.emplace(key, std::move(cap)).first;
-        }
-        return it->second;
-    }
-
-    Mode mode_ = Mode::Off;
-    std::unique_ptr<SweepExecutor> exec_;
-    std::map<std::string, Capture> captures_;
-    std::size_t cursor_ = 0;
-};
-
-/**
- * The per-binary --shards state machine (docs/SHARDING.md). Off by
- * default; the generated main() puts the process in Worker mode
- * (--shard i: execute owned units, record them to a durable
- * manifest) or Serve mode (the supervisor's final pass: splice every
- * unit's results back in from the merged manifests). Both modes
- * number runKernel()/runKernelLineup() calls with the same unit
- * counter, so ownership and lookup agree across processes.
- */
-class ShardSession
-{
-  public:
-    enum class Mode
-    {
-        Off,    ///< Not sharded: runKernel() behaves as ever.
-        Worker, ///< Child: execute owned units into the manifest.
-        Serve,  ///< Supervisor: serve merged manifest results.
-    };
-
-    static ShardSession &
-    instance()
-    {
-        static ShardSession session;
-        return session;
-    }
-
-    Mode mode() const { return mode_; }
-    int shards() const { return plan_.shards; }
-
-    /**
-     * Enter Worker mode for shard @p shard of @p shards, recording
-     * to @p manifestPath. A manifest left by a killed earlier
-     * attempt is repaired and resumed — its units are skipped, not
-     * re-simulated. Injected process faults (UNISTC_SHARD_FAULT) are
-     * armed here.
-     */
-    void
-    startWorker(int shard, int shards, const std::string &manifestPath)
-    {
-        if (Status st = validateShardArgs(shards, shard); !st.ok())
-            raise(st);
-        plan_.shards = shards;
-        shard_ = shard;
-        manifestPath_ = manifestPath;
-        ShardManifest resumed;
-        if (Status st = writer_.open(manifestPath, shard, shards,
-                                     &resumed);
-            !st.ok()) {
-            raise(st);
-        }
-        resumed_ = std::move(resumed);
-        if (!resumed_.empty()) {
-            UNISTC_INFORM("shard ", shard, "/", shards,
-                          " resuming: ", resumed_.size(),
-                          " unit(s) already on '", manifestPath, "'");
-        }
-        attempt_ = shardAttemptFromEnv();
-        if (const char *env = std::getenv(kShardFaultEnv)) {
-            Result<std::vector<ProcFaultSpec>> specs =
-                parseProcFaultSpecs(env);
-            if (!specs.ok())
-                raise(specs.status());
-            faults_ = std::move(specs).value();
-        }
-        mode_ = Mode::Worker;
-        shardHeartbeat();
-    }
-
-    /** Enter Serve mode over the merged manifests of all shards. */
-    void
-    startServe(int shards, ShardMergeView view,
-               std::vector<bool> quarantined)
-    {
-        plan_.shards = shards;
-        view_ = std::move(view);
-        quarantined_ = std::move(quarantined);
-        unit_ = 0;
-        mode_ = Mode::Serve;
-    }
-
-    /** Number this runKernel()/runKernelLineup() call. */
-    std::uint64_t beginUnit() { return unit_++; }
-
-    bool owns(std::uint64_t unit) const
-    {
-        return plan_.owns(unit, shard_);
-    }
-
-    /**
-     * Worker: true when a previous (killed) attempt already durably
-     * recorded @p unit; counts it as done and beats the heart.
-     */
-    bool
-    alreadyRecorded(std::uint64_t unit)
-    {
-        if (resumed_.find(unit) == nullptr)
-            return false;
-        ++ownedDone_;
-        shardHeartbeat();
-        return true;
-    }
-
-    /**
-     * Worker: fire any injected process fault that is due before
-     * this unit executes. abort/exit/hang die right here;
-     * partial-output-then-crash arms itself and fires inside
-     * completeUnit() mid-append instead.
-     */
-    void
-    checkInjectedFault()
-    {
-        const ProcFaultSpec *f =
-            matchProcFault(faults_, shard_, attempt_);
-        if (f == nullptr || ownedDone_ < f->afterUnits)
-            return;
-        if (f->kind == FaultKind::ProcPartialCrash) {
-            armedPartial_ = f;
-            return;
-        }
-        executeProcFault(*f);
-    }
-
-    /** Worker: durably record one finished owned unit + heartbeat. */
-    void
-    completeUnit(const ShardUnitRecord &rec)
-    {
-        if (armedPartial_ != nullptr) {
-            executeProcFault(*armedPartial_, manifestPath_,
-                             encodeShardUnit(rec));
-        }
-        if (Status st = writer_.append(rec); !st.ok())
-            raise(st);
-        ++ownedDone_;
-        shardHeartbeat();
-    }
-
-    /** Serve: the merged record for @p unit, null when missing. */
-    const ShardUnitRecord *
-    find(std::uint64_t unit) const
-    {
-        return view_.find(unit);
-    }
-
-    /** Serve: true when @p unit's owning shard was quarantined. */
-    bool
-    unitQuarantined(std::uint64_t unit) const
-    {
-        const int owner = plan_.shardOf(unit);
-        return owner < static_cast<int>(quarantined_.size()) &&
-               quarantined_[owner];
-    }
-
-    /**
-     * What a worker returns for units it does not execute: the same
-     * degenerate nonzero sentinel as the --jobs plan pass, for the
-     * same reason (benches guard on cycles == 0, and worker output
-     * goes to /dev/null anyway).
-     */
-    static RunResult
-    sentinel()
-    {
-        RunResult s;
-        s.cycles = 1;
-        s.products = 1;
-        s.macSlots = 1;
-        s.tasksT1 = 1;
-        s.tasksT3 = 1;
-        return s;
-    }
-
-  private:
-    ShardSession() = default;
-
-    Mode mode_ = Mode::Off;
-    ShardPlan plan_;
-    int shard_ = -1;
-    int attempt_ = 0;
-    std::uint64_t unit_ = 0;
-    std::uint64_t ownedDone_ = 0;
-    std::string manifestPath_;
-    ShardManifestWriter writer_;
-    ShardManifest resumed_;
-    ShardMergeView view_;
-    std::vector<bool> quarantined_;
-    std::vector<ProcFaultSpec> faults_;
-    const ProcFaultSpec *armedPartial_ = nullptr;
-};
-
-/** Inline (in-process, serial) execution of one kernel. */
-inline RunResult
-executeKernel(Kernel kernel, const StcModel &model, const Prepared &p,
-              const EnergyModel &energy)
-{
-    switch (kernel) {
-      case Kernel::SpMV:
-        return runSpmv(model, p.bbc, energy);
-      case Kernel::SpMSpV:
-        return runSpmspv(model, p.bbc, p.x50, energy);
-      case Kernel::SpMM:
-        return runSpmm(model, p.bbc, 64, energy);
-      case Kernel::SpGEMM:
-        return runSpgemm(model, p.bbc, p.bbc, energy);
-    }
-    UNISTC_PANIC("executeKernel: unknown kernel");
-}
-
-/** Run one of the four kernels on a prepared matrix. */
-inline RunResult
-runKernel(Kernel kernel, const StcModel &model, const Prepared &p,
-          const EnergyModel &energy = EnergyModel())
-{
-    auto &session = SweepSession::instance();
-    auto &ckpt = CheckpointSession::instance();
-    auto &shard = ShardSession::instance();
-    // --resume: a checkpointed job is served from the file in every
-    // mode and never submitted/simulated. Every mode (plan/replay,
-    // worker/serve) asks in the same order, so the occurrence
-    // cursors stay aligned across passes AND processes.
-    const CheckpointEntry *hit =
-        ckpt.lookup(kernel, model.name(), p.name);
-
-    if (shard.mode() == ShardSession::Mode::Worker) {
-        const std::uint64_t unit = shard.beginUnit();
-        if (hit != nullptr)
-            return hit->result; // complete via the user checkpoint
-        if (!shard.owns(unit) || shard.alreadyRecorded(unit))
-            return ShardSession::sentinel();
-        shard.checkInjectedFault();
-        const RunResult res = executeKernel(kernel, model, p, energy);
-        ShardUnitRecord rec;
-        rec.unit = unit;
-        rec.entries.push_back(
-            {toString(kernel), model.name(), p.name, res});
-        shard.completeUnit(rec);
-        return res;
-    }
-    if (shard.mode() == ShardSession::Mode::Serve) {
-        const std::uint64_t unit = shard.beginUnit();
-        RunResult res;
-        bool quarantined = false;
-        if (hit != nullptr) {
-            res = hit->result;
-        } else if (const ShardUnitRecord *rec = shard.find(unit)) {
-            if (rec->entries.size() != 1 ||
-                rec->entries[0].kernel != toString(kernel) ||
-                rec->entries[0].model != model.name() ||
-                rec->entries[0].matrix != p.name) {
-                UNISTC_FATAL(
-                    "--shards merge diverged at unit ", unit,
-                    ": the manifest holds a different job than the "
-                    "requested ", toString(kernel), " ", model.name(),
-                    " @ ", p.name, ". The bench body must be "
-                    "deterministic across processes.");
-            }
-            res = rec->entries[0].result;
-        } else if (shard.unitQuarantined(unit)) {
-            // The owning shard died on every attempt before this
-            // unit: report zeros (the SweepExecutor quarantine
-            // convention) but do NOT checkpoint them, so a rerun
-            // with the same --resume file heals the hole.
-            quarantined = true;
-        } else {
-            UNISTC_FATAL(
-                "--shards merge is missing unit ", unit, " (",
-                toString(kernel), " ", model.name(), " @ ", p.name,
-                ") though its shard completed. The bench body must "
-                "be deterministic across processes.");
-        }
-        if (hit == nullptr && !quarantined)
-            ckpt.append(kernel, model.name(), p.name, res);
-        ResultLog::instance().record(kernel, model.name(), p.name,
-                                     res);
-        return res;
-    }
-
-    if (hit != nullptr) {
-        if (session.mode() == SweepSession::Mode::Plan)
-            return hit->result;
-        ResultLog::instance().record(kernel, model.name(), p.name,
-                                     hit->result);
-        return hit->result;
-    }
-    if (session.mode() == SweepSession::Mode::Plan)
-        return session.plan(kernel, model, p, energy);
-
-    RunResult res;
-    if (session.mode() == SweepSession::Mode::Replay)
-        res = session.replay(kernel, model, p);
-    else
-        res = executeKernel(kernel, model, p, energy);
-    // Newly computed (not resumed) results extend the checkpoint;
-    // this runs in the serial replay / Off paths only, so entries
-    // land in deterministic bench order.
-    ckpt.append(kernel, model.name(), p.name, res);
-    ResultLog::instance().record(kernel, model.name(), p.name, res);
-    return res;
-}
-
-/**
- * Run one kernel on a prepared matrix across a whole architecture
- * lineup in a SINGLE pass over one shared task stream (the engine
- * fan-out, docs/ARCHITECTURE.md): the stream is enumerated once per
- * (kernel, matrix) no matter how many models run, and each returned
- * RunResult (lineup order) is bit-identical to a one-model
- * runKernel() call. Honors --resume — per-(kernel, model, matrix)
- * checkpoint entries, compatible with files written by runKernel() —
- * and --jobs, where the whole lineup rides as one multi-model job.
- * Records per-model ResultLog entries plus one "engine" entry with
- * the pass's counters; @p record_timing additionally publishes the
- * enumerate-vs-model wall-time split (non-deterministic across runs,
- * so only tab07's evidence path opts in). @p counters_out, when
- * non-null, receives the pass's counters (all zero in a --jobs plan
- * pass or when every model was served from the checkpoint).
- */
-inline std::vector<RunResult>
-runKernelLineup(Kernel kernel,
-                const std::vector<const StcModel *> &models,
-                const Prepared &p,
-                const EnergyModel &energy = EnergyModel(),
-                bool record_timing = false,
-                PipelineCounters *counters_out = nullptr)
-{
-    auto &session = SweepSession::instance();
-    auto &ckpt = CheckpointSession::instance();
-    auto &shard = ShardSession::instance();
-    const std::size_t n = models.size();
-    UNISTC_ASSERT(n > 0, "runKernelLineup needs at least one model");
-
-    // --resume: serve checkpointed models from the file and fan the
-    // stream out only to the missing tail of the lineup. Lookups
-    // advance the per-key occurrence cursors in every mode, so the
-    // plan and replay passes stay aligned.
-    std::vector<RunResult> results(n);
-    std::vector<bool> from_ckpt(n, false);
-    std::vector<const StcModel *> missing;
-    std::vector<std::size_t> missing_idx;
-    for (std::size_t m = 0; m < n; ++m) {
-        if (const CheckpointEntry *hit =
-                ckpt.lookup(kernel, models[m]->name(), p.name)) {
-            results[m] = hit->result;
-            from_ckpt[m] = true;
-        } else {
-            missing.push_back(models[m]);
-            missing_idx.push_back(m);
-        }
-    }
-
-    if (shard.mode() == ShardSession::Mode::Worker) {
-        const std::uint64_t unit = shard.beginUnit();
-        if (counters_out != nullptr)
-            *counters_out = PipelineCounters{};
-        if (missing.empty())
-            return results; // complete via the user checkpoint
-        if (!shard.owns(unit) || shard.alreadyRecorded(unit)) {
-            for (const std::size_t idx : missing_idx)
-                results[idx] = ShardSession::sentinel();
-            return results;
-        }
-        shard.checkInjectedFault();
-        PlanInputs in;
-        in.a = &p.bbc;
-        in.b = &p.bbc; // SpGEMM: C = A * A, like runKernel().
-        in.x = &p.x50;
-        in.bCols = 64;
-        const KernelPlanPtr plan = makeKernelPlan(kernel, in);
-        std::vector<KernelPipeline::ModelSlot> slots;
-        slots.reserve(missing.size());
-        for (const StcModel *m : missing)
-            slots.push_back({m, nullptr});
-        PipelineCounters counters;
-        const std::vector<RunResult> ran =
-            KernelPipeline::run(*plan, slots, energy, &counters);
-        ShardUnitRecord rec;
-        rec.unit = unit;
-        for (std::size_t k = 0; k < missing_idx.size(); ++k) {
-            results[missing_idx[k]] = ran[k];
-            rec.entries.push_back({toString(kernel),
-                                   missing[k]->name(), p.name,
-                                   ran[k]});
-        }
-        rec.hasEngine = true;
-        rec.engTasksGenerated = counters.tasksGenerated;
-        rec.engModelsFanout = counters.modelsFanout;
-        rec.engPeakLiveTasks = counters.peakLiveTasks;
-        shard.completeUnit(rec);
-        if (counters_out != nullptr)
-            *counters_out = counters;
-        return results;
-    }
-    if (shard.mode() == ShardSession::Mode::Serve) {
-        const std::uint64_t unit = shard.beginUnit();
-        PipelineCounters counters;
-        bool quarantined = false;
-        if (!missing.empty()) {
-            if (const ShardUnitRecord *rec = shard.find(unit)) {
-                if (rec->entries.size() != missing.size())
-                    UNISTC_FATAL("--shards merge diverged at unit ",
-                                 unit, ": manifest has ",
-                                 rec->entries.size(),
-                                 " model result(s), the serve pass ",
-                                 "needs ", missing.size());
-                for (std::size_t k = 0; k < missing_idx.size(); ++k) {
-                    const CheckpointEntry &e = rec->entries[k];
-                    if (e.kernel != toString(kernel) ||
-                        e.model != missing[k]->name() ||
-                        e.matrix != p.name) {
-                        UNISTC_FATAL(
-                            "--shards merge diverged at unit ", unit,
-                            " slot ", k, ": the manifest holds a "
-                            "different job than the requested ",
-                            toString(kernel), " ",
-                            missing[k]->name(), " @ ", p.name,
-                            ". The bench body must be deterministic "
-                            "across processes.");
-                    }
-                    results[missing_idx[k]] = e.result;
-                }
-                // Timing is deliberately absent from the manifest
-                // (wall clock is not reproducible across processes),
-                // so the engine row is recorded untimed — like a
-                // checkpoint-resumed run.
-                counters.tasksGenerated = rec->engTasksGenerated;
-                counters.modelsFanout = rec->engModelsFanout;
-                counters.peakLiveTasks = rec->engPeakLiveTasks;
-            } else if (shard.unitQuarantined(unit)) {
-                quarantined = true; // zeroed results, no checkpoint
-            } else {
-                UNISTC_FATAL(
-                    "--shards merge is missing unit ", unit, " (",
-                    toString(kernel), " lineup @ ", p.name,
-                    ") though its shard completed. The bench body "
-                    "must be deterministic across processes.");
-            }
-            ResultLog::instance().recordEngine(kernel, p.name,
-                                               counters,
-                                               /*timed=*/false);
-        }
-        if (counters_out != nullptr)
-            *counters_out = counters;
-        for (std::size_t m = 0; m < n; ++m) {
-            if (!from_ckpt[m] && !quarantined) {
-                ckpt.append(kernel, models[m]->name(), p.name,
-                            results[m]);
-            }
-            ResultLog::instance().record(kernel, models[m]->name(),
-                                         p.name, results[m]);
-        }
-        return results;
-    }
-
-    if (session.mode() == SweepSession::Mode::Plan) {
-        if (counters_out != nullptr)
-            *counters_out = PipelineCounters{};
-        if (!missing.empty()) {
-            const std::vector<RunResult> planned =
-                session.planLineup(kernel, missing, p, energy);
-            for (std::size_t k = 0; k < missing_idx.size(); ++k)
-                results[missing_idx[k]] = planned[k];
-        }
-        return results;
-    }
-
-    PipelineCounters counters;
-    if (!missing.empty()) {
-        if (session.mode() == SweepSession::Mode::Replay) {
-            const std::vector<RunResult> ran =
-                session.replayLineup(kernel, missing, p, &counters);
-            for (std::size_t k = 0; k < missing_idx.size(); ++k)
-                results[missing_idx[k]] = ran[k];
-        } else {
-            PlanInputs in;
-            in.a = &p.bbc;
-            in.b = &p.bbc; // SpGEMM: C = A * A, like runKernel().
-            in.x = &p.x50;
-            in.bCols = 64;
-            const KernelPlanPtr plan = makeKernelPlan(kernel, in);
-            std::vector<KernelPipeline::ModelSlot> slots;
-            slots.reserve(missing.size());
-            for (const StcModel *m : missing)
-                slots.push_back({m, nullptr});
-            const std::vector<RunResult> ran = KernelPipeline::run(
-                *plan, slots, energy, &counters);
-            for (std::size_t k = 0; k < missing_idx.size(); ++k)
-                results[missing_idx[k]] = ran[k];
-        }
-        ResultLog::instance().recordEngine(kernel, p.name, counters,
-                                           record_timing);
-    }
-    if (counters_out != nullptr)
-        *counters_out = counters;
-
-    for (std::size_t m = 0; m < n; ++m) {
-        if (!from_ckpt[m]) {
-            ckpt.append(kernel, models[m]->name(), p.name,
-                        results[m]);
-        }
-        ResultLog::instance().record(kernel, models[m]->name(),
-                                     p.name, results[m]);
-    }
-    return results;
-}
+// The bench-facing surface, re-exported from the driver library.
+using driver::bbcFor;
+using driver::executeKernel;
+using driver::Prepared;
+using driver::RunInfo;
+using driver::runKernel;
+using driver::runKernelLineup;
 
 /** True when the bench should shrink workloads (--quick / env). */
 inline bool
 quickMode(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string a(argv[i]);
-        if (a == "--quick" || a == "--smoke")
-            return true;
-    }
-    return std::getenv("UNISTC_BENCH_QUICK") != nullptr;
+    return driver::quickRequested(argc, argv);
 }
-
-/**
- * --smoke: propagate the tiny-corpus environment before the bench
- * body runs, so corpus builders (and child phases) all see it.
- * Existing environment settings win.
- */
-inline void
-applySmokeEnv(int argc, char **argv)
-{
-#if UNISTC_BENCH_POSIX
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--smoke") {
-            ::setenv("UNISTC_BENCH_QUICK", "1", 0);
-            ::setenv("UNISTC_CORPUS_CLAMP", "2", 0);
-            return;
-        }
-    }
-#else
-    (void)argc;
-    (void)argv;
-#endif
-}
-
-/** Resolve --resume P / --resume=P / UNISTC_BENCH_RESUME. */
-inline std::string
-resumePath(int argc, char **argv)
-{
-    std::string path;
-    for (int i = 1; i < argc; ++i) {
-        const std::string a(argv[i]);
-        if (a == "--resume" && i + 1 < argc)
-            path = argv[++i];
-        else if (a.rfind("--resume=", 0) == 0)
-            path = a.substr(9);
-    }
-    if (path.empty()) {
-        const char *env = std::getenv("UNISTC_BENCH_RESUME");
-        if (env != nullptr)
-            path = env;
-    }
-    return path;
-}
-
-/** Resolve --jobs N / --jobs=N / UNISTC_JOBS into a worker count. */
-inline int
-sweepJobs(int argc, char **argv)
-{
-    auto parse = [](const std::string &text) -> int {
-        if (text == "auto")
-            return ThreadPool::hardwareThreads();
-        char *end = nullptr;
-        const long v =
-            text.empty() ? -1 : std::strtol(text.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || v < 0) {
-            UNISTC_FATAL("--jobs needs a non-negative integer or "
-                         "'auto', got '", text, "'");
-        }
-        return v == 0 ? ThreadPool::hardwareThreads()
-                      : static_cast<int>(v);
-    };
-    int requested = 0;
-    for (int i = 1; i < argc; ++i) {
-        const std::string a(argv[i]);
-        if (a == "--jobs" && i + 1 < argc)
-            requested = parse(argv[++i]);
-        else if (a.rfind("--jobs=", 0) == 0)
-            requested = parse(a.substr(7));
-    }
-    return SweepExecutor::resolveJobs(requested, 1);
-}
-
-/**
- * Silences stdout and raises the log level for the plan pass, so the
- * recording run of the bench body prints nothing; fatal()/panic()
- * still reach stderr. Restores both on destruction.
- */
-class ScopedPlanQuiet
-{
-  public:
-    ScopedPlanQuiet() : savedLevel_(logLevel())
-    {
-        if (savedLevel_ < LogLevel::Error)
-            setLogLevel(LogLevel::Error);
-#if UNISTC_BENCH_POSIX
-        std::fflush(stdout);
-        std::cout.flush();
-        savedFd_ = ::dup(STDOUT_FILENO);
-        const int nul = ::open("/dev/null", O_WRONLY);
-        if (nul >= 0) {
-            ::dup2(nul, STDOUT_FILENO);
-            ::close(nul);
-        }
-#endif
-    }
-
-    ~ScopedPlanQuiet()
-    {
-#if UNISTC_BENCH_POSIX
-        std::fflush(stdout);
-        std::cout.flush();
-        if (savedFd_ >= 0) {
-            ::dup2(savedFd_, STDOUT_FILENO);
-            ::close(savedFd_);
-        }
-#endif
-        setLogLevel(savedLevel_);
-    }
-
-    ScopedPlanQuiet(const ScopedPlanQuiet &) = delete;
-    ScopedPlanQuiet &operator=(const ScopedPlanQuiet &) = delete;
-
-  private:
-    LogLevel savedLevel_;
-#if UNISTC_BENCH_POSIX
-    int savedFd_ = -1;
-#endif
-};
-
-/**
- * One-line cache summary on stderr after a cached run (stdout stays
- * untouched: the determinism tests cmp it byte for byte). A warm
- * run over an unchanged corpus reports "0 miss(es)".
- */
-inline void
-logCacheSummary()
-{
-    const MatrixCache &cache = MatrixCache::global();
-    if (!cache.enabled())
-        return;
-    const CacheCounters c = cache.counters();
-    UNISTC_INFORM("matrix cache (", cache.dir(), "): ", c.hits,
-                  " hit(s), ", c.misses, " miss(es), ", c.bytesRead,
-                  " B read, ", c.bytesWritten, " B written");
-}
-
-/**
- * Parsed --shards family of flags (docs/SHARDING.md). shard >= 0
- * marks a worker child spawned by a supervisor (or by hand); shards
- * > 1 with shard < 0 makes this process the supervisor.
- */
-struct ShardCli
-{
-    int shards = 1;
-    int shard = -1;           ///< --shard i: run as worker child i.
-    std::string shardOut;     ///< Worker manifest path.
-    std::string shardDir;     ///< Supervisor manifest directory.
-    double maxSeconds = 0.0;  ///< Wall-clock SIGKILL budget (0: off).
-    double heartbeatSeconds = 0.0; ///< Silence SIGKILL budget (0: off).
-    int retries = 1;          ///< Retries after the first attempt.
-    double backoffSeconds = 0.25;  ///< First retry delay (doubles).
-    bool strict = false;      ///< Fail the run instead of quarantine.
-};
-
-/** Parse the --shards family; fatal on malformed values. */
-inline ShardCli
-parseShardCli(int argc, char **argv)
-{
-    ShardCli cli;
-    const auto parseInt = [](const char *flag,
-                             const std::string &text) -> int {
-        char *end = nullptr;
-        const long v =
-            text.empty() ? -1 : std::strtol(text.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || v < 0) {
-            UNISTC_FATAL(flag, " needs a non-negative integer, got '",
-                         text, "'");
-        }
-        return static_cast<int>(v);
-    };
-    const auto parseSec = [](const char *flag,
-                             const std::string &text) -> double {
-        char *end = nullptr;
-        const double v =
-            text.empty() ? -1.0 : std::strtod(text.c_str(), &end);
-        if (end == nullptr || *end != '\0' || v < 0.0) {
-            UNISTC_FATAL(flag, " needs a non-negative number of ",
-                         "seconds, got '", text, "'");
-        }
-        return v;
-    };
-    for (int i = 1; i < argc; ++i) {
-        const std::string a(argv[i]);
-        std::string v;
-        const auto value = [&](const char *flag) -> bool {
-            const std::string f(flag);
-            if (a == f) {
-                if (i + 1 >= argc)
-                    UNISTC_FATAL(flag, " needs a value");
-                v = argv[++i];
-                return true;
-            }
-            if (a.rfind(f + "=", 0) == 0) {
-                v = a.substr(f.size() + 1);
-                return true;
-            }
-            return false;
-        };
-        if (value("--shards"))
-            cli.shards = parseInt("--shards", v);
-        else if (value("--shard-out"))
-            cli.shardOut = v;
-        else if (value("--shard-dir"))
-            cli.shardDir = v;
-        else if (value("--shard-max-seconds"))
-            cli.maxSeconds = parseSec("--shard-max-seconds", v);
-        else if (value("--shard-heartbeat-seconds"))
-            cli.heartbeatSeconds =
-                parseSec("--shard-heartbeat-seconds", v);
-        else if (value("--shard-retries"))
-            cli.retries = parseInt("--shard-retries", v);
-        else if (value("--shard-backoff-seconds"))
-            cli.backoffSeconds = parseSec("--shard-backoff-seconds", v);
-        else if (a == "--shard-strict")
-            cli.strict = true;
-        else if (value("--shard"))
-            cli.shard = parseInt("--shard", v);
-    }
-    if (cli.shards < 1)
-        UNISTC_FATAL("--shards needs at least 1 shard");
-    return cli;
-}
-
-#if UNISTC_BENCH_POSIX
-
-/**
- * Shard worker child (--shard i): run the bench body once with
- * ShardSession in Worker mode, executing only owned units into the
- * durable manifest. Output goes nowhere — stdout is silenced and the
- * JSON/warehouse sinks are disabled, because the supervisor's serve
- * pass is the only reporter.
- */
-inline int
-runShardWorker(const ShardCli &cli, int argc, char **argv,
-               int (*body)(int, char **))
-{
-    if (Status st = validateShardArgs(cli.shards, cli.shard);
-        !st.ok()) {
-        UNISTC_FATAL("--shard: ", st.message());
-    }
-    // Workers must not clobber the supervisor's JSON dump or open
-    // their own warehouse runs.
-    ::unsetenv("UNISTC_BENCH_JSON");
-    ::unsetenv("UNISTC_WAREHOUSE_DIR");
-    const std::string resume = resumePath(argc, argv);
-    if (!resume.empty())
-        CheckpointSession::instance().configureReadOnly(resume);
-    std::string out = cli.shardOut;
-    if (out.empty())
-        out = "shard_" + std::to_string(cli.shard) + ".manifest";
-    ShardSession::instance().startWorker(cli.shard, cli.shards, out);
-    ScopedPlanQuiet quiet;
-    return body(argc, argv);
-}
-
-/**
- * Shard supervisor (--shards K, no --shard): fork/exec one worker
- * child per shard under kill/retry/quarantine supervision, merge the
- * manifests, then run the bench body once more in Serve mode — the
- * serial pass that produces the (byte-identical) report.
- */
-inline int
-runShardSupervisor(const ShardCli &cli, int argc, char **argv,
-                   int (*body)(int, char **))
-{
-    // Manifest directory: explicit flag > next to the --resume file >
-    // a fresh temp dir (torn down again after a clean run).
-    std::string dir = cli.shardDir;
-    bool tempDir = false;
-    if (dir.empty()) {
-        const std::string resume = resumePath(argc, argv);
-        if (!resume.empty())
-            dir = resume + ".shards";
-    }
-    if (dir.empty()) {
-        char tmpl[] = "/tmp/unistc-shards-XXXXXX";
-        if (::mkdtemp(tmpl) == nullptr)
-            UNISTC_FATAL("--shards: mkdtemp failed: ",
-                         std::strerror(errno));
-        dir = tmpl;
-        tempDir = true;
-    } else if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-        UNISTC_FATAL("--shards: cannot create '", dir, "': ",
-                     std::strerror(errno));
-    }
-
-    std::vector<std::string> manifests;
-    std::vector<ShardProcess> procs(
-        static_cast<std::size_t>(cli.shards));
-    for (int s = 0; s < cli.shards; ++s) {
-        manifests.push_back(dir + "/shard_" + std::to_string(s) +
-                            ".manifest");
-        ShardProcess &proc = procs[static_cast<std::size_t>(s)];
-        proc.argv.reserve(static_cast<std::size_t>(argc) + 4);
-        for (int i = 0; i < argc; ++i)
-            proc.argv.emplace_back(argv[i]);
-        proc.argv.push_back("--shard");
-        proc.argv.push_back(std::to_string(s));
-        proc.argv.push_back("--shard-out");
-        proc.argv.push_back(manifests.back());
-    }
-
-    ShardPolicy policy;
-    policy.maxShardSeconds = cli.maxSeconds;
-    policy.heartbeatSeconds = cli.heartbeatSeconds;
-    policy.maxRetries = cli.retries;
-    policy.backoffSeconds = cli.backoffSeconds;
-    policy.quarantine = !cli.strict;
-    ShardSupervisor supervisor(policy);
-    Result<std::vector<ShardOutcome>> run = supervisor.run(procs);
-    if (!run.ok())
-        UNISTC_FATAL("--shards: ", run.status().message());
-    const std::vector<ShardOutcome> outcomes = std::move(run).value();
-
-    std::vector<ShardManifest> loaded;
-    std::vector<bool> quarantined(
-        static_cast<std::size_t>(cli.shards), false);
-    bool anyQuarantined = false;
-    for (int s = 0; s < cli.shards; ++s) {
-        Result<ShardManifest> m =
-            ShardManifest::load(manifests[static_cast<std::size_t>(s)]);
-        if (!m.ok()) {
-            UNISTC_FATAL("--shards: cannot load '",
-                         manifests[static_cast<std::size_t>(s)],
-                         "': ", m.status().message());
-        }
-        loaded.push_back(std::move(m).value());
-        if (outcomes[static_cast<std::size_t>(s)].quarantined) {
-            quarantined[static_cast<std::size_t>(s)] = true;
-            anyQuarantined = true;
-            UNISTC_WARN(
-                "shard ", s, " quarantined (",
-                outcomes[static_cast<std::size_t>(s)].error, "); ",
-                loaded.back().size(), " durably completed unit(s) ",
-                "kept, its remaining units report zeroed results");
-        }
-    }
-    ShardPlan plan;
-    plan.shards = cli.shards;
-    Result<ShardMergeView> view = ShardMergeView::merge(loaded, plan);
-    if (!view.ok())
-        UNISTC_FATAL("--shards: ", view.status().message());
-    ShardSession::instance().startServe(
-        cli.shards, std::move(view).value(), quarantined);
-
-    const int rc = body(argc, argv);
-
-    const ShardRecoveryCounters &sc = supervisor.counters();
-    warehouse::BenchSink::instance().noteShards(cli.shards, sc);
-    UNISTC_INFORM("shards: ", sc.completed, "/", cli.shards,
-                  " completed, ", sc.spawned, " attempt(s), ",
-                  sc.retried, " retried, ",
-                  sc.killedWallClock + sc.killedHeartbeat,
-                  " killed, ", sc.crashed, " crashed, ",
-                  sc.quarantined, " quarantined, ", sc.heartbeats,
-                  " heartbeat(s)");
-    if (rc == 0 && tempDir && !anyQuarantined) {
-        for (const std::string &m : manifests)
-            std::remove(m.c_str());
-        ::rmdir(dir.c_str());
-    } else if (anyQuarantined) {
-        UNISTC_WARN("shard manifests kept in '", dir,
-                    "' (rerun with the same --resume/--shard-dir to ",
-                    "heal the quarantined units)");
-    }
-    logCacheSummary();
-    return rc;
-}
-
-#endif // UNISTC_BENCH_POSIX
 
 } // namespace bench
 } // namespace unistc
@@ -1506,74 +120,29 @@ runShardSupervisor(const ShardCli &cli, int argc, char **argv,
 /**
  * The bench's own main() (renamed below, SDL-style) — every harness
  * defines `int main(int, char **)`, which the macro turns into the
- * body the real main() drives through the sweep phases.
+ * body a DriverSession drives through the sweep phases.
  */
 int unistc_bench_body(int argc, char **argv);
 
 int
 main(int argc, char **argv)
 {
-    namespace ub = unistc::bench;
-    ub::applySmokeEnv(argc, argv);
-    const ub::ShardCli shardCli = ub::parseShardCli(argc, argv);
-#if UNISTC_BENCH_POSIX
-    // Worker check first: supervisor children inherit --shards K and
-    // add --shard i, which must win over the supervisor role.
-    if (shardCli.shard >= 0)
-        return ub::runShardWorker(shardCli, argc, argv,
-                                  unistc_bench_body);
-#else
-    if (shardCli.shard >= 0)
-        UNISTC_FATAL("--shard needs a POSIX host (fork/exec)");
-    if (shardCli.shards > 1)
-        UNISTC_WARN("--shards needs a POSIX host (fork/exec); "
-                    "running single-process");
-#endif
-    // Warehouse sink (off unless UNISTC_WAREHOUSE_DIR): opened before
-    // the body so rows stream out as they are recorded.
-    unistc::warehouse::BenchSink::instance().configure(argc, argv);
-    const std::string resume = ub::resumePath(argc, argv);
-    if (!resume.empty())
-        ub::CheckpointSession::instance().configure(resume);
-#if UNISTC_BENCH_POSIX
-    if (shardCli.shards > 1) {
-        // Sharding replaces --jobs: isolation already comes from the
-        // worker processes, and the serve pass must stay serial for
-        // byte-identical output.
-        return ub::runShardSupervisor(shardCli, argc, argv,
-                                      unistc_bench_body);
+    namespace ud = unistc::driver;
+    unistc::Result<ud::ParsedCli> parsed =
+        ud::parseSweepCli(argc, argv);
+    if (!parsed.ok())
+        unistc::raise(parsed.status());
+    if (parsed.value().helpRequested) {
+        std::fputs(ud::sweepCliHelp(argv[0]).c_str(), stdout);
+        return 0;
     }
-#endif
-    const int jobs = ub::sweepJobs(argc, argv);
-#if !UNISTC_BENCH_POSIX
-    if (jobs > 1)
-        UNISTC_WARN("--jobs needs POSIX fd redirection; running "
-                    "serially");
-    const int rc = unistc_bench_body(argc, argv);
-    ub::logCacheSummary();
-    return rc;
-#else
-    if (jobs <= 1) {
-        const int rc = unistc_bench_body(argc, argv);
-        ub::logCacheSummary();
-        return rc;
+    if (parsed.value().versionRequested) {
+        std::fputs(ud::versionString(argv[0]).c_str(), stdout);
+        return 0;
     }
-    auto &session = ub::SweepSession::instance();
-    session.startPlan(jobs);
-    int rc;
-    {
-        ub::ScopedPlanQuiet quiet;
-        rc = unistc_bench_body(argc, argv);
-    }
-    if (rc != 0)
-        return rc;
-    session.startReplay();
-    ub::CheckpointSession::instance().resetCursor();
-    rc = unistc_bench_body(argc, argv);
-    session.finish();
-    ub::logCacheSummary();
-    return rc;
-#endif
+    ud::DriverSession session;
+    return session.run(parsed.value().request, argc, argv,
+                       &unistc_bench_body);
 }
 
 #define main unistc_bench_body

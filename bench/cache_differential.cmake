@@ -57,3 +57,25 @@ endif()
 
 message(STATUS "cold and warm cache outputs are byte-identical; "
                "warm run had zero misses")
+
+# Optionally pin the run to the committed pre-refactor goldens
+# (bench/golden/tab08_smoke). Only harnesses with committed goldens
+# pass -DGOLDEN_DIR (see CMakeLists.txt).
+if(DEFINED GOLDEN_DIR)
+    foreach(pair "warm.txt|stdout_serial.txt" "warm.json|bench_serial.json")
+        string(REPLACE "|" ";" pair ${pair})
+        list(GET pair 0 produced)
+        list(GET pair 1 golden)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORKDIR}/${produced} ${GOLDEN_DIR}/${golden}
+            RESULT_VARIABLE differ)
+        if(NOT differ EQUAL 0)
+            message(FATAL_ERROR
+                    "${WORKDIR}/${produced} differs from the "
+                    "pre-refactor golden ${GOLDEN_DIR}/${golden}")
+        endif()
+    endforeach()
+    message(STATUS "warm-cache outputs match the pre-refactor "
+                   "goldens")
+endif()

@@ -1,0 +1,109 @@
+# End-to-end gate for the execution driver (src/driver/): the shared
+# SweepRequest parser must resolve environment wiring (UNISTC_JOBS,
+# UNISTC_BENCH_RESUME) exactly like the explicit flags, and the full
+# acceptance combo — warm artifact cache, --jobs 2, --shards 3,
+# warehouse mirroring — must reproduce the committed pre-refactor
+# goldens (bench/golden/tab08_smoke) byte for byte: stdout, the
+# UNISTC_BENCH_JSON dump, every shard manifest, and every warehouse
+# row file. Driven by ctest (see CMakeLists.txt):
+#
+#   cmake -DBENCH=<binary> -DGOLDEN_DIR=<bench/golden/tab08_smoke> \
+#         -DWORKDIR=<scratch dir> -P driver_determinism.cmake
+
+foreach(var BENCH WORKDIR GOLDEN_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_bench prefix)
+    set(ENV{UNISTC_BENCH_JSON} ${WORKDIR}/${prefix}.json)
+    execute_process(
+        COMMAND ${BENCH} --smoke ${ARGN}
+        OUTPUT_FILE ${WORKDIR}/${prefix}.txt
+        ERROR_FILE ${WORKDIR}/${prefix}.err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "${BENCH} --smoke ${ARGN} (${prefix}) exited "
+                "with ${rc}")
+    endif()
+endfunction()
+
+function(expect_same a b what)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+        RESULT_VARIABLE differ)
+    if(NOT differ EQUAL 0)
+        message(FATAL_ERROR "${what}: ${a} and ${b} differ")
+    endif()
+endfunction()
+
+# --jobs 2 and UNISTC_JOBS=2 must land on the same request.
+run_bench(jobs_flag --jobs 2)
+set(ENV{UNISTC_JOBS} 2)
+run_bench(jobs_env)
+unset(ENV{UNISTC_JOBS})
+foreach(a txt json)
+    expect_same(${WORKDIR}/jobs_flag.${a} ${WORKDIR}/jobs_env.${a}
+                "--jobs 2 vs UNISTC_JOBS=2 (${a})")
+endforeach()
+
+# --resume PATH and UNISTC_BENCH_RESUME=PATH: one run populates a
+# checkpoint, then both spellings resume from a copy of it. The
+# stderr INFORM proves the environment wiring actually engaged the
+# checkpoint rather than passing vacuously.
+run_bench(seed --resume ${WORKDIR}/flag.ck)
+execute_process(COMMAND ${CMAKE_COMMAND} -E copy
+                        ${WORKDIR}/flag.ck ${WORKDIR}/env.ck)
+run_bench(resume_flag --resume ${WORKDIR}/flag.ck)
+set(ENV{UNISTC_BENCH_RESUME} ${WORKDIR}/env.ck)
+run_bench(resume_env)
+unset(ENV{UNISTC_BENCH_RESUME})
+foreach(run resume_flag resume_env)
+    file(READ ${WORKDIR}/${run}.err err)
+    if(NOT err MATCHES "resuming from checkpoint")
+        message(FATAL_ERROR
+                "${run} did not resume from its checkpoint "
+                "(stderr: ${err})")
+    endif()
+endforeach()
+foreach(a txt json)
+    expect_same(${WORKDIR}/resume_flag.${a} ${WORKDIR}/resume_env.${a}
+                "--resume vs UNISTC_BENCH_RESUME (${a})")
+endforeach()
+
+# The acceptance combo against the committed pre-refactor goldens: a
+# cold pass warms the artifact cache, then the real run fans out over
+# two worker threads and three crash-isolated shards with the
+# warehouse mirroring on.
+set(ENV{UNISTC_CACHE_DIR} ${WORKDIR}/cache)
+run_bench(cold)
+set(ENV{UNISTC_WAREHOUSE_DIR} ${WORKDIR}/wh)
+run_bench(combo --jobs 2 --shards 3 --shard-dir ${WORKDIR}/shards)
+unset(ENV{UNISTC_CACHE_DIR})
+unset(ENV{UNISTC_WAREHOUSE_DIR})
+
+expect_same(${WORKDIR}/combo.txt ${GOLDEN_DIR}/stdout.txt
+            "combo stdout vs pre-refactor golden")
+expect_same(${WORKDIR}/combo.json ${GOLDEN_DIR}/bench.json
+            "combo bench JSON vs pre-refactor golden")
+file(GLOB manifests RELATIVE ${GOLDEN_DIR}/manifests
+     ${GOLDEN_DIR}/manifests/*.manifest)
+foreach(m ${manifests})
+    expect_same(${WORKDIR}/shards/${m} ${GOLDEN_DIR}/manifests/${m}
+                "shard manifest ${m} vs pre-refactor golden")
+endforeach()
+file(GLOB rows RELATIVE ${GOLDEN_DIR}/warehouse
+     ${GOLDEN_DIR}/warehouse/*)
+foreach(f ${rows})
+    expect_same(${WORKDIR}/wh/000001/${f} ${GOLDEN_DIR}/warehouse/${f}
+                "warehouse row file ${f} vs pre-refactor golden")
+endforeach()
+
+message(STATUS "environment wiring matches explicit flags; the "
+               "jobs+shards+cache+warehouse combo reproduces the "
+               "pre-refactor goldens byte for byte")

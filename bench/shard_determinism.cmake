@@ -63,3 +63,31 @@ endforeach()
 
 message(STATUS
         "serial, sharded and fault-recovered outputs are byte-identical")
+
+# Optionally pin the run to the committed pre-refactor goldens
+# (bench/golden/tab08_smoke): stdout, the bench JSON and every shard
+# manifest must match byte for byte. Only harnesses with committed
+# goldens pass -DGOLDEN_DIR (see CMakeLists.txt).
+if(DEFINED GOLDEN_DIR)
+    function(expect_golden produced golden)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${produced} ${golden}
+            RESULT_VARIABLE differ)
+        if(NOT differ EQUAL 0)
+            message(FATAL_ERROR
+                    "${produced} differs from the pre-refactor "
+                    "golden ${golden}")
+        endif()
+    endfunction()
+    expect_golden(${WORKDIR}/serial.txt ${GOLDEN_DIR}/stdout_serial.txt)
+    expect_golden(${WORKDIR}/serial.json ${GOLDEN_DIR}/bench_serial.json)
+    file(GLOB manifests RELATIVE ${GOLDEN_DIR}/manifests
+         ${GOLDEN_DIR}/manifests/*.manifest)
+    foreach(m ${manifests})
+        expect_golden(${WORKDIR}/sharded.shards/${m}
+                      ${GOLDEN_DIR}/manifests/${m})
+    endforeach()
+    message(STATUS "outputs and manifests match the pre-refactor "
+                   "goldens")
+endif()

@@ -85,3 +85,31 @@ endif()
 
 message(STATUS "warehouse rows, export and regression gate are "
                "deterministic across --jobs 1 and --jobs 2")
+
+# Optionally pin the run to the committed pre-refactor goldens
+# (bench/golden/tab08_smoke): stdout, the bench JSON and every
+# warehouse row file must match byte for byte. Only harnesses with
+# committed goldens pass -DGOLDEN_DIR (see CMakeLists.txt).
+if(DEFINED GOLDEN_DIR)
+    function(expect_golden produced golden)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${produced} ${golden}
+            RESULT_VARIABLE differ)
+        if(NOT differ EQUAL 0)
+            message(FATAL_ERROR
+                    "${produced} differs from the pre-refactor "
+                    "golden ${golden}")
+        endif()
+    endfunction()
+    expect_golden(${WORKDIR}/stdout1.txt ${GOLDEN_DIR}/stdout_serial.txt)
+    expect_golden(${WORKDIR}/direct1.json ${GOLDEN_DIR}/bench_serial.json)
+    file(GLOB rows RELATIVE ${GOLDEN_DIR}/warehouse
+         ${GOLDEN_DIR}/warehouse/*)
+    foreach(f ${rows})
+        expect_golden(${WORKDIR}/wh1/000001/${f}
+                      ${GOLDEN_DIR}/warehouse/${f})
+    endforeach()
+    message(STATUS "outputs and warehouse rows match the "
+                   "pre-refactor goldens")
+endif()

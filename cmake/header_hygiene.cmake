@@ -1,0 +1,40 @@
+# Header-hygiene gate for the driver extraction (docs/ARCHITECTURE.md):
+# bench/bench_common.hh must stay a thin adapter over src/driver/
+# (<= 700 lines) and every driver header must stay focused
+# (<= 400 lines). Fails the moment orchestration logic starts
+# accreting back into a header instead of a .cc translation unit.
+# Driven by ctest (see the top-level CMakeLists.txt):
+#
+#   cmake -DREPO=<source dir> -P cmake/header_hygiene.cmake
+
+if(NOT DEFINED REPO)
+    message(FATAL_ERROR "REPO is required")
+endif()
+
+function(check_header path limit)
+    if(NOT EXISTS ${REPO}/${path})
+        message(FATAL_ERROR "${path} does not exist")
+    endif()
+    file(READ ${REPO}/${path} text)
+    string(REGEX MATCHALL "\n" newlines "${text}")
+    list(LENGTH newlines count)
+    if(count GREATER ${limit})
+        message(FATAL_ERROR
+                "${path} has ${count} lines (limit ${limit}); move "
+                "logic into a src/driver/*.cc translation unit")
+    endif()
+    message(STATUS "${path}: ${count}/${limit} lines")
+endfunction()
+
+check_header(bench/bench_common.hh 700)
+
+file(GLOB driver_headers RELATIVE ${REPO} ${REPO}/src/driver/*.hh)
+if(NOT driver_headers)
+    message(FATAL_ERROR "no headers found under src/driver/")
+endif()
+list(SORT driver_headers)
+foreach(h ${driver_headers})
+    check_header(${h} 400)
+endforeach()
+
+message(STATUS "all driver-layer headers are within their budgets")

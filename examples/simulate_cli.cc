@@ -8,7 +8,15 @@
  *                --precision fp32 --dpgs 16 \
  *                --trace t.json --stats-json s.json
  *
- * Options:
+ * Built on the execution driver (src/driver/): the experiment below
+ * is a plain serial body handed to a DriverSession, which supplies
+ * the whole standard execution family — --jobs plan/replay sweeps
+ * (docs/PARALLELISM.md), --resume checkpointing (docs/ROBUSTNESS.md),
+ * crash-isolated --shards (docs/SHARDING.md), the matrix artifact
+ * cache flags (docs/CACHING.md), --log-level, --help and --version —
+ * with byte-identical output across worker counts, shard counts and
+ * resume state. The body only decides WHAT to simulate:
+ *
  *   --matrix PATH          Matrix Market input
  *   --gen SPEC             synthetic input, SPEC one of
  *                          banded:n,hb,fill | random:n,density |
@@ -31,87 +39,36 @@
  *                          Perfetto / chrome://tracing)
  *   --trace-events N       per-model trace ring capacity (default 65536)
  *   --stats-json PATH      write all run statistics as JSON
- *   --log-level LEVEL      debug|info|warn|error|silent (or 0-4)
- *   --cache-dir PATH       content-addressed matrix artifact cache
- *                          directory (also UNISTC_CACHE_DIR); --gen
- *                          matrices are stored as checksummed BBC
- *                          entries and reloaded on later runs
- *                          (docs/CACHING.md)
- *   --cache MODE           off | ro | rw (default rw when a cache
- *                          directory is set; also UNISTC_CACHE)
- *   --jobs N               simulate models on N worker threads
- *                          (0 or "auto" = all cores; also UNISTC_JOBS).
- *                          Results merge in submission order, so the
- *                          table, stats JSON and trace are
- *                          byte-identical for any N.
  *
- * Robustness (docs/ROBUSTNESS.md):
- *   --strict               fail fast: the first job failure aborts
- *                          the run instead of quarantining the job
- *                          (quarantined jobs print a QUARANTINED row
- *                          and the sweep continues)
- *   --max-job-seconds S    cooperative per-job watchdog budget;
- *                          overrunning jobs are flagged and treated
- *                          as failed (0 = off)
- *   --resume PATH          checkpoint finished jobs to PATH and skip
- *                          jobs already recorded there
- *
- * Crash-isolated sharding (docs/SHARDING.md):
- *   --shards K             split the model sweep across K worker
- *                          *processes* under a supervisor that
- *                          SIGKILLs hung shards, retries with
- *                          backoff and quarantines persistent
- *                          failures; output is byte-identical to a
- *                          single-process run. Mutually exclusive
- *                          with --arch. Row n belongs to shard
- *                          n mod K.
- *   --shard i              run as worker i (spawned by the
- *                          supervisor; usable by hand for debugging)
- *   --shard-out PATH       worker manifest path
- *   --shard-dir DIR        supervisor manifest directory
- *   --shard-max-seconds S  SIGKILL budget per shard attempt (0 = off)
- *   --shard-heartbeat-seconds S  SIGKILL after S silent seconds
- *   --shard-retries N      retries per shard after the first attempt
- *   --shard-backoff-seconds S    first retry delay (doubles)
- *   --shard-strict         fail the run instead of quarantining
+ * Everything else (--jobs, --resume, --strict, --max-job-seconds,
+ * --shards and friends, --cache-dir/--cache, --log-level) is the
+ * driver's standard family — see --help, driver/sweep_request.hh.
  */
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
 
 #include "bbc/bbc_io.hh"
 #include "cache/matrix_cache.hh"
 #include "common/logging.hh"
-#include "exec/shard_plan.hh"
-#include "exec/shard_supervisor.hh"
-#include "exec/sweep_executor.hh"
-#include "common/table.hh"
 #include "common/rng.hh"
+#include "common/table.hh"
 #include "corpus/generators.hh"
+#include "driver/driver_session.hh"
+#include "driver/execution_context.hh"
+#include "driver/kernel_run.hh"
+#include "driver/sweep_request.hh"
+#include "driver/version.hh"
+#include "exec/shard_supervisor.hh"
 #include "obs/metrics_export.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
-#include "robust/checkpoint.hh"
-#include "robust/fault_inject.hh"
-#include "robust/status.hh"
 #include "runner/report.hh"
-#include "runner/spgemm_runner.hh"
-#include "runner/spmm_runner.hh"
-#include "runner/spmspv_runner.hh"
-#include "runner/spmv_runner.hh"
 #include "sparse/io.hh"
 #include "stc/registry.hh"
 
@@ -133,22 +90,6 @@ parseIntOpt(const std::string &flag, const std::string &text)
     } catch (const std::exception &) {
         UNISTC_FATAL("--", flag, " needs an integer, got '", text,
                      "'");
-    }
-}
-
-/** Strict non-negative seconds parsing. */
-double
-parseSecondsOpt(const std::string &flag, const std::string &text)
-{
-    try {
-        std::size_t used = 0;
-        const double v = std::stod(text, &used);
-        if (used != text.size() || v < 0)
-            throw std::invalid_argument(text);
-        return v;
-    } catch (const std::exception &) {
-        UNISTC_FATAL("--", flag, " needs a non-negative number, got '",
-                     text, "'");
     }
 }
 
@@ -186,225 +127,54 @@ parseArchList(const std::string &list)
     return names;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** Everything the experiment body needs, resolved before the run. */
+struct Experiment
 {
-    std::map<std::string, std::string> opts;
-    for (int i = 1; i < argc;) {
-        if (std::strcmp(argv[i], "--help") == 0 ||
-            std::strcmp(argv[i], "-h") == 0) {
-            std::printf(
-                "usage: simulate_cli [options]\n"
-                "  --matrix PATH | --gen SPEC   input (SPEC: "
-                "banded:n,hb,fill | random:n,density |\n"
-                "                               powerlaw:n,deg,alpha "
-                "| stencil:grid)\n"
-                "  --kernel NAME  --model NAME | --arch A,B,C  "
-                "--precision fp64|fp32  --dpgs N  --bcols N\n"
-                "  --save-bbc PATH  --trace PATH  --trace-events N  "
-                "--stats-json PATH\n"
-                "  --log-level LEVEL  --jobs N\n"
-                "  --cache-dir PATH  --cache off|ro|rw   "
-                "(docs/CACHING.md)\n"
-                "  --strict  --max-job-seconds S  --resume PATH   "
-                "(docs/ROBUSTNESS.md)\n"
-                "  --shards K  [--shard i --shard-out PATH]  "
-                "--shard-dir DIR\n"
-                "  --shard-max-seconds S  --shard-heartbeat-seconds S"
-                "  --shard-retries N\n"
-                "  --shard-backoff-seconds S  --shard-strict   "
-                "(docs/SHARDING.md)\n");
-            return 0;
-        }
-        if (std::strncmp(argv[i], "--", 2) != 0)
-            UNISTC_FATAL("expected an option, got '", argv[i], "'");
-        const std::string flag(argv[i] + 2);
-        // A typo'd option must fail loudly, not silently run the
-        // default experiment.
-        static const std::set<std::string> known = {
-            "kernel", "model", "arch", "matrix", "gen", "precision",
-            "dpgs", "bcols", "save-bbc", "trace", "trace-events",
-            "stats-json", "log-level", "jobs", "strict",
-            "max-job-seconds", "resume", "cache-dir", "cache",
-            "shards", "shard", "shard-out", "shard-dir",
-            "shard-max-seconds", "shard-heartbeat-seconds",
-            "shard-retries", "shard-backoff-seconds", "shard-strict"};
-        if (!known.count(flag))
-            UNISTC_FATAL("unknown option '", argv[i],
-                         "' (see --help)");
-        // Valueless switches.
-        if (flag == "strict" || flag == "shard-strict") {
-            opts[flag] = "1";
-            i += 1;
-            continue;
-        }
-        if (i + 1 >= argc)
-            UNISTC_FATAL("option '", argv[i], "' is missing a value");
-        opts[flag] = argv[i + 1];
-        i += 2;
-    }
+    std::map<std::string, std::string> opts; ///< Front-end extras.
+    Kernel kernel = Kernel::SpMV;
+    std::string kernelName;
+    std::vector<std::string> names; ///< Models (lineup order).
+    bool multi = false;             ///< --arch: one lineup job.
+    MachineConfig cfg = MachineConfig::fp64();
+    int bCols = 64;
+    bool robustStats = false; ///< --strict / --max-job-seconds set.
+};
 
-    if (opts.count("log-level")) {
-        LogLevel level = LogLevel::Info;
-        if (!parseLogLevel(opts["log-level"], level)) {
-            UNISTC_FATAL("unknown --log-level '", opts["log-level"],
-                         "' (use debug|info|warn|error|silent)");
-        }
-        setLogLevel(level);
-    }
-
-    // Crash-isolated sharding roles (docs/SHARDING.md): --shard i
-    // makes this process worker i of a supervisor's fan-out; --shards
-    // K without --shard makes it the supervisor.
-    const int shards =
-        opts.count("shards") ? parseIntOpt("shards", opts["shards"])
-                             : 1;
-    const int shard_index =
-        opts.count("shard") ? parseIntOpt("shard", opts["shard"]) : -1;
-    if (shards < 1)
-        UNISTC_FATAL("--shards needs at least 1 shard");
-    if (shard_index >= 0) {
-        if (Status s = validateShardArgs(shards, shard_index); !s.ok())
-            UNISTC_FATAL("--shard: ", s.message());
-    }
-    if (shards > 1 && opts.count("arch")) {
-        // --arch is ONE multi-model job by definition; there is
-        // nothing to split across processes.
-        UNISTC_FATAL("--arch and --shards are mutually exclusive "
-                     "(an --arch lineup is a single job)");
-    }
-    const bool shard_worker = shard_index >= 0;
-    const bool shard_super = !shard_worker && shards > 1;
-    if (shard_worker) {
-        // Workers are silent and write no report artifacts — the
-        // supervisor's serve pass is the only reporter.
-        opts.erase("trace");
-        opts.erase("stats-json");
-        opts.erase("save-bbc");
-#if defined(__unix__) || defined(__APPLE__)
-        if (std::freopen("/dev/null", "w", stdout) == nullptr)
-            UNISTC_WARN("cannot silence shard worker stdout");
-#else
-        UNISTC_FATAL("--shard needs a POSIX host (fork/exec)");
-#endif
-    }
-#if !defined(__unix__) && !defined(__APPLE__)
-    if (shard_super)
-        UNISTC_FATAL("--shards needs a POSIX host (fork/exec)");
-#endif
-
-    // Cache flags override the UNISTC_CACHE_DIR / UNISTC_CACHE env
-    // configuration; they must land before the matrix is built so
-    // --gen goes through the cache.
-    if (opts.count("cache-dir") || opts.count("cache")) {
-        CacheMode cache_mode = CacheMode::ReadWrite;
-        if (opts.count("cache") &&
-            !parseCacheMode(opts["cache"], cache_mode)) {
-            UNISTC_FATAL("unknown --cache '", opts["cache"],
-                         "' (use off|ro|rw)");
-        }
-        std::string cache_dir =
-            opts.count("cache-dir") ? opts["cache-dir"] : "";
-        if (cache_dir.empty()) {
-            const char *env = std::getenv("UNISTC_CACHE_DIR");
-            if (env != nullptr)
-                cache_dir = env;
-        }
-        if (cache_mode != CacheMode::Off && cache_dir.empty()) {
-            UNISTC_FATAL("--cache=", toString(cache_mode),
-                         " needs --cache-dir or UNISTC_CACHE_DIR");
-        }
-        MatrixCache::global().configure(
-            cache_mode == CacheMode::Off ? "" : cache_dir,
-            cache_mode);
-    }
+/**
+ * The simulation body a DriverSession drives: with --jobs it runs
+ * twice (silenced plan pass, then the reporting replay pass), under
+ * --shards once per worker plus the supervisor's serve pass — so any
+ * side effect beyond runKernel() calls and stdout must be guarded on
+ * ExecutionContext::reportingPass().
+ */
+int
+simulate(const Experiment &ex)
+{
+    const std::map<std::string, std::string> &opts = ex.opts;
+    driver::ExecutionContext &ctx =
+        driver::ExecutionContext::active();
+    const auto opt = [&opts](const std::string &key) {
+        const auto it = opts.find(key);
+        return it == opts.end() ? std::string() : it->second;
+    };
 
     CsrMatrix a;
     if (opts.count("matrix"))
-        a = readMatrixMarketFile(opts["matrix"]);
+        a = readMatrixMarketFile(opt("matrix"));
     else if (opts.count("gen"))
-        a = generateFromSpec(opts["gen"]);
+        a = generateFromSpec(opt("gen"));
     else
         a = genBanded(1024, 16, 0.4, 1);
+    if (ex.kernel == Kernel::SpGEMM && a.rows() != a.cols())
+        UNISTC_FATAL("spgemm (C = A^2) needs a square matrix");
 
-    const std::string kernel_name =
-        opts.count("kernel") ? opts["kernel"] : "spmv";
-    const std::string model_name =
-        opts.count("model") ? opts["model"] : "all";
-    MachineConfig cfg = opts["precision"] == "fp32"
-        ? MachineConfig::fp32()
-        : MachineConfig::fp64();
-    if (opts.count("dpgs"))
-        cfg.numDpgs = parseIntOpt("dpgs", opts["dpgs"]);
-    const int b_cols =
-        opts.count("bcols") ? parseIntOpt("bcols", opts["bcols"]) : 64;
+    const std::string source_label = opts.count("matrix")
+        ? opt("matrix")
+        : opts.count("gen") ? opt("gen") : "banded:1024,16,0.4";
 
-    std::size_t trace_capacity = 0;
-    if (opts.count("trace")) {
-        trace_capacity = TraceSink::kDefaultCapacity;
-        if (opts.count("trace-events")) {
-            const int n =
-                parseIntOpt("trace-events", opts["trace-events"]);
-            if (n <= 0) {
-                UNISTC_FATAL("--trace-events needs a positive count, "
-                             "got ", n);
-            }
-            trace_capacity = static_cast<std::size_t>(n);
-        }
-    }
-
-    const bool strict = opts.count("strict") != 0;
-    double max_job_seconds = 0;
-    if (opts.count("max-job-seconds")) {
-        try {
-            std::size_t used = 0;
-            max_job_seconds = std::stod(opts["max-job-seconds"],
-                                        &used);
-            if (used != opts["max-job-seconds"].size() ||
-                max_job_seconds < 0)
-                throw std::invalid_argument("");
-        } catch (const std::exception &) {
-            UNISTC_FATAL("--max-job-seconds needs a non-negative "
-                         "number, got '", opts["max-job-seconds"],
-                         "'");
-        }
-    }
-
-    int requested_jobs = 0;
-    if (opts.count("jobs")) {
-        requested_jobs = opts["jobs"] == "auto"
-            ? ThreadPool::hardwareThreads()
-            : parseIntOpt("jobs", opts["jobs"]);
-        if (requested_jobs < 0)
-            UNISTC_FATAL("--jobs needs a non-negative count, got ",
-                         requested_jobs);
-        if (requested_jobs == 0)
-            requested_jobs = ThreadPool::hardwareThreads();
-    }
-    const int jobs = SweepExecutor::resolveJobs(requested_jobs, 1);
-
-    std::printf("Matrix: %d x %d, %lld nonzeros\n", a.rows(),
-                a.cols(), static_cast<long long>(a.nnz()));
-    // Reuse the cache's decoded conversion when --gen hit an entry;
-    // storage accounts the configured precision's value width.
-    const BbcMatrix bbc = [&a] {
-        if (auto cached = MatrixCache::global().findBbcFor(a))
-            return *cached;
-        return BbcMatrix::fromCsr(a);
-    }();
-    std::printf("BBC: %lld blocks, NnzPB %.2f, %s\n\n",
-                static_cast<long long>(bbc.numBlocks()),
-                bbc.nnzPerBlock(),
-                fmtBytes(bbc.storageBytes(cfg.bytesPerValue()))
-                    .c_str());
-    if (opts.count("save-bbc")) {
-        saveBbcFile(opts["save-bbc"], bbc);
-        std::printf("Saved BBC image to %s\n\n",
-                    opts["save-bbc"].c_str());
-    }
-
+    // 50%-sparse SpMSpV operand; the driver keys checkpoint and shard
+    // manifest entries on the Prepared name, so it must be the stable
+    // source label, not a per-run string.
     SparseVector x50(a.cols());
     {
         Rng rng(7);
@@ -413,455 +183,110 @@ main(int argc, char **argv)
                 x50.push(i, 1.0);
         }
     }
+    const driver::Prepared prep(source_label, std::move(a),
+                                std::move(x50));
 
-    Kernel kernel = Kernel::SpMV;
-    if (kernel_name == "spmv")
-        kernel = Kernel::SpMV;
-    else if (kernel_name == "spmspv")
-        kernel = Kernel::SpMSpV;
-    else if (kernel_name == "spmm")
-        kernel = Kernel::SpMM;
-    else if (kernel_name == "spgemm")
-        kernel = Kernel::SpGEMM;
-    else
-        UNISTC_FATAL("unknown kernel '", kernel_name, "'");
-    if (kernel == Kernel::SpGEMM && a.rows() != a.cols())
-        UNISTC_FATAL("spgemm (C = A^2) needs a square matrix");
-
-    // --arch runs its whole lineup as ONE job: the sweep executor
-    // hands the JobSpec's lineup to the kernel pipeline, which
-    // enumerates the task stream once and fans every task out to all
-    // listed models. --model submits one job per model instead.
-    const bool multi = opts.count("arch") != 0;
-    if (multi && opts.count("model"))
-        UNISTC_FATAL("--model and --arch are mutually exclusive");
-    std::vector<std::string> names;
-    if (multi)
-        names = parseArchList(opts["arch"]);
-    else if (model_name == "all")
-        names = allModelNames();
-    else
-        names.push_back(model_name);
-
-    const std::string source_label =
-        opts.count("matrix") ? opts["matrix"]
-        : opts.count("gen")  ? opts["gen"]
-                             : "banded:1024,16,0.4";
+    std::printf("Matrix: %d x %d, %lld nonzeros\n", prep.csr.rows(),
+                prep.csr.cols(),
+                static_cast<long long>(prep.csr.nnz()));
+    std::printf("BBC: %lld blocks, NnzPB %.2f, %s\n\n",
+                static_cast<long long>(prep.bbc.numBlocks()),
+                prep.bbc.nnzPerBlock(),
+                fmtBytes(prep.bbc.storageBytes(
+                             ex.cfg.bytesPerValue())).c_str());
+    if (opts.count("save-bbc")) {
+        if (ctx.reportingPass())
+            saveBbcFile(opt("save-bbc"), prep.bbc);
+        std::printf("Saved BBC image to %s\n\n",
+                    opt("save-bbc").c_str());
+    }
 
     StatRegistry stats;
-    stats.setText("kernel", kernel_name, "simulated kernel");
+    stats.setText("kernel", ex.kernelName, "simulated kernel");
     stats.setText("matrix.source", source_label,
                   "matrix input path or generator spec");
     stats.setCounter("matrix.rows",
-                     static_cast<std::uint64_t>(a.rows()));
+                     static_cast<std::uint64_t>(prep.csr.rows()));
     stats.setCounter("matrix.cols",
-                     static_cast<std::uint64_t>(a.cols()));
+                     static_cast<std::uint64_t>(prep.csr.cols()));
     stats.setCounter("matrix.nnz",
-                     static_cast<std::uint64_t>(a.nnz()));
+                     static_cast<std::uint64_t>(prep.csr.nnz()));
     stats.setCounter("matrix.bbcBlocks",
-                     static_cast<std::uint64_t>(bbc.numBlocks()));
-    registerMachineConfig(stats, cfg);
+                     static_cast<std::uint64_t>(prep.bbc.numBlocks()));
+    registerMachineConfig(stats, ex.cfg);
 
-    TextTable t("Kernel '" + kernel_name + "' @ " +
-                toString(cfg.precision) + ", " +
-                std::to_string(cfg.macCount) + " MACs");
+    std::vector<std::unique_ptr<const StcModel>> owned;
+    owned.reserve(ex.names.size());
+    for (const std::string &name : ex.names)
+        owned.emplace_back(makeStcModel(name, ex.cfg));
+
+    // --arch runs its whole lineup as ONE unit: the engine enumerates
+    // the task stream once and fans every task out to all listed
+    // models (docs/ARCHITECTURE.md). --model runs one unit per model.
+    std::vector<RunResult> results(ex.names.size());
+    std::vector<driver::RunInfo> infos(ex.names.size());
+    PipelineCounters engine_counters;
+    bool lineup_ran = false;
+    if (ex.multi) {
+        std::vector<const StcModel *> models;
+        models.reserve(owned.size());
+        for (const auto &m : owned)
+            models.push_back(m.get());
+        results = driver::runKernelLineup(
+            ex.kernel, models, prep, EnergyModel(),
+            /*record_timing=*/false, &engine_counters, ex.bCols,
+            &infos);
+        for (const driver::RunInfo &info : infos)
+            lineup_ran = lineup_ran || !info.resumed;
+    } else {
+        for (std::size_t n = 0; n < ex.names.size(); ++n) {
+            results[n] = driver::runKernel(ex.kernel, *owned[n], prep,
+                                           EnergyModel(), ex.bCols,
+                                           &infos[n]);
+        }
+    }
+
+    TextTable t("Kernel '" + ex.kernelName + "' @ " +
+                toString(ex.cfg.precision) + ", " +
+                std::to_string(ex.cfg.macCount) + " MACs");
     t.setHeader({"STC", "cycles", "MAC util", "energy", "A reads",
                  "C writes"});
-    // One job per model, all through the sweep executor; with
-    // --jobs 1 the jobs run inline at submit(), so the serial and
-    // parallel paths share every line of merge code and the output
-    // is byte-identical for any worker count.
-    SweepExecutor::Options exec_opt;
-    exec_opt.jobs = jobs;
-    exec_opt.collectStats = false;
-    exec_opt.tracePerJob = trace_capacity;
-    // Recovery policy: one retry for transient failures; --strict
-    // fails the whole run on the first unrecovered job, the default
-    // quarantines it (zeroed result, QUARANTINED table row) and
-    // finishes the rest.
-    exec_opt.maxRetries = 1;
-    exec_opt.quarantine = !strict;
-    exec_opt.maxJobSeconds = max_job_seconds;
-    SweepExecutor exec(exec_opt);
-
-    // --resume: serve models already on the checkpoint from the file
-    // and only submit the rest. Shard workers read the checkpoint but
-    // never append — only the supervisor's serve pass extends it, so
-    // K processes cannot interleave writes into one file.
-    std::unique_ptr<CheckpointLog> ckpt_log;
-    CheckpointWriter ckpt_writer;
-    if (opts.count("resume")) {
-        ckpt_log = std::make_unique<CheckpointLog>(
-            CheckpointLog::load(opts["resume"]).value());
-        if (ckpt_log->truncated() && !shard_worker) {
-            // A SIGKILLed writer tore the tail; rewrite the valid
-            // prefix atomically before appending behind it.
-            if (Status s = rewriteCheckpointAtomic(
-                    opts["resume"], ckpt_log->entries());
-                !s.ok()) {
-                raise(s);
-            }
-            std::printf("Repaired torn checkpoint %s: kept %zu "
-                        "entr(ies)\n", opts["resume"].c_str(),
-                        ckpt_log->size());
-        }
-        if (!shard_worker) {
-            if (Status s = ckpt_writer.open(opts["resume"]); !s.ok())
-                raise(s);
-        }
-        if (!ckpt_log->empty()) {
-            std::printf("Resuming from %s: %zu completed job(s)\n\n",
-                        opts["resume"].c_str(), ckpt_log->size());
-        }
-    }
-
-    struct RowPlan
-    {
-        const CheckpointEntry *checkpointed = nullptr;
-        std::size_t jobIndex = 0;
-        std::size_t slot = 0; ///< Lineup slot within the job.
-    };
-    std::vector<RowPlan> rows(names.size());
-    std::map<std::string, std::size_t> ckpt_seen;
-
-    const auto shared_bbc = std::make_shared<const BbcMatrix>(bbc);
-    const auto shared_x = std::make_shared<const SparseVector>(x50);
-
-    // Checkpoint row plan first, identically in every process role
-    // (single, worker, supervisor): row n is shard unit n, so the
-    // lookups must agree before any ownership decision.
-    if (ckpt_log != nullptr) {
-        for (std::size_t n = 0; n < names.size(); ++n) {
-            const std::size_t occurrence =
-                ckpt_seen[checkpointKey(kernel_name, names[n],
-                                        source_label)]++;
-            rows[n].checkpointed = ckpt_log->find(
-                kernel_name, names[n], source_label, occurrence);
-        }
-    }
-
-    const auto make_spec = [&](const std::string &name) {
-        JobSpec spec;
-        spec.kernel = kernel;
-        spec.model = name;
-        spec.config = cfg;
-        spec.matrix = source_label;
-        spec.impl =
-            std::shared_ptr<const StcModel>(makeStcModel(name, cfg));
-        spec.a = shared_bbc;
-        if (kernel == Kernel::SpMSpV)
-            spec.x = shared_x;
-        spec.bCols = b_cols;
-        return spec;
-    };
-
-    if (shard_worker) {
-        // Worker role: simulate only rows n with n mod K == i, append
-        // each to the durable manifest, print nothing. A manifest
-        // left by a killed earlier attempt is resumed, not redone.
-        // In-process failures crash the worker on purpose — the
-        // supervisor's retry/quarantine IS the recovery path.
-        std::string manifest_path = opts.count("shard-out")
-            ? opts["shard-out"]
-            : "shard_" + std::to_string(shard_index) + ".manifest";
-        ShardManifestWriter writer;
-        ShardManifest resumed;
-        if (Status s = writer.open(manifest_path, shard_index, shards,
-                                   &resumed);
-            !s.ok()) {
-            raise(s);
-        }
-        std::vector<ProcFaultSpec> faults;
-        if (const char *env = std::getenv(kShardFaultEnv))
-            faults = parseProcFaultSpecs(env).value();
-        const int attempt = shardAttemptFromEnv();
-        const ProcFaultSpec *armed_partial = nullptr;
-        std::uint64_t owned_done = 0;
-        ShardPlan plan;
-        plan.shards = shards;
-        shardHeartbeat();
-        for (std::size_t n = 0; n < names.size(); ++n) {
-            if (rows[n].checkpointed != nullptr ||
-                !plan.owns(n, shard_index))
-                continue;
-            if (resumed.find(n) != nullptr) {
-                ++owned_done;
-                shardHeartbeat();
-                continue;
-            }
-            if (const ProcFaultSpec *f =
-                    matchProcFault(faults, shard_index, attempt);
-                f != nullptr && owned_done >= f->afterUnits) {
-                if (f->kind == FaultKind::ProcPartialCrash)
-                    armed_partial = f;
-                else
-                    executeProcFault(*f);
-            }
-            ShardUnitRecord rec;
-            rec.unit = n;
-            rec.entries.push_back({kernel_name, names[n],
-                                   source_label,
-                                   make_spec(names[n]).run()});
-            if (armed_partial != nullptr) {
-                executeProcFault(*armed_partial, manifest_path,
-                                 encodeShardUnit(rec));
-            }
-            if (Status s = writer.append(rec); !s.ok())
-                raise(s);
-            ++owned_done;
-            shardHeartbeat();
-        }
-        return 0;
-    }
-
-    ShardMergeView shard_view;
-    std::vector<bool> shard_quarantined;
-    ShardRecoveryCounters shard_counters;
-    std::unique_ptr<TraceSink> shard_trace;
-#if defined(__unix__) || defined(__APPLE__)
-    if (shard_super) {
-        // Supervisor role: fan one worker process per shard over this
-        // same command line, then serve the merged manifests below.
-        std::string dir =
-            opts.count("shard-dir") ? opts["shard-dir"] : "";
-        bool temp_dir = false;
-        if (dir.empty() && opts.count("resume"))
-            dir = opts["resume"] + ".shards";
-        if (dir.empty()) {
-            char tmpl[] = "/tmp/unistc-shards-XXXXXX";
-            if (::mkdtemp(tmpl) == nullptr)
-                UNISTC_FATAL("--shards: mkdtemp failed: ",
-                             std::strerror(errno));
-            dir = tmpl;
-            temp_dir = true;
-        } else if (::mkdir(dir.c_str(), 0755) != 0 &&
-                   errno != EEXIST) {
-            UNISTC_FATAL("--shards: cannot create '", dir, "': ",
-                         std::strerror(errno));
-        }
-        std::vector<std::string> manifests;
-        std::vector<ShardProcess> procs(
-            static_cast<std::size_t>(shards));
-        for (int s = 0; s < shards; ++s) {
-            manifests.push_back(dir + "/shard_" + std::to_string(s) +
-                                ".manifest");
-            ShardProcess &proc = procs[static_cast<std::size_t>(s)];
-            proc.argv.reserve(static_cast<std::size_t>(argc) + 4);
-            for (int i = 0; i < argc; ++i)
-                proc.argv.emplace_back(argv[i]);
-            proc.argv.push_back("--shard");
-            proc.argv.push_back(std::to_string(s));
-            proc.argv.push_back("--shard-out");
-            proc.argv.push_back(manifests.back());
-        }
-        ShardPolicy policy;
-        if (opts.count("shard-max-seconds"))
-            policy.maxShardSeconds = parseSecondsOpt(
-                "shard-max-seconds", opts["shard-max-seconds"]);
-        if (opts.count("shard-heartbeat-seconds"))
-            policy.heartbeatSeconds =
-                parseSecondsOpt("shard-heartbeat-seconds",
-                                opts["shard-heartbeat-seconds"]);
-        if (opts.count("shard-retries"))
-            policy.maxRetries = parseIntOpt("shard-retries",
-                                            opts["shard-retries"]);
-        if (opts.count("shard-backoff-seconds"))
-            policy.backoffSeconds =
-                parseSecondsOpt("shard-backoff-seconds",
-                                opts["shard-backoff-seconds"]);
-        policy.quarantine = opts.count("shard-strict") == 0;
-        if (trace_capacity > 0)
-            shard_trace = std::make_unique<TraceSink>(trace_capacity);
-        ShardSupervisor supervisor(policy);
-        Result<std::vector<ShardOutcome>> sup =
-            supervisor.run(procs, shard_trace.get());
-        if (!sup.ok())
-            UNISTC_FATAL("--shards: ", sup.status().message());
-        const std::vector<ShardOutcome> outcomes =
-            std::move(sup).value();
-        shard_counters = supervisor.counters();
-
-        std::vector<ShardManifest> loaded;
-        shard_quarantined.assign(static_cast<std::size_t>(shards),
-                                 false);
-        bool any_quarantined = false;
-        for (int s = 0; s < shards; ++s) {
-            Result<ShardManifest> m = ShardManifest::load(
-                manifests[static_cast<std::size_t>(s)]);
-            if (!m.ok()) {
-                UNISTC_FATAL("--shards: cannot load '",
-                             manifests[static_cast<std::size_t>(s)],
-                             "': ", m.status().message());
-            }
-            loaded.push_back(std::move(m).value());
-            if (outcomes[static_cast<std::size_t>(s)].quarantined) {
-                shard_quarantined[static_cast<std::size_t>(s)] = true;
-                any_quarantined = true;
-                UNISTC_WARN(
-                    "shard ", s, " quarantined (",
-                    outcomes[static_cast<std::size_t>(s)].error,
-                    "); its missing rows print QUARANTINED");
-            }
-        }
-        ShardPlan plan;
-        plan.shards = shards;
-        Result<ShardMergeView> view =
-            ShardMergeView::merge(loaded, plan);
-        if (!view.ok())
-            UNISTC_FATAL("--shards: ", view.status().message());
-        shard_view = std::move(view).value();
-        if (temp_dir && !any_quarantined) {
-            // The merged view is in memory; the scratch dir can go.
-            for (const std::string &m : manifests)
-                std::remove(m.c_str());
-            ::rmdir(dir.c_str());
-        } else if (any_quarantined) {
-            UNISTC_WARN("shard manifests kept in '", dir, "'");
-        }
-    }
-#endif
-
-    JobSpec multi_spec; // --arch: every missing model, one job.
-    if (!shard_super) {
-        for (std::size_t n = 0; n < names.size(); ++n) {
-            if (rows[n].checkpointed != nullptr)
-                continue;
-            if (multi) {
-                rows[n].slot = multi_spec.lineup.size();
-                multi_spec.lineup.push_back(
-                    {names[n], cfg,
-                     std::shared_ptr<const StcModel>(
-                         makeStcModel(names[n], cfg))});
-                continue;
-            }
-            rows[n].jobIndex = exec.submit(make_spec(names[n]));
-        }
-    }
-    bool multi_submitted = false;
-    if (multi && !multi_spec.lineup.empty()) {
-        multi_spec.kernel = kernel;
-        multi_spec.matrix = source_label;
-        multi_spec.a = shared_bbc;
-        if (kernel == Kernel::SpMSpV)
-            multi_spec.x = shared_x;
-        multi_spec.bCols = b_cols;
-        const std::size_t job = exec.submit(std::move(multi_spec));
-        for (std::size_t n = 0; n < names.size(); ++n) {
-            if (rows[n].checkpointed == nullptr)
-                rows[n].jobIndex = job;
-        }
-        multi_submitted = true;
-    }
-    exec.wait();
-
     std::uint64_t quarantined = 0;
     std::uint64_t retried = 0;
     std::uint64_t faults = 0;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        if (rows[i].checkpointed != nullptr) {
-            const RunResult &r = rows[i].checkpointed->result;
-            registerRunResult(stats, r, "models." + names[i] + ".");
-            t.addRow({names[i] + " (resumed)", fmtCount(r.cycles),
-                      fmtPercent(r.utilisation()),
-                      fmtEnergyPj(r.energy.total()),
-                      fmtCount(r.traffic.totalA()),
-                      fmtCount(r.traffic.writesC)});
-            continue;
-        }
-        if (shard_super) {
-            // Serve row i (= shard unit i) from the merged worker
-            // manifests instead of an in-process job.
-            const ShardUnitRecord *rec = shard_view.find(i);
-            if (rec == nullptr) {
-                ShardPlan plan;
-                plan.shards = shards;
-                const std::size_t owner =
-                    static_cast<std::size_t>(plan.shardOf(i));
-                if (owner < shard_quarantined.size() &&
-                    shard_quarantined[owner]) {
-                    ++quarantined;
-                    UNISTC_WARN("model '", names[i],
-                                "' lost to quarantined shard ",
-                                owner);
-                    t.addRow({names[i], "QUARANTINED", "-", "-", "-",
-                              "-"});
-                    continue;
-                }
-                UNISTC_FATAL("--shards merge is missing row ", i,
-                             " ('", names[i], "') though its shard "
-                             "completed");
-            }
-            if (rec->entries.size() != 1 ||
-                rec->entries[0].kernel != kernel_name ||
-                rec->entries[0].model != names[i] ||
-                rec->entries[0].matrix != source_label) {
-                UNISTC_FATAL("--shards merge diverged at row ", i,
-                             ": the manifest holds a different job "
-                             "than ", kernel_name, " ", names[i],
-                             " @ ", source_label);
-            }
-            const RunResult &r = rec->entries[0].result;
-            registerRunResult(stats, r, "models." + names[i] + ".");
-            if (ckpt_writer.isOpen()) {
-                CheckpointEntry e;
-                e.kernel = kernel_name;
-                e.model = names[i];
-                e.matrix = source_label;
-                e.result = r;
-                if (Status s = ckpt_writer.append(e); !s.ok())
-                    UNISTC_WARN("checkpoint append failed: ",
-                                s.message());
-            }
-            t.addRow({names[i], fmtCount(r.cycles),
-                      fmtPercent(r.utilisation()),
-                      fmtEnergyPj(r.energy.total()),
-                      fmtCount(r.traffic.totalA()),
-                      fmtCount(r.traffic.writesC)});
-            continue;
-        }
-        const SweepExecutor::JobOutcome out =
-            exec.outcome(rows[i].jobIndex);
-        const RunResult &r =
-            exec.resultOf(rows[i].jobIndex, rows[i].slot);
-        registerRunResult(stats, r, "models." + names[i] + ".");
+    for (std::size_t i = 0; i < ex.names.size(); ++i) {
+        const RunResult &r = results[i];
+        const driver::RunInfo &info = infos[i];
+        registerRunResult(stats, r, "models." + ex.names[i] + ".");
         faults += static_cast<std::uint64_t>(
-            out.ok ? out.attempts - 1 : out.attempts);
-        retried += static_cast<std::uint64_t>(out.attempts - 1);
-        if (!out.ok) {
+            info.quarantined ? info.attempts : info.attempts - 1);
+        retried += static_cast<std::uint64_t>(info.attempts - 1);
+        if (info.quarantined) {
             ++quarantined;
-            UNISTC_WARN("job for model '", names[i],
-                        "' quarantined: ", out.error);
-            t.addRow({names[i], "QUARANTINED", "-", "-", "-", "-"});
+            UNISTC_WARN("job for model '", ex.names[i],
+                        "' quarantined",
+                        info.error.empty() ? "" : ": ", info.error);
+            t.addRow({ex.names[i], "QUARANTINED", "-", "-", "-",
+                      "-"});
             continue;
         }
-        if (ckpt_writer.isOpen()) {
-            CheckpointEntry e;
-            e.kernel = kernel_name;
-            e.model = names[i];
-            e.matrix = source_label;
-            e.result = r;
-            if (Status s = ckpt_writer.append(e); !s.ok())
-                UNISTC_WARN("checkpoint append failed: ",
-                            s.message());
-        }
-        t.addRow({names[i], fmtCount(r.cycles),
-                  fmtPercent(r.utilisation()),
+        t.addRow({ex.names[i] + (info.resumed ? " (resumed)" : ""),
+                  fmtCount(r.cycles), fmtPercent(r.utilisation()),
                   fmtEnergyPj(r.energy.total()),
                   fmtCount(r.traffic.totalA()),
                   fmtCount(r.traffic.writesC)});
     }
     t.print();
 
-    if (multi_submitted) {
+    if (ex.multi && lineup_ran) {
         // One shared stream fed the whole lineup; tasks_generated is
         // the single-model enumeration count while models_fanout
         // models consumed it. Timing fields stay out so the stats
         // JSON is byte-identical across --jobs counts and reruns.
-        exec.pipelineCounters().registerStats(
-            stats, "engine.", /*includeTiming=*/false);
+        engine_counters.registerStats(stats, "engine.",
+                                      /*includeTiming=*/false);
     }
-
-    if (strict || max_job_seconds > 0 || quarantined > 0) {
+    if (ex.robustStats || quarantined > 0) {
         stats.setCounter("robust.faults_detected", faults,
                          "job attempts that threw or timed out");
         stats.setCounter("robust.jobs_retried", retried,
@@ -869,44 +294,173 @@ main(int argc, char **argv)
         stats.setCounter("robust.jobs_quarantined", quarantined,
                          "jobs replaced by a zeroed result");
     }
-    if (shard_super)
-        registerShardStats(stats, shards, shard_counters);
-
+    if (ctx.shardSummaryShards() > 0) {
+        registerShardStats(stats, ctx.shardSummaryShards(),
+                           ctx.shardSummary());
+    }
     if (MatrixCache::global().enabled())
         MatrixCache::global().registerStats(stats);
 
-    // Sharded runs carry the supervisor's lifecycle events (spawn /
-    // kill / retry / quarantine instants) instead of per-job spans —
-    // the jobs ran in other processes.
-    const TraceSink *trace =
-        shard_super ? shard_trace.get() : exec.trace();
-    // Splice the cache's per-key resolution spans (its own trace
-    // process) into the model trace before writing it out.
-    std::unique_ptr<TraceSink> trace_with_cache;
-    if (trace != nullptr && MatrixCache::global().enabled()) {
-        const std::size_t extra =
-            MatrixCache::global().keyTimings().size();
-        if (extra > 0) {
-            trace_with_cache = std::make_unique<TraceSink>(
-                trace->size() + extra);
-            trace_with_cache->mergeFrom(*trace);
-            MatrixCache::global().appendTraceEvents(
-                *trace_with_cache, static_cast<int>(names.size()));
-            trace = trace_with_cache.get();
+    // Reporting artifacts (trace, stats JSON) are written exactly
+    // once, by the reporting pass — never by the silenced plan pass
+    // or a shard worker.
+    if (ctx.reportingPass()) {
+        // Sharded runs carry the supervisor's lifecycle events
+        // (spawn / kill / retry / quarantine instants) instead of
+        // per-job spans — the jobs ran in other processes.
+        const TraceSink *trace = ctx.runTrace();
+        // Splice the cache's per-key resolution spans (its own trace
+        // process) into the model trace before writing it out.
+        std::unique_ptr<TraceSink> trace_with_cache;
+        if (trace != nullptr && MatrixCache::global().enabled()) {
+            const std::size_t extra =
+                MatrixCache::global().keyTimings().size();
+            if (extra > 0) {
+                trace_with_cache = std::make_unique<TraceSink>(
+                    trace->size() + extra);
+                trace_with_cache->mergeFrom(*trace);
+                MatrixCache::global().appendTraceEvents(
+                    *trace_with_cache,
+                    static_cast<int>(ex.names.size()));
+                trace = trace_with_cache.get();
+            }
+        }
+        const bool wrote_trace =
+            trace != nullptr && opts.count("trace") != 0;
+        if (wrote_trace) {
+            trace->writeChromeTraceFile(opt("trace"));
+            registerTraceSinkStats(stats, *trace);
+            std::printf("\nTrace: %s (%llu events, %llu dropped)\n",
+                        opt("trace").c_str(),
+                        static_cast<unsigned long long>(
+                            trace->size()),
+                        static_cast<unsigned long long>(
+                            trace->dropped()));
+        }
+        if (opts.count("stats-json")) {
+            writeStatsJsonFile(stats, opt("stats-json"));
+            std::printf("%sStats: %s\n", wrote_trace ? "" : "\n",
+                        opt("stats-json").c_str());
         }
     }
-    if (trace != nullptr) {
-        trace->writeChromeTraceFile(opts["trace"]);
-        registerTraceSinkStats(stats, *trace);
-        std::printf("\nTrace: %s (%llu events, %llu dropped)\n",
-                    opts["trace"].c_str(),
-                    static_cast<unsigned long long>(trace->size()),
-                    static_cast<unsigned long long>(trace->dropped()));
-    }
-    if (opts.count("stats-json")) {
-        writeStatsJsonFile(stats, opts["stats-json"]);
-        std::printf("%sStats: %s\n", trace ? "" : "\n",
-                    opts["stats-json"].c_str());
-    }
     return 0;
+}
+
+/** The front-end's own flags, registered with the driver parser. */
+std::vector<driver::CliFlag>
+cliFlags()
+{
+    return {
+        {"matrix", true, "PATH", "Matrix Market input"},
+        {"gen", true, "SPEC",
+         "synthetic input: banded:n,hb,fill | random:n,density | "
+         "powerlaw:n,deg,alpha | stencil:grid"},
+        {"kernel", true, "NAME",
+         "spmv | spmspv | spmm | spgemm (default spmv)"},
+        {"model", true, "NAME",
+         "an architecture name or 'all' (default all)"},
+        {"arch", true, "A,B,C",
+         "architecture lineup run as ONE multi-model job over a "
+         "shared task stream (docs/ARCHITECTURE.md)"},
+        {"precision", true, "P", "fp64 | fp32 (default fp64)"},
+        {"dpgs", true, "N", "Uni-STC DPG count (default 8)"},
+        {"bcols", true, "N", "SpMM dense-B width (default 64)"},
+        {"save-bbc", true, "PATH", "write the encoded BBC file"},
+        {"trace", true, "PATH",
+         "write a Chrome trace-event JSON (Perfetto)"},
+        {"trace-events", true, "N",
+         "per-model trace ring capacity (default 65536)"},
+        {"stats-json", true, "PATH",
+         "write all run statistics as JSON"},
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<driver::CliFlag> extra = cliFlags();
+    Result<driver::ParsedCli> parsed =
+        driver::parseSweepCli(argc, argv, extra);
+    if (!parsed.ok())
+        raise(parsed.status());
+    driver::ParsedCli cli = std::move(parsed).value();
+    if (cli.helpRequested) {
+        std::fputs(driver::sweepCliHelp(argv[0], extra).c_str(),
+                   stdout);
+        return 0;
+    }
+    if (cli.versionRequested) {
+        std::fputs(driver::versionString(argv[0]).c_str(), stdout);
+        return 0;
+    }
+
+    // Resolve and validate every front-end flag BEFORE the driver
+    // runs, so a typo'd experiment fails fast in the parent — not
+    // once per forked shard worker.
+    Experiment ex;
+    ex.opts = cli.extra;
+    ex.kernelName =
+        ex.opts.count("kernel") ? ex.opts["kernel"] : "spmv";
+    if (ex.kernelName == "spmv")
+        ex.kernel = Kernel::SpMV;
+    else if (ex.kernelName == "spmspv")
+        ex.kernel = Kernel::SpMSpV;
+    else if (ex.kernelName == "spmm")
+        ex.kernel = Kernel::SpMM;
+    else if (ex.kernelName == "spgemm")
+        ex.kernel = Kernel::SpGEMM;
+    else
+        UNISTC_FATAL("unknown kernel '", ex.kernelName, "'");
+
+    const std::string precision = ex.opts.count("precision")
+        ? ex.opts["precision"] : "fp64";
+    if (precision == "fp32")
+        ex.cfg = MachineConfig::fp32();
+    else if (precision == "fp64")
+        ex.cfg = MachineConfig::fp64();
+    else
+        UNISTC_FATAL("unknown --precision '", precision,
+                     "' (use fp64|fp32)");
+    if (ex.opts.count("dpgs"))
+        ex.cfg.numDpgs = parseIntOpt("dpgs", ex.opts["dpgs"]);
+    if (ex.opts.count("bcols"))
+        ex.bCols = parseIntOpt("bcols", ex.opts["bcols"]);
+
+    ex.multi = ex.opts.count("arch") != 0;
+    if (ex.multi && ex.opts.count("model"))
+        UNISTC_FATAL("--model and --arch are mutually exclusive");
+    const std::string model_name =
+        ex.opts.count("model") ? ex.opts["model"] : "all";
+    if (ex.multi)
+        ex.names = parseArchList(ex.opts["arch"]);
+    else if (model_name == "all")
+        ex.names = allModelNames();
+    else
+        ex.names.push_back(model_name);
+
+    driver::SweepRequest req = cli.request;
+    if (ex.opts.count("trace")) {
+        // A --trace run goes through the executor's plan/replay path
+        // even at --jobs 1, so the trace has the same structure for
+        // any worker count.
+        req.traceJobCapacity = TraceSink::kDefaultCapacity;
+        if (ex.opts.count("trace-events")) {
+            const int n =
+                parseIntOpt("trace-events", ex.opts["trace-events"]);
+            if (n <= 0) {
+                UNISTC_FATAL("--trace-events needs a positive count, "
+                             "got ", n);
+            }
+            req.traceJobCapacity = static_cast<std::size_t>(n);
+        }
+    }
+    // The robust.* stat block appears whenever a robustness knob was
+    // set (legacy behaviour) or a job was actually quarantined.
+    ex.robustStats = req.strict || req.maxJobSeconds > 0;
+
+    driver::DriverSession session;
+    return session.run(req, argc, argv,
+                       [&ex](int, char **) { return simulate(ex); });
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "driver/version.hh"
 #include "warehouse/query.hh"
 #include "warehouse/reader.hh"
 
@@ -67,7 +68,8 @@ usage(const char *self)
         "  --baseline-json F  committed BENCH_*.json baseline\n"
         "  --current SEL    run under test (default latest)\n"
         "  --threshold X    geomean ratio that matters (1.05)\n"
-        "  --alpha A        t-test significance level (0.05)\n",
+        "  --alpha A        t-test significance level (0.05)\n"
+        "  --version        git revision + on-disk schema versions\n",
         self);
     return 1;
 }
@@ -480,6 +482,14 @@ cmdCheckRegressions(const WarehouseReader &reader, const Args &args)
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::fputs(
+                unistc::driver::versionString(argv[0]).c_str(),
+                stdout);
+            return 0;
+        }
+    }
     Args args;
     if (!parseArgs(argc, argv, &args))
         return usage(argv[0]);

@@ -61,7 +61,7 @@ namespace
 
 constexpr std::uint64_t kMagicV1 = 0x4242432D53544331ull; // "BBC-STC1"
 constexpr std::uint64_t kMagicV2 = 0x4242432D53544332ull; // "BBC-STC2"
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = kBbcContainerVersion;
 
 /** Largest shape the block math can hold without int overflow. */
 constexpr int kMaxDim = std::numeric_limits<int>::max() - kBlockSize;

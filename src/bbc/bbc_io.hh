@@ -35,6 +35,7 @@
 #ifndef UNISTC_BBC_BBC_IO_HH
 #define UNISTC_BBC_BBC_IO_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -43,6 +44,13 @@
 
 namespace unistc
 {
+
+/**
+ * Current on-disk BBC container format version (the writer's; the
+ * reader additionally accepts legacy v1 images). Reported by every
+ * binary's --version.
+ */
+constexpr std::uint32_t kBbcContainerVersion = 2;
 
 /** Serialise @p m to @p out in format v2. */
 Status trySaveBbc(std::ostream &out, const BbcMatrix &m,

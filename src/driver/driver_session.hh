@@ -1,0 +1,102 @@
+/**
+ * @file
+ * DriverSession: runs a front-end body under a SweepRequest —
+ * the orchestration that used to live in bench_common.hh's generated
+ * main() and (duplicated) in examples/simulate_cli.cc. One call,
+ * three possible shapes:
+ *
+ *   serial      body runs once, results simulate inline.
+ *   --jobs      plan pass (stdout silenced, jobs fan out over a
+ *               thread pool) → barrier → serial replay pass that
+ *               splices the precomputed results in
+ *               (docs/PARALLELISM.md).
+ *   --shards    worker children execute owned units into durable
+ *               manifests under a crash supervisor; the final serve
+ *               pass splices the merged manifests in
+ *               (docs/SHARDING.md).
+ *
+ * In every shape the reporting output — stdout, UNISTC_BENCH_JSON,
+ * warehouse rows — is produced by exactly one serial traversal of
+ * the body, so it is byte-identical across worker counts, shard
+ * counts and resume state.
+ */
+
+#ifndef UNISTC_DRIVER_DRIVER_SESSION_HH
+#define UNISTC_DRIVER_DRIVER_SESSION_HH
+
+#include <functional>
+
+#include "driver/execution_context.hh"
+#include "driver/sweep_request.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+/**
+ * Scoped plan-pass silence: stdout redirected to /dev/null and the
+ * log level raised, so a recording traversal of the body prints
+ * nothing; fatal()/panic() still reach stderr. Restores both on
+ * destruction. Exposed for tests; DriverSession applies it around
+ * the plan pass and shard workers.
+ */
+class ScopedPlanQuiet
+{
+  public:
+    ScopedPlanQuiet();
+    ~ScopedPlanQuiet();
+
+    ScopedPlanQuiet(const ScopedPlanQuiet &) = delete;
+    ScopedPlanQuiet &operator=(const ScopedPlanQuiet &) = delete;
+
+  private:
+    LogLevel savedLevel_;
+    int savedFd_ = -1;
+};
+
+/**
+ * One-line cache summary on stderr after a cached run (stdout stays
+ * untouched: the determinism tests cmp it byte for byte). A warm run
+ * over an unchanged corpus reports "0 miss(es)".
+ */
+void logCacheSummary();
+
+/** Orchestrates one request over one ExecutionContext. */
+class DriverSession
+{
+  public:
+    /** The front-end's program body (its pre-driver main()). */
+    using Body = std::function<int(int, char **)>;
+
+    explicit DriverSession(
+        ExecutionContext &ctx = ExecutionContext::global())
+        : ctx_(ctx)
+    {
+    }
+
+    DriverSession(const DriverSession &) = delete;
+    DriverSession &operator=(const DriverSession &) = delete;
+
+    /**
+     * Run @p body under @p req. @p argv is the body's command line,
+     * forwarded verbatim (shard workers are re-exec'd with it plus
+     * --shard/--shard-out). Installs ctx as current() for the
+     * duration. Returns the body's exit code.
+     */
+    int run(const SweepRequest &req, int argc, char **argv,
+            const Body &body);
+
+  private:
+    int runShardWorker(const SweepRequest &req, int argc, char **argv,
+                       const Body &body);
+    int runShardSupervisor(const SweepRequest &req, int argc,
+                           char **argv, const Body &body);
+
+    ExecutionContext &ctx_;
+};
+
+} // namespace driver
+} // namespace unistc
+
+#endif // UNISTC_DRIVER_DRIVER_SESSION_HH

@@ -1,0 +1,79 @@
+#include "driver/execution_context.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+namespace
+{
+
+ExecutionContext *&
+currentSlot()
+{
+    static ExecutionContext *current = nullptr;
+    return current;
+}
+
+} // namespace
+
+ExecutionContext &
+ExecutionContext::global()
+{
+    static ExecutionContext *ctx =
+        new ExecutionContext(/*processDefault=*/true);
+    return *ctx;
+}
+
+ExecutionContext *
+ExecutionContext::current()
+{
+    return currentSlot();
+}
+
+ExecutionContext *
+ExecutionContext::makeCurrent(ExecutionContext *ctx)
+{
+    ExecutionContext *previous = currentSlot();
+    currentSlot() = ctx;
+    return previous;
+}
+
+ExecutionContext &
+ExecutionContext::active()
+{
+    ExecutionContext *ctx = currentSlot();
+    return ctx != nullptr ? *ctx : global();
+}
+
+const TraceSink *
+ExecutionContext::runTrace() const
+{
+    if (supervisorTrace_ != nullptr)
+        return supervisorTrace_;
+    const SweepExecutor *exec = sweep_.executor();
+    return exec != nullptr ? exec->trace() : nullptr;
+}
+
+void
+ExecutionContext::setShardSummary(int shards,
+                                  const ShardRecoveryCounters &counters)
+{
+    shardSummaryShards_ = shards;
+    shardSummary_ = counters;
+}
+
+void
+ExecutionContext::beginRun()
+{
+    checkpoints_.reset();
+    sweep_.reset();
+    shard_.reset();
+    reportingPass_ = true;
+    supervisorTrace_ = nullptr;
+    shardSummaryShards_ = 0;
+    shardSummary_ = ShardRecoveryCounters();
+}
+
+} // namespace driver
+} // namespace unistc

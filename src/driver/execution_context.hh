@@ -1,0 +1,145 @@
+/**
+ * @file
+ * ExecutionContext: everything one sweep run needs to execute —
+ * checkpoint, sweep and shard sessions plus the result log — owned
+ * by one object instead of four per-process singletons (the
+ * bench_common.hh arrangement this library replaced). A process gets
+ * a default context (global()) whose ResultLog still arms the
+ * UNISTC_BENCH_JSON dump-at-exit, so existing binaries behave
+ * identically; embedders (tests, the future unistc_serve daemon)
+ * construct their own contexts and run several sweeps back to back
+ * in one process without state leaking between them (beginRun()).
+ *
+ * runKernel()/runKernelLineup() route through active(): current()
+ * when a DriverSession (or a test) installed one, the process
+ * default otherwise.
+ */
+
+#ifndef UNISTC_DRIVER_EXECUTION_CONTEXT_HH
+#define UNISTC_DRIVER_EXECUTION_CONTEXT_HH
+
+#include "driver/checkpoint_session.hh"
+#include "driver/result_log.hh"
+#include "driver/shard_session.hh"
+#include "driver/sweep_session.hh"
+#include "exec/shard_supervisor.hh"
+#include "obs/trace.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+/** One run's execution state: sessions + result log. */
+class ExecutionContext
+{
+  public:
+    /** A fresh embeddable context (no dump-at-exit side effects). */
+    ExecutionContext() : ExecutionContext(false) {}
+
+    ExecutionContext(const ExecutionContext &) = delete;
+    ExecutionContext &operator=(const ExecutionContext &) = delete;
+
+    /**
+     * The process-default context — the one whose ResultLog dumps
+     * UNISTC_BENCH_JSON at exit. Intentionally leaked so the atexit
+     * handler can outlive static destruction.
+     */
+    static ExecutionContext &global();
+
+    /** The installed context, null when none is. */
+    static ExecutionContext *current();
+
+    /**
+     * Install @p ctx as the context runKernel() routes through
+     * (null restores the process default). Returns the previous one
+     * so scopes can nest.
+     */
+    static ExecutionContext *makeCurrent(ExecutionContext *ctx);
+
+    /** current() when installed, the process default otherwise. */
+    static ExecutionContext &active();
+
+    CheckpointSession &checkpoints() { return checkpoints_; }
+    SweepSession &sweep() { return sweep_; }
+    ShardSession &shard() { return shard_; }
+    ResultLog &results() { return results_; }
+
+    /**
+     * False while the body's output is being discarded — the --jobs
+     * plan pass and shard worker mode, where stdout goes to
+     * /dev/null and results are sentinels. Front-ends guard artifact
+     * writes (traces, stats JSON, saved BBC containers) on it so
+     * files are written exactly once, by the reporting run.
+     */
+    bool reportingPass() const { return reportingPass_; }
+    void setReportingPass(bool on) { reportingPass_ = on; }
+
+    /**
+     * The live sweep executor (null outside a --jobs run). Valid
+     * through the replay pass: front-ends read per-job outcomes,
+     * pipeline counters and the merged trace while reporting.
+     */
+    const SweepExecutor *
+    sweepExecutor() const
+    {
+        return sweep_.executor();
+    }
+
+    /**
+     * The run's trace: the shard supervisor's lifecycle trace when
+     * this is a serve pass that recorded one, the sweep executor's
+     * merged per-job trace during replay, null otherwise.
+     */
+    const TraceSink *runTrace() const;
+
+    /** Serve pass only: the supervisor's lifecycle trace sink. */
+    void
+    setSupervisorTrace(const TraceSink *trace)
+    {
+        supervisorTrace_ = trace;
+    }
+
+    /**
+     * Serve pass only: shard count + supervision tallies, for
+     * front-ends that export them (simulate_cli's stats JSON).
+     * shardSummaryShards() is 0 outside a supervised run.
+     */
+    void setShardSummary(int shards,
+                         const ShardRecoveryCounters &counters);
+    int shardSummaryShards() const { return shardSummaryShards_; }
+    const ShardRecoveryCounters &
+    shardSummary() const
+    {
+        return shardSummary_;
+    }
+
+    /**
+     * Reset per-run session state (sweep/shard/checkpoint modes,
+     * cursors, supervisor hooks) so a long-lived context can serve
+     * another request. Recorded results are kept — the log spans the
+     * process — and the matrix cache, a process-wide resource, is
+     * untouched.
+     */
+    void beginRun();
+
+  private:
+    explicit ExecutionContext(bool processDefault)
+        : results_(/*atexitDump=*/processDefault)
+    {
+    }
+
+    CheckpointSession checkpoints_;
+    SweepSession sweep_;
+    ShardSession shard_;
+    ResultLog results_;
+    bool reportingPass_ = true;
+    const TraceSink *supervisorTrace_ = nullptr;
+    int shardSummaryShards_ = 0;
+    ShardRecoveryCounters shardSummary_;
+};
+
+} // namespace driver
+} // namespace unistc
+
+#endif // UNISTC_DRIVER_EXECUTION_CONTEXT_HH

@@ -1,0 +1,122 @@
+#include "driver/shard_session.hh"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.hh"
+#include "exec/shard_supervisor.hh"
+#include "robust/status.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+void
+ShardSession::startWorker(int shard, int shards,
+                          const std::string &manifestPath)
+{
+    if (Status st = validateShardArgs(shards, shard); !st.ok())
+        raise(st);
+    plan_.shards = shards;
+    shard_ = shard;
+    manifestPath_ = manifestPath;
+    ShardManifest resumed;
+    if (Status st = writer_.open(manifestPath, shard, shards,
+                                 &resumed);
+        !st.ok()) {
+        raise(st);
+    }
+    resumed_ = std::move(resumed);
+    if (!resumed_.empty()) {
+        UNISTC_INFORM("shard ", shard, "/", shards, " resuming: ",
+                      resumed_.size(), " unit(s) already on '",
+                      manifestPath, "'");
+    }
+    attempt_ = shardAttemptFromEnv();
+    if (const char *env = std::getenv(kShardFaultEnv)) {
+        Result<std::vector<ProcFaultSpec>> specs =
+            parseProcFaultSpecs(env);
+        if (!specs.ok())
+            raise(specs.status());
+        faults_ = std::move(specs).value();
+    }
+    mode_ = Mode::Worker;
+    shardHeartbeat();
+}
+
+void
+ShardSession::startServe(int shards, ShardMergeView view,
+                         std::vector<bool> quarantined)
+{
+    plan_.shards = shards;
+    view_ = std::move(view);
+    quarantined_ = std::move(quarantined);
+    unit_ = 0;
+    mode_ = Mode::Serve;
+}
+
+bool
+ShardSession::alreadyRecorded(std::uint64_t unit)
+{
+    if (resumed_.find(unit) == nullptr)
+        return false;
+    ++ownedDone_;
+    shardHeartbeat();
+    return true;
+}
+
+void
+ShardSession::checkInjectedFault()
+{
+    const ProcFaultSpec *f = matchProcFault(faults_, shard_, attempt_);
+    if (f == nullptr || ownedDone_ < f->afterUnits)
+        return;
+    if (f->kind == FaultKind::ProcPartialCrash) {
+        armedPartial_ = f;
+        return;
+    }
+    executeProcFault(*f);
+}
+
+void
+ShardSession::completeUnit(const ShardUnitRecord &rec)
+{
+    if (armedPartial_ != nullptr) {
+        executeProcFault(*armedPartial_, manifestPath_,
+                         encodeShardUnit(rec));
+    }
+    if (Status st = writer_.append(rec); !st.ok())
+        raise(st);
+    ++ownedDone_;
+    shardHeartbeat();
+}
+
+bool
+ShardSession::unitQuarantined(std::uint64_t unit) const
+{
+    const int owner = plan_.shardOf(unit);
+    return owner < static_cast<int>(quarantined_.size()) &&
+           quarantined_[owner];
+}
+
+void
+ShardSession::reset()
+{
+    mode_ = Mode::Off;
+    plan_ = ShardPlan();
+    shard_ = -1;
+    attempt_ = 0;
+    unit_ = 0;
+    ownedDone_ = 0;
+    manifestPath_.clear();
+    writer_.close();
+    resumed_ = ShardManifest();
+    view_ = ShardMergeView();
+    quarantined_.clear();
+    faults_.clear();
+    armedPartial_ = nullptr;
+}
+
+} // namespace driver
+} // namespace unistc

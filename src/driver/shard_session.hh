@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ShardSession: the per-run --shards state machine
+ * (docs/SHARDING.md; moved out of bench/bench_common.hh). Off by
+ * default; DriverSession puts the process in Worker mode (--shard i:
+ * execute owned units, record them to a durable manifest) or Serve
+ * mode (the supervisor's final pass: splice every unit's results
+ * back in from the merged manifests). Both modes number
+ * runKernel()/runKernelLineup() calls with the same unit counter, so
+ * ownership and lookup agree across processes.
+ */
+
+#ifndef UNISTC_DRIVER_SHARD_SESSION_HH
+#define UNISTC_DRIVER_SHARD_SESSION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/shard_plan.hh"
+#include "robust/fault_inject.hh"
+#include "sim/result.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+/** The --shards worker/serve state of one ExecutionContext. */
+class ShardSession
+{
+  public:
+    enum class Mode
+    {
+        Off,    ///< Not sharded: runKernel() behaves as ever.
+        Worker, ///< Child: execute owned units into the manifest.
+        Serve,  ///< Supervisor: serve merged manifest results.
+    };
+
+    ShardSession() = default;
+
+    ShardSession(const ShardSession &) = delete;
+    ShardSession &operator=(const ShardSession &) = delete;
+
+    Mode mode() const { return mode_; }
+    int shards() const { return plan_.shards; }
+
+    /**
+     * Enter Worker mode for shard @p shard of @p shards, recording
+     * to @p manifestPath. A manifest left by a killed earlier
+     * attempt is repaired and resumed — its units are skipped, not
+     * re-simulated. Injected process faults (UNISTC_SHARD_FAULT) are
+     * armed here.
+     */
+    void startWorker(int shard, int shards,
+                     const std::string &manifestPath);
+
+    /** Enter Serve mode over the merged manifests of all shards. */
+    void startServe(int shards, ShardMergeView view,
+                    std::vector<bool> quarantined);
+
+    /** Number this runKernel()/runKernelLineup() call. */
+    std::uint64_t beginUnit() { return unit_++; }
+
+    bool owns(std::uint64_t unit) const
+    {
+        return plan_.owns(unit, shard_);
+    }
+
+    /**
+     * Worker: true when a previous (killed) attempt already durably
+     * recorded @p unit; counts it as done and beats the heart.
+     */
+    bool alreadyRecorded(std::uint64_t unit);
+
+    /**
+     * Worker: fire any injected process fault that is due before
+     * this unit executes. abort/exit/hang die right here;
+     * partial-output-then-crash arms itself and fires inside
+     * completeUnit() mid-append instead.
+     */
+    void checkInjectedFault();
+
+    /** Worker: durably record one finished owned unit + heartbeat. */
+    void completeUnit(const ShardUnitRecord &rec);
+
+    /** Serve: the merged record for @p unit, null when missing. */
+    const ShardUnitRecord *find(std::uint64_t unit) const
+    {
+        return view_.find(unit);
+    }
+
+    /** Serve: true when @p unit's owning shard was quarantined. */
+    bool unitQuarantined(std::uint64_t unit) const;
+
+    /** Drop all shard state for context reuse. */
+    void reset();
+
+  private:
+    Mode mode_ = Mode::Off;
+    ShardPlan plan_;
+    int shard_ = -1;
+    int attempt_ = 0;
+    std::uint64_t unit_ = 0;
+    std::uint64_t ownedDone_ = 0;
+    std::string manifestPath_;
+    ShardManifestWriter writer_;
+    ShardManifest resumed_;
+    ShardMergeView view_;
+    std::vector<bool> quarantined_;
+    std::vector<ProcFaultSpec> faults_;
+    const ProcFaultSpec *armedPartial_ = nullptr;
+};
+
+} // namespace driver
+} // namespace unistc
+
+#endif // UNISTC_DRIVER_SHARD_SESSION_HH

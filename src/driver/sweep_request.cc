@@ -1,0 +1,349 @@
+#include "driver/sweep_request.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "exec/sweep_executor.hh"
+#include "exec/thread_pool.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+namespace
+{
+
+Status
+optError(const std::string &message)
+{
+    return invalidArgument(message);
+}
+
+/** Strict non-negative integer; "auto" is handled by the caller. */
+bool
+parseNonNegInt(const std::string &text, long &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseNonNegSeconds(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0' || v < 0.0)
+        return false;
+    out = v;
+    return true;
+}
+
+struct StdFlag
+{
+    const char *name;
+    bool hasValue;
+    const char *valueName;
+    const char *help;
+};
+
+/** The standard family, in --help order. */
+const StdFlag kStdFlags[] = {
+    {"quick", false, "",
+     "shrink workloads (also UNISTC_BENCH_QUICK)"},
+    {"smoke", false, "",
+     "tiny corpus for ctest smoke runs (implies --quick)"},
+    {"jobs", true, "N",
+     "worker threads, 0/'auto' = all cores (also UNISTC_JOBS)"},
+    {"resume", true, "PATH",
+     "checkpoint finished jobs to PATH and skip jobs already there "
+     "(also UNISTC_BENCH_RESUME; docs/ROBUSTNESS.md)"},
+    {"strict", false, "",
+     "fail fast: first unrecovered job failure aborts the run"},
+    {"max-job-seconds", true, "S",
+     "cooperative per-job watchdog budget (0 = off)"},
+    {"log-level", true, "LEVEL",
+     "debug|info|warn|error|silent (or 0-4)"},
+    {"cache-dir", true, "PATH",
+     "content-addressed matrix artifact cache directory (also "
+     "UNISTC_CACHE_DIR; docs/CACHING.md)"},
+    {"cache", true, "MODE",
+     "off | ro | rw (default rw when a cache dir is set; also "
+     "UNISTC_CACHE)"},
+    {"shards", true, "K",
+     "fan the sweep across K crash-isolated worker processes "
+     "(docs/SHARDING.md)"},
+    {"shard", true, "I",
+     "run as shard worker I (spawned by the supervisor)"},
+    {"shard-out", true, "PATH", "worker manifest path"},
+    {"shard-dir", true, "DIR", "supervisor manifest directory"},
+    {"shard-max-seconds", true, "S",
+     "SIGKILL budget per shard attempt (0 = off)"},
+    {"shard-heartbeat-seconds", true, "S",
+     "SIGKILL after S silent seconds (0 = off)"},
+    {"shard-retries", true, "N",
+     "retries per shard after the first attempt"},
+    {"shard-backoff-seconds", true, "S",
+     "first retry delay (doubles per retry)"},
+    {"shard-strict", false, "",
+     "fail the run instead of quarantining a dead shard"},
+};
+
+const StdFlag *
+findStdFlag(const std::string &name)
+{
+    for (const StdFlag &f : kStdFlags) {
+        if (name == f.name)
+            return &f;
+    }
+    return nullptr;
+}
+
+const CliFlag *
+findExtraFlag(const std::vector<CliFlag> &extra,
+              const std::string &name)
+{
+    for (const CliFlag &f : extra) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+/** Apply one standard flag value onto the request being built. */
+Status
+applyStdFlag(SweepRequest &req, const std::string &name,
+             const std::string &value, int &requestedJobs)
+{
+    long n = 0;
+    double sec = 0.0;
+    if (name == "quick") {
+        req.quick = true;
+    } else if (name == "smoke") {
+        req.smoke = true;
+        req.quick = true;
+    } else if (name == "jobs") {
+        if (value == "auto") {
+            requestedJobs = ThreadPool::hardwareThreads();
+        } else if (parseNonNegInt(value, n)) {
+            requestedJobs =
+                n == 0 ? ThreadPool::hardwareThreads()
+                       : static_cast<int>(n);
+        } else {
+            return optError("--jobs needs a non-negative integer or "
+                            "'auto', got '" + value + "'");
+        }
+    } else if (name == "resume") {
+        req.resumePath = value;
+    } else if (name == "strict") {
+        req.strict = true;
+    } else if (name == "max-job-seconds") {
+        if (!parseNonNegSeconds(value, sec)) {
+            return optError("--max-job-seconds needs a non-negative "
+                            "number of seconds, got '" + value + "'");
+        }
+        req.maxJobSeconds = sec;
+    } else if (name == "log-level") {
+        LogLevel level = LogLevel::Info;
+        if (!parseLogLevel(value, level)) {
+            return optError("unknown --log-level '" + value +
+                            "' (use debug|info|warn|error|silent)");
+        }
+        req.logLevelSet = true;
+        req.logLevel = level;
+    } else if (name == "cache-dir") {
+        req.cacheFlagged = true;
+        req.cacheDir = value;
+    } else if (name == "cache") {
+        CacheMode mode = CacheMode::ReadWrite;
+        if (!parseCacheMode(value, mode)) {
+            return optError("unknown --cache '" + value +
+                            "' (use off|ro|rw)");
+        }
+        req.cacheFlagged = true;
+        req.cacheMode = mode;
+    } else if (name == "shards") {
+        if (!parseNonNegInt(value, n)) {
+            return optError("--shards needs a non-negative integer, "
+                            "got '" + value + "'");
+        }
+        req.shards = static_cast<int>(n);
+    } else if (name == "shard") {
+        if (!parseNonNegInt(value, n)) {
+            return optError("--shard needs a non-negative integer, "
+                            "got '" + value + "'");
+        }
+        req.shard = static_cast<int>(n);
+    } else if (name == "shard-out") {
+        req.shardOut = value;
+    } else if (name == "shard-dir") {
+        req.shardDir = value;
+    } else if (name == "shard-max-seconds") {
+        if (!parseNonNegSeconds(value, sec)) {
+            return optError("--shard-max-seconds needs a non-negative "
+                            "number of seconds, got '" + value + "'");
+        }
+        req.shardMaxSeconds = sec;
+    } else if (name == "shard-heartbeat-seconds") {
+        if (!parseNonNegSeconds(value, sec)) {
+            return optError(
+                "--shard-heartbeat-seconds needs a non-negative "
+                "number of seconds, got '" + value + "'");
+        }
+        req.shardHeartbeatSeconds = sec;
+    } else if (name == "shard-retries") {
+        if (!parseNonNegInt(value, n)) {
+            return optError("--shard-retries needs a non-negative "
+                            "integer, got '" + value + "'");
+        }
+        req.shardRetries = static_cast<int>(n);
+    } else if (name == "shard-backoff-seconds") {
+        if (!parseNonNegSeconds(value, sec)) {
+            return optError(
+                "--shard-backoff-seconds needs a non-negative "
+                "number of seconds, got '" + value + "'");
+        }
+        req.shardBackoffSeconds = sec;
+    } else if (name == "shard-strict") {
+        req.shardStrict = true;
+    }
+    return Status();
+}
+
+} // namespace
+
+Result<ParsedCli>
+parseSweepCli(int argc, char **argv,
+              const std::vector<CliFlag> &extraFlags)
+{
+    ParsedCli out;
+    int requestedJobs = 0; // 0: fall back to UNISTC_JOBS / serial.
+    for (int i = 1; i < argc;) {
+        const std::string arg(argv[i]);
+        // --help / --version short-circuit: the rest of the line is
+        // never validated, so "bench --help --whatever" still helps.
+        if (arg == "--help" || arg == "-h") {
+            out.helpRequested = true;
+            return out;
+        }
+        if (arg == "--version") {
+            out.versionRequested = true;
+            return out;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            return optError("expected an option, got '" + arg +
+                            "' (see --help)");
+        }
+        // Accept both "--flag value" and "--flag=value".
+        std::string name = arg.substr(2);
+        std::string value;
+        bool valueInline = false;
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            valueInline = true;
+        }
+        const StdFlag *std_flag = findStdFlag(name);
+        const CliFlag *extra_flag =
+            std_flag == nullptr ? findExtraFlag(extraFlags, name)
+                                : nullptr;
+        if (std_flag == nullptr && extra_flag == nullptr) {
+            return optError("unknown option '" + arg +
+                            "' (see --help)");
+        }
+        const bool has_value = std_flag != nullptr
+                                   ? std_flag->hasValue
+                                   : extra_flag->hasValue;
+        if (!has_value) {
+            if (valueInline) {
+                return optError("option '--" + name +
+                                "' takes no value");
+            }
+            value = "1";
+            ++i;
+        } else if (valueInline) {
+            ++i;
+        } else {
+            if (i + 1 >= argc) {
+                return optError("option '--" + name +
+                                "' is missing a value");
+            }
+            value = argv[i + 1];
+            i += 2;
+        }
+        if (std_flag != nullptr) {
+            if (Status s = applyStdFlag(out.request, name, value,
+                                        requestedJobs);
+                !s.ok()) {
+                return s;
+            }
+        } else {
+            out.extra[name] = value;
+        }
+    }
+
+    // Environment fallbacks, exactly as the legacy per-binary
+    // parsers resolved them.
+    if (out.request.resumePath.empty()) {
+        if (const char *env = std::getenv("UNISTC_BENCH_RESUME"))
+            out.request.resumePath = env;
+    }
+    out.request.jobs = SweepExecutor::resolveJobs(requestedJobs, 1);
+
+    if (out.request.shards < 1)
+        return optError("--shards needs at least 1 shard");
+    return out;
+}
+
+std::string
+sweepCliHelp(const std::string &binaryName,
+             const std::vector<CliFlag> &extraFlags)
+{
+    std::string text = "usage: " + binaryName + " [options]\n";
+    const auto line = [&text](const std::string &name, bool hasValue,
+                              const std::string &valueName,
+                              const std::string &help) {
+        std::string head = "  --" + name;
+        if (hasValue)
+            head += " " + (valueName.empty() ? "VALUE" : valueName);
+        if (head.size() < 28)
+            head.append(28 - head.size(), ' ');
+        else
+            head += "  ";
+        text += head + help + "\n";
+    };
+    for (const CliFlag &f : extraFlags)
+        line(f.name, f.hasValue, f.valueName, f.help);
+    if (!extraFlags.empty())
+        text += "\nexecution family (every unistc binary):\n";
+    for (const StdFlag &f : kStdFlags)
+        line(f.name, f.hasValue, f.valueName, f.help);
+    line("help", false, "", "this text (also -h)");
+    line("version", false, "",
+         "git revision + on-disk schema versions");
+    return text;
+}
+
+bool
+quickRequested(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a(argv[i]);
+        if (a == "--quick" || a == "--smoke")
+            return true;
+    }
+    return std::getenv("UNISTC_BENCH_QUICK") != nullptr;
+}
+
+} // namespace driver
+} // namespace unistc

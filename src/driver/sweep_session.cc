@@ -1,0 +1,229 @@
+#include "driver/sweep_session.hh"
+
+#include "common/logging.hh"
+#include "warehouse/sink.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+namespace
+{
+
+RunInfo
+infoFromOutcome(const SweepExecutor::JobOutcome &oc)
+{
+    RunInfo info;
+    info.quarantined = !oc.ok;
+    info.timedOut = oc.timedOut;
+    info.attempts = oc.attempts;
+    info.error = oc.error;
+    return info;
+}
+
+} // namespace
+
+RunResult
+SweepSession::sentinel()
+{
+    RunResult s;
+    s.cycles = 1;
+    s.products = 1;
+    s.macSlots = 1;
+    s.tasksT1 = 1;
+    s.tasksT3 = 1;
+    return s;
+}
+
+void
+SweepSession::startPlan(const SweepRequest &req)
+{
+    SweepExecutor::Options opt;
+    opt.jobs = req.jobs;
+    // ResultLog builds its own per-entry registries at dump time;
+    // executor-side shards would be redundant work.
+    opt.collectStats = false;
+    opt.tracePerJob = req.traceJobCapacity;
+    opt.maxJobSeconds = req.maxJobSeconds;
+    opt.maxRetries = req.maxRetries;
+    opt.quarantine = !req.strict;
+    exec_ = std::make_unique<SweepExecutor>(opt);
+    cursor_ = 0;
+    mode_ = Mode::Plan;
+}
+
+void
+SweepSession::startReplay()
+{
+    UNISTC_ASSERT(mode_ == Mode::Plan,
+                  "startReplay without a plan pass");
+    exec_->wait();
+    cursor_ = 0;
+    mode_ = Mode::Replay;
+}
+
+void
+SweepSession::finish()
+{
+    // The sweep's recovery tallies belong in the warehouse commit
+    // record — after this point the executor is gone.
+    if (exec_ != nullptr) {
+        warehouse::BenchSink::instance().noteRecovery(
+            exec_->recoveryCounters());
+    }
+    mode_ = Mode::Off;
+    exec_.reset();
+    captures_.clear();
+}
+
+void
+SweepSession::reset()
+{
+    mode_ = Mode::Off;
+    exec_.reset();
+    captures_.clear();
+    cursor_ = 0;
+}
+
+RunResult
+SweepSession::plan(Kernel kernel, const StcModel &model,
+                   const Prepared &p, const EnergyModel &energy,
+                   int bCols)
+{
+    JobSpec spec;
+    spec.kernel = kernel;
+    spec.model = model.name();
+    spec.config = model.config();
+    spec.matrix = p.name;
+    spec.impl = std::shared_ptr<const StcModel>(model.clone());
+    const Capture &cap = capture(p);
+    spec.a = cap.bbc;
+    if (kernel == Kernel::SpMSpV)
+        spec.x = cap.x50;
+    spec.bCols = bCols;
+    spec.energy = energy.params();
+    exec_->submit(std::move(spec));
+    return sentinel();
+}
+
+RunResult
+SweepSession::replay(Kernel kernel, const StcModel &model,
+                     const Prepared &p, RunInfo *info)
+{
+    UNISTC_ASSERT(exec_ != nullptr, "replay without a plan");
+    if (cursor_ >= exec_->jobCount()) {
+        UNISTC_FATAL(
+            "--jobs replay diverged: the bench issued more "
+            "runKernel() calls than the plan pass recorded "
+            "(call ", cursor_ + 1, " of ", exec_->jobCount(),
+            "). This bench's control flow depends on simulation "
+            "results; run it with --jobs 1.");
+    }
+    const JobSpec &planned = exec_->spec(cursor_);
+    if (planned.kernel != kernel || planned.model != model.name() ||
+        planned.matrix != p.name) {
+        UNISTC_FATAL(
+            "--jobs replay diverged at job ", cursor_, ": planned ",
+            planned.label(), " but the bench requested ",
+            toString(kernel), " ", model.name(), " @ ", p.name,
+            ". This bench's control flow depends on simulation "
+            "results; run it with --jobs 1.");
+    }
+    if (info != nullptr)
+        *info = infoFromOutcome(exec_->outcome(cursor_));
+    return exec_->result(cursor_++);
+}
+
+std::vector<RunResult>
+SweepSession::planLineup(Kernel kernel,
+                         const std::vector<const StcModel *> &models,
+                         const Prepared &p, const EnergyModel &energy,
+                         int bCols)
+{
+    JobSpec spec;
+    spec.kernel = kernel;
+    spec.matrix = p.name;
+    for (const StcModel *m : models) {
+        ModelSpec entry;
+        entry.name = m->name();
+        entry.config = m->config();
+        entry.impl = std::shared_ptr<const StcModel>(m->clone());
+        spec.lineup.push_back(std::move(entry));
+    }
+    const Capture &cap = capture(p);
+    spec.a = cap.bbc;
+    if (kernel == Kernel::SpMSpV)
+        spec.x = cap.x50;
+    spec.bCols = bCols;
+    spec.energy = energy.params();
+    exec_->submit(std::move(spec));
+    // Same degenerate sentinel as plan() — one per model.
+    return std::vector<RunResult>(models.size(), sentinel());
+}
+
+std::vector<RunResult>
+SweepSession::replayLineup(
+    Kernel kernel, const std::vector<const StcModel *> &models,
+    const Prepared &p, PipelineCounters *counters,
+    std::vector<RunInfo> *infos)
+{
+    UNISTC_ASSERT(exec_ != nullptr, "replay without a plan");
+    if (cursor_ >= exec_->jobCount()) {
+        UNISTC_FATAL(
+            "--jobs replay diverged: the bench issued more "
+            "runKernelLineup() calls than the plan pass recorded "
+            "(call ", cursor_ + 1, " of ", exec_->jobCount(),
+            "). This bench's control flow depends on simulation "
+            "results; run it with --jobs 1.");
+    }
+    const JobSpec &planned = exec_->spec(cursor_);
+    bool matches = planned.kernel == kernel &&
+                   planned.matrix == p.name &&
+                   planned.fanout() == models.size() &&
+                   !planned.lineup.empty();
+    for (std::size_t m = 0; matches && m < models.size(); ++m)
+        matches = planned.modelName(m) == models[m]->name();
+    if (!matches) {
+        UNISTC_FATAL(
+            "--jobs replay diverged at job ", cursor_, ": planned ",
+            planned.label(), " but the bench requested a ",
+            toString(kernel), " lineup of ", models.size(),
+            " model(s) @ ", p.name,
+            ". This bench's control flow depends on simulation "
+            "results; run it with --jobs 1.");
+    }
+    if (counters != nullptr)
+        *counters = exec_->countersOf(cursor_);
+    if (infos != nullptr) {
+        infos->assign(models.size(),
+                      infoFromOutcome(exec_->outcome(cursor_)));
+    }
+    std::vector<RunResult> results;
+    results.reserve(models.size());
+    for (std::size_t m = 0; m < models.size(); ++m)
+        results.push_back(exec_->resultOf(cursor_, m));
+    ++cursor_;
+    return results;
+}
+
+const SweepSession::Capture &
+SweepSession::capture(const Prepared &p)
+{
+    const std::string key =
+        p.name + "#" + std::to_string(p.csr.rows()) + "x" +
+        std::to_string(p.csr.cols()) + "#" +
+        std::to_string(p.csr.nnz()) + "#" +
+        std::to_string(p.x50.nnz());
+    auto it = captures_.find(key);
+    if (it == captures_.end()) {
+        Capture cap;
+        cap.bbc = std::make_shared<const BbcMatrix>(p.bbc);
+        cap.x50 = std::make_shared<const SparseVector>(p.x50);
+        it = captures_.emplace(key, std::move(cap)).first;
+    }
+    return it->second;
+}
+
+} // namespace driver
+} // namespace unistc

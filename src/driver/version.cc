@@ -1,0 +1,39 @@
+#include "driver/version.hh"
+
+#include <sstream>
+
+#include "bbc/bbc_io.hh"
+#include "driver/build_info.hh"
+#include "exec/shard_plan.hh"
+#include "obs/bench_json.hh"
+#include "robust/checkpoint.hh"
+#include "warehouse/schema.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+const char *
+gitRevision()
+{
+    return UNISTC_GIT_REVISION;
+}
+
+std::string
+versionString(const std::string &binaryName)
+{
+    std::ostringstream os;
+    os << binaryName << " (unistc) revision " << gitRevision()
+       << "\n";
+    os << "formats: bench-json " << kBenchSchemaName << "/v"
+       << kBenchSchemaVersion << ", warehouse v"
+       << warehouse::kSchemaVersion << ", bbc-container v"
+       << kBbcContainerVersion << ", checkpoint v"
+       << kCheckpointFormatVersion << ", shard-manifest v"
+       << kShardManifestVersion << "\n";
+    return os.str();
+}
+
+} // namespace driver
+} // namespace unistc

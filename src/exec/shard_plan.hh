@@ -41,6 +41,13 @@ namespace unistc
 {
 
 /**
+ * On-disk shard manifest format version — the "v1" in the
+ * "unistc-shard-hdr-v1" / "unistc-shard-unit-v1" line tags below.
+ * Reported by every binary's --version; bump alongside the tags.
+ */
+constexpr int kShardManifestVersion = 1;
+
+/**
  * Deterministic unit → shard assignment. Pure arithmetic, so the
  * supervisor, every worker, and the serve pass all agree without
  * communicating.
@@ -156,6 +163,9 @@ class ShardManifestWriter
 
     /** Append one finished unit (single write + sync). */
     Status append(const ShardUnitRecord &rec);
+
+    /** Close the underlying descriptor (idempotent). */
+    void close() { file_.close(); }
 
     bool isOpen() const { return file_.isOpen(); }
 

@@ -42,6 +42,14 @@ namespace unistc
  *  the shard manifest embeds entries and needs the width too. */
 constexpr std::size_t kCheckpointEntryTokens = 1 + 3 + 13 + 5 + 1;
 
+/**
+ * On-disk checkpoint line-format version. The format has no header
+ * line carrying it (every line is self-describing via its "ckpt"
+ * tag); the constant exists so --version can report the dialect a
+ * binary writes. Bump alongside any codec change below.
+ */
+constexpr int kCheckpointFormatVersion = 1;
+
 /** @name Checkpoint token helpers
  *  The escaping/number codec the checkpoint line format is built
  *  from, exported so the shard manifest speaks the same dialect.
@@ -140,6 +148,9 @@ class CheckpointWriter
 
     /** Serialize, append in one write, sync. */
     Status append(const CheckpointEntry &e);
+
+    /** Close the underlying descriptor (idempotent). */
+    void close() { file_.close(); }
 
     bool isOpen() const { return file_.isOpen(); }
 

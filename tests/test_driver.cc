@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Execution-driver library tests (src/driver/): the SweepRequest
+ * parser shared by every binary, runKernel() routing through an
+ * ExecutionContext, DriverSession's plan/replay orchestration, and
+ * context reuse across back-to-back sweeps in one process — the
+ * embedding contract the bench singletons could never offer.
+ * Labeled "driver" so every sanitizer preset runs it (see
+ * CMakePresets.json).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generators.hh"
+#include "driver/driver_session.hh"
+#include "driver/execution_context.hh"
+#include "driver/kernel_run.hh"
+#include "driver/sweep_request.hh"
+#include "driver/version.hh"
+#include "stc/registry.hh"
+
+namespace unistc
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+/** argv adapter: parseSweepCli wants mutable char** like main(). */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args)
+        : strings_(std::move(args))
+    {
+        strings_.insert(strings_.begin(), "driver_tests");
+        for (std::string &s : strings_)
+            ptrs_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> ptrs_;
+};
+
+driver::ParsedCli
+parseOk(std::vector<std::string> args,
+        const std::vector<driver::CliFlag> &extra = {})
+{
+    Argv a(std::move(args));
+    Result<driver::ParsedCli> parsed =
+        driver::parseSweepCli(a.argc(), a.argv(), extra);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+    return parsed.ok() ? parsed.value() : driver::ParsedCli();
+}
+
+Status
+parseError(std::vector<std::string> args,
+           const std::vector<driver::CliFlag> &extra = {})
+{
+    Argv a(std::move(args));
+    Result<driver::ParsedCli> parsed =
+        driver::parseSweepCli(a.argc(), a.argv(), extra);
+    EXPECT_FALSE(parsed.ok());
+    return parsed.ok() ? Status() : parsed.status();
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.products, b.products);
+    EXPECT_EQ(a.macSlots, b.macSlots);
+    EXPECT_EQ(a.tasksT1, b.tasksT1);
+    EXPECT_EQ(a.tasksT3, b.tasksT3);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.traffic.totalA(), b.traffic.totalA());
+    EXPECT_EQ(a.traffic.writesC, b.traffic.writesC);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+// ---------------------------------------------------------------
+// SweepRequest parsing: one parser, every binary.
+// ---------------------------------------------------------------
+
+TEST(SweepRequestParse, DefaultsAreSerialAndUnsharded)
+{
+    const driver::ParsedCli cli = parseOk({});
+    EXPECT_FALSE(cli.helpRequested);
+    EXPECT_FALSE(cli.versionRequested);
+    EXPECT_FALSE(cli.request.quick);
+    EXPECT_FALSE(cli.request.smoke);
+    EXPECT_EQ(cli.request.jobs, 1);
+    EXPECT_TRUE(cli.request.resumePath.empty());
+    EXPECT_FALSE(cli.request.strict);
+    EXPECT_EQ(cli.request.maxJobSeconds, 0.0);
+    EXPECT_EQ(cli.request.shards, 1);
+    EXPECT_EQ(cli.request.shard, -1);
+    EXPECT_FALSE(cli.request.cacheFlagged);
+    EXPECT_TRUE(cli.extra.empty());
+}
+
+TEST(SweepRequestParse, StandardFamilyRoundTrips)
+{
+    const driver::ParsedCli cli = parseOk(
+        {"--quick", "--jobs", "3", "--resume", "/tmp/ck",
+         "--strict", "--max-job-seconds", "2.5", "--log-level",
+         "warn", "--shards", "4", "--shard-max-seconds", "9",
+         "--shard-heartbeat-seconds", "1.5", "--shard-retries", "2",
+         "--shard-backoff-seconds", "0.5", "--shard-strict",
+         "--cache-dir", "/tmp/cache", "--cache", "ro"});
+    const driver::SweepRequest &req = cli.request;
+    EXPECT_TRUE(req.quick);
+    EXPECT_EQ(req.jobs, 3);
+    EXPECT_EQ(req.resumePath, "/tmp/ck");
+    EXPECT_TRUE(req.strict);
+    EXPECT_DOUBLE_EQ(req.maxJobSeconds, 2.5);
+    EXPECT_TRUE(req.logLevelSet);
+    EXPECT_EQ(req.logLevel, LogLevel::Warn);
+    EXPECT_EQ(req.shards, 4);
+    EXPECT_DOUBLE_EQ(req.shardMaxSeconds, 9.0);
+    EXPECT_DOUBLE_EQ(req.shardHeartbeatSeconds, 1.5);
+    EXPECT_EQ(req.shardRetries, 2);
+    EXPECT_DOUBLE_EQ(req.shardBackoffSeconds, 0.5);
+    EXPECT_TRUE(req.shardStrict);
+    EXPECT_TRUE(req.cacheFlagged);
+    EXPECT_EQ(req.cacheDir, "/tmp/cache");
+    EXPECT_EQ(req.cacheMode, CacheMode::ReadOnly);
+}
+
+TEST(SweepRequestParse, EqualsFormAndSmokeImpliesQuick)
+{
+    const driver::ParsedCli cli =
+        parseOk({"--jobs=2", "--smoke", "--shard-out=/tmp/m"});
+    EXPECT_EQ(cli.request.jobs, 2);
+    EXPECT_TRUE(cli.request.smoke);
+    EXPECT_TRUE(cli.request.quick);
+    EXPECT_EQ(cli.request.shardOut, "/tmp/m");
+}
+
+TEST(SweepRequestParse, RejectsUnknownOption)
+{
+    const Status s = parseError({"--frobnicate"});
+    EXPECT_NE(s.message().find("unknown option '--frobnicate'"),
+              std::string::npos);
+    EXPECT_NE(s.message().find("--help"), std::string::npos);
+}
+
+TEST(SweepRequestParse, RejectsMissingValueAndBadNumbers)
+{
+    parseError({"--jobs"});
+    parseError({"--jobs", "three"});
+    parseError({"--jobs", "-2"});
+    parseError({"--max-job-seconds", "-1"});
+    parseError({"--shards", "0"});
+}
+
+TEST(SweepRequestParse, ExtraFlagsLandInExtraMap)
+{
+    const std::vector<driver::CliFlag> extra = {
+        {"kernel", true, "NAME", "which kernel"},
+        {"fast", false, "", "a switch"},
+    };
+    const driver::ParsedCli cli =
+        parseOk({"--kernel", "spmm", "--fast", "--jobs", "2"}, extra);
+    EXPECT_EQ(cli.extra.at("kernel"), "spmm");
+    EXPECT_EQ(cli.extra.at("fast"), "1");
+    EXPECT_EQ(cli.extra.count("jobs"), 0u); // standard, not extra
+    EXPECT_EQ(cli.request.jobs, 2);
+}
+
+TEST(SweepRequestParse, UnknownExtraStillRejected)
+{
+    const std::vector<driver::CliFlag> extra = {
+        {"kernel", true, "NAME", "which kernel"}};
+    const Status s = parseError({"--kernle", "spmm"}, extra);
+    EXPECT_NE(s.message().find("unknown option"), std::string::npos);
+}
+
+TEST(SweepRequestParse, HelpAndVersionShortCircuit)
+{
+    EXPECT_TRUE(parseOk({"--help"}).helpRequested);
+    EXPECT_TRUE(parseOk({"-h"}).helpRequested);
+    EXPECT_TRUE(parseOk({"--version"}).versionRequested);
+    // Even with a malformed tail: the request is best-effort.
+    EXPECT_TRUE(parseOk({"--help", "--jobs"}).helpRequested);
+}
+
+TEST(SweepCliHelp, ListsExtraFlagsThenStandardFamily)
+{
+    const std::vector<driver::CliFlag> extra = {
+        {"kernel", true, "NAME", "which kernel to simulate"}};
+    const std::string text = driver::sweepCliHelp("x", extra);
+    const std::size_t kernel_at = text.find("--kernel NAME");
+    const std::size_t jobs_at = text.find("--jobs N");
+    EXPECT_NE(kernel_at, std::string::npos);
+    EXPECT_NE(jobs_at, std::string::npos);
+    EXPECT_LT(kernel_at, jobs_at); // binary flags lead
+    EXPECT_NE(text.find("--version"), std::string::npos);
+    EXPECT_NE(text.find("--resume PATH"), std::string::npos);
+}
+
+TEST(Version, ReportsRevisionAndSchemaVersions)
+{
+    const std::string v = driver::versionString("simulate_cli");
+    EXPECT_NE(v.find("simulate_cli (unistc) revision "),
+              std::string::npos);
+    EXPECT_NE(v.find("bench-json"), std::string::npos);
+    EXPECT_NE(v.find("warehouse v"), std::string::npos);
+    EXPECT_NE(v.find("checkpoint v"), std::string::npos);
+    EXPECT_NE(v.find("shard-manifest v"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Kernel runs through an ExecutionContext.
+// ---------------------------------------------------------------
+
+/** Install a fresh context for one test body, restore after. */
+class ScopedContext
+{
+  public:
+    ScopedContext()
+        : previous_(driver::ExecutionContext::makeCurrent(&ctx_))
+    {
+    }
+    ~ScopedContext()
+    {
+        driver::ExecutionContext::makeCurrent(previous_);
+    }
+    driver::ExecutionContext &operator*() { return ctx_; }
+    driver::ExecutionContext *operator->() { return &ctx_; }
+
+  private:
+    driver::ExecutionContext ctx_;
+    driver::ExecutionContext *previous_;
+};
+
+TEST(DriverKernelRun, SerialRunMatchesInlineExecution)
+{
+    const driver::Prepared prep("t", genBanded(192, 8, 0.5, 3));
+    const MachineConfig cfg = MachineConfig::fp64();
+    const auto model = makeStcModel("Uni-STC", cfg);
+    const RunResult inline_r = driver::executeKernel(
+        Kernel::SpMV, *model, prep, EnergyModel());
+    ScopedContext ctx;
+    driver::RunInfo info;
+    const RunResult driven = driver::runKernel(
+        Kernel::SpMV, *model, prep, EnergyModel(), 64, &info);
+    expectSameResult(inline_r, driven);
+    EXPECT_FALSE(info.resumed);
+    EXPECT_FALSE(info.quarantined);
+    EXPECT_EQ(info.attempts, 1);
+}
+
+namespace
+{
+
+/** The shared experiment body: 3 models x 1 kernel, like a bench. */
+std::vector<RunResult>
+runThreeModels(std::vector<driver::RunInfo> *infos = nullptr)
+{
+    const driver::Prepared prep("t", genBanded(192, 8, 0.5, 3));
+    const MachineConfig cfg = MachineConfig::fp64();
+    std::vector<RunResult> out;
+    for (const char *name : {"DS-STC", "RM-STC", "Uni-STC"}) {
+        const auto model = makeStcModel(name, cfg);
+        driver::RunInfo info;
+        out.push_back(driver::runKernel(Kernel::SpMV, *model, prep,
+                                        EnergyModel(), 64, &info));
+        if (infos != nullptr)
+            infos->push_back(info);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(DriverSessionTest, JobsReplayIsByteIdenticalToSerial)
+{
+    // Serial baseline through a fresh context (Off mode).
+    std::vector<RunResult> serial;
+    {
+        ScopedContext ctx;
+        serial = runThreeModels();
+    }
+
+    // The same body driven through a --jobs 2 plan/replay session.
+    driver::ExecutionContext ctx;
+    driver::SweepRequest req;
+    req.jobs = 2;
+    std::vector<RunResult> driven;
+    driver::DriverSession session(ctx);
+    Argv argv({});
+    const int rc = session.run(req, argv.argc(), argv.argv(),
+                               [&driven](int, char **) {
+                                   driven = runThreeModels();
+                                   return 0;
+                               });
+    EXPECT_EQ(rc, 0);
+    ASSERT_EQ(driven.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectSameResult(serial[i], driven[i]);
+    }
+}
+
+TEST(DriverSessionTest, LineupThroughJobsMatchesPerModelRuns)
+{
+    const MachineConfig cfg = MachineConfig::fp64();
+    std::vector<StcModelPtr> owned;
+    std::vector<const StcModel *> models;
+    for (const char *name : {"DS-STC", "RM-STC", "Uni-STC"}) {
+        owned.push_back(makeStcModel(name, cfg));
+        models.push_back(owned.back().get());
+    }
+
+    std::vector<RunResult> serial;
+    {
+        ScopedContext ctx;
+        serial = runThreeModels();
+    }
+
+    driver::ExecutionContext ctx;
+    driver::SweepRequest req;
+    req.jobs = 2;
+    std::vector<RunResult> driven;
+    std::vector<driver::RunInfo> infos;
+    driver::DriverSession session(ctx);
+    Argv argv({});
+    const int rc = session.run(
+        req, argv.argc(), argv.argv(),
+        [&](int, char **) {
+            const driver::Prepared prep("t",
+                                        genBanded(192, 8, 0.5, 3));
+            driven = driver::runKernelLineup(
+                Kernel::SpMV, models, prep, EnergyModel(), false,
+                nullptr, 64, &infos);
+            return 0;
+        });
+    EXPECT_EQ(rc, 0);
+    ASSERT_EQ(driven.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectSameResult(serial[i], driven[i]);
+        EXPECT_FALSE(infos[i].resumed);
+        EXPECT_FALSE(infos[i].quarantined);
+    }
+}
+
+TEST(DriverSessionTest, ContextServesBackToBackSweeps)
+{
+    const std::string ck = tempPath("driver_reuse.ck");
+    std::remove(ck.c_str());
+
+    driver::ExecutionContext ctx;
+    driver::DriverSession session(ctx);
+    Argv argv({});
+
+    // Sweep 1: checkpointing on — every job simulates and lands on
+    // the checkpoint file.
+    driver::SweepRequest req1;
+    req1.jobs = 2;
+    req1.resumePath = ck;
+    std::vector<RunResult> first;
+    std::vector<driver::RunInfo> first_infos;
+    EXPECT_EQ(session.run(req1, argv.argc(), argv.argv(),
+                          [&](int, char **) {
+                              first = runThreeModels(&first_infos);
+                              return 0;
+                          }),
+              0);
+    for (const driver::RunInfo &info : first_infos)
+        EXPECT_FALSE(info.resumed);
+
+    // Sweep 2, same context, resume OFF: beginRun() must have
+    // cleared the checkpoint session — nothing may be served as
+    // "resumed" from sweep 1's state.
+    driver::SweepRequest req2;
+    std::vector<RunResult> second;
+    std::vector<driver::RunInfo> second_infos;
+    EXPECT_EQ(session.run(req2, argv.argc(), argv.argv(),
+                          [&](int, char **) {
+                              second = runThreeModels(&second_infos);
+                              return 0;
+                          }),
+              0);
+    for (const driver::RunInfo &info : second_infos)
+        EXPECT_FALSE(info.resumed);
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectSameResult(first[i], second[i]);
+    }
+
+    // Sweep 3, same context, resume ON again: every job must now be
+    // served from the file sweep 1 wrote, bit-identically.
+    driver::SweepRequest req3;
+    req3.resumePath = ck;
+    std::vector<RunResult> third;
+    std::vector<driver::RunInfo> third_infos;
+    EXPECT_EQ(session.run(req3, argv.argc(), argv.argv(),
+                          [&](int, char **) {
+                              third = runThreeModels(&third_infos);
+                              return 0;
+                          }),
+              0);
+    for (const driver::RunInfo &info : third_infos)
+        EXPECT_TRUE(info.resumed);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectSameResult(first[i], third[i]);
+    }
+    std::remove(ck.c_str());
+}
+
+TEST(DriverSessionTest, ReportingPassFlagGuardsPlanPass)
+{
+    driver::ExecutionContext ctx;
+    driver::SweepRequest req;
+    req.jobs = 2;
+    driver::DriverSession session(ctx);
+    Argv argv({});
+    std::vector<bool> seen;
+    EXPECT_EQ(session.run(req, argv.argc(), argv.argv(),
+                          [&](int, char **) {
+                              seen.push_back(ctx.reportingPass());
+                              runThreeModels();
+                              return 0;
+                          }),
+              0);
+    // Plan pass (discarded output), then the reporting replay.
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_FALSE(seen[0]);
+    EXPECT_TRUE(seen[1]);
+    // The context is reusable state after the run: no live executor.
+    EXPECT_EQ(ctx.sweepExecutor(), nullptr);
+    EXPECT_TRUE(ctx.reportingPass());
+}
+
+} // namespace
+} // namespace unistc
