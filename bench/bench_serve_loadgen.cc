@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Load generator for the unistc_serve daemon (docs/SERVING.md):
+ * replays a request trace — newline-delimited WireRequest JSON, the
+ * daemon's exact wire format — over N concurrent client connections
+ * and reports latency percentiles and throughput.
+ *
+ *   unistc_serve --port 7411 &
+ *   bench_serve_loadgen --port 7411 \
+ *       --trace bench/serve_traces/smoke.trace --clients 4
+ *
+ * Each client connection replays its round-robin share of the trace
+ * sequentially (send, wait for the response, measure). --dump-dir
+ * writes every response's output field to <dir>/<id>.out so CI can
+ * cmp the bytes against a one-shot simulate_cli run of the same
+ * argv; --stats fetches and prints the daemon's robust.serve_*
+ * counters after the replay; --shutdown stops the daemon at the end.
+ *
+ * Latency numbers are wall-clock and machine-dependent — this binary
+ * is an operations tool, not a determinism target, which is why it
+ * is not registered as a --smoke ctest like the table harnesses.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNISTC_LOADGEN_POSIX 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define UNISTC_LOADGEN_POSIX 0
+#endif
+
+#include "common/logging.hh"
+#include "driver/wire_codec.hh"
+
+using namespace unistc;
+
+#if UNISTC_LOADGEN_POSIX
+
+namespace
+{
+
+struct Options
+{
+    std::string unixPath;
+    int tcpPort = 0;
+    std::string tracePath;
+    int clients = 1;
+    int repeat = 1;
+    std::string dumpDir;
+    bool stats = false;
+    bool shutdown = false;
+};
+
+/** One replayed request's outcome. */
+struct Sample
+{
+    double millis = 0.0;
+    std::string status;
+};
+
+int
+connectTo(const Options &opt)
+{
+    int fd = -1;
+    if (!opt.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opt.unixPath.size() >= sizeof(addr.sun_path))
+            UNISTC_FATAL("--socket path too long");
+        std::strncpy(addr.sun_path, opt.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0 ||
+            ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            UNISTC_FATAL("cannot connect to '", opt.unixPath,
+                         "': ", std::strerror(errno));
+        }
+    } else {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(opt.tcpPort));
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0 ||
+            ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            UNISTC_FATAL("cannot connect to 127.0.0.1:", opt.tcpPort,
+                         ": ", std::strerror(errno));
+        }
+    }
+    return fd;
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n =
+            ::send(fd, out.data() + sent, out.size() - sent, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readLine(int fd, std::string *buf, std::string *line)
+{
+    line->clear();
+    for (;;) {
+        const std::size_t nl = buf->find('\n');
+        if (nl != std::string::npos) {
+            *line = buf->substr(0, nl);
+            buf->erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        buf->append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** Send one request, wait for its response. */
+driver::WireResponse
+roundTrip(int fd, std::string *buf, const driver::WireRequest &req)
+{
+    if (!writeLine(fd, driver::encodeRequest(req)))
+        UNISTC_FATAL("daemon hung up while sending '", req.id, "'");
+    std::string line;
+    if (!readLine(fd, buf, &line))
+        UNISTC_FATAL("daemon hung up waiting for '", req.id, "'");
+    Result<driver::WireResponse> resp =
+        driver::decodeResponse(line);
+    if (!resp.ok())
+        UNISTC_FATAL("bad response line: ",
+                     resp.status().message());
+    return std::move(resp).value();
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double pos =
+        p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi =
+        std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s (--socket PATH | --port N) --trace FILE\n"
+        "          [--clients N] [--repeat N] [--dump-dir DIR]\n"
+        "          [--stats] [--shutdown]\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    bool haveAddress = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                UNISTC_FATAL(flag, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--socket") {
+            opt.unixPath = value("--socket");
+            haveAddress = true;
+        } else if (arg == "--port") {
+            opt.tcpPort = std::atoi(value("--port"));
+            haveAddress = true;
+        } else if (arg == "--trace") {
+            opt.tracePath = value("--trace");
+        } else if (arg == "--clients") {
+            opt.clients = std::atoi(value("--clients"));
+        } else if (arg == "--repeat") {
+            opt.repeat = std::atoi(value("--repeat"));
+        } else if (arg == "--dump-dir") {
+            opt.dumpDir = value("--dump-dir");
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--shutdown") {
+            opt.shutdown = true;
+        } else {
+            UNISTC_FATAL("unknown option '", arg,
+                         "' (see --help)");
+        }
+    }
+    if (!haveAddress || opt.tracePath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (opt.clients < 1 || opt.repeat < 1)
+        UNISTC_FATAL("--clients and --repeat must be >= 1");
+
+    // Load and validate the trace up front: a typo fails fast here,
+    // not as a burst of daemon-side malformed rejections.
+    std::ifstream trace(opt.tracePath);
+    if (!trace)
+        UNISTC_FATAL("cannot open trace '", opt.tracePath, "'");
+    std::vector<driver::WireRequest> requests;
+    std::string line;
+    while (std::getline(trace, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        Result<driver::WireRequest> req =
+            driver::decodeRequest(line);
+        if (!req.ok())
+            UNISTC_FATAL("bad trace line: ",
+                         req.status().message());
+        requests.push_back(std::move(req).value());
+    }
+    if (requests.empty())
+        UNISTC_FATAL("trace '", opt.tracePath, "' has no requests");
+
+    // Round-robin shares; each client replays its share --repeat
+    // times over one connection.
+    std::vector<std::vector<driver::WireRequest>> shares(
+        static_cast<std::size_t>(opt.clients));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        shares[i % static_cast<std::size_t>(opt.clients)].push_back(
+            requests[i]);
+    }
+
+    std::mutex mu;
+    std::vector<Sample> samples;
+    std::map<std::string, std::string> outputs; // id -> output
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < opt.clients; ++c) {
+        threads.emplace_back([&, c] {
+            const std::vector<driver::WireRequest> &share =
+                shares[static_cast<std::size_t>(c)];
+            if (share.empty())
+                return;
+            const int fd = connectTo(opt);
+            std::string buf;
+            for (int r = 0; r < opt.repeat; ++r) {
+                for (driver::WireRequest req : share) {
+                    if (req.client.empty())
+                        req.client =
+                            "loadgen-" + std::to_string(c);
+                    const auto s0 =
+                        std::chrono::steady_clock::now();
+                    driver::WireResponse resp =
+                        roundTrip(fd, &buf, req);
+                    const auto s1 =
+                        std::chrono::steady_clock::now();
+                    Sample sample;
+                    sample.millis =
+                        std::chrono::duration<double, std::milli>(
+                            s1 - s0)
+                            .count();
+                    sample.status = resp.status;
+                    std::lock_guard<std::mutex> lock(mu);
+                    samples.push_back(sample);
+                    if (resp.status == "ok" && !resp.id.empty())
+                        outputs[resp.id] = resp.output;
+                }
+            }
+            ::close(fd);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::size_t ok = 0, errors = 0, rejected = 0;
+    std::vector<double> latencies;
+    latencies.reserve(samples.size());
+    for (const Sample &s : samples) {
+        latencies.push_back(s.millis);
+        if (s.status == "ok")
+            ++ok;
+        else if (s.status == "rejected")
+            ++rejected;
+        else
+            ++errors;
+    }
+    std::sort(latencies.begin(), latencies.end());
+
+    std::printf("requests: %zu (ok %zu, error %zu, rejected %zu)\n",
+                samples.size(), ok, errors, rejected);
+    std::printf("wall: %.3f s, %.1f req/s\n", wallSeconds,
+                wallSeconds > 0.0
+                    ? static_cast<double>(samples.size()) /
+                          wallSeconds
+                    : 0.0);
+    std::printf("latency: p50 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+                percentile(latencies, 0.50),
+                percentile(latencies, 0.99),
+                latencies.empty() ? 0.0 : latencies.back());
+
+    if (!opt.dumpDir.empty()) {
+        for (const auto &kv : outputs) {
+            const std::string path =
+                opt.dumpDir + "/" + kv.first + ".out";
+            std::ofstream out(path, std::ios::binary);
+            if (!out)
+                UNISTC_FATAL("cannot write '", path, "'");
+            out << kv.second;
+        }
+        std::fprintf(stderr, "loadgen: wrote %zu output file(s) to %s\n",
+                     outputs.size(), opt.dumpDir.c_str());
+    }
+
+    if (opt.stats || opt.shutdown) {
+        const int fd = connectTo(opt);
+        std::string buf;
+        driver::WireRequest req;
+        req.id = "loadgen-final";
+        req.op = opt.shutdown ? "shutdown" : "stats";
+        const driver::WireResponse resp = roundTrip(fd, &buf, req);
+        for (const auto &kv : resp.counters)
+            std::printf("%s %llu\n", kv.first.c_str(),
+                        static_cast<unsigned long long>(kv.second));
+        ::close(fd);
+    }
+    return 0;
+}
+
+#else // !UNISTC_LOADGEN_POSIX
+
+int
+main()
+{
+    std::fprintf(stderr,
+                 "bench_serve_loadgen needs a POSIX host\n");
+    return 2;
+}
+
+#endif // UNISTC_LOADGEN_POSIX

@@ -1,0 +1,186 @@
+# End-to-end gate for the unistc_serve daemon (docs/SERVING.md):
+#
+#  1. start the daemon, replay bench/serve_traces/smoke.trace through
+#     bench_serve_loadgen, and cmp every response's output against a
+#     one-shot simulate_cli run of the same argv — the daemon's
+#     byte-identity contract;
+#  2. stop it gracefully over the wire, restart with a tiny admission
+#     budget (--max-queue 1 --max-inflight 1), replay a shared-client
+#     burst, and assert the robust.serve_* counters show completed
+#     work AND nonzero load-shedding rejections.
+#
+# Driven by ctest (see CMakeLists.txt):
+#
+#   cmake -DSERVE=<unistc_serve> -DLOADGEN=<bench_serve_loadgen>
+#         -DCLI=<simulate_cli> -DTRACE_DIR=<bench/serve_traces>
+#         -DWORKDIR=<scratch dir> -P serve_e2e.cmake
+
+foreach(var SERVE LOADGEN CLI TRACE_DIR WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR}/out)
+
+# Kill any daemon we started, then fail. cmake has no try/finally,
+# so every fatal path funnels through here.
+function(fail msg)
+    if(EXISTS ${WORKDIR}/serve.pid)
+        file(READ ${WORKDIR}/serve.pid pid)
+        string(STRIP "${pid}" pid)
+        execute_process(COMMAND bash -c "kill ${pid} 2>/dev/null")
+    endif()
+    message(FATAL_ERROR "${msg}")
+endfunction()
+
+# Start ${SERVE} with ${args}, wait for the readiness line.
+function(start_daemon args)
+    execute_process(
+        COMMAND bash -c "'${SERVE}' --socket '${WORKDIR}/serve.sock' \
+${args} > '${WORKDIR}/ready.txt' 2>> '${WORKDIR}/serve.log' & \
+echo $! > '${WORKDIR}/serve.pid'"
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        fail("cannot launch ${SERVE}")
+    endif()
+    set(ready FALSE)
+    foreach(i RANGE 100)
+        if(EXISTS ${WORKDIR}/ready.txt)
+            file(READ ${WORKDIR}/ready.txt line)
+            if(line MATCHES "listening on")
+                set(ready TRUE)
+                break()
+            endif()
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+    endforeach()
+    if(NOT ready)
+        fail("daemon never printed its readiness line "
+             "(${WORKDIR}/serve.log)")
+    endif()
+endfunction()
+
+# Wait for the started daemon to exit (graceful shutdown check).
+function(await_daemon_exit)
+    file(READ ${WORKDIR}/serve.pid pid)
+    string(STRIP "${pid}" pid)
+    foreach(i RANGE 100)
+        execute_process(COMMAND bash -c "kill -0 ${pid} 2>/dev/null"
+                        RESULT_VARIABLE alive)
+        if(NOT alive EQUAL 0)
+            file(REMOVE ${WORKDIR}/serve.pid)
+            return()
+        endif()
+        execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+    endforeach()
+    fail("daemon did not exit after shutdown")
+endfunction()
+
+# --- Phase 1: byte-identity replay -----------------------------------
+
+start_daemon("")
+
+execute_process(
+    COMMAND ${LOADGEN} --socket ${WORKDIR}/serve.sock
+            --trace ${TRACE_DIR}/smoke.trace --clients 2
+            --dump-dir ${WORKDIR}/out
+    OUTPUT_FILE ${WORKDIR}/loadgen_smoke.txt
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    fail("loadgen smoke replay exited with ${rc}")
+endif()
+
+# The argv of every run request in smoke.trace, mirrored here so each
+# response can be compared against a one-shot simulate_cli run.
+# KEEP IN SYNC with bench/serve_traces/smoke.trace.
+set(argv_r1 --kernel spmv --model Uni-STC --gen banded:256,8,0.5)
+set(argv_r2 --kernel spmv --model DS-STC --gen banded:256,8,0.5)
+set(argv_r3 --kernel spmm --model RM-STC --gen random:128,0.1
+            --bcols 32)
+set(argv_r4 --kernel spgemm --arch Uni-STC,DS-STC
+            --gen banded:192,6,0.5)
+set(argv_r5 --kernel spmspv --model Uni-STC --gen banded:256,8,0.5)
+
+foreach(id r1 r2 r3 r4 r5)
+    if(NOT EXISTS ${WORKDIR}/out/${id}.out)
+        fail("daemon produced no output for request ${id}")
+    endif()
+    execute_process(
+        COMMAND ${CLI} ${argv_${id}}
+        OUTPUT_FILE ${WORKDIR}/${id}.expected
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        fail("simulate_cli reference run for ${id} exited with ${rc}")
+    endif()
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/out/${id}.out ${WORKDIR}/${id}.expected
+        RESULT_VARIABLE differ)
+    if(NOT differ EQUAL 0)
+        fail("request ${id}: daemon output differs from a one-shot "
+             "simulate_cli run (${WORKDIR}/out/${id}.out vs "
+             "${WORKDIR}/${id}.expected)")
+    endif()
+endforeach()
+message(STATUS "serve responses are byte-identical to simulate_cli")
+
+# Graceful stop over the wire.
+execute_process(
+    COMMAND ${LOADGEN} --socket ${WORKDIR}/serve.sock
+            --trace ${TRACE_DIR}/smoke.trace --shutdown
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    fail("loadgen shutdown pass exited with ${rc}")
+endif()
+await_daemon_exit()
+
+# --- Phase 2: overload burst sheds load ------------------------------
+
+start_daemon("--max-queue 1 --max-inflight 1")
+
+execute_process(
+    COMMAND ${LOADGEN} --socket ${WORKDIR}/serve.sock
+            --trace ${TRACE_DIR}/burst.trace --clients 6 --repeat 5
+            --stats
+    OUTPUT_VARIABLE burst_out
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    fail("loadgen burst replay exited with ${rc}")
+endif()
+file(WRITE ${WORKDIR}/loadgen_burst.txt "${burst_out}")
+
+foreach(counter completed rejected_queue_full rejected_quota)
+    if(NOT burst_out MATCHES
+       "robust.serve_${counter} ([0-9]+)")
+        fail("burst stats are missing robust.serve_${counter}")
+    endif()
+    set(count_${counter} ${CMAKE_MATCH_1})
+endforeach()
+if(count_completed EQUAL 0)
+    fail("overload burst completed no requests")
+endif()
+math(EXPR total_rejected
+     "${count_rejected_queue_full} + ${count_rejected_quota}")
+if(total_rejected EQUAL 0)
+    fail("overload burst was never load-shed "
+         "(queue_full=${count_rejected_queue_full} "
+         "quota=${count_rejected_quota})")
+endif()
+message(STATUS
+        "overload burst: ${count_completed} completed, "
+        "${total_rejected} load-shed")
+
+execute_process(
+    COMMAND ${LOADGEN} --socket ${WORKDIR}/serve.sock
+            --trace ${TRACE_DIR}/burst.trace --shutdown
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    fail("loadgen burst shutdown exited with ${rc}")
+endif()
+await_daemon_exit()
+
+message(STATUS "serve end-to-end gate passed")

@@ -1,0 +1,54 @@
+# Regression gate for the $TMPDIR fix in the sharded sweep runner
+# (src/driver/driver_session.cc): shard scratch directories must be
+# created under $TMPDIR, not a hardcoded /tmp.
+#
+# Recipe: point TMPDIR at a private scratch root, inject a
+# first-attempt crash into shard 1 (UNISTC_SHARD_FAULT=abort@1) with
+# retries disabled so the shard quarantines and the supervisor KEEPS
+# its manifest directory for post-mortem, then assert that directory
+# landed under our TMPDIR.
+#
+#   cmake -DHARNESS=<bench_abl_gating> -DWORKDIR=<scratch dir>
+#         -P tmpdir_shards.cmake
+
+foreach(var HARNESS WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR}/scratch)
+
+set(ENV{TMPDIR} ${WORKDIR}/scratch)
+set(ENV{UNISTC_SHARD_FAULT} "abort@1")
+execute_process(
+    COMMAND ${HARNESS} --smoke --shards 2 --shard-retries 0
+    OUTPUT_FILE ${WORKDIR}/stdout.txt
+    ERROR_FILE ${WORKDIR}/stderr.txt
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "sharded run with a quarantined shard should still exit 0, "
+            "got ${rc} (see ${WORKDIR}/stderr.txt)")
+endif()
+
+# The quarantined shard forces the supervisor down the "keep the
+# manifests" path, so the scratch dir must survive — under $TMPDIR.
+file(GLOB kept ${WORKDIR}/scratch/unistc-shards-*)
+if(kept STREQUAL "")
+    file(READ ${WORKDIR}/stderr.txt err)
+    message(FATAL_ERROR
+            "no unistc-shards-* directory under TMPDIR "
+            "(${WORKDIR}/scratch) — the shard runner ignored "
+            "\$TMPDIR.\nstderr was:\n${err}")
+endif()
+
+file(READ ${WORKDIR}/stderr.txt err)
+if(NOT err MATCHES "quarantined")
+    message(FATAL_ERROR
+            "expected shard 1 to be quarantined by the injected "
+            "fault; stderr was:\n${err}")
+endif()
+
+message(STATUS "shard manifests kept under TMPDIR: ${kept}")

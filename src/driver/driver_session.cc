@@ -20,6 +20,7 @@
 
 #include "cache/matrix_cache.hh"
 #include "common/logging.hh"
+#include "driver/tmpdir.hh"
 #include "exec/shard_plan.hh"
 #include "exec/shard_supervisor.hh"
 #include "obs/trace.hh"
@@ -241,11 +242,12 @@ DriverSession::runShardSupervisor(const SweepRequest &req, int argc,
     if (dir.empty() && !req.resumePath.empty())
         dir = req.resumePath + ".shards";
     if (dir.empty()) {
-        char tmpl[] = "/tmp/unistc-shards-XXXXXX";
-        if (::mkdtemp(tmpl) == nullptr)
-            UNISTC_FATAL("--shards: mkdtemp failed: ",
-                         std::strerror(errno));
-        dir = tmpl;
+        // $TMPDIR-aware: sandboxed CI runners mount /tmp read-only
+        // and point TMPDIR at a writable scratch root.
+        Result<std::string> made = makeTempDir("unistc-shards-");
+        if (!made.ok())
+            UNISTC_FATAL("--shards: ", made.status().message());
+        dir = std::move(made).value();
         tempDir = true;
     } else if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
         UNISTC_FATAL("--shards: cannot create '", dir, "': ",

@@ -1,0 +1,188 @@
+#include "driver/wire_codec.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json_reader.hh"
+#include "obs/json_writer.hh"
+
+namespace unistc
+{
+namespace driver
+{
+
+namespace
+{
+
+/** @p key of @p obj as a string; empty when absent, error on type. */
+Status
+readString(const JsonValue &obj, const std::string &key,
+           std::string *out)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || v->isNull())
+        return Status::okStatus();
+    if (!v->isString())
+        return parseError("field '" + key + "' must be a string");
+    *out = v->string();
+    return Status::okStatus();
+}
+
+Status
+readStringArray(const JsonValue &obj, const std::string &key,
+                std::vector<std::string> *out)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr || v->isNull())
+        return Status::okStatus();
+    if (!v->isArray())
+        return parseError("field '" + key +
+                          "' must be an array of strings");
+    for (const JsonValue &item : v->array()) {
+        if (!item.isString())
+            return parseError("field '" + key +
+                              "' must be an array of strings");
+        out->push_back(item.string());
+    }
+    return Status::okStatus();
+}
+
+Result<JsonValue>
+parseLine(const std::string &line, const std::string &label)
+{
+    Result<JsonValue> doc = parseJson(line, label);
+    if (!doc.ok())
+        return doc.status();
+    if (!doc.value().isObject())
+        return parseError(label + ": expected a JSON object");
+    return doc;
+}
+
+} // namespace
+
+std::string
+encodeRequest(const WireRequest &req)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*indent=*/0);
+    w.beginObject();
+    w.key("id");
+    w.value(req.id);
+    w.key("op");
+    w.value(req.op);
+    if (!req.client.empty()) {
+        w.key("client");
+        w.value(req.client);
+    }
+    if (!req.label.empty()) {
+        w.key("label");
+        w.value(req.label);
+    }
+    w.key("argv");
+    w.beginArray();
+    for (const std::string &arg : req.argv)
+        w.value(arg);
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+std::string
+encodeResponse(const WireResponse &resp)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*indent=*/0);
+    w.beginObject();
+    w.key("id");
+    w.value(resp.id);
+    w.key("status");
+    w.value(resp.status);
+    w.key("exit_code");
+    w.value(resp.exitCode);
+    if (!resp.output.empty()) {
+        w.key("output");
+        w.value(resp.output);
+    }
+    if (!resp.error.empty()) {
+        w.key("error");
+        w.value(resp.error);
+    }
+    if (!resp.counters.empty()) {
+        w.key("counters");
+        w.beginObject();
+        for (const auto &kv : resp.counters) {
+            w.key(kv.first);
+            w.value(kv.second);
+        }
+        w.endObject();
+    }
+    w.endObject();
+    return os.str();
+}
+
+Result<WireRequest>
+decodeRequest(const std::string &line)
+{
+    Result<JsonValue> doc = parseLine(line, "<request>");
+    if (!doc.ok())
+        return doc.status();
+    const JsonValue &obj = doc.value();
+
+    WireRequest req;
+    if (Status s = readString(obj, "id", &req.id); !s.ok())
+        return s;
+    if (Status s = readString(obj, "op", &req.op); !s.ok())
+        return s;
+    if (Status s = readString(obj, "client", &req.client); !s.ok())
+        return s;
+    if (Status s = readString(obj, "label", &req.label); !s.ok())
+        return s;
+    if (Status s = readStringArray(obj, "argv", &req.argv); !s.ok())
+        return s;
+    if (req.op != "run" && req.op != "ping" && req.op != "stats" &&
+        req.op != "shutdown") {
+        return parseError("unknown op '" + req.op +
+                          "' (run|ping|stats|shutdown)");
+    }
+    return req;
+}
+
+Result<WireResponse>
+decodeResponse(const std::string &line)
+{
+    Result<JsonValue> doc = parseLine(line, "<response>");
+    if (!doc.ok())
+        return doc.status();
+    const JsonValue &obj = doc.value();
+
+    WireResponse resp;
+    if (Status s = readString(obj, "id", &resp.id); !s.ok())
+        return s;
+    if (Status s = readString(obj, "status", &resp.status); !s.ok())
+        return s;
+    if (Status s = readString(obj, "output", &resp.output); !s.ok())
+        return s;
+    if (Status s = readString(obj, "error", &resp.error); !s.ok())
+        return s;
+    if (const JsonValue *v = obj.find("exit_code")) {
+        if (!v->isNumber())
+            return parseError("field 'exit_code' must be a number");
+        resp.exitCode = static_cast<int>(std::lround(v->number()));
+    }
+    if (const JsonValue *v = obj.find("counters")) {
+        if (!v->isObject())
+            return parseError("field 'counters' must be an object");
+        for (const auto &kv : v->members()) {
+            std::uint64_t n = 0;
+            if (!kv.second.counterValue(&n)) {
+                return parseError("counter '" + kv.first +
+                                  "' must be a non-negative integer");
+            }
+            resp.counters[kv.first] = n;
+        }
+    }
+    return resp;
+}
+
+} // namespace driver
+} // namespace unistc

@@ -1,0 +1,107 @@
+#include "serve/admission.hh"
+
+namespace unistc
+{
+namespace serve
+{
+
+std::map<std::string, std::uint64_t>
+ServeCounters::asMap() const
+{
+    return {
+        {"robust.serve_accepted", accepted},
+        {"robust.serve_completed", completed},
+        {"robust.serve_failed", failed},
+        {"robust.serve_rejected_queue_full", rejectedQueueFull},
+        {"robust.serve_rejected_quota", rejectedQuota},
+        {"robust.serve_rejected_malformed", rejectedMalformed},
+        {"robust.serve_rejected_unsupported", rejectedUnsupported},
+        {"robust.serve_batches", batches},
+        {"robust.serve_batched_requests", batchedRequests},
+        {"robust.serve_prepared_hits", preparedHits},
+        {"robust.serve_prepared_misses", preparedMisses},
+    };
+}
+
+Status
+AdmissionController::admit(const std::string &client,
+                           std::size_t queueDepth)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queueDepth >= limits_.maxQueue) {
+        ++counters_.rejectedQueueFull;
+        return failedPrecondition(
+            "queue full (" + std::to_string(limits_.maxQueue) +
+            " waiting); retry later");
+    }
+    std::size_t &inflight = inflight_[client];
+    if (inflight >= limits_.maxInflightPerClient) {
+        ++counters_.rejectedQuota;
+        return failedPrecondition(
+            "client '" + client + "' already has " +
+            std::to_string(inflight) +
+            " request(s) in flight (quota " +
+            std::to_string(limits_.maxInflightPerClient) + ")");
+    }
+    ++inflight;
+    ++counters_.accepted;
+    return Status::okStatus();
+}
+
+void
+AdmissionController::finish(const std::string &client, bool ok)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(client);
+    if (it != inflight_.end()) {
+        if (--it->second == 0)
+            inflight_.erase(it);
+    }
+    if (ok)
+        ++counters_.completed;
+    else
+        ++counters_.failed;
+}
+
+void
+AdmissionController::noteMalformed()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejectedMalformed;
+}
+
+void
+AdmissionController::noteUnsupported()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejectedUnsupported;
+}
+
+void
+AdmissionController::noteBatch(std::size_t requests)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.batches;
+    counters_.batchedRequests +=
+        static_cast<std::uint64_t>(requests);
+}
+
+void
+AdmissionController::notePrepared(bool hit)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit)
+        ++counters_.preparedHits;
+    else
+        ++counters_.preparedMisses;
+}
+
+ServeCounters
+AdmissionController::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+} // namespace serve
+} // namespace unistc

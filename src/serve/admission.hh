@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Admission control for the unistc_serve daemon (docs/SERVING.md):
+ * a bounded request queue plus per-client in-flight quotas, so one
+ * chatty client cannot wedge the executor for everyone else. Over
+ * either limit the daemon sheds load — an immediate "rejected"
+ * response — instead of queueing without bound; every decision is
+ * tallied into robust.serve_* counters that the stats op, the
+ * shutdown response and each request's warehouse commit record
+ * expose.
+ */
+
+#ifndef UNISTC_SERVE_ADMISSION_HH
+#define UNISTC_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "robust/status.hh"
+
+namespace unistc
+{
+namespace serve
+{
+
+/** Load-shedding thresholds. */
+struct ServeLimits
+{
+    /** Admitted-but-not-started requests the daemon will hold. */
+    std::size_t maxQueue = 64;
+
+    /** Queued + running requests per client identity. */
+    std::size_t maxInflightPerClient = 4;
+};
+
+/** The daemon's robust.serve_* tallies (monotonic). */
+struct ServeCounters
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t rejectedQueueFull = 0;
+    std::uint64_t rejectedQuota = 0;
+    std::uint64_t rejectedMalformed = 0;
+    std::uint64_t rejectedUnsupported = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batchedRequests = 0;
+    std::uint64_t preparedHits = 0;
+    std::uint64_t preparedMisses = 0;
+
+    /** The counters under their wire/warehouse names. */
+    std::map<std::string, std::uint64_t> asMap() const;
+};
+
+/**
+ * Thread-safe admission decisions + counter bookkeeping. The queue
+ * itself lives in ServeCore; this class owns the policy and the
+ * per-client in-flight ledger.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const ServeLimits &limits)
+        : limits_(limits)
+    {
+    }
+
+    AdmissionController(const AdmissionController &) = delete;
+    AdmissionController &operator=(const AdmissionController &) =
+        delete;
+
+    /**
+     * Decide whether @p client may enqueue another request given
+     * @p queueDepth requests already waiting. Ok: the request is
+     * admitted and counted in-flight (pair every Ok with exactly one
+     * finish()). Error: a FailedPrecondition describing the shed
+     * reason, already tallied.
+     */
+    Status admit(const std::string &client, std::size_t queueDepth);
+
+    /** Retire an admitted request; @p ok picks completed/failed. */
+    void finish(const std::string &client, bool ok);
+
+    /** Tally a request that never parsed. */
+    void noteMalformed();
+
+    /** Tally a request using features the daemon refuses. */
+    void noteUnsupported();
+
+    /** Tally one shared lineup pass covering @p requests requests. */
+    void noteBatch(std::size_t requests);
+
+    /** Tally a Prepared-cache lookup. */
+    void notePrepared(bool hit);
+
+    ServeCounters counters() const;
+    const ServeLimits &limits() const { return limits_; }
+
+  private:
+    const ServeLimits limits_;
+    mutable std::mutex mu_;
+    ServeCounters counters_;
+    std::map<std::string, std::size_t> inflight_;
+};
+
+} // namespace serve
+} // namespace unistc
+
+#endif // UNISTC_SERVE_ADMISSION_HH

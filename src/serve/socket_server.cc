@@ -1,0 +1,329 @@
+#include "serve/socket_server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNISTC_SOCKET_POSIX 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define UNISTC_SOCKET_POSIX 0
+#endif
+
+#include "common/logging.hh"
+#include "driver/wire_codec.hh"
+
+namespace unistc
+{
+namespace serve
+{
+
+#if UNISTC_SOCKET_POSIX
+
+namespace
+{
+
+/** Write all of @p line plus a newline; false on a dead peer. */
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n =
+            ::send(fd, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                   MSG_NOSIGNAL
+#else
+                   0
+#endif
+            );
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Read one '\n'-terminated line into @p line (terminator stripped).
+ * False on EOF/error with nothing buffered.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    bool
+    next(std::string *line)
+    {
+        line->clear();
+        for (;;) {
+            const std::size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                *line = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (n == 0) {
+                // EOF: serve a final unterminated line if present.
+                if (buf_.empty())
+                    return false;
+                line->swap(buf_);
+                return true;
+            }
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace
+
+SocketServer::SocketServer(ServeCore &core,
+                           const SocketServerOptions &opt)
+    : core_(core), opt_(opt)
+{
+}
+
+SocketServer::~SocketServer()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (!opt_.unixPath.empty())
+        ::unlink(opt_.unixPath.c_str());
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+Status
+SocketServer::start()
+{
+    if (!opt_.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opt_.unixPath.size() >= sizeof(addr.sun_path)) {
+            return invalidArgument("--socket path too long: '" +
+                                   opt_.unixPath + "'");
+        }
+        std::strncpy(addr.sun_path, opt_.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            return ioError(std::string("socket: ") +
+                           std::strerror(errno));
+        // A stale socket file from a crashed daemon blocks bind().
+        ::unlink(opt_.unixPath.c_str());
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            return ioError("bind '" + opt_.unixPath +
+                           "': " + std::strerror(errno));
+        }
+        address_ = "unix:" + opt_.unixPath;
+    } else {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(opt_.tcpPort));
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            return ioError(std::string("socket: ") +
+                           std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            return ioError("bind 127.0.0.1:" +
+                           std::to_string(opt_.tcpPort) + ": " +
+                           std::strerror(errno));
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            boundPort_ = static_cast<int>(ntohs(bound.sin_port));
+        address_ = "tcp:127.0.0.1:" + std::to_string(boundPort_);
+    }
+    if (::listen(listenFd_, 64) != 0)
+        return ioError(std::string("listen: ") +
+                       std::strerror(errno));
+    return Status::okStatus();
+}
+
+std::string
+SocketServer::address() const
+{
+    return address_;
+}
+
+bool
+SocketServer::shouldStop() const
+{
+    if (core_.stopRequested())
+        return true;
+    return opt_.stopPredicate && opt_.stopPredicate();
+}
+
+void
+SocketServer::run()
+{
+    UNISTC_ASSERT(listenFd_ >= 0, "start() must succeed before run()");
+    while (!shouldStop()) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            UNISTC_WARN("serve: poll failed: ",
+                        std::strerror(errno));
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            UNISTC_WARN("serve: accept failed: ",
+                        std::strerror(errno));
+            continue;
+        }
+        std::string peer;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (active_ >= opt_.maxConnections) {
+                driver::WireResponse full;
+                full.status = "rejected";
+                full.error =
+                    "connection limit (" +
+                    std::to_string(opt_.maxConnections) +
+                    ") reached; retry later";
+                writeLine(fd, driver::encodeResponse(full));
+                ::close(fd);
+                continue;
+            }
+            ++active_;
+            peer = "conn-" + std::to_string(++connSeq_);
+            connFds_.insert(fd);
+            threads_.emplace_back(
+                [this, fd, peer] { connectionLoop(fd, peer); });
+        }
+    }
+    // Half-close live connections so blocked reads return, then join.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+    threads_.clear();
+}
+
+void
+SocketServer::connectionLoop(int fd, std::string peer)
+{
+    LineReader reader(fd);
+    std::string line;
+    while (!shouldStop() && reader.next(&line)) {
+        if (line.empty() ||
+            line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        Result<driver::WireRequest> decoded =
+            driver::decodeRequest(line);
+        driver::WireResponse resp;
+        bool shuttingDown = false;
+        if (!decoded.ok()) {
+            resp = core_.rejectMalformed("", decoded.status());
+        } else {
+            driver::WireRequest req = std::move(decoded).value();
+            // The quota bucket defaults to the connection identity
+            // when the client did not name itself.
+            if (req.client.empty())
+                req.client = peer;
+            shuttingDown = req.op == "shutdown";
+            resp = core_.submit(req);
+        }
+        if (!writeLine(fd, driver::encodeResponse(resp)))
+            break;
+        if (shuttingDown)
+            break;
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    connFds_.erase(fd);
+    --active_;
+}
+
+#else // !UNISTC_SOCKET_POSIX
+
+SocketServer::SocketServer(ServeCore &core,
+                           const SocketServerOptions &opt)
+    : core_(core), opt_(opt)
+{
+}
+
+SocketServer::~SocketServer() = default;
+
+Status
+SocketServer::start()
+{
+    return internalError("unistc_serve needs a POSIX host (sockets)");
+}
+
+std::string
+SocketServer::address() const
+{
+    return "";
+}
+
+void
+SocketServer::run()
+{
+}
+
+void
+SocketServer::connectionLoop(int, std::string)
+{
+}
+
+bool
+SocketServer::shouldStop() const
+{
+    return true;
+}
+
+#endif // UNISTC_SOCKET_POSIX
+
+} // namespace serve
+} // namespace unistc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The unistc_serve daemon's network front door (docs/SERVING.md):
+ * a Unix-domain or loopback-TCP listener speaking the NDJSON wire
+ * protocol (driver/wire_codec.hh). Each connection gets a reader
+ * thread that decodes request lines, hands them to ServeCore::submit
+ * (which blocks for the result) and writes one response line per
+ * request — so per-connection requests answer in order while
+ * different connections interleave through the admission queue.
+ *
+ * A connection cap bounds reader threads; connections beyond it are
+ * answered with a single "rejected" line and closed. Stopping is
+ * cooperative: run() polls a stop predicate (signal handlers set a
+ * flag, shutdown requests flip ServeCore), then half-closes every
+ * live connection so blocked reads return and threads join.
+ */
+
+#ifndef UNISTC_SERVE_SOCKET_SERVER_HH
+#define UNISTC_SERVE_SOCKET_SERVER_HH
+
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "robust/status.hh"
+#include "serve/serve_core.hh"
+
+namespace unistc
+{
+namespace serve
+{
+
+/** Where and how to listen. */
+struct SocketServerOptions
+{
+    /** Unix-domain socket path; wins over tcpPort when set. */
+    std::string unixPath;
+
+    /** Loopback TCP port (0 = kernel-assigned, see boundPort()). */
+    int tcpPort = 0;
+
+    /** Simultaneous connections served (beyond: reject + close). */
+    std::size_t maxConnections = 32;
+
+    /** Polled by run(); return true to stop accepting. */
+    std::function<bool()> stopPredicate;
+};
+
+/** See the file header. */
+class SocketServer
+{
+  public:
+    SocketServer(ServeCore &core, const SocketServerOptions &opt);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Bind + listen. Typed error when the address is unusable. */
+    Status start();
+
+    /** Printable bound address ("unix:/run/u.sock", "tcp:127.0.0.1:7411"). */
+    std::string address() const;
+
+    /** The TCP port actually bound (tcpPort 0 resolves here). */
+    int boundPort() const { return boundPort_; }
+
+    /**
+     * Accept and serve until the stop predicate fires or a shutdown
+     * request lands. Joins every connection thread before returning.
+     */
+    void run();
+
+  private:
+    void connectionLoop(int fd, std::string peer);
+    bool shouldStop() const;
+
+    ServeCore &core_;
+    const SocketServerOptions opt_;
+    int listenFd_ = -1;
+    int boundPort_ = 0;
+    std::string address_;
+
+    std::mutex mu_;
+    std::set<int> connFds_;
+    std::vector<std::thread> threads_;
+    std::size_t active_ = 0;
+    std::uint64_t connSeq_ = 0;
+};
+
+} // namespace serve
+} // namespace unistc
+
+#endif // UNISTC_SERVE_SOCKET_SERVER_HH

@@ -46,6 +46,15 @@ writeLe(std::FILE *f, std::uint64_t v, std::size_t width)
     return std::fwrite(buf, 1, width, f) == width;
 }
 
+/**
+ * Highest allocatable run id: formatRunId() must keep the fixed
+ * 6-digit form isRunId() recognises. One past this and a 7-digit
+ * directory name would be invisible to the next scan, restarting
+ * numbering at 000001 and racing writers into old directories —
+ * allocation fails with a clear Status instead.
+ */
+constexpr unsigned kMaxRunId = 999999;
+
 std::string
 formatRunId(unsigned seq)
 {
@@ -95,7 +104,7 @@ RunWriter::open(const RunWriterOptions &opt)
                 static_cast<unsigned>(std::stoul(name)));
     }
     Ptr w(new RunWriter());
-    for (int attempt = 0; attempt < 1000000; ++attempt, ++seq) {
+    for (; seq <= kMaxRunId; ++seq) {
         const fs::path dir = fs::path(opt.dir) / formatRunId(seq);
         std::error_code mkec;
         if (fs::create_directory(dir, mkec) && !mkec) {
@@ -110,9 +119,10 @@ RunWriter::open(const RunWriterOptions &opt)
         }
     }
     if (w->runDir_.empty()) {
-        return Result<Ptr>(
-            internalError("run id space exhausted in '" + opt.dir +
-                          "'"));
+        return Result<Ptr>(internalError(
+            "warehouse run id space exhausted in '" + opt.dir +
+            "': run " + formatRunId(kMaxRunId) + " already exists; "
+            "archive or rotate the warehouse directory"));
     }
     w->fsyncEvery_ = opt.fsyncEvery;
 
